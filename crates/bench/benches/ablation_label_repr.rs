@@ -1,0 +1,99 @@
+//! Ablation — the packed bit-vector label representation of Section 6.1.
+//!
+//! The paper stores `ℓ⁺` sets as bit masks packed into 64-bit words and
+//! compares labels with mask operations.  This ablation quantifies that
+//! design choice by comparing label-comparison throughput against a
+//! straightforward set-of-view-names representation (what a naive
+//! implementation of Definition 3.4 would use).
+
+use std::collections::BTreeSet;
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fdc_bench::labeling_workload;
+use fdc_core::{DisclosureLabel, QueryLabeler};
+
+/// The naive representation: one set of view names per atom.
+fn to_name_sets(
+    label: &DisclosureLabel,
+    registry: &fdc_core::SecurityViews,
+) -> Vec<BTreeSet<String>> {
+    label
+        .atoms()
+        .iter()
+        .map(|atom| {
+            atom.views(registry)
+                .into_iter()
+                .map(|id| registry.view(id).name.clone())
+                .collect()
+        })
+        .collect()
+}
+
+/// Label comparison under the naive representation
+/// (`a ⪯ b` iff every atom set of `a` is a superset of some atom set of `b`).
+fn name_sets_leq(a: &[BTreeSet<String>], b: &[BTreeSet<String>]) -> bool {
+    a.iter().all(|x| b.iter().any(|y| x.is_superset(y)))
+}
+
+fn ablation(c: &mut Criterion) {
+    let workload = labeling_workload(3, 1_000);
+    let registry = workload.ecosystem.views.clone();
+    let labels: Vec<DisclosureLabel> = workload
+        .queries
+        .iter()
+        .map(|q| workload.ecosystem.bitvec.label_query(q))
+        .collect();
+    let name_sets: Vec<Vec<BTreeSet<String>>> =
+        labels.iter().map(|l| to_name_sets(l, &registry)).collect();
+    let pairs = labels.len();
+
+    let mut group = c.benchmark_group("ablation_label_repr");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(pairs as u64));
+
+    group.bench_function("packed_bitmask_leq", |b| {
+        b.iter(|| {
+            let mut below = 0usize;
+            for i in 0..pairs {
+                let j = (i * 7 + 1) % pairs;
+                if labels[i].leq(&labels[j]) {
+                    below += 1;
+                }
+            }
+            black_box(below)
+        })
+    });
+
+    group.bench_function("name_set_leq", |b| {
+        b.iter(|| {
+            let mut below = 0usize;
+            for i in 0..pairs {
+                let j = (i * 7 + 1) % pairs;
+                if name_sets_leq(&name_sets[i], &name_sets[j]) {
+                    below += 1;
+                }
+            }
+            black_box(below)
+        })
+    });
+
+    // Sanity: the two representations agree on every compared pair.
+    for i in 0..pairs {
+        let j = (i * 7 + 1) % pairs;
+        assert_eq!(
+            labels[i].leq(&labels[j]),
+            name_sets_leq(&name_sets[i], &name_sets[j]),
+            "representations disagree on pair ({i}, {j})"
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

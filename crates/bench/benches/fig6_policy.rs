@@ -1,0 +1,58 @@
+//! Figure 6 — policy checker performance.
+//!
+//! The paper plots the time to analyze one million disclosure labels against
+//! the maximum number of elements (single-atom views) per policy partition,
+//! for six configurations: {1-way, 5-way partitions} × {1K, 50K, 1M
+//! principals}.  This bench measures the same grid as throughput
+//! (labels/second).  Set `FDC_FIG6_FULL=1` to run the full 1M-principal
+//! axis; the default largest point is 250K principals (same shape, smaller
+//! memory footprint).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fdc_bench::{fig6_principal_counts, policy_workload};
+use fdc_policy::PrincipalId;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_policy");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let label_batch = 10_000usize;
+    for &num_principals in &fig6_principal_counts() {
+        for &max_partitions in &[1usize, 5] {
+            for &max_elements in &[5usize, 25, 50] {
+                let workload =
+                    policy_workload(num_principals, max_partitions, max_elements, label_batch);
+                group.throughput(Throughput::Elements(workload.labels.len() as u64));
+                let id = format!("{max_partitions}way_{num_principals}principals");
+                group.bench_with_input(
+                    BenchmarkId::new(id, max_elements),
+                    &workload,
+                    |b, w| {
+                        // The store is mutated across iterations (as a
+                        // long-running reference monitor would be); the
+                        // per-label cost is the same whether or not the
+                        // consistency bits have already converged, and
+                        // avoiding a per-iteration clone of up to a million
+                        // principal states keeps the measurement honest.
+                        let mut store = w.store.clone();
+                        b.iter(|| {
+                            for (i, label) in w.labels.iter().enumerate() {
+                                let principal = PrincipalId((i % w.num_principals) as u32);
+                                black_box(store.submit(principal, label));
+                            }
+                        });
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

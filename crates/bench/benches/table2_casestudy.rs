@@ -1,0 +1,39 @@
+//! Table 2 — the FQL vs Graph API documentation review.
+//!
+//! The case study itself is qualitative (six inconsistencies out of 42
+//! views); this bench keeps it regenerable from `cargo bench` alongside the
+//! figures and additionally measures the cost of the automatic-labeling
+//! counterfactual, which is the quantitative claim behind it (labels can be
+//! recomputed from view definitions cheaply enough to never go stale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fdc_casestudy::autolabel::autolabel_report;
+use fdc_casestudy::review_documentation;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn table2(c: &mut Criterion) {
+    // Print the regenerated table once so `cargo bench` output contains the
+    // Table 2 reproduction itself.
+    let report = review_documentation();
+    println!("\n{}", report.to_table());
+    assert_eq!(report.views_compared, 42);
+    assert_eq!(report.discrepancies.len(), 6);
+
+    let mut group = c.benchmark_group("table2_casestudy");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+
+    group.bench_function("documentation_review", |b| {
+        b.iter(|| black_box(review_documentation()))
+    });
+    group.bench_function("automatic_relabeling", |b| {
+        b.iter(|| black_box(autolabel_report()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

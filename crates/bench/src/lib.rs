@@ -1,0 +1,128 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each Criterion bench target in `benches/` regenerates one table or figure
+//! of the paper's evaluation (Section 7); this library crate holds the
+//! set-up code they share so that the per-bench files stay focused on the
+//! measurement itself.
+//!
+//! | Bench target          | Regenerates                                   |
+//! |------------------------|----------------------------------------------|
+//! | `fig5_labeler`         | Figure 5 — disclosure labeler performance     |
+//! | `fig6_policy`          | Figure 6 — policy checker performance         |
+//! | `table2_casestudy`     | Table 2 — FQL vs Graph API review             |
+//! | `ablation_label_repr`  | Section 6.1 ablation — packed vs set labels   |
+//! | `ablation_dissect`     | Section 6.1 ablation — folding / dissect cost |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fdc_core::DisclosureLabel;
+use fdc_ecosystem::policies::PolicyGeneratorConfig;
+use fdc_ecosystem::{Ecosystem, WorkloadConfig};
+use fdc_policy::PolicyStore;
+
+/// Number of queries per pre-generated benchmark batch.
+///
+/// The paper measures the time to analyze one million queries; Criterion
+/// instead measures throughput on a smaller batch and reports
+/// queries/second, from which the per-million figure follows directly.
+pub const BATCH_SIZE: usize = 500;
+
+/// A pre-generated labeling workload for one Figure 5 configuration.
+pub struct LabelingWorkload {
+    /// The assembled ecosystem (schema, views, labelers).
+    pub ecosystem: Ecosystem,
+    /// The generated queries.
+    pub queries: Vec<fdc_cq::ConjunctiveQuery>,
+    /// Maximum number of atoms per query in this configuration.
+    pub max_atoms: usize,
+}
+
+/// Builds the Figure 5 workload for a given maximum number of atoms per
+/// query (3, 6, 9, 12 or 15 in the paper).
+pub fn labeling_workload(max_atoms: usize, batch: usize) -> LabelingWorkload {
+    let ecosystem = Ecosystem::new();
+    let max_subqueries = (max_atoms / 3).max(1);
+    let mut generator = ecosystem.workload(WorkloadConfig::stress(max_subqueries, 0xF15 + max_atoms as u64));
+    let queries = generator.batch(batch);
+    LabelingWorkload {
+        ecosystem,
+        queries,
+        max_atoms,
+    }
+}
+
+/// A pre-generated policy-checking workload for one Figure 6 configuration.
+pub struct PolicyWorkload {
+    /// The multi-principal policy store.
+    pub store: PolicyStore,
+    /// Pre-labeled queries, round-robined across principals.
+    pub labels: Vec<DisclosureLabel>,
+    /// Number of principals in the store.
+    pub num_principals: usize,
+}
+
+/// Builds the Figure 6 workload: `num_principals` random policies with the
+/// given maximum partitions (1 or 5) and maximum elements per partition
+/// (5–50), plus a batch of labeled queries to push through the checker.
+pub fn policy_workload(
+    num_principals: usize,
+    max_partitions: usize,
+    max_elements_per_partition: usize,
+    label_batch: usize,
+) -> PolicyWorkload {
+    let ecosystem = Ecosystem::new();
+    let mut policies = ecosystem.policy_generator(PolicyGeneratorConfig {
+        max_partitions,
+        max_elements_per_partition,
+        seed: 0xF16,
+    });
+    let store = policies.build_store(&ecosystem.views, num_principals);
+    let mut generator = ecosystem.workload(WorkloadConfig::base(0xF16F));
+    let labels = ecosystem.label_batch(&generator.batch(label_batch));
+    PolicyWorkload {
+        store,
+        labels,
+        num_principals,
+    }
+}
+
+/// The principal counts swept by the Figure 6 benchmark.
+///
+/// The paper sweeps 1K, 50K and 1M principals.  The full 1M-principal sweep
+/// allocates several hundred megabytes of per-principal policy state, so it
+/// is opt-in: set `FDC_FIG6_FULL=1` to reproduce the paper's axis exactly;
+/// the default keeps the same shape with a smaller largest point.
+pub fn fig6_principal_counts() -> Vec<usize> {
+    if std::env::var("FDC_FIG6_FULL").is_ok_and(|v| v == "1") {
+        vec![1_000, 50_000, 1_000_000]
+    } else {
+        vec![1_000, 50_000, 250_000]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labeling_workload_respects_the_atom_bound() {
+        let w = labeling_workload(6, 100);
+        assert_eq!(w.queries.len(), 100);
+        assert_eq!(w.max_atoms, 6);
+        assert!(w.queries.iter().all(|q| q.num_atoms() <= 6));
+    }
+
+    #[test]
+    fn policy_workload_builds_consistent_state() {
+        let w = policy_workload(50, 5, 10, 20);
+        assert_eq!(w.store.len(), 50);
+        assert_eq!(w.labels.len(), 20);
+        assert_eq!(w.num_principals, 50);
+    }
+
+    #[test]
+    fn principal_counts_have_three_points() {
+        assert_eq!(fig6_principal_counts().len(), 3);
+    }
+}

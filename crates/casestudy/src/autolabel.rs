@@ -1,0 +1,265 @@
+//! The data-derived counterfactual: labeling the 42 `User` views
+//! automatically instead of by hand.
+//!
+//! The paper's argument (Sections 1 and 7.1) is that hand-written labels
+//! drift — the two Facebook APIs ended up documenting different permissions
+//! for the same data — whereas a *data-derived* labeler computes the label
+//! from the view definition, so the same data always gets the same label no
+//! matter which API serves it.
+//!
+//! This module builds that counterfactual with the machinery of `fdc-core`:
+//! a single-relation catalog holding all 42 documented attributes, one
+//! security view per permission (each exposing exactly the attributes that
+//! permission actually grants, per the adjudicated "correct" labels), and
+//! the automatic labeler.  [`autolabel_report`] then checks, for every
+//! attribute, that the automatically computed label names exactly the
+//! correct permissions — and, being a single function of the data, it cannot
+//! disagree with itself across APIs.
+
+use std::collections::BTreeMap;
+
+use fdc_core::{BitVectorLabeler, QueryLabeler, SecurityViews};
+use fdc_cq::query::{Arg, QueryBuilder};
+use fdc_cq::{Catalog, ConjunctiveQuery, RelId};
+
+use crate::docs::{documented_views, DocumentedView, PermissionLabel};
+
+/// Name of the synthetic view granting the public (no permission) fields.
+pub const PUBLIC_VIEW: &str = "public_profile";
+/// Name of the synthetic view granting the "any permission" fields.
+pub const BASIC_VIEW: &str = "basic_access";
+
+/// The automatically labeled ecosystem for the 42 documented attributes.
+#[derive(Debug, Clone)]
+pub struct AutoLabeledDocs {
+    /// Catalog with a single `User` relation holding all 42 attributes.
+    pub catalog: Catalog,
+    /// The `User` relation id.
+    pub user: RelId,
+    /// One security view per permission (plus the public and basic views).
+    pub views: SecurityViews,
+    /// The documented views, in the same order as [`documented_views`].
+    pub docs: Vec<DocumentedView>,
+}
+
+/// The permissions a documented view's *correct* label corresponds to, in
+/// security-view terms.
+fn correct_view_names(view: &DocumentedView) -> Vec<String> {
+    match &view.actual_label {
+        PermissionLabel::NoneRequired => vec![PUBLIC_VIEW.to_owned()],
+        PermissionLabel::AnyPermission => vec![BASIC_VIEW.to_owned()],
+        PermissionLabel::OneOf(perms) => perms.iter().map(|p| (*p).to_owned()).collect(),
+        PermissionLabel::Restricted { base, .. } => match base.as_ref() {
+            PermissionLabel::NoneRequired => vec![PUBLIC_VIEW.to_owned()],
+            PermissionLabel::AnyPermission => vec![BASIC_VIEW.to_owned()],
+            PermissionLabel::OneOf(perms) => perms.iter().map(|p| (*p).to_owned()).collect(),
+            PermissionLabel::Restricted { .. } => Vec::new(),
+        },
+    }
+}
+
+/// Builds the single-relation catalog and the per-permission security views.
+pub fn build() -> AutoLabeledDocs {
+    let docs = documented_views();
+
+    // The User relation: one column per documented attribute (FQL names).
+    let attributes: Vec<&str> = docs.iter().map(|v| v.fql_name).collect();
+    let mut catalog = Catalog::new();
+    let user = catalog
+        .add_relation("User", &attributes)
+        .expect("fresh catalog");
+
+    // Group attributes by the permission that grants them.
+    let mut grants: BTreeMap<String, Vec<&str>> = BTreeMap::new();
+    for view in &docs {
+        for permission in correct_view_names(view) {
+            grants.entry(permission).or_default().push(view.fql_name);
+        }
+    }
+
+    // One projection view per permission.
+    let mut views = SecurityViews::new(&catalog);
+    for (permission, columns) in &grants {
+        let mut builder = QueryBuilder::new();
+        let args: Vec<Arg> = attributes
+            .iter()
+            .map(|attr| {
+                let var = if columns.contains(attr) {
+                    builder.dvar(attr)
+                } else {
+                    builder.evar(attr)
+                };
+                Arg::Var(var)
+            })
+            .collect();
+        builder.atom(user, args);
+        let query = builder.build().expect("permission views are valid");
+        views
+            .add(permission, query)
+            .expect("permission names are unique");
+    }
+
+    AutoLabeledDocs {
+        catalog,
+        user,
+        views,
+        docs,
+    }
+}
+
+impl AutoLabeledDocs {
+    /// The single-attribute projection query for one documented attribute.
+    pub fn attribute_query(&self, fql_name: &str) -> ConjunctiveQuery {
+        let attributes = &self.catalog.relation(self.user).attributes;
+        let mut builder = QueryBuilder::new();
+        let args: Vec<Arg> = attributes
+            .iter()
+            .map(|attr| {
+                let var = if attr == fql_name {
+                    builder.dvar(attr)
+                } else {
+                    builder.evar(attr)
+                };
+                Arg::Var(var)
+            })
+            .collect();
+        builder.atom(self.user, args);
+        builder.build().expect("attribute queries are valid")
+    }
+
+    /// Automatically labels one attribute and returns the names of the
+    /// security views (permissions) in its `ℓ⁺`.
+    pub fn automatic_label(&self, fql_name: &str) -> Vec<String> {
+        let labeler = BitVectorLabeler::new(self.views.clone());
+        let label = labeler.label_query(&self.attribute_query(fql_name));
+        let mut names: Vec<String> = label
+            .atoms()
+            .iter()
+            .flat_map(|atom| atom.views(&self.views))
+            .map(|id| self.views.view(id).name.clone())
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+/// One attribute's comparison between the hand-written and automatic labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AutoLabelRow {
+    /// The FQL attribute name.
+    pub attribute: String,
+    /// The permissions the live APIs actually required (adjudicated).
+    pub correct: Vec<String>,
+    /// The permissions the automatic labeler derives.
+    pub automatic: Vec<String>,
+    /// Whether the automatic label matches the correct one.
+    pub matches: bool,
+}
+
+/// Labels all 42 attributes automatically and compares each against the
+/// adjudicated correct label.
+pub fn autolabel_report() -> Vec<AutoLabelRow> {
+    let system = build();
+    let labeler = BitVectorLabeler::new(system.views.clone());
+    system
+        .docs
+        .iter()
+        .map(|doc| {
+            let mut correct = correct_view_names(doc);
+            correct.sort();
+            let label = labeler.label_query(&system.attribute_query(doc.fql_name));
+            let mut automatic: Vec<String> = label
+                .atoms()
+                .iter()
+                .flat_map(|atom| atom.views(&system.views))
+                .map(|id| system.views.view(id).name.clone())
+                .collect();
+            automatic.sort();
+            let matches = automatic == correct;
+            AutoLabelRow {
+                attribute: doc.fql_name.to_owned(),
+                correct,
+                automatic,
+                matches,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_security_view_per_permission_is_created() {
+        let system = build();
+        assert_eq!(system.catalog.arity(system.user), 42);
+        // Every permission mentioned in a correct label is a view, plus the
+        // public and basic views.
+        assert!(system.views.by_name(PUBLIC_VIEW).is_some());
+        assert!(system.views.by_name(BASIC_VIEW).is_some());
+        assert!(system.views.by_name("user_likes").is_some());
+        assert!(system.views.by_name("friends_birthday").is_some());
+        // No stray relations.
+        assert_eq!(system.views.num_relations_covered(), 1);
+    }
+
+    #[test]
+    fn automatic_labels_match_the_adjudicated_correct_labels() {
+        let report = autolabel_report();
+        assert_eq!(report.len(), 42);
+        for row in &report {
+            assert!(
+                row.matches,
+                "attribute {} labeled {:?} but the correct label is {:?}",
+                row.attribute, row.automatic, row.correct
+            );
+        }
+    }
+
+    #[test]
+    fn the_table_2_attributes_get_their_corrected_labels() {
+        let system = build();
+        // quotes: the live APIs required user_likes / friends_likes (the FQL
+        // documentation was right); the automatic label agrees.
+        assert_eq!(
+            system.automatic_label("quotes"),
+            vec!["friends_likes".to_owned(), "user_likes".to_owned()]
+        );
+        // pic: public.
+        assert_eq!(system.automatic_label("pic"), vec![PUBLIC_VIEW.to_owned()]);
+        // profile_url: any authorized app.
+        assert_eq!(
+            system.automatic_label("profile_url"),
+            vec![BASIC_VIEW.to_owned()]
+        );
+        // timezone / devices: basic access (their restriction is about
+        // audience, not about which permission).
+        assert_eq!(system.automatic_label("timezone"), vec![BASIC_VIEW.to_owned()]);
+        assert_eq!(system.automatic_label("devices"), vec![BASIC_VIEW.to_owned()]);
+        // relationship_status: the relationships permissions.
+        assert_eq!(
+            system.automatic_label("relationship_status"),
+            vec![
+                "friends_relationships".to_owned(),
+                "user_relationships".to_owned()
+            ]
+        );
+    }
+
+    #[test]
+    fn automatic_labels_are_api_independent_by_construction() {
+        // The same attribute queried "through FQL" or "through the Graph
+        // API" is the same conjunctive query over the same relation, so the
+        // labeler cannot produce two different answers — the drift of
+        // Table 2 is structurally impossible.
+        let system = build();
+        let via_fql = system.attribute_query("quotes");
+        let via_graph = system.attribute_query("quotes");
+        assert_eq!(via_fql, via_graph);
+        assert_eq!(
+            system.automatic_label("quotes"),
+            system.automatic_label("quotes")
+        );
+    }
+}

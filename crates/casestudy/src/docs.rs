@@ -1,0 +1,296 @@
+//! The documented permission labels of the 42 `User` views (Section 7.1).
+//!
+//! Each [`DocumentedView`] records one attribute of the Facebook `User`
+//! table that was reachable through both FQL and the Graph API, together
+//! with the permission label each API's documentation assigned to it.  The
+//! six views of Table 2 carry the exact labels the paper reports; the
+//! remaining 36 carry the (consistent) labels of the era's documentation:
+//! public profile fields require no permission, extended profile fields
+//! require the matching `user_*` / `friends_*` permission pair.
+
+/// A documented permission label for one API's view of one attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PermissionLabel {
+    /// No permissions are required.
+    NoneRequired,
+    /// Any non-empty set of permissions suffices ("any" in Table 2).
+    AnyPermission,
+    /// One of the listed permissions is required.
+    OneOf(Vec<&'static str>),
+    /// The base requirement plus a documented availability restriction
+    /// (e.g. "only available for the current user").
+    Restricted {
+        /// The underlying permission requirement.
+        base: Box<PermissionLabel>,
+        /// The documented restriction, verbatim.
+        note: &'static str,
+    },
+}
+
+impl PermissionLabel {
+    /// Convenience constructor for the common `user_x or friends_x` pair.
+    pub fn pair(user: &'static str, friends: &'static str) -> Self {
+        PermissionLabel::OneOf(vec![user, friends])
+    }
+
+    /// The permission names mentioned by the label (empty for
+    /// [`NoneRequired`](PermissionLabel::NoneRequired) and
+    /// [`AnyPermission`](PermissionLabel::AnyPermission)).
+    pub fn permissions(&self) -> Vec<&'static str> {
+        match self {
+            PermissionLabel::NoneRequired | PermissionLabel::AnyPermission => Vec::new(),
+            PermissionLabel::OneOf(names) => names.clone(),
+            PermissionLabel::Restricted { base, .. } => base.permissions(),
+        }
+    }
+
+    /// A short human-readable rendering matching the wording of Table 2.
+    pub fn render(&self) -> String {
+        match self {
+            PermissionLabel::NoneRequired => "none".to_owned(),
+            PermissionLabel::AnyPermission => "any".to_owned(),
+            PermissionLabel::OneOf(names) => names.join(" or "),
+            PermissionLabel::Restricted { base, note } => format!("{}; {}", base.render(), note),
+        }
+    }
+}
+
+/// One of the 42 `User` views reachable through both APIs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocumentedView {
+    /// The FQL column name.
+    pub fql_name: &'static str,
+    /// The Graph API field name (sometimes different, e.g. `pic` vs
+    /// `picture`).
+    pub graph_name: &'static str,
+    /// The permission label in the FQL documentation.
+    pub fql_label: PermissionLabel,
+    /// The permission label in the Graph API documentation.
+    pub graph_label: PermissionLabel,
+    /// The label confirmed by probing the live APIs (the paper's "Correct
+    /// Labeling" column); for consistent rows this equals both documented
+    /// labels.
+    pub actual_label: PermissionLabel,
+}
+
+impl DocumentedView {
+    /// True if the two APIs document the same label for this view.
+    pub fn is_consistent(&self) -> bool {
+        self.fql_label == self.graph_label
+    }
+}
+
+fn consistent(
+    fql_name: &'static str,
+    graph_name: &'static str,
+    label: PermissionLabel,
+) -> DocumentedView {
+    DocumentedView {
+        fql_name,
+        graph_name,
+        fql_label: label.clone(),
+        graph_label: label.clone(),
+        actual_label: label,
+    }
+}
+
+/// The 42 documented `User` views compared in Section 7.1.
+pub fn documented_views() -> Vec<DocumentedView> {
+    use PermissionLabel::{AnyPermission, NoneRequired};
+
+    let mut views = Vec::with_capacity(42);
+
+    // ---- The 36 consistent views -----------------------------------------
+    // Public profile fields: no permissions required in either API.
+    for (fql, graph) in [
+        ("uid", "id"),
+        ("name", "name"),
+        ("first_name", "first_name"),
+        ("middle_name", "middle_name"),
+        ("last_name", "last_name"),
+        ("sex", "gender"),
+        ("locale", "locale"),
+        ("username", "username"),
+    ] {
+        views.push(consistent(fql, graph, NoneRequired));
+    }
+    // Fields available to any authorized app ("any" permissions).
+    for (fql, graph) in [
+        ("is_app_user", "installed"),
+        ("third_party_id", "third_party_id"),
+        ("verified", "verified"),
+        ("updated_time", "updated_time"),
+    ] {
+        views.push(consistent(fql, graph, AnyPermission));
+    }
+    // Extended profile fields: the matching user_* / friends_* pair.
+    for (fql, graph, user_perm, friends_perm) in [
+        ("about_me", "bio", "user_about_me", "friends_about_me"),
+        ("activities", "activities", "user_activities", "friends_activities"),
+        ("birthday", "birthday", "user_birthday", "friends_birthday"),
+        ("birthday_date", "birthday_date", "user_birthday", "friends_birthday"),
+        ("books", "books", "user_likes", "friends_likes"),
+        ("education", "education", "user_education_history", "friends_education_history"),
+        ("hometown_location", "hometown", "user_hometown", "friends_hometown"),
+        ("interests", "interests", "user_interests", "friends_interests"),
+        ("languages", "languages", "user_likes", "friends_likes"),
+        ("current_location", "location", "user_location", "friends_location"),
+        ("meeting_for", "interested_in", "user_relationship_details", "friends_relationship_details"),
+        ("meeting_sex", "interested_in_sex", "user_relationship_details", "friends_relationship_details"),
+        ("movies", "movies", "user_likes", "friends_likes"),
+        ("music", "music", "user_likes", "friends_likes"),
+        ("political", "political", "user_religion_politics", "friends_religion_politics"),
+        ("relationship_details", "significant_other", "user_relationships", "friends_relationships"),
+        ("religion", "religion", "user_religion_politics", "friends_religion_politics"),
+        ("sports", "sports", "user_likes", "friends_likes"),
+        ("tv", "television", "user_likes", "friends_likes"),
+        ("website", "website", "user_website", "friends_website"),
+        ("work", "work", "user_work_history", "friends_work_history"),
+        ("checkins", "checkins", "user_checkins", "friends_checkins"),
+        ("events", "events", "user_events", "friends_events"),
+    ] {
+        views.push(consistent(fql, graph, PermissionLabel::pair(user_perm, friends_perm)));
+    }
+    // email is granted by the single `email` permission in both APIs.
+    views.push(consistent(
+        "email",
+        "email",
+        PermissionLabel::OneOf(vec!["email"]),
+    ));
+
+    // ---- The six Table 2 inconsistencies ----------------------------------
+    // pic ("picture" in the Graph API).
+    views.push(DocumentedView {
+        fql_name: "pic",
+        graph_name: "picture",
+        fql_label: NoneRequired,
+        graph_label: PermissionLabel::Restricted {
+            base: Box::new(AnyPermission),
+            note: "for pages with whitelisting/targeting restrictions, otherwise none",
+        },
+        actual_label: NoneRequired, // Table 2: correct labeling is FQL's.
+    });
+    // timezone.
+    views.push(DocumentedView {
+        fql_name: "timezone",
+        graph_name: "timezone",
+        fql_label: AnyPermission,
+        graph_label: PermissionLabel::Restricted {
+            base: Box::new(AnyPermission),
+            note: "available only for the current user",
+        },
+        actual_label: PermissionLabel::Restricted {
+            base: Box::new(AnyPermission),
+            note: "available only for the current user",
+        }, // Table 2: correct labeling is the Graph API's.
+    });
+    // devices.
+    views.push(DocumentedView {
+        fql_name: "devices",
+        graph_name: "devices",
+        fql_label: AnyPermission,
+        graph_label: PermissionLabel::Restricted {
+            base: Box::new(AnyPermission),
+            note: "only available for friends of the current user",
+        },
+        actual_label: PermissionLabel::Restricted {
+            base: Box::new(AnyPermission),
+            note: "only available for friends of the current user",
+        }, // Table 2: correct labeling is the Graph API's.
+    });
+    // relationship_status.
+    views.push(DocumentedView {
+        fql_name: "relationship_status",
+        graph_name: "relationship_status",
+        fql_label: AnyPermission,
+        graph_label: PermissionLabel::pair("user_relationships", "friends_relationships"),
+        actual_label: PermissionLabel::pair("user_relationships", "friends_relationships"),
+        // Table 2: correct labeling is the Graph API's.
+    });
+    // quotes.
+    views.push(DocumentedView {
+        fql_name: "quotes",
+        graph_name: "quotes",
+        fql_label: PermissionLabel::pair("user_likes", "friends_likes"),
+        graph_label: PermissionLabel::pair("user_about_me", "friends_about_me"),
+        actual_label: PermissionLabel::pair("user_likes", "friends_likes"),
+        // Table 2: correct labeling is FQL's.
+    });
+    // profile_url ("link" in the Graph API).
+    views.push(DocumentedView {
+        fql_name: "profile_url",
+        graph_name: "link",
+        fql_label: AnyPermission,
+        graph_label: NoneRequired,
+        actual_label: AnyPermission, // Table 2: correct labeling is FQL's.
+    });
+
+    views
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_exactly_42_documented_views() {
+        assert_eq!(documented_views().len(), 42);
+    }
+
+    #[test]
+    fn view_names_are_unique_within_each_api() {
+        let views = documented_views();
+        let mut fql: Vec<&str> = views.iter().map(|v| v.fql_name).collect();
+        fql.sort_unstable();
+        fql.dedup();
+        assert_eq!(fql.len(), 42, "duplicate FQL column names");
+    }
+
+    #[test]
+    fn exactly_six_views_are_inconsistent() {
+        let views = documented_views();
+        let inconsistent: Vec<&str> = views
+            .iter()
+            .filter(|v| !v.is_consistent())
+            .map(|v| v.fql_name)
+            .collect();
+        assert_eq!(
+            inconsistent,
+            vec![
+                "pic",
+                "timezone",
+                "devices",
+                "relationship_status",
+                "quotes",
+                "profile_url"
+            ]
+        );
+    }
+
+    #[test]
+    fn actual_labels_match_one_of_the_documented_sides() {
+        for view in documented_views() {
+            assert!(
+                view.actual_label == view.fql_label || view.actual_label == view.graph_label,
+                "{} has an actual label matching neither API",
+                view.fql_name
+            );
+        }
+    }
+
+    #[test]
+    fn permission_label_helpers() {
+        let pair = PermissionLabel::pair("user_likes", "friends_likes");
+        assert_eq!(pair.permissions(), vec!["user_likes", "friends_likes"]);
+        assert_eq!(pair.render(), "user_likes or friends_likes");
+        assert_eq!(PermissionLabel::NoneRequired.render(), "none");
+        assert_eq!(PermissionLabel::AnyPermission.render(), "any");
+        assert!(PermissionLabel::AnyPermission.permissions().is_empty());
+        let restricted = PermissionLabel::Restricted {
+            base: Box::new(PermissionLabel::pair("a", "b")),
+            note: "friends only",
+        };
+        assert_eq!(restricted.permissions(), vec!["a", "b"]);
+        assert!(restricted.render().contains("friends only"));
+    }
+}

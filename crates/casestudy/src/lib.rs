@@ -1,0 +1,33 @@
+//! The Facebook permissions case study (Section 7.1, Table 2).
+//!
+//! Facebook exposed user data through two query interfaces — FQL and the
+//! Graph API — and documented, for every queryable view, the set of
+//! permissions an app must hold to receive an answer.  Those documented
+//! permission sets are hand-written disclosure labels.  The paper reviews 42
+//! `User`-table views that are reachable through both APIs, compares the two
+//! hand-written labels for each, and finds **six** views whose documented
+//! labels disagree (Table 2); probing the live APIs showed the discrepancies
+//! were documentation errors.
+//!
+//! This crate reproduces that review against an in-repo model of the
+//! documentation (the live 2013-era APIs no longer exist; the substitution
+//! is recorded in `DESIGN.md`):
+//!
+//! * [`docs`] — the 42 documented views with their FQL and Graph-API
+//!   permission labels, including the six Table 2 discrepancies verbatim;
+//! * [`review`] — the automatic cross-API inconsistency detector and the
+//!   Table 2 report it produces;
+//! * [`autolabel`] — the counterfactual the paper argues for: deriving the
+//!   labels automatically from per-permission security views, which
+//!   reproduces the adjudicated "correct" labels and is consistent across
+//!   APIs by construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod autolabel;
+pub mod docs;
+pub mod review;
+
+pub use docs::{documented_views, DocumentedView, PermissionLabel};
+pub use review::{review_documentation, CorrectSide, Discrepancy, ReviewReport};

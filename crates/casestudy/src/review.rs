@@ -1,0 +1,216 @@
+//! The cross-API documentation review (Table 2).
+//!
+//! [`review_documentation`] runs the comparison the authors performed by
+//! hand: for every `User` view reachable through both APIs, compare the two
+//! documented permission labels; where they disagree, record which side the
+//! live-API probe confirmed.  The resulting [`ReviewReport`] regenerates
+//! Table 2 row for row.
+
+use std::fmt;
+
+use crate::docs::{documented_views, DocumentedView, PermissionLabel};
+
+/// Which API's documentation turned out to be correct for a discrepancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrectSide {
+    /// The FQL documentation matched the live behaviour.
+    Fql,
+    /// The Graph API documentation matched the live behaviour.
+    GraphApi,
+    /// Neither documented label matched the live behaviour.
+    Neither,
+}
+
+impl fmt::Display for CorrectSide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorrectSide::Fql => write!(f, "FQL"),
+            CorrectSide::GraphApi => write!(f, "Graph API"),
+            CorrectSide::Neither => write!(f, "neither"),
+        }
+    }
+}
+
+/// One row of Table 2: a view whose two documented labels disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Discrepancy {
+    /// The attribute, named as in FQL (with the Graph API alias when it
+    /// differs, mirroring the paper's "pic ('picture' in Graph API)").
+    pub attribute: String,
+    /// The FQL documentation's permission label.
+    pub fql: PermissionLabel,
+    /// The Graph API documentation's permission label.
+    pub graph_api: PermissionLabel,
+    /// Which documentation the live APIs agreed with.
+    pub correct: CorrectSide,
+}
+
+impl Discrepancy {
+    fn from_view(view: &DocumentedView) -> Self {
+        let attribute = if view.fql_name == view.graph_name {
+            view.fql_name.to_owned()
+        } else {
+            format!("{} (\"{}\" in Graph API)", view.fql_name, view.graph_name)
+        };
+        let correct = if view.actual_label == view.fql_label {
+            CorrectSide::Fql
+        } else if view.actual_label == view.graph_label {
+            CorrectSide::GraphApi
+        } else {
+            CorrectSide::Neither
+        };
+        Discrepancy {
+            attribute,
+            fql: view.fql_label.clone(),
+            graph_api: view.graph_label.clone(),
+            correct,
+        }
+    }
+}
+
+/// The outcome of the documentation review.
+#[derive(Debug, Clone)]
+pub struct ReviewReport {
+    /// Total number of views compared (42 in the paper).
+    pub views_compared: usize,
+    /// The discrepancies found (6 in the paper), in documentation order.
+    pub discrepancies: Vec<Discrepancy>,
+}
+
+impl ReviewReport {
+    /// Number of views whose documented labels agree.
+    pub fn consistent(&self) -> usize {
+        self.views_compared - self.discrepancies.len()
+    }
+
+    /// Renders the report as a Table 2-style text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Compared {} User views across FQL and the Graph API; {} inconsistent.\n\n",
+            self.views_compared,
+            self.discrepancies.len()
+        ));
+        out.push_str(&format!(
+            "{:<42} | {:<34} | {:<52} | {}\n",
+            "Attribute", "FQL Permissions", "Graph API Permissions", "Correct Labeling"
+        ));
+        out.push_str(&"-".repeat(150));
+        out.push('\n');
+        for d in &self.discrepancies {
+            out.push_str(&format!(
+                "{:<42} | {:<34} | {:<52} | {}\n",
+                d.attribute,
+                d.fql.render(),
+                d.graph_api.render(),
+                d.correct
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the Section 7.1 review over the documented views.
+pub fn review_documentation() -> ReviewReport {
+    review_views(&documented_views())
+}
+
+/// Runs the review over an arbitrary collection of documented views (used by
+/// tests and by what-if analyses).
+pub fn review_views(views: &[DocumentedView]) -> ReviewReport {
+    let discrepancies = views
+        .iter()
+        .filter(|v| !v.is_consistent())
+        .map(Discrepancy::from_view)
+        .collect();
+    ReviewReport {
+        views_compared: views.len(),
+        discrepancies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docs::PermissionLabel;
+
+    #[test]
+    fn the_review_reproduces_table_2() {
+        let report = review_documentation();
+        assert_eq!(report.views_compared, 42);
+        assert_eq!(report.discrepancies.len(), 6);
+        assert_eq!(report.consistent(), 36);
+
+        let rows: Vec<(&str, CorrectSide)> = report
+            .discrepancies
+            .iter()
+            .map(|d| (d.attribute.as_str(), d.correct))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                ("pic (\"picture\" in Graph API)", CorrectSide::Fql),
+                ("timezone", CorrectSide::GraphApi),
+                ("devices", CorrectSide::GraphApi),
+                ("relationship_status", CorrectSide::GraphApi),
+                ("quotes", CorrectSide::Fql),
+                ("profile_url (\"link\" in Graph API)", CorrectSide::Fql),
+            ]
+        );
+    }
+
+    #[test]
+    fn the_quotes_row_matches_the_paper_verbatim() {
+        let report = review_documentation();
+        let quotes = report
+            .discrepancies
+            .iter()
+            .find(|d| d.attribute == "quotes")
+            .unwrap();
+        assert_eq!(quotes.fql.render(), "user_likes or friends_likes");
+        assert_eq!(quotes.graph_api.render(), "user_about_me or friends_about_me");
+        assert_eq!(quotes.correct, CorrectSide::Fql);
+    }
+
+    #[test]
+    fn table_rendering_contains_every_row() {
+        let table = review_documentation().to_table();
+        for attr in ["pic", "timezone", "devices", "relationship_status", "quotes", "profile_url"] {
+            assert!(table.contains(attr), "missing row for {attr}");
+        }
+        assert!(table.contains("Correct Labeling"));
+        assert!(table.contains("42"));
+        assert!(table.contains('6'));
+    }
+
+    #[test]
+    fn consistent_documentation_produces_an_empty_report() {
+        let views = vec![crate::docs::DocumentedView {
+            fql_name: "name",
+            graph_name: "name",
+            fql_label: PermissionLabel::NoneRequired,
+            graph_label: PermissionLabel::NoneRequired,
+            actual_label: PermissionLabel::NoneRequired,
+        }];
+        let report = review_views(&views);
+        assert_eq!(report.views_compared, 1);
+        assert!(report.discrepancies.is_empty());
+        assert_eq!(report.consistent(), 1);
+    }
+
+    #[test]
+    fn neither_side_correct_is_detected() {
+        let views = vec![crate::docs::DocumentedView {
+            fql_name: "mystery",
+            graph_name: "mystery",
+            fql_label: PermissionLabel::NoneRequired,
+            graph_label: PermissionLabel::AnyPermission,
+            actual_label: PermissionLabel::pair("user_mystery", "friends_mystery"),
+        }];
+        let report = review_views(&views);
+        assert_eq!(report.discrepancies[0].correct, CorrectSide::Neither);
+        assert_eq!(CorrectSide::Neither.to_string(), "neither");
+        assert_eq!(CorrectSide::Fql.to_string(), "FQL");
+        assert_eq!(CorrectSide::GraphApi.to_string(), "Graph API");
+    }
+}

@@ -1,0 +1,276 @@
+//! The generic labeling procedures of Sections 3.3 and 4, instantiated for
+//! sets of single-atom views under the equivalent view rewriting order.
+//!
+//! These functions operate directly on view *sets* (slices of single-atom
+//! [`ConjunctiveQuery`] values) and are faithful transcriptions of the
+//! paper's pseudocode:
+//!
+//! * [`naive_label`] — `NaïveLabel(F, W)` from Section 3.3: scan an explicit
+//!   label family in order of increasing disclosure.
+//! * [`glb_label`] — `GLBLabel(Fd, W)` from Section 4.1: running GLB of the
+//!   downward-generating-set elements that reveal at least as much as `W`.
+//! * [`label_gen`] — `LabelGen(Fgen, W)` from Section 4.2: label each view
+//!   of `W` separately and union the results.
+//!
+//! The production labelers in [`crate::labeler`] are optimized variants of
+//! `LabelGen` (hash partitioning, `ℓ⁺` bit vectors); the functions here are
+//! used by tests, by the examples, and to cross-check the optimized
+//! implementations on the paper's worked examples.
+
+use fdc_cq::rewriting::{rewritable_from_any, set_rewritable};
+use fdc_cq::ConjunctiveQuery;
+
+use crate::unify::glb_sets;
+
+/// `W1 ⪯ W2` under equivalent view rewriting for sets of single-atom views.
+pub fn views_leq(w1: &[ConjunctiveQuery], w2: &[ConjunctiveQuery]) -> bool {
+    set_rewritable(w1, w2)
+}
+
+/// `NaïveLabel(F, W)` (Section 3.3): returns the index in `f` of the first
+/// element, in increasing-disclosure order, that reveals at least as much as
+/// `w`; `None` plays the role of ⊤ (no element of `f` suffices).
+pub fn naive_label(f: &[Vec<ConjunctiveQuery>], w: &[ConjunctiveQuery]) -> Option<usize> {
+    // Sort indices into a linear extension of the disclosure order: an
+    // element that lies below many others must come before them, and if
+    // F[i] ⪯ F[j] then (by transitivity) the up-set of F[i] contains that of
+    // F[j], so ordering by decreasing up-set size puts F[i] first.
+    let mut order: Vec<usize> = (0..f.len()).collect();
+    let dominates = |i: usize, j: usize| views_leq(&f[i], &f[j]);
+    order.sort_by_key(|&i| std::cmp::Reverse((0..f.len()).filter(|&j| dominates(i, j)).count()));
+    order.into_iter().find(|&i| views_leq(w, &f[i]))
+}
+
+/// `GLBLabel(Fd, W)` (Section 4.1): the GLB of the elements of the downward
+/// generating set `fd` that reveal at least as much as `w`.
+///
+/// The result is returned as a set of single-atom views; an empty result
+/// means ⊥ only when some element of `fd` was above `w`, and ⊤ (nothing in
+/// `fd` suffices) is signalled by `None`.
+pub fn glb_label(
+    fd: &[Vec<ConjunctiveQuery>],
+    w: &[ConjunctiveQuery],
+) -> Option<Vec<ConjunctiveQuery>> {
+    let mut running: Option<Vec<ConjunctiveQuery>> = None;
+    for candidate in fd {
+        if views_leq(w, candidate) {
+            running = Some(match running {
+                None => candidate.clone(),
+                Some(current) => glb_sets(&current, candidate),
+            });
+        }
+    }
+    running
+}
+
+/// `LabelGen(Fgen, W)` (Section 4.2): label each view of `w` separately with
+/// `GLBLabel` against the singleton generating set and union the results.
+///
+/// Returns one entry per view of `w`: the set of generating views that can
+/// answer it (`ℓ⁺`), or `None` for ⊤ (the view is unanswerable from `fgen`).
+pub fn label_gen<'a>(
+    fgen: &'a [ConjunctiveQuery],
+    w: &[ConjunctiveQuery],
+) -> Vec<Option<Vec<&'a ConjunctiveQuery>>> {
+    w.iter()
+        .map(|v| {
+            let above: Vec<&ConjunctiveQuery> = fgen
+                .iter()
+                .filter(|candidate| {
+                    rewritable_from_any(v, std::iter::once(*candidate))
+                })
+                .collect();
+            if above.is_empty() {
+                None
+            } else {
+                Some(above)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdc_cq::{parser::parse_query, Catalog};
+
+    fn catalog() -> Catalog {
+        Catalog::paper_example()
+    }
+
+    fn q(c: &Catalog, s: &str) -> ConjunctiveQuery {
+        parse_query(c, s).unwrap()
+    }
+
+    /// The Figure 3 universe as explicit view sets.
+    struct Fig3 {
+        v1: ConjunctiveQuery,
+        v2: ConjunctiveQuery,
+        v4: ConjunctiveQuery,
+        v5: ConjunctiveQuery,
+    }
+
+    fn fig3() -> (Catalog, Fig3) {
+        let c = catalog();
+        let views = Fig3 {
+            v1: q(&c, "V1(x, y) :- Meetings(x, y)"),
+            v2: q(&c, "V2(x) :- Meetings(x, y)"),
+            v4: q(&c, "V4(y) :- Meetings(x, y)"),
+            v5: q(&c, "V5() :- Meetings(x, y)"),
+        };
+        (c, views)
+    }
+
+    #[test]
+    fn views_leq_reproduces_figure_3_relationships() {
+        let (_, f) = fig3();
+        assert!(views_leq(
+            std::slice::from_ref(&f.v5),
+            std::slice::from_ref(&f.v2)
+        ));
+        assert!(views_leq(
+            &[f.v2.clone(), f.v4.clone()],
+            std::slice::from_ref(&f.v1)
+        ));
+        assert!(!views_leq(
+            std::slice::from_ref(&f.v1),
+            &[f.v2.clone(), f.v4.clone()]
+        ));
+        // The empty set is below everything.
+        assert!(views_leq(&[], std::slice::from_ref(&f.v5)));
+    }
+
+    #[test]
+    fn naive_label_picks_the_least_sufficient_family_element() {
+        let (_, f) = fig3();
+        // F = {∅, {V5}, {V2}, {V4}, {V2,V4}, {V1}} — the family induced by
+        // the Figure 3 universe.
+        let family: Vec<Vec<ConjunctiveQuery>> = vec![
+            vec![],
+            vec![f.v5.clone()],
+            vec![f.v2.clone()],
+            vec![f.v4.clone()],
+            vec![f.v2.clone(), f.v4.clone()],
+            vec![f.v1.clone()],
+        ];
+        // Labeling V5 picks {V5}, not one of the bigger elements.
+        let idx = naive_label(&family, std::slice::from_ref(&f.v5)).unwrap();
+        assert_eq!(idx, 1);
+        // Labeling V2 picks {V2}.
+        assert_eq!(naive_label(&family, std::slice::from_ref(&f.v2)), Some(2));
+        // Labeling {V2, V4} picks the pair.
+        assert_eq!(
+            naive_label(&family, &[f.v2.clone(), f.v4.clone()]),
+            Some(4)
+        );
+        // Labeling V1 needs the top of the family.
+        assert_eq!(naive_label(&family, std::slice::from_ref(&f.v1)), Some(5));
+        // The empty query set labels to ∅.
+        assert_eq!(naive_label(&family, &[]), Some(0));
+    }
+
+    #[test]
+    fn naive_label_returns_none_when_nothing_suffices() {
+        let (_, f) = fig3();
+        let family: Vec<Vec<ConjunctiveQuery>> = vec![vec![], vec![f.v2.clone()]];
+        assert_eq!(naive_label(&family, std::slice::from_ref(&f.v1)), None);
+    }
+
+    #[test]
+    fn glb_label_example_4_4() {
+        // Labeling the single-column projection V9 against the downward
+        // generating set {{V3}, {V6}, {V7}, {V8}} yields GLB({V3},{V6},{V7})
+        // ≡ {V9}.
+        let c = catalog();
+        let v3 = q(&c, "V3(x, y, z) :- Contacts(x, y, z)");
+        let v6 = q(&c, "V6(x, y) :- Contacts(x, y, z)");
+        let v7 = q(&c, "V7(x, z) :- Contacts(x, y, z)");
+        let v8 = q(&c, "V8(y, z) :- Contacts(x, y, z)");
+        let v9 = q(&c, "V9(x) :- Contacts(x, y, z)");
+
+        let fd: Vec<Vec<ConjunctiveQuery>> = vec![
+            vec![v3.clone()],
+            vec![v6.clone()],
+            vec![v7.clone()],
+            vec![v8.clone()],
+        ];
+        let label = glb_label(&fd, std::slice::from_ref(&v9)).expect("V9 is answerable");
+        // The GLB collapses to a single view equivalent to V9 itself.
+        assert!(label
+            .iter()
+            .any(|view| fdc_cq::containment::equivalent(view, &v9)));
+        assert!(label
+            .iter()
+            .all(|view| fdc_cq::containment::contained_in(view, &v9)
+                || fdc_cq::containment::contained_in(&v9, view)
+                || fdc_cq::containment::equivalent(view, &v9)));
+    }
+
+    #[test]
+    fn glb_label_returns_top_when_unanswerable() {
+        let c = catalog();
+        let v2 = q(&c, "V2(x) :- Meetings(x, y)");
+        let v9 = q(&c, "V9(x) :- Contacts(x, y, z)");
+        let fd = vec![vec![v2.clone()]];
+        assert_eq!(glb_label(&fd, std::slice::from_ref(&v9)), None);
+    }
+
+    #[test]
+    fn label_gen_matches_the_figure_1_walkthrough() {
+        // Fgen = the Figure 1 security views {V1, V2, V3}; labeling the
+        // dissected Q2 = {M(xd, yd), C(yd, we, 'Intern')} yields {V1} for the
+        // first atom and {V3} for the second — the paper's label {V1, V3}.
+        let c = catalog();
+        let fgen = vec![
+            q(&c, "V1(x, y) :- Meetings(x, y)"),
+            q(&c, "V2(x) :- Meetings(x, y)"),
+            q(&c, "V3(x, y, z) :- Contacts(x, y, z)"),
+        ];
+        let w = vec![
+            q(&c, "P(x, y) :- Meetings(x, y)"),
+            q(&c, "P(y) :- Contacts(y, w, 'Intern')"),
+        ];
+        let labels = label_gen(&fgen, &w);
+        assert_eq!(labels.len(), 2);
+        let first: Vec<String> = labels[0]
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(|v| v.display_with(&c).to_string())
+            .collect();
+        assert_eq!(first.len(), 1);
+        assert!(first[0].contains("Meetings(x, y)"));
+        let second = labels[1].as_ref().unwrap();
+        assert_eq!(second.len(), 1);
+        assert!(fdc_cq::containment::equivalent(second[0], &fgen[2]));
+    }
+
+    #[test]
+    fn label_gen_flags_unanswerable_views_as_top() {
+        let c = catalog();
+        // Only the time-column view is available; the full Meetings view is
+        // unanswerable.
+        let fgen = vec![q(&c, "V2(x) :- Meetings(x, y)")];
+        let w = vec![
+            q(&c, "P(x, y) :- Meetings(x, y)"),
+            q(&c, "P(x) :- Meetings(x, y)"),
+        ];
+        let labels = label_gen(&fgen, &w);
+        assert!(labels[0].is_none());
+        assert_eq!(labels[1].as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn label_gen_collects_every_sufficient_view() {
+        let c = catalog();
+        // Both the full view and the projection can answer the projection
+        // query, so ℓ⁺ has two elements.
+        let fgen = vec![
+            q(&c, "V1(x, y) :- Meetings(x, y)"),
+            q(&c, "V2(x) :- Meetings(x, y)"),
+        ];
+        let w = vec![q(&c, "P(x) :- Meetings(x, y)")];
+        let labels = label_gen(&fgen, &w);
+        assert_eq!(labels[0].as_ref().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types for the labeling layer.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LabelError>;
+
+/// Errors produced while registering security views or labeling queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelError {
+    /// A security view was not a single-atom conjunctive query.
+    NotSingleAtom {
+        /// Name of the offending view.
+        view: String,
+    },
+    /// A security view name was registered twice.
+    DuplicateView(String),
+    /// Too many security views were registered for one relation to fit the
+    /// packed bit-vector representation (Section 6.1 uses 32 bits per
+    /// relation; we allow up to 64).
+    TooManyViewsForRelation {
+        /// Relation name.
+        relation: String,
+        /// Number of views that would be required.
+        count: usize,
+    },
+    /// A query failed validation against the catalog.
+    InvalidQuery(String),
+}
+
+impl fmt::Display for LabelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelError::NotSingleAtom { view } => {
+                write!(f, "security view `{view}` must have exactly one body atom")
+            }
+            LabelError::DuplicateView(name) => {
+                write!(f, "security view `{name}` is already registered")
+            }
+            LabelError::TooManyViewsForRelation { relation, count } => write!(
+                f,
+                "relation `{relation}` would need {count} security-view bits; the packed representation supports at most 64"
+            ),
+            LabelError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LabelError {}
+
+impl From<fdc_cq::CqError> for LabelError {
+    fn from(e: fdc_cq::CqError) -> Self {
+        LabelError::InvalidQuery(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(LabelError::NotSingleAtom { view: "V9".into() }
+            .to_string()
+            .contains("V9"));
+        assert!(LabelError::DuplicateView("user_likes".into())
+            .to_string()
+            .contains("user_likes"));
+        assert!(LabelError::TooManyViewsForRelation {
+            relation: "User".into(),
+            count: 99
+        }
+        .to_string()
+        .contains("99"));
+        assert!(LabelError::InvalidQuery("bad".into()).to_string().contains("bad"));
+    }
+
+    #[test]
+    fn cq_errors_convert() {
+        let e: LabelError = fdc_cq::CqError::EmptyBody.into();
+        assert!(matches!(e, LabelError::InvalidQuery(_)));
+    }
+}

@@ -1,0 +1,168 @@
+//! The equivalent-view-rewriting disclosure order over a finite universe of
+//! registered security views, as an [`fdc_order::DisclosureOrder`].
+//!
+//! The production labelers never materialize a disclosure lattice, but the
+//! abstract machinery of `fdc-order` (explicit lattices, labeler-existence
+//! checks, lattice-cut policies) needs a concrete order to work with.
+//! [`RewritingOrder`] provides it: the universe is the set of views in a
+//! [`SecurityViews`] registry, and `W1 ⪯ W2` holds when every view of `W1`
+//! has an equivalent rewriting in terms of the views of `W2`.
+//!
+//! Because security views are single-atom, rewritability from a set reduces
+//! to rewritability from one of its members (see
+//! [`fdc_cq::rewriting`]), which also makes the universe *decomposable* in
+//! the sense of Definition 4.7 — the property that justifies the
+//! generating-set labeling of Section 4.2.
+
+use fdc_cq::rewriting::rewritable_from_single;
+use fdc_order::{DisclosureOrder, ViewId, ViewSet};
+
+use crate::security_views::{SecurityViewId, SecurityViews};
+
+/// The rewriting order over the views of a [`SecurityViews`] registry.
+///
+/// Pairwise rewritability between the registered views is precomputed, so
+/// `leq` is a pure bit-set computation.
+#[derive(Debug, Clone)]
+pub struct RewritingOrder {
+    /// `derivable[i]` = bit set of views from which view `i` is rewritable
+    /// (always includes `i` itself).
+    derivable_from: Vec<ViewSet>,
+}
+
+impl RewritingOrder {
+    /// Builds the order for a registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry has more than 64 views (the abstract lattice
+    /// machinery is meant for small universes; the production labelers have
+    /// no such limit).
+    pub fn new(registry: &SecurityViews) -> Self {
+        let n = registry.len();
+        assert!(
+            n <= fdc_order::view::MAX_UNIVERSE,
+            "RewritingOrder supports at most {} views",
+            fdc_order::view::MAX_UNIVERSE
+        );
+        let mut derivable_from = vec![ViewSet::new(); n];
+        for (i, (_, target)) in registry.iter().enumerate() {
+            for (j, (_, source)) in registry.iter().enumerate() {
+                if rewritable_from_single(&target.query, &source.query) {
+                    derivable_from[i].insert(ViewId(j as u32));
+                }
+            }
+        }
+        RewritingOrder { derivable_from }
+    }
+
+    /// Converts a registry view id into an order-level view id.
+    pub fn view_id(&self, id: SecurityViewId) -> ViewId {
+        ViewId(id.0)
+    }
+
+    /// Converts a set of registry ids into an order-level [`ViewSet`].
+    pub fn view_set<I: IntoIterator<Item = SecurityViewId>>(&self, ids: I) -> ViewSet {
+        ids.into_iter().map(|id| ViewId(id.0)).collect()
+    }
+}
+
+impl DisclosureOrder for RewritingOrder {
+    fn universe_size(&self) -> usize {
+        self.derivable_from.len()
+    }
+
+    fn leq(&self, w1: ViewSet, w2: ViewSet) -> bool {
+        w1.iter()
+            .all(|v| !self.derivable_from[v.index()].intersection(w2).is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdc_cq::Catalog;
+    use fdc_order::{downset::downset, lattice::DisclosureLattice, order::check_disclosure_order_axioms};
+
+    /// Registry holding the four Meetings views of Figure 3.
+    fn figure3_registry() -> SecurityViews {
+        let catalog = Catalog::paper_example();
+        let mut views = SecurityViews::new(&catalog);
+        views
+            .add_program(
+                r"
+                V1(x, y) :- Meetings(x, y)
+                V2(x)    :- Meetings(x, y)
+                V4(y)    :- Meetings(x, y)
+                V5()     :- Meetings(x, y)
+                ",
+            )
+            .unwrap();
+        views
+    }
+
+    #[test]
+    fn rewriting_order_satisfies_the_disclosure_order_axioms() {
+        let registry = figure3_registry();
+        let order = RewritingOrder::new(&registry);
+        assert_eq!(order.universe_size(), 4);
+        check_disclosure_order_axioms(&order).unwrap();
+    }
+
+    #[test]
+    fn figure_3_lattice_emerges_from_the_rewriting_order() {
+        let registry = figure3_registry();
+        let order = RewritingOrder::new(&registry);
+        let lattice = DisclosureLattice::build(&order);
+        assert_eq!(lattice.len(), 6);
+
+        let id = |name: &str| order.view_id(registry.id_by_name(name).unwrap());
+        let v2 = ViewSet::singleton(id("V2"));
+        let v4 = ViewSet::singleton(id("V4"));
+        let v5 = ViewSet::singleton(id("V5"));
+        let v1 = ViewSet::singleton(id("V1"));
+
+        // GLB(⇓{V2}, ⇓{V4}) = ⇓{V5}; LUB is strictly below ⊤.
+        let e2 = lattice.classify(&order, v2);
+        let e4 = lattice.classify(&order, v4);
+        let e5 = lattice.classify(&order, v5);
+        assert_eq!(lattice.glb(e2, e4), e5);
+        let lub = lattice.lub(&order, e2, e4);
+        assert_ne!(lub, lattice.top());
+        assert_eq!(lattice.classify(&order, v1), lattice.top());
+    }
+
+    #[test]
+    fn the_universe_is_decomposable() {
+        let registry = figure3_registry();
+        let order = RewritingOrder::new(&registry);
+        assert!(fdc_order::genset::is_decomposable(&order));
+        // ... and therefore the lattice is distributive (Theorem 4.8).
+        let lattice = DisclosureLattice::build(&order);
+        assert!(lattice.is_distributive(&order));
+    }
+
+    #[test]
+    fn downsets_match_direct_rewriting_checks() {
+        let registry = figure3_registry();
+        let order = RewritingOrder::new(&registry);
+        let v1 = order.view_set([registry.id_by_name("V1").unwrap()]);
+        let d = downset(&order, v1);
+        // Everything is derivable from the full Meetings view.
+        assert_eq!(d, ViewSet::full(4));
+        let v5 = order.view_set([registry.id_by_name("V5").unwrap()]);
+        assert_eq!(downset(&order, v5).len(), 1);
+    }
+
+    #[test]
+    fn view_set_conversion_round_trips() {
+        let registry = figure3_registry();
+        let order = RewritingOrder::new(&registry);
+        let ids: Vec<SecurityViewId> = registry.iter().map(|(id, _)| id).collect();
+        let set = order.view_set(ids.clone());
+        assert_eq!(set.len(), ids.len());
+        for id in ids {
+            assert!(set.contains(order.view_id(id)));
+        }
+    }
+}

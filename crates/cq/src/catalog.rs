@@ -1,0 +1,244 @@
+//! Relational schemas: relation names, attribute names, and arities.
+//!
+//! A [`Catalog`] plays the role of the "schema of a fixed database D" from
+//! Section 2.3 of the paper.  Queries and security views are always defined
+//! against a catalog; the catalog assigns each relation a dense [`RelId`]
+//! which the rest of the system uses for cheap hashing, array indexing and
+//! the packed bit-vector label representation of Section 6.1.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{CqError, Result};
+
+/// Identifier of a relation within a [`Catalog`].
+///
+/// Ids are dense (0, 1, 2, …) in registration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// Returns the id as a usize, convenient for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rel#{}", self.0)
+    }
+}
+
+/// Schema of a single relation: its name and attribute names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    /// Relation name, e.g. `"Meetings"`.
+    pub name: String,
+    /// Attribute names in positional order, e.g. `["time", "person"]`.
+    pub attributes: Vec<String>,
+}
+
+impl RelationSchema {
+    /// Number of attributes (arity) of the relation.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Returns the position of an attribute by name, if present.
+    pub fn attribute_position(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a == name)
+    }
+}
+
+/// A relational schema: an ordered collection of [`RelationSchema`]s.
+///
+/// # Example
+///
+/// ```
+/// use fdc_cq::Catalog;
+///
+/// let mut catalog = Catalog::new();
+/// let meetings = catalog.add_relation("Meetings", &["time", "person"]).unwrap();
+/// let contacts = catalog.add_relation("Contacts", &["person", "email", "position"]).unwrap();
+///
+/// assert_eq!(catalog.relation(meetings).name, "Meetings");
+/// assert_eq!(catalog.relation(contacts).arity(), 3);
+/// assert_eq!(catalog.resolve("Meetings"), Some(meetings));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Catalog {
+    relations: Vec<RelationSchema>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a relation with the given attribute names.
+    ///
+    /// Returns the fresh [`RelId`].  Fails with
+    /// [`CqError::DuplicateRelation`] if the name is already taken.
+    pub fn add_relation<S: AsRef<str>>(&mut self, name: &str, attributes: &[S]) -> Result<RelId> {
+        if self.by_name.contains_key(name) {
+            return Err(CqError::DuplicateRelation(name.to_owned()));
+        }
+        let id = RelId(self.relations.len() as u32);
+        self.relations.push(RelationSchema {
+            name: name.to_owned(),
+            attributes: attributes.iter().map(|a| a.as_ref().to_owned()).collect(),
+        });
+        self.by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Registers a relation with synthetic attribute names `a0, a1, …`.
+    ///
+    /// Useful for generated schemas where attribute names do not matter.
+    pub fn add_relation_with_arity(&mut self, name: &str, arity: usize) -> Result<RelId> {
+        let attrs: Vec<String> = (0..arity).map(|i| format!("a{i}")).collect();
+        self.add_relation(name, &attrs)
+    }
+
+    /// Looks up a relation id by name.
+    pub fn resolve(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the schema of a relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this catalog.
+    pub fn relation(&self, id: RelId) -> &RelationSchema {
+        &self.relations[id.index()]
+    }
+
+    /// Returns the arity of a relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this catalog.
+    pub fn arity(&self, id: RelId) -> usize {
+        self.relations[id.index()].arity()
+    }
+
+    /// Returns the name of a relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this catalog.
+    pub fn name(&self, id: RelId) -> &str {
+        &self.relations[id.index()].name
+    }
+
+    /// Number of relations in the catalog.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True if the catalog has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Iterates over `(RelId, &RelationSchema)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &RelationSchema)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i as u32), r))
+    }
+
+    /// Builds the Meetings/Contacts example catalog from Figure 1 of the paper.
+    ///
+    /// `Meetings(time, person)` and `Contacts(person, email, position)`.
+    pub fn paper_example() -> Self {
+        let mut c = Catalog::new();
+        c.add_relation("Meetings", &["time", "person"])
+            .expect("fresh catalog");
+        c.add_relation("Contacts", &["person", "email", "position"])
+            .expect("fresh catalog");
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_resolve_relations() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        let m = c.add_relation("Meetings", &["time", "person"]).unwrap();
+        let k = c.add_relation("Contacts", &["person", "email", "position"]).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(m, RelId(0));
+        assert_eq!(k, RelId(1));
+        assert_eq!(c.resolve("Meetings"), Some(m));
+        assert_eq!(c.resolve("Contacts"), Some(k));
+        assert_eq!(c.resolve("Nope"), None);
+        assert_eq!(c.name(m), "Meetings");
+        assert_eq!(c.arity(k), 3);
+        assert_eq!(c.relation(k).attribute_position("email"), Some(1));
+        assert_eq!(c.relation(k).attribute_position("missing"), None);
+    }
+
+    #[test]
+    fn duplicate_relation_is_rejected() {
+        let mut c = Catalog::new();
+        c.add_relation("User", &["uid"]).unwrap();
+        let err = c.add_relation("User", &["uid", "name"]).unwrap_err();
+        assert_eq!(err, CqError::DuplicateRelation("User".into()));
+        // The failed insertion must not have modified the catalog.
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.arity(RelId(0)), 1);
+    }
+
+    #[test]
+    fn synthetic_attribute_names() {
+        let mut c = Catalog::new();
+        let r = c.add_relation_with_arity("Wide", 4).unwrap();
+        assert_eq!(c.relation(r).attributes, vec!["a0", "a1", "a2", "a3"]);
+        assert_eq!(c.arity(r), 4);
+    }
+
+    #[test]
+    fn iteration_preserves_registration_order() {
+        let mut c = Catalog::new();
+        c.add_relation("A", &["x"]).unwrap();
+        c.add_relation("B", &["x", "y"]).unwrap();
+        let names: Vec<&str> = c.iter().map(|(_, r)| r.name.as_str()).collect();
+        assert_eq!(names, vec!["A", "B"]);
+        let ids: Vec<RelId> = c.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![RelId(0), RelId(1)]);
+    }
+
+    #[test]
+    fn paper_example_catalog_matches_figure_1() {
+        let c = Catalog::paper_example();
+        assert_eq!(c.len(), 2);
+        let m = c.resolve("Meetings").unwrap();
+        let k = c.resolve("Contacts").unwrap();
+        assert_eq!(c.arity(m), 2);
+        assert_eq!(c.arity(k), 3);
+        assert_eq!(c.relation(m).attributes, vec!["time", "person"]);
+        assert_eq!(
+            c.relation(k).attributes,
+            vec!["person", "email", "position"]
+        );
+    }
+
+    #[test]
+    fn rel_id_display_and_index() {
+        assert_eq!(RelId(3).to_string(), "rel#3");
+        assert_eq!(RelId(3).index(), 3);
+    }
+}

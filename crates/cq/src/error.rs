@@ -1,0 +1,106 @@
+//! Error types for the conjunctive-query substrate.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CqError>;
+
+/// Errors produced while building, parsing or validating conjunctive queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CqError {
+    /// A relation name was registered twice in the same catalog.
+    DuplicateRelation(String),
+    /// A relation name was referenced but never registered.
+    UnknownRelation(String),
+    /// An atom was built with the wrong number of arguments for its relation.
+    ArityMismatch {
+        /// Relation the atom refers to.
+        relation: String,
+        /// Arity declared in the catalog.
+        expected: usize,
+        /// Number of arguments the atom was given.
+        found: usize,
+    },
+    /// A head variable does not appear in the query body (unsafe query).
+    UnsafeHeadVariable(String),
+    /// The same variable name was used with conflicting distinguished /
+    /// existential tags.
+    ConflictingVariableKind(String),
+    /// The parser failed; the payload is a human-readable message including
+    /// the offending position.
+    Parse(String),
+    /// A query had no body atoms.
+    EmptyBody,
+}
+
+impl fmt::Display for CqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` is already defined in the catalog")
+            }
+            CqError::UnknownRelation(name) => {
+                write!(f, "relation `{name}` is not defined in the catalog")
+            }
+            CqError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected} but the atom has {found} arguments"
+            ),
+            CqError::UnsafeHeadVariable(v) => {
+                write!(f, "head variable `{v}` does not appear in the query body")
+            }
+            CqError::ConflictingVariableKind(v) => write!(
+                f,
+                "variable `{v}` is used both as distinguished and as existential"
+            ),
+            CqError::Parse(msg) => write!(f, "parse error: {msg}"),
+            CqError::EmptyBody => write!(f, "conjunctive queries must have at least one body atom"),
+        }
+    }
+}
+
+impl std::error::Error for CqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CqError::ArityMismatch {
+            relation: "Meetings".into(),
+            expected: 2,
+            found: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("Meetings"));
+        assert!(msg.contains('2'));
+        assert!(msg.contains('3'));
+
+        assert!(CqError::DuplicateRelation("User".into())
+            .to_string()
+            .contains("User"));
+        assert!(CqError::UnknownRelation("Ghost".into())
+            .to_string()
+            .contains("Ghost"));
+        assert!(CqError::UnsafeHeadVariable("x".into()).to_string().contains('x'));
+        assert!(CqError::ConflictingVariableKind("y".into())
+            .to_string()
+            .contains('y'));
+        assert!(CqError::Parse("bad token".into()).to_string().contains("bad token"));
+        assert!(!CqError::EmptyBody.to_string().is_empty());
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(CqError::EmptyBody, CqError::EmptyBody);
+        assert_ne!(
+            CqError::DuplicateRelation("A".into()),
+            CqError::DuplicateRelation("B".into())
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Query folding (core computation).
+//!
+//! The `Dissect` labeling algorithm of Section 5.2 "begins by computing a
+//! folding [9] of Q, which intuitively removes 'redundant' atoms from Q".
+//! A folding is a minimal equivalent sub-query: the *core* of the query in
+//! the sense of Chandra–Merlin.
+//!
+//! As the paper's complexity analysis notes (Section 6.1), query folding is
+//! NP-hard in general and the reference implementation uses a brute-force
+//! search.  We do the same: an atom is redundant if there is a homomorphism
+//! from the query into the remaining atoms that fixes distinguished
+//! variables.  Atoms are removed greedily until a fixpoint is reached, which
+//! yields a core because homomorphisms compose.
+
+use crate::atom::Atom;
+use crate::homomorphism::{find_homomorphism_into, HeadPolicy};
+use crate::query::ConjunctiveQuery;
+
+/// Computes a folding (core) of the query: an equivalent query whose body is
+/// a minimal subset of the original atoms.
+///
+/// The returned query shares the variable table of the input, so variables
+/// keep their ids, names and kinds.  Some variables may no longer appear in
+/// the body; since they were redundant this does not affect distinguished
+/// variables (a distinguished variable always survives folding because
+/// folding homomorphisms fix it).
+pub fn fold(query: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut atoms: Vec<Atom> = query.atoms().to_vec();
+    if atoms.len() <= 1 {
+        return query.clone();
+    }
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < atoms.len() {
+            if atoms.len() == 1 {
+                break;
+            }
+            // An atom can only fold away if some *other* atom references the
+            // same relation (its image must live somewhere); skipping the
+            // expensive homomorphism search otherwise is a large win on the
+            // multi-relation queries the workload generator produces.
+            let has_sibling = atoms
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && other.relation == atoms[i].relation);
+            if !has_sibling {
+                i += 1;
+                continue;
+            }
+            let mut candidate = atoms.clone();
+            candidate.remove(i);
+            // The query is equivalent to the reduced atom set iff the full
+            // query maps homomorphically into the reduced set while fixing
+            // distinguished variables (the reverse direction is trivial
+            // because the reduced set is a subset).
+            if find_homomorphism_into(query, &candidate, query, HeadPolicy::Identity).is_some() {
+                atoms = candidate;
+                removed_any = true;
+                // Restart scanning: removing one atom can expose further
+                // redundancy at earlier positions.
+                i = 0;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+    query.with_atoms_unchecked(atoms)
+}
+
+/// True if the query is already a core (folding it removes nothing).
+pub fn is_folded(query: &ConjunctiveQuery) -> bool {
+    fold(query).num_atoms() == query.num_atoms()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::containment::equivalent_same_space;
+    use crate::parser::parse_query;
+
+    fn catalog() -> Catalog {
+        Catalog::paper_example()
+    }
+
+    #[test]
+    fn single_atom_queries_are_already_folded() {
+        let c = catalog();
+        let q = parse_query(&c, "Q(x) :- Meetings(x, 'Cathy')").unwrap();
+        let folded = fold(&q);
+        assert_eq!(folded, q);
+        assert!(is_folded(&q));
+    }
+
+    #[test]
+    fn duplicate_projection_atoms_fold_away() {
+        let c = catalog();
+        let q = parse_query(&c, "Q(x) :- Meetings(x, y), Meetings(x, z)").unwrap();
+        let folded = fold(&q);
+        assert_eq!(folded.num_atoms(), 1);
+        assert!(equivalent_same_space(&folded, &q));
+        assert!(!is_folded(&q));
+    }
+
+    #[test]
+    fn joins_do_not_fold() {
+        let c = catalog();
+        let q2 = parse_query(&c, "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')").unwrap();
+        let folded = fold(&q2);
+        assert_eq!(folded.num_atoms(), 2);
+        assert!(is_folded(&q2));
+    }
+
+    #[test]
+    fn more_specific_atom_absorbs_a_general_one() {
+        let c = catalog();
+        // The unconstrained Meetings atom is implied by the constrained one
+        // only when its variables are free to map there: here y is
+        // existential and x is shared, so Meetings(x, y) folds into
+        // Meetings(x, 'Cathy').
+        let q = parse_query(&c, "Q(x) :- Meetings(x, 'Cathy'), Meetings(x, y)").unwrap();
+        let folded = fold(&q);
+        assert_eq!(folded.num_atoms(), 1);
+        assert!(folded.atoms()[0].has_constants());
+        assert!(equivalent_same_space(&folded, &q));
+    }
+
+    #[test]
+    fn distinguished_variables_block_folding() {
+        let c = catalog();
+        // Same shape as above but y is distinguished, so the second atom
+        // carries information of its own and must survive.
+        let q = parse_query(&c, "Q(x, y) :- Meetings(x, 'Cathy'), Meetings(x, y)").unwrap();
+        let folded = fold(&q);
+        assert_eq!(folded.num_atoms(), 2);
+    }
+
+    #[test]
+    fn chains_of_redundant_atoms_fold_to_a_single_atom() {
+        let c = catalog();
+        let q = parse_query(
+            &c,
+            "Q() :- Meetings(a, b), Meetings(c, d), Meetings(e, f), Meetings(g, h)",
+        )
+        .unwrap();
+        let folded = fold(&q);
+        assert_eq!(folded.num_atoms(), 1);
+        assert!(equivalent_same_space(&folded, &q));
+    }
+
+    #[test]
+    fn folding_is_idempotent() {
+        let c = catalog();
+        let q = parse_query(
+            &c,
+            "Q(x) :- Meetings(x, y), Meetings(x, z), Contacts(y, w, 'Intern'), Contacts(y, u, p)",
+        )
+        .unwrap();
+        let once = fold(&q);
+        let twice = fold(&once);
+        assert_eq!(once, twice);
+        assert!(equivalent_same_space(&once, &q));
+    }
+
+    #[test]
+    fn self_join_with_repeated_variable_is_kept() {
+        let c = catalog();
+        // Meetings(x, x) is strictly more restrictive than Meetings(x, y):
+        // the general atom folds into it, but not vice versa, and the
+        // diagonal must stay because x is distinguished.
+        let q = parse_query(&c, "Q(x) :- Meetings(x, x), Meetings(x, y)").unwrap();
+        let folded = fold(&q);
+        assert_eq!(folded.num_atoms(), 1);
+        assert!(folded.atoms()[0].has_repeated_vars());
+    }
+}

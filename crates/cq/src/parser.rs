@@ -1,0 +1,472 @@
+//! A small datalog-style parser for the paper's query notation.
+//!
+//! The grammar accepted is the notation used throughout the paper:
+//!
+//! ```text
+//! V2(x)      :- Meetings(x, y)
+//! Q2(x)      :- Meetings(x, y) ∧ Contacts(y, w, 'Intern')
+//! Q2(x)      :- Meetings(x, y), Contacts(y, w, 'Intern')
+//! V13()      :- Meetings(9, 'Jim')
+//! ```
+//!
+//! * The head determines which variables are *distinguished*; every other
+//!   variable is *existential*.
+//! * Body atoms are separated by `,` or `∧` (or `&`).
+//! * Constants are single- or double-quoted strings, or integers.
+//! * Bare identifiers are variables.
+//! * Relation names are resolved against a [`Catalog`]; arities are checked.
+
+use crate::atom::Atom;
+use crate::catalog::Catalog;
+use crate::error::{CqError, Result};
+use crate::query::ConjunctiveQuery;
+use crate::term::{Constant, Term, VarId, VarKind};
+use std::collections::HashMap;
+
+/// Parses a conjunctive query in datalog notation against a catalog.
+///
+/// See the [module documentation](self) for the accepted grammar.
+pub fn parse_query(catalog: &Catalog, input: &str) -> Result<ConjunctiveQuery> {
+    Parser::new(input).parse(catalog)
+}
+
+/// Parses several `;`- or newline-separated queries.
+///
+/// Blank lines and lines starting with `#` or `%` are ignored, which makes it
+/// convenient to keep a set of security views in a small text block:
+///
+/// ```
+/// use fdc_cq::{Catalog, parser::parse_program};
+///
+/// let catalog = Catalog::paper_example();
+/// let views = parse_program(&catalog, r"
+///     % Figure 1 (b)
+///     V1(x, y) :- Meetings(x, y)
+///     V2(x)    :- Meetings(x, y)
+///     V3(x, y, z) :- Contacts(x, y, z)
+/// ").unwrap();
+/// assert_eq!(views.len(), 3);
+/// assert_eq!(views[1].0, "V2");
+/// ```
+pub fn parse_program(catalog: &Catalog, input: &str) -> Result<Vec<(String, ConjunctiveQuery)>> {
+    let mut out = Vec::new();
+    for raw_line in input.split(['\n', ';']) {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parser = Parser::new(line);
+        let name = parser.peek_head_name()?;
+        let query = parser.parse(catalog)?;
+        out.push((name, query));
+    }
+    Ok(out)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    LParen,
+    RParen,
+    Comma,
+    Turnstile, // ":-"
+    And,       // "∧" or "&"
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            tokens: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CqError {
+        CqError::Parse(format!("{} (in `{}`)", msg.into(), self.input.trim()))
+    }
+
+    fn tokenize(&mut self) -> Result<()> {
+        if !self.tokens.is_empty() {
+            return Ok(());
+        }
+        let mut chars = self.input.char_indices().peekable();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {}
+                '(' => self.tokens.push(Token::LParen),
+                ')' => self.tokens.push(Token::RParen),
+                ',' => self.tokens.push(Token::Comma),
+                '∧' => self.tokens.push(Token::And),
+                '&' => {
+                    // Accept both `&` and `&&`.
+                    if matches!(chars.peek(), Some((_, '&'))) {
+                        chars.next();
+                    }
+                    self.tokens.push(Token::And);
+                }
+                ':' => match chars.next() {
+                    Some((_, '-')) => self.tokens.push(Token::Turnstile),
+                    _ => return Err(self.err(format!("expected `:-` at byte {i}"))),
+                },
+                '\'' | '"' => {
+                    let quote = c;
+                    let mut s = String::new();
+                    let mut closed = false;
+                    for (_, c2) in chars.by_ref() {
+                        if c2 == quote {
+                            closed = true;
+                            break;
+                        }
+                        s.push(c2);
+                    }
+                    if !closed {
+                        return Err(self.err("unterminated string constant"));
+                    }
+                    self.tokens.push(Token::Str(s));
+                }
+                c if c.is_ascii_digit() || c == '-' => {
+                    let mut s = String::new();
+                    s.push(c);
+                    while let Some((_, c2)) = chars.peek() {
+                        if c2.is_ascii_digit() {
+                            s.push(*c2);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let value: i64 = s
+                        .parse()
+                        .map_err(|_| self.err(format!("invalid integer `{s}`")))?;
+                    self.tokens.push(Token::Int(value));
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let mut s = String::new();
+                    s.push(c);
+                    while let Some((_, c2)) = chars.peek() {
+                        if c2.is_alphanumeric() || *c2 == '_' {
+                            s.push(*c2);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.tokens.push(Token::Ident(s));
+                }
+                other => return Err(self.err(format!("unexpected character `{other}`"))),
+            }
+        }
+        Ok(())
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, expected: &Token, what: &str) -> Result<()> {
+        match self.next_token() {
+            Some(ref t) if t == expected => Ok(()),
+            Some(t) => Err(self.err(format!("expected {what}, found {t:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String> {
+        match self.next_token() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(t) => Err(self.err(format!("expected {what}, found {t:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    /// Returns the head name without consuming tokens (used by
+    /// [`parse_program`] to recover view names).
+    fn peek_head_name(&mut self) -> Result<String> {
+        self.tokenize()?;
+        match self.tokens.first() {
+            Some(Token::Ident(s)) => Ok(s.clone()),
+            _ => Err(self.err("expected a head predicate name")),
+        }
+    }
+
+    fn parse(mut self, catalog: &Catalog) -> Result<ConjunctiveQuery> {
+        self.tokenize()?;
+
+        // ---- head -----------------------------------------------------
+        let _head_name = self.expect_ident("a head predicate name")?;
+        self.expect(&Token::LParen, "`(`")?;
+        let mut head_vars: Vec<String> = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                match self.next_token() {
+                    Some(Token::Ident(v)) => head_vars.push(v),
+                    Some(t) => {
+                        return Err(self.err(format!(
+                            "head arguments must be variables, found {t:?}"
+                        )))
+                    }
+                    None => return Err(self.err("unterminated head")),
+                }
+                match self.peek() {
+                    Some(Token::Comma) => {
+                        self.next_token();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.expect(&Token::RParen, "`)` closing the head")?;
+        self.expect(&Token::Turnstile, "`:-`")?;
+
+        // ---- body -----------------------------------------------------
+        let mut names: HashMap<String, VarId> = HashMap::new();
+        let mut var_names: Vec<String> = Vec::new();
+        let mut var_kinds: Vec<VarKind> = Vec::new();
+        let declare = |name: &str,
+                           names: &mut HashMap<String, VarId>,
+                           var_names: &mut Vec<String>,
+                           var_kinds: &mut Vec<VarKind>|
+         -> VarId {
+            if let Some(&v) = names.get(name) {
+                return v;
+            }
+            let id = VarId(var_names.len() as u32);
+            let kind = if head_vars.iter().any(|h| h == name) {
+                VarKind::Distinguished
+            } else {
+                VarKind::Existential
+            };
+            var_names.push(name.to_owned());
+            var_kinds.push(kind);
+            names.insert(name.to_owned(), id);
+            id
+        };
+
+        let mut atoms: Vec<Atom> = Vec::new();
+        loop {
+            let rel_name = self.expect_ident("a relation name")?;
+            let relation = catalog
+                .resolve(&rel_name)
+                .ok_or_else(|| CqError::UnknownRelation(rel_name.clone()))?;
+            self.expect(&Token::LParen, "`(`")?;
+            let mut terms: Vec<Term> = Vec::new();
+            if self.peek() != Some(&Token::RParen) {
+                loop {
+                    match self.next_token() {
+                        Some(Token::Ident(v)) => {
+                            let id = declare(&v, &mut names, &mut var_names, &mut var_kinds);
+                            terms.push(Term::Var(id, var_kinds[id.index()]));
+                        }
+                        Some(Token::Str(s)) => terms.push(Term::Const(Constant::Str(s))),
+                        Some(Token::Int(i)) => terms.push(Term::Const(Constant::Int(i))),
+                        Some(t) => {
+                            return Err(self.err(format!("unexpected token {t:?} in atom")))
+                        }
+                        None => return Err(self.err("unterminated atom")),
+                    }
+                    match self.peek() {
+                        Some(Token::Comma) => {
+                            self.next_token();
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            self.expect(&Token::RParen, "`)` closing the atom")?;
+            let atom = Atom::new(relation, terms);
+            atom.validate(catalog)?;
+            atoms.push(atom);
+
+            match self.peek() {
+                Some(Token::Comma) | Some(Token::And) => {
+                    self.next_token();
+                }
+                None => break,
+                Some(t) => return Err(self.err(format!("unexpected token {t:?} after atom"))),
+            }
+        }
+
+        // Every head variable must appear in the body (safety).
+        for h in &head_vars {
+            if !names.contains_key(h) {
+                return Err(CqError::UnsafeHeadVariable(h.clone()));
+            }
+        }
+
+        ConjunctiveQuery::from_parts(atoms, var_kinds, var_names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::VarKind;
+
+    fn catalog() -> Catalog {
+        Catalog::paper_example()
+    }
+
+    #[test]
+    fn parses_figure_1_views_and_queries() {
+        let c = catalog();
+        let v1 = parse_query(&c, "V1(x, y) :- Meetings(x, y)").unwrap();
+        assert_eq!(v1.num_atoms(), 1);
+        assert_eq!(v1.distinguished_vars().count(), 2);
+
+        let v2 = parse_query(&c, "V2(x) :- Meetings(x, y)").unwrap();
+        assert_eq!(v2.distinguished_vars().count(), 1);
+        assert_eq!(v2.existential_vars().count(), 1);
+
+        let q1 = parse_query(&c, "Q1(x) :- Meetings(x, 'Cathy')").unwrap();
+        assert!(q1.atoms()[0].has_constants());
+
+        let q2 = parse_query(&c, "Q2(x) :- Meetings(x, y) ∧ Contacts(y, w, 'Intern')").unwrap();
+        assert_eq!(q2.num_atoms(), 2);
+        assert_eq!(q2.existential_vars().count(), 2);
+
+        // Comma-separated body means the same thing.
+        let q2b = parse_query(&c, "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')").unwrap();
+        assert_eq!(q2, q2b);
+        // `&` works too.
+        let q2c = parse_query(&c, "Q2(x) :- Meetings(x, y) & Contacts(y, w, 'Intern')").unwrap();
+        assert_eq!(q2, q2c);
+    }
+
+    #[test]
+    fn parses_boolean_and_constant_queries() {
+        let c = catalog();
+        let v5 = parse_query(&c, "V5() :- Meetings(x, y)").unwrap();
+        assert!(v5.is_boolean());
+
+        let v13 = parse_query(&c, "V13() :- Meetings(9, 'Jim')").unwrap();
+        assert!(v13.is_boolean());
+        assert_eq!(v13.num_vars(), 0);
+        assert!(v13.atoms()[0].has_constants());
+
+        let neg = parse_query(&c, "V() :- Meetings(-3, y)").unwrap();
+        assert_eq!(
+            neg.atoms()[0].terms[0],
+            Term::Const(Constant::Int(-3))
+        );
+    }
+
+    #[test]
+    fn double_quotes_and_repeated_vars() {
+        let c = catalog();
+        let q = parse_query(&c, r#"V(x) :- Contacts(x, x, "Intern")"#).unwrap();
+        assert!(q.atoms()[0].has_repeated_vars());
+        assert_eq!(q.var_kind(VarId(0)), VarKind::Distinguished);
+    }
+
+    #[test]
+    fn head_variable_kinds_follow_the_head() {
+        let c = catalog();
+        let q = parse_query(&c, "V6(x, y) :- Contacts(x, y, z)").unwrap();
+        let kinds: Vec<VarKind> = (0..q.num_vars() as u32)
+            .map(|i| q.var_kind(VarId(i)))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                VarKind::Distinguished,
+                VarKind::Distinguished,
+                VarKind::Existential
+            ]
+        );
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let c = catalog();
+        let text = "Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')";
+        let q = parse_query(&c, text).unwrap();
+        assert_eq!(q.display_with(&c).to_string(), text);
+        let reparsed = parse_query(&c, &q.display_with(&c).to_string()).unwrap();
+        assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn unknown_relation_is_reported() {
+        let c = catalog();
+        let err = parse_query(&c, "Q(x) :- Nothing(x)").unwrap_err();
+        assert_eq!(err, CqError::UnknownRelation("Nothing".into()));
+    }
+
+    #[test]
+    fn arity_errors_are_reported() {
+        let c = catalog();
+        let err = parse_query(&c, "Q(x) :- Meetings(x)").unwrap_err();
+        assert!(matches!(err, CqError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn unsafe_head_variable_is_reported() {
+        let c = catalog();
+        let err = parse_query(&c, "Q(z) :- Meetings(x, y)").unwrap_err();
+        assert_eq!(err, CqError::UnsafeHeadVariable("z".into()));
+    }
+
+    #[test]
+    fn malformed_inputs_are_parse_errors() {
+        let c = catalog();
+        for bad in [
+            "",
+            "Q(x)",
+            "Q(x) : Meetings(x, y)",
+            "Q(x) :- Meetings(x, y",
+            "Q(x) :- Meetings(x, 'unclosed)",
+            "Q('c') :- Meetings(x, y)",
+            "Q(x) :- Meetings(x, y) extra",
+            "Q(x) :- Meetings(x, !)",
+        ] {
+            let err = parse_query(&c, bad).unwrap_err();
+            assert!(
+                matches!(err, CqError::Parse(_) | CqError::EmptyBody),
+                "input `{bad}` should fail with a parse error, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_program_collects_named_views() {
+        let c = catalog();
+        let views = parse_program(
+            &c,
+            r"
+            # security views from Figure 1 (b)
+            V1(x, y) :- Meetings(x, y)
+            V2(x)    :- Meetings(x, y)
+            % a comment in a different style
+            V3(x, y, z) :- Contacts(x, y, z); V5() :- Meetings(x, y)
+            ",
+        )
+        .unwrap();
+        let names: Vec<&str> = views.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["V1", "V2", "V3", "V5"]);
+        assert!(views[3].1.is_boolean());
+    }
+
+    #[test]
+    fn parse_program_propagates_errors() {
+        let c = catalog();
+        assert!(parse_program(&c, "V1(x, y) :- Missing(x, y)").is_err());
+        assert!(parse_program(&c, "garbage").is_err());
+    }
+}

@@ -1,0 +1,641 @@
+//! Conjunctive queries in the paper's tagged-variable representation.
+//!
+//! Section 5 of the paper works with "a modified representation of
+//! conjunctive queries where we associate each query with a list of its body
+//! atoms and discard the head", tagging each variable as *distinguished* or
+//! *existential*.  [`ConjunctiveQuery`] is exactly that representation, plus
+//! enough bookkeeping (variable names, head order) to pretty-print queries in
+//! the familiar `Q(x) :- R(x, y)` notation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::atom::Atom;
+use crate::catalog::{Catalog, RelId};
+use crate::error::{CqError, Result};
+use crate::term::{Constant, Term, VarId, VarKind};
+
+/// A conjunctive query: a list of body atoms with tagged variables.
+///
+/// Invariants maintained by the constructors:
+///
+/// * every variable id in `0..num_vars()` occurs in at least one atom;
+/// * each variable has exactly one kind (recorded in the query and mirrored
+///   by the tag on every occurrence);
+/// * the body is non-empty.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConjunctiveQuery {
+    atoms: Vec<Atom>,
+    var_kinds: Vec<VarKind>,
+    var_names: Vec<String>,
+}
+
+impl ConjunctiveQuery {
+    /// Builds a query from parts, validating the internal invariants.
+    ///
+    /// `var_kinds[i]` and `var_names[i]` describe variable `VarId(i)`.
+    pub fn from_parts(
+        atoms: Vec<Atom>,
+        var_kinds: Vec<VarKind>,
+        var_names: Vec<String>,
+    ) -> Result<Self> {
+        if atoms.is_empty() {
+            return Err(CqError::EmptyBody);
+        }
+        assert_eq!(
+            var_kinds.len(),
+            var_names.len(),
+            "var_kinds and var_names must describe the same variables"
+        );
+        let mut seen = vec![false; var_kinds.len()];
+        for atom in &atoms {
+            for term in &atom.terms {
+                if let Term::Var(v, kind) = term {
+                    let Some(expected) = var_kinds.get(v.index()) else {
+                        return Err(CqError::ConflictingVariableKind(format!(
+                            "variable {v} is out of range"
+                        )));
+                    };
+                    if *expected != *kind {
+                        return Err(CqError::ConflictingVariableKind(
+                            var_names
+                                .get(v.index())
+                                .cloned()
+                                .unwrap_or_else(|| v.to_string()),
+                        ));
+                    }
+                    seen[v.index()] = true;
+                }
+            }
+        }
+        if let Some(unused) = seen.iter().position(|s| !s) {
+            // A declared distinguished variable that never occurs in the body
+            // makes the query unsafe; an unused existential variable is just
+            // a builder bug.  Both are rejected.
+            return Err(CqError::UnsafeHeadVariable(var_names[unused].clone()));
+        }
+        Ok(ConjunctiveQuery {
+            atoms,
+            var_kinds,
+            var_names,
+        })
+    }
+
+    /// Builds a query from atoms alone, inferring variable kinds from the
+    /// tags on the terms and synthesizing names (`x0`, `x1`, …).
+    ///
+    /// Fails if the same variable id carries conflicting tags.
+    pub fn from_atoms(atoms: Vec<Atom>) -> Result<Self> {
+        if atoms.is_empty() {
+            return Err(CqError::EmptyBody);
+        }
+        let mut kinds: HashMap<VarId, VarKind> = HashMap::new();
+        let mut max_var: Option<u32> = None;
+        for atom in &atoms {
+            for term in &atom.terms {
+                if let Term::Var(v, kind) = term {
+                    match kinds.entry(*v) {
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            if *e.get() != *kind {
+                                return Err(CqError::ConflictingVariableKind(v.to_string()));
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(*kind);
+                        }
+                    }
+                    max_var = Some(max_var.map_or(v.0, |m| m.max(v.0)));
+                }
+            }
+        }
+        let n = max_var.map_or(0, |m| m as usize + 1);
+        let mut var_kinds = Vec::with_capacity(n);
+        let mut var_names = Vec::with_capacity(n);
+        for i in 0..n {
+            let v = VarId(i as u32);
+            let kind = kinds.get(&v).copied().ok_or_else(|| {
+                CqError::ConflictingVariableKind(format!("variable {v} has a gap in numbering"))
+            })?;
+            var_kinds.push(kind);
+            var_names.push(format!("x{i}"));
+        }
+        ConjunctiveQuery::from_parts(atoms, var_kinds, var_names)
+    }
+
+    /// The body atoms.
+    #[inline]
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Number of body atoms.
+    #[inline]
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.var_kinds.len()
+    }
+
+    /// The kind (distinguished / existential) of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable does not belong to this query.
+    #[inline]
+    pub fn var_kind(&self, v: VarId) -> VarKind {
+        self.var_kinds[v.index()]
+    }
+
+    /// The name of a variable (used only for display).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable does not belong to this query.
+    #[inline]
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// All variable kinds, indexed by variable id.
+    #[inline]
+    pub fn var_kinds(&self) -> &[VarKind] {
+        &self.var_kinds
+    }
+
+    /// Iterates over the distinguished variables in id order.
+    pub fn distinguished_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.var_kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.is_distinguished())
+            .map(|(i, _)| VarId(i as u32))
+    }
+
+    /// Iterates over the existential variables in id order.
+    pub fn existential_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.var_kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.is_existential())
+            .map(|(i, _)| VarId(i as u32))
+    }
+
+    /// True if the query has a single body atom.
+    #[inline]
+    pub fn is_single_atom(&self) -> bool {
+        self.atoms.len() == 1
+    }
+
+    /// True if the query has no distinguished variables (a boolean query).
+    pub fn is_boolean(&self) -> bool {
+        self.var_kinds.iter().all(|k| k.is_existential())
+    }
+
+    /// The set of relations referenced by the body, deduplicated, in first
+    /// occurrence order.
+    pub fn relations_used(&self) -> Vec<RelId> {
+        let mut out = Vec::new();
+        for atom in &self.atoms {
+            if !out.contains(&atom.relation) {
+                out.push(atom.relation);
+            }
+        }
+        out
+    }
+
+    /// Counts how many atoms reference each variable.
+    ///
+    /// Used by `Dissect` to find join variables (existential variables that
+    /// appear in at least two atoms must be promoted to distinguished).
+    pub fn atoms_per_variable(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.num_vars()];
+        for atom in &self.atoms {
+            let mut seen_in_atom = vec![false; self.num_vars()];
+            for v in atom.variables() {
+                if !seen_in_atom[v.index()] {
+                    seen_in_atom[v.index()] = true;
+                    counts[v.index()] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Validates every atom's arity against a catalog.
+    pub fn validate(&self, catalog: &Catalog) -> Result<()> {
+        for atom in &self.atoms {
+            atom.validate(catalog)?;
+        }
+        Ok(())
+    }
+
+    /// Renders the query in datalog notation using the catalog for relation
+    /// names, e.g. `Q(x, y) :- Meetings(x, y)`.
+    ///
+    /// The head lists the distinguished variables in order of first
+    /// occurrence in the body, which is how the paper's examples are written.
+    pub fn display_with<'a>(&'a self, catalog: &'a Catalog) -> QueryDisplay<'a> {
+        QueryDisplay {
+            query: self,
+            catalog,
+            head_name: "Q",
+        }
+    }
+
+    /// Like [`display_with`](Self::display_with) with an explicit head name.
+    pub fn display_named<'a>(&'a self, catalog: &'a Catalog, head_name: &'a str) -> QueryDisplay<'a> {
+        QueryDisplay {
+            query: self,
+            catalog,
+            head_name,
+        }
+    }
+
+    /// The distinguished variables in order of first occurrence in the body.
+    pub fn head_vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        for atom in &self.atoms {
+            for v in atom.variables() {
+                if self.var_kind(v).is_distinguished() && !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds a query from parts without requiring every declared variable to
+    /// occur in the body.
+    ///
+    /// Used internally by the rewriting machinery: the *expansion* of a
+    /// candidate rewriting lives in the variable space of the original query
+    /// plus fresh existential variables, and some of the original query's
+    /// existential variables may simply not occur in it.  Kind consistency is
+    /// still enforced.
+    pub(crate) fn from_parts_allowing_unused(
+        atoms: Vec<Atom>,
+        var_kinds: Vec<VarKind>,
+        var_names: Vec<String>,
+    ) -> Result<Self> {
+        if atoms.is_empty() {
+            return Err(CqError::EmptyBody);
+        }
+        for atom in &atoms {
+            for term in &atom.terms {
+                if let Term::Var(v, kind) = term {
+                    match var_kinds.get(v.index()) {
+                        Some(expected) if expected == kind => {}
+                        _ => {
+                            return Err(CqError::ConflictingVariableKind(
+                                var_names
+                                    .get(v.index())
+                                    .cloned()
+                                    .unwrap_or_else(|| v.to_string()),
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(ConjunctiveQuery {
+            atoms,
+            var_kinds,
+            var_names,
+        })
+    }
+
+    /// Returns a copy of the query with a different set of atoms but the same
+    /// variable table.  Intended for algorithms (folding, dissection) that
+    /// drop or alter atoms; the caller must ensure every surviving variable
+    /// still occurs in the body.
+    pub(crate) fn with_atoms_unchecked(&self, atoms: Vec<Atom>) -> ConjunctiveQuery {
+        ConjunctiveQuery {
+            atoms,
+            var_kinds: self.var_kinds.clone(),
+            var_names: self.var_names.clone(),
+        }
+    }
+}
+
+/// Pretty-printer returned by [`ConjunctiveQuery::display_with`].
+pub struct QueryDisplay<'a> {
+    query: &'a ConjunctiveQuery,
+    catalog: &'a Catalog,
+    head_name: &'a str,
+}
+
+impl fmt::Display for QueryDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let q = self.query;
+        write!(f, "{}(", self.head_name)?;
+        for (i, v) in q.head_vars().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", q.var_name(*v))?;
+        }
+        write!(f, ") :- ")?;
+        for (i, atom) in q.atoms().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(
+                f,
+                "{}",
+                atom.display_with(self.catalog, |v| q.var_name(v).to_owned())
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Argument passed to [`QueryBuilder::atom`]: a previously declared variable
+/// or a constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Arg {
+    /// A variable declared with [`QueryBuilder::dvar`] or [`QueryBuilder::evar`].
+    Var(VarId),
+    /// A constant value.
+    Const(Constant),
+}
+
+impl From<VarId> for Arg {
+    fn from(v: VarId) -> Self {
+        Arg::Var(v)
+    }
+}
+
+impl From<Constant> for Arg {
+    fn from(c: Constant) -> Self {
+        Arg::Const(c)
+    }
+}
+
+impl From<&str> for Arg {
+    fn from(s: &str) -> Self {
+        Arg::Const(Constant::str(s))
+    }
+}
+
+impl From<i64> for Arg {
+    fn from(i: i64) -> Self {
+        Arg::Const(Constant::int(i))
+    }
+}
+
+/// Incremental builder for [`ConjunctiveQuery`] values.
+///
+/// # Example
+///
+/// ```
+/// use fdc_cq::{Catalog, query::QueryBuilder};
+///
+/// let catalog = Catalog::paper_example();
+/// let meetings = catalog.resolve("Meetings").unwrap();
+/// let contacts = catalog.resolve("Contacts").unwrap();
+///
+/// // Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')
+/// let mut b = QueryBuilder::new();
+/// let x = b.dvar("x");
+/// let y = b.evar("y");
+/// let w = b.evar("w");
+/// b.atom(meetings, [x.into(), y.into()]);
+/// b.atom(contacts, [y.into(), w.into(), "Intern".into()]);
+/// let q2 = b.build().unwrap();
+///
+/// assert_eq!(q2.num_atoms(), 2);
+/// assert_eq!(q2.display_with(&catalog).to_string(),
+///            "Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct QueryBuilder {
+    atoms: Vec<Atom>,
+    var_kinds: Vec<VarKind>,
+    var_names: Vec<String>,
+    names_index: HashMap<String, VarId>,
+}
+
+impl QueryBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn declare(&mut self, name: &str, kind: VarKind) -> VarId {
+        if let Some(&existing) = self.names_index.get(name) {
+            // Re-declaring with the same kind returns the same variable; a
+            // conflicting re-declaration is reported at build() time by
+            // recording the stricter (distinguished) kind mismatch lazily.
+            // We keep the original kind; build() validation relies on atom
+            // tags so a caller who mixes kinds for one name will get a
+            // ConflictingVariableKind error.
+            return existing;
+        }
+        let id = VarId(self.var_kinds.len() as u32);
+        self.var_kinds.push(kind);
+        self.var_names.push(name.to_owned());
+        self.names_index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Declares (or returns the existing) distinguished variable `name`.
+    pub fn dvar(&mut self, name: &str) -> VarId {
+        self.declare(name, VarKind::Distinguished)
+    }
+
+    /// Declares (or returns the existing) existential variable `name`.
+    pub fn evar(&mut self, name: &str) -> VarId {
+        self.declare(name, VarKind::Existential)
+    }
+
+    /// Returns the kind currently recorded for a variable.
+    pub fn kind_of(&self, v: VarId) -> VarKind {
+        self.var_kinds[v.index()]
+    }
+
+    /// Appends a body atom.
+    pub fn atom<I>(&mut self, relation: RelId, args: I) -> &mut Self
+    where
+        I: IntoIterator<Item = Arg>,
+    {
+        let terms = args
+            .into_iter()
+            .map(|arg| match arg {
+                Arg::Var(v) => Term::Var(v, self.var_kinds[v.index()]),
+                Arg::Const(c) => Term::Const(c),
+            })
+            .collect();
+        self.atoms.push(Atom::new(relation, terms));
+        self
+    }
+
+    /// Finalizes the query.
+    pub fn build(self) -> Result<ConjunctiveQuery> {
+        ConjunctiveQuery::from_parts(self.atoms, self.var_kinds, self.var_names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        Catalog::paper_example()
+    }
+
+    #[test]
+    fn builder_constructs_paper_query_q1() {
+        // Q1(x) :- Meetings(x, 'Cathy')
+        let c = catalog();
+        let m = c.resolve("Meetings").unwrap();
+        let mut b = QueryBuilder::new();
+        let x = b.dvar("x");
+        b.atom(m, [x.into(), "Cathy".into()]);
+        let q1 = b.build().unwrap();
+        assert_eq!(q1.num_atoms(), 1);
+        assert_eq!(q1.num_vars(), 1);
+        assert!(q1.is_single_atom());
+        assert!(!q1.is_boolean());
+        assert_eq!(q1.var_kind(x), VarKind::Distinguished);
+        assert_eq!(
+            q1.display_with(&c).to_string(),
+            "Q(x) :- Meetings(x, 'Cathy')"
+        );
+        assert_eq!(
+            q1.display_named(&c, "Q1").to_string(),
+            "Q1(x) :- Meetings(x, 'Cathy')"
+        );
+        assert!(q1.validate(&c).is_ok());
+    }
+
+    #[test]
+    fn builder_reuses_variables_by_name() {
+        let c = catalog();
+        let m = c.resolve("Meetings").unwrap();
+        let mut b = QueryBuilder::new();
+        let x1 = b.dvar("x");
+        let x2 = b.dvar("x");
+        assert_eq!(x1, x2);
+        b.atom(m, [x1.into(), x2.into()]);
+        let q = b.build().unwrap();
+        assert_eq!(q.num_vars(), 1);
+        assert!(q.atoms()[0].has_repeated_vars());
+    }
+
+    #[test]
+    fn empty_body_is_rejected() {
+        let b = QueryBuilder::new();
+        assert_eq!(b.build().unwrap_err(), CqError::EmptyBody);
+        assert_eq!(
+            ConjunctiveQuery::from_atoms(vec![]).unwrap_err(),
+            CqError::EmptyBody
+        );
+    }
+
+    #[test]
+    fn unused_variable_is_rejected() {
+        let c = catalog();
+        let m = c.resolve("Meetings").unwrap();
+        let mut b = QueryBuilder::new();
+        let x = b.dvar("x");
+        let _unused = b.dvar("ghost");
+        b.atom(m, [x.into(), x.into()]);
+        let err = b.build().unwrap_err();
+        assert_eq!(err, CqError::UnsafeHeadVariable("ghost".into()));
+    }
+
+    #[test]
+    fn conflicting_kinds_are_rejected() {
+        let c = catalog();
+        let m = c.resolve("Meetings").unwrap();
+        // Construct atoms manually with inconsistent tags for VarId(0).
+        let atoms = vec![
+            Atom::new(m, vec![Term::dist(0), Term::exist(1)]),
+            Atom::new(m, vec![Term::exist(0), Term::exist(1)]),
+        ];
+        let err = ConjunctiveQuery::from_atoms(atoms).unwrap_err();
+        assert!(matches!(err, CqError::ConflictingVariableKind(_)));
+    }
+
+    #[test]
+    fn from_atoms_infers_kinds_and_names() {
+        let c = catalog();
+        let m = c.resolve("Meetings").unwrap();
+        let q = ConjunctiveQuery::from_atoms(vec![Atom::new(
+            m,
+            vec![Term::dist(0), Term::exist(1)],
+        )])
+        .unwrap();
+        assert_eq!(q.num_vars(), 2);
+        assert_eq!(q.var_kind(VarId(0)), VarKind::Distinguished);
+        assert_eq!(q.var_kind(VarId(1)), VarKind::Existential);
+        assert_eq!(q.var_name(VarId(0)), "x0");
+        assert_eq!(q.display_with(&c).to_string(), "Q(x0) :- Meetings(x0, x1)");
+    }
+
+    #[test]
+    fn variable_iterators_and_counts() {
+        let c = catalog();
+        let m = c.resolve("Meetings").unwrap();
+        let k = c.resolve("Contacts").unwrap();
+        // Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')
+        let mut b = QueryBuilder::new();
+        let x = b.dvar("x");
+        let y = b.evar("y");
+        let w = b.evar("w");
+        b.atom(m, [x.into(), y.into()]);
+        b.atom(k, [y.into(), w.into(), "Intern".into()]);
+        let q = b.build().unwrap();
+
+        assert_eq!(q.distinguished_vars().collect::<Vec<_>>(), vec![x]);
+        assert_eq!(q.existential_vars().collect::<Vec<_>>(), vec![y, w]);
+        assert_eq!(q.relations_used(), vec![m, k]);
+        // x occurs in 1 atom, y in 2 (it is the join variable), w in 1.
+        assert_eq!(q.atoms_per_variable(), vec![1, 2, 1]);
+        assert_eq!(q.head_vars(), vec![x]);
+        assert!(!q.is_boolean());
+        assert!(!q.is_single_atom());
+    }
+
+    #[test]
+    fn boolean_query_detection() {
+        let c = catalog();
+        let m = c.resolve("Meetings").unwrap();
+        let mut b = QueryBuilder::new();
+        let x = b.evar("x");
+        let y = b.evar("y");
+        b.atom(m, [x.into(), y.into()]);
+        let v5 = b.build().unwrap();
+        assert!(v5.is_boolean());
+        assert_eq!(v5.display_with(&c).to_string(), "Q() :- Meetings(x, y)");
+    }
+
+    #[test]
+    fn validate_rejects_bad_arity() {
+        let c = catalog();
+        let m = c.resolve("Meetings").unwrap();
+        let mut b = QueryBuilder::new();
+        let x = b.dvar("x");
+        b.atom(m, [x.into()]);
+        let q = b.build().unwrap();
+        assert!(matches!(
+            q.validate(&c),
+            Err(CqError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn arg_conversions() {
+        assert_eq!(Arg::from(VarId(1)), Arg::Var(VarId(1)));
+        assert_eq!(Arg::from("a"), Arg::Const(Constant::str("a")));
+        assert_eq!(Arg::from(7i64), Arg::Const(Constant::int(7)));
+        assert_eq!(
+            Arg::from(Constant::int(3)),
+            Arg::Const(Constant::int(3))
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! Terms: variables (distinguished or existential) and constants.
+//!
+//! The paper (Section 5) represents a conjunctive query as a list of body
+//! atoms whose variables carry a *distinguished* / *existential* tag instead
+//! of keeping an explicit head.  [`Term`] mirrors that representation: a term
+//! is either a tagged variable or a constant.
+
+use std::fmt;
+
+/// Identifier of a variable within a single query.
+///
+/// Variable ids are local to a [`ConjunctiveQuery`](crate::ConjunctiveQuery):
+/// two different queries may both use `VarId(0)` for unrelated variables.
+/// Ids are dense (0, 1, 2, …) which lets algorithms index arrays by variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Returns the id as a usize, convenient for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Whether a variable is exposed in the query head (*distinguished*) or only
+/// appears in the body (*existential*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VarKind {
+    /// The variable appears in the head of the query: its bindings are part
+    /// of the query answer.
+    Distinguished,
+    /// The variable appears only in the body: it is existentially quantified
+    /// and projected away.
+    Existential,
+}
+
+impl VarKind {
+    /// True for [`VarKind::Distinguished`].
+    #[inline]
+    pub fn is_distinguished(self) -> bool {
+        matches!(self, VarKind::Distinguished)
+    }
+
+    /// True for [`VarKind::Existential`].
+    #[inline]
+    pub fn is_existential(self) -> bool {
+        matches!(self, VarKind::Existential)
+    }
+}
+
+impl fmt::Display for VarKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VarKind::Distinguished => write!(f, "d"),
+            VarKind::Existential => write!(f, "e"),
+        }
+    }
+}
+
+/// A constant value appearing in a query.
+///
+/// The paper's examples use string constants (`'Cathy'`, `'Intern'`) and
+/// integer constants (`9`).  Both are supported; strings are stored owned.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Constant {
+    /// An integer constant such as `9`.
+    Int(i64),
+    /// A string constant such as `'Cathy'`.
+    Str(String),
+}
+
+impl Constant {
+    /// Builds a string constant.
+    pub fn str(s: impl Into<String>) -> Self {
+        Constant::Str(s.into())
+    }
+
+    /// Builds an integer constant.
+    pub fn int(i: i64) -> Self {
+        Constant::Int(i)
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int(i) => write!(f, "{i}"),
+            Constant::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Constant {
+    fn from(i: i64) -> Self {
+        Constant::Int(i)
+    }
+}
+
+impl From<&str> for Constant {
+    fn from(s: &str) -> Self {
+        Constant::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Constant {
+    fn from(s: String) -> Self {
+        Constant::Str(s)
+    }
+}
+
+/// A term in an atom: either a tagged variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable together with its distinguished/existential tag.
+    Var(VarId, VarKind),
+    /// A constant.
+    Const(Constant),
+}
+
+impl Term {
+    /// Builds a distinguished variable term.
+    #[inline]
+    pub fn dist(id: u32) -> Self {
+        Term::Var(VarId(id), VarKind::Distinguished)
+    }
+
+    /// Builds an existential variable term.
+    #[inline]
+    pub fn exist(id: u32) -> Self {
+        Term::Var(VarId(id), VarKind::Existential)
+    }
+
+    /// Builds a constant term.
+    #[inline]
+    pub fn constant(c: impl Into<Constant>) -> Self {
+        Term::Const(c.into())
+    }
+
+    /// Returns the variable id if the term is a variable.
+    #[inline]
+    pub fn var_id(&self) -> Option<VarId> {
+        match self {
+            Term::Var(id, _) => Some(*id),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Returns the variable kind if the term is a variable.
+    #[inline]
+    pub fn var_kind(&self) -> Option<VarKind> {
+        match self {
+            Term::Var(_, kind) => Some(*kind),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// True if the term is a variable (of either kind).
+    #[inline]
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(..))
+    }
+
+    /// True if the term is a distinguished variable.
+    #[inline]
+    pub fn is_distinguished(&self) -> bool {
+        matches!(self, Term::Var(_, VarKind::Distinguished))
+    }
+
+    /// True if the term is an existential variable.
+    #[inline]
+    pub fn is_existential(&self) -> bool {
+        matches!(self, Term::Var(_, VarKind::Existential))
+    }
+
+    /// True if the term is a constant.
+    #[inline]
+    pub fn is_const(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// Returns the constant if the term is one.
+    #[inline]
+    pub fn as_const(&self) -> Option<&Constant> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(..) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(id, kind) => write!(f, "{id}{kind}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_constructors_and_predicates() {
+        let d = Term::dist(3);
+        assert!(d.is_var());
+        assert!(d.is_distinguished());
+        assert!(!d.is_existential());
+        assert_eq!(d.var_id(), Some(VarId(3)));
+        assert_eq!(d.var_kind(), Some(VarKind::Distinguished));
+        assert_eq!(d.as_const(), None);
+
+        let e = Term::exist(7);
+        assert!(e.is_existential());
+        assert!(!e.is_distinguished());
+
+        let c = Term::constant("Cathy");
+        assert!(c.is_const());
+        assert!(!c.is_var());
+        assert_eq!(c.var_id(), None);
+        assert_eq!(c.var_kind(), None);
+        assert_eq!(c.as_const(), Some(&Constant::Str("Cathy".into())));
+
+        let i = Term::constant(9i64);
+        assert_eq!(i.as_const(), Some(&Constant::Int(9)));
+    }
+
+    #[test]
+    fn constant_conversions() {
+        assert_eq!(Constant::from(5i64), Constant::Int(5));
+        assert_eq!(Constant::from("a"), Constant::Str("a".into()));
+        assert_eq!(Constant::from(String::from("b")), Constant::Str("b".into()));
+        assert_eq!(Constant::str("x"), Constant::Str("x".into()));
+        assert_eq!(Constant::int(-2), Constant::Int(-2));
+    }
+
+    #[test]
+    fn display_formats_match_paper_notation() {
+        assert_eq!(Term::dist(0).to_string(), "v0d");
+        assert_eq!(Term::exist(1).to_string(), "v1e");
+        assert_eq!(Term::constant("Intern").to_string(), "'Intern'");
+        assert_eq!(Term::constant(9i64).to_string(), "9");
+        assert_eq!(VarKind::Distinguished.to_string(), "d");
+        assert_eq!(VarKind::Existential.to_string(), "e");
+    }
+
+    #[test]
+    fn var_kind_predicates() {
+        assert!(VarKind::Distinguished.is_distinguished());
+        assert!(!VarKind::Distinguished.is_existential());
+        assert!(VarKind::Existential.is_existential());
+        assert!(!VarKind::Existential.is_distinguished());
+    }
+
+    #[test]
+    fn var_id_index() {
+        assert_eq!(VarId(42).index(), 42);
+    }
+}

@@ -1,0 +1,142 @@
+//! A ready-made bundle of the evaluation substrate.
+//!
+//! [`Ecosystem`] packages the Facebook-like schema, its security views, and
+//! the three labeler variants, so that examples, integration tests and the
+//! benchmark harness can set the whole system up with one call.
+
+use fdc_core::{
+    BaselineLabeler, BitVectorLabeler, DisclosureLabel, HashPartitionedLabeler, QueryLabeler,
+    SecurityViews,
+};
+use fdc_cq::ConjunctiveQuery;
+
+use crate::policies::{PolicyGenerator, PolicyGeneratorConfig};
+use crate::schema::{facebook_catalog, FacebookSchema};
+use crate::views::facebook_security_views;
+use crate::workload::{WorkloadConfig, WorkloadGenerator};
+
+/// The fully assembled evaluation ecosystem.
+#[derive(Debug, Clone)]
+pub struct Ecosystem {
+    /// The eight-relation schema.
+    pub schema: FacebookSchema,
+    /// The 37 security views (16 for `User`, 3 per other relation).
+    pub views: SecurityViews,
+    /// The baseline labeler (Figure 5's "baseline" curve).
+    pub baseline: BaselineLabeler,
+    /// The hash-partitioned labeler (Figure 5's "hashing only" curve).
+    pub hashed: HashPartitionedLabeler,
+    /// The bit-vector labeler (Figure 5's "bit vectors + hashing" curve).
+    pub bitvec: BitVectorLabeler,
+}
+
+impl Ecosystem {
+    /// Builds the evaluation ecosystem.
+    pub fn new() -> Self {
+        let schema = facebook_catalog();
+        let views = facebook_security_views(&schema);
+        Ecosystem {
+            baseline: BaselineLabeler::new(views.clone()),
+            hashed: HashPartitionedLabeler::new(views.clone()),
+            bitvec: BitVectorLabeler::new(views.clone()),
+            schema,
+            views,
+        }
+    }
+
+    /// A workload generator over this ecosystem's schema.
+    pub fn workload(&self, config: WorkloadConfig) -> WorkloadGenerator {
+        WorkloadGenerator::new(self.schema.clone(), config)
+    }
+
+    /// A policy generator over this ecosystem's security views.
+    pub fn policy_generator(&self, config: PolicyGeneratorConfig) -> PolicyGenerator {
+        PolicyGenerator::new(&self.views, config)
+    }
+
+    /// Labels a query with the production (bit-vector) labeler.
+    pub fn label(&self, query: &ConjunctiveQuery) -> DisclosureLabel {
+        self.bitvec.label_query(query)
+    }
+
+    /// Labels a batch of queries with the production labeler, returning one
+    /// label per query (the raw material of the Figure 6 experiment).
+    pub fn label_batch(&self, queries: &[ConjunctiveQuery]) -> Vec<DisclosureLabel> {
+        queries.iter().map(|q| self.label(q)).collect()
+    }
+}
+
+impl Default for Ecosystem {
+    fn default() -> Self {
+        Ecosystem::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_ecosystem_assembles_consistently() {
+        let eco = Ecosystem::default();
+        assert_eq!(eco.schema.catalog.len(), 8);
+        assert_eq!(eco.views.len(), 37);
+        assert_eq!(eco.baseline.security_views().len(), eco.views.len());
+        assert_eq!(eco.hashed.security_views().len(), eco.views.len());
+        assert_eq!(eco.bitvec.security_views().len(), eco.views.len());
+    }
+
+    #[test]
+    fn all_labelers_agree_on_a_workload_sample() {
+        let eco = Ecosystem::new();
+        let mut workload = eco.workload(WorkloadConfig::stress(2, 17));
+        for query in workload.batch(150) {
+            let a = eco.baseline.label_query(&query);
+            let b = eco.hashed.label_query(&query);
+            let c = eco.bitvec.label_query(&query);
+            assert_eq!(a, b, "baseline vs hashed disagree on {query:?}");
+            assert_eq!(a, c, "baseline vs bitvec disagree on {query:?}");
+        }
+    }
+
+    #[test]
+    fn label_batch_produces_one_label_per_query() {
+        let eco = Ecosystem::new();
+        let mut workload = eco.workload(WorkloadConfig::base(3));
+        let queries = workload.batch(50);
+        let labels = eco.label_batch(&queries);
+        assert_eq!(labels.len(), queries.len());
+        for label in &labels {
+            assert!(!label.is_bottom());
+            assert!(!label.contains_top());
+        }
+    }
+
+    #[test]
+    fn policy_generator_and_workload_compose() {
+        use fdc_policy::PrincipalId;
+        let eco = Ecosystem::new();
+        let mut policies = eco.policy_generator(PolicyGeneratorConfig {
+            max_partitions: 5,
+            max_elements_per_partition: 20,
+            seed: 4,
+        });
+        let mut store = policies.build_store(&eco.views, 100);
+        let mut workload = eco.workload(WorkloadConfig::base(5));
+        let labels = eco.label_batch(&workload.batch(200));
+        let mut allowed = 0usize;
+        let mut denied = 0usize;
+        for (i, label) in labels.iter().enumerate() {
+            let principal = PrincipalId((i % 100) as u32);
+            if store.submit(principal, label).is_allow() {
+                allowed += 1;
+            } else {
+                denied += 1;
+            }
+        }
+        assert_eq!(allowed + denied, 200);
+        // Random policies should neither allow nor deny everything.
+        assert!(allowed > 0);
+        assert!(denied > 0);
+    }
+}

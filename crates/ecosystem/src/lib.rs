@@ -1,0 +1,35 @@
+//! The app-ecosystem simulator used by the evaluation (Section 7.2).
+//!
+//! The paper's experiments run against "eight different relations that
+//! captured core functionality from the Facebook API", the largest being a
+//! `User` relation with 34 attributes, each relation carrying an extra
+//! column that records whether the owner of a tuple is a friend of the
+//! querying principal (the denormalization the authors use in place of
+//! joined security views).  Security views are per-relation projections —
+//! 16 for `User`, about 3 for each of the others — chosen to support the
+//! confidentiality policies of Facebook's developer documentation.
+//!
+//! This crate rebuilds that substrate:
+//!
+//! * [`schema`] — the eight-relation catalog;
+//! * [`views`] — the per-relation security views and permission names;
+//! * [`workload`] — the randomized query generator of Section 7.2
+//!   (random relation, random attribute subset, self / friends /
+//!   friends-of-friends / non-friend access, and the uid-join stress mode);
+//! * [`policies`] — the random policy generator used by the Figure 6
+//!   policy-checker experiment;
+//! * [`Ecosystem`] — a bundle of all of the above plus ready-made labelers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ecosystem;
+pub mod policies;
+pub mod schema;
+pub mod views;
+pub mod workload;
+
+pub use ecosystem::Ecosystem;
+pub use schema::facebook_catalog;
+pub use views::facebook_security_views;
+pub use workload::{Audience, WorkloadConfig, WorkloadGenerator};

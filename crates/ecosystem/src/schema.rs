@@ -1,0 +1,248 @@
+//! The Facebook-like evaluation schema (Section 7.2).
+//!
+//! Eight relations capturing core Facebook-API functionality.  The `User`
+//! relation has 34 attributes; the others have between 3 and 10.  Every
+//! relation carries
+//!
+//! * a `uid` column identifying the owning user — the join key used by the
+//!   stress-test workload, and
+//! * an `is_friend` column recording whether the owner is a friend of the
+//!   querying principal — the denormalization the paper introduces because
+//!   its security views are join-free ("we dealt with this issue by adding
+//!   an extra column to each relation that indicated whether the owner of a
+//!   given tuple was friends with the principal executing the query").
+
+use fdc_cq::{Catalog, RelId};
+
+/// Positions of the special columns of one relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelationInfo {
+    /// The relation id in the catalog.
+    pub relation: RelId,
+    /// Column index of the owner `uid`.
+    pub uid_column: usize,
+    /// Column index of the `is_friend` denormalization flag.
+    pub is_friend_column: usize,
+}
+
+/// The evaluation catalog plus per-relation metadata.
+#[derive(Debug, Clone)]
+pub struct FacebookSchema {
+    /// The relational catalog (8 relations).
+    pub catalog: Catalog,
+    /// Metadata for every relation, in catalog order.
+    pub relations: Vec<RelationInfo>,
+}
+
+impl FacebookSchema {
+    /// Metadata for a given relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the relation does not belong to this schema.
+    pub fn info(&self, relation: RelId) -> RelationInfo {
+        self.relations[relation.index()]
+    }
+
+    /// The `User` relation.
+    pub fn user(&self) -> RelId {
+        self.catalog.resolve("User").expect("User relation exists")
+    }
+
+    /// The `Friend` relation (used for friend / friend-of-friend joins).
+    pub fn friend(&self) -> RelId {
+        self.catalog
+            .resolve("Friend")
+            .expect("Friend relation exists")
+    }
+}
+
+/// The 34 attributes of the `User` relation, modeled on the Facebook User
+/// table of the Graph API / FQL documentation (2012–2013 era).
+///
+/// `uid` is first and `is_friend` is last; the 32 in between are the
+/// documented profile fields reviewed in the Section 7.1 case study.
+pub const USER_ATTRIBUTES: [&str; 34] = [
+    "uid",
+    "name",
+    "first_name",
+    "middle_name",
+    "last_name",
+    "gender",
+    "locale",
+    "languages",
+    "username",
+    "third_party_id",
+    "timezone",
+    "updated_time",
+    "verified",
+    "bio",
+    "birthday",
+    "devices",
+    "education",
+    "email",
+    "hometown",
+    "interested_in",
+    "location",
+    "political",
+    "favorite_athletes",
+    "favorite_teams",
+    "pic",
+    "profile_url",
+    "quotes",
+    "relationship_status",
+    "religion",
+    "significant_other",
+    "website",
+    "work",
+    "is_app_user",
+    "is_friend",
+];
+
+/// Builds the eight-relation evaluation catalog.
+pub fn facebook_catalog() -> FacebookSchema {
+    let mut catalog = Catalog::new();
+    let mut relations = Vec::new();
+
+    let add = |catalog: &mut Catalog,
+                   relations: &mut Vec<RelationInfo>,
+                   name: &str,
+                   attrs: &[&str]| {
+        let relation = catalog
+            .add_relation(name, attrs)
+            .expect("evaluation schema has unique relation names");
+        let uid_column = attrs
+            .iter()
+            .position(|a| *a == "uid")
+            .expect("every relation has a uid column");
+        let is_friend_column = attrs
+            .iter()
+            .position(|a| *a == "is_friend")
+            .expect("every relation has an is_friend column");
+        relations.push(RelationInfo {
+            relation,
+            uid_column,
+            is_friend_column,
+        });
+        relation
+    };
+
+    // 1. User: 34 attributes.
+    add(&mut catalog, &mut relations, "User", &USER_ATTRIBUTES);
+    // 2. Friend: the friendship edge list (uid, friend_uid, is_friend).
+    add(&mut catalog, &mut relations, "Friend", &["uid", "friend_uid", "is_friend"]);
+    // 3. Photo.
+    add(
+        &mut catalog,
+        &mut relations,
+        "Photo",
+        &[
+            "photo_id", "uid", "album_id", "caption", "place", "created_time", "link",
+            "is_friend",
+        ],
+    );
+    // 4. Album.
+    add(
+        &mut catalog,
+        &mut relations,
+        "Album",
+        &["album_id", "uid", "name", "description", "size", "created_time", "is_friend"],
+    );
+    // 5. Status.
+    add(
+        &mut catalog,
+        &mut relations,
+        "Status",
+        &["status_id", "uid", "message", "created_time", "place", "is_friend"],
+    );
+    // 6. Checkin.
+    add(
+        &mut catalog,
+        &mut relations,
+        "Checkin",
+        &["checkin_id", "uid", "place", "message", "created_time", "coords", "is_friend"],
+    );
+    // 7. Event.
+    add(
+        &mut catalog,
+        &mut relations,
+        "Event",
+        &[
+            "event_id", "uid", "name", "start_time", "end_time", "location", "rsvp_status",
+            "description", "privacy", "is_friend",
+        ],
+    );
+    // 8. Like.
+    add(
+        &mut catalog,
+        &mut relations,
+        "Like",
+        &["uid", "page_id", "category", "name", "created_time", "is_friend"],
+    );
+
+    FacebookSchema { catalog, relations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_schema_matches_the_papers_description() {
+        let schema = facebook_catalog();
+        // Eight relations.
+        assert_eq!(schema.catalog.len(), 8);
+        // User has 34 attributes; the others between 3 and 10.
+        assert_eq!(schema.catalog.arity(schema.user()), 34);
+        for (id, rel) in schema.catalog.iter() {
+            if id != schema.user() {
+                assert!(
+                    (3..=10).contains(&rel.arity()),
+                    "{} has arity {}",
+                    rel.name,
+                    rel.arity()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_relation_has_uid_and_is_friend_columns() {
+        let schema = facebook_catalog();
+        for (id, rel) in schema.catalog.iter() {
+            let info = schema.info(id);
+            assert_eq!(info.relation, id);
+            assert_eq!(rel.attributes[info.uid_column], "uid");
+            assert_eq!(rel.attributes[info.is_friend_column], "is_friend");
+        }
+    }
+
+    #[test]
+    fn user_attribute_list_is_consistent() {
+        assert_eq!(USER_ATTRIBUTES.len(), 34);
+        // No duplicates.
+        let mut sorted = USER_ATTRIBUTES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 34);
+        // The case-study attributes of Table 2 are all present.
+        for attr in [
+            "pic",
+            "timezone",
+            "devices",
+            "relationship_status",
+            "quotes",
+            "profile_url",
+        ] {
+            assert!(USER_ATTRIBUTES.contains(&attr), "missing {attr}");
+        }
+    }
+
+    #[test]
+    fn named_accessors_resolve() {
+        let schema = facebook_catalog();
+        assert_eq!(schema.catalog.name(schema.user()), "User");
+        assert_eq!(schema.catalog.name(schema.friend()), "Friend");
+        assert_eq!(schema.catalog.arity(schema.friend()), 3);
+    }
+}

@@ -1,0 +1,150 @@
+//! Closure operators on the disclosure lattice.
+//!
+//! The paper observes (after Definition 3.4) that the axioms of a disclosure
+//! labeler "mirror those in the definition of an order-theoretic closure
+//! operator": if `I` is the disclosure lattice of `U`, then the map
+//! `X ↦ ⇓ℓ(X)` is a closure operator on `I` — extensive, monotone and
+//! idempotent.  This module provides an executable check of that claim,
+//! which the test suites of this crate and of `fdc-core` use to validate
+//! labeler implementations.
+
+use crate::downset::downset;
+use crate::lattice::DisclosureLattice;
+use crate::order::DisclosureOrder;
+use crate::view::ViewSet;
+
+/// Checks that `op` is a closure operator on the disclosure lattice of
+/// `order`: extensive (`x ≤ op(x)`), monotone, and idempotent.
+///
+/// `op` receives and returns *down-sets* (lattice elements).  Returns a
+/// description of the first violated law.
+pub fn check_closure_operator<O, F>(order: &O, lattice: &DisclosureLattice, op: F) -> Result<(), String>
+where
+    O: DisclosureOrder,
+    F: Fn(ViewSet) -> ViewSet,
+{
+    let elements = lattice.elements();
+    // Extensive and idempotent.
+    for &x in elements {
+        let cx = op(x);
+        if !x.is_subset_of(cx) {
+            return Err(format!("not extensive: {x} ⊄ op({x}) = {cx}"));
+        }
+        let ccx = op(cx);
+        if ccx != cx {
+            return Err(format!("not idempotent: op(op({x})) = {ccx} ≠ op({x}) = {cx}"));
+        }
+        // The image must itself be a lattice element (a down-set).
+        if downset(order, cx) != cx {
+            return Err(format!("image is not a down-set: op({x}) = {cx}"));
+        }
+    }
+    // Monotone.
+    for &x in elements {
+        for &y in elements {
+            if x.is_subset_of(y) && !op(x).is_subset_of(op(y)) {
+                return Err(format!(
+                    "not monotone: {x} ⊆ {y} but op({x}) = {} ⊄ op({y}) = {}",
+                    op(x),
+                    op(y)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds the closure operator `X ↦ ⇓ℓ(X)` induced by a labeling function
+/// and returns it as a boxed closure, for use with
+/// [`check_closure_operator`].
+pub fn labeler_closure<'a, O, L>(
+    order: &'a O,
+    label: L,
+) -> impl Fn(ViewSet) -> ViewSet + 'a
+where
+    O: DisclosureOrder,
+    L: Fn(ViewSet) -> ViewSet + 'a,
+{
+    move |x: ViewSet| downset(order, label(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labeler::induced_labeler;
+    use crate::order::{SingletonLiftedOrder, SubsetOrder};
+    use crate::view::ViewId;
+
+    fn figure3_order() -> impl DisclosureOrder {
+        SingletonLiftedOrder::new(4, |v: ViewId, w: ViewSet| {
+            if w.contains(v) {
+                return true;
+            }
+            match v.0 {
+                0 => false,
+                1 | 2 => w.contains(ViewId(0)),
+                3 => !w.is_empty(),
+                _ => false,
+            }
+        })
+    }
+
+    fn s(ids: &[u32]) -> ViewSet {
+        ids.iter().map(|&i| ViewId(i)).collect()
+    }
+
+    #[test]
+    fn identity_is_a_closure_operator() {
+        let order = SubsetOrder::new(3);
+        let lattice = DisclosureLattice::build(&order);
+        check_closure_operator(&order, &lattice, |x| x).unwrap();
+    }
+
+    #[test]
+    fn induced_labelers_give_closure_operators() {
+        let order = figure3_order();
+        let lattice = DisclosureLattice::build(&order);
+        let f = vec![s(&[]), s(&[3]), s(&[1]), s(&[2]), s(&[1, 2]), s(&[0])];
+        let labeler = induced_labeler(&order, &f).unwrap();
+        let op = labeler_closure(&order, |w| labeler.label_set(&order, w));
+        check_closure_operator(&order, &lattice, op).unwrap();
+    }
+
+    #[test]
+    fn coarse_labelers_are_still_closure_operators() {
+        // The imprecise family from labeler::tests is still a labeler, hence
+        // still a closure operator.
+        let order = figure3_order();
+        let lattice = DisclosureLattice::build(&order);
+        let f = vec![s(&[]), s(&[3]), s(&[1]), s(&[2]), s(&[0])];
+        let labeler = induced_labeler(&order, &f).unwrap();
+        let op = labeler_closure(&order, |w| labeler.label_set(&order, w));
+        check_closure_operator(&order, &lattice, op).unwrap();
+    }
+
+    #[test]
+    fn the_checker_catches_non_extensive_maps() {
+        let order = SubsetOrder::new(3);
+        let lattice = DisclosureLattice::build(&order);
+        let err = check_closure_operator(&order, &lattice, |_x| ViewSet::EMPTY).unwrap_err();
+        assert!(err.contains("not extensive"));
+    }
+
+    #[test]
+    fn the_checker_catches_non_monotone_maps() {
+        let order = SubsetOrder::new(2);
+        let lattice = DisclosureLattice::build(&order);
+        // Map the empty set to the top but leave singletons alone: extensive
+        // and idempotent? top maps to ... we force idempotence by mapping the
+        // top to itself; the map is not monotone because ∅ ↦ ⊤ ⊄ op({V0}).
+        let op = |x: ViewSet| {
+            if x.is_empty() {
+                ViewSet::full(2)
+            } else {
+                x
+            }
+        };
+        let err = check_closure_operator(&order, &lattice, op).unwrap_err();
+        assert!(err.contains("not monotone"));
+    }
+}

@@ -1,0 +1,146 @@
+//! The `⇓` operator of Definition 3.2.
+//!
+//! `⇓W` is the set of all views in the universe whose answers can be
+//! inferred from `W`: `{V ∈ U : {V} ⪯ W}`.  Down-sets are the elements of
+//! the disclosure lattice (Theorem 3.3), and two sets of views reveal the
+//! same information exactly when their down-sets coincide.
+
+use crate::order::DisclosureOrder;
+use crate::view::{ViewId, ViewSet};
+
+/// Computes `⇓W = {V ∈ U : {V} ⪯ W}` for a finite universe.
+pub fn downset<O: DisclosureOrder>(order: &O, w: ViewSet) -> ViewSet {
+    let n = order.universe_size();
+    let mut result = ViewSet::new();
+    for i in 0..n {
+        let v = ViewId(i as u32);
+        if order.leq(ViewSet::singleton(v), w) {
+            result.insert(v);
+        }
+    }
+    result
+}
+
+/// The *information combination* of two sets of views: `⇓(W1 ∪ W2)`
+/// (Section 3.2).
+pub fn combine<O: DisclosureOrder>(order: &O, w1: ViewSet, w2: ViewSet) -> ViewSet {
+    downset(order, w1.union(w2))
+}
+
+/// The *information overlap* of two sets of views: `(⇓W1) ∩ (⇓W2)`
+/// (Section 3.2).
+pub fn overlap<O: DisclosureOrder>(order: &O, w1: ViewSet, w2: ViewSet) -> ViewSet {
+    downset(order, w1).intersection(downset(order, w2))
+}
+
+/// True if `W1 ⪯ W2` as witnessed by down-set inclusion.
+///
+/// Section 3.2 notes `W1 ⪯ W2` iff `⇓W1 ⊆ ⇓W2`; this helper exists so tests
+/// can cross-check the two characterizations.
+pub fn leq_via_downsets<O: DisclosureOrder>(order: &O, w1: ViewSet, w2: ViewSet) -> bool {
+    downset(order, w1).is_subset_of(downset(order, w2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::{check_disclosure_order_axioms, SingletonLiftedOrder, SubsetOrder};
+
+    /// The Figure 3 universe: V0 = V1 (full Meetings view), V1 = V2 (first
+    /// column), V2 = V4 (second column), V3 = V5 (nonemptiness), under a
+    /// derivability relation mirroring equivalent view rewriting.
+    fn figure3_order() -> impl crate::order::DisclosureOrder {
+        SingletonLiftedOrder::new(4, |v: ViewId, w: ViewSet| {
+            if w.contains(v) {
+                return true;
+            }
+            match v.0 {
+                0 => false,
+                1 | 2 => w.contains(ViewId(0)),
+                3 => !w.is_empty(),
+                _ => false,
+            }
+        })
+    }
+
+    #[test]
+    fn downsets_match_figure_3() {
+        let order = figure3_order();
+        check_disclosure_order_axioms(&order).unwrap();
+
+        let full = ViewSet::singleton(ViewId(0));
+        let col1 = ViewSet::singleton(ViewId(1));
+        let col2 = ViewSet::singleton(ViewId(2));
+        let nonempty = ViewSet::singleton(ViewId(3));
+
+        // ⇓{V1} = everything: the top element of Figure 3.
+        assert_eq!(downset(&order, full), ViewSet::full(4));
+        // ⇓{V2} = {V2, V5}.
+        assert_eq!(downset(&order, col1), col1.union(nonempty));
+        // ⇓{V4} = {V4, V5}.
+        assert_eq!(downset(&order, col2), col2.union(nonempty));
+        // ⇓{V5} = {V5}.
+        assert_eq!(downset(&order, nonempty), nonempty);
+        // ⇓∅ = ∅ (bottom).
+        assert_eq!(downset(&order, ViewSet::EMPTY), ViewSet::EMPTY);
+    }
+
+    #[test]
+    fn combination_and_overlap_match_section_3_2() {
+        let order = figure3_order();
+        let col1 = ViewSet::singleton(ViewId(1));
+        let col2 = ViewSet::singleton(ViewId(2));
+        let nonempty = ViewSet::singleton(ViewId(3));
+
+        // The overlap of the two projections is the nonemptiness view, even
+        // though the sets themselves are disjoint -- the paper's motivating
+        // example for why intersection is the wrong notion of overlap.
+        assert_eq!(overlap(&order, col1, col2), nonempty);
+        // Their combination does NOT recover the full view.
+        let combined = combine(&order, col1, col2);
+        assert!(!combined.contains(ViewId(0)));
+        assert_eq!(combined, col1.union(col2).union(nonempty));
+    }
+
+    #[test]
+    fn downset_inclusion_characterizes_the_order() {
+        let order = figure3_order();
+        let subsets: Vec<ViewSet> = ViewSet::all_subsets(4).collect();
+        for &a in &subsets {
+            for &b in &subsets {
+                assert_eq!(
+                    order.leq(a, b),
+                    leq_via_downsets(&order, a, b),
+                    "mismatch for {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subset_order_downsets_are_identity() {
+        let order = SubsetOrder::new(5);
+        for w in ViewSet::all_subsets(5) {
+            assert_eq!(downset(&order, w), w);
+        }
+    }
+
+    #[test]
+    fn downset_is_monotone_and_extensive() {
+        let order = figure3_order();
+        let subsets: Vec<ViewSet> = ViewSet::all_subsets(4).collect();
+        for &w in &subsets {
+            // Extensive: W ⊆ ⇓W.
+            assert!(w.is_subset_of(downset(&order, w)));
+            // Idempotent: ⇓⇓W = ⇓W.
+            assert_eq!(downset(&order, downset(&order, w)), downset(&order, w));
+        }
+        for &a in &subsets {
+            for &b in &subsets {
+                if a.is_subset_of(b) {
+                    assert!(downset(&order, a).is_subset_of(downset(&order, b)));
+                }
+            }
+        }
+    }
+}

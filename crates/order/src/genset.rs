@@ -1,0 +1,328 @@
+//! Generating sets for label families (Section 4).
+//!
+//! The label family `F` used by a disclosure labeler can be huge (doubly
+//! exponential in the schema for the all-projections example 4.1), so the
+//! practical algorithms never materialize it.  Instead they work with
+//!
+//! * a **downward generating set** `Fd ⊆ F` (Definition 4.2): every element
+//!   of `F` is equivalent to a GLB of elements of `Fd`;
+//! * a **(full) generating set** `Fgen` (Definition 4.9): every element of
+//!   `F` is equivalent to a union of GLBs of elements of `Fgen` — available
+//!   when the universe is decomposable and the labeler is precise.
+//!
+//! This module implements those notions for finite universes, together with
+//! the decomposability check of Definition 4.7 and the closure construction
+//! of Theorem 4.5 (extending an arbitrary `G` to an `F` that induces a
+//! labeler and has `G` as a downward generating set).
+
+use crate::downset::downset;
+use crate::order::DisclosureOrder;
+use crate::view::ViewSet;
+
+/// Is the universe decomposable (Definition 4.7)?
+///
+/// `U` is decomposable when `{V} ⪯ W1 ∪ W2` implies `{V} ⪯ W1` or
+/// `{V} ⪯ W2`.  Exhaustive over subsets; keep the universe small.
+pub fn is_decomposable<O: DisclosureOrder>(order: &O) -> bool {
+    let n = order.universe_size();
+    assert!(n <= 8, "decomposability check is exponential in |U|");
+    let subsets: Vec<ViewSet> = ViewSet::all_subsets(n).collect();
+    for i in 0..n {
+        let v = ViewSet::singleton(crate::view::ViewId(i as u32));
+        for &w1 in &subsets {
+            for &w2 in &subsets {
+                if order.leq(v, w1.union(w2)) && !order.leq(v, w1) && !order.leq(v, w2) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Does `F` induce a *precise* labeler (Definition 4.6)?
+///
+/// Requires `∅ ∈ F` (up to equivalence) and closure of `{⇓W : W ∈ F}` under
+/// the lattice LUB `⇓(W1 ∪ W2)`.
+pub fn induces_precise_labeler<O: DisclosureOrder>(order: &O, f: &[ViewSet]) -> bool {
+    let k: Vec<ViewSet> = f.iter().map(|w| downset(order, *w)).collect();
+    let bottom = downset(order, ViewSet::EMPTY);
+    if !k.contains(&bottom) {
+        return false;
+    }
+    for &a in &k {
+        for &b in &k {
+            let join = downset(order, a.union(b));
+            if !k.contains(&join) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Closes `G` under GLB (down-set intersection), producing the family `F` of
+/// Theorem 4.5: `F` induces a labeler and `G` is a downward generating set
+/// for it.
+///
+/// The returned family is given by representative down-sets (one per
+/// equivalence class), always includes the down-set of the full universe,
+/// and is closed under intersection.
+pub fn close_under_glb<O: DisclosureOrder>(order: &O, g: &[ViewSet]) -> Vec<ViewSet> {
+    let mut closed: Vec<ViewSet> = Vec::new();
+    let push_unique = |s: ViewSet, closed: &mut Vec<ViewSet>| {
+        if !closed.contains(&s) {
+            closed.push(s);
+        }
+    };
+    // Theorem 4.5 requires G to contain the top element; we add it if absent
+    // so the construction always succeeds.
+    push_unique(downset(order, order.universe()), &mut closed);
+    for w in g {
+        push_unique(downset(order, *w), &mut closed);
+    }
+    loop {
+        let mut added = false;
+        let snapshot = closed.clone();
+        for (i, &a) in snapshot.iter().enumerate() {
+            for &b in &snapshot[i + 1..] {
+                let meet = a.intersection(b);
+                if !closed.contains(&meet) {
+                    closed.push(meet);
+                    added = true;
+                }
+            }
+        }
+        if !added {
+            break;
+        }
+    }
+    closed.sort_by_key(|e| (e.len(), e.bits()));
+    closed
+}
+
+/// Is `fd` a downward generating set for `f` (Definition 4.2)?
+///
+/// Every element of `f` must be equivalent to a GLB of elements of `fd`.
+/// GLBs are computed on down-sets (intersection), and "equivalent" means
+/// equal down-sets.
+pub fn is_downward_generating<O: DisclosureOrder>(order: &O, fd: &[ViewSet], f: &[ViewSet]) -> bool {
+    let fd_downsets: Vec<ViewSet> = fd.iter().map(|w| downset(order, *w)).collect();
+    f.iter().all(|w| {
+        let target = downset(order, *w);
+        // The GLB of the set of fd-elements that lie above `target` is the
+        // best we can do; `w` is generated iff that GLB equals `target`.
+        let mut meet = downset(order, order.universe());
+        for d in &fd_downsets {
+            if target.is_subset_of(*d) {
+                meet = meet.intersection(*d);
+            }
+        }
+        meet == target
+    })
+}
+
+/// Computes the minimal downward generating set of `f` (Theorem 4.3).
+///
+/// Iteratively removes elements that are equivalent to the GLB of other
+/// remaining elements; the result is unique up to equivalence.
+pub fn minimal_downward_generating_set<O: DisclosureOrder>(
+    order: &O,
+    f: &[ViewSet],
+) -> Vec<ViewSet> {
+    let mut remaining: Vec<ViewSet> = f.to_vec();
+    loop {
+        let mut removed = false;
+        for i in 0..remaining.len() {
+            let candidate = remaining[i];
+            let target = downset(order, candidate);
+            // GLB of all *other* remaining elements above the candidate.
+            let mut meet = downset(order, order.universe());
+            let mut any_above = false;
+            for (j, other) in remaining.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let d = downset(order, *other);
+                if target.is_subset_of(d) {
+                    meet = meet.intersection(d);
+                    any_above = true;
+                }
+            }
+            if any_above && meet == target {
+                remaining.remove(i);
+                removed = true;
+                break;
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+    remaining
+}
+
+/// Is `fgen` a (full) generating set for `f` (Definition 4.9)?
+///
+/// Every element of `f` must be equivalent to a union of GLBs of elements of
+/// `fgen`.  For a decomposable universe the union of GLBs is evaluated as a
+/// down-set union.
+pub fn is_generating<O: DisclosureOrder>(order: &O, fgen: &[ViewSet], f: &[ViewSet]) -> bool {
+    let gen_downsets: Vec<ViewSet> = fgen.iter().map(|w| downset(order, *w)).collect();
+    f.iter().all(|w| {
+        let target = downset(order, *w);
+        // Greedy: for each view in the target, it must be covered by the GLB
+        // of the fgen-elements above it; the union of those GLBs must equal
+        // the target exactly.
+        let mut covered = ViewSet::new();
+        for v in target.iter() {
+            let vd = downset(order, ViewSet::singleton(v));
+            let mut meet = downset(order, order.universe());
+            for d in &gen_downsets {
+                if vd.is_subset_of(*d) {
+                    meet = meet.intersection(*d);
+                }
+            }
+            covered = covered.union(meet);
+        }
+        covered == target
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::{DisclosureOrder, SingletonLiftedOrder, SubsetOrder};
+    use crate::view::ViewId;
+
+    /// A model of the Contacts projections from Figure 4 / Example 4.4,
+    /// restricted to the projection views
+    /// V0={xyz}, V1={xy}, V2={xz}, V3={yz}, V4={x}, V5={y}, V6={z}, V7={}.
+    ///
+    /// Derivability: a projection is derivable from any single projection
+    /// whose column set is a superset of its own.
+    fn contacts_projections_order() -> impl DisclosureOrder {
+        const COLS: [u8; 8] = [
+            0b111, 0b011, 0b101, 0b110, 0b001, 0b010, 0b100, 0b000,
+        ];
+        SingletonLiftedOrder::new(8, move |v: ViewId, w: ViewSet| {
+            let need = COLS[v.index()];
+            w.iter().any(|u| {
+                let have = COLS[u.index()];
+                need & !have == 0
+            })
+        })
+    }
+
+    fn s(ids: &[u32]) -> ViewSet {
+        ids.iter().map(|&i| ViewId(i)).collect()
+    }
+
+    #[test]
+    fn contacts_universe_is_decomposable() {
+        let order = contacts_projections_order();
+        assert!(is_decomposable(&order));
+    }
+
+    #[test]
+    fn subset_order_is_decomposable_and_projection_example_4_4_holds() {
+        // Example 4.4: the downward generating set for the all-projections F
+        // is the power set of the two-column projections plus the full view,
+        // because single-column projections and the boolean view arise as
+        // GLBs: GLB({V1},{V2}) ≡ {V4} (= x), etc.
+        let order = contacts_projections_order();
+        // GLB of ⇓{xy} and ⇓{xz} is ⇓{x}.
+        let g_xy = downset(&order, s(&[1]));
+        let g_xz = downset(&order, s(&[2]));
+        let g_x = downset(&order, s(&[4]));
+        assert_eq!(g_xy.intersection(g_xz), g_x);
+        // GLB of ⇓{xy} and ⇓{yz} is ⇓{y}.
+        assert_eq!(
+            downset(&order, s(&[1])).intersection(downset(&order, s(&[3]))),
+            downset(&order, s(&[5]))
+        );
+        // GLB of the three two-column projections is ⇓{} (the boolean view).
+        let all_three = downset(&order, s(&[1]))
+            .intersection(downset(&order, s(&[2])))
+            .intersection(downset(&order, s(&[3])));
+        assert_eq!(all_three, downset(&order, s(&[7])));
+    }
+
+    #[test]
+    fn singleton_family_generates_all_projection_labels() {
+        // Example 4.10: Fgen = {{V3}, {V6}, {V7}, {V8}} (full view plus the
+        // three two-column projections) generates every projection label.
+        let order = contacts_projections_order();
+        let fgen = vec![s(&[0]), s(&[1]), s(&[2]), s(&[3])];
+        // F: every singleton projection label plus the empty label.
+        let f: Vec<ViewSet> = (0..8).map(|i| s(&[i])).chain([ViewSet::EMPTY]).collect();
+        assert!(is_generating(&order, &fgen, &f));
+        assert!(is_downward_generating(&order, &fgen, &f[..8]));
+        // The single-column projections alone do not generate the
+        // two-column ones.
+        let too_small = vec![s(&[4]), s(&[5]), s(&[6]), s(&[7])];
+        assert!(!is_downward_generating(&order, &too_small, &f[..4]));
+    }
+
+    #[test]
+    fn close_under_glb_builds_an_inducing_family() {
+        let order = contacts_projections_order();
+        let g = vec![s(&[1]), s(&[2]), s(&[3])];
+        let f = close_under_glb(&order, &g);
+        // The closure contains the generators, their pairwise GLBs (single
+        // columns), the triple GLB (boolean view) and the top.
+        assert!(crate::labeler::induces_labeler(&order, &f));
+        assert!(is_downward_generating(&order, &g, &f));
+        // 3 generators + 3 single columns + boolean + top = 8.
+        assert_eq!(f.len(), 8);
+    }
+
+    #[test]
+    fn minimal_downward_generating_set_drops_redundant_elements() {
+        let order = contacts_projections_order();
+        // F = all eight projection labels (as singletons).
+        let f: Vec<ViewSet> = (0..8).map(|i| s(&[i])).collect();
+        let fd = minimal_downward_generating_set(&order, &f);
+        // The single-column projections and the boolean view are GLBs of the
+        // two-column projections, so only the full view and the three
+        // two-column projections survive.
+        assert_eq!(fd.len(), 4);
+        for kept in [0u32, 1, 2, 3] {
+            assert!(fd.contains(&s(&[kept])), "expected V{kept} to be kept");
+        }
+        assert!(is_downward_generating(&order, &fd, &f));
+    }
+
+    #[test]
+    fn precise_labeler_requires_lub_closure() {
+        let order = contacts_projections_order();
+        // The family of all projection labels plus ∅ is closed under both
+        // GLB and LUB (any union of projections of one relation is
+        // equivalent to ... ) -- actually unions of incomparable projections
+        // like {xy} ∪ {yz} are NOT equivalent to a single projection, so the
+        // singleton family is not precise.
+        let singletons: Vec<ViewSet> = (0..8).map(|i| s(&[i])).chain([ViewSet::EMPTY]).collect();
+        assert!(!induces_precise_labeler(&order, &singletons));
+        // The full power-set family is precise.
+        let all: Vec<ViewSet> = ViewSet::all_subsets(8).collect();
+        assert!(induces_precise_labeler(&order, &all));
+    }
+
+    #[test]
+    fn subset_order_decomposability() {
+        assert!(is_decomposable(&SubsetOrder::new(5)));
+    }
+
+    #[test]
+    fn non_decomposable_universe_is_detected() {
+        // A contrived order in which view 2 is derivable from {0, 1} jointly
+        // but from neither alone.
+        let order = SingletonLiftedOrder::new(3, |v: ViewId, w: ViewSet| {
+            if w.contains(v) {
+                return true;
+            }
+            v == ViewId(2) && w.contains(ViewId(0)) && w.contains(ViewId(1))
+        });
+        assert!(!is_decomposable(&order));
+    }
+}

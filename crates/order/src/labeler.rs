@@ -1,0 +1,281 @@
+//! Disclosure labelers over finite universes (Definitions 3.4–3.8).
+//!
+//! A disclosure labeler re-states the information revealed by an arbitrary
+//! set of views in terms of a fixed family `F` of *disclosure labels*.  Not
+//! every `F` admits a labeler: Theorem 3.7 shows that one exists exactly
+//! when `K = {⇓W : W ∈ F}` is closed under GLB (intersection of down-sets)
+//! and contains the top element; when it exists it is unique up to
+//! equivalence.
+//!
+//! This module provides the executable version of that theory for finite
+//! universes, together with the `NaïveLabel` algorithm of Section 3.3.  The
+//! practical, query-language-specific labelers live in `fdc-core`.
+
+use crate::downset::downset;
+use crate::order::DisclosureOrder;
+use crate::view::ViewSet;
+
+/// Checks whether a family `F` of view sets induces a disclosure labeler
+/// (Theorem 3.7): `K = {⇓W : W ∈ F}` must be closed under intersection and
+/// contain `⇓U = U`.
+pub fn induces_labeler<O: DisclosureOrder>(order: &O, f: &[ViewSet]) -> bool {
+    let k: Vec<ViewSet> = f.iter().map(|w| downset(order, *w)).collect();
+    let top = downset(order, order.universe());
+    if !k.contains(&top) {
+        return false;
+    }
+    for (i, &a) in k.iter().enumerate() {
+        for &b in &k[i + 1..] {
+            let meet = a.intersection(b);
+            if !k.contains(&meet) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// A disclosure labeler for a finite universe, induced by a family `F`
+/// (Definition 3.8).
+///
+/// The labeler maps a set of views `W` to the (unique up to equivalence)
+/// least-informative label of `F` that reveals at least as much as `W`.
+#[derive(Debug, Clone)]
+pub struct FiniteLabeler {
+    /// The labels, exactly as supplied.
+    labels: Vec<ViewSet>,
+    /// `⇓` of each label, in the same order.
+    label_downsets: Vec<ViewSet>,
+}
+
+impl FiniteLabeler {
+    /// Number of labels in `F`.
+    pub fn num_labels(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The labels of `F` in their original order.
+    pub fn labels(&self) -> &[ViewSet] {
+        &self.labels
+    }
+
+    /// Labels `W`: returns the index into `F` of the least label whose
+    /// down-set contains `⇓W`.
+    ///
+    /// This is the `NaïveLabel` algorithm of Section 3.3, except that
+    /// instead of pre-sorting `F` it scans for the minimum directly (the
+    /// result is the same because the minimum is unique up to equivalence
+    /// when `F` induces a labeler).
+    pub fn label<O: DisclosureOrder>(&self, order: &O, w: ViewSet) -> usize {
+        let target = downset(order, w);
+        let mut best: Option<usize> = None;
+        for (i, d) in self.label_downsets.iter().enumerate() {
+            if target.is_subset_of(*d) {
+                best = match best {
+                    None => Some(i),
+                    Some(j) if d.is_proper_subset_of(self.label_downsets[j]) => Some(i),
+                    Some(j) => Some(j),
+                };
+            }
+        }
+        best.expect("F contains the top element, which is above everything")
+    }
+
+    /// Labels `W` and returns the label itself rather than its index.
+    pub fn label_set<O: DisclosureOrder>(&self, order: &O, w: ViewSet) -> ViewSet {
+        self.labels[self.label(order, w)]
+    }
+
+    /// The lattice of disclosure labels (Theorem 3.6): the distinct
+    /// down-sets of the labels, ordered by inclusion.
+    pub fn label_lattice_elements(&self) -> Vec<ViewSet> {
+        let mut elems = self.label_downsets.clone();
+        elems.sort_by_key(|e| (e.len(), e.bits()));
+        elems.dedup();
+        elems
+    }
+
+    /// Verifies the labeler axioms of Definition 3.4 by exhaustive
+    /// enumeration of subsets of the universe.  Intended for tests on small
+    /// universes; returns a description of the first violated axiom.
+    pub fn check_axioms<O: DisclosureOrder>(&self, order: &O) -> Result<(), String> {
+        let n = order.universe_size();
+        assert!(n <= 10, "exhaustive axiom checking is exponential in |U|");
+        for w in ViewSet::all_subsets(n) {
+            let idx = self.label(order, w);
+            let lw = self.labels[idx];
+            // (a) the output is (equivalent to) an element of F: by
+            // construction it *is* an element of F.
+            // (b) fixpoint on F.
+            if self.labels.contains(&w) && !order.equivalent(lw, w) {
+                return Err(format!("axiom (b) violated: ℓ({w}) = {lw} is not ≡ {w}"));
+            }
+            // (c) never underestimates.
+            if !order.leq(w, lw) {
+                return Err(format!("axiom (c) violated: {w} ⪯̸ ℓ({w}) = {lw}"));
+            }
+        }
+        // (d) monotonicity.
+        for w1 in ViewSet::all_subsets(n) {
+            for w2 in ViewSet::all_subsets(n) {
+                if order.leq(w1, w2) {
+                    let l1 = self.labels[self.label(order, w1)];
+                    let l2 = self.labels[self.label(order, w2)];
+                    if !order.leq(l1, l2) {
+                        return Err(format!(
+                            "axiom (d) violated: {w1} ⪯ {w2} but ℓ({w1}) = {l1} ⪯̸ ℓ({w2}) = {l2}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the labeler induced by `F` (Definition 3.8), or `None` if `F` does
+/// not induce one.
+pub fn induced_labeler<O: DisclosureOrder>(order: &O, f: &[ViewSet]) -> Option<FiniteLabeler> {
+    if !induces_labeler(order, f) {
+        return None;
+    }
+    let label_downsets = f.iter().map(|w| downset(order, *w)).collect();
+    Some(FiniteLabeler {
+        labels: f.to_vec(),
+        label_downsets,
+    })
+}
+
+/// The `NaïveLabel` procedure of Section 3.3, literally: sorts `F` by
+/// increasing disclosure and returns the first element that reveals at least
+/// as much as `W`.
+///
+/// Provided mostly for documentation and cross-checking against
+/// [`FiniteLabeler::label`]; the two agree up to equivalence whenever `F`
+/// induces a labeler.
+pub fn naive_label<O: DisclosureOrder>(order: &O, f: &[ViewSet], w: ViewSet) -> ViewSet {
+    let mut sorted: Vec<ViewSet> = f.to_vec();
+    // Sort so that if F[i] ⪯ F[j] then i ≤ j: order by down-set cardinality,
+    // which is compatible with the disclosure order.
+    sorted.sort_by_key(|x| downset(order, *x).len());
+    for candidate in &sorted {
+        if order.leq(w, *candidate) {
+            return *candidate;
+        }
+    }
+    order.universe()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::SingletonLiftedOrder;
+    use crate::view::ViewId;
+
+    /// Figure 3 universe: V0 full view, V1/V2 column projections, V3 nonemptiness.
+    fn figure3_order() -> impl DisclosureOrder {
+        SingletonLiftedOrder::new(4, |v: ViewId, w: ViewSet| {
+            if w.contains(v) {
+                return true;
+            }
+            match v.0 {
+                0 => false,
+                1 | 2 => w.contains(ViewId(0)),
+                3 => !w.is_empty(),
+                _ => false,
+            }
+        })
+    }
+
+    fn s(ids: &[u32]) -> ViewSet {
+        ids.iter().map(|&i| ViewId(i)).collect()
+    }
+
+    #[test]
+    fn example_3_5_no_labeler_without_the_bottom_between() {
+        // F = {∅, {V2}, {V4}, {V2,V4}, ⊤} in the paper's notation, i.e.
+        // {∅, {V1}, {V2}, {V1,V2}, {V0}} in ours.  The GLB of ⇓{V1} and
+        // ⇓{V2} is ⇓{V3}, which is not represented, so no labeler exists.
+        let order = figure3_order();
+        let f = vec![s(&[]), s(&[1]), s(&[2]), s(&[1, 2]), s(&[0])];
+        assert!(!induces_labeler(&order, &f));
+        assert!(induced_labeler(&order, &f).is_none());
+    }
+
+    #[test]
+    fn adding_the_overlap_view_restores_the_labeler() {
+        // Adding {V3} (the paper's {V5}) closes F under GLB.
+        let order = figure3_order();
+        let f = vec![s(&[]), s(&[3]), s(&[1]), s(&[2]), s(&[1, 2]), s(&[0])];
+        assert!(induces_labeler(&order, &f));
+        let labeler = induced_labeler(&order, &f).unwrap();
+        labeler.check_axioms(&order).unwrap();
+        assert_eq!(labeler.num_labels(), 6);
+        assert_eq!(labeler.labels().len(), 6);
+    }
+
+    #[test]
+    fn labels_are_the_least_sufficient_elements() {
+        let order = figure3_order();
+        let f = vec![s(&[]), s(&[3]), s(&[1]), s(&[2]), s(&[1, 2]), s(&[0])];
+        let labeler = induced_labeler(&order, &f).unwrap();
+
+        // The nonemptiness view labels to itself.
+        assert_eq!(labeler.label_set(&order, s(&[3])), s(&[3]));
+        // A projection labels to itself, not to the full view.
+        assert_eq!(labeler.label_set(&order, s(&[1])), s(&[1]));
+        // Both projections together label to {V1, V2}.
+        assert_eq!(labeler.label_set(&order, s(&[1, 2])), s(&[1, 2]));
+        // The full view needs the top label.
+        assert_eq!(labeler.label_set(&order, s(&[0])), s(&[0]));
+        // The empty set labels to the bottom label.
+        assert_eq!(labeler.label_set(&order, ViewSet::EMPTY), ViewSet::EMPTY);
+    }
+
+    #[test]
+    fn missing_top_element_means_no_labeler() {
+        let order = figure3_order();
+        let f = vec![s(&[]), s(&[3]), s(&[1]), s(&[2]), s(&[1, 2])];
+        assert!(!induces_labeler(&order, &f));
+    }
+
+    #[test]
+    fn naive_label_agrees_with_the_induced_labeler() {
+        let order = figure3_order();
+        let f = vec![s(&[]), s(&[3]), s(&[1]), s(&[2]), s(&[1, 2]), s(&[0])];
+        let labeler = induced_labeler(&order, &f).unwrap();
+        for w in ViewSet::all_subsets(4) {
+            let a = labeler.label_set(&order, w);
+            let b = naive_label(&order, &f, w);
+            assert!(
+                order.equivalent(a, b),
+                "disagreement on {w}: induced={a}, naive={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn imprecise_but_valid_labeler_from_a_coarse_f() {
+        // F = {∅, {V3}, {V1}, {V2}, ⊤}: still GLB-closed and contains ⊤, but
+        // the set {V1, V2} now labels all the way up to ⊤ (imprecision of the
+        // kind discussed below Definition 4.6).
+        let order = figure3_order();
+        let f = vec![s(&[]), s(&[3]), s(&[1]), s(&[2]), s(&[0])];
+        assert!(induces_labeler(&order, &f));
+        let labeler = induced_labeler(&order, &f).unwrap();
+        labeler.check_axioms(&order).unwrap();
+        assert_eq!(labeler.label_set(&order, s(&[1, 2])), s(&[0]));
+    }
+
+    #[test]
+    fn label_lattice_elements_are_the_distinct_downsets_of_f() {
+        let order = figure3_order();
+        let f = vec![s(&[]), s(&[3]), s(&[1]), s(&[2]), s(&[1, 2]), s(&[0])];
+        let labeler = induced_labeler(&order, &f).unwrap();
+        let lattice = labeler.label_lattice_elements();
+        assert_eq!(lattice.len(), 6);
+        // They are sorted from bottom to top.
+        assert_eq!(lattice[0], ViewSet::EMPTY);
+        assert_eq!(lattice[5], ViewSet::full(4));
+    }
+}

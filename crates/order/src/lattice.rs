@@ -1,0 +1,331 @@
+//! The disclosure lattice (Theorem 3.3) for finite universes.
+//!
+//! Given a finite universe `U` and a disclosure order `⪯`, the family
+//! `I = {⇓W : W ⊆ U}` ordered by inclusion is a bounded lattice with
+//!
+//! * LUB `(⇓W1) ⊔ (⇓W2) = ⇓(W1 ∪ W2)`,
+//! * GLB `(⇓W1) ⊓ (⇓W2) = (⇓W1) ∩ (⇓W2)`,
+//! * top `⇓U` and bottom `⇓∅`.
+//!
+//! [`DisclosureLattice`] materializes `I` by enumerating every subset of the
+//! universe — exponential by nature, so it is reserved for the small
+//! universes of the paper's worked examples, for validating the theory, and
+//! for expressing formal security policies as lattice cuts
+//! (`fdc-policy::lattice_policy`).  The production labelers in `fdc-core`
+//! never materialize a lattice.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::downset::downset;
+use crate::order::DisclosureOrder;
+use crate::view::ViewSet;
+
+/// Index of an element (a distinct down-set) in a [`DisclosureLattice`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElementId(pub usize);
+
+/// An explicit disclosure lattice over a small finite universe.
+#[derive(Debug, Clone)]
+pub struct DisclosureLattice {
+    /// The distinct down-sets, sorted by (cardinality, bits) so that the
+    /// bottom element is first and the top element is last.
+    elements: Vec<ViewSet>,
+    index: HashMap<ViewSet, ElementId>,
+    universe_size: usize,
+}
+
+impl DisclosureLattice {
+    /// Builds the disclosure lattice `I = {⇓W : W ⊆ U}` by enumeration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe has more than 20 views (the enumeration is
+    /// exponential; the paper's examples need at most 16).
+    pub fn build<O: DisclosureOrder>(order: &O) -> Self {
+        let n = order.universe_size();
+        assert!(n <= 20, "explicit lattice construction is exponential in |U|");
+        let mut elements: Vec<ViewSet> = Vec::new();
+        let mut index: HashMap<ViewSet, ElementId> = HashMap::new();
+        for w in ViewSet::all_subsets(n) {
+            let d = downset(order, w);
+            if let std::collections::hash_map::Entry::Vacant(slot) = index.entry(d) {
+                slot.insert(ElementId(usize::MAX)); // placeholder, re-assigned below
+                elements.push(d);
+            }
+        }
+        elements.sort_by_key(|e| (e.len(), e.bits()));
+        index.clear();
+        for (i, e) in elements.iter().enumerate() {
+            index.insert(*e, ElementId(i));
+        }
+        DisclosureLattice {
+            elements,
+            index,
+            universe_size: n,
+        }
+    }
+
+    /// Number of distinct elements (information levels).
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True if the lattice has no elements (never happens for a valid order).
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The number of views in the underlying universe.
+    pub fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    /// The down-set corresponding to an element.
+    pub fn element(&self, id: ElementId) -> ViewSet {
+        self.elements[id.0]
+    }
+
+    /// All elements in (cardinality, bits) order; bottom first, top last.
+    pub fn elements(&self) -> &[ViewSet] {
+        &self.elements
+    }
+
+    /// Looks up the element id of a down-set, if it is one of the lattice's
+    /// elements.
+    pub fn id_of(&self, downset: ViewSet) -> Option<ElementId> {
+        self.index.get(&downset).copied()
+    }
+
+    /// The element representing the information disclosed by `w`
+    /// (i.e. `⇓w`, resolved to an element id).
+    pub fn classify<O: DisclosureOrder>(&self, order: &O, w: ViewSet) -> ElementId {
+        let d = downset(order, w);
+        self.id_of(d)
+            .expect("⇓w is an element of the lattice by construction")
+    }
+
+    /// The bottom element `⊥ = ⇓∅`.
+    pub fn bottom(&self) -> ElementId {
+        ElementId(0)
+    }
+
+    /// The top element `⊤ = ⇓U`.
+    pub fn top(&self) -> ElementId {
+        ElementId(self.elements.len() - 1)
+    }
+
+    /// Partial-order test: `a ≤ b` (down-set inclusion).
+    pub fn leq(&self, a: ElementId, b: ElementId) -> bool {
+        self.element(a).is_subset_of(self.element(b))
+    }
+
+    /// Greatest lower bound (Theorem 3.3 (b)): intersection of down-sets.
+    pub fn glb(&self, a: ElementId, b: ElementId) -> ElementId {
+        let meet = self.element(a).intersection(self.element(b));
+        self.id_of(meet)
+            .expect("the intersection of two down-sets is a down-set (GLB closure)")
+    }
+
+    /// Least upper bound (Theorem 3.3 (a)): `⇓` of the union.
+    pub fn lub<O: DisclosureOrder>(&self, order: &O, a: ElementId, b: ElementId) -> ElementId {
+        let join = downset(order, self.element(a).union(self.element(b)));
+        self.id_of(join)
+            .expect("⇓ of a union of elements is an element")
+    }
+
+    /// True if the lattice is distributive
+    /// (`a ⊓ (b ⊔ c) = (a ⊓ b) ⊔ (a ⊓ c)` for all elements).
+    ///
+    /// Theorem 4.8: decomposability of the universe implies distributivity.
+    pub fn is_distributive<O: DisclosureOrder>(&self, order: &O) -> bool {
+        let ids: Vec<ElementId> = (0..self.len()).map(ElementId).collect();
+        for &a in &ids {
+            for &b in &ids {
+                for &c in &ids {
+                    let lhs = self.glb(a, self.lub(order, b, c));
+                    let rhs = self.lub(order, self.glb(a, b), self.glb(a, c));
+                    if lhs != rhs {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The covering ("Hasse diagram") edges of the lattice: pairs `(a, b)`
+    /// with `a < b` and no element strictly between them.
+    pub fn hasse_edges(&self) -> Vec<(ElementId, ElementId)> {
+        let mut edges = Vec::new();
+        let ids: Vec<ElementId> = (0..self.len()).map(ElementId).collect();
+        for &a in &ids {
+            for &b in &ids {
+                if a == b || !self.leq(a, b) {
+                    continue;
+                }
+                let covered = ids.iter().any(|&m| {
+                    m != a && m != b && self.leq(a, m) && self.leq(m, b)
+                });
+                if !covered {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Renders the Hasse diagram in Graphviz DOT format, labelling each node
+    /// with its down-set through `label`.
+    pub fn to_dot(&self, label: impl Fn(ViewSet) -> String) -> String {
+        let mut out = String::from("digraph disclosure_lattice {\n  rankdir=BT;\n");
+        for (i, e) in self.elements.iter().enumerate() {
+            out.push_str(&format!("  n{} [label=\"{}\"];\n", i, label(*e)));
+        }
+        for (a, b) in self.hasse_edges() {
+            out.push_str(&format!("  n{} -> n{};\n", a.0, b.0));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for DisclosureLattice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "disclosure lattice with {} elements:", self.len())?;
+        for (i, e) in self.elements.iter().enumerate() {
+            writeln!(f, "  [{i}] {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::{SingletonLiftedOrder, SubsetOrder};
+    use crate::view::ViewId;
+
+    /// The Figure 3 universe (see `downset::tests`): V0 = full view,
+    /// V1/V2 = column projections, V3 = nonemptiness.
+    fn figure3_order() -> impl DisclosureOrder {
+        SingletonLiftedOrder::new(4, |v: ViewId, w: ViewSet| {
+            if w.contains(v) {
+                return true;
+            }
+            match v.0 {
+                0 => false,
+                1 | 2 => w.contains(ViewId(0)),
+                3 => !w.is_empty(),
+                _ => false,
+            }
+        })
+    }
+
+    #[test]
+    fn figure_3_lattice_has_six_elements() {
+        let order = figure3_order();
+        let lattice = DisclosureLattice::build(&order);
+        // Figure 3: ⊥, ⇓{V5}, ⇓{V2}, ⇓{V4}, ⇓{V2,V4}, ⊤.
+        assert_eq!(lattice.len(), 6);
+        assert!(!lattice.is_empty());
+        assert_eq!(lattice.universe_size(), 4);
+        assert_eq!(lattice.element(lattice.bottom()), ViewSet::EMPTY);
+        assert_eq!(lattice.element(lattice.top()), ViewSet::full(4));
+    }
+
+    #[test]
+    fn figure_3_glb_and_lub() {
+        let order = figure3_order();
+        let lattice = DisclosureLattice::build(&order);
+        let col1 = lattice.classify(&order, ViewSet::singleton(ViewId(1)));
+        let col2 = lattice.classify(&order, ViewSet::singleton(ViewId(2)));
+        let nonempty = lattice.classify(&order, ViewSet::singleton(ViewId(3)));
+        let both = lattice.classify(&order, ViewSet::singleton(ViewId(1)).with(ViewId(2)));
+        let top = lattice.top();
+
+        // "The GLB of ⇓{V2} and ⇓{V4} is ⇓{V5}."
+        assert_eq!(lattice.glb(col1, col2), nonempty);
+        // "Their LUB is not ⇓{V1} but another properly lower element."
+        let lub = lattice.lub(&order, col1, col2);
+        assert_eq!(lub, both);
+        assert_ne!(lub, top);
+        assert!(lattice.leq(lub, top));
+        assert!(!lattice.leq(top, lub));
+    }
+
+    #[test]
+    fn lattice_laws_hold() {
+        let order = figure3_order();
+        let lattice = DisclosureLattice::build(&order);
+        let ids: Vec<ElementId> = (0..lattice.len()).map(ElementId).collect();
+        for &a in &ids {
+            // Idempotence and bounds.
+            assert_eq!(lattice.glb(a, a), a);
+            assert_eq!(lattice.lub(&order, a, a), a);
+            assert_eq!(lattice.glb(a, lattice.top()), a);
+            assert_eq!(lattice.lub(&order, a, lattice.bottom()), a);
+            assert!(lattice.leq(lattice.bottom(), a));
+            assert!(lattice.leq(a, lattice.top()));
+            for &b in &ids {
+                // Commutativity.
+                assert_eq!(lattice.glb(a, b), lattice.glb(b, a));
+                assert_eq!(lattice.lub(&order, a, b), lattice.lub(&order, b, a));
+                // GLB is a lower bound, LUB an upper bound.
+                assert!(lattice.leq(lattice.glb(a, b), a));
+                assert!(lattice.leq(a, lattice.lub(&order, a, b)));
+                // Absorption.
+                assert_eq!(lattice.glb(a, lattice.lub(&order, a, b)), a);
+                assert_eq!(lattice.lub(&order, a, lattice.glb(a, b)), a);
+            }
+        }
+    }
+
+    #[test]
+    fn figure_3_lattice_is_distributive() {
+        // The Figure 3 universe is decomposable (single-atom views), so by
+        // Theorem 4.8 its lattice is distributive.
+        let order = figure3_order();
+        let lattice = DisclosureLattice::build(&order);
+        assert!(lattice.is_distributive(&order));
+    }
+
+    #[test]
+    fn subset_order_gives_the_boolean_lattice() {
+        let order = SubsetOrder::new(3);
+        let lattice = DisclosureLattice::build(&order);
+        assert_eq!(lattice.len(), 8);
+        assert!(lattice.is_distributive(&order));
+        // Hasse diagram of the boolean lattice on 3 atoms has 12 edges.
+        assert_eq!(lattice.hasse_edges().len(), 12);
+    }
+
+    #[test]
+    fn hasse_edges_of_figure_3() {
+        let order = figure3_order();
+        let lattice = DisclosureLattice::build(&order);
+        let edges = lattice.hasse_edges();
+        // Figure 3 shows exactly 6 covering edges:
+        // ⊥→⇓{V5}, ⇓{V5}→⇓{V2}, ⇓{V5}→⇓{V4}, ⇓{V2}→⇓{V2,V4}, ⇓{V4}→⇓{V2,V4}, ⇓{V2,V4}→⊤.
+        assert_eq!(edges.len(), 6);
+        for (a, b) in &edges {
+            assert!(lattice.leq(*a, *b));
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn classification_and_dot_export() {
+        let order = figure3_order();
+        let lattice = DisclosureLattice::build(&order);
+        let id = lattice.classify(&order, ViewSet::singleton(ViewId(0)));
+        assert_eq!(id, lattice.top());
+        let dot = lattice.to_dot(|s| s.to_string());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("->"));
+        assert!(dot.contains("{V0, V1, V2, V3}"));
+        // Display lists every element.
+        let shown = lattice.to_string();
+        assert!(shown.contains("6 elements"));
+    }
+}

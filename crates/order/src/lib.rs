@@ -1,0 +1,41 @@
+//! Order-theory substrate for disclosure control.
+//!
+//! Section 3 of Bender et al. (*Fine-Grained Disclosure Control for App
+//! Ecosystems*, SIGMOD 2013) grounds disclosure labeling in order theory:
+//!
+//! * a **disclosure order** (Definition 3.1) ranks sets of views by how much
+//!   information they reveal;
+//! * the **`⇓` operator** (Definition 3.2) maps a set of views to the set of
+//!   all views derivable from it;
+//! * the family of all such down-sets forms the **disclosure lattice**
+//!   (Theorem 3.3);
+//! * **disclosure labelers** (Definition 3.4) are closure-operator-like maps
+//!   whose existence is characterized by Theorem 3.7;
+//! * **downward generating sets** and **generating sets** (Section 4) are
+//!   the compact representations the practical algorithms work with.
+//!
+//! This crate implements all of that machinery for *finite universes of
+//! views*, identified by opaque [`ViewId`]s.  It is deliberately independent
+//! of any query language: the conjunctive-query instantiation lives in
+//! `fdc-core`, which plugs a concrete rewriting-based order into the
+//! [`DisclosureOrder`] trait defined here.  The finite machinery is used to
+//! validate the theory (every theorem in Sections 3 and 4 has executable
+//! checks here), to drive the small lattice examples of the paper, and to
+//! express formal security policies as lattice cuts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod closure;
+pub mod downset;
+pub mod genset;
+pub mod labeler;
+pub mod lattice;
+pub mod order;
+pub mod view;
+
+pub use downset::downset;
+pub use labeler::{induced_labeler, induces_labeler, FiniteLabeler};
+pub use lattice::DisclosureLattice;
+pub use order::{DisclosureOrder, FnOrder, SubsetOrder};
+pub use view::{ViewId, ViewSet};

@@ -1,0 +1,292 @@
+//! Disclosure orders (Definition 3.1) over finite universes of views.
+//!
+//! A disclosure order is a preorder `⪯` on sets of views such that
+//!
+//! * (a) `W1 ⊆ W2` implies `W1 ⪯ W2`, and
+//! * (b) if every `W ∈ φ` satisfies `W ⪯ W0` then `⋃φ ⪯ W0`.
+//!
+//! The trait [`DisclosureOrder`] captures the comparison; implementors are
+//! responsible for satisfying the axioms, and
+//! [`check_disclosure_order_axioms`] provides an executable (exhaustive, for
+//! small universes) check used by the test suite and by property tests.
+
+use crate::view::{ViewId, ViewSet};
+
+/// A disclosure order over a finite universe of views `0..universe_size()`.
+pub trait DisclosureOrder {
+    /// Number of views in the universe `U`.
+    fn universe_size(&self) -> usize;
+
+    /// The comparison `w1 ⪯ w2`: everything revealed by `w1` is revealed by `w2`.
+    fn leq(&self, w1: ViewSet, w2: ViewSet) -> bool;
+
+    /// The induced equivalence `w1 ≡ w2` (Section 3.1).
+    fn equivalent(&self, w1: ViewSet, w2: ViewSet) -> bool {
+        self.leq(w1, w2) && self.leq(w2, w1)
+    }
+
+    /// The full universe as a [`ViewSet`].
+    fn universe(&self) -> ViewSet {
+        ViewSet::full(self.universe_size())
+    }
+}
+
+/// The subset order: `W1 ⪯ W2` iff `W1 ⊆ W2`.
+///
+/// The simplest disclosure order (mentioned in Section 3.1); useful as a
+/// baseline and for tests.
+#[derive(Debug, Clone, Copy)]
+pub struct SubsetOrder {
+    universe_size: usize,
+}
+
+impl SubsetOrder {
+    /// A subset order over a universe of `n` views.
+    pub fn new(universe_size: usize) -> Self {
+        SubsetOrder { universe_size }
+    }
+}
+
+impl DisclosureOrder for SubsetOrder {
+    fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    fn leq(&self, w1: ViewSet, w2: ViewSet) -> bool {
+        w1.is_subset_of(w2)
+    }
+}
+
+/// A disclosure order defined by an arbitrary comparison function.
+///
+/// The caller is responsible for the axioms of Definition 3.1; use
+/// [`check_disclosure_order_axioms`] in tests.  The most common use is to
+/// lift a *singleton* comparison ("view `v` is derivable from the set `w`")
+/// into a full order with [`FnOrder::from_singleton_leq`], which satisfies
+/// the axioms by construction whenever the singleton comparison is monotone
+/// in `w` and reflexive.
+pub struct FnOrder<F>
+where
+    F: Fn(ViewSet, ViewSet) -> bool,
+{
+    universe_size: usize,
+    leq: F,
+}
+
+impl<F> FnOrder<F>
+where
+    F: Fn(ViewSet, ViewSet) -> bool,
+{
+    /// Wraps a set-to-set comparison function.
+    pub fn new(universe_size: usize, leq: F) -> Self {
+        FnOrder { universe_size, leq }
+    }
+}
+
+impl<F> DisclosureOrder for FnOrder<F>
+where
+    F: Fn(ViewSet, ViewSet) -> bool,
+{
+    fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    fn leq(&self, w1: ViewSet, w2: ViewSet) -> bool {
+        (self.leq)(w1, w2)
+    }
+}
+
+/// A disclosure order derived from a singleton comparison
+/// `derivable(v, w)` = "the single view `v` can be computed from the set `w`".
+///
+/// The set-level order is `W1 ⪯ W2` iff every `v ∈ W1` is derivable from
+/// `W2`.  If `derivable` is reflexive-on-members (`v ∈ w ⇒ derivable(v, w)`)
+/// and monotone in `w`, the result satisfies Definition 3.1:
+///
+/// * axiom (a) follows from reflexivity-on-members;
+/// * axiom (b) holds because the definition quantifies over the members of
+///   the left-hand set one at a time, so a union on the left changes nothing;
+/// * transitivity requires the natural composition property
+///   (`derivable(v, W)` and `W ⪯ W'` imply `derivable(v, W')`), which holds
+///   for equivalent view rewriting and determinacy alike.
+///
+/// This mirrors how the paper's concrete orders (equivalent view rewriting,
+/// determinacy) are evaluated in practice.
+pub struct SingletonLiftedOrder<D>
+where
+    D: Fn(ViewId, ViewSet) -> bool,
+{
+    universe_size: usize,
+    derivable: D,
+}
+
+impl<D> SingletonLiftedOrder<D>
+where
+    D: Fn(ViewId, ViewSet) -> bool,
+{
+    /// Lifts a singleton derivability predicate to a set-level order.
+    pub fn new(universe_size: usize, derivable: D) -> Self {
+        SingletonLiftedOrder {
+            universe_size,
+            derivable,
+        }
+    }
+}
+
+impl<D> DisclosureOrder for SingletonLiftedOrder<D>
+where
+    D: Fn(ViewId, ViewSet) -> bool,
+{
+    fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    fn leq(&self, w1: ViewSet, w2: ViewSet) -> bool {
+        w1.iter().all(|v| (self.derivable)(v, w2))
+    }
+}
+
+/// Exhaustively checks the disclosure-order axioms of Definition 3.1 on a
+/// small universe.
+///
+/// Checks reflexivity, transitivity, axiom (a) (`⊆` implies `⪯`) and axiom
+/// (b) (closure of the left side under unions).  Exponential in the universe
+/// size; intended for universes of at most ~6 views in tests.
+///
+/// Returns `Err` with a human-readable description of the first violated
+/// axiom.
+pub fn check_disclosure_order_axioms<O: DisclosureOrder>(order: &O) -> Result<(), String> {
+    let n = order.universe_size();
+    assert!(n <= 6, "exhaustive axiom checking is exponential; keep the universe small");
+    let subsets: Vec<ViewSet> = ViewSet::all_subsets(n).collect();
+
+    // Reflexivity.
+    for &w in &subsets {
+        if !order.leq(w, w) {
+            return Err(format!("reflexivity violated: {w} ⪯̸ {w}"));
+        }
+    }
+    // Axiom (a): subset implies leq.
+    for &w1 in &subsets {
+        for &w2 in &subsets {
+            if w1.is_subset_of(w2) && !order.leq(w1, w2) {
+                return Err(format!("axiom (a) violated: {w1} ⊆ {w2} but {w1} ⪯̸ {w2}"));
+            }
+        }
+    }
+    // Transitivity.
+    for &a in &subsets {
+        for &b in &subsets {
+            if !order.leq(a, b) {
+                continue;
+            }
+            for &c in &subsets {
+                if order.leq(b, c) && !order.leq(a, c) {
+                    return Err(format!(
+                        "transitivity violated: {a} ⪯ {b} ⪯ {c} but {a} ⪯̸ {c}"
+                    ));
+                }
+            }
+        }
+    }
+    // Axiom (b): if every member of a family is below w0, the union is too.
+    // Pairwise unions suffice (general families follow by induction).
+    for &w0 in &subsets {
+        for &a in &subsets {
+            if !order.leq(a, w0) {
+                continue;
+            }
+            for &b in &subsets {
+                if order.leq(b, w0) && !order.leq(a.union(b), w0) {
+                    return Err(format!(
+                        "axiom (b) violated: {a} ⪯ {w0} and {b} ⪯ {w0} but {} ⪯̸ {w0}",
+                        a.union(b)
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_order_satisfies_the_axioms() {
+        let order = SubsetOrder::new(4);
+        assert_eq!(order.universe_size(), 4);
+        assert_eq!(order.universe(), ViewSet::full(4));
+        check_disclosure_order_axioms(&order).unwrap();
+    }
+
+    #[test]
+    fn subset_order_comparisons() {
+        let order = SubsetOrder::new(3);
+        let a = ViewSet::singleton(ViewId(0));
+        let ab = a.with(ViewId(1));
+        assert!(order.leq(a, ab));
+        assert!(!order.leq(ab, a));
+        assert!(order.leq(ViewSet::EMPTY, a));
+        assert!(order.equivalent(a, a));
+        assert!(!order.equivalent(a, ab));
+    }
+
+    #[test]
+    fn fn_order_wraps_arbitrary_comparisons() {
+        // An order where everything is equivalent (the "no information"
+        // order): a legal, if useless, disclosure order.
+        let order = FnOrder::new(3, |_, _| true);
+        check_disclosure_order_axioms(&order).unwrap();
+        assert!(order.equivalent(ViewSet::EMPTY, ViewSet::full(3)));
+    }
+
+    #[test]
+    fn singleton_lifted_order_mimics_projection_structure() {
+        // Universe modelled on Figure 3: V0 = full Meetings view, V1 = first
+        // column, V2 = second column, V3 = nonemptiness.
+        // derivable(v, w): v is in w, or v can be computed from some member.
+        let derivable = |v: ViewId, w: ViewSet| -> bool {
+            if w.contains(v) {
+                return true;
+            }
+            match v.0 {
+                // The full view is only derivable from itself.
+                0 => false,
+                // A projection is derivable from the full view.
+                1 | 2 => w.contains(ViewId(0)),
+                // Nonemptiness is derivable from anything nonempty.
+                3 => !w.is_empty(),
+                _ => false,
+            }
+        };
+        let order = SingletonLiftedOrder::new(4, derivable);
+        check_disclosure_order_axioms(&order).unwrap();
+
+        let full = ViewSet::singleton(ViewId(0));
+        let proj1 = ViewSet::singleton(ViewId(1));
+        let proj2 = ViewSet::singleton(ViewId(2));
+        let nonempty = ViewSet::singleton(ViewId(3));
+
+        assert!(order.leq(proj1, full));
+        assert!(order.leq(proj2, full));
+        assert!(order.leq(nonempty, proj1));
+        assert!(!order.leq(full, proj1.union(proj2)));
+        assert!(order.leq(proj1.union(proj2), full));
+        assert!(!order.leq(proj1, proj2));
+    }
+
+    #[test]
+    fn axiom_checker_catches_violations() {
+        // "leq" that is not reflexive.
+        let broken = FnOrder::new(2, |w1: ViewSet, w2: ViewSet| w1 != w2 && w1.is_subset_of(w2));
+        let err = check_disclosure_order_axioms(&broken).unwrap_err();
+        assert!(err.contains("reflexivity"));
+
+        // An order that violates axiom (a): comparisons only between equal sets.
+        let broken_a = FnOrder::new(2, |w1: ViewSet, w2: ViewSet| w1 == w2);
+        let err = check_disclosure_order_axioms(&broken_a).unwrap_err();
+        assert!(err.contains("axiom (a)"));
+    }
+}

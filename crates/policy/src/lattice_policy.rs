@@ -1,0 +1,223 @@
+//! Formal security policies as lattice cuts (Definition 3.9).
+//!
+//! "Conceptually, a security policy is a cut in this lattice: a set of
+//! queries whose label is below the cut can be answered, but a set of
+//! queries whose label falls above the cut cannot."  A [`LatticePolicy`]
+//! represents the policy exactly that way — as the set of permitted elements
+//! of an explicit [`DisclosureLattice`] — together with the internal
+//! consistency requirement (downward closure) the paper imposes, and the
+//! simple enforcement loop of Section 3.4.
+//!
+//! This representation is exponential and exists for the worked examples,
+//! for validating the compact representation of [`crate::policy`], and for
+//! reasoning about hand-written policies (detecting redundancy and
+//! inconsistency, one of the motivations in Section 2.2).
+
+use std::collections::BTreeSet;
+
+use fdc_order::lattice::{DisclosureLattice, ElementId};
+use fdc_order::{DisclosureOrder, ViewSet};
+
+/// A security policy as a downward-closed set of lattice elements.
+#[derive(Debug, Clone)]
+pub struct LatticePolicy {
+    permitted: BTreeSet<ElementId>,
+}
+
+impl LatticePolicy {
+    /// Builds a policy from the permitted elements.
+    ///
+    /// Returns an error naming the offending pair if the set is not
+    /// internally consistent (i.e. not downward closed): if an element is
+    /// permitted, everything below it must be permitted too.
+    pub fn new(
+        lattice: &DisclosureLattice,
+        permitted: impl IntoIterator<Item = ElementId>,
+    ) -> Result<Self, String> {
+        let permitted: BTreeSet<ElementId> = permitted.into_iter().collect();
+        for &high in &permitted {
+            for candidate in 0..lattice.len() {
+                let low = ElementId(candidate);
+                if lattice.leq(low, high) && !permitted.contains(&low) {
+                    return Err(format!(
+                        "policy is not downward closed: {:?} is permitted but {:?} below it is not",
+                        high, low
+                    ));
+                }
+            }
+        }
+        Ok(LatticePolicy { permitted })
+    }
+
+    /// Builds the downward closure of the given elements — the least
+    /// consistent policy permitting them all.
+    pub fn downward_closure(
+        lattice: &DisclosureLattice,
+        tops: impl IntoIterator<Item = ElementId>,
+    ) -> Self {
+        let tops: Vec<ElementId> = tops.into_iter().collect();
+        let mut permitted = BTreeSet::new();
+        for candidate in 0..lattice.len() {
+            let low = ElementId(candidate);
+            if tops.iter().any(|&t| lattice.leq(low, t)) {
+                permitted.insert(low);
+            }
+        }
+        LatticePolicy { permitted }
+    }
+
+    /// Number of permitted lattice elements.
+    pub fn len(&self) -> usize {
+        self.permitted.len()
+    }
+
+    /// True if nothing (not even ⊥) is permitted.
+    pub fn is_empty(&self) -> bool {
+        self.permitted.is_empty()
+    }
+
+    /// Is the lattice element permitted?
+    pub fn permits(&self, element: ElementId) -> bool {
+        self.permitted.contains(&element)
+    }
+
+    /// Is disclosing the information `⇓w` permitted?
+    pub fn permits_views<O: DisclosureOrder>(
+        &self,
+        order: &O,
+        lattice: &DisclosureLattice,
+        w: ViewSet,
+    ) -> bool {
+        self.permits(lattice.classify(order, w))
+    }
+
+    /// The reference-monitor loop of Section 3.4: processes the labels of a
+    /// stream of queries (each given as a set of views), answering a query
+    /// when the *cumulative* disclosure stays permitted.
+    ///
+    /// Returns one boolean per query: `true` if it was answered.
+    pub fn enforce_sequence<O: DisclosureOrder>(
+        &self,
+        order: &O,
+        lattice: &DisclosureLattice,
+        queries: &[ViewSet],
+    ) -> Vec<bool> {
+        let mut cumulative = ViewSet::new();
+        let mut decisions = Vec::with_capacity(queries.len());
+        for q in queries {
+            let tentative = cumulative.union(*q);
+            if self.permits_views(order, lattice, tentative) {
+                decisions.push(true);
+                cumulative = tentative;
+            } else {
+                decisions.push(false);
+            }
+        }
+        decisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdc_order::order::SingletonLiftedOrder;
+    use fdc_order::{ViewId, ViewSet};
+
+    /// The Figure 3 universe: V0 = full Meetings view, V1/V2 = column
+    /// projections, V3 = nonemptiness.
+    fn figure3_order() -> impl DisclosureOrder {
+        SingletonLiftedOrder::new(4, |v: ViewId, w: ViewSet| {
+            if w.contains(v) {
+                return true;
+            }
+            match v.0 {
+                0 => false,
+                1 | 2 => w.contains(ViewId(0)),
+                3 => !w.is_empty(),
+                _ => false,
+            }
+        })
+    }
+
+    fn s(ids: &[u32]) -> ViewSet {
+        ids.iter().map(|&i| ViewId(i)).collect()
+    }
+
+    #[test]
+    fn section_3_4_chinese_wall_policy() {
+        // P = {⊥, ⇓{V5}, ⇓{V2}, ⇓{V4}}: either attribute of Meetings may be
+        // disclosed, but not both.
+        let order = figure3_order();
+        let lattice = DisclosureLattice::build(&order);
+        let col1 = lattice.classify(&order, s(&[1]));
+        let col2 = lattice.classify(&order, s(&[2]));
+        let policy =
+            LatticePolicy::downward_closure(&lattice, [col1, col2]);
+        assert_eq!(policy.len(), 4); // ⊥, ⇓{V5}, ⇓{V2}, ⇓{V4}
+
+        // Individual projections are permitted.
+        assert!(policy.permits_views(&order, &lattice, s(&[1])));
+        assert!(policy.permits_views(&order, &lattice, s(&[2])));
+        assert!(policy.permits_views(&order, &lattice, s(&[3])));
+        // Their combination is not, and neither is the full view.
+        assert!(!policy.permits_views(&order, &lattice, s(&[1, 2])));
+        assert!(!policy.permits_views(&order, &lattice, s(&[0])));
+    }
+
+    #[test]
+    fn enforcement_tracks_cumulative_disclosure() {
+        let order = figure3_order();
+        let lattice = DisclosureLattice::build(&order);
+        let col1 = lattice.classify(&order, s(&[1]));
+        let col2 = lattice.classify(&order, s(&[2]));
+        let policy = LatticePolicy::downward_closure(&lattice, [col1, col2]);
+
+        // First query discloses column 1, second column 2 (refused because
+        // the cumulative disclosure would exceed the cut), third asks for
+        // column 1 again (still fine), fourth asks for the nonemptiness view
+        // (fine: already below the cumulative disclosure).
+        let decisions = policy.enforce_sequence(
+            &order,
+            &lattice,
+            &[s(&[1]), s(&[2]), s(&[1]), s(&[3])],
+        );
+        assert_eq!(decisions, vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn inconsistent_policies_are_rejected() {
+        let order = figure3_order();
+        let lattice = DisclosureLattice::build(&order);
+        let col1 = lattice.classify(&order, s(&[1]));
+        // Permitting ⇓{V2} without permitting ⊥ (or ⇓{V5}) is inconsistent.
+        let err = LatticePolicy::new(&lattice, [col1]).unwrap_err();
+        assert!(err.contains("not downward closed"));
+
+        // The downward closure of the same element is consistent.
+        let ok = LatticePolicy::downward_closure(&lattice, [col1]);
+        assert_eq!(ok.len(), 3); // ⊥, ⇓{V5}, ⇓{V2}
+        assert!(LatticePolicy::new(&lattice, ok.permitted.iter().copied()).is_ok());
+    }
+
+    #[test]
+    fn empty_policy_permits_nothing() {
+        let order = figure3_order();
+        let lattice = DisclosureLattice::build(&order);
+        let policy = LatticePolicy::new(&lattice, []).unwrap();
+        assert!(policy.is_empty());
+        assert!(!policy.permits_views(&order, &lattice, ViewSet::EMPTY));
+        let decisions = policy.enforce_sequence(&order, &lattice, &[s(&[3])]);
+        assert_eq!(decisions, vec![false]);
+    }
+
+    #[test]
+    fn permitting_the_top_permits_everything() {
+        let order = figure3_order();
+        let lattice = DisclosureLattice::build(&order);
+        let policy = LatticePolicy::downward_closure(&lattice, [lattice.top()]);
+        assert_eq!(policy.len(), lattice.len());
+        for w in ViewSet::all_subsets(4) {
+            assert!(policy.permits_views(&order, &lattice, w));
+        }
+    }
+}

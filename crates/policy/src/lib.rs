@@ -1,0 +1,37 @@
+//! Security policies and the reference monitor.
+//!
+//! This crate implements the policy side of the paper (Sections 3.4 and
+//! 6.2): given the disclosure labels produced by `fdc-core`, decide whether
+//! each incoming query may be answered without ever exceeding the principal's
+//! permitted disclosure — including *cumulative* disclosure across the whole
+//! query history and stateful Chinese-Wall policies.
+//!
+//! Two representations of policies are provided:
+//!
+//! * the **formal** one of Definition 3.9 ([`lattice_policy`]): a down-closed
+//!   subset of an explicit lattice of disclosure labels, built on
+//!   `fdc-order`.  Faithful to the theory, but exponential to materialize —
+//!   used for the worked examples and to validate the compact
+//!   representation.
+//! * the **compact** one of Section 6.2 ([`policy`], [`monitor`],
+//!   [`store`]): a policy is a small collection of *partitions*, each a set
+//!   of permitted single-atom security views; the reference monitor keeps
+//!   one bit per partition and makes decisions with a handful of bit-mask
+//!   operations per query.  This is the representation benchmarked in the
+//!   paper's Figure 6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod lattice_policy;
+pub mod monitor;
+pub mod partition;
+pub mod policy;
+pub mod store;
+
+pub use audit::{audit_app, AuditReport};
+pub use monitor::{Decision, ReferenceMonitor};
+pub use partition::PolicyPartition;
+pub use policy::SecurityPolicy;
+pub use store::{PolicyStore, PrincipalId};

@@ -1,0 +1,212 @@
+//! Policy partitions: sets of permitted single-atom security views.
+//!
+//! Section 6.2 represents a security policy "as a collection of sets of
+//! single-atom disclosure labels, say `{W1, W2, …, Wk}`", enforcing the
+//! invariant that the queries answered so far stay below *some* `Wi`.  A
+//! [`PolicyPartition`] is one such `Wi`: per base relation, a bit mask of the
+//! security views the principal is allowed to access.
+//!
+//! A disclosure label is below a partition exactly when every one of its
+//! atom labels is answerable from a permitted view, i.e. when
+//! `ℓ⁺(atom) ∩ permitted(relation) ≠ ∅` — a single AND per atom in the
+//! packed representation.
+
+use std::collections::HashMap;
+
+use fdc_core::{AtomLabel, DisclosureLabel, SecurityViewId, SecurityViews, ViewMask};
+use fdc_cq::RelId;
+
+/// One partition `Wi` of a security policy: the set of security views a
+/// principal may draw on, organized per base relation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PolicyPartition {
+    permitted: HashMap<RelId, ViewMask>,
+    /// Human-readable name, e.g. `"meetings-side"` for a Chinese Wall.
+    pub name: String,
+}
+
+impl PolicyPartition {
+    /// Creates an empty (nothing permitted) partition.
+    pub fn new(name: impl Into<String>) -> Self {
+        PolicyPartition {
+            permitted: HashMap::new(),
+            name: name.into(),
+        }
+    }
+
+    /// Builds a partition from a list of permitted security views.
+    pub fn from_views<I>(name: impl Into<String>, registry: &SecurityViews, views: I) -> Self
+    where
+        I: IntoIterator<Item = SecurityViewId>,
+    {
+        let mut partition = PolicyPartition::new(name);
+        for id in views {
+            partition.permit(registry, id);
+        }
+        partition
+    }
+
+    /// Builds a partition from view *names* registered in `registry`.
+    ///
+    /// Unknown names are ignored and reported in the returned list so the
+    /// caller can surface configuration mistakes.
+    pub fn from_view_names<'a, I>(
+        name: impl Into<String>,
+        registry: &SecurityViews,
+        names: I,
+    ) -> (Self, Vec<&'a str>)
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut partition = PolicyPartition::new(name);
+        let mut unknown = Vec::new();
+        for view_name in names {
+            match registry.id_by_name(view_name) {
+                Some(id) => partition.permit(registry, id),
+                None => unknown.push(view_name),
+            }
+        }
+        (partition, unknown)
+    }
+
+    /// Permits one more security view.
+    pub fn permit(&mut self, registry: &SecurityViews, id: SecurityViewId) {
+        let view = registry.view(id);
+        *self.permitted.entry(view.relation).or_insert(0) |= 1u64 << view.bit;
+    }
+
+    /// The mask of permitted views for a relation (0 if none).
+    pub fn permitted_mask(&self, relation: RelId) -> ViewMask {
+        self.permitted.get(&relation).copied().unwrap_or(0)
+    }
+
+    /// Number of permitted views across all relations.
+    pub fn num_permitted(&self) -> usize {
+        self.permitted
+            .values()
+            .map(|m| m.count_ones() as usize)
+            .sum()
+    }
+
+    /// True if nothing is permitted.
+    pub fn is_empty(&self) -> bool {
+        self.permitted.values().all(|m| *m == 0)
+    }
+
+    /// Is a single atom label answerable under this partition?
+    pub fn allows_atom(&self, atom: &AtomLabel) -> bool {
+        atom.mask & self.permitted_mask(atom.relation) != 0
+    }
+
+    /// Is a whole disclosure label below this partition
+    /// (`label ⪯ Wi`)?  Every atom must be answerable from a permitted view.
+    pub fn allows(&self, label: &DisclosureLabel) -> bool {
+        label.atoms().iter().all(|a| self.allows_atom(a))
+    }
+
+    /// The relations for which this partition permits at least one view.
+    pub fn relations(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.permitted
+            .iter()
+            .filter(|(_, m)| **m != 0)
+            .map(|(r, _)| *r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdc_core::{BaselineLabeler, QueryLabeler};
+    use fdc_cq::{parser::parse_query, Catalog};
+
+    fn setup() -> (Catalog, SecurityViews, BaselineLabeler) {
+        let registry = SecurityViews::paper_example();
+        let catalog = registry.catalog().clone();
+        let labeler = BaselineLabeler::new(registry.clone());
+        (catalog, registry, labeler)
+    }
+
+    #[test]
+    fn partitions_built_from_views_permit_those_views() {
+        let (_, registry, _) = setup();
+        let v1 = registry.id_by_name("V1").unwrap();
+        let v3 = registry.id_by_name("V3").unwrap();
+        let p = PolicyPartition::from_views("both-sides", &registry, [v1, v3]);
+        assert_eq!(p.num_permitted(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.relations().count(), 2);
+        assert_eq!(p.name, "both-sides");
+
+        let meetings = registry.catalog().resolve("Meetings").unwrap();
+        let contacts = registry.catalog().resolve("Contacts").unwrap();
+        assert_eq!(p.permitted_mask(meetings), 0b01);
+        assert_eq!(p.permitted_mask(contacts), 0b1);
+    }
+
+    #[test]
+    fn from_view_names_reports_unknown_names() {
+        let (_, registry, _) = setup();
+        let (p, unknown) =
+            PolicyPartition::from_view_names("p", &registry, ["V1", "nonsense", "V2"]);
+        assert_eq!(p.num_permitted(), 2);
+        assert_eq!(unknown, vec!["nonsense"]);
+    }
+
+    #[test]
+    fn empty_partitions_allow_nothing_but_bottom() {
+        let (catalog, _, labeler) = setup();
+        let p = PolicyPartition::new("empty");
+        assert!(p.is_empty());
+        assert_eq!(p.num_permitted(), 0);
+        let label = labeler.label_query(&parse_query(&catalog, "Q(x) :- Meetings(x, y)").unwrap());
+        assert!(!p.allows(&label));
+        assert!(p.allows(&DisclosureLabel::bottom()));
+    }
+
+    #[test]
+    fn label_below_partition_iff_every_atom_is_answerable() {
+        let (catalog, registry, labeler) = setup();
+        let v2 = registry.id_by_name("V2").unwrap();
+        let v3 = registry.id_by_name("V3").unwrap();
+        // Permit the meeting-times view and the full Contacts view.
+        let p = PolicyPartition::from_views("times+contacts", &registry, [v2, v3]);
+
+        // A times-only query is allowed.
+        let times = labeler.label_query(&parse_query(&catalog, "Q(x) :- Meetings(x, y)").unwrap());
+        assert!(p.allows(&times));
+        // The full Meetings view requires V1, which is not permitted.
+        let full =
+            labeler.label_query(&parse_query(&catalog, "Q(x, y) :- Meetings(x, y)").unwrap());
+        assert!(!p.allows(&full));
+        // The join query needs V1 (for the Meetings atom), so it is refused
+        // even though its Contacts atom is fine.
+        let join = labeler.label_query(
+            &parse_query(&catalog, "Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')").unwrap(),
+        );
+        assert!(!p.allows(&join));
+        // A contacts-only query is allowed.
+        let contacts =
+            labeler.label_query(&parse_query(&catalog, "Q(x, y, z) :- Contacts(x, y, z)").unwrap());
+        assert!(p.allows(&contacts));
+    }
+
+    #[test]
+    fn top_labels_are_never_allowed() {
+        let (_, registry, _) = setup();
+        let meetings = registry.catalog().resolve("Meetings").unwrap();
+        let all_views: Vec<SecurityViewId> = registry.iter().map(|(id, _)| id).collect();
+        let p = PolicyPartition::from_views("everything", &registry, all_views);
+        let top = DisclosureLabel::from_atoms(vec![AtomLabel::top(meetings)]);
+        assert!(!p.allows(&top));
+    }
+
+    #[test]
+    fn permitting_is_idempotent() {
+        let (_, registry, _) = setup();
+        let v1 = registry.id_by_name("V1").unwrap();
+        let mut p = PolicyPartition::new("p");
+        p.permit(&registry, v1);
+        p.permit(&registry, v1);
+        assert_eq!(p.num_permitted(), 1);
+    }
+}

@@ -1,0 +1,234 @@
+//! The multi-principal policy checker (the system benchmarked in Figure 6).
+//!
+//! Section 6.2 restricts its exposition to a single principal and notes that
+//! the generalization to multiple principals is straightforward; the
+//! evaluation (Section 7.2) then runs the policy checker with between 1,000
+//! and 1,000,000 distinct principals, each with its own randomly generated
+//! policy.  [`PolicyStore`] is that generalization: a dense table of
+//! per-principal policies plus per-principal consistency bit vectors, sized
+//! so that a policy decision touches a handful of cache lines.
+
+use fdc_core::DisclosureLabel;
+
+use crate::monitor::Decision;
+use crate::policy::SecurityPolicy;
+
+/// Identifier of a principal (an app, in the Facebook setting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PrincipalId(pub u32);
+
+impl PrincipalId {
+    /// Returns the id as a usize, convenient for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Per-principal enforcement state.
+#[derive(Debug, Clone)]
+struct PrincipalState {
+    policy: SecurityPolicy,
+    consistent: u64,
+    answered: u64,
+    refused: u64,
+}
+
+/// A policy checker for many principals.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyStore {
+    principals: Vec<PrincipalState>,
+}
+
+impl PolicyStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        PolicyStore::default()
+    }
+
+    /// Registers a principal with its policy and returns its id.
+    pub fn register(&mut self, policy: SecurityPolicy) -> PrincipalId {
+        let id = PrincipalId(self.principals.len() as u32);
+        let n = policy.len();
+        let consistent = if n == 0 { 0 } else { u64::MAX >> (64 - n) };
+        self.principals.push(PrincipalState {
+            policy,
+            consistent,
+            answered: 0,
+            refused: 0,
+        });
+        id
+    }
+
+    /// Number of registered principals.
+    pub fn len(&self) -> usize {
+        self.principals.len()
+    }
+
+    /// True if no principals are registered.
+    pub fn is_empty(&self) -> bool {
+        self.principals.is_empty()
+    }
+
+    /// The policy of a principal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this store.
+    pub fn policy(&self, principal: PrincipalId) -> &SecurityPolicy {
+        &self.principals[principal.index()].policy
+    }
+
+    /// Submits a query label on behalf of a principal, updating that
+    /// principal's cumulative state exactly like
+    /// [`ReferenceMonitor::submit`](crate::ReferenceMonitor::submit).
+    pub fn submit(&mut self, principal: PrincipalId, label: &DisclosureLabel) -> Decision {
+        let state = &mut self.principals[principal.index()];
+        if label.is_bottom() {
+            state.answered += 1;
+            return Decision::Allow;
+        }
+        let mut surviving = 0u64;
+        for (i, partition) in state.policy.partitions().iter().enumerate() {
+            if state.consistent & (1 << i) != 0 && partition.allows(label) {
+                surviving |= 1 << i;
+            }
+        }
+        if surviving != 0 {
+            state.consistent = surviving;
+            state.answered += 1;
+            Decision::Allow
+        } else {
+            state.refused += 1;
+            Decision::Deny
+        }
+    }
+
+    /// Pure check (no state update) for a principal.
+    pub fn check(&self, principal: PrincipalId, label: &DisclosureLabel) -> Decision {
+        let state = &self.principals[principal.index()];
+        if label.is_bottom() {
+            return Decision::Allow;
+        }
+        let allowed = state
+            .policy
+            .partitions()
+            .iter()
+            .enumerate()
+            .any(|(i, p)| state.consistent & (1 << i) != 0 && p.allows(label));
+        if allowed {
+            Decision::Allow
+        } else {
+            Decision::Deny
+        }
+    }
+
+    /// `(answered, refused)` counters for a principal.
+    pub fn stats(&self, principal: PrincipalId) -> (u64, u64) {
+        let s = &self.principals[principal.index()];
+        (s.answered, s.refused)
+    }
+
+    /// Total `(answered, refused)` across all principals.
+    pub fn totals(&self) -> (u64, u64) {
+        self.principals
+            .iter()
+            .fold((0, 0), |(a, r), s| (a + s.answered, r + s.refused))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PolicyPartition;
+    use fdc_core::{BaselineLabeler, QueryLabeler, SecurityViews};
+    use fdc_cq::parser::parse_query;
+
+    fn setup() -> (SecurityViews, BaselineLabeler) {
+        let registry = SecurityViews::paper_example();
+        let labeler = BaselineLabeler::new(registry.clone());
+        (registry, labeler)
+    }
+
+    fn label(labeler: &BaselineLabeler, text: &str) -> DisclosureLabel {
+        let catalog = labeler.security_views().catalog();
+        labeler.label_query(&parse_query(catalog, text).unwrap())
+    }
+
+    #[test]
+    fn principals_are_isolated_from_each_other() {
+        let (registry, labeler) = setup();
+        let v1 = registry.id_by_name("V1").unwrap();
+        let v3 = registry.id_by_name("V3").unwrap();
+        let wall = SecurityPolicy::chinese_wall([
+            PolicyPartition::from_views("meetings", &registry, [v1]),
+            PolicyPartition::from_views("contacts", &registry, [v3]),
+        ]);
+
+        let mut store = PolicyStore::new();
+        let alice_app = store.register(wall.clone());
+        let bob_app = store.register(wall);
+        assert_eq!(store.len(), 2);
+        assert!(!store.is_empty());
+
+        let meetings = label(&labeler, "Q(x, y) :- Meetings(x, y)");
+        let contacts = label(&labeler, "Q(x, y, z) :- Contacts(x, y, z)");
+
+        // Alice's app commits to Meetings, Bob's to Contacts.
+        assert!(store.submit(alice_app, &meetings).is_allow());
+        assert!(store.submit(bob_app, &contacts).is_allow());
+        // Each is now locked out of the other side — independently.
+        assert!(!store.submit(alice_app, &contacts).is_allow());
+        assert!(!store.submit(bob_app, &meetings).is_allow());
+        // But still fine on their own side.
+        assert!(store.submit(alice_app, &meetings).is_allow());
+        assert!(store.submit(bob_app, &contacts).is_allow());
+
+        assert_eq!(store.stats(alice_app), (2, 1));
+        assert_eq!(store.stats(bob_app), (2, 1));
+        assert_eq!(store.totals(), (4, 2));
+    }
+
+    #[test]
+    fn check_does_not_mutate_state() {
+        let (registry, labeler) = setup();
+        let policy = SecurityPolicy::allow_all(&registry);
+        let mut store = PolicyStore::new();
+        let p = store.register(policy);
+        let meetings = label(&labeler, "Q(x, y) :- Meetings(x, y)");
+        assert!(store.check(p, &meetings).is_allow());
+        assert_eq!(store.stats(p), (0, 0));
+        assert!(store.submit(p, &meetings).is_allow());
+        assert_eq!(store.stats(p), (1, 0));
+        assert!(store.check(p, &DisclosureLabel::bottom()).is_allow());
+    }
+
+    #[test]
+    fn empty_policy_principals_refuse_everything() {
+        let (_, labeler) = setup();
+        let mut store = PolicyStore::new();
+        let p = store.register(SecurityPolicy::new());
+        assert_eq!(store.policy(p).len(), 0);
+        let meetings = label(&labeler, "Q(x, y) :- Meetings(x, y)");
+        assert!(!store.submit(p, &meetings).is_allow());
+        assert!(store.submit(p, &DisclosureLabel::bottom()).is_allow());
+        assert_eq!(store.stats(p), (1, 1));
+    }
+
+    #[test]
+    fn many_principals_scale_without_interference() {
+        let (registry, labeler) = setup();
+        let v2 = registry.id_by_name("V2").unwrap();
+        let mut store = PolicyStore::new();
+        let times_only =
+            SecurityPolicy::stateless(PolicyPartition::from_views("times", &registry, [v2]));
+        let ids: Vec<PrincipalId> = (0..1000).map(|_| store.register(times_only.clone())).collect();
+        let times = label(&labeler, "Q(x) :- Meetings(x, y)");
+        let full = label(&labeler, "Q(x, y) :- Meetings(x, y)");
+        for &id in &ids {
+            assert!(store.submit(id, &times).is_allow());
+            assert!(!store.submit(id, &full).is_allow());
+        }
+        assert_eq!(store.totals(), (1000, 1000));
+    }
+}

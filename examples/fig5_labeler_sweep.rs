@@ -1,0 +1,77 @@
+//! Figure 5 sweep: disclosure labeler performance, printed as the series of
+//! the paper's figure.
+//!
+//! The paper reports the time to analyze one million queries as the maximum
+//! number of atoms per query grows from 3 to 15, for four configurations
+//! (query generation only, baseline, hashing, hashing + bit vectors).  This
+//! example measures a smaller batch with `std::time` and scales the result
+//! to a per-million-queries figure so the output reads like Figure 5.
+//! For statistically rigorous numbers use
+//! `cargo bench -p fdc-bench --bench fig5_labeler`.
+//!
+//! Run with `cargo run --release --example fig5_labeler_sweep`
+//! (optionally `FDC_SWEEP_QUERIES=50000` to enlarge the measured batch).
+
+use std::time::Instant;
+
+use fdc::core::QueryLabeler;
+use fdc::ecosystem::{Ecosystem, WorkloadConfig};
+
+fn main() {
+    let batch: usize = std::env::var("FDC_SWEEP_QUERIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let ecosystem = Ecosystem::new();
+
+    println!("Figure 5 — disclosure labeler performance");
+    println!("(seconds to analyze one million queries, extrapolated from {batch} queries)\n");
+    println!(
+        "{:>16} | {:>16} | {:>12} | {:>12} | {:>20}",
+        "max atoms/query", "generation only", "baseline", "hashing only", "bit vectors + hashing"
+    );
+    println!("{}", "-".repeat(92));
+
+    for max_atoms in [3usize, 6, 9, 12, 15] {
+        let max_subqueries = (max_atoms / 3).max(1);
+        let config = WorkloadConfig::stress(max_subqueries, 0xF15 + max_atoms as u64);
+
+        // Query generation only.
+        let start = Instant::now();
+        let mut generator = ecosystem.workload(config);
+        let queries = generator.batch(batch);
+        let generation = start.elapsed();
+
+        // The three labelers on the same batch.
+        let mut times = Vec::new();
+        for labeler in [
+            &ecosystem.baseline as &dyn QueryLabeler,
+            &ecosystem.hashed as &dyn QueryLabeler,
+            &ecosystem.bitvec as &dyn QueryLabeler,
+        ] {
+            let start = Instant::now();
+            let mut checksum = 0usize;
+            for query in &queries {
+                checksum += labeler.label_query(query).len();
+            }
+            assert!(checksum > 0);
+            times.push(start.elapsed());
+        }
+
+        let per_million = |d: std::time::Duration| d.as_secs_f64() * 1_000_000.0 / batch as f64;
+        println!(
+            "{:>16} | {:>15.2}s | {:>11.2}s | {:>11.2}s | {:>19.2}s",
+            max_atoms,
+            per_million(generation),
+            per_million(times[0]),
+            per_million(times[1]),
+            per_million(times[2]),
+        );
+    }
+
+    println!(
+        "\nExpected shape (paper, Java on a 2.9 GHz Core i7): bit vectors + hashing is 3-4x \
+         faster than the baseline and handles a million 1-3 atom queries in a few seconds; \
+         generation alone is a small fraction of the total."
+    );
+}

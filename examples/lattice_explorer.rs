@@ -1,0 +1,102 @@
+//! Lattice explorer: builds the disclosure lattices of Figures 3 and 4.
+//!
+//! Shows the order-theoretic side of the framework: the `⇓` operator, the
+//! disclosure lattice, GLB/LUB, decomposability and distributivity, plus a
+//! Graphviz DOT rendering of the Figure 3 lattice.
+//!
+//! Run with `cargo run --example lattice_explorer`.
+
+use fdc::core::rewriting_order::RewritingOrder;
+use fdc::core::SecurityViews;
+use fdc::cq::Catalog;
+use fdc::order::downset::{combine, overlap};
+use fdc::order::genset::is_decomposable;
+use fdc::order::lattice::DisclosureLattice;
+use fdc::order::ViewSet;
+
+fn main() {
+    // --- The Figure 3 universe: four views over Meetings --------------------
+    let catalog = Catalog::paper_example();
+    let mut views = SecurityViews::new(&catalog);
+    views
+        .add_program(
+            r"
+            V1(x, y) :- Meetings(x, y)
+            V2(x)    :- Meetings(x, y)
+            V4(y)    :- Meetings(x, y)
+            V5()     :- Meetings(x, y)
+            ",
+        )
+        .expect("figure 3 views are valid");
+
+    let order = RewritingOrder::new(&views);
+    let lattice = DisclosureLattice::build(&order);
+
+    let named = |name: &str| -> ViewSet {
+        ViewSet::singleton(order.view_id(views.id_by_name(name).unwrap()))
+    };
+    let describe = |set: ViewSet| -> String {
+        let names: Vec<String> = set
+            .iter()
+            .map(|v| views.view(fdc::core::SecurityViewId(v.0)).name.clone())
+            .collect();
+        format!("{{{}}}", names.join(", "))
+    };
+
+    println!("Figure 3: the disclosure lattice over {{V1, V2, V4, V5}}");
+    println!("  {} information levels:", lattice.len());
+    for element in lattice.elements() {
+        println!("    ⇓{}", describe(*element));
+    }
+
+    let v2 = named("V2");
+    let v4 = named("V4");
+    println!("\n  information overlap of V2 and V4  = ⇓{}", describe(overlap(&order, v2, v4)));
+    println!("  information combination of V2, V4 = ⇓{}", describe(combine(&order, v2, v4)));
+    println!(
+        "  the combination {} the top element ⇓{}",
+        if combine(&order, v2, v4) == lattice.element(lattice.top()) {
+            "EQUALS"
+        } else {
+            "is strictly below"
+        },
+        describe(lattice.element(lattice.top()))
+    );
+
+    println!(
+        "\n  universe decomposable: {} (so the lattice is distributive: {})",
+        is_decomposable(&order),
+        lattice.is_distributive(&order)
+    );
+
+    println!("\nGraphviz rendering of the Figure 3 lattice:\n");
+    println!("{}", lattice.to_dot(describe));
+
+    // --- The Figure 4 universe: all projections of Contacts -----------------
+    let mut contact_views = SecurityViews::new(&catalog);
+    contact_views
+        .add_program(
+            r"
+            V3(x, y, z) :- Contacts(x, y, z)
+            V6(x, y)    :- Contacts(x, y, z)
+            V7(x, z)    :- Contacts(x, y, z)
+            V8(y, z)    :- Contacts(x, y, z)
+            V9(x)       :- Contacts(x, y, z)
+            V10(y)      :- Contacts(x, y, z)
+            V11(z)      :- Contacts(x, y, z)
+            V12()       :- Contacts(x, y, z)
+            ",
+        )
+        .expect("figure 4 views are valid");
+    let order4 = RewritingOrder::new(&contact_views);
+    let lattice4 = DisclosureLattice::build(&order4);
+    println!(
+        "Figure 4: the 8 projections of Contacts generate a lattice with {} information levels",
+        lattice4.len()
+    );
+    println!(
+        "  (decomposable: {}, distributive: {})",
+        is_decomposable(&order4),
+        lattice4.is_distributive(&order4)
+    );
+}

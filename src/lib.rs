@@ -1,0 +1,28 @@
+//! # fdc — Fine-grained disclosure control for app ecosystems
+//!
+//! Umbrella crate for the reproduction of Bender, Kot, Gehrke and Koch,
+//! *Fine-Grained Disclosure Control for App Ecosystems* (SIGMOD 2013).
+//!
+//! It re-exports the workspace crates under short module names:
+//!
+//! * [`cq`] — conjunctive queries, schemas, parsing, containment, folding,
+//!   and equivalent view rewriting.
+//! * [`order`] — disclosure orders, down-sets, disclosure lattices and
+//!   closure operators.
+//! * [`core`] — disclosure labelers (the paper's contribution).
+//! * [`policy`] — security policies, the reference monitor, and the packed
+//!   label representation.
+//! * [`ecosystem`] — the Facebook-like evaluation schema, security views and
+//!   workload generator.
+//! * [`casestudy`] — the FQL vs Graph API permission-documentation review.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+#![forbid(unsafe_code)]
+
+pub use fdc_casestudy as casestudy;
+pub use fdc_core as core;
+pub use fdc_cq as cq;
+pub use fdc_ecosystem as ecosystem;
+pub use fdc_order as order;
+pub use fdc_policy as policy;

@@ -1,0 +1,164 @@
+//! Integration tests that walk through the paper's worked examples using
+//! only the public umbrella API (`fdc::…`), exactly as a downstream user
+//! would.
+
+use fdc::core::{BaselineLabeler, BitVectorLabeler, QueryLabeler, SecurityViews};
+use fdc::cq::parser::parse_query;
+use fdc::cq::Catalog;
+use fdc::policy::{PolicyPartition, ReferenceMonitor, SecurityPolicy};
+
+fn figure1() -> (Catalog, SecurityViews) {
+    let catalog = Catalog::paper_example();
+    let mut views = SecurityViews::new(&catalog);
+    views
+        .add_program(
+            r"
+            V1(x, y)    :- Meetings(x, y)
+            V2(x)       :- Meetings(x, y)
+            V3(x, y, z) :- Contacts(x, y, z)
+            ",
+        )
+        .unwrap();
+    (catalog, views)
+}
+
+#[test]
+fn figure_1_labels_are_reproduced() {
+    let (catalog, views) = figure1();
+    let labeler = BitVectorLabeler::new(views.clone());
+
+    // "the label of Q1 in Figure 1 is {V1}"
+    let q1 = parse_query(&catalog, "Q1(x) :- Meetings(x, 'Cathy')").unwrap();
+    let label = labeler.label_query(&q1);
+    let text = label.describe(&views);
+    assert!(text.contains("V1"));
+    assert!(!text.contains("V2"));
+    assert!(!text.contains("V3"));
+
+    // "the label of Q2 is {V1, V3}"
+    let q2 = parse_query(&catalog, "Q2(x) :- Meetings(x, y) ∧ Contacts(y, w, 'Intern')").unwrap();
+    let label = labeler.label_query(&q2);
+    let text = label.describe(&views);
+    assert!(text.contains("V1"));
+    assert!(text.contains("V3"));
+    assert!(!text.contains("V2"));
+}
+
+#[test]
+fn section_1_1_alice_policy_rejects_q1_and_q2() {
+    // "Alice can specify that any query whose label is just {V2} can be
+    // answered, but queries with labels above V2 should be rejected.  Both
+    // Q1 and Q2 would be rejected under such a policy."
+    let (catalog, views) = figure1();
+    let labeler = BitVectorLabeler::new(views.clone());
+    let v2 = views.id_by_name("V2").unwrap();
+    let policy =
+        SecurityPolicy::stateless(PolicyPartition::from_views("only-v2", &views, [v2]));
+    let mut monitor = ReferenceMonitor::new(policy);
+
+    let q1 = parse_query(&catalog, "Q1(x) :- Meetings(x, 'Cathy')").unwrap();
+    let q2 = parse_query(&catalog, "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')").unwrap();
+    let times = parse_query(&catalog, "Q(x) :- Meetings(x, y)").unwrap();
+
+    assert!(!monitor.submit(&labeler.label_query(&q1)).is_allow());
+    assert!(!monitor.submit(&labeler.label_query(&q2)).is_allow());
+    // A query answerable from V2 alone is fine.
+    assert!(monitor.submit(&labeler.label_query(&times)).is_allow());
+}
+
+#[test]
+fn section_2_2_either_meetings_or_contacts_but_not_both() {
+    // "suppose Alice is willing to disclose either her meetings or her list
+    // of contacts, but not both."
+    let (catalog, views) = figure1();
+    let labeler = BaselineLabeler::new(views.clone());
+    let v1 = views.id_by_name("V1").unwrap();
+    let v2 = views.id_by_name("V2").unwrap();
+    let v3 = views.id_by_name("V3").unwrap();
+    let policy = SecurityPolicy::chinese_wall([
+        PolicyPartition::from_views("meetings", &views, [v1, v2]),
+        PolicyPartition::from_views("contacts", &views, [v3]),
+    ]);
+    let mut monitor = ReferenceMonitor::new(policy);
+
+    let meetings = parse_query(&catalog, "Q(x, y) :- Meetings(x, y)").unwrap();
+    let contacts = parse_query(&catalog, "Q(x, y, z) :- Contacts(x, y, z)").unwrap();
+
+    assert!(monitor.submit(&labeler.label_query(&meetings)).is_allow());
+    assert!(!monitor.submit(&labeler.label_query(&contacts)).is_allow());
+    assert!(monitor.submit(&labeler.label_query(&meetings)).is_allow());
+    assert_eq!(monitor.answered(), 2);
+    assert_eq!(monitor.refused(), 1);
+}
+
+#[test]
+fn example_4_10_generating_set_for_contacts_projections() {
+    // Fgen = {V3, V6, V7, V8} suffices to label every projection of Contacts.
+    let catalog = Catalog::paper_example();
+    let mut views = SecurityViews::new(&catalog);
+    views
+        .add_program(
+            r"
+            V3(x, y, z) :- Contacts(x, y, z)
+            V6(x, y)    :- Contacts(x, y, z)
+            V7(x, z)    :- Contacts(x, y, z)
+            V8(y, z)    :- Contacts(x, y, z)
+            ",
+        )
+        .unwrap();
+    let labeler = BitVectorLabeler::new(views.clone());
+
+    // Example 6.1: ℓ⁺({V9}) = {V3, V6, V7} and ℓ⁺({V12}) = {V3, V6, V7, V8},
+    // so ℓ(V12) ⪯ ℓ(V9).
+    let v9 = parse_query(&catalog, "V9(x) :- Contacts(x, y, z)").unwrap();
+    let v12 = parse_query(&catalog, "V12() :- Contacts(x, y, z)").unwrap();
+    let l9 = labeler.label_query(&v9);
+    let l12 = labeler.label_query(&v12);
+    assert_eq!(l9.atoms()[0].view_count(), 3);
+    assert_eq!(l12.atoms()[0].view_count(), 4);
+    assert!(l12.leq(&l9));
+    assert!(!l9.leq(&l12));
+
+    let names9 = l9.describe(&views);
+    assert!(names9.contains("V3") && names9.contains("V6") && names9.contains("V7"));
+    assert!(!names9.contains("V8"));
+}
+
+#[test]
+fn glb_singleton_reproduces_section_5_examples() {
+    use fdc::core::unify::{glb_singleton, Glb};
+    let catalog = Catalog::paper_example();
+    let q = |s: &str| parse_query(&catalog, s).unwrap();
+
+    // Example 5.1.
+    assert!(glb_singleton(&q("V13() :- Meetings(9, 'Jim')"), &q("V14() :- Meetings(x, y)")).is_bottom());
+    // Example 5.2.
+    match glb_singleton(
+        &q("V6(x, y) :- Contacts(x, y, z)"),
+        &q("V7(x, z) :- Contacts(x, y, z)"),
+    ) {
+        Glb::View(v) => {
+            assert!(fdc::cq::containment::equivalent(
+                &v,
+                &q("V9(x) :- Contacts(x, y, z)")
+            ));
+        }
+        Glb::Bottom => panic!("V6 and V7 overlap on the first column"),
+    }
+    // Example 5.3.
+    assert!(glb_singleton(&q("V14() :- Meetings(x, y)"), &q("V15() :- Meetings(z, z)")).is_bottom());
+}
+
+#[test]
+fn example_5_4_dissection() {
+    use fdc::core::dissect::dissect;
+    let catalog = Catalog::paper_example();
+    let q2 = parse_query(&catalog, "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')").unwrap();
+    let parts = dissect(&q2);
+    assert_eq!(parts.len(), 2);
+    // [M(xd, yd)], [C(yd, we, 'Intern')]
+    let expected_m = parse_query(&catalog, "P(x, y) :- Meetings(x, y)").unwrap();
+    let expected_c = parse_query(&catalog, "P(y) :- Contacts(y, w, 'Intern')").unwrap();
+    assert!(fdc::cq::containment::equivalent(&parts[0], &expected_m));
+    assert!(fdc::cq::containment::equivalent(&parts[1], &expected_c));
+}
