@@ -78,6 +78,24 @@ fn fig5(c: &mut Criterion) {
                 });
             },
         );
+
+        // Series 5 (beyond the paper): canonical-form label cache.
+        group.bench_with_input(BenchmarkId::new("cached", max_atoms), &workload, |b, w| {
+            b.iter(|| {
+                for q in &w.queries {
+                    black_box(w.ecosystem.cached.label_query(q));
+                }
+            });
+        });
+
+        // Series 6 (beyond the paper): cache + parallel batch sharding.
+        group.bench_with_input(
+            BenchmarkId::new("cached_parallel_batch", max_atoms),
+            &workload,
+            |b, w| {
+                b.iter(|| black_box(w.ecosystem.cached.label_queries_batch(&w.queries)));
+            },
+        );
     }
     group.finish();
 }

@@ -29,25 +29,21 @@ fn fig6(c: &mut Criterion) {
                     policy_workload(num_principals, max_partitions, max_elements, label_batch);
                 group.throughput(Throughput::Elements(workload.labels.len() as u64));
                 let id = format!("{max_partitions}way_{num_principals}principals");
-                group.bench_with_input(
-                    BenchmarkId::new(id, max_elements),
-                    &workload,
-                    |b, w| {
-                        // The store is mutated across iterations (as a
-                        // long-running reference monitor would be); the
-                        // per-label cost is the same whether or not the
-                        // consistency bits have already converged, and
-                        // avoiding a per-iteration clone of up to a million
-                        // principal states keeps the measurement honest.
-                        let mut store = w.store.clone();
-                        b.iter(|| {
-                            for (i, label) in w.labels.iter().enumerate() {
-                                let principal = PrincipalId((i % w.num_principals) as u32);
-                                black_box(store.submit(principal, label));
-                            }
-                        });
-                    },
-                );
+                group.bench_with_input(BenchmarkId::new(id, max_elements), &workload, |b, w| {
+                    // The store is mutated across iterations (as a
+                    // long-running reference monitor would be); the
+                    // per-label cost is the same whether or not the
+                    // consistency bits have already converged, and
+                    // avoiding a per-iteration clone of up to a million
+                    // principal states keeps the measurement honest.
+                    let mut store = w.store.clone();
+                    b.iter(|| {
+                        for (i, label) in w.labels.iter().enumerate() {
+                            let principal = PrincipalId((i % w.num_principals) as u32);
+                            black_box(store.submit(principal, label));
+                        }
+                    });
+                });
             }
         }
     }

@@ -1,0 +1,196 @@
+//! Figure 5, machine-readable: side-by-side throughput of every labeler.
+//!
+//! Measures the four labeler variants — baseline, hash-partitioned,
+//! bit-vector, and canonical-form cached (sequential and parallel batch) —
+//! on the Figure 5 workload at `BATCH_SIZE` queries per batch, for each of
+//! the paper's max-atoms settings, and writes the queries/second trajectory
+//! to `BENCH_fig5.json` (or the path given as the first argument).
+//!
+//! ```text
+//! cargo run --release -p fdc-bench --bin fig5_json            # full run
+//! FDC_BENCH_SMOKE=1 cargo run -p fdc-bench --bin fig5_json    # CI smoke
+//! ```
+//!
+//! The smoke mode shrinks the sweep and the repeat count so CI can validate
+//! the measurement path in seconds; the JSON layout is identical.
+
+use std::time::Instant;
+
+use fdc_bench::{labeling_workload, LabelingWorkload, BATCH_SIZE};
+use fdc_core::QueryLabeler;
+
+/// One labeler's measurement at one max-atoms setting.
+struct Measurement {
+    name: &'static str,
+    queries_per_sec: f64,
+}
+
+/// All measurements at one max-atoms setting.
+struct SweepPoint {
+    max_atoms: usize,
+    results: Vec<Measurement>,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .filter(|a| a != "--smoke")
+        .unwrap_or_else(|| "BENCH_fig5.json".to_owned());
+    let smoke = std::env::var("FDC_BENCH_SMOKE").is_ok_and(|v| v == "1")
+        || std::env::args().any(|a| a == "--smoke");
+
+    let (sweep, repeats): (&[usize], usize) = if smoke {
+        (&[3, 6], 1)
+    } else {
+        (&[3, 6, 9, 12, 15], 3)
+    };
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!("fig5_json: batch={BATCH_SIZE} repeats={repeats} threads={threads} smoke={smoke}");
+    println!(
+        "{:>9} | {:>12} | {:>12} | {:>12} | {:>12} | {:>14}",
+        "max_atoms", "baseline", "hashing", "bitvec", "cached_seq", "cached_par"
+    );
+
+    let mut points = Vec::new();
+    for &max_atoms in sweep {
+        let workload = labeling_workload(max_atoms, BATCH_SIZE);
+        let results = measure_point(&workload, repeats);
+        println!(
+            "{:>9} | {:>12.0} | {:>12.0} | {:>12.0} | {:>12.0} | {:>14.0}",
+            max_atoms,
+            results[0].queries_per_sec,
+            results[1].queries_per_sec,
+            results[2].queries_per_sec,
+            results[3].queries_per_sec,
+            results[4].queries_per_sec,
+        );
+        points.push(SweepPoint { max_atoms, results });
+    }
+
+    let speedup = overall_speedup(&points, "cached_parallel_batch", "baseline");
+    println!("\ncached parallel batch vs baseline: {speedup:.1}x (worst point across the sweep)");
+
+    let json = render_json(&points, threads, smoke, speedup);
+    std::fs::write(&out_path, json).expect("failed to write the benchmark JSON");
+    println!("wrote {out_path}");
+}
+
+/// Measures every labeler on one workload; order matches the table header.
+fn measure_point(workload: &LabelingWorkload, repeats: usize) -> Vec<Measurement> {
+    let eco = &workload.ecosystem;
+    let queries = &workload.queries;
+    // Warm the canonical-form cache so the cached series measures the
+    // steady state of a long-running server rather than a cold start.
+    eco.cached.label_queries_batch(queries);
+    vec![
+        Measurement {
+            name: "baseline",
+            queries_per_sec: best_qps(repeats, queries.len(), || {
+                std::hint::black_box(eco.baseline.label_queries(queries));
+            }),
+        },
+        Measurement {
+            name: "hashing_only",
+            queries_per_sec: best_qps(repeats, queries.len(), || {
+                std::hint::black_box(eco.hashed.label_queries(queries));
+            }),
+        },
+        Measurement {
+            name: "bitvectors_hashing",
+            queries_per_sec: best_qps(repeats, queries.len(), || {
+                std::hint::black_box(eco.bitvec.label_queries(queries));
+            }),
+        },
+        Measurement {
+            name: "cached_sequential",
+            queries_per_sec: best_qps(repeats, queries.len(), || {
+                std::hint::black_box(eco.cached.label_queries(queries));
+            }),
+        },
+        Measurement {
+            name: "cached_parallel_batch",
+            queries_per_sec: best_qps(repeats, queries.len(), || {
+                std::hint::black_box(eco.cached.label_queries_batch(queries));
+            }),
+        },
+    ]
+}
+
+/// Runs the routine `repeats` times and reports the best queries/second.
+fn best_qps(repeats: usize, queries: usize, mut routine: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        routine();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    queries as f64 / best.max(f64::MIN_POSITIVE)
+}
+
+/// The minimum, across sweep points, of `numerator`'s speedup over
+/// `denominator` — a conservative single-number summary.
+fn overall_speedup(points: &[SweepPoint], numerator: &str, denominator: &str) -> f64 {
+    points
+        .iter()
+        .map(|p| {
+            let num = series(p, numerator);
+            let den = series(p, denominator);
+            if den > 0.0 {
+                num / den
+            } else {
+                f64::INFINITY
+            }
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn series(point: &SweepPoint, name: &str) -> f64 {
+    point
+        .results
+        .iter()
+        .find(|m| m.name == name)
+        .map_or(0.0, |m| m.queries_per_sec)
+}
+
+/// Renders the trajectory as JSON by hand (the workspace is offline, so no
+/// serde; the structure is flat enough that manual rendering stays simple).
+fn render_json(points: &[SweepPoint], threads: usize, smoke: bool, speedup: f64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"figure\": \"fig5_labeler_throughput\",\n");
+    out.push_str("  \"unit\": \"queries_per_second\",\n");
+    out.push_str(&format!("  \"batch_size\": {BATCH_SIZE},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!(
+        "  \"min_speedup_cached_parallel_vs_baseline\": {speedup:.2},\n"
+    ));
+    out.push_str("  \"sweep\": [\n");
+    for (i, point) in points.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"max_atoms\": {},\n", point.max_atoms));
+        out.push_str("      \"queries_per_sec\": {\n");
+        for (j, m) in point.results.iter().enumerate() {
+            out.push_str(&format!(
+                "        \"{}\": {:.1}{}\n",
+                m.name,
+                m.queries_per_sec,
+                if j + 1 == point.results.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("      }\n");
+        out.push_str(if i + 1 == points.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}

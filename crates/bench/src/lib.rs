@@ -43,7 +43,10 @@ pub struct LabelingWorkload {
 pub fn labeling_workload(max_atoms: usize, batch: usize) -> LabelingWorkload {
     let ecosystem = Ecosystem::new();
     let max_subqueries = (max_atoms / 3).max(1);
-    let mut generator = ecosystem.workload(WorkloadConfig::stress(max_subqueries, 0xF15 + max_atoms as u64));
+    let mut generator = ecosystem.workload(WorkloadConfig::stress(
+        max_subqueries,
+        0xF15 + max_atoms as u64,
+    ));
     let queries = generator.batch(batch);
     LabelingWorkload {
         ecosystem,

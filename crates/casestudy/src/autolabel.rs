@@ -235,8 +235,14 @@ mod tests {
         );
         // timezone / devices: basic access (their restriction is about
         // audience, not about which permission).
-        assert_eq!(system.automatic_label("timezone"), vec![BASIC_VIEW.to_owned()]);
-        assert_eq!(system.automatic_label("devices"), vec![BASIC_VIEW.to_owned()]);
+        assert_eq!(
+            system.automatic_label("timezone"),
+            vec![BASIC_VIEW.to_owned()]
+        );
+        assert_eq!(
+            system.automatic_label("devices"),
+            vec![BASIC_VIEW.to_owned()]
+        );
         // relationship_status: the relationships permissions.
         assert_eq!(
             system.automatic_label("relationship_status"),

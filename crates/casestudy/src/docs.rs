@@ -126,22 +126,77 @@ pub fn documented_views() -> Vec<DocumentedView> {
     // Extended profile fields: the matching user_* / friends_* pair.
     for (fql, graph, user_perm, friends_perm) in [
         ("about_me", "bio", "user_about_me", "friends_about_me"),
-        ("activities", "activities", "user_activities", "friends_activities"),
+        (
+            "activities",
+            "activities",
+            "user_activities",
+            "friends_activities",
+        ),
         ("birthday", "birthday", "user_birthday", "friends_birthday"),
-        ("birthday_date", "birthday_date", "user_birthday", "friends_birthday"),
+        (
+            "birthday_date",
+            "birthday_date",
+            "user_birthday",
+            "friends_birthday",
+        ),
         ("books", "books", "user_likes", "friends_likes"),
-        ("education", "education", "user_education_history", "friends_education_history"),
-        ("hometown_location", "hometown", "user_hometown", "friends_hometown"),
-        ("interests", "interests", "user_interests", "friends_interests"),
+        (
+            "education",
+            "education",
+            "user_education_history",
+            "friends_education_history",
+        ),
+        (
+            "hometown_location",
+            "hometown",
+            "user_hometown",
+            "friends_hometown",
+        ),
+        (
+            "interests",
+            "interests",
+            "user_interests",
+            "friends_interests",
+        ),
         ("languages", "languages", "user_likes", "friends_likes"),
-        ("current_location", "location", "user_location", "friends_location"),
-        ("meeting_for", "interested_in", "user_relationship_details", "friends_relationship_details"),
-        ("meeting_sex", "interested_in_sex", "user_relationship_details", "friends_relationship_details"),
+        (
+            "current_location",
+            "location",
+            "user_location",
+            "friends_location",
+        ),
+        (
+            "meeting_for",
+            "interested_in",
+            "user_relationship_details",
+            "friends_relationship_details",
+        ),
+        (
+            "meeting_sex",
+            "interested_in_sex",
+            "user_relationship_details",
+            "friends_relationship_details",
+        ),
         ("movies", "movies", "user_likes", "friends_likes"),
         ("music", "music", "user_likes", "friends_likes"),
-        ("political", "political", "user_religion_politics", "friends_religion_politics"),
-        ("relationship_details", "significant_other", "user_relationships", "friends_relationships"),
-        ("religion", "religion", "user_religion_politics", "friends_religion_politics"),
+        (
+            "political",
+            "political",
+            "user_religion_politics",
+            "friends_religion_politics",
+        ),
+        (
+            "relationship_details",
+            "significant_other",
+            "user_relationships",
+            "friends_relationships",
+        ),
+        (
+            "religion",
+            "religion",
+            "user_religion_politics",
+            "friends_religion_politics",
+        ),
         ("sports", "sports", "user_likes", "friends_likes"),
         ("tv", "television", "user_likes", "friends_likes"),
         ("website", "website", "user_website", "friends_website"),
@@ -149,7 +204,11 @@ pub fn documented_views() -> Vec<DocumentedView> {
         ("checkins", "checkins", "user_checkins", "friends_checkins"),
         ("events", "events", "user_events", "friends_events"),
     ] {
-        views.push(consistent(fql, graph, PermissionLabel::pair(user_perm, friends_perm)));
+        views.push(consistent(
+            fql,
+            graph,
+            PermissionLabel::pair(user_perm, friends_perm),
+        ));
     }
     // email is granted by the single `email` permission in both APIs.
     views.push(consistent(

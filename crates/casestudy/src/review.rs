@@ -168,14 +168,24 @@ mod tests {
             .find(|d| d.attribute == "quotes")
             .unwrap();
         assert_eq!(quotes.fql.render(), "user_likes or friends_likes");
-        assert_eq!(quotes.graph_api.render(), "user_about_me or friends_about_me");
+        assert_eq!(
+            quotes.graph_api.render(),
+            "user_about_me or friends_about_me"
+        );
         assert_eq!(quotes.correct, CorrectSide::Fql);
     }
 
     #[test]
     fn table_rendering_contains_every_row() {
         let table = review_documentation().to_table();
-        for attr in ["pic", "timezone", "devices", "relationship_status", "quotes", "profile_url"] {
+        for attr in [
+            "pic",
+            "timezone",
+            "devices",
+            "relationship_status",
+            "quotes",
+            "profile_url",
+        ] {
             assert!(table.contains(attr), "missing row for {attr}");
         }
         assert!(table.contains("Correct Labeling"));

@@ -76,9 +76,7 @@ pub fn label_gen<'a>(
         .map(|v| {
             let above: Vec<&ConjunctiveQuery> = fgen
                 .iter()
-                .filter(|candidate| {
-                    rewritable_from_any(v, std::iter::once(*candidate))
-                })
+                .filter(|candidate| rewritable_from_any(v, std::iter::once(*candidate)))
                 .collect();
             if above.is_empty() {
                 None
@@ -159,10 +157,7 @@ mod tests {
         // Labeling V2 picks {V2}.
         assert_eq!(naive_label(&family, std::slice::from_ref(&f.v2)), Some(2));
         // Labeling {V2, V4} picks the pair.
-        assert_eq!(
-            naive_label(&family, &[f.v2.clone(), f.v4.clone()]),
-            Some(4)
-        );
+        assert_eq!(naive_label(&family, &[f.v2.clone(), f.v4.clone()]), Some(4));
         // Labeling V1 needs the top of the family.
         assert_eq!(naive_label(&family, std::slice::from_ref(&f.v1)), Some(5));
         // The empty query set labels to ∅.

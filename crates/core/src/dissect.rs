@@ -182,7 +182,10 @@ mod tests {
     #[test]
     fn constants_are_preserved_verbatim() {
         let c = catalog();
-        let qc = q(&c, "Q(x) :- Meetings(x, y), Contacts(y, 'a@b.com', 'Intern')");
+        let qc = q(
+            &c,
+            "Q(x) :- Meetings(x, y), Contacts(y, 'a@b.com', 'Intern')",
+        );
         let parts = dissect(&qc);
         assert!(parts[1].atoms()[0].has_constants());
         assert_eq!(parts[1].atoms()[0].terms.len(), 3);
@@ -199,7 +202,10 @@ mod tests {
         ];
         for text in inputs {
             for part in dissect(&q(&c, text)) {
-                assert!(part.is_single_atom(), "dissect({text}) produced a multi-atom part");
+                assert!(
+                    part.is_single_atom(),
+                    "dissect({text}) produced a multi-atom part"
+                );
             }
         }
     }
@@ -217,7 +223,10 @@ mod tests {
                 .distinguished_vars()
                 .map(|v| part.var_name(v))
                 .collect();
-            assert!(names.contains(&"y"), "join variable y must be distinguished");
+            assert!(
+                names.contains(&"y"),
+                "join variable y must be distinguished"
+            );
         }
     }
 }

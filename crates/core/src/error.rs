@@ -72,7 +72,9 @@ mod tests {
         }
         .to_string()
         .contains("99"));
-        assert!(LabelError::InvalidQuery("bad".into()).to_string().contains("bad"));
+        assert!(LabelError::InvalidQuery("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 
     #[test]

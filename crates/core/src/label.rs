@@ -73,7 +73,18 @@ impl AtomLabel {
     }
 
     /// Packs the label into a single 64-bit word (Section 6.1).
+    ///
+    /// The packed form stores a 32-bit view mask, so it is faithful only
+    /// for registries with at most 32 views per relation (the paper's
+    /// layout).  Wider masks would be silently truncated — callers with
+    /// more than 32 views per relation must stay on the unpacked
+    /// representation, and debug builds assert the constraint here.
     pub fn pack(&self) -> PackedLabel {
+        debug_assert!(
+            self.mask <= u64::from(u32::MAX),
+            "packed labels support at most 32 views per relation (mask {:#x})",
+            self.mask
+        );
         PackedLabel::new(self.relation, self.mask as u32)
     }
 
@@ -274,7 +285,7 @@ mod tests {
     fn atom_label_comparisons_follow_the_superset_rule() {
         let narrow = AtomLabel::new(rel(0), 0b0001); // answerable only by view 0
         let wide = AtomLabel::new(rel(0), 0b0111); // answerable by views 0,1,2
-        // The widely-answerable atom reveals less information.
+                                                   // The widely-answerable atom reveals less information.
         assert!(wide.leq(&narrow));
         assert!(!narrow.leq(&wide));
         // Reflexivity.
@@ -378,10 +389,8 @@ mod tests {
     #[test]
     fn contains_top_detects_unanswerable_atoms() {
         let ok = DisclosureLabel::from_atoms(vec![AtomLabel::new(rel(0), 0b1)]);
-        let not_ok = DisclosureLabel::from_atoms(vec![
-            AtomLabel::new(rel(0), 0b1),
-            AtomLabel::top(rel(1)),
-        ]);
+        let not_ok =
+            DisclosureLabel::from_atoms(vec![AtomLabel::new(rel(0), 0b1), AtomLabel::top(rel(1))]);
         assert!(!ok.contains_top());
         assert!(not_ok.contains_top());
     }

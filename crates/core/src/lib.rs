@@ -31,6 +31,11 @@
 //! * [`BitVectorLabeler`] — hash partitioning plus the packed bit-vector
 //!   label representation of Section 6.1.
 //!
+//! A fourth variant, [`CachedLabeler`], goes beyond the paper: it memoizes
+//! the per-atom `ℓ⁺` step by canonical atom form and pairs with the
+//! parallel batch entry point [`label_queries_parallel`] for high-throughput
+//! serving.
+//!
 //! The GLB machinery of Section 5.1 ([`unify::gen_mgu`],
 //! [`unify::glb_singleton`]) and the generic labeling procedures of
 //! Sections 3.3 and 4 ([`algorithms`]) are also exposed, both for
@@ -52,6 +57,7 @@ pub mod unify;
 pub use error::{LabelError, Result};
 pub use label::{AtomLabel, DisclosureLabel, PackedLabel, ViewMask};
 pub use labeler::{
-    BaselineLabeler, BitVectorLabeler, HashPartitionedLabeler, QueryLabeler,
+    label_queries_parallel, BaselineLabeler, BitVectorLabeler, CacheStats, CachedLabeler,
+    HashPartitionedLabeler, QueryLabeler,
 };
 pub use security_views::{SecurityViewId, SecurityViews};

@@ -82,7 +82,9 @@ impl DisclosureOrder for RewritingOrder {
 mod tests {
     use super::*;
     use fdc_cq::Catalog;
-    use fdc_order::{downset::downset, lattice::DisclosureLattice, order::check_disclosure_order_axioms};
+    use fdc_order::{
+        downset::downset, lattice::DisclosureLattice, order::check_disclosure_order_axioms,
+    };
 
     /// Registry holding the four Meetings views of Figure 3.
     fn figure3_registry() -> SecurityViews {

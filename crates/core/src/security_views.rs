@@ -216,10 +216,16 @@ mod tests {
         let catalog = Catalog::paper_example();
         let mut views = SecurityViews::new(&catalog);
         let v1 = views
-            .add("V1", parse_query(&catalog, "V1(x, y) :- Meetings(x, y)").unwrap())
+            .add(
+                "V1",
+                parse_query(&catalog, "V1(x, y) :- Meetings(x, y)").unwrap(),
+            )
             .unwrap();
         let v2 = views
-            .add("V2", parse_query(&catalog, "V2(x) :- Meetings(x, y)").unwrap())
+            .add(
+                "V2",
+                parse_query(&catalog, "V2(x) :- Meetings(x, y)").unwrap(),
+            )
             .unwrap();
         let v3 = views
             .add(
@@ -248,10 +254,16 @@ mod tests {
         let catalog = Catalog::paper_example();
         let mut views = SecurityViews::new(&catalog);
         views
-            .add("V1", parse_query(&catalog, "V1(x, y) :- Meetings(x, y)").unwrap())
+            .add(
+                "V1",
+                parse_query(&catalog, "V1(x, y) :- Meetings(x, y)").unwrap(),
+            )
             .unwrap();
         let err = views
-            .add("V1", parse_query(&catalog, "V1(x) :- Meetings(x, y)").unwrap())
+            .add(
+                "V1",
+                parse_query(&catalog, "V1(x) :- Meetings(x, y)").unwrap(),
+            )
             .unwrap_err();
         assert_eq!(err, LabelError::DuplicateView("V1".into()));
     }
@@ -260,13 +272,14 @@ mod tests {
     fn multi_atom_views_are_rejected() {
         let catalog = Catalog::paper_example();
         let mut views = SecurityViews::new(&catalog);
-        let q = parse_query(
-            &catalog,
-            "V(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
-        )
-        .unwrap();
+        let q = parse_query(&catalog, "V(x) :- Meetings(x, y), Contacts(y, w, 'Intern')").unwrap();
         let err = views.add("joined", q).unwrap_err();
-        assert_eq!(err, LabelError::NotSingleAtom { view: "joined".into() });
+        assert_eq!(
+            err,
+            LabelError::NotSingleAtom {
+                view: "joined".into()
+            }
+        );
     }
 
     #[test]

@@ -225,27 +225,28 @@ fn mgu_with_check(
                     if ti == tj {
                         continue; // the equality already existed
                     }
-                    let class_of = |unifier: &mut Unifier, term: &Term, other: &Term| -> Option<usize> {
-                        match term {
-                            Term::Var(v, _) => {
-                                let node = if side_is_left {
-                                    Node::Left(*v)
-                                } else {
-                                    Node::Right(*v)
-                                };
-                                let idx = unifier.node_index(node);
-                                Some(unifier.find(idx))
+                    let class_of =
+                        |unifier: &mut Unifier, term: &Term, other: &Term| -> Option<usize> {
+                            match term {
+                                Term::Var(v, _) => {
+                                    let node = if side_is_left {
+                                        Node::Left(*v)
+                                    } else {
+                                        Node::Right(*v)
+                                    };
+                                    let idx = unifier.node_index(node);
+                                    Some(unifier.find(idx))
+                                }
+                                Term::Const(c) => {
+                                    // A constant "class" only matters when the
+                                    // other side is a variable bound to the same
+                                    // constant; handled below via the constant
+                                    // binding of the variable's class.
+                                    let _ = (c, other);
+                                    None
+                                }
                             }
-                            Term::Const(c) => {
-                                // A constant "class" only matters when the
-                                // other side is a variable bound to the same
-                                // constant; handled below via the constant
-                                // binding of the variable's class.
-                                let _ = (c, other);
-                                None
-                            }
-                        }
-                    };
+                        };
                     let any_existential = ti.is_existential() || tj.is_existential();
                     if !any_existential {
                         continue;
@@ -327,7 +328,10 @@ pub fn glb_sets(left: &[ConjunctiveQuery], right: &[ConjunctiveQuery]) -> Vec<Co
         for r in right {
             if let Glb::View(q) = glb_singleton(l, r) {
                 // Deduplicate by information equivalence to keep results small.
-                if !out.iter().any(|existing| fdc_cq::containment::equivalent(existing, &q)) {
+                if !out
+                    .iter()
+                    .any(|existing| fdc_cq::containment::equivalent(existing, &q))
+                {
                     out.push(q);
                 }
             }
@@ -481,7 +485,10 @@ mod tests {
         // distinguished x of `a` meets the existential y of `b`, so the
         // result column is existential.
         let expected = q(&c, "V() :- Meetings(x, 'Cathy')");
-        assert!(fdc_cq::containment::equivalent(glb.view().unwrap(), &expected));
+        assert!(fdc_cq::containment::equivalent(
+            glb.view().unwrap(),
+            &expected
+        ));
     }
 
     #[test]

@@ -181,9 +181,7 @@ mod tests {
         // Debug-oriented Display (no catalog).
         assert_eq!(atom.to_string(), "rel#0(v0d, 'Cathy')");
         // Pretty Display with catalog and custom names.
-        let pretty = atom
-            .display_with(&c, |v| format!("x{}", v.0))
-            .to_string();
+        let pretty = atom.display_with(&c, |v| format!("x{}", v.0)).to_string();
         assert_eq!(pretty, "Meetings(x0, 'Cathy')");
     }
 }

@@ -177,7 +177,9 @@ mod tests {
         let mut c = Catalog::new();
         assert!(c.is_empty());
         let m = c.add_relation("Meetings", &["time", "person"]).unwrap();
-        let k = c.add_relation("Contacts", &["person", "email", "position"]).unwrap();
+        let k = c
+            .add_relation("Contacts", &["person", "email", "position"])
+            .unwrap();
         assert_eq!(c.len(), 2);
         assert!(!c.is_empty());
         assert_eq!(m, RelId(0));

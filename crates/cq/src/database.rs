@@ -81,8 +81,12 @@ impl Database {
         let contacts = catalog.resolve("Contacts").expect("paper catalog");
         let mut db = Database::new();
         for (time, person) in [(9i64, "Jim"), (10, "Cathy"), (12, "Bob")] {
-            db.insert(catalog, meetings, [Constant::from(time), Constant::from(person)])
-                .expect("valid tuple");
+            db.insert(
+                catalog,
+                meetings,
+                [Constant::from(time), Constant::from(person)],
+            )
+            .expect("valid tuple");
         }
         for (person, email, position) in [
             ("Jim", "jim@e.com", "Manager"),
@@ -133,7 +137,12 @@ fn eval_rec(
     let Some(atom) = query.atoms().get(atom_index) else {
         let answer: Tuple = head
             .iter()
-            .map(|v| binding.get(v).expect("head variables are bound by safety").clone())
+            .map(|v| {
+                binding
+                    .get(v)
+                    .expect("head variables are bound by safety")
+                    .clone()
+            })
             .collect();
         answers.insert(answer);
         return;
@@ -227,8 +236,11 @@ mod tests {
         // Q2(x) :- Meetings(x, y) ∧ Contacts(y, w, 'Intern') — only Cathy is
         // an intern, met at 10.
         let (catalog, db) = setup();
-        let q2 =
-            parse_query(&catalog, "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')").unwrap();
+        let q2 = parse_query(
+            &catalog,
+            "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+        )
+        .unwrap();
         let answers = evaluate(&q2, &db);
         assert_eq!(answers, BTreeSet::from([vec![Constant::Int(10)]]));
     }
@@ -271,10 +283,18 @@ mod tests {
         let (catalog, _) = setup();
         let meetings = catalog.resolve("Meetings").unwrap();
         let mut db = Database::new();
-        db.insert(&catalog, meetings, [Constant::from("a"), Constant::from("a")])
-            .unwrap();
-        db.insert(&catalog, meetings, [Constant::from("a"), Constant::from("b")])
-            .unwrap();
+        db.insert(
+            &catalog,
+            meetings,
+            [Constant::from("a"), Constant::from("a")],
+        )
+        .unwrap();
+        db.insert(
+            &catalog,
+            meetings,
+            [Constant::from("a"), Constant::from("b")],
+        )
+        .unwrap();
         let diag = parse_query(&catalog, "Q(x) :- Meetings(x, x)").unwrap();
         let answers = evaluate(&diag, &db);
         assert_eq!(answers, BTreeSet::from([tuple(&["a"])]));

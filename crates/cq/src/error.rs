@@ -87,11 +87,15 @@ mod tests {
         assert!(CqError::UnknownRelation("Ghost".into())
             .to_string()
             .contains("Ghost"));
-        assert!(CqError::UnsafeHeadVariable("x".into()).to_string().contains('x'));
+        assert!(CqError::UnsafeHeadVariable("x".into())
+            .to_string()
+            .contains('x'));
         assert!(CqError::ConflictingVariableKind("y".into())
             .to_string()
             .contains('y'));
-        assert!(CqError::Parse("bad token".into()).to_string().contains("bad token"));
+        assert!(CqError::Parse("bad token".into())
+            .to_string()
+            .contains("bad token"));
         assert!(!CqError::EmptyBody.to_string().is_empty());
     }
 

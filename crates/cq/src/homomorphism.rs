@@ -21,10 +21,95 @@
 //!   information equivalence for tagged queries (the paper's `V1` and `V1'`
 //!   example in Section 3.1).
 
+use std::collections::HashMap;
+
 use crate::atom::Atom;
+use crate::catalog::RelId;
 use crate::query::ConjunctiveQuery;
 use crate::substitution::Substitution;
 use crate::term::{Term, VarKind};
+
+/// A relation-indexed store over a set of target atoms.
+///
+/// The backtracking search must repeatedly answer "which target atoms could
+/// atom `R(t̄)` map to?".  Scanning the whole target list for every source
+/// atom at every search depth is quadratic in practice; an [`AtomIndex`]
+/// buckets the target atoms by relation once and additionally precomputes a
+/// per-atom *constant mask* (bit `i` set iff position `i` holds a constant)
+/// so that candidates whose shape cannot possibly accommodate the source
+/// atom's constants are rejected with one bit test instead of a term-by-term
+/// walk.
+///
+/// Build one index per target atom set and reuse it across searches against
+/// that set (e.g. containment checks of many queries against one view).
+#[derive(Debug, Clone)]
+pub struct AtomIndex<'a> {
+    atoms: &'a [Atom],
+    buckets: HashMap<RelId, Vec<u32>>,
+    const_masks: Vec<u64>,
+}
+
+/// Bit `i` set iff position `i` of the atom holds a constant.  Positions
+/// beyond 63 fold onto bit 63, keeping the mask a conservative filter for
+/// very wide atoms (the check below only ever tests subset-ness).
+fn constant_mask(atom: &Atom) -> u64 {
+    let mut mask = 0u64;
+    for (i, term) in atom.terms.iter().enumerate() {
+        if term.is_const() {
+            mask |= 1u64 << i.min(63);
+        }
+    }
+    mask
+}
+
+impl<'a> AtomIndex<'a> {
+    /// Indexes a set of target atoms by relation.
+    pub fn new(atoms: &'a [Atom]) -> Self {
+        let mut buckets: HashMap<RelId, Vec<u32>> = HashMap::new();
+        let mut const_masks = Vec::with_capacity(atoms.len());
+        for (i, atom) in atoms.iter().enumerate() {
+            buckets.entry(atom.relation).or_default().push(i as u32);
+            const_masks.push(constant_mask(atom));
+        }
+        AtomIndex {
+            atoms,
+            buckets,
+            const_masks,
+        }
+    }
+
+    /// The indexed atoms, in their original order.
+    pub fn atoms(&self) -> &'a [Atom] {
+        self.atoms
+    }
+
+    /// Indices of the target atoms over `relation` (empty if none).
+    pub fn candidates(&self, relation: RelId) -> &[u32] {
+        self.buckets
+            .get(&relation)
+            .map_or(&[], |bucket| bucket.as_slice())
+    }
+
+    /// Number of target atoms over `relation` — an O(1) lookup, used to
+    /// order the source atoms most-constrained-first.
+    pub fn candidate_count(&self, relation: RelId) -> usize {
+        self.buckets.get(&relation).map_or(0, Vec::len)
+    }
+
+    /// Can the source atom (with precomputed constant mask `source_mask`)
+    /// possibly map onto target atom `target_idx`?  Necessary conditions
+    /// only: same arity, and a constant in the *target* at every position
+    /// where the source has one (constants must be preserved, so the target
+    /// must be at least as constant-constrained positionally; target
+    /// constants at source-variable positions are fine — variables may map
+    /// onto constants).
+    #[inline]
+    fn shape_admits(&self, source: &Atom, source_mask: u64, target_idx: u32) -> bool {
+        let target = &self.atoms[target_idx as usize];
+        source.arity() == target.arity()
+            && source_mask & !self.const_masks[target_idx as usize] == 0
+    }
+}
 
 /// How distinguished variables must be treated by a homomorphism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,19 +147,40 @@ pub fn find_homomorphism_into(
     to_space: &ConjunctiveQuery,
     policy: HeadPolicy,
 ) -> Option<Substitution> {
+    find_homomorphism_with_index(from, &AtomIndex::new(target_atoms), to_space, policy)
+}
+
+/// Like [`find_homomorphism_into`] with a prebuilt [`AtomIndex`] over the
+/// target atoms.
+///
+/// Callers that run many searches against the same target (candidate
+/// filtering, containment of a batch of queries against one view) should
+/// build the index once and call this directly.
+pub fn find_homomorphism_with_index(
+    from: &ConjunctiveQuery,
+    index: &AtomIndex<'_>,
+    to_space: &ConjunctiveQuery,
+    policy: HeadPolicy,
+) -> Option<Substitution> {
     let mut subst = Substitution::new();
     // Order atoms so that the most constrained (fewest candidate targets)
     // are matched first; this keeps the backtracking search shallow for the
-    // query shapes produced by the workload generator.
+    // query shapes produced by the workload generator.  Candidate counts
+    // come from the index in O(1) per atom instead of a rescan of the
+    // target list per atom.
     let mut order: Vec<usize> = (0..from.atoms().len()).collect();
-    let candidate_count = |atom: &Atom| {
-        target_atoms
-            .iter()
-            .filter(|t| t.relation == atom.relation)
-            .count()
-    };
-    order.sort_by_key(|&i| candidate_count(&from.atoms()[i]));
-    if search(from, &order, 0, target_atoms, to_space, policy, &mut subst) {
+    order.sort_by_key(|&i| index.candidate_count(from.atoms()[i].relation));
+    let source_masks: Vec<u64> = from.atoms().iter().map(constant_mask).collect();
+    if search(
+        from,
+        &order,
+        0,
+        index,
+        &source_masks,
+        to_space,
+        policy,
+        &mut subst,
+    ) {
         Some(subst)
     } else {
         None
@@ -90,11 +196,13 @@ pub fn homomorphism_exists(
     find_homomorphism(from, to, policy).is_some()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn search(
     from: &ConjunctiveQuery,
     order: &[usize],
     depth: usize,
-    target_atoms: &[Atom],
+    index: &AtomIndex<'_>,
+    source_masks: &[u64],
     to_space: &ConjunctiveQuery,
     policy: HeadPolicy,
     subst: &mut Substitution,
@@ -103,10 +211,15 @@ fn search(
         return true;
     };
     let atom = &from.atoms()[atom_idx];
-    for target in target_atoms {
-        if target.relation != atom.relation || target.arity() != atom.arity() {
+    let source_mask = source_masks[atom_idx];
+    // Only the target atoms over this atom's relation are candidates, and
+    // the constant-mask test rejects shape-incompatible ones without
+    // touching their terms.
+    for &target_idx in index.candidates(atom.relation) {
+        if !index.shape_admits(atom, source_mask, target_idx) {
             continue;
         }
+        let target = &index.atoms()[target_idx as usize];
         let mut newly_bound = Vec::new();
         let mut ok = true;
         for (src, dst) in atom.terms.iter().zip(target.terms.iter()) {
@@ -133,7 +246,18 @@ fn search(
                 }
             }
         }
-        if ok && search(from, order, depth + 1, target_atoms, to_space, policy, subst) {
+        if ok
+            && search(
+                from,
+                order,
+                depth + 1,
+                index,
+                source_masks,
+                to_space,
+                policy,
+                subst,
+            )
+        {
             return true;
         }
         for v in newly_bound {
@@ -223,7 +347,11 @@ mod tests {
         assert!(!homomorphism_exists(&q_const, &q_var, HeadPolicy::Free));
 
         let other_const = parse_query(&c, "Q() :- Meetings(10, 'Jim')").unwrap();
-        assert!(!homomorphism_exists(&q_const, &other_const, HeadPolicy::Free));
+        assert!(!homomorphism_exists(
+            &q_const,
+            &other_const,
+            HeadPolicy::Free
+        ));
     }
 
     #[test]
@@ -262,7 +390,10 @@ mod tests {
             .expect("redundant atom should fold away");
         // x stays fixed, z maps to y.
         let x = q.distinguished_vars().next().unwrap();
-        assert_eq!(h.get(x), Some(&crate::term::Term::Var(x, VarKind::Distinguished)));
+        assert_eq!(
+            h.get(x),
+            Some(&crate::term::Term::Var(x, VarKind::Distinguished))
+        );
     }
 
     #[test]
@@ -283,6 +414,64 @@ mod tests {
         ));
         // Ignoring the head entirely, the bodies are of course homomorphic.
         assert!(homomorphism_exists(&q1, &q2, HeadPolicy::Free));
+    }
+
+    #[test]
+    fn atom_index_buckets_and_counts() {
+        let c = catalog();
+        let q = parse_query(
+            &c,
+            "Q(x) :- Meetings(x, y), Meetings(x, 'Cathy'), Contacts(y, w, 'Intern')",
+        )
+        .unwrap();
+        let index = AtomIndex::new(q.atoms());
+        let meetings = c.resolve("Meetings").unwrap();
+        let contacts = c.resolve("Contacts").unwrap();
+        assert_eq!(index.candidate_count(meetings), 2);
+        assert_eq!(index.candidate_count(contacts), 1);
+        assert_eq!(index.candidates(meetings), &[0, 1]);
+        assert_eq!(index.candidates(contacts), &[2]);
+        // A relation with no target atoms has no candidates.
+        let mut big = Catalog::paper_example();
+        let other = big.add_relation("Other", &["a"]).unwrap();
+        assert_eq!(index.candidate_count(other), 0);
+        assert!(index.candidates(other).is_empty());
+    }
+
+    #[test]
+    fn constant_masks_prune_only_impossible_targets() {
+        let c = catalog();
+        // Source atom selects a constant in position 2: only targets with a
+        // constant there pass the shape filter.
+        let src = parse_query(&c, "Q(x) :- Meetings(x, 'Cathy')").unwrap();
+        let tgt_const = parse_query(&c, "Q(x) :- Meetings(x, 'Cathy')").unwrap();
+        let tgt_var = parse_query(&c, "Q(x, y) :- Meetings(x, y)").unwrap();
+        assert!(homomorphism_exists(&src, &tgt_const, HeadPolicy::Free));
+        assert!(!homomorphism_exists(&src, &tgt_var, HeadPolicy::Free));
+        // The other direction is never pruned: variables map onto constants.
+        assert!(homomorphism_exists(&tgt_var, &tgt_const, HeadPolicy::Free));
+    }
+
+    #[test]
+    fn prebuilt_index_can_be_reused_across_searches() {
+        let c = catalog();
+        let target = parse_query(
+            &c,
+            "Q() :- Meetings(10, 'Cathy'), Meetings(12, 'Bob'), Contacts(1, 2, 'Intern')",
+        )
+        .unwrap();
+        let index = AtomIndex::new(target.atoms());
+        for (text, expected) in [
+            ("Q() :- Meetings(x, 'Cathy')", true),
+            ("Q() :- Meetings(x, 'Jim')", false),
+            ("Q() :- Meetings(x, y), Contacts(z, w, u)", true),
+            ("Q() :- Contacts(x, y, 'Manager')", false),
+        ] {
+            let q = parse_query(&c, text).unwrap();
+            let found =
+                find_homomorphism_with_index(&q, &index, &target, HeadPolicy::Free).is_some();
+            assert_eq!(found, expected, "unexpected result for {text}");
+        }
     }
 
     #[test]

@@ -218,9 +218,9 @@ impl<'a> Parser<'a> {
                 match self.next_token() {
                     Some(Token::Ident(v)) => head_vars.push(v),
                     Some(t) => {
-                        return Err(self.err(format!(
-                            "head arguments must be variables, found {t:?}"
-                        )))
+                        return Err(
+                            self.err(format!("head arguments must be variables, found {t:?}"))
+                        )
                     }
                     None => return Err(self.err("unterminated head")),
                 }
@@ -240,9 +240,9 @@ impl<'a> Parser<'a> {
         let mut var_names: Vec<String> = Vec::new();
         let mut var_kinds: Vec<VarKind> = Vec::new();
         let declare = |name: &str,
-                           names: &mut HashMap<String, VarId>,
-                           var_names: &mut Vec<String>,
-                           var_kinds: &mut Vec<VarKind>|
+                       names: &mut HashMap<String, VarId>,
+                       var_names: &mut Vec<String>,
+                       var_kinds: &mut Vec<VarKind>|
          -> VarId {
             if let Some(&v) = names.get(name) {
                 return v;
@@ -276,9 +276,7 @@ impl<'a> Parser<'a> {
                         }
                         Some(Token::Str(s)) => terms.push(Term::Const(Constant::Str(s))),
                         Some(Token::Int(i)) => terms.push(Term::Const(Constant::Int(i))),
-                        Some(t) => {
-                            return Err(self.err(format!("unexpected token {t:?} in atom")))
-                        }
+                        Some(t) => return Err(self.err(format!("unexpected token {t:?} in atom"))),
                         None => return Err(self.err("unterminated atom")),
                     }
                     match self.peek() {
@@ -361,10 +359,7 @@ mod tests {
         assert!(v13.atoms()[0].has_constants());
 
         let neg = parse_query(&c, "V() :- Meetings(-3, y)").unwrap();
-        assert_eq!(
-            neg.atoms()[0].terms[0],
-            Term::Const(Constant::Int(-3))
-        );
+        assert_eq!(neg.atoms()[0].terms[0], Term::Const(Constant::Int(-3)));
     }
 
     #[test]

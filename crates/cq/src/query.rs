@@ -247,7 +247,11 @@ impl ConjunctiveQuery {
     }
 
     /// Like [`display_with`](Self::display_with) with an explicit head name.
-    pub fn display_named<'a>(&'a self, catalog: &'a Catalog, head_name: &'a str) -> QueryDisplay<'a> {
+    pub fn display_named<'a>(
+        &'a self,
+        catalog: &'a Catalog,
+        head_name: &'a str,
+    ) -> QueryDisplay<'a> {
         QueryDisplay {
             query: self,
             catalog,
@@ -565,11 +569,9 @@ mod tests {
     fn from_atoms_infers_kinds_and_names() {
         let c = catalog();
         let m = c.resolve("Meetings").unwrap();
-        let q = ConjunctiveQuery::from_atoms(vec![Atom::new(
-            m,
-            vec![Term::dist(0), Term::exist(1)],
-        )])
-        .unwrap();
+        let q =
+            ConjunctiveQuery::from_atoms(vec![Atom::new(m, vec![Term::dist(0), Term::exist(1)])])
+                .unwrap();
         assert_eq!(q.num_vars(), 2);
         assert_eq!(q.var_kind(VarId(0)), VarKind::Distinguished);
         assert_eq!(q.var_kind(VarId(1)), VarKind::Existential);
@@ -622,10 +624,7 @@ mod tests {
         let x = b.dvar("x");
         b.atom(m, [x.into()]);
         let q = b.build().unwrap();
-        assert!(matches!(
-            q.validate(&c),
-            Err(CqError::ArityMismatch { .. })
-        ));
+        assert!(matches!(q.validate(&c), Err(CqError::ArityMismatch { .. })));
     }
 
     #[test]
@@ -633,9 +632,6 @@ mod tests {
         assert_eq!(Arg::from(VarId(1)), Arg::Var(VarId(1)));
         assert_eq!(Arg::from("a"), Arg::Const(Constant::str("a")));
         assert_eq!(Arg::from(7i64), Arg::Const(Constant::int(7)));
-        assert_eq!(
-            Arg::from(Constant::int(3)),
-            Arg::Const(Constant::int(3))
-        );
+        assert_eq!(Arg::from(Constant::int(3)), Arg::Const(Constant::int(3)));
     }
 }

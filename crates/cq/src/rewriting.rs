@@ -71,13 +71,11 @@ pub fn rewritable_from_single(query: &ConjunctiveQuery, view: &ConjunctiveQuery)
     let mut theta: Vec<Option<Term>> = vec![None; view.num_vars()];
     for (v_term, q_term) in v_atom.terms.iter().zip(q_atom.terms.iter()) {
         match v_term {
-            Term::Var(v, VarKind::Distinguished) => {
-                match &theta[v.index()] {
-                    Some(existing) if existing != q_term => return false,
-                    Some(_) => {}
-                    None => theta[v.index()] = Some(q_term.clone()),
-                }
-            }
+            Term::Var(v, VarKind::Distinguished) => match &theta[v.index()] {
+                Some(existing) if existing != q_term => return false,
+                Some(_) => {}
+                None => theta[v.index()] = Some(q_term.clone()),
+            },
             Term::Var(_, VarKind::Existential) => {
                 // Projected away by the view; no constraint here.  If the
                 // query needs this position (e.g. exposes it), the expansion
@@ -103,8 +101,7 @@ pub fn rewritable_from_single(query: &ConjunctiveQuery, view: &ConjunctiveQuery)
             .iter()
             .zip(q_atom.terms.iter())
             .any(|(v_term, q_term)| {
-                v_term.var_kind() == Some(VarKind::Distinguished)
-                    && q_term.var_id() == Some(q_var)
+                v_term.var_kind() == Some(VarKind::Distinguished) && q_term.var_id() == Some(q_var)
             });
         if !exposed {
             return false;
@@ -178,8 +175,7 @@ where
 /// single-atom views: `w1 ⪯ w2` iff every view of `w1` is rewritable from
 /// some view of `w2`.
 pub fn set_rewritable(w1: &[ConjunctiveQuery], w2: &[ConjunctiveQuery]) -> bool {
-    w1.iter()
-        .all(|v| rewritable_from_any(v, w2.iter()))
+    w1.iter().all(|v| rewritable_from_any(v, w2.iter()))
 }
 
 #[cfg(test)]
@@ -362,8 +358,14 @@ mod tests {
             &[v2.clone(), v4.clone()]
         ));
         // {V5} ⪯ {V2} and {V5} ⪯ {V4}.
-        assert!(set_rewritable(std::slice::from_ref(&v5), std::slice::from_ref(&v2)));
-        assert!(set_rewritable(std::slice::from_ref(&v5), std::slice::from_ref(&v4)));
+        assert!(set_rewritable(
+            std::slice::from_ref(&v5),
+            std::slice::from_ref(&v2)
+        ));
+        assert!(set_rewritable(
+            std::slice::from_ref(&v5),
+            std::slice::from_ref(&v4)
+        ));
         // The empty set is below everything.
         assert!(set_rewritable(&[], std::slice::from_ref(&v5)));
         assert!(rewritable_from_any(&v5, [&v2, &v4]));

@@ -119,7 +119,10 @@ mod tests {
         assert_eq!(s.apply_term(&Term::dist(1)), Term::dist(1));
         assert_eq!(s.apply_term(&Term::constant(4i64)), Term::constant(4i64));
 
-        let atom = Atom::new(RelId(0), vec![Term::dist(0), Term::constant("k"), Term::exist(1)]);
+        let atom = Atom::new(
+            RelId(0),
+            vec![Term::dist(0), Term::constant("k"), Term::exist(1)],
+        );
         let mapped = s.apply_atom(&atom);
         assert_eq!(
             mapped.terms,
@@ -130,20 +133,14 @@ mod tests {
 
     #[test]
     fn iteration_yields_all_bindings() {
-        let s: Substitution = [
-            (VarId(0), Term::dist(1)),
-            (VarId(2), Term::constant(3i64)),
-        ]
-        .into_iter()
-        .collect();
+        let s: Substitution = [(VarId(0), Term::dist(1)), (VarId(2), Term::constant(3i64))]
+            .into_iter()
+            .collect();
         let mut pairs: Vec<(VarId, Term)> = s.iter().map(|(v, t)| (v, t.clone())).collect();
         pairs.sort_by_key(|(v, _)| *v);
         assert_eq!(
             pairs,
-            vec![
-                (VarId(0), Term::dist(1)),
-                (VarId(2), Term::constant(3i64))
-            ]
+            vec![(VarId(0), Term::dist(1)), (VarId(2), Term::constant(3i64))]
         );
     }
 }

@@ -5,8 +5,8 @@
 //! benchmark harness can set the whole system up with one call.
 
 use fdc_core::{
-    BaselineLabeler, BitVectorLabeler, DisclosureLabel, HashPartitionedLabeler, QueryLabeler,
-    SecurityViews,
+    BaselineLabeler, BitVectorLabeler, CachedLabeler, DisclosureLabel, HashPartitionedLabeler,
+    QueryLabeler, SecurityViews,
 };
 use fdc_cq::ConjunctiveQuery;
 
@@ -28,6 +28,9 @@ pub struct Ecosystem {
     pub hashed: HashPartitionedLabeler,
     /// The bit-vector labeler (Figure 5's "bit vectors + hashing" curve).
     pub bitvec: BitVectorLabeler,
+    /// The canonical-form caching labeler (beyond the paper's variants —
+    /// the high-throughput serving path).
+    pub cached: CachedLabeler,
 }
 
 impl Ecosystem {
@@ -39,6 +42,7 @@ impl Ecosystem {
             baseline: BaselineLabeler::new(views.clone()),
             hashed: HashPartitionedLabeler::new(views.clone()),
             bitvec: BitVectorLabeler::new(views.clone()),
+            cached: CachedLabeler::new(views.clone()),
             schema,
             views,
         }
@@ -64,6 +68,12 @@ impl Ecosystem {
     pub fn label_batch(&self, queries: &[ConjunctiveQuery]) -> Vec<DisclosureLabel> {
         queries.iter().map(|q| self.label(q)).collect()
     }
+
+    /// Labels a batch of queries on all cores through the caching labeler,
+    /// returning one label per query in input order.
+    pub fn label_batch_parallel(&self, queries: &[ConjunctiveQuery]) -> Vec<DisclosureLabel> {
+        self.cached.label_batch(queries)
+    }
 }
 
 impl Default for Ecosystem {
@@ -84,19 +94,45 @@ mod tests {
         assert_eq!(eco.baseline.security_views().len(), eco.views.len());
         assert_eq!(eco.hashed.security_views().len(), eco.views.len());
         assert_eq!(eco.bitvec.security_views().len(), eco.views.len());
+        assert_eq!(eco.cached.security_views().len(), eco.views.len());
     }
 
     #[test]
     fn all_labelers_agree_on_a_workload_sample() {
         let eco = Ecosystem::new();
         let mut workload = eco.workload(WorkloadConfig::stress(2, 17));
-        for query in workload.batch(150) {
-            let a = eco.baseline.label_query(&query);
-            let b = eco.hashed.label_query(&query);
-            let c = eco.bitvec.label_query(&query);
+        let queries = workload.batch(150);
+        for query in &queries {
+            let a = eco.baseline.label_query(query);
+            let b = eco.hashed.label_query(query);
+            let c = eco.bitvec.label_query(query);
+            let d = eco.cached.label_query(query);
             assert_eq!(a, b, "baseline vs hashed disagree on {query:?}");
             assert_eq!(a, c, "baseline vs bitvec disagree on {query:?}");
+            assert_eq!(a, d, "baseline vs cached disagree on {query:?}");
         }
+        // Atoms recur across query shapes even within the first pass (the
+        // Friend join atoms in particular), and a repeated batch — the
+        // serving steady state — is answered entirely from the query cache.
+        let cold = eco.cached.stats();
+        assert!(cold.atom_hits > 0, "no atom-level sharing at all: {cold:?}");
+        for query in &queries {
+            eco.cached.label_query(query);
+        }
+        let warm = eco.cached.stats();
+        assert_eq!(warm.misses, cold.misses, "second pass must not miss");
+        assert!(warm.hits >= cold.hits + queries.len() as u64);
+    }
+
+    #[test]
+    fn parallel_batch_labeling_matches_the_sequential_path() {
+        let eco = Ecosystem::new();
+        let mut workload = eco.workload(WorkloadConfig::stress(3, 23));
+        let queries = workload.batch(200);
+        assert_eq!(
+            eco.label_batch_parallel(&queries),
+            eco.label_batch(&queries)
+        );
     }
 
     #[test]

@@ -149,8 +149,7 @@ mod tests {
     #[test]
     fn store_building_registers_the_requested_number_of_principals() {
         let registry = registry();
-        let mut generator =
-            PolicyGenerator::new(&registry, PolicyGeneratorConfig::default());
+        let mut generator = PolicyGenerator::new(&registry, PolicyGeneratorConfig::default());
         let store = generator.build_store(&registry, 1000);
         assert_eq!(store.len(), 1000);
     }

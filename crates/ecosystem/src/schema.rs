@@ -104,40 +104,49 @@ pub fn facebook_catalog() -> FacebookSchema {
     let mut catalog = Catalog::new();
     let mut relations = Vec::new();
 
-    let add = |catalog: &mut Catalog,
-                   relations: &mut Vec<RelationInfo>,
-                   name: &str,
-                   attrs: &[&str]| {
-        let relation = catalog
-            .add_relation(name, attrs)
-            .expect("evaluation schema has unique relation names");
-        let uid_column = attrs
-            .iter()
-            .position(|a| *a == "uid")
-            .expect("every relation has a uid column");
-        let is_friend_column = attrs
-            .iter()
-            .position(|a| *a == "is_friend")
-            .expect("every relation has an is_friend column");
-        relations.push(RelationInfo {
-            relation,
-            uid_column,
-            is_friend_column,
-        });
-        relation
-    };
+    let add =
+        |catalog: &mut Catalog, relations: &mut Vec<RelationInfo>, name: &str, attrs: &[&str]| {
+            let relation = catalog
+                .add_relation(name, attrs)
+                .expect("evaluation schema has unique relation names");
+            let uid_column = attrs
+                .iter()
+                .position(|a| *a == "uid")
+                .expect("every relation has a uid column");
+            let is_friend_column = attrs
+                .iter()
+                .position(|a| *a == "is_friend")
+                .expect("every relation has an is_friend column");
+            relations.push(RelationInfo {
+                relation,
+                uid_column,
+                is_friend_column,
+            });
+            relation
+        };
 
     // 1. User: 34 attributes.
     add(&mut catalog, &mut relations, "User", &USER_ATTRIBUTES);
     // 2. Friend: the friendship edge list (uid, friend_uid, is_friend).
-    add(&mut catalog, &mut relations, "Friend", &["uid", "friend_uid", "is_friend"]);
+    add(
+        &mut catalog,
+        &mut relations,
+        "Friend",
+        &["uid", "friend_uid", "is_friend"],
+    );
     // 3. Photo.
     add(
         &mut catalog,
         &mut relations,
         "Photo",
         &[
-            "photo_id", "uid", "album_id", "caption", "place", "created_time", "link",
+            "photo_id",
+            "uid",
+            "album_id",
+            "caption",
+            "place",
+            "created_time",
+            "link",
             "is_friend",
         ],
     );
@@ -146,21 +155,44 @@ pub fn facebook_catalog() -> FacebookSchema {
         &mut catalog,
         &mut relations,
         "Album",
-        &["album_id", "uid", "name", "description", "size", "created_time", "is_friend"],
+        &[
+            "album_id",
+            "uid",
+            "name",
+            "description",
+            "size",
+            "created_time",
+            "is_friend",
+        ],
     );
     // 5. Status.
     add(
         &mut catalog,
         &mut relations,
         "Status",
-        &["status_id", "uid", "message", "created_time", "place", "is_friend"],
+        &[
+            "status_id",
+            "uid",
+            "message",
+            "created_time",
+            "place",
+            "is_friend",
+        ],
     );
     // 6. Checkin.
     add(
         &mut catalog,
         &mut relations,
         "Checkin",
-        &["checkin_id", "uid", "place", "message", "created_time", "coords", "is_friend"],
+        &[
+            "checkin_id",
+            "uid",
+            "place",
+            "message",
+            "created_time",
+            "coords",
+            "is_friend",
+        ],
     );
     // 7. Event.
     add(
@@ -168,8 +200,16 @@ pub fn facebook_catalog() -> FacebookSchema {
         &mut relations,
         "Event",
         &[
-            "event_id", "uid", "name", "start_time", "end_time", "location", "rsvp_status",
-            "description", "privacy", "is_friend",
+            "event_id",
+            "uid",
+            "name",
+            "start_time",
+            "end_time",
+            "location",
+            "rsvp_status",
+            "description",
+            "privacy",
+            "is_friend",
         ],
     );
     // 8. Like.
@@ -177,7 +217,14 @@ pub fn facebook_catalog() -> FacebookSchema {
         &mut catalog,
         &mut relations,
         "Like",
-        &["uid", "page_id", "category", "name", "created_time", "is_friend"],
+        &[
+            "uid",
+            "page_id",
+            "category",
+            "name",
+            "created_time",
+            "is_friend",
+        ],
     );
 
     FacebookSchema { catalog, relations }

@@ -14,7 +14,7 @@
 //! `is_friend` columns so that audience-restricted queries remain
 //! answerable from the view that grants the underlying attributes.
 
-use fdc_core::{SecurityViews, SecurityViewId};
+use fdc_core::{SecurityViewId, SecurityViews};
 use fdc_cq::query::QueryBuilder;
 use fdc_cq::{ConjunctiveQuery, RelId};
 
@@ -110,7 +110,10 @@ pub fn facebook_security_views(schema: &FacebookSchema) -> SecurityViews {
         .map(String::as_str)
         .collect();
     registry
-        .add("user_full", projection_view(schema, user, &all_user_columns))
+        .add(
+            "user_full",
+            projection_view(schema, user, &all_user_columns),
+        )
         .expect("full user view is valid");
 
     // --- Every other relation: full / metadata / presence ---------------
@@ -121,7 +124,10 @@ pub fn facebook_security_views(schema: &FacebookSchema) -> SecurityViews {
         let rel_name = rel_schema.name.to_lowercase();
         let all: Vec<&str> = rel_schema.attributes.iter().map(String::as_str).collect();
         registry
-            .add(&format!("{rel_name}_full"), projection_view(schema, relation, &all))
+            .add(
+                &format!("{rel_name}_full"),
+                projection_view(schema, relation, &all),
+            )
             .expect("full views are valid");
 
         // Metadata: uid, is_friend, plus up to two leading non-content
@@ -136,7 +142,10 @@ pub fn facebook_security_views(schema: &FacebookSchema) -> SecurityViews {
             }
         }
         registry
-            .add(&format!("{rel_name}_meta"), projection_view(schema, relation, &meta))
+            .add(
+                &format!("{rel_name}_meta"),
+                projection_view(schema, relation, &meta),
+            )
             .expect("metadata views are valid");
 
         // Presence: only uid and is_friend.
@@ -245,11 +254,7 @@ mod tests {
         let labeler = BitVectorLabeler::new(registry);
         let catalog = &schema.catalog;
         // Which of my friends have photos?  Only needs the photo presence view.
-        let q = parse_query(
-            catalog,
-            "Q(u) :- Photo(pid, u, aid, c, pl, ct, l, fr)",
-        )
-        .unwrap();
+        let q = parse_query(catalog, "Q(u) :- Photo(pid, u, aid, c, pl, ct, l, fr)").unwrap();
         let label = labeler.label_query(&q);
         let described = label.describe(labeler.security_views());
         assert!(described.contains("photo_presence"));
@@ -277,7 +282,10 @@ mod tests {
         let like = schema.catalog.resolve("Like").unwrap();
         let ids = views_of(&registry, like);
         assert_eq!(ids.len(), 3);
-        let names: Vec<&str> = ids.iter().map(|id| registry.view(*id).name.as_str()).collect();
+        let names: Vec<&str> = ids
+            .iter()
+            .map(|id| registry.view(*id).name.as_str())
+            .collect();
         assert_eq!(names, vec!["like_full", "like_meta", "like_presence"]);
     }
 }

@@ -279,17 +279,13 @@ mod tests {
     }
 
     #[test]
-    fn every_audience_appears_in_a_large_sample(){
+    fn every_audience_appears_in_a_large_sample() {
         let mut generator = generator(WorkloadConfig::base(3));
         let friend = generator.schema.friend();
         let mut joins_seen = [false; 3]; // 0, 1, 2 Friend joins
         for _ in 0..300 {
             let q = generator.next_query();
-            let friend_atoms = q
-                .atoms()
-                .iter()
-                .filter(|a| a.relation == friend)
-                .count();
+            let friend_atoms = q.atoms().iter().filter(|a| a.relation == friend).count();
             // The anchor join for constant-audience single-subquery queries
             // also targets Friend, so clamp at 2.
             joins_seen[friend_atoms.min(2)] = true;
@@ -312,7 +308,10 @@ mod tests {
         assert_eq!(config.max_subqueries, 1);
         assert_eq!(config.max_atoms(), 3);
         let stress = WorkloadConfig::stress(0, 1);
-        assert_eq!(stress.max_subqueries, 1, "stress clamps to at least one subquery");
+        assert_eq!(
+            stress.max_subqueries, 1,
+            "stress clamps to at least one subquery"
+        );
     }
 
     #[test]

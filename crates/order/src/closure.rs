@@ -18,7 +18,11 @@ use crate::view::ViewSet;
 ///
 /// `op` receives and returns *down-sets* (lattice elements).  Returns a
 /// description of the first violated law.
-pub fn check_closure_operator<O, F>(order: &O, lattice: &DisclosureLattice, op: F) -> Result<(), String>
+pub fn check_closure_operator<O, F>(
+    order: &O,
+    lattice: &DisclosureLattice,
+    op: F,
+) -> Result<(), String>
 where
     O: DisclosureOrder,
     F: Fn(ViewSet) -> ViewSet,
@@ -32,7 +36,9 @@ where
         }
         let ccx = op(cx);
         if ccx != cx {
-            return Err(format!("not idempotent: op(op({x})) = {ccx} ≠ op({x}) = {cx}"));
+            return Err(format!(
+                "not idempotent: op(op({x})) = {ccx} ≠ op({x}) = {cx}"
+            ));
         }
         // The image must itself be a lattice element (a down-set).
         if downset(order, cx) != cx {
@@ -57,10 +63,7 @@ where
 /// Builds the closure operator `X ↦ ⇓ℓ(X)` induced by a labeling function
 /// and returns it as a boxed closure, for use with
 /// [`check_closure_operator`].
-pub fn labeler_closure<'a, O, L>(
-    order: &'a O,
-    label: L,
-) -> impl Fn(ViewSet) -> ViewSet + 'a
+pub fn labeler_closure<'a, O, L>(order: &'a O, label: L) -> impl Fn(ViewSet) -> ViewSet + 'a
 where
     O: DisclosureOrder,
     L: Fn(ViewSet) -> ViewSet + 'a,

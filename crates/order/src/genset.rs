@@ -106,7 +106,11 @@ pub fn close_under_glb<O: DisclosureOrder>(order: &O, g: &[ViewSet]) -> Vec<View
 /// Every element of `f` must be equivalent to a GLB of elements of `fd`.
 /// GLBs are computed on down-sets (intersection), and "equivalent" means
 /// equal down-sets.
-pub fn is_downward_generating<O: DisclosureOrder>(order: &O, fd: &[ViewSet], f: &[ViewSet]) -> bool {
+pub fn is_downward_generating<O: DisclosureOrder>(
+    order: &O,
+    fd: &[ViewSet],
+    f: &[ViewSet],
+) -> bool {
     let fd_downsets: Vec<ViewSet> = fd.iter().map(|w| downset(order, *w)).collect();
     f.iter().all(|w| {
         let target = downset(order, *w);
@@ -202,9 +206,7 @@ mod tests {
     /// Derivability: a projection is derivable from any single projection
     /// whose column set is a superset of its own.
     fn contacts_projections_order() -> impl DisclosureOrder {
-        const COLS: [u8; 8] = [
-            0b111, 0b011, 0b101, 0b110, 0b001, 0b010, 0b100, 0b000,
-        ];
+        const COLS: [u8; 8] = [0b111, 0b011, 0b101, 0b110, 0b001, 0b010, 0b100, 0b000];
         SingletonLiftedOrder::new(8, move |v: ViewId, w: ViewSet| {
             let need = COLS[v.index()];
             w.iter().any(|u| {

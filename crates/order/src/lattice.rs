@@ -44,7 +44,10 @@ impl DisclosureLattice {
     /// exponential; the paper's examples need at most 16).
     pub fn build<O: DisclosureOrder>(order: &O) -> Self {
         let n = order.universe_size();
-        assert!(n <= 20, "explicit lattice construction is exponential in |U|");
+        assert!(
+            n <= 20,
+            "explicit lattice construction is exponential in |U|"
+        );
         let mut elements: Vec<ViewSet> = Vec::new();
         let mut index: HashMap<ViewSet, ElementId> = HashMap::new();
         for w in ViewSet::all_subsets(n) {
@@ -164,9 +167,9 @@ impl DisclosureLattice {
                 if a == b || !self.leq(a, b) {
                     continue;
                 }
-                let covered = ids.iter().any(|&m| {
-                    m != a && m != b && self.leq(a, m) && self.leq(m, b)
-                });
+                let covered = ids
+                    .iter()
+                    .any(|&m| m != a && m != b && self.leq(a, m) && self.leq(m, b));
                 if !covered {
                     edges.push((a, b));
                 }

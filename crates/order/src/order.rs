@@ -157,7 +157,10 @@ where
 /// axiom.
 pub fn check_disclosure_order_axioms<O: DisclosureOrder>(order: &O) -> Result<(), String> {
     let n = order.universe_size();
-    assert!(n <= 6, "exhaustive axiom checking is exponential; keep the universe small");
+    assert!(
+        n <= 6,
+        "exhaustive axiom checking is exponential; keep the universe small"
+    );
     let subsets: Vec<ViewSet> = ViewSet::all_subsets(n).collect();
 
     // Reflexivity.
@@ -280,7 +283,9 @@ mod tests {
     #[test]
     fn axiom_checker_catches_violations() {
         // "leq" that is not reflexive.
-        let broken = FnOrder::new(2, |w1: ViewSet, w2: ViewSet| w1 != w2 && w1.is_subset_of(w2));
+        let broken = FnOrder::new(2, |w1: ViewSet, w2: ViewSet| {
+            w1 != w2 && w1.is_subset_of(w2)
+        });
         let err = check_disclosure_order_axioms(&broken).unwrap_err();
         assert!(err.contains("reflexivity"));
 

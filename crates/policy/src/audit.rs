@@ -48,7 +48,10 @@ impl AuditReport {
     /// Renders the report with human-readable permission names.
     pub fn describe(&self, registry: &SecurityViews) -> String {
         let names = |ids: &BTreeSet<SecurityViewId>| -> String {
-            let list: Vec<&str> = ids.iter().map(|id| registry.view(*id).name.as_str()).collect();
+            let list: Vec<&str> = ids
+                .iter()
+                .map(|id| registry.view(*id).name.as_str())
+                .collect();
             if list.is_empty() {
                 "(none)".to_owned()
             } else {
@@ -73,11 +76,7 @@ impl AuditReport {
 /// answer that atom.  A query is *uncovered* if some atom's `ℓ⁺` contains no
 /// requested permission at all (the app cannot run that query with what it
 /// asked for).
-pub fn audit_app<L, I>(
-    labeler: &L,
-    requested: I,
-    workload: &[ConjunctiveQuery],
-) -> AuditReport
+pub fn audit_app<L, I>(labeler: &L, requested: I, workload: &[ConjunctiveQuery]) -> AuditReport
 where
     L: QueryLabeler,
     I: IntoIterator<Item = SecurityViewId>,
@@ -102,8 +101,7 @@ where
             }
         }
     }
-    let unused: BTreeSet<SecurityViewId> =
-        requested.difference(&used).copied().collect();
+    let unused: BTreeSet<SecurityViewId> = requested.difference(&used).copied().collect();
     AuditReport {
         requested,
         used,

@@ -151,8 +151,7 @@ mod tests {
         let lattice = DisclosureLattice::build(&order);
         let col1 = lattice.classify(&order, s(&[1]));
         let col2 = lattice.classify(&order, s(&[2]));
-        let policy =
-            LatticePolicy::downward_closure(&lattice, [col1, col2]);
+        let policy = LatticePolicy::downward_closure(&lattice, [col1, col2]);
         assert_eq!(policy.len(), 4); // ⊥, ⇓{V5}, ⇓{V2}, ⇓{V4}
 
         // Individual projections are permitted.
@@ -176,11 +175,8 @@ mod tests {
         // the cumulative disclosure would exceed the cut), third asks for
         // column 1 again (still fine), fourth asks for the nonemptiness view
         // (fine: already below the cumulative disclosure).
-        let decisions = policy.enforce_sequence(
-            &order,
-            &lattice,
-            &[s(&[1]), s(&[2]), s(&[1]), s(&[3])],
-        );
+        let decisions =
+            policy.enforce_sequence(&order, &lattice, &[s(&[1]), s(&[2]), s(&[1]), s(&[3])]);
         assert_eq!(decisions, vec![true, false, true, true]);
     }
 

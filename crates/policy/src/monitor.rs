@@ -6,10 +6,68 @@
 //! history: it keeps one bit per policy partition ("is the set of queries
 //! answered so far still below `Wi`?") and updates those bits only when a
 //! query is answered — Example 6.3's `⟨1, 1⟩ → ⟨1, 0⟩ → …` walk-through.
+//!
+//! On construction the monitor *compiles* each partition into a flat array
+//! of per-relation permitted [`ViewMask`]s sorted by relation id, so the
+//! per-atom test "is some permitted view able to answer this atom?" is a
+//! binary search plus one AND — no hash lookups on the hot path.  The same
+//! compiled form also serves [`ReferenceMonitor::check_packed`] /
+//! [`ReferenceMonitor::submit_packed`], which consume the labeler's packed
+//! 64-bit labels (Section 6.1) directly.
 
-use fdc_core::DisclosureLabel;
+use fdc_core::{DisclosureLabel, PackedLabel, ViewMask};
+use fdc_cq::RelId;
 
+use crate::partition::PolicyPartition;
 use crate::policy::SecurityPolicy;
+
+/// One policy partition compiled for the monitor's hot path: the permitted
+/// view masks as a flat array sorted by relation id.
+///
+/// Policies permit views over a handful of relations, so a binary search
+/// over a short contiguous array beats a hash lookup and keeps the whole
+/// compiled policy in one or two cache lines.
+#[derive(Debug, Clone)]
+struct CompiledPartition {
+    permitted: Vec<(RelId, ViewMask)>,
+}
+
+impl CompiledPartition {
+    fn compile(partition: &PolicyPartition) -> Self {
+        let mut permitted: Vec<(RelId, ViewMask)> = partition
+            .relations()
+            .map(|relation| (relation, partition.permitted_mask(relation)))
+            .collect();
+        permitted.sort_unstable_by_key(|(relation, _)| *relation);
+        CompiledPartition { permitted }
+    }
+
+    /// The permitted mask for a relation (0 when nothing is permitted).
+    #[inline]
+    fn mask_for(&self, relation: RelId) -> ViewMask {
+        self.permitted
+            .binary_search_by_key(&relation, |(r, _)| *r)
+            .map_or(0, |i| self.permitted[i].1)
+    }
+
+    /// Every atom of the label must intersect the permitted views of its
+    /// relation (`ℓ⁺(atom) ∩ permitted(relation) ≠ ∅`).
+    #[inline]
+    fn allows(&self, label: &DisclosureLabel) -> bool {
+        label
+            .atoms()
+            .iter()
+            .all(|atom| atom.mask & self.mask_for(atom.relation) != 0)
+    }
+
+    /// Same check on the packed 64-bit representation.
+    #[inline]
+    fn allows_packed(&self, label: &[PackedLabel]) -> bool {
+        label
+            .iter()
+            .all(|packed| u64::from(packed.mask()) & self.mask_for(packed.relation()) != 0)
+    }
+}
 
 /// The decision taken for one query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +121,8 @@ impl Decision {
 #[derive(Debug, Clone)]
 pub struct ReferenceMonitor {
     policy: SecurityPolicy,
+    /// Per-partition permitted masks, compiled for the hot path.
+    compiled: Vec<CompiledPartition>,
     /// Bit `i` set ⇔ the queries answered so far are below partition `i`.
     consistent: u64,
     answered: u64,
@@ -89,8 +149,14 @@ impl ReferenceMonitor {
         } else {
             u64::MAX >> (64 - policy.len())
         };
+        let compiled = policy
+            .partitions()
+            .iter()
+            .map(CompiledPartition::compile)
+            .collect();
         ReferenceMonitor {
             policy,
+            compiled,
             consistent,
             answered: 0,
             refused: 0,
@@ -141,6 +207,36 @@ impl ReferenceMonitor {
             return Decision::Allow;
         }
         let surviving = self.surviving_bits(label);
+        self.apply(surviving)
+    }
+
+    /// [`check`](Self::check) on the packed 64-bit label representation
+    /// (Section 6.1), e.g. the output of
+    /// [`BitVectorLabeler::label_packed`](fdc_core::BitVectorLabeler::label_packed).
+    ///
+    /// Packed atom labels carry 32-bit view masks, so this path applies to
+    /// registries with at most 32 views per relation (the paper's layout;
+    /// wider registries must use the unpacked [`check`](Self::check)).
+    pub fn check_packed(&self, label: &[PackedLabel]) -> Decision {
+        if label.is_empty() || self.surviving_bits_packed(label) != 0 {
+            Decision::Allow
+        } else {
+            Decision::Deny
+        }
+    }
+
+    /// [`submit`](Self::submit) on the packed 64-bit label representation.
+    pub fn submit_packed(&mut self, label: &[PackedLabel]) -> Decision {
+        if label.is_empty() {
+            self.answered += 1;
+            return Decision::Allow;
+        }
+        let surviving = self.surviving_bits_packed(label);
+        self.apply(surviving)
+    }
+
+    /// Commits a submit decision given the surviving partition bits.
+    fn apply(&mut self, surviving: u64) -> Decision {
         if surviving != 0 {
             self.consistent = surviving;
             self.answered += 1;
@@ -157,8 +253,19 @@ impl ReferenceMonitor {
     /// per-query checks, by Definition 3.1 (b).)
     fn surviving_bits(&self, label: &DisclosureLabel) -> u64 {
         let mut bits = 0u64;
-        for (i, partition) in self.policy.partitions().iter().enumerate() {
+        for (i, partition) in self.compiled.iter().enumerate() {
             if self.consistent & (1 << i) != 0 && partition.allows(label) {
+                bits |= 1 << i;
+            }
+        }
+        bits
+    }
+
+    /// [`surviving_bits`](Self::surviving_bits) on packed labels.
+    fn surviving_bits_packed(&self, label: &[PackedLabel]) -> u64 {
+        let mut bits = 0u64;
+        for (i, partition) in self.compiled.iter().enumerate() {
+            if self.consistent & (1 << i) != 0 && partition.allows_packed(label) {
                 bits |= 1 << i;
             }
         }
@@ -278,7 +385,9 @@ mod tests {
         ));
         let mut monitor = ReferenceMonitor::new(policy);
 
-        assert!(monitor.submit(&fx.label("Q(x) :- Meetings(x, y)")).is_allow());
+        assert!(monitor
+            .submit(&fx.label("Q(x) :- Meetings(x, y)"))
+            .is_allow());
         assert!(monitor
             .submit(&fx.label("Q(x, y, z) :- Contacts(x, y, z)"))
             .is_allow());
@@ -299,7 +408,9 @@ mod tests {
         assert!(monitor.submit(&DisclosureLabel::bottom()).is_allow());
         assert!(monitor.check(&DisclosureLabel::bottom()).is_allow());
         // But anything else is refused by the empty policy.
-        assert!(!monitor.submit(&fx.label("Q(x) :- Meetings(x, y)")).is_allow());
+        assert!(!monitor
+            .submit(&fx.label("Q(x) :- Meetings(x, y)"))
+            .is_allow());
     }
 
     #[test]
@@ -315,8 +426,57 @@ mod tests {
         assert_eq!(monitor.answered(), 0);
         assert_eq!(monitor.refused(), 0);
         // After the reset the principal can choose the Meetings side instead.
-        assert!(monitor.submit(&fx.label("Q(x, y) :- Meetings(x, y)")).is_allow());
+        assert!(monitor
+            .submit(&fx.label("Q(x, y) :- Meetings(x, y)"))
+            .is_allow());
         assert_eq!(monitor.consistency_bits(), 0b01);
+    }
+
+    #[test]
+    fn packed_decisions_agree_with_unpacked_ones() {
+        let fx = Fixture::new();
+        let queries = [
+            "Q(x, y) :- Contacts(x, y, z)",
+            "Q(x) :- Meetings(x, y)",
+            "Q(x, y) :- Meetings(x, y)",
+            "Q(x, z) :- Contacts(x, y, z)",
+            "Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+        ];
+        let mut unpacked = ReferenceMonitor::new(fx.chinese_wall());
+        let mut packed = ReferenceMonitor::new(fx.chinese_wall());
+        for text in queries {
+            let label = fx.label(text);
+            let packed_label = label.pack();
+            // Pure checks agree before any state change...
+            assert_eq!(
+                unpacked.check(&label),
+                packed.check_packed(&packed_label),
+                "check disagrees on {text}"
+            );
+            // ...and submits walk the two monitors through identical states.
+            assert_eq!(
+                unpacked.submit(&label),
+                packed.submit_packed(&packed_label),
+                "submit disagrees on {text}"
+            );
+            assert_eq!(unpacked.consistency_bits(), packed.consistency_bits());
+        }
+        assert_eq!(unpacked.answered(), packed.answered());
+        assert_eq!(unpacked.refused(), packed.refused());
+    }
+
+    #[test]
+    fn packed_bottom_labels_are_always_allowed() {
+        let fx = Fixture::new();
+        let mut monitor = ReferenceMonitor::new(fx.chinese_wall());
+        assert!(monitor.check_packed(&[]).is_allow());
+        assert!(monitor.submit_packed(&[]).is_allow());
+        assert_eq!(monitor.answered(), 1);
+        // An empty policy refuses every non-bottom packed label.
+        let mut empty = ReferenceMonitor::new(SecurityPolicy::new());
+        let label = fx.label("Q(x) :- Meetings(x, y)").pack();
+        assert!(!empty.check_packed(&label).is_allow());
+        assert!(!empty.submit_packed(&label).is_allow());
     }
 
     #[test]
@@ -326,6 +486,8 @@ mod tests {
         let fx = Fixture::new();
         let monitor = ReferenceMonitor::new(SecurityPolicy::allow_all(&fx.registry));
         assert_eq!(monitor.policy().len(), 1);
-        assert!(monitor.check(&fx.label("Q(x, y) :- Meetings(x, y)")).is_allow());
+        assert!(monitor
+            .check(&fx.label("Q(x, y) :- Meetings(x, y)"))
+            .is_allow());
     }
 }

@@ -222,7 +222,9 @@ mod tests {
         let mut store = PolicyStore::new();
         let times_only =
             SecurityPolicy::stateless(PolicyPartition::from_views("times", &registry, [v2]));
-        let ids: Vec<PrincipalId> = (0..1000).map(|_| store.register(times_only.clone())).collect();
+        let ids: Vec<PrincipalId> = (0..1000)
+            .map(|_| store.register(times_only.clone()))
+            .collect();
         let times = label(&labeler, "Q(x) :- Meetings(x, y)");
         let full = label(&labeler, "Q(x, y) :- Meetings(x, y)");
         for &id in &ids {

@@ -49,11 +49,31 @@ fn main() {
     let crm_app = store.register(policy);
 
     let queries = [
-        ("scheduler: free time slots", scheduler_app, "Q(t) :- Meetings(t, p)"),
-        ("scheduler: who attends the 9am", scheduler_app, "Q(p) :- Meetings(9, p)"),
-        ("crm: full directory export", crm_app, "Q(p, e, r) :- Contacts(p, e, r)"),
-        ("crm: interns' calendars", crm_app, "Q(t) :- Meetings(t, p), Contacts(p, e, 'Intern')"),
-        ("scheduler: more time slots", scheduler_app, "Q(t) :- Meetings(t, 'Cathy')"),
+        (
+            "scheduler: free time slots",
+            scheduler_app,
+            "Q(t) :- Meetings(t, p)",
+        ),
+        (
+            "scheduler: who attends the 9am",
+            scheduler_app,
+            "Q(p) :- Meetings(9, p)",
+        ),
+        (
+            "crm: full directory export",
+            crm_app,
+            "Q(p, e, r) :- Contacts(p, e, r)",
+        ),
+        (
+            "crm: interns' calendars",
+            crm_app,
+            "Q(t) :- Meetings(t, p), Contacts(p, e, 'Intern')",
+        ),
+        (
+            "scheduler: more time slots",
+            scheduler_app,
+            "Q(t) :- Meetings(t, 'Cathy')",
+        ),
     ];
 
     println!("Enforcing the BYOD Chinese-Wall policy:\n");
@@ -63,7 +83,11 @@ fn main() {
         let decision = store.submit(app, &label);
         println!(
             "  [{}] {description:35} -> {}",
-            if app == scheduler_app { "scheduler" } else { "crm" },
+            if app == scheduler_app {
+                "scheduler"
+            } else {
+                "crm"
+            },
             match decision {
                 Decision::Allow => "answered",
                 Decision::Deny => "REFUSED",

@@ -51,8 +51,14 @@ fn main() {
 
     let v2 = named("V2");
     let v4 = named("V4");
-    println!("\n  information overlap of V2 and V4  = ⇓{}", describe(overlap(&order, v2, v4)));
-    println!("  information combination of V2, V4 = ⇓{}", describe(combine(&order, v2, v4)));
+    println!(
+        "\n  information overlap of V2 and V4  = ⇓{}",
+        describe(overlap(&order, v2, v4))
+    );
+    println!(
+        "  information combination of V2, V4 = ⇓{}",
+        describe(combine(&order, v2, v4))
+    );
     println!(
         "  the combination {} the top element ⇓{}",
         if combine(&order, v2, v4) == lattice.element(lattice.top()) {

@@ -34,7 +34,11 @@ fn main() {
     )
     .unwrap();
 
-    let id = |name: &str| views.id_by_name(name).unwrap_or_else(|| panic!("view {name}"));
+    let id = |name: &str| {
+        views
+            .id_by_name(name)
+            .unwrap_or_else(|| panic!("view {name}"))
+    };
 
     // --- App 1: a birthday calendar that asks for too much -----------------
     let requested = [id("user_birthday"), id("user_location"), id("user_likes")];
@@ -65,7 +69,11 @@ fn main() {
             format!(
                 "UNDERPRIVILEGED — {} quer{} cannot be answered with the requested permissions",
                 report.uncovered_queries.len(),
-                if report.uncovered_queries.len() == 1 { "y" } else { "ies" }
+                if report.uncovered_queries.len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                }
             )
         }
     );

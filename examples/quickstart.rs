@@ -38,7 +38,11 @@ fn main() {
 
     // --- Labeling (Figure 1c) ------------------------------------------------
     let q1 = parse_query(&catalog, "Q1(x) :- Meetings(x, 'Cathy')").unwrap();
-    let q2 = parse_query(&catalog, "Q2(x) :- Meetings(x, y) ∧ Contacts(y, w, 'Intern')").unwrap();
+    let q2 = parse_query(
+        &catalog,
+        "Q2(x) :- Meetings(x, y) ∧ Contacts(y, w, 'Intern')",
+    )
+    .unwrap();
     let times = parse_query(&catalog, "Q3(x) :- Meetings(x, y)").unwrap();
 
     println!("Automatically computed disclosure labels:");

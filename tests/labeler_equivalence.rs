@@ -1,0 +1,119 @@
+//! Property test: the four labeler variants are observationally identical.
+//!
+//! The paper's Figure 5 variants (`BaselineLabeler`, `HashPartitionedLabeler`,
+//! `BitVectorLabeler`) and the caching labeler added on top (`CachedLabeler`,
+//! sequential and parallel batch paths) are different *engineering* of the
+//! same function; this test drives all of them over randomly generated
+//! workloads — both the structural query generator of the property suite and
+//! the paper's Section 7.2 ecosystem generator — and asserts label equality
+//! everywhere.
+
+use fdc::core::{
+    label_queries_parallel, BaselineLabeler, BitVectorLabeler, CachedLabeler,
+    HashPartitionedLabeler, QueryLabeler, SecurityViews,
+};
+use fdc::ecosystem::{Ecosystem, WorkloadConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Ecosystem workloads: every variant labels every query identically,
+    /// for every workload width and many seeds.
+    #[test]
+    fn all_variants_agree_on_ecosystem_workloads(
+        seed in 0u64..1_000_000,
+        max_subqueries in 1usize..5,
+    ) {
+        let eco = Ecosystem::new();
+        let mut generator = eco.workload(WorkloadConfig::stress(max_subqueries, seed));
+        let queries = generator.batch(20);
+        for query in &queries {
+            let reference = eco.baseline.label_query(query);
+            prop_assert_eq!(&reference, &eco.hashed.label_query(query));
+            prop_assert_eq!(&reference, &eco.bitvec.label_query(query));
+            // Twice through the cached labeler: once cold, once from cache.
+            prop_assert_eq!(&reference, &eco.cached.label_query(query));
+            prop_assert_eq!(&reference, &eco.cached.label_query(query));
+        }
+        // The batch paths agree with the sequential fold, on every variant.
+        let cumulative = eco.baseline.label_queries(&queries);
+        prop_assert_eq!(&cumulative, &eco.hashed.label_queries(&queries));
+        prop_assert_eq!(&cumulative, &eco.cached.label_queries_batch(&queries));
+        for threads in [1usize, 2, 7] {
+            prop_assert_eq!(
+                &cumulative,
+                &label_queries_parallel(&eco.bitvec, &queries, threads)
+            );
+            prop_assert_eq!(
+                &cumulative,
+                &label_queries_parallel(&eco.cached, &queries, threads)
+            );
+        }
+        // Per-query parallel labels line up positionally.
+        prop_assert_eq!(eco.label_batch_parallel(&queries), eco.label_batch(&queries));
+    }
+
+    /// Paper-schema registries: agreement also holds for registries with
+    /// selection and diagonal views, where the bit-vector fast path must
+    /// fall back to the general rewriting check.
+    #[test]
+    fn all_variants_agree_on_tricky_view_registries(seed in 0u64..1_000_000) {
+        let registry = tricky_registry();
+        let baseline = BaselineLabeler::new(registry.clone());
+        let hashed = HashPartitionedLabeler::new(registry.clone());
+        let bitvec = BitVectorLabeler::new(registry.clone());
+        let cached = CachedLabeler::new(registry.clone());
+        let catalog = registry.catalog().clone();
+
+        // A tiny deterministic query generator over the paper schema,
+        // exercising constants, repeated variables and joins.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move |bound: usize| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) % bound as u64) as usize
+        };
+        let shapes = [
+            "Q(x) :- Meetings(x, y)",
+            "Q(x, y) :- Meetings(x, y)",
+            "Q(x) :- Meetings(x, 'Cathy')",
+            "Q() :- Meetings(z, z)",
+            "Q(x) :- Meetings(x, x)",
+            "Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+            "Q(x, z) :- Meetings(x, y), Meetings(y, z)",
+            "Q(x) :- Meetings(x, y), Meetings(x, z)",
+            "Q(y) :- Contacts(y, w, 'Manager'), Meetings(t, y)",
+            "Q(a, b, e) :- Contacts(a, b, e)",
+        ];
+        for _ in 0..8 {
+            let text = shapes[next(shapes.len())];
+            let query = fdc::cq::parser::parse_query(&catalog, text).unwrap();
+            let reference = baseline.label_query(&query);
+            prop_assert_eq!(&reference, &hashed.label_query(&query), "hashed on {}", text);
+            prop_assert_eq!(&reference, &bitvec.label_query(&query), "bitvec on {}", text);
+            prop_assert_eq!(&reference, &cached.label_query(&query), "cached on {}", text);
+        }
+    }
+}
+
+/// The paper's registry extended with non-projection views (a selection and
+/// a diagonal), so that every labeler code path is exercised.
+fn tricky_registry() -> SecurityViews {
+    let catalog = fdc::cq::Catalog::paper_example();
+    let mut registry = SecurityViews::new(&catalog);
+    registry
+        .add_program(
+            r"
+            V1(x, y) :- Meetings(x, y)
+            V2(x)    :- Meetings(x, y)
+            V3(x, y, z) :- Contacts(x, y, z)
+            Vc(x)    :- Meetings(x, 'Cathy')
+            Vd(x)    :- Meetings(x, x)
+            V6(x, y) :- Contacts(x, y, z)
+            ",
+        )
+        .unwrap();
+    registry
+}

@@ -36,7 +36,11 @@ fn figure_1_labels_are_reproduced() {
     assert!(!text.contains("V3"));
 
     // "the label of Q2 is {V1, V3}"
-    let q2 = parse_query(&catalog, "Q2(x) :- Meetings(x, y) ∧ Contacts(y, w, 'Intern')").unwrap();
+    let q2 = parse_query(
+        &catalog,
+        "Q2(x) :- Meetings(x, y) ∧ Contacts(y, w, 'Intern')",
+    )
+    .unwrap();
     let label = labeler.label_query(&q2);
     let text = label.describe(&views);
     assert!(text.contains("V1"));
@@ -52,12 +56,15 @@ fn section_1_1_alice_policy_rejects_q1_and_q2() {
     let (catalog, views) = figure1();
     let labeler = BitVectorLabeler::new(views.clone());
     let v2 = views.id_by_name("V2").unwrap();
-    let policy =
-        SecurityPolicy::stateless(PolicyPartition::from_views("only-v2", &views, [v2]));
+    let policy = SecurityPolicy::stateless(PolicyPartition::from_views("only-v2", &views, [v2]));
     let mut monitor = ReferenceMonitor::new(policy);
 
     let q1 = parse_query(&catalog, "Q1(x) :- Meetings(x, 'Cathy')").unwrap();
-    let q2 = parse_query(&catalog, "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')").unwrap();
+    let q2 = parse_query(
+        &catalog,
+        "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+    )
+    .unwrap();
     let times = parse_query(&catalog, "Q(x) :- Meetings(x, y)").unwrap();
 
     assert!(!monitor.submit(&labeler.label_query(&q1)).is_allow());
@@ -131,7 +138,11 @@ fn glb_singleton_reproduces_section_5_examples() {
     let q = |s: &str| parse_query(&catalog, s).unwrap();
 
     // Example 5.1.
-    assert!(glb_singleton(&q("V13() :- Meetings(9, 'Jim')"), &q("V14() :- Meetings(x, y)")).is_bottom());
+    assert!(glb_singleton(
+        &q("V13() :- Meetings(9, 'Jim')"),
+        &q("V14() :- Meetings(x, y)")
+    )
+    .is_bottom());
     // Example 5.2.
     match glb_singleton(
         &q("V6(x, y) :- Contacts(x, y, z)"),
@@ -146,14 +157,20 @@ fn glb_singleton_reproduces_section_5_examples() {
         Glb::Bottom => panic!("V6 and V7 overlap on the first column"),
     }
     // Example 5.3.
-    assert!(glb_singleton(&q("V14() :- Meetings(x, y)"), &q("V15() :- Meetings(z, z)")).is_bottom());
+    assert!(
+        glb_singleton(&q("V14() :- Meetings(x, y)"), &q("V15() :- Meetings(z, z)")).is_bottom()
+    );
 }
 
 #[test]
 fn example_5_4_dissection() {
     use fdc::core::dissect::dissect;
     let catalog = Catalog::paper_example();
-    let q2 = parse_query(&catalog, "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')").unwrap();
+    let q2 = parse_query(
+        &catalog,
+        "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+    )
+    .unwrap();
     let parts = dissect(&q2);
     assert_eq!(parts.len(), 2);
     // [M(xd, yd)], [C(yd, we, 'Intern')]

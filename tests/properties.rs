@@ -41,7 +41,10 @@ enum RawTerm {
 fn atom_strategy(max_vars: u32) -> impl Strategy<Value = (u8, Vec<RawTerm>)> {
     (0u8..2).prop_flat_map(move |rel| {
         let arity = if rel == 0 { 2 } else { 3 };
-        (Just(rel), proptest::collection::vec(term_strategy(max_vars), arity))
+        (
+            Just(rel),
+            proptest::collection::vec(term_strategy(max_vars), arity),
+        )
     })
 }
 
@@ -77,9 +80,9 @@ fn build_query(raw: Vec<(u8, Vec<RawTerm>)>) -> ConjunctiveQuery {
     let mut var_kinds = Vec::new();
     let mut var_names = Vec::new();
     let resolve = |v: u32,
-                       mapping: &mut Vec<Option<u32>>,
-                       var_kinds: &mut Vec<VarKind>,
-                       var_names: &mut Vec<String>|
+                   mapping: &mut Vec<Option<u32>>,
+                   var_kinds: &mut Vec<VarKind>,
+                   var_names: &mut Vec<String>|
      -> u32 {
         if let Some(id) = mapping[v as usize] {
             return id;

@@ -1,0 +1,350 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the subset of the criterion 0.5 API that the workspace's bench
+//! targets use: [`Criterion::benchmark_group`], group configuration
+//! ([`BenchmarkGroup::sample_size`], `warm_up_time`, `measurement_time`,
+//! `throughput`), [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a plain wall-clock loop: warm up for the configured
+//! duration, then run batches of iterations until the measurement window is
+//! filled, and report the mean time per iteration (plus element throughput
+//! when configured).  Under `cargo test` (cargo passes `--test` to
+//! `harness = false` targets) every benchmark body runs exactly once, so the
+//! bench targets double as smoke tests.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (callers may also use
+/// `std::hint::black_box` directly).
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The top-level benchmark manager.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Builds a manager configured from the command line.
+    ///
+    /// Full measurement only happens under `cargo bench` (which passes
+    /// `--bench`); any other invocation — `cargo test` in particular — runs
+    /// every benchmark body exactly once, so bench targets double as smoke
+    /// tests.  All other arguments are ignored, so criterion-style filters
+    /// do not break the run.
+    pub fn from_args() -> Self {
+        let mut bench_mode = false;
+        let mut test_mode = false;
+        for arg in std::env::args() {
+            match arg.as_str() {
+                "--bench" => bench_mode = true,
+                "--test" => test_mode = true,
+                _ => {}
+            }
+        }
+        Criterion {
+            test_mode: test_mode || !bench_mode,
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            throughput: None,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in measures a single mean,
+    /// so the statistical sample count is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        if self.test_mode {
+            println!("{}/{}: ok (test mode, 1 iteration)", self.name, id);
+            return;
+        }
+        let mean = bencher.mean_ns;
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!(" ({:.0} elem/s)", n as f64 / (mean / 1e9))
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!(" ({:.0} B/s)", n as f64 / (mean / 1e9))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {} iters, {}{}",
+            self.name,
+            id,
+            bencher.iters,
+            format_ns(mean),
+            throughput
+        );
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
+}
+
+/// Timing loop handle passed to benchmark bodies.
+pub struct Bencher {
+    test_mode: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs the routine repeatedly and records its mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.iters = 1;
+            return;
+        }
+        // Warm-up phase.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        // Measurement phase.
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        self.iters = iters;
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_body() {
+        let mut criterion = Criterion { test_mode: true };
+        let mut group = criterion.benchmark_group("g");
+        let mut ran = 0;
+        group.bench_function("f", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut criterion = Criterion { test_mode: true };
+        let mut group = criterion.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        let data = vec![1, 2, 3];
+        let mut sum = 0;
+        group.bench_with_input(BenchmarkId::new("f", 3), &data, |b, d| {
+            b.iter(|| sum = d.iter().sum::<i32>())
+        });
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+        assert!(format_ns(2e9).contains("s/iter"));
+    }
+
+    #[test]
+    fn measured_iter_records_a_mean() {
+        let mut bencher = Bencher {
+            test_mode: false,
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        bencher.iter(|| std::hint::black_box(1 + 1));
+        assert!(bencher.iters > 0);
+        assert!(bencher.mean_ns > 0.0);
+    }
+}
