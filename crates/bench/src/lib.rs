@@ -12,14 +12,21 @@
 //! | `table2_casestudy`     | Table 2 — FQL vs Graph API review             |
 //! | `ablation_label_repr`  | Section 6.1 ablation — packed vs set labels   |
 //! | `ablation_dissect`     | Section 6.1 ablation — folding / dissect cost |
+//!
+//! The `fig5_json` / `fig6_json` binaries emit the same measurements as
+//! machine-readable trajectories (`BENCH_fig5.json` / `BENCH_fig6.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use fdc_core::DisclosureLabel;
+use fdc_core::{DisclosureLabel, PackedLabel};
 use fdc_ecosystem::policies::PolicyGeneratorConfig;
 use fdc_ecosystem::{Ecosystem, WorkloadConfig};
-use fdc_policy::PolicyStore;
+use fdc_policy::{PolicyStore, ShardedPolicyStore};
+
+pub mod seed_store;
+
+pub use seed_store::SeedPolicyStore;
 
 /// Number of queries per pre-generated benchmark batch.
 ///
@@ -27,6 +34,11 @@ use fdc_policy::PolicyStore;
 /// instead measures throughput on a smaller batch and reports
 /// queries/second, from which the per-million figure follows directly.
 pub const BATCH_SIZE: usize = 500;
+
+/// Template-pool size used by the Figure 6 workloads: principals draw their
+/// random policies from this many distinct presets (the realistic app
+/// ecosystem regime; the interned store deduplicates them into the arena).
+pub const FIG6_TEMPLATE_POOL: usize = 1_000;
 
 /// A pre-generated labeling workload for one Figure 5 configuration.
 pub struct LabelingWorkload {
@@ -57,17 +69,35 @@ pub fn labeling_workload(max_atoms: usize, batch: usize) -> LabelingWorkload {
 
 /// A pre-generated policy-checking workload for one Figure 6 configuration.
 pub struct PolicyWorkload {
-    /// The multi-principal policy store.
+    /// The multi-principal policy store (compiled + interned).
     pub store: PolicyStore,
     /// Pre-labeled queries, round-robined across principals.
     pub labels: Vec<DisclosureLabel>,
+    /// The packed 64-bit form of [`labels`](Self::labels), index-aligned.
+    pub packed: Vec<Vec<PackedLabel>>,
     /// Number of principals in the store.
     pub num_principals: usize,
+}
+
+/// The policy-generator configuration of one Figure 6 grid point.
+pub fn fig6_policy_config(
+    max_partitions: usize,
+    max_elements_per_partition: usize,
+) -> PolicyGeneratorConfig {
+    PolicyGeneratorConfig {
+        max_partitions,
+        max_elements_per_partition,
+        template_pool: FIG6_TEMPLATE_POOL,
+        seed: 0xF16,
+    }
 }
 
 /// Builds the Figure 6 workload: `num_principals` random policies with the
 /// given maximum partitions (1 or 5) and maximum elements per partition
 /// (5–50), plus a batch of labeled queries to push through the checker.
+///
+/// Labels are produced by the cached batch labeler on all cores (the
+/// serving path), so workload setup no longer dominates smoke runs.
 pub fn policy_workload(
     num_principals: usize,
     max_partitions: usize,
@@ -75,38 +105,81 @@ pub fn policy_workload(
     label_batch: usize,
 ) -> PolicyWorkload {
     let ecosystem = Ecosystem::new();
-    let mut policies = ecosystem.policy_generator(PolicyGeneratorConfig {
+    let mut policies = ecosystem.policy_generator(fig6_policy_config(
         max_partitions,
         max_elements_per_partition,
-        seed: 0xF16,
-    });
+    ));
     let store = policies.build_store(&ecosystem.views, num_principals);
     let mut generator = ecosystem.workload(WorkloadConfig::base(0xF16F));
-    let labels = ecosystem.label_batch(&generator.batch(label_batch));
+    let labels = ecosystem.label_batch_parallel(&generator.batch(label_batch));
+    let packed = labels.iter().map(DisclosureLabel::pack).collect();
     PolicyWorkload {
         store,
         labels,
+        packed,
         num_principals,
     }
 }
 
+/// Builds the sharded counterpart of [`policy_workload`]'s store: the same
+/// seed and configuration (hence the same per-principal policies) spread
+/// over `num_shards` shards.
+pub fn sharded_policy_store(
+    num_principals: usize,
+    max_partitions: usize,
+    max_elements_per_partition: usize,
+    num_shards: usize,
+) -> ShardedPolicyStore {
+    let ecosystem = Ecosystem::new();
+    ecosystem
+        .policy_generator(fig6_policy_config(
+            max_partitions,
+            max_elements_per_partition,
+        ))
+        .build_sharded_store(&ecosystem.views, num_principals, num_shards)
+}
+
+/// Builds the seed revision's uncompiled store over the same policies as
+/// [`policy_workload`] — the baseline the fig6 trajectory is measured
+/// against.  O(num_principals) `SecurityPolicy` clones: keep the principal
+/// count moderate (the seed hid its 1M point behind `FDC_FIG6_FULL` for a
+/// reason).
+pub fn seed_policy_store(
+    num_principals: usize,
+    max_partitions: usize,
+    max_elements_per_partition: usize,
+) -> SeedPolicyStore {
+    let ecosystem = Ecosystem::new();
+    let mut policies = ecosystem.policy_generator(fig6_policy_config(
+        max_partitions,
+        max_elements_per_partition,
+    ));
+    let mut store = SeedPolicyStore::new();
+    for _ in 0..num_principals {
+        store.register(policies.next_policy(&ecosystem.views));
+    }
+    store
+}
+
 /// The principal counts swept by the Figure 6 benchmark.
 ///
-/// The paper sweeps 1K, 50K and 1M principals.  The full 1M-principal sweep
-/// allocates several hundred megabytes of per-principal policy state, so it
-/// is opt-in: set `FDC_FIG6_FULL=1` to reproduce the paper's axis exactly;
-/// the default keeps the same shape with a smaller largest point.
+/// The paper sweeps 1K, 50K and 1M principals, and since the store interns
+/// compiled policies (24 bytes per principal), the full 1M axis is the
+/// default.  Set `FDC_FIG6_FULL=0` to shrink the largest point to 250K on
+/// memory-constrained machines; `FDC_FIG6_FULL=1` remains accepted as the
+/// (now default) full axis.
 pub fn fig6_principal_counts() -> Vec<usize> {
-    if std::env::var("FDC_FIG6_FULL").is_ok_and(|v| v == "1") {
-        vec![1_000, 50_000, 1_000_000]
-    } else {
+    if std::env::var("FDC_FIG6_FULL").is_ok_and(|v| v == "0") {
         vec![1_000, 50_000, 250_000]
+    } else {
+        vec![1_000, 50_000, 1_000_000]
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fdc_policy::PrincipalId;
 
     #[test]
     fn labeling_workload_respects_the_atom_bound() {
@@ -121,11 +194,36 @@ mod tests {
         let w = policy_workload(50, 5, 10, 20);
         assert_eq!(w.store.len(), 50);
         assert_eq!(w.labels.len(), 20);
+        assert_eq!(w.packed.len(), 20);
         assert_eq!(w.num_principals, 50);
+        for (label, packed) in w.labels.iter().zip(&w.packed) {
+            assert_eq!(&label.pack(), packed);
+        }
     }
 
     #[test]
     fn principal_counts_have_three_points() {
         assert_eq!(fig6_principal_counts().len(), 3);
+    }
+
+    #[test]
+    fn seed_and_interned_stores_decide_identically() {
+        let w = policy_workload(25, 5, 10, 60);
+        let mut interned = w.store.clone();
+        let mut sharded = sharded_policy_store(25, 5, 10, 3);
+        let mut seed = seed_policy_store(25, 5, 10);
+        assert_eq!(seed.len(), 25);
+        for (i, label) in w.labels.iter().enumerate() {
+            let p = PrincipalId((i % 25) as u32);
+            let expected = seed.submit(p, label);
+            assert_eq!(interned.submit(p, label), expected, "label {i}");
+            assert_eq!(
+                sharded.submit_packed(p, &w.packed[i]),
+                expected,
+                "label {i}"
+            );
+        }
+        assert_eq!(interned.totals(), seed.totals());
+        assert_eq!(sharded.totals(), seed.totals());
     }
 }

@@ -1,0 +1,94 @@
+//! The seed revision's multi-principal policy store, preserved verbatim as
+//! the baseline of the Figure 6 trajectory.
+//!
+//! This is what `fdc_policy::PolicyStore` looked like before the
+//! compiled/interned rebuild: every principal owns a full cloned
+//! [`SecurityPolicy`] (per-partition hash maps and all), and every submit
+//! re-runs the uncompiled [`PolicyPartition::allows`] hash lookups per atom.
+//! The production store must keep deciding exactly like it (asserted by the
+//! bench tests) while beating it on throughput and memory — `fig6_json`
+//! reports the measured ratio.
+//!
+//! [`PolicyPartition::allows`]: fdc_policy::PolicyPartition::allows
+
+use fdc_core::DisclosureLabel;
+use fdc_policy::{Decision, PrincipalId, SecurityPolicy};
+
+/// Per-principal enforcement state of the seed store: a cloned policy plus
+/// the consistency word and counters.
+#[derive(Debug, Clone)]
+struct SeedPrincipalState {
+    policy: SecurityPolicy,
+    consistent: u64,
+    answered: u64,
+    refused: u64,
+}
+
+/// The seed's policy checker for many principals (uncompiled, uninterned).
+#[derive(Debug, Clone, Default)]
+pub struct SeedPolicyStore {
+    principals: Vec<SeedPrincipalState>,
+}
+
+impl SeedPolicyStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        SeedPolicyStore::default()
+    }
+
+    /// Registers a principal with its policy and returns its id.
+    pub fn register(&mut self, policy: SecurityPolicy) -> PrincipalId {
+        let id = PrincipalId(self.principals.len() as u32);
+        let n = policy.len();
+        let consistent = if n == 0 { 0 } else { u64::MAX >> (64 - n) };
+        self.principals.push(SeedPrincipalState {
+            policy,
+            consistent,
+            answered: 0,
+            refused: 0,
+        });
+        id
+    }
+
+    /// Number of registered principals.
+    pub fn len(&self) -> usize {
+        self.principals.len()
+    }
+
+    /// True if no principals are registered.
+    pub fn is_empty(&self) -> bool {
+        self.principals.is_empty()
+    }
+
+    /// Submits a query label on behalf of a principal — the seed's hot path:
+    /// per consistent partition, a hash-map lookup per label atom.
+    pub fn submit(&mut self, principal: PrincipalId, label: &DisclosureLabel) -> Decision {
+        let state = &mut self.principals[principal.index()];
+        if label.is_bottom() {
+            state.answered += 1;
+            return Decision::Allow;
+        }
+        let mut surviving = 0u64;
+        for (i, partition) in state.policy.partitions().iter().enumerate() {
+            if state.consistent & (1 << i) != 0 && partition.allows(label) {
+                surviving |= 1 << i;
+            }
+        }
+        if surviving != 0 {
+            state.consistent = surviving;
+            state.answered += 1;
+            Decision::Allow
+        } else {
+            state.refused += 1;
+            Decision::Deny
+        }
+    }
+
+    /// Total `(answered, refused)` across all principals (the seed's O(n)
+    /// walk).
+    pub fn totals(&self) -> (u64, u64) {
+        self.principals
+            .iter()
+            .fold((0, 0), |(a, r), s| (a + s.answered, r + s.refused))
+    }
+}

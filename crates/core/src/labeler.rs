@@ -36,7 +36,7 @@ use fdc_cq::rewriting::rewritable_from_single;
 use fdc_cq::{ConjunctiveQuery, RelId, Term, VarKind};
 
 use crate::dissect::dissect;
-use crate::label::{AtomLabel, DisclosureLabel, ViewMask};
+use crate::label::{AtomLabel, DisclosureLabel, PackedLabel, ViewMask};
 use crate::security_views::{SecurityViewId, SecurityViews};
 
 /// A disclosure labeler for conjunctive queries.
@@ -193,7 +193,7 @@ impl BitVectorLabeler {
     }
 
     /// Labels a query and returns the packed representation directly.
-    pub fn label_packed(&self, query: &ConjunctiveQuery) -> Vec<crate::label::PackedLabel> {
+    pub fn label_packed(&self, query: &ConjunctiveQuery) -> Vec<PackedLabel> {
         self.label_query(query).pack()
     }
 
@@ -489,6 +489,29 @@ impl CachedLabeler {
         let per_chunk: Vec<Vec<DisclosureLabel>> =
             map_chunks_parallel(queries, available_threads(), |chunk| {
                 chunk.iter().map(|q| self.label_query(q)).collect()
+            });
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// Labels one query and returns the packed 64-bit representation
+    /// (Section 6.1) — the form the policy stores consume directly via
+    /// `submit_packed`, so a cache hit plus a pack is the whole labeling
+    /// stage of the admission path.
+    pub fn label_packed(&self, query: &ConjunctiveQuery) -> Vec<PackedLabel> {
+        self.label_query(query).pack()
+    }
+
+    /// Labels each query of a batch in parallel, preserving order, and
+    /// returns the packed representation of every label.
+    ///
+    /// The packed counterpart of [`label_batch`](Self::label_batch) for
+    /// callers that feed a policy store (see
+    /// `fdc_policy::AdmissionPipeline`): the labels never leave the 64-bit
+    /// form between the labeling and enforcement stages.
+    pub fn label_batch_packed(&self, queries: &[ConjunctiveQuery]) -> Vec<Vec<PackedLabel>> {
+        let per_chunk: Vec<Vec<Vec<PackedLabel>>> =
+            map_chunks_parallel(queries, available_threads(), |chunk| {
+                chunk.iter().map(|q| self.label_packed(q)).collect()
             });
         per_chunk.into_iter().flatten().collect()
     }
@@ -899,6 +922,29 @@ mod tests {
             .collect();
         assert_eq!(cached.label_batch(&queries), expected);
         assert!(cached.label_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn packed_batch_labels_match_per_query_packing() {
+        let (c, baseline, _, _) = paper_labelers();
+        let cached = CachedLabeler::new(SecurityViews::paper_example());
+        let queries: Vec<ConjunctiveQuery> = [
+            "Q(x) :- Meetings(x, y)",
+            "Q(x, y, z) :- Contacts(x, y, z)",
+            "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+        ]
+        .iter()
+        .cycle()
+        .take(20)
+        .map(|t| q(&c, t))
+        .collect();
+        let expected: Vec<Vec<PackedLabel>> = queries
+            .iter()
+            .map(|query| baseline.label_query(query).pack())
+            .collect();
+        assert_eq!(cached.label_batch_packed(&queries), expected);
+        assert_eq!(cached.label_packed(&queries[0]), expected[0]);
+        assert!(cached.label_batch_packed(&[]).is_empty());
     }
 
     #[test]

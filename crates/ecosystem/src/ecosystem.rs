@@ -6,9 +6,10 @@
 
 use fdc_core::{
     BaselineLabeler, BitVectorLabeler, CachedLabeler, DisclosureLabel, HashPartitionedLabeler,
-    QueryLabeler, SecurityViews,
+    PackedLabel, QueryLabeler, SecurityViews,
 };
 use fdc_cq::ConjunctiveQuery;
+use fdc_policy::AdmissionPipeline;
 
 use crate::policies::{PolicyGenerator, PolicyGeneratorConfig};
 use crate::schema::{facebook_catalog, FacebookSchema};
@@ -73,6 +74,33 @@ impl Ecosystem {
     /// returning one label per query in input order.
     pub fn label_batch_parallel(&self, queries: &[ConjunctiveQuery]) -> Vec<DisclosureLabel> {
         self.cached.label_batch(queries)
+    }
+
+    /// Labels a batch of queries on all cores and returns the packed 64-bit
+    /// representation of every label — the form the policy stores consume
+    /// directly.
+    pub fn label_batch_packed(&self, queries: &[ConjunctiveQuery]) -> Vec<Vec<PackedLabel>> {
+        self.cached.label_batch_packed(queries)
+    }
+
+    /// Builds a fused [`AdmissionPipeline`] — cached labeler in front of a
+    /// sharded, interned policy store — with `num_principals` randomly
+    /// generated policies over `num_shards` shards.
+    ///
+    /// The labeler is a clone of this ecosystem's caching labeler, so any
+    /// already-warmed canonical forms carry over into the pipeline.
+    pub fn admission_pipeline(
+        &self,
+        config: PolicyGeneratorConfig,
+        num_principals: usize,
+        num_shards: usize,
+    ) -> AdmissionPipeline {
+        let store = self.policy_generator(config).build_sharded_store(
+            &self.views,
+            num_principals,
+            num_shards,
+        );
+        AdmissionPipeline::new(self.cached.clone(), store)
     }
 }
 
@@ -155,6 +183,7 @@ mod tests {
         let mut policies = eco.policy_generator(PolicyGeneratorConfig {
             max_partitions: 5,
             max_elements_per_partition: 20,
+            template_pool: 0,
             seed: 4,
         });
         let mut store = policies.build_store(&eco.views, 100);
@@ -174,5 +203,50 @@ mod tests {
         // Random policies should neither allow nor deny everything.
         assert!(allowed > 0);
         assert!(denied > 0);
+    }
+
+    #[test]
+    fn packed_batch_labels_pack_the_unpacked_ones() {
+        let eco = Ecosystem::new();
+        let mut workload = eco.workload(WorkloadConfig::base(9));
+        let queries = workload.batch(60);
+        let unpacked = eco.label_batch(&queries);
+        let packed = eco.label_batch_packed(&queries);
+        assert_eq!(packed.len(), unpacked.len());
+        for (p, u) in packed.iter().zip(&unpacked) {
+            assert_eq!(p, &u.pack());
+        }
+    }
+
+    #[test]
+    fn the_admission_pipeline_agrees_with_the_manual_two_stage_path() {
+        use fdc_policy::PrincipalId;
+        let eco = Ecosystem::new();
+        let config = PolicyGeneratorConfig {
+            max_partitions: 5,
+            max_elements_per_partition: 20,
+            template_pool: 16,
+            seed: 11,
+        };
+        let num_principals = 50;
+        let mut pipeline = eco.admission_pipeline(config, num_principals, 4);
+        assert_eq!(pipeline.store().len(), num_principals);
+        assert_eq!(pipeline.store().num_shards(), 4);
+
+        // Manual path: same policies into a flat store, labels via the
+        // production labeler, unpacked submission.
+        let mut flat = eco
+            .policy_generator(config)
+            .build_store(&eco.views, num_principals);
+        let mut workload = eco.workload(WorkloadConfig::base(12));
+        let queries = workload.batch(300);
+        let principals: Vec<PrincipalId> = (0..queries.len())
+            .map(|i| PrincipalId((i % num_principals) as u32))
+            .collect();
+        let fused = pipeline.admit_batch(&principals, &queries);
+        for ((p, query), decision) in principals.iter().zip(&queries).zip(&fused) {
+            assert_eq!(flat.submit(*p, &eco.label(query)), *decision);
+        }
+        assert_eq!(pipeline.totals(), flat.totals());
     }
 }

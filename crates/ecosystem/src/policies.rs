@@ -11,7 +11,7 @@
 //! 50."
 
 use fdc_core::{SecurityViewId, SecurityViews};
-use fdc_policy::{PolicyPartition, PolicyStore, SecurityPolicy};
+use fdc_policy::{PolicyPartition, PolicyStore, SecurityPolicy, ShardedPolicyStore};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -24,6 +24,16 @@ pub struct PolicyGeneratorConfig {
     /// Maximum number of permitted views per partition (the paper sweeps
     /// this between 5 and 50).
     pub max_elements_per_partition: usize,
+    /// Size of the template pool principals draw their policies from.
+    ///
+    /// `0` (the default, the paper's exact setup) gives every principal a
+    /// freshly drawn random policy.  A positive value generates that many
+    /// random *templates* and assigns each further principal a uniformly
+    /// sampled template — the realistic regime for app ecosystems, where
+    /// policies come from a bounded set of permission presets, and the one
+    /// the interned [`PolicyStore`] deduplicates to a handful of arena
+    /// entries.
+    pub template_pool: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -33,6 +43,7 @@ impl Default for PolicyGeneratorConfig {
         PolicyGeneratorConfig {
             max_partitions: 1,
             max_elements_per_partition: 10,
+            template_pool: 0,
             seed: 0xFDC_2013,
         }
     }
@@ -44,6 +55,7 @@ pub struct PolicyGenerator {
     config: PolicyGeneratorConfig,
     rng: SmallRng,
     all_views: Vec<SecurityViewId>,
+    templates: Vec<SecurityPolicy>,
 }
 
 impl PolicyGenerator {
@@ -53,6 +65,7 @@ impl PolicyGenerator {
             config,
             rng: SmallRng::seed_from_u64(config.seed),
             all_views: registry.iter().map(|(id, _)| id).collect(),
+            templates: Vec::new(),
         }
     }
 
@@ -61,8 +74,25 @@ impl PolicyGenerator {
     /// The number of partitions is between 1 and the configured maximum, and
     /// each partition permits between 1 and `max_elements_per_partition`
     /// randomly chosen views (sampling with replacement, so the number of
-    /// *distinct* permitted views may be smaller).
+    /// *distinct* permitted views may be smaller).  With a positive
+    /// [`template_pool`](PolicyGeneratorConfig::template_pool), the first
+    /// `template_pool` calls draw fresh policies that seed the pool and
+    /// later calls return a uniformly sampled pooled template.
     pub fn next_policy(&mut self, registry: &SecurityViews) -> SecurityPolicy {
+        let pool = self.config.template_pool;
+        if pool > 0 && self.templates.len() >= pool {
+            let i = self.rng.gen_range(0..self.templates.len());
+            return self.templates[i].clone();
+        }
+        let policy = self.fresh_policy(registry);
+        if pool > 0 {
+            self.templates.push(policy.clone());
+        }
+        policy
+    }
+
+    /// Draws one fresh random policy, ignoring the template pool.
+    fn fresh_policy(&mut self, registry: &SecurityViews) -> SecurityPolicy {
         let partitions = if self.config.max_partitions <= 1 {
             1
         } else {
@@ -84,9 +114,31 @@ impl PolicyGenerator {
     }
 
     /// Builds a [`PolicyStore`] with `num_principals` randomly generated
-    /// policies — the state the Figure 6 experiment iterates over.
+    /// policies — the state the Figure 6 experiment iterates over.  The
+    /// store interns the policies, so with a template pool the arena holds
+    /// at most `template_pool` compiled entries however many principals are
+    /// registered.
     pub fn build_store(&mut self, registry: &SecurityViews, num_principals: usize) -> PolicyStore {
         let mut store = PolicyStore::new();
+        for _ in 0..num_principals {
+            let policy = self.next_policy(registry);
+            store.register(policy);
+        }
+        store
+    }
+
+    /// Builds a [`ShardedPolicyStore`] with `num_principals` randomly
+    /// generated policies over `num_shards` shards — the multi-core
+    /// counterpart of [`build_store`](Self::build_store).  Called with the
+    /// same seed and principal count, the two assign identical policies to
+    /// identical principal ids.
+    pub fn build_sharded_store(
+        &mut self,
+        registry: &SecurityViews,
+        num_principals: usize,
+        num_shards: usize,
+    ) -> ShardedPolicyStore {
+        let mut store = ShardedPolicyStore::new(num_shards);
         for _ in 0..num_principals {
             let policy = self.next_policy(registry);
             store.register(policy);
@@ -113,6 +165,7 @@ mod tests {
             PolicyGeneratorConfig {
                 max_partitions: 1,
                 max_elements_per_partition: 10,
+                template_pool: 0,
                 seed: 1,
             },
         );
@@ -133,6 +186,7 @@ mod tests {
             PolicyGeneratorConfig {
                 max_partitions: 5,
                 max_elements_per_partition: 20,
+                template_pool: 0,
                 seed: 2,
             },
         );
@@ -155,11 +209,63 @@ mod tests {
     }
 
     #[test]
+    fn template_pools_bound_the_distinct_policy_count() {
+        let registry = registry();
+        let config = PolicyGeneratorConfig {
+            max_partitions: 5,
+            max_elements_per_partition: 25,
+            template_pool: 16,
+            seed: 7,
+        };
+        let mut generator = PolicyGenerator::new(&registry, config);
+        let store = generator.build_store(&registry, 2_000);
+        assert_eq!(store.len(), 2_000);
+        // The interned arena collapses the pooled draws: at most 16 distinct
+        // compiled policies (fewer if two templates collide structurally).
+        assert!(
+            store.unique_policies() <= 16,
+            "expected ≤16 templates, got {}",
+            store.unique_policies()
+        );
+        assert!(store.arena().hits() >= 2_000 - 16);
+        // Pooling is deterministic per seed.
+        let mut again = PolicyGenerator::new(&registry, config);
+        let mut reference = PolicyGenerator::new(&registry, config);
+        for _ in 0..50 {
+            assert_eq!(
+                reference.next_policy(&registry),
+                again.next_policy(&registry)
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_builder_assigns_the_same_policies_as_the_flat_one() {
+        let registry = registry();
+        let config = PolicyGeneratorConfig {
+            max_partitions: 5,
+            max_elements_per_partition: 10,
+            template_pool: 8,
+            seed: 21,
+        };
+        let flat = PolicyGenerator::new(&registry, config).build_store(&registry, 100);
+        let sharded =
+            PolicyGenerator::new(&registry, config).build_sharded_store(&registry, 100, 4);
+        assert_eq!(sharded.len(), flat.len());
+        assert_eq!(sharded.num_shards(), 4);
+        for i in 0..100 {
+            let p = fdc_policy::PrincipalId(i);
+            assert_eq!(sharded.policy(p), flat.policy(p), "principal {i}");
+        }
+    }
+
+    #[test]
     fn generation_is_deterministic_per_seed() {
         let registry = registry();
         let config = PolicyGeneratorConfig {
             max_partitions: 5,
             max_elements_per_partition: 15,
+            template_pool: 0,
             seed: 99,
         };
         let mut a = PolicyGenerator::new(&registry, config);

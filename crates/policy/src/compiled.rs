@@ -1,0 +1,574 @@
+//! Compiled policies and the interning arena — the shared hot-path
+//! representation of the enforcement layer.
+//!
+//! Section 6.2's decision procedure only ever asks one question per policy
+//! partition: "does every atom of this label intersect the permitted views
+//! of its relation?"  Answering it needs none of the [`PolicyPartition`]
+//! bookkeeping (names, hash maps, the registry) — just the permitted
+//! [`ViewMask`] per relation.  A [`CompiledPolicy`] is that distilled form:
+//! per partition, a flat `(RelId, ViewMask)` array sorted by relation id, so
+//! the per-atom test is a binary search over a couple of cache lines plus
+//! one AND.  Both [`ReferenceMonitor`](crate::ReferenceMonitor) (one
+//! principal) and [`PolicyStore`](crate::PolicyStore) (millions of
+//! principals) decide against this one representation.
+//!
+//! At multi-principal scale the compiled form is also *interned*: real app
+//! ecosystems draw policies from a bounded space of permission presets, so
+//! the [`PolicyArena`] stores each distinct compiled policy once and hands
+//! out dense `u32` indices.  Per-principal state then shrinks to an arena
+//! index plus a consistency word and two counters — cache-line sized — which
+//! is what makes the paper's 1,000,000-principal axis (Figure 6) cheap
+//! enough to run by default.
+
+use std::collections::HashMap;
+
+use fdc_core::{DisclosureLabel, PackedLabel, ViewMask};
+use fdc_cq::RelId;
+
+use crate::partition::PolicyPartition;
+use crate::policy::SecurityPolicy;
+
+/// Maximum number of partitions per policy supported by the one-word
+/// consistency bit vector.
+pub const MAX_PARTITIONS: usize = 64;
+
+/// The initial consistency bit vector for a policy with `num_partitions`
+/// partitions: one set bit per partition ("every `Wi` is still consistent
+/// with the — empty — history"), Example 6.3's `⟨1, 1⟩`.
+///
+/// # Panics
+///
+/// Panics if `num_partitions` exceeds [`MAX_PARTITIONS`].
+#[inline]
+pub fn initial_consistency_word(num_partitions: usize) -> u64 {
+    assert!(
+        num_partitions <= MAX_PARTITIONS,
+        "policies are limited to {MAX_PARTITIONS} partitions"
+    );
+    if num_partitions == 0 {
+        0
+    } else {
+        u64::MAX >> (64 - num_partitions)
+    }
+}
+
+/// One policy partition compiled for the hot path: the permitted view masks
+/// as a flat array sorted by relation id.
+///
+/// Policies permit views over a handful of relations, so a binary search
+/// over a short contiguous array beats a hash lookup and keeps the whole
+/// compiled partition in one or two cache lines.  Partition *names* are
+/// deliberately dropped: they play no role in decisions, and excluding them
+/// lets the arena intern policies that differ only in labeling.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CompiledPartition {
+    permitted: Vec<(RelId, ViewMask)>,
+}
+
+impl CompiledPartition {
+    /// Compiles one partition.
+    pub fn compile(partition: &PolicyPartition) -> Self {
+        let mut permitted: Vec<(RelId, ViewMask)> = partition
+            .relations()
+            .map(|relation| (relation, partition.permitted_mask(relation)))
+            .collect();
+        permitted.sort_unstable_by_key(|(relation, _)| *relation);
+        CompiledPartition { permitted }
+    }
+
+    /// The permitted mask for a relation (0 when nothing is permitted).
+    #[inline]
+    pub fn mask_for(&self, relation: RelId) -> ViewMask {
+        self.permitted
+            .binary_search_by_key(&relation, |(r, _)| *r)
+            .map_or(0, |i| self.permitted[i].1)
+    }
+
+    /// Every atom of the label must intersect the permitted views of its
+    /// relation (`ℓ⁺(atom) ∩ permitted(relation) ≠ ∅`).
+    #[inline]
+    pub fn allows(&self, label: &DisclosureLabel) -> bool {
+        label
+            .atoms()
+            .iter()
+            .all(|atom| atom.mask & self.mask_for(atom.relation) != 0)
+    }
+
+    /// Same check on the packed 64-bit representation.
+    #[inline]
+    pub fn allows_packed(&self, label: &[PackedLabel]) -> bool {
+        label
+            .iter()
+            .all(|packed| u64::from(packed.mask()) & self.mask_for(packed.relation()) != 0)
+    }
+}
+
+/// A whole security policy compiled for the hot path, in an *atom-major*
+/// layout: a flat table indexed by relation id holding, per relation, the
+/// union of the permitted view masks plus the per-partition permitted
+/// masks, contiguously.
+///
+/// The decision question "which partitions allow this label?" then becomes,
+/// per atom, **one** indexed load (the relation row), one AND against the
+/// union mask — which settles the common deny outright — and, only when the
+/// atom intersects some partition, a short branchless loop over the
+/// policy's `k ≤ 64` (typically ≤ 5) per-partition masks.  The whole policy
+/// is two flat arrays (no nested `Vec` pointer chasing, no hashing), so a
+/// decision touches a handful of contiguous cache lines.
+///
+/// Partition declaration order is preserved (not canonicalized away) so
+/// that the consistency bit at index `i` means the same thing it does for a
+/// [`ReferenceMonitor`](crate::ReferenceMonitor) built from the original
+/// [`SecurityPolicy`] — the store/monitor equivalence tests rely on it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CompiledPolicy {
+    /// Indexed directly by relation id (catalogs assign ids densely from
+    /// zero, so this is a small flat table): `(offset into partition_masks,
+    /// union of the permitted view masks across all partitions)`.  Relations
+    /// beyond the table or with an empty union permit nothing.
+    rel_index: Vec<(u32, ViewMask)>,
+    /// Per covered relation, `num_partitions` consecutive entries: the
+    /// permitted view mask of each partition for that relation.
+    partition_masks: Vec<ViewMask>,
+    num_partitions: u32,
+}
+
+impl CompiledPolicy {
+    /// Compiles a policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy has more than [`MAX_PARTITIONS`] partitions (the
+    /// consistency bit vector is a single `u64`).
+    pub fn compile(policy: &SecurityPolicy) -> Self {
+        assert!(
+            policy.len() <= MAX_PARTITIONS,
+            "policies are limited to {MAX_PARTITIONS} partitions"
+        );
+        let k = policy.len();
+        let mut per_relation: std::collections::BTreeMap<RelId, Vec<ViewMask>> =
+            std::collections::BTreeMap::new();
+        for (i, partition) in policy.partitions().iter().enumerate() {
+            for relation in partition.relations() {
+                per_relation.entry(relation).or_insert_with(|| vec![0; k])[i] =
+                    partition.permitted_mask(relation);
+            }
+        }
+        let table_len = per_relation
+            .keys()
+            .last()
+            .map_or(0, |relation| relation.0 as usize + 1);
+        let mut rel_index = vec![(0u32, 0u64); table_len];
+        let mut partition_masks = Vec::with_capacity(per_relation.len() * k);
+        for (relation, masks) in per_relation {
+            let union = masks.iter().fold(0, |acc, mask| acc | mask);
+            let offset = u32::try_from(partition_masks.len()).expect("compiled policy too large");
+            rel_index[relation.0 as usize] = (offset, union);
+            partition_masks.extend(masks);
+        }
+        CompiledPolicy {
+            rel_index,
+            partition_masks,
+            num_partitions: k as u32,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions as usize
+    }
+
+    /// The initial consistency word for this policy.
+    #[inline]
+    pub fn initial_word(&self) -> u64 {
+        initial_consistency_word(self.num_partitions())
+    }
+
+    /// The bitmask of partitions with at least one permitted view able to
+    /// answer an atom labeled `(relation, mask)` — i.e. the partitions `Wi`
+    /// with `mask ∩ permitted_i(relation) ≠ ∅`.
+    #[inline]
+    pub fn partitions_allowing(&self, relation: RelId, mask: ViewMask) -> u64 {
+        let Some(&(offset, union)) = self.rel_index.get(relation.0 as usize) else {
+            return 0;
+        };
+        if mask & union == 0 {
+            return 0;
+        }
+        // Stateless (single-partition) policies: the union *is* the only
+        // partition's mask, already tested above.
+        if self.num_partitions == 1 {
+            return 1;
+        }
+        let start = offset as usize;
+        let masks = &self.partition_masks[start..start + self.num_partitions as usize];
+        let mut allowing = 0u64;
+        for (i, &partition_mask) in masks.iter().enumerate() {
+            allowing |= u64::from(mask & partition_mask != 0) << i;
+        }
+        allowing
+    }
+
+    /// The partitions that would remain consistent if `label` were added to
+    /// a history whose current consistency word is `consistent`:
+    /// currently-consistent partitions that also allow every atom of the new
+    /// label.  (Cumulative consistency of `Wi` is the conjunction of the
+    /// per-query checks, by Definition 3.1 (b).)
+    #[inline]
+    pub fn surviving_bits(&self, consistent: u64, label: &DisclosureLabel) -> u64 {
+        let mut surviving = consistent;
+        for atom in label.atoms() {
+            surviving &= self.partitions_allowing(atom.relation, atom.mask);
+            if surviving == 0 {
+                break;
+            }
+        }
+        surviving
+    }
+
+    /// [`surviving_bits`](Self::surviving_bits) on packed labels.
+    #[inline]
+    pub fn surviving_bits_packed(&self, consistent: u64, label: &[PackedLabel]) -> u64 {
+        let mut surviving = consistent;
+        for packed in label {
+            surviving &= self.partitions_allowing(packed.relation(), u64::from(packed.mask()));
+            if surviving == 0 {
+                break;
+            }
+        }
+        surviving
+    }
+}
+
+/// Inline descriptor of one flattened policy in the arena's shared word
+/// buffer: 12 bytes, loaded straight out of the descriptor array with no
+/// pointer chase.
+#[derive(Debug, Clone, Copy, Default)]
+struct FlatPolicy {
+    /// First word of the policy's relation table in the shared buffer.
+    base: u32,
+    /// Number of relation rows (indexable relation ids).
+    table_len: u32,
+    /// Number of partitions.
+    num_partitions: u32,
+}
+
+/// An interning arena of compiled policies.
+///
+/// [`intern`](Self::intern) compiles a policy, deduplicates it against every
+/// previously interned one (by the compiled form, i.e. up to partition names)
+/// and returns a dense `u32` index.  The arena keeps one source
+/// [`SecurityPolicy`] per distinct compiled form so callers can still
+/// inspect the policy behind an index.
+///
+/// Besides the per-policy [`CompiledPolicy`] values, the arena maintains a
+/// *flattened* mirror of every interned policy in one shared `Vec<u64>`:
+/// per relation id `r`, `words[base + 2r]` is the union of the permitted
+/// view masks and `words[base + 2r + 1]` the buffer offset of the
+/// `num_partitions` per-partition masks.  The multi-principal stores decide
+/// against this mirror ([`surviving_bits`](Self::surviving_bits) /
+/// [`surviving_bits_packed`](Self::surviving_bits_packed)): one descriptor
+/// load plus lookups in a single hot buffer shared by all policies, the
+/// cache-friendliest form of the decision loop.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyArena {
+    compiled: Vec<CompiledPolicy>,
+    sources: Vec<SecurityPolicy>,
+    index: HashMap<Vec<CompiledPartition>, u32>,
+    hits: u64,
+    /// Flattened mirror: inline descriptors plus the shared word buffer.
+    flat: Vec<FlatPolicy>,
+    words: Vec<u64>,
+}
+
+impl PolicyArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        PolicyArena::default()
+    }
+
+    /// Interns a policy, returning its arena index.
+    ///
+    /// A policy whose compiled form was seen before returns the existing
+    /// index (and the passed policy is dropped); otherwise the policy is
+    /// compiled, stored and assigned the next index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy has more than [`MAX_PARTITIONS`] partitions, or
+    /// if the arena exceeds `u32::MAX` distinct policies.
+    pub fn intern(&mut self, policy: SecurityPolicy) -> u32 {
+        let fingerprint: Vec<CompiledPartition> = policy
+            .partitions()
+            .iter()
+            .map(CompiledPartition::compile)
+            .collect();
+        if let Some(&id) = self.index.get(&fingerprint) {
+            self.hits += 1;
+            return id;
+        }
+        let compiled = CompiledPolicy::compile(&policy);
+        let id = u32::try_from(self.compiled.len()).expect("more than u32::MAX distinct policies");
+        self.index.insert(fingerprint, id);
+        self.flatten(&compiled);
+        self.compiled.push(compiled);
+        self.sources.push(policy);
+        id
+    }
+
+    /// Appends a policy's flattened mirror to the shared buffer.
+    fn flatten(&mut self, compiled: &CompiledPolicy) {
+        let k = compiled.num_partitions as usize;
+        let table_len = compiled.rel_index.len();
+        let base = u32::try_from(self.words.len()).expect("policy arena buffer too large");
+        // Relation table: (union, absolute masks offset) word pairs.
+        let masks_base = self.words.len() + 2 * table_len;
+        for &(offset, union) in &compiled.rel_index {
+            self.words.push(union);
+            self.words.push((masks_base + offset as usize) as u64);
+        }
+        debug_assert_eq!(self.words.len(), masks_base);
+        self.words.extend_from_slice(&compiled.partition_masks);
+        self.flat.push(FlatPolicy {
+            base,
+            table_len: table_len as u32,
+            num_partitions: k as u32,
+        });
+    }
+
+    /// [`CompiledPolicy::surviving_bits`] evaluated on the arena's flattened
+    /// mirror of policy `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index was not issued by this arena.
+    #[inline]
+    pub fn surviving_bits(&self, id: u32, consistent: u64, label: &DisclosureLabel) -> u64 {
+        let policy = self.flat[id as usize];
+        let mut surviving = consistent;
+        for atom in label.atoms() {
+            surviving &= self.partitions_allowing_flat(policy, atom.relation, atom.mask);
+            if surviving == 0 {
+                break;
+            }
+        }
+        surviving
+    }
+
+    /// [`CompiledPolicy::surviving_bits_packed`] evaluated on the arena's
+    /// flattened mirror of policy `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index was not issued by this arena.
+    #[inline]
+    pub fn surviving_bits_packed(&self, id: u32, consistent: u64, label: &[PackedLabel]) -> u64 {
+        let policy = self.flat[id as usize];
+        let mut surviving = consistent;
+        for packed in label {
+            surviving &=
+                self.partitions_allowing_flat(policy, packed.relation(), u64::from(packed.mask()));
+            if surviving == 0 {
+                break;
+            }
+        }
+        surviving
+    }
+
+    /// [`CompiledPolicy::partitions_allowing`] on the flattened mirror.
+    #[inline]
+    fn partitions_allowing_flat(&self, policy: FlatPolicy, relation: RelId, mask: ViewMask) -> u64 {
+        if relation.0 >= policy.table_len {
+            return 0;
+        }
+        let row = policy.base as usize + 2 * relation.0 as usize;
+        let union = self.words[row];
+        if mask & union == 0 {
+            return 0;
+        }
+        // Stateless (single-partition) policies: the union *is* the only
+        // partition's mask, already tested above.
+        if policy.num_partitions == 1 {
+            return 1;
+        }
+        let masks_at = self.words[row + 1] as usize;
+        let masks = &self.words[masks_at..masks_at + policy.num_partitions as usize];
+        let mut allowing = 0u64;
+        for (i, &partition_mask) in masks.iter().enumerate() {
+            allowing |= u64::from(mask & partition_mask != 0) << i;
+        }
+        allowing
+    }
+
+    /// The compiled policy behind an index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index was not issued by this arena.
+    #[inline]
+    pub fn compiled(&self, id: u32) -> &CompiledPolicy {
+        &self.compiled[id as usize]
+    }
+
+    /// The source policy behind an index (the first-registered
+    /// representative of its compiled form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index was not issued by this arena.
+    pub fn source(&self, id: u32) -> &SecurityPolicy {
+        &self.sources[id as usize]
+    }
+
+    /// Number of distinct compiled policies.
+    pub fn len(&self) -> usize {
+        self.compiled.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.compiled.is_empty()
+    }
+
+    /// Number of [`intern`](Self::intern) calls answered by an existing
+    /// entry — the interning hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdc_core::SecurityViews;
+
+    fn registry() -> SecurityViews {
+        SecurityViews::paper_example()
+    }
+
+    fn wall(registry: &SecurityViews, names: [&str; 2]) -> SecurityPolicy {
+        let v1 = registry.id_by_name("V1").unwrap();
+        let v3 = registry.id_by_name("V3").unwrap();
+        SecurityPolicy::chinese_wall([
+            PolicyPartition::from_views(names[0], registry, [v1]),
+            PolicyPartition::from_views(names[1], registry, [v3]),
+        ])
+    }
+
+    #[test]
+    fn initial_word_matches_the_partition_count() {
+        assert_eq!(initial_consistency_word(0), 0);
+        assert_eq!(initial_consistency_word(1), 0b1);
+        assert_eq!(initial_consistency_word(5), 0b11111);
+        assert_eq!(initial_consistency_word(64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 64 partitions")]
+    fn initial_word_rejects_too_many_partitions() {
+        initial_consistency_word(65);
+    }
+
+    #[test]
+    fn compiled_partitions_agree_with_uncompiled_masks() {
+        let registry = registry();
+        let v1 = registry.id_by_name("V1").unwrap();
+        let v2 = registry.id_by_name("V2").unwrap();
+        let partition = PolicyPartition::from_views("p", &registry, [v1, v2]);
+        let compiled = CompiledPartition::compile(&partition);
+        let meetings = registry.catalog().resolve("Meetings").unwrap();
+        let contacts = registry.catalog().resolve("Contacts").unwrap();
+        assert_eq!(
+            compiled.mask_for(meetings),
+            partition.permitted_mask(meetings)
+        );
+        assert_eq!(compiled.mask_for(contacts), 0);
+    }
+
+    #[test]
+    fn interning_dedupes_up_to_partition_names() {
+        let registry = registry();
+        let mut arena = PolicyArena::new();
+        let a = arena.intern(wall(&registry, ["meetings", "contacts"]));
+        // Same structure, different partition names: same arena entry.
+        let b = arena.intern(wall(&registry, ["left", "right"]));
+        assert_eq!(a, b);
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.hits(), 1);
+        // A structurally different policy gets a fresh entry.
+        let c = arena.intern(SecurityPolicy::allow_all(&registry));
+        assert_ne!(a, c);
+        assert_eq!(arena.len(), 2);
+        // Source lookup returns the first representative.
+        assert_eq!(arena.source(a).partitions()[0].name, "meetings");
+        assert_eq!(arena.compiled(a).num_partitions(), 2);
+        assert!(!arena.is_empty());
+    }
+
+    #[test]
+    fn atom_major_surviving_bits_match_the_partition_major_definition() {
+        use fdc_core::{AtomLabel, DisclosureLabel};
+        let registry = registry();
+        let policy = wall(&registry, ["meetings", "contacts"]);
+        let compiled = CompiledPolicy::compile(&policy);
+        let partitions: Vec<CompiledPartition> = policy
+            .partitions()
+            .iter()
+            .map(CompiledPartition::compile)
+            .collect();
+        let meetings = registry.catalog().resolve("Meetings").unwrap();
+        let contacts = registry.catalog().resolve("Contacts").unwrap();
+        // Sweep all small labels over the two relations and all consistency
+        // words, comparing against the definitional partition-major loop.
+        for m_mask in 0u64..4 {
+            for c_mask in 0u64..2 {
+                let mut atoms = Vec::new();
+                if m_mask != 0 {
+                    atoms.push(AtomLabel::new(meetings, m_mask));
+                }
+                if c_mask != 0 {
+                    atoms.push(AtomLabel::new(contacts, c_mask));
+                }
+                let label = DisclosureLabel::from_atoms(atoms);
+                for consistent in 0u64..4 {
+                    let mut expected = 0u64;
+                    for (i, partition) in partitions.iter().enumerate() {
+                        if consistent & (1 << i) != 0 && partition.allows(&label) {
+                            expected |= 1 << i;
+                        }
+                    }
+                    assert_eq!(
+                        compiled.surviving_bits(consistent, &label),
+                        expected,
+                        "m={m_mask:#b} c={c_mask:#b} consistent={consistent:#b}"
+                    );
+                    assert_eq!(
+                        compiled.surviving_bits_packed(consistent, &label.pack()),
+                        expected
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_order_is_part_of_the_identity() {
+        // Policies that differ only in partition order must NOT be merged:
+        // the consistency bit at index i has to mean the same partition as it
+        // does for a ReferenceMonitor built from the original policy.
+        let registry = registry();
+        let v1 = registry.id_by_name("V1").unwrap();
+        let v3 = registry.id_by_name("V3").unwrap();
+        let ab = SecurityPolicy::chinese_wall([
+            PolicyPartition::from_views("a", &registry, [v1]),
+            PolicyPartition::from_views("b", &registry, [v3]),
+        ]);
+        let ba = SecurityPolicy::chinese_wall([
+            PolicyPartition::from_views("b", &registry, [v3]),
+            PolicyPartition::from_views("a", &registry, [v1]),
+        ]);
+        let mut arena = PolicyArena::new();
+        assert_ne!(arena.intern(ab), arena.intern(ba));
+        assert_eq!(arena.len(), 2);
+    }
+}

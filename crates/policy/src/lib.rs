@@ -19,19 +19,36 @@
 //!   one bit per partition and makes decisions with a handful of bit-mask
 //!   operations per query.  This is the representation benchmarked in the
 //!   paper's Figure 6.
+//!
+//! The compact representation is further *compiled and interned*
+//! ([`compiled`]): every enforcement surface — the single-principal
+//! [`ReferenceMonitor`], the flat multi-principal [`PolicyStore`], the
+//! multi-core [`ShardedPolicyStore`] and the fused [`AdmissionPipeline`] —
+//! decides against one shared [`CompiledPolicy`](compiled::CompiledPolicy)
+//! form, deduplicated across principals by the
+//! [`PolicyArena`](compiled::PolicyArena) so per-principal state is 24
+//! bytes and the paper's million-principal axis runs by default.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod compiled;
 pub mod lattice_policy;
 pub mod monitor;
 pub mod partition;
+pub mod pipeline;
 pub mod policy;
+pub mod shard;
 pub mod store;
 
 pub use audit::{audit_app, AuditReport};
+pub use compiled::{
+    initial_consistency_word, CompiledPartition, CompiledPolicy, PolicyArena, MAX_PARTITIONS,
+};
 pub use monitor::{Decision, ReferenceMonitor};
 pub use partition::PolicyPartition;
+pub use pipeline::AdmissionPipeline;
 pub use policy::SecurityPolicy;
+pub use shard::ShardedPolicyStore;
 pub use store::{PolicyStore, PrincipalId};

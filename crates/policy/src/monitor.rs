@@ -7,67 +7,24 @@
 //! answered so far still below `Wi`?") and updates those bits only when a
 //! query is answered — Example 6.3's `⟨1, 1⟩ → ⟨1, 0⟩ → …` walk-through.
 //!
-//! On construction the monitor *compiles* each partition into a flat array
-//! of per-relation permitted [`ViewMask`]s sorted by relation id, so the
-//! per-atom test "is some permitted view able to answer this atom?" is a
-//! binary search plus one AND — no hash lookups on the hot path.  The same
-//! compiled form also serves [`ReferenceMonitor::check_packed`] /
+//! On construction the monitor *compiles* the policy into a
+//! [`CompiledPolicy`] — per partition, a flat array of per-relation
+//! permitted [`ViewMask`](fdc_core::ViewMask)s sorted by relation id — so
+//! the per-atom test "is some permitted view able to answer this atom?" is
+//! a binary search plus one AND, no hash lookups on the hot path.  The same
+//! compiled form serves [`ReferenceMonitor::check_packed`] /
 //! [`ReferenceMonitor::submit_packed`], which consume the labeler's packed
-//! 64-bit labels (Section 6.1) directly.
+//! 64-bit labels (Section 6.1) directly, and — via the interning arena of
+//! [`crate::compiled`] — the multi-principal
+//! [`PolicyStore`](crate::PolicyStore): the monitor is a thin single
+//! principal view over the exact representation the store decides with.
 
-use fdc_core::{DisclosureLabel, PackedLabel, ViewMask};
-use fdc_cq::RelId;
+use fdc_core::{DisclosureLabel, PackedLabel};
 
-use crate::partition::PolicyPartition;
+use crate::compiled::CompiledPolicy;
 use crate::policy::SecurityPolicy;
 
-/// One policy partition compiled for the monitor's hot path: the permitted
-/// view masks as a flat array sorted by relation id.
-///
-/// Policies permit views over a handful of relations, so a binary search
-/// over a short contiguous array beats a hash lookup and keeps the whole
-/// compiled policy in one or two cache lines.
-#[derive(Debug, Clone)]
-struct CompiledPartition {
-    permitted: Vec<(RelId, ViewMask)>,
-}
-
-impl CompiledPartition {
-    fn compile(partition: &PolicyPartition) -> Self {
-        let mut permitted: Vec<(RelId, ViewMask)> = partition
-            .relations()
-            .map(|relation| (relation, partition.permitted_mask(relation)))
-            .collect();
-        permitted.sort_unstable_by_key(|(relation, _)| *relation);
-        CompiledPartition { permitted }
-    }
-
-    /// The permitted mask for a relation (0 when nothing is permitted).
-    #[inline]
-    fn mask_for(&self, relation: RelId) -> ViewMask {
-        self.permitted
-            .binary_search_by_key(&relation, |(r, _)| *r)
-            .map_or(0, |i| self.permitted[i].1)
-    }
-
-    /// Every atom of the label must intersect the permitted views of its
-    /// relation (`ℓ⁺(atom) ∩ permitted(relation) ≠ ∅`).
-    #[inline]
-    fn allows(&self, label: &DisclosureLabel) -> bool {
-        label
-            .atoms()
-            .iter()
-            .all(|atom| atom.mask & self.mask_for(atom.relation) != 0)
-    }
-
-    /// Same check on the packed 64-bit representation.
-    #[inline]
-    fn allows_packed(&self, label: &[PackedLabel]) -> bool {
-        label
-            .iter()
-            .all(|packed| u64::from(packed.mask()) & self.mask_for(packed.relation()) != 0)
-    }
-}
+pub use crate::compiled::MAX_PARTITIONS;
 
 /// The decision taken for one query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,17 +78,14 @@ impl Decision {
 #[derive(Debug, Clone)]
 pub struct ReferenceMonitor {
     policy: SecurityPolicy,
-    /// Per-partition permitted masks, compiled for the hot path.
-    compiled: Vec<CompiledPartition>,
+    /// The policy compiled for the hot path (shared representation with
+    /// [`PolicyStore`](crate::PolicyStore)).
+    compiled: CompiledPolicy,
     /// Bit `i` set ⇔ the queries answered so far are below partition `i`.
     consistent: u64,
     answered: u64,
     refused: u64,
 }
-
-/// Maximum number of partitions per policy supported by the one-word
-/// consistency bit vector.
-pub const MAX_PARTITIONS: usize = 64;
 
 impl ReferenceMonitor {
     /// Creates a monitor enforcing `policy`, with an empty query history.
@@ -140,20 +94,8 @@ impl ReferenceMonitor {
     ///
     /// Panics if the policy has more than [`MAX_PARTITIONS`] partitions.
     pub fn new(policy: SecurityPolicy) -> Self {
-        assert!(
-            policy.len() <= MAX_PARTITIONS,
-            "policies are limited to {MAX_PARTITIONS} partitions"
-        );
-        let consistent = if policy.is_empty() {
-            0
-        } else {
-            u64::MAX >> (64 - policy.len())
-        };
-        let compiled = policy
-            .partitions()
-            .iter()
-            .map(CompiledPartition::compile)
-            .collect();
+        let compiled = CompiledPolicy::compile(&policy);
+        let consistent = compiled.initial_word();
         ReferenceMonitor {
             policy,
             compiled,
@@ -188,10 +130,7 @@ impl ReferenceMonitor {
     ///
     /// Pure check: does not update the monitor state.
     pub fn check(&self, label: &DisclosureLabel) -> Decision {
-        if label.is_bottom() {
-            return Decision::Allow;
-        }
-        if self.surviving_bits(label) != 0 {
+        if label.is_bottom() || self.compiled.surviving_bits(self.consistent, label) != 0 {
             Decision::Allow
         } else {
             Decision::Deny
@@ -206,7 +145,7 @@ impl ReferenceMonitor {
             self.answered += 1;
             return Decision::Allow;
         }
-        let surviving = self.surviving_bits(label);
+        let surviving = self.compiled.surviving_bits(self.consistent, label);
         self.apply(surviving)
     }
 
@@ -218,7 +157,7 @@ impl ReferenceMonitor {
     /// registries with at most 32 views per relation (the paper's layout;
     /// wider registries must use the unpacked [`check`](Self::check)).
     pub fn check_packed(&self, label: &[PackedLabel]) -> Decision {
-        if label.is_empty() || self.surviving_bits_packed(label) != 0 {
+        if label.is_empty() || self.compiled.surviving_bits_packed(self.consistent, label) != 0 {
             Decision::Allow
         } else {
             Decision::Deny
@@ -231,7 +170,7 @@ impl ReferenceMonitor {
             self.answered += 1;
             return Decision::Allow;
         }
-        let surviving = self.surviving_bits_packed(label);
+        let surviving = self.compiled.surviving_bits_packed(self.consistent, label);
         self.apply(surviving)
     }
 
@@ -247,35 +186,9 @@ impl ReferenceMonitor {
         }
     }
 
-    /// The partitions that would remain consistent if this label were added
-    /// to the history: currently-consistent partitions that also allow the
-    /// new label.  (Cumulative consistency of `Wi` is the conjunction of the
-    /// per-query checks, by Definition 3.1 (b).)
-    fn surviving_bits(&self, label: &DisclosureLabel) -> u64 {
-        let mut bits = 0u64;
-        for (i, partition) in self.compiled.iter().enumerate() {
-            if self.consistent & (1 << i) != 0 && partition.allows(label) {
-                bits |= 1 << i;
-            }
-        }
-        bits
-    }
-
-    /// [`surviving_bits`](Self::surviving_bits) on packed labels.
-    fn surviving_bits_packed(&self, label: &[PackedLabel]) -> u64 {
-        let mut bits = 0u64;
-        for (i, partition) in self.compiled.iter().enumerate() {
-            if self.consistent & (1 << i) != 0 && partition.allows_packed(label) {
-                bits |= 1 << i;
-            }
-        }
-        bits
-    }
-
     /// Resets the history (e.g. when the principal's session ends).
     pub fn reset(&mut self) {
-        let n = self.policy.len();
-        self.consistent = if n == 0 { 0 } else { u64::MAX >> (64 - n) };
+        self.consistent = self.compiled.initial_word();
         self.answered = 0;
         self.refused = 0;
     }
@@ -489,5 +402,21 @@ mod tests {
         assert!(monitor
             .check(&fx.label("Q(x, y) :- Meetings(x, y)"))
             .is_allow());
+    }
+
+    #[test]
+    fn monitors_reject_oversized_policies() {
+        let registry = SecurityViews::paper_example();
+        let v1 = registry.id_by_name("V1").unwrap();
+        let mut policy = SecurityPolicy::new();
+        for i in 0..=MAX_PARTITIONS {
+            policy.push(PolicyPartition::from_views(
+                format!("p{i}"),
+                &registry,
+                [v1],
+            ));
+        }
+        let result = std::panic::catch_unwind(|| ReferenceMonitor::new(policy));
+        assert!(result.is_err(), "65-partition policy must be rejected");
     }
 }

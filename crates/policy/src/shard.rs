@@ -1,0 +1,338 @@
+//! Sharded multi-principal enforcement: a [`PolicyStore`] per worker.
+//!
+//! Policy decisions are embarrassingly parallel *across* principals — each
+//! submit touches exactly one principal's state — so the store scales by
+//! partitioning principals round-robin over N independent shards, each a
+//! complete [`PolicyStore`] owned by (at most) one worker thread at a time.
+//! No locks, no atomics: a batch is split by shard, each shard's requests
+//! are processed on a scoped worker thread
+//! ([`submit_batch_parallel`](ShardedPolicyStore::submit_batch_parallel),
+//! mirroring `fdc_core::label_queries_parallel` on the labeling side), and
+//! the decisions are scattered back into request order.
+//!
+//! Sequential entry points ([`submit`](ShardedPolicyStore::submit),
+//! [`submit_packed`](ShardedPolicyStore::submit_packed), …) route single
+//! requests to the owning shard, so a sharded store can stand in wherever a
+//! flat store is used; the decision/state equivalence of the two (and of the
+//! per-principal [`ReferenceMonitor`](crate::ReferenceMonitor)) is asserted
+//! by the property tests.
+
+use fdc_core::{DisclosureLabel, PackedLabel};
+
+use crate::monitor::Decision;
+use crate::policy::SecurityPolicy;
+use crate::store::{PolicyStore, PrincipalId};
+
+/// A policy store partitioned over independent shards.
+///
+/// Principal `p` lives in shard `p % num_shards` at local slot
+/// `p / num_shards`, so round-robin registration keeps the shards balanced
+/// and the routing is pure arithmetic.  Each shard interns its own policies,
+/// so heavily shared policies cost one arena entry per shard.
+#[derive(Debug, Clone)]
+pub struct ShardedPolicyStore {
+    shards: Vec<PolicyStore>,
+    num_principals: usize,
+}
+
+impl ShardedPolicyStore {
+    /// Creates an empty store with `num_shards` shards (at least 1).
+    pub fn new(num_shards: usize) -> Self {
+        ShardedPolicyStore {
+            shards: (0..num_shards.max(1)).map(|_| PolicyStore::new()).collect(),
+            num_principals: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of registered principals.
+    pub fn len(&self) -> usize {
+        self.num_principals
+    }
+
+    /// True if no principals are registered.
+    pub fn is_empty(&self) -> bool {
+        self.num_principals == 0
+    }
+
+    /// The shard and shard-local id of a principal.
+    #[inline]
+    fn locate(&self, principal: PrincipalId) -> (usize, PrincipalId) {
+        let shard = principal.index() % self.shards.len();
+        let local = PrincipalId((principal.index() / self.shards.len()) as u32);
+        (shard, local)
+    }
+
+    /// Registers a principal with its policy and returns its (global) id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy has more than
+    /// [`MAX_PARTITIONS`](crate::MAX_PARTITIONS) partitions.
+    pub fn register(&mut self, policy: SecurityPolicy) -> PrincipalId {
+        let id = PrincipalId(self.num_principals as u32);
+        let shard = id.index() % self.shards.len();
+        self.shards[shard].register(policy);
+        self.num_principals += 1;
+        id
+    }
+
+    /// The policy of a principal (the interned representative — see
+    /// [`PolicyStore::policy`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this store.
+    pub fn policy(&self, principal: PrincipalId) -> &SecurityPolicy {
+        let (shard, local) = self.locate(principal);
+        self.shards[shard].policy(local)
+    }
+
+    /// The consistency bit vector of a principal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this store.
+    pub fn consistency_bits(&self, principal: PrincipalId) -> u64 {
+        let (shard, local) = self.locate(principal);
+        self.shards[shard].consistency_bits(local)
+    }
+
+    /// Submits a query label on behalf of a principal (see
+    /// [`PolicyStore::submit`]).
+    pub fn submit(&mut self, principal: PrincipalId, label: &DisclosureLabel) -> Decision {
+        let (shard, local) = self.locate(principal);
+        self.shards[shard].submit(local, label)
+    }
+
+    /// [`submit`](Self::submit) on the packed 64-bit label representation.
+    pub fn submit_packed(&mut self, principal: PrincipalId, label: &[PackedLabel]) -> Decision {
+        let (shard, local) = self.locate(principal);
+        self.shards[shard].submit_packed(local, label)
+    }
+
+    /// Pure check (no state update) for a principal.
+    pub fn check(&self, principal: PrincipalId, label: &DisclosureLabel) -> Decision {
+        let (shard, local) = self.locate(principal);
+        self.shards[shard].check(local, label)
+    }
+
+    /// [`check`](Self::check) on the packed 64-bit label representation.
+    pub fn check_packed(&self, principal: PrincipalId, label: &[PackedLabel]) -> Decision {
+        let (shard, local) = self.locate(principal);
+        self.shards[shard].check_packed(local, label)
+    }
+
+    /// Submits a batch of packed requests sequentially, in order.
+    pub fn submit_batch(&mut self, batch: &[(PrincipalId, &[PackedLabel])]) -> Vec<Decision> {
+        batch
+            .iter()
+            .map(|(principal, label)| self.submit_packed(*principal, label))
+            .collect()
+    }
+
+    /// Submits a batch of packed requests with one scoped worker thread per
+    /// shard, returning the decisions in request order.
+    ///
+    /// Requests are partitioned by owning shard; each worker owns its shard
+    /// exclusively for the duration of the batch, so no synchronization is
+    /// needed on the decision path.  Within a shard, requests are processed
+    /// in batch order; requests for *different* principals never interact,
+    /// so the decisions (and all per-principal state) equal the sequential
+    /// [`submit_batch`](Self::submit_batch) — asserted by the property
+    /// tests.
+    pub fn submit_batch_parallel(
+        &mut self,
+        batch: &[(PrincipalId, &[PackedLabel])],
+    ) -> Vec<Decision> {
+        let num_shards = self.shards.len();
+        if num_shards <= 1 || batch.len() <= 1 {
+            return self.submit_batch(batch);
+        }
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
+        for (i, (principal, _)) in batch.iter().enumerate() {
+            by_shard[principal.index() % num_shards].push(i);
+        }
+        let per_shard: Vec<Vec<(usize, Decision)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(by_shard.iter())
+                .filter(|(_, indices)| !indices.is_empty())
+                .map(|(shard, indices)| {
+                    scope.spawn(move || {
+                        indices
+                            .iter()
+                            .map(|&i| {
+                                let (principal, label) = batch[i];
+                                let local = PrincipalId((principal.index() / num_shards) as u32);
+                                (i, shard.submit_packed(local, label))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        let mut decisions = vec![Decision::Deny; batch.len()];
+        for shard_decisions in per_shard {
+            for (i, decision) in shard_decisions {
+                decisions[i] = decision;
+            }
+        }
+        decisions
+    }
+
+    /// `(answered, refused)` counters for a principal.
+    pub fn stats(&self, principal: PrincipalId) -> (u64, u64) {
+        let (shard, local) = self.locate(principal);
+        self.shards[shard].stats(local)
+    }
+
+    /// Total `(answered, refused)` across all principals — O(num_shards).
+    pub fn totals(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(a, r), shard| {
+            let (sa, sr) = shard.totals();
+            (a + sa, r + sr)
+        })
+    }
+
+    /// Number of distinct compiled policies summed over the shards (a policy
+    /// shared across shards counts once per shard holding it).
+    pub fn unique_policies(&self) -> usize {
+        self.shards.iter().map(PolicyStore::unique_policies).sum()
+    }
+
+    /// Bytes of per-principal state summed over the shards.
+    pub fn state_bytes(&self) -> usize {
+        self.shards.iter().map(PolicyStore::state_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PolicyPartition;
+    use fdc_core::{BaselineLabeler, QueryLabeler, SecurityViews};
+    use fdc_cq::parser::parse_query;
+
+    fn setup() -> (SecurityViews, BaselineLabeler) {
+        let registry = SecurityViews::paper_example();
+        let labeler = BaselineLabeler::new(registry.clone());
+        (registry, labeler)
+    }
+
+    fn label(labeler: &BaselineLabeler, text: &str) -> DisclosureLabel {
+        let catalog = labeler.security_views().catalog();
+        labeler.label_query(&parse_query(catalog, text).unwrap())
+    }
+
+    fn wall(registry: &SecurityViews) -> SecurityPolicy {
+        let v1 = registry.id_by_name("V1").unwrap();
+        let v3 = registry.id_by_name("V3").unwrap();
+        SecurityPolicy::chinese_wall([
+            PolicyPartition::from_views("meetings", registry, [v1]),
+            PolicyPartition::from_views("contacts", registry, [v3]),
+        ])
+    }
+
+    #[test]
+    fn sharded_routing_matches_a_flat_store() {
+        let (registry, labeler) = setup();
+        let mut flat = PolicyStore::new();
+        let mut sharded = ShardedPolicyStore::new(3);
+        assert_eq!(sharded.num_shards(), 3);
+        for _ in 0..10 {
+            flat.register(wall(&registry));
+            sharded.register(wall(&registry));
+        }
+        assert_eq!(sharded.len(), 10);
+        assert!(!sharded.is_empty());
+        assert_eq!(sharded.policy(PrincipalId(7)).len(), 2);
+
+        let texts = [
+            "Q(x, y) :- Contacts(x, y, z)",
+            "Q(x) :- Meetings(x, y)",
+            "Q(x, y) :- Meetings(x, y)",
+            "Q(x, z) :- Contacts(x, y, z)",
+        ];
+        for (i, text) in texts.iter().cycle().take(40).enumerate() {
+            let l = label(&labeler, text);
+            let p = PrincipalId((i % 10) as u32);
+            assert_eq!(flat.submit(p, &l), sharded.submit(p, &l));
+            assert_eq!(flat.check(p, &l), sharded.check(p, &l));
+            assert_eq!(
+                flat.check_packed(p, &l.pack()),
+                sharded.check_packed(p, &l.pack())
+            );
+            assert_eq!(flat.consistency_bits(p), sharded.consistency_bits(p));
+        }
+        for i in 0..10 {
+            let p = PrincipalId(i);
+            assert_eq!(flat.stats(p), sharded.stats(p));
+        }
+        assert_eq!(flat.totals(), sharded.totals());
+        assert_eq!(flat.state_bytes(), sharded.state_bytes());
+        // One wall policy per shard holding principals.
+        assert_eq!(sharded.unique_policies(), 3);
+    }
+
+    #[test]
+    fn parallel_batches_match_sequential_batches() {
+        let (registry, labeler) = setup();
+        let mut sequential = ShardedPolicyStore::new(4);
+        let mut parallel = ShardedPolicyStore::new(4);
+        for _ in 0..13 {
+            sequential.register(wall(&registry));
+            parallel.register(wall(&registry));
+        }
+        let labels: Vec<Vec<_>> = [
+            "Q(x, y) :- Contacts(x, y, z)",
+            "Q(x) :- Meetings(x, y)",
+            "Q(x, y) :- Meetings(x, y)",
+            "Q(x, z) :- Contacts(x, y, z)",
+            "Q(y) :- Meetings(x, y)",
+        ]
+        .iter()
+        .cycle()
+        .take(100)
+        .map(|text| label(&labeler, text).pack())
+        .collect();
+        let batch: Vec<(PrincipalId, &[PackedLabel])> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (PrincipalId((i % 13) as u32), l.as_slice()))
+            .collect();
+        assert_eq!(
+            parallel.submit_batch_parallel(&batch),
+            sequential.submit_batch(&batch)
+        );
+        assert_eq!(parallel.totals(), sequential.totals());
+        for i in 0..13 {
+            let p = PrincipalId(i);
+            assert_eq!(parallel.consistency_bits(p), sequential.consistency_bits(p));
+            assert_eq!(parallel.stats(p), sequential.stats(p));
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_fall_back_to_the_sequential_path() {
+        let (registry, labeler) = setup();
+        // Zero requested shards is clamped to one.
+        let mut single = ShardedPolicyStore::new(0);
+        assert_eq!(single.num_shards(), 1);
+        let p = single.register(wall(&registry));
+        let packed = label(&labeler, "Q(x) :- Meetings(x, y)").pack();
+        let batch: Vec<(PrincipalId, &[PackedLabel])> = vec![(p, packed.as_slice())];
+        assert_eq!(single.submit_batch_parallel(&batch).len(), 1);
+        assert!(single.submit_batch_parallel(&[]).is_empty());
+        assert_eq!(single.totals(), (1, 0));
+    }
+}

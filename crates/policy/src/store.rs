@@ -4,12 +4,32 @@
 //! the generalization to multiple principals is straightforward; the
 //! evaluation (Section 7.2) then runs the policy checker with between 1,000
 //! and 1,000,000 distinct principals, each with its own randomly generated
-//! policy.  [`PolicyStore`] is that generalization: a dense table of
-//! per-principal policies plus per-principal consistency bit vectors, sized
-//! so that a policy decision touches a handful of cache lines.
+//! policy.  [`PolicyStore`] is that generalization, engineered for the full
+//! million-principal axis:
+//!
+//! * **Compile once, intern everywhere.**  Policies are compiled into the
+//!   shared [`CompiledPolicy`](crate::compiled::CompiledPolicy) form (the
+//!   representation the [`ReferenceMonitor`](crate::ReferenceMonitor)
+//!   decides with) and interned in a [`PolicyArena`]: each distinct policy
+//!   is stored once, however many principals share it.
+//! * **Cache-line-sized principals.**  Per-principal state is a 24-byte
+//!   record — a `u32` arena index, a `u64` consistency word and two `u32`
+//!   counters — in one dense `Vec`, so a policy decision touches the
+//!   principal's record plus a (hot, shared) compiled policy and nothing
+//!   else.
+//! * **Packed end-to-end.**  [`submit_packed`](PolicyStore::submit_packed) /
+//!   [`check_packed`](PolicyStore::check_packed) /
+//!   [`submit_batch`](PolicyStore::submit_batch) consume the labeler's
+//!   packed 64-bit labels (Section 6.1) directly, so labeler output flows to
+//!   a decision without unpacking.
+//!
+//! For multi-core enforcement see
+//! [`ShardedPolicyStore`](crate::ShardedPolicyStore), which partitions
+//! principals across per-worker stores.
 
-use fdc_core::DisclosureLabel;
+use fdc_core::{DisclosureLabel, PackedLabel};
 
+use crate::compiled::PolicyArena;
 use crate::monitor::Decision;
 use crate::policy::SecurityPolicy;
 
@@ -25,19 +45,28 @@ impl PrincipalId {
     }
 }
 
-/// Per-principal enforcement state.
-#[derive(Debug, Clone)]
+/// Per-principal enforcement state: 24 bytes, cache-line friendly.
+///
+/// Per-principal counters are `u32` (4 billion queries per principal); the
+/// store-level totals are `u64`.
+#[derive(Debug, Clone, Copy)]
 struct PrincipalState {
-    policy: SecurityPolicy,
+    /// Index of the principal's policy in the arena.
+    policy: u32,
+    answered: u32,
+    refused: u32,
+    /// Bit `i` set ⇔ the queries answered so far are below partition `i`.
     consistent: u64,
-    answered: u64,
-    refused: u64,
 }
 
-/// A policy checker for many principals.
+/// A policy checker for many principals, backed by an interning
+/// [`PolicyArena`].
 #[derive(Debug, Clone, Default)]
 pub struct PolicyStore {
-    principals: Vec<PrincipalState>,
+    arena: PolicyArena,
+    states: Vec<PrincipalState>,
+    answered_total: u64,
+    refused_total: u64,
 }
 
 impl PolicyStore {
@@ -47,93 +76,189 @@ impl PolicyStore {
     }
 
     /// Registers a principal with its policy and returns its id.
+    ///
+    /// The policy is compiled and interned: principals with structurally
+    /// identical policies (up to partition names) share one arena entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy has more than
+    /// [`MAX_PARTITIONS`](crate::MAX_PARTITIONS) partitions — the
+    /// consistency bit vector is a single `u64`, exactly as in
+    /// [`ReferenceMonitor::new`](crate::ReferenceMonitor::new).
     pub fn register(&mut self, policy: SecurityPolicy) -> PrincipalId {
-        let id = PrincipalId(self.principals.len() as u32);
-        let n = policy.len();
-        let consistent = if n == 0 { 0 } else { u64::MAX >> (64 - n) };
-        self.principals.push(PrincipalState {
-            policy,
-            consistent,
+        let id = PrincipalId(self.states.len() as u32);
+        let index = self.arena.intern(policy);
+        let consistent = self.arena.compiled(index).initial_word();
+        self.states.push(PrincipalState {
+            policy: index,
             answered: 0,
             refused: 0,
+            consistent,
         });
         id
     }
 
     /// Number of registered principals.
     pub fn len(&self) -> usize {
-        self.principals.len()
+        self.states.len()
     }
 
     /// True if no principals are registered.
     pub fn is_empty(&self) -> bool {
-        self.principals.is_empty()
+        self.states.is_empty()
     }
 
     /// The policy of a principal.
+    ///
+    /// Interning keeps one source policy per distinct compiled form, so this
+    /// returns the first-registered representative of the principal's
+    /// policy — identical up to partition names.
     ///
     /// # Panics
     ///
     /// Panics if the id was not issued by this store.
     pub fn policy(&self, principal: PrincipalId) -> &SecurityPolicy {
-        &self.principals[principal.index()].policy
+        self.arena.source(self.states[principal.index()].policy)
+    }
+
+    /// The interning arena backing this store.
+    pub fn arena(&self) -> &PolicyArena {
+        &self.arena
+    }
+
+    /// Number of distinct compiled policies across all principals.
+    pub fn unique_policies(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Bytes of per-principal state (excluding the shared arena) — the
+    /// footprint that scales with the principal count.
+    pub fn state_bytes(&self) -> usize {
+        self.states.len() * std::mem::size_of::<PrincipalState>()
+    }
+
+    /// The consistency bit vector of a principal (Example 6.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this store.
+    pub fn consistency_bits(&self, principal: PrincipalId) -> u64 {
+        self.states[principal.index()].consistent
     }
 
     /// Submits a query label on behalf of a principal, updating that
     /// principal's cumulative state exactly like
     /// [`ReferenceMonitor::submit`](crate::ReferenceMonitor::submit).
     pub fn submit(&mut self, principal: PrincipalId, label: &DisclosureLabel) -> Decision {
-        let state = &mut self.principals[principal.index()];
+        let state = &mut self.states[principal.index()];
         if label.is_bottom() {
             state.answered += 1;
+            self.answered_total += 1;
             return Decision::Allow;
         }
-        let mut surviving = 0u64;
-        for (i, partition) in state.policy.partitions().iter().enumerate() {
-            if state.consistent & (1 << i) != 0 && partition.allows(label) {
-                surviving |= 1 << i;
-            }
+        let surviving = self
+            .arena
+            .surviving_bits(state.policy, state.consistent, label);
+        Self::apply(
+            state,
+            surviving,
+            &mut self.answered_total,
+            &mut self.refused_total,
+        )
+    }
+
+    /// [`submit`](Self::submit) on the packed 64-bit label representation
+    /// (Section 6.1) — the store side of the packed end-to-end path.
+    pub fn submit_packed(&mut self, principal: PrincipalId, label: &[PackedLabel]) -> Decision {
+        let state = &mut self.states[principal.index()];
+        if label.is_empty() {
+            state.answered += 1;
+            self.answered_total += 1;
+            return Decision::Allow;
         }
+        let surviving = self
+            .arena
+            .surviving_bits_packed(state.policy, state.consistent, label);
+        Self::apply(
+            state,
+            surviving,
+            &mut self.answered_total,
+            &mut self.refused_total,
+        )
+    }
+
+    /// Commits a submit decision given the surviving partition bits.
+    #[inline]
+    fn apply(
+        state: &mut PrincipalState,
+        surviving: u64,
+        answered_total: &mut u64,
+        refused_total: &mut u64,
+    ) -> Decision {
         if surviving != 0 {
             state.consistent = surviving;
             state.answered += 1;
+            *answered_total += 1;
             Decision::Allow
         } else {
             state.refused += 1;
+            *refused_total += 1;
             Decision::Deny
         }
     }
 
     /// Pure check (no state update) for a principal.
     pub fn check(&self, principal: PrincipalId, label: &DisclosureLabel) -> Decision {
-        let state = &self.principals[principal.index()];
-        if label.is_bottom() {
-            return Decision::Allow;
-        }
-        let allowed = state
-            .policy
-            .partitions()
-            .iter()
-            .enumerate()
-            .any(|(i, p)| state.consistent & (1 << i) != 0 && p.allows(label));
-        if allowed {
+        let state = &self.states[principal.index()];
+        if label.is_bottom()
+            || self
+                .arena
+                .surviving_bits(state.policy, state.consistent, label)
+                != 0
+        {
             Decision::Allow
         } else {
             Decision::Deny
         }
     }
 
+    /// [`check`](Self::check) on the packed 64-bit label representation.
+    pub fn check_packed(&self, principal: PrincipalId, label: &[PackedLabel]) -> Decision {
+        let state = &self.states[principal.index()];
+        if label.is_empty()
+            || self
+                .arena
+                .surviving_bits_packed(state.policy, state.consistent, label)
+                != 0
+        {
+            Decision::Allow
+        } else {
+            Decision::Deny
+        }
+    }
+
+    /// Submits a batch of packed requests in order, returning one decision
+    /// per request.
+    pub fn submit_batch(&mut self, batch: &[(PrincipalId, &[PackedLabel])]) -> Vec<Decision> {
+        batch
+            .iter()
+            .map(|(principal, label)| self.submit_packed(*principal, label))
+            .collect()
+    }
+
     /// `(answered, refused)` counters for a principal.
     pub fn stats(&self, principal: PrincipalId) -> (u64, u64) {
-        let s = &self.principals[principal.index()];
-        (s.answered, s.refused)
+        let s = &self.states[principal.index()];
+        (u64::from(s.answered), u64::from(s.refused))
     }
 
     /// Total `(answered, refused)` across all principals.
+    ///
+    /// O(1): the totals are maintained on every submit rather than
+    /// recomputed by walking the principal table.
     pub fn totals(&self) -> (u64, u64) {
-        self.principals
-            .iter()
-            .fold((0, 0), |(a, r), s| (a + s.answered, r + s.refused))
+        (self.answered_total, self.refused_total)
     }
 }
 
@@ -170,6 +295,8 @@ mod tests {
         let bob_app = store.register(wall);
         assert_eq!(store.len(), 2);
         assert!(!store.is_empty());
+        // Identical policies are interned into one arena entry.
+        assert_eq!(store.unique_policies(), 1);
 
         let meetings = label(&labeler, "Q(x, y) :- Meetings(x, y)");
         let contacts = label(&labeler, "Q(x, y, z) :- Contacts(x, y, z)");
@@ -187,6 +314,9 @@ mod tests {
         assert_eq!(store.stats(alice_app), (2, 1));
         assert_eq!(store.stats(bob_app), (2, 1));
         assert_eq!(store.totals(), (4, 2));
+        // The consistency words evolved independently.
+        assert_eq!(store.consistency_bits(alice_app), 0b01);
+        assert_eq!(store.consistency_bits(bob_app), 0b10);
     }
 
     #[test]
@@ -197,10 +327,12 @@ mod tests {
         let p = store.register(policy);
         let meetings = label(&labeler, "Q(x, y) :- Meetings(x, y)");
         assert!(store.check(p, &meetings).is_allow());
+        assert!(store.check_packed(p, &meetings.pack()).is_allow());
         assert_eq!(store.stats(p), (0, 0));
         assert!(store.submit(p, &meetings).is_allow());
         assert_eq!(store.stats(p), (1, 0));
         assert!(store.check(p, &DisclosureLabel::bottom()).is_allow());
+        assert!(store.check_packed(p, &[]).is_allow());
     }
 
     #[test]
@@ -225,6 +357,10 @@ mod tests {
         let ids: Vec<PrincipalId> = (0..1000)
             .map(|_| store.register(times_only.clone()))
             .collect();
+        // A thousand principals, one compiled policy, 24 bytes each.
+        assert_eq!(store.unique_policies(), 1);
+        assert_eq!(store.state_bytes(), 1000 * 24);
+        assert_eq!(store.arena().hits(), 999);
         let times = label(&labeler, "Q(x) :- Meetings(x, y)");
         let full = label(&labeler, "Q(x, y) :- Meetings(x, y)");
         for &id in &ids {
@@ -232,5 +368,107 @@ mod tests {
             assert!(!store.submit(id, &full).is_allow());
         }
         assert_eq!(store.totals(), (1000, 1000));
+    }
+
+    #[test]
+    fn packed_submissions_walk_the_same_states_as_unpacked_ones() {
+        let (registry, labeler) = setup();
+        let v1 = registry.id_by_name("V1").unwrap();
+        let v3 = registry.id_by_name("V3").unwrap();
+        let wall = SecurityPolicy::chinese_wall([
+            PolicyPartition::from_views("meetings", &registry, [v1]),
+            PolicyPartition::from_views("contacts", &registry, [v3]),
+        ]);
+        let mut unpacked = PolicyStore::new();
+        let mut packed = PolicyStore::new();
+        let a = unpacked.register(wall.clone());
+        let b = packed.register(wall);
+        for text in [
+            "Q(x, y) :- Contacts(x, y, z)",
+            "Q(x) :- Meetings(x, y)",
+            "Q(x, y) :- Meetings(x, y)",
+            "Q(x, z) :- Contacts(x, y, z)",
+        ] {
+            let l = label(&labeler, text);
+            assert_eq!(
+                unpacked.submit(a, &l),
+                packed.submit_packed(b, &l.pack()),
+                "submit disagrees on {text}"
+            );
+            assert_eq!(unpacked.consistency_bits(a), packed.consistency_bits(b));
+        }
+        assert_eq!(unpacked.stats(a), packed.stats(b));
+        assert_eq!(unpacked.totals(), packed.totals());
+    }
+
+    #[test]
+    fn batch_submission_matches_one_by_one_submission() {
+        let (registry, labeler) = setup();
+        let v1 = registry.id_by_name("V1").unwrap();
+        let v3 = registry.id_by_name("V3").unwrap();
+        let wall = SecurityPolicy::chinese_wall([
+            PolicyPartition::from_views("meetings", &registry, [v1]),
+            PolicyPartition::from_views("contacts", &registry, [v3]),
+        ]);
+        let mut batch_store = PolicyStore::new();
+        let mut loop_store = PolicyStore::new();
+        for _ in 0..3 {
+            batch_store.register(wall.clone());
+            loop_store.register(wall.clone());
+        }
+        let labels: Vec<Vec<PackedLabel>> = [
+            "Q(x, y) :- Contacts(x, y, z)",
+            "Q(x) :- Meetings(x, y)",
+            "Q(x, y) :- Meetings(x, y)",
+            "Q(x, z) :- Contacts(x, y, z)",
+            "Q(x, y, z) :- Contacts(x, y, z)",
+            "Q(y) :- Meetings(x, y)",
+        ]
+        .iter()
+        .map(|text| label(&labeler, text).pack())
+        .collect();
+        let batch: Vec<(PrincipalId, &[PackedLabel])> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (PrincipalId((i % 3) as u32), l.as_slice()))
+            .collect();
+        let batched = batch_store.submit_batch(&batch);
+        let looped: Vec<Decision> = batch
+            .iter()
+            .map(|(p, l)| loop_store.submit_packed(*p, l))
+            .collect();
+        assert_eq!(batched, looped);
+        assert_eq!(batch_store.totals(), loop_store.totals());
+    }
+
+    #[test]
+    fn register_rejects_policies_with_too_many_partitions() {
+        // Regression: the seed's register() skipped the MAX_PARTITIONS
+        // validation, so a 65-partition policy overflowed the
+        // `u64::MAX >> (64 - n)` shift at registration time with an
+        // arithmetic panic in debug and UB-shaped garbage in release.
+        let (registry, _) = setup();
+        let v1 = registry.id_by_name("V1").unwrap();
+        let mut policy = SecurityPolicy::new();
+        for i in 0..=crate::MAX_PARTITIONS {
+            policy.push(PolicyPartition::from_views(
+                format!("p{i}"),
+                &registry,
+                [v1],
+            ));
+        }
+        let result = std::panic::catch_unwind(move || {
+            let mut store = PolicyStore::new();
+            store.register(policy)
+        });
+        let err = result.expect_err("65-partition policy must be rejected");
+        let message = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()).unwrap());
+        assert!(
+            message.contains("limited to 64 partitions"),
+            "unexpected panic message: {message}"
+        );
     }
 }

@@ -80,6 +80,7 @@ fn chinese_wall_commitments_are_sticky_and_consistent() {
     let mut policies = eco.policy_generator(PolicyGeneratorConfig {
         max_partitions: 5,
         max_elements_per_partition: 15,
+        template_pool: 0,
         seed: 31,
     });
     let mut workload = eco.workload(WorkloadConfig::base(13));
@@ -111,6 +112,7 @@ fn cumulative_enforcement_never_exceeds_any_partition() {
     let mut policies = eco.policy_generator(PolicyGeneratorConfig {
         max_partitions: 3,
         max_elements_per_partition: 12,
+        template_pool: 0,
         seed: 5,
     });
     let policy = policies.next_policy(&eco.views);
@@ -138,6 +140,7 @@ fn the_policy_store_matches_per_principal_monitors() {
     let mut policies = eco.policy_generator(PolicyGeneratorConfig {
         max_partitions: 5,
         max_elements_per_partition: 10,
+        template_pool: 0,
         seed: 77,
     });
     let num_principals = 8;

@@ -1,0 +1,226 @@
+//! Property-based equivalence of every policy-enforcement surface.
+//!
+//! Random multi-principal workloads — random policies (including empty and
+//! single-partition ones) over the paper's security views, random disclosure
+//! labels, random interleavings of submits and pure checks — are driven
+//! simultaneously through:
+//!
+//! * a flat [`PolicyStore`] on unpacked labels,
+//! * a second [`PolicyStore`] on the packed 64-bit path,
+//! * a [`ShardedPolicyStore`] on unpacked labels,
+//! * a second [`ShardedPolicyStore`] on the packed path,
+//! * and one [`ReferenceMonitor`] per principal (the single-principal
+//!   specification the stores generalize).
+//!
+//! Every decision, every consistency bit vector and every counter must agree
+//! at every step; at the end, a parallel sharded batch replay of the same
+//! submissions must reproduce the same decisions and state.
+
+use fdc::core::{AtomLabel, DisclosureLabel, PackedLabel, SecurityViews};
+use fdc::cq::RelId;
+use fdc::policy::{
+    Decision, PolicyPartition, PolicyStore, PrincipalId, ReferenceMonitor, SecurityPolicy,
+    ShardedPolicyStore,
+};
+use proptest::prelude::*;
+
+/// Strategy: one random policy as partition view-index lists (0..=3
+/// partitions of 1..=6 views each, indices into the registry's view list).
+/// An empty outer vec is the empty policy, which refuses everything but ⊥.
+fn policy_strategy() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    proptest::collection::vec(proptest::collection::vec(0usize..37, 1..=6), 0..=3)
+}
+
+/// Strategy: one random disclosure label as raw (relation, mask) atoms.
+/// Relation ids cover the 8-relation Facebook-like space plus one id (8)
+/// never covered by any policy; masks span the view-bit range the paper's
+/// registries use (`User` has 16 views, so up to 16 bits).
+fn label_strategy() -> impl Strategy<Value = Vec<(u32, u64)>> {
+    proptest::collection::vec((0u32..9, 1u64..0x1_0000), 1..=3)
+}
+
+/// Strategy: one workload op — a principal index, a label, and whether the
+/// op is a stateful submit (vs a pure check).
+fn op_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u64)>, bool)> {
+    (
+        0usize..64,
+        label_strategy(),
+        (0u8..4).prop_map(|b| b != 0), // submit 3/4 of the time
+    )
+}
+
+fn build_policy(registry: &SecurityViews, raw: &[Vec<usize>]) -> SecurityPolicy {
+    let views: Vec<_> = registry.iter().map(|(id, _)| id).collect();
+    let mut policy = SecurityPolicy::new();
+    for (p, indices) in raw.iter().enumerate() {
+        let mut partition = PolicyPartition::new(format!("partition-{p}"));
+        for &i in indices {
+            partition.permit(registry, views[i % views.len()]);
+        }
+        policy.push(partition);
+    }
+    policy
+}
+
+fn build_label(raw: &[(u32, u64)]) -> DisclosureLabel {
+    DisclosureLabel::from_atoms(
+        raw.iter()
+            .map(|&(rel, mask)| AtomLabel::new(RelId(rel), mask))
+            .collect(),
+    )
+}
+
+fn registry() -> SecurityViews {
+    // The ecosystem's 37-view registry: 16 views on User, 3 on each of the
+    // other seven relations — enough mask diversity for meaningful walls.
+    fdc::ecosystem::Ecosystem::new().views
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_enforcement_surfaces_agree(
+        policies in proptest::collection::vec(policy_strategy(), 1..=10),
+        ops in proptest::collection::vec(op_strategy(), 1..=60),
+        num_shards in 1usize..6,
+    ) {
+        let registry = registry();
+        let mut flat = PolicyStore::new();
+        let mut flat_packed = PolicyStore::new();
+        let mut sharded = ShardedPolicyStore::new(num_shards);
+        let mut sharded_packed = ShardedPolicyStore::new(num_shards);
+        let mut replay = ShardedPolicyStore::new(num_shards);
+        let mut monitors = Vec::new();
+        for raw in &policies {
+            let policy = build_policy(&registry, raw);
+            flat.register(policy.clone());
+            flat_packed.register(policy.clone());
+            sharded.register(policy.clone());
+            sharded_packed.register(policy.clone());
+            replay.register(policy.clone());
+            monitors.push(ReferenceMonitor::new(policy));
+        }
+
+        let mut submissions: Vec<(PrincipalId, Vec<PackedLabel>)> = Vec::new();
+        let mut expected_decisions: Vec<Decision> = Vec::new();
+        for (who, raw_label, is_submit) in &ops {
+            let p = PrincipalId((who % policies.len()) as u32);
+            let label = build_label(raw_label);
+            let packed = label.pack();
+            let monitor = &mut monitors[p.index()];
+            if *is_submit {
+                let expected = monitor.submit(&label);
+                prop_assert_eq!(flat.submit(p, &label), expected);
+                prop_assert_eq!(flat_packed.submit_packed(p, &packed), expected);
+                prop_assert_eq!(sharded.submit(p, &label), expected);
+                prop_assert_eq!(sharded_packed.submit_packed(p, &packed), expected);
+                submissions.push((p, packed));
+                expected_decisions.push(expected);
+            } else {
+                let expected = monitor.check(&label);
+                prop_assert_eq!(flat.check(p, &label), expected);
+                prop_assert_eq!(flat_packed.check_packed(p, &packed), expected);
+                prop_assert_eq!(sharded.check(p, &label), expected);
+                prop_assert_eq!(sharded_packed.check_packed(p, &packed), expected);
+            }
+            // Consistency bits agree after every op, mutating or not.
+            let bits = monitor.consistency_bits();
+            prop_assert_eq!(flat.consistency_bits(p), bits);
+            prop_assert_eq!(flat_packed.consistency_bits(p), bits);
+            prop_assert_eq!(sharded.consistency_bits(p), bits);
+            prop_assert_eq!(sharded_packed.consistency_bits(p), bits);
+        }
+
+        // Per-principal counters and O(1) totals match the monitors.
+        let mut answered = 0u64;
+        let mut refused = 0u64;
+        for (i, monitor) in monitors.iter().enumerate() {
+            let p = PrincipalId(i as u32);
+            let expected = (monitor.answered(), monitor.refused());
+            prop_assert_eq!(flat.stats(p), expected);
+            prop_assert_eq!(flat_packed.stats(p), expected);
+            prop_assert_eq!(sharded.stats(p), expected);
+            prop_assert_eq!(sharded_packed.stats(p), expected);
+            answered += expected.0;
+            refused += expected.1;
+        }
+        prop_assert_eq!(flat.totals(), (answered, refused));
+        prop_assert_eq!(sharded.totals(), (answered, refused));
+
+        // Replaying every submission as one parallel sharded batch yields
+        // the same decisions and the same final state.
+        let batch: Vec<(PrincipalId, &[PackedLabel])> = submissions
+            .iter()
+            .map(|(p, packed)| (*p, packed.as_slice()))
+            .collect();
+        let decisions = replay.submit_batch_parallel(&batch);
+        prop_assert_eq!(&decisions, &expected_decisions);
+        prop_assert_eq!(replay.totals(), (answered, refused));
+        for (i, monitor) in monitors.iter().enumerate() {
+            let p = PrincipalId(i as u32);
+            prop_assert_eq!(replay.consistency_bits(p), monitor.consistency_bits());
+        }
+    }
+
+    #[test]
+    fn interning_never_changes_decisions(
+        raw_policy in policy_strategy(),
+        raw_labels in proptest::collection::vec(label_strategy(), 1..=20),
+    ) {
+        // Many principals sharing one interned policy must each behave like
+        // an independent monitor over that policy.
+        let registry = registry();
+        let policy = build_policy(&registry, &raw_policy);
+        let mut store = PolicyStore::new();
+        let principals: Vec<PrincipalId> =
+            (0..8).map(|_| store.register(policy.clone())).collect();
+        prop_assert_eq!(store.unique_policies(), 1);
+        let mut monitor = ReferenceMonitor::new(policy);
+        // Submit the same sequence to every principal: identical walks.
+        for raw in &raw_labels {
+            let label = build_label(raw);
+            let expected = monitor.submit(&label);
+            for &p in &principals {
+                prop_assert_eq!(store.submit(p, &label), expected);
+                prop_assert_eq!(store.consistency_bits(p), monitor.consistency_bits());
+            }
+        }
+    }
+}
+
+/// Regression for the seed's missing validation: registering a policy with
+/// more than `MAX_PARTITIONS` partitions must be rejected at registration
+/// time (the seed overflowed `u64::MAX >> (64 - n)` instead).
+#[test]
+fn oversized_policies_are_rejected_by_every_surface() {
+    let registry = registry();
+    let views: Vec<_> = registry.iter().map(|(id, _)| id).collect();
+    let mut policy = SecurityPolicy::new();
+    for i in 0..=fdc::policy::MAX_PARTITIONS {
+        policy.push(PolicyPartition::from_views(
+            format!("p{i}"),
+            &registry,
+            [views[0]],
+        ));
+    }
+    let for_store = policy.clone();
+    assert!(std::panic::catch_unwind(move || PolicyStore::new().register(for_store)).is_err());
+    let for_sharded = policy.clone();
+    assert!(
+        std::panic::catch_unwind(move || ShardedPolicyStore::new(2).register(for_sharded)).is_err()
+    );
+    assert!(std::panic::catch_unwind(move || ReferenceMonitor::new(policy)).is_err());
+    // Exactly MAX_PARTITIONS partitions remain valid.
+    let mut at_limit = SecurityPolicy::new();
+    for i in 0..fdc::policy::MAX_PARTITIONS {
+        at_limit.push(PolicyPartition::from_views(
+            format!("p{i}"),
+            &registry,
+            [views[0]],
+        ));
+    }
+    let mut store = PolicyStore::new();
+    let p = store.register(at_limit);
+    assert_eq!(store.consistency_bits(p), u64::MAX);
+}
