@@ -1,0 +1,256 @@
+//! Figure 7, machine-readable: dynamic-service throughput under policy
+//! churn.
+//!
+//! The paper's Figures 5 and 6 measure the two static stages (labeling and
+//! enforcement) over a frozen world.  Figure 7 is this repository's dynamic
+//! extension: a [`DisclosureService`] serves a mixed operation stream —
+//! admissions plus `GrantView` / `RevokeView` / `AddSecurityView` mutations
+//! — at 100K principals, swept over mutation:query ratios
+//! {0, 0.1%, 1%, 10%}.  Two invalidation strategies are measured on
+//! identical streams:
+//!
+//! * `incremental` — per-relation epoch versioning: a view-universe change
+//!   bumps one relation's epoch and cached labels lazily re-derive just
+//!   their stale atoms; policy grants/revokes never touch the label cache.
+//! * `flush_on_mutation` — the conservative baseline a service without
+//!   dependency tracking must adopt: every mutation flushes the whole label
+//!   cache, so each flush forces the full labeling pipeline to re-run per
+//!   distinct query shape until the cache re-warms.
+//!
+//! ```text
+//! cargo run --release -p fdc-bench --bin fig7_json            # full run
+//! FDC_BENCH_SMOKE=1 cargo run -p fdc-bench --bin fig7_json    # CI smoke
+//! ```
+//!
+//! The emitted `BENCH_fig7.json` records ops/second per ratio and strategy,
+//! the per-strategy cache counters (`CachedLabeler::stats()`), and the
+//! headline `speedup_at_1pct` — the acceptance criterion is ≥ 3× for the
+//! incremental service at the 1% ratio.
+
+use std::time::Instant;
+
+use fdc_bench::{fig7_service, fig7_streams};
+use fdc_core::CacheStats;
+use fdc_service::{DisclosureService, InvalidationMode, Operation, ServiceStats};
+
+/// The swept mutation:query ratios.
+const RATIOS: [f64; 4] = [0.0, 0.001, 0.01, 0.1];
+
+/// One strategy's measurement at one ratio.
+struct Measurement {
+    mode: &'static str,
+    ops_per_sec: f64,
+    cache: CacheStats,
+    service: ServiceStats,
+}
+
+/// Both strategies at one ratio.
+struct SweepPoint {
+    mutation_ratio: f64,
+    results: Vec<Measurement>,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .skip(1)
+        .find(|a| a != "--smoke")
+        .unwrap_or_else(|| "BENCH_fig7.json".to_owned());
+    let smoke = std::env::var("FDC_BENCH_SMOKE").is_ok_and(|v| v == "1")
+        || std::env::args().any(|a| a == "--smoke");
+
+    // Warmup must exceed the query pool (FIG7_QUERY_POOL) so the measured
+    // stream runs at the cache's steady state.
+    let (num_principals, warmup_ops, stream_ops, repeats) = if smoke {
+        (2_000, 2_500, 5_000, 1)
+    } else {
+        (100_000, 20_000, 100_000, 2)
+    };
+    let batch_ops = 1_024;
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "fig7_json: principals={num_principals} warmup={warmup_ops} stream={stream_ops} \
+         batch={batch_ops} repeats={repeats} host_threads={host_threads} smoke={smoke}"
+    );
+    println!(
+        "{:>10} | {:>14} | {:>18} | {:>8}",
+        "ratio", "incremental", "flush_on_mutation", "speedup"
+    );
+
+    let mut points = Vec::new();
+    for &ratio in &RATIOS {
+        let (warmup, stream) = fig7_streams(num_principals, ratio, warmup_ops, stream_ops);
+        let mut results = Vec::new();
+        for (mode, name) in [
+            (InvalidationMode::Incremental, "incremental"),
+            (InvalidationMode::FlushOnMutation, "flush_on_mutation"),
+        ] {
+            results.push(measure(
+                num_principals,
+                mode,
+                name,
+                &warmup,
+                &stream,
+                batch_ops,
+                repeats,
+            ));
+        }
+        let speedup = results[0].ops_per_sec / results[1].ops_per_sec;
+        println!(
+            "{:>10} | {:>14.0} | {:>18.0} | {:>7.1}x",
+            ratio, results[0].ops_per_sec, results[1].ops_per_sec, speedup
+        );
+        points.push(SweepPoint {
+            mutation_ratio: ratio,
+            results,
+        });
+    }
+
+    let speedup_at_1pct = speedup_at(&points, 0.01);
+    println!(
+        "\nincremental vs flush-on-mutation at the 1% mutation ratio: {speedup_at_1pct:.1}x \
+         (acceptance: >= 3x)"
+    );
+
+    let json = render_json(
+        &points,
+        num_principals,
+        warmup_ops,
+        stream_ops,
+        batch_ops,
+        host_threads,
+        smoke,
+        speedup_at_1pct,
+    );
+    std::fs::write(&out_path, json).expect("failed to write the benchmark JSON");
+    println!("wrote {out_path}");
+}
+
+/// Measures one strategy at one ratio: build a fresh service, run the
+/// warmup untimed, then time the churn stream in serving-sized batches.
+/// Repeats the whole run and keeps the best throughput.
+fn measure(
+    num_principals: usize,
+    mode: InvalidationMode,
+    name: &'static str,
+    warmup: &[Operation],
+    stream: &[Operation],
+    batch_ops: usize,
+    repeats: usize,
+) -> Measurement {
+    let mut best: Option<(f64, CacheStats, ServiceStats)> = None;
+    for _ in 0..repeats.max(1) {
+        let mut service = fig7_service(num_principals, mode);
+        run_in_batches(&mut service, warmup, batch_ops);
+        let start = Instant::now();
+        run_in_batches(&mut service, stream, batch_ops);
+        let elapsed = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+        let ops_per_sec = stream.len() as f64 / elapsed;
+        if best.as_ref().is_none_or(|(b, _, _)| ops_per_sec > *b) {
+            best = Some((ops_per_sec, service.labeler().stats(), service.stats()));
+        }
+    }
+    let (ops_per_sec, cache, service) = best.expect("at least one repeat");
+    Measurement {
+        mode: name,
+        ops_per_sec,
+        cache,
+        service,
+    }
+}
+
+/// Feeds the stream to the service in serving-sized `run_batch` calls.
+fn run_in_batches(service: &mut DisclosureService, ops: &[Operation], batch_ops: usize) {
+    for chunk in ops.chunks(batch_ops) {
+        std::hint::black_box(service.run_batch(chunk));
+    }
+}
+
+/// The incremental:flush speedup at the sweep point closest to `ratio`.
+fn speedup_at(points: &[SweepPoint], ratio: f64) -> f64 {
+    points
+        .iter()
+        .find(|p| (p.mutation_ratio - ratio).abs() < 1e-9)
+        .map(|p| p.results[0].ops_per_sec / p.results[1].ops_per_sec)
+        .unwrap_or(f64::NAN)
+}
+
+/// Renders the trajectory as JSON by hand (the workspace is offline, so no
+/// serde).
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    points: &[SweepPoint],
+    num_principals: usize,
+    warmup_ops: usize,
+    stream_ops: usize,
+    batch_ops: usize,
+    host_threads: usize,
+    smoke: bool,
+    speedup_at_1pct: f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"figure\": \"fig7_churn_throughput\",\n");
+    out.push_str("  \"unit\": \"ops_per_second\",\n");
+    out.push_str(&format!("  \"num_principals\": {num_principals},\n"));
+    out.push_str(&format!("  \"warmup_ops\": {warmup_ops},\n"));
+    out.push_str(&format!("  \"stream_ops\": {stream_ops},\n"));
+    out.push_str(&format!("  \"batch_ops\": {batch_ops},\n"));
+    out.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!(
+        "  \"speedup_at_1pct\": {},\n",
+        if speedup_at_1pct.is_finite() {
+            format!("{speedup_at_1pct:.2}")
+        } else {
+            "null".to_owned()
+        }
+    ));
+    out.push_str("  \"min_speedup_required\": 3.0,\n");
+    out.push_str("  \"sweep\": [\n");
+    for (i, point) in points.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"mutation_ratio\": {},\n",
+            point.mutation_ratio
+        ));
+        for (j, m) in point.results.iter().enumerate() {
+            out.push_str(&format!("      \"{}\": {{\n", m.mode));
+            out.push_str(&format!("        \"ops_per_sec\": {:.1},\n", m.ops_per_sec));
+            out.push_str(&format!(
+                "        \"mutations\": {},\n",
+                m.service.mutations
+            ));
+            out.push_str(&format!("        \"flushes\": {},\n", m.service.flushes));
+            out.push_str("        \"cache\": {\n");
+            out.push_str(&format!("          \"hits\": {},\n", m.cache.hits));
+            out.push_str(&format!("          \"misses\": {},\n", m.cache.misses));
+            out.push_str(&format!(
+                "          \"query_refreshes\": {},\n",
+                m.cache.query_refreshes
+            ));
+            out.push_str(&format!(
+                "          \"atom_refreshes\": {},\n",
+                m.cache.atom_refreshes
+            ));
+            out.push_str(&format!(
+                "          \"invalidations\": {},\n",
+                m.cache.invalidations
+            ));
+            out.push_str(&format!("          \"entries\": {}\n", m.cache.entries));
+            out.push_str("        }\n");
+            out.push_str(if j + 1 == point.results.len() {
+                "      }\n"
+            } else {
+                "      },\n"
+            });
+        }
+        out.push_str(if i + 1 == points.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}

@@ -21,8 +21,9 @@
 
 use fdc_core::{DisclosureLabel, PackedLabel};
 use fdc_ecosystem::policies::PolicyGeneratorConfig;
-use fdc_ecosystem::{Ecosystem, WorkloadConfig};
+use fdc_ecosystem::{ChurnConfig, Ecosystem, WorkloadConfig};
 use fdc_policy::{PolicyStore, ShardedPolicyStore};
+use fdc_service::{DisclosureService, InvalidationMode, Operation, ServiceConfig};
 
 pub mod seed_store;
 
@@ -161,6 +162,65 @@ pub fn seed_policy_store(
     store
 }
 
+/// The policy-generator configuration of the Figure 7 churn experiment:
+/// the paper's "fairly complex Chinese Wall" regime (up to 5 partitions,
+/// up to 25 elements each) over the template pool.
+pub fn fig7_policy_config() -> PolicyGeneratorConfig {
+    fig6_policy_config(5, 25)
+}
+
+/// Builds the Figure 7 service under test: `num_principals` pooled random
+/// policies behind a [`DisclosureService`] in the given invalidation mode.
+///
+/// Audit history is disabled (the churn stream contains no audits), so the
+/// measured path is admissions + mutations only.
+pub fn fig7_service(num_principals: usize, invalidation: InvalidationMode) -> DisclosureService {
+    let ecosystem = Ecosystem::new();
+    ecosystem.disclosure_service(
+        fig7_policy_config(),
+        num_principals,
+        ServiceConfig {
+            history_cap: 0,
+            invalidation,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// Query-template-pool size of the Figure 7 churn workload: admissions
+/// draw from this many distinct query shapes (the serving steady state,
+/// mirroring [`FIG6_TEMPLATE_POOL`] on the policy side).
+pub const FIG7_QUERY_POOL: usize = 2_000;
+
+/// Generates the Figure 7 operation stream: `ops` mixed operations at the
+/// given mutation:query ratio, preceded by `warmup` pure admissions that
+/// seed the query pool and bring the label cache to steady state before
+/// timing starts.
+///
+/// Both streams come from one deterministic generator, so the incremental
+/// and flush-on-mutation services measure identical work.
+pub fn fig7_streams(
+    num_principals: usize,
+    mutation_ratio: f64,
+    warmup: usize,
+    ops: usize,
+) -> (Vec<Operation>, Vec<Operation>) {
+    let ecosystem = Ecosystem::new();
+    let mut churn = ecosystem.churn(ChurnConfig {
+        mutation_ratio,
+        add_view_share: 0.1,
+        check_share: 0.0,
+        query_pool: FIG7_QUERY_POOL,
+        num_principals,
+        seed: 0xF17_BBBB,
+        // The stress workload (up to 2 uid-joined subqueries, ≤6 atoms):
+        // folding/dissection dominate a cold labeling, which is exactly the
+        // work the flush-on-mutation baseline keeps redoing.
+        workload: WorkloadConfig::stress(2, 0xF17_0002),
+    });
+    (churn.admissions(warmup), churn.ops(ops))
+}
+
 /// The principal counts swept by the Figure 6 benchmark.
 ///
 /// The paper sweeps 1K, 50K and 1M principals, and since the store interns
@@ -204,6 +264,30 @@ mod tests {
     #[test]
     fn principal_counts_have_three_points() {
         assert_eq!(fig6_principal_counts().len(), 3);
+    }
+
+    #[test]
+    fn fig7_helpers_build_consistent_state() {
+        let (warmup, stream) = fig7_streams(50, 0.05, 20, 200);
+        assert_eq!(warmup.len(), 20);
+        assert_eq!(stream.len(), 200);
+        assert!(warmup.iter().all(|op| op.is_admission()));
+        assert!(stream.iter().any(|op| op.is_mutation()));
+        let mut service = fig7_service(50, InvalidationMode::Incremental);
+        assert_eq!(service.num_principals(), 50);
+        for response in service.run_batch(&warmup) {
+            assert!(!response.is_rejected());
+        }
+        for response in service.run_batch(&stream) {
+            assert!(!response.is_rejected());
+        }
+        assert!(service.stats().mutations > 0);
+        // Identical streams drive the flush baseline to identical decisions.
+        let mut flush = fig7_service(50, InvalidationMode::FlushOnMutation);
+        flush.run_batch(&warmup);
+        flush.run_batch(&stream);
+        assert_eq!(flush.totals(), service.totals());
+        assert!(flush.stats().flushes > 0);
     }
 
     #[test]

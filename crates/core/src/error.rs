@@ -16,13 +16,19 @@ pub enum LabelError {
     /// A security view name was registered twice.
     DuplicateView(String),
     /// Too many security views were registered for one relation to fit the
-    /// packed bit-vector representation (Section 6.1 uses 32 bits per
-    /// relation; we allow up to 64).
+    /// label representation in force: 64 bits for the in-memory mask
+    /// ([`MAX_VIEWS_PER_RELATION`](crate::security_views::MAX_VIEWS_PER_RELATION),
+    /// checked at registration) or 32 bits for the packed serving path
+    /// ([`MAX_PACKED_VIEWS_PER_RELATION`](crate::security_views::MAX_PACKED_VIEWS_PER_RELATION),
+    /// checked by the online-mutation surfaces so a packed mask can never
+    /// silently truncate).
     TooManyViewsForRelation {
         /// Relation name.
         relation: String,
         /// Number of views that would be required.
         count: usize,
+        /// The per-relation bit budget that would be exceeded.
+        limit: usize,
     },
     /// A query failed validation against the catalog.
     InvalidQuery(String),
@@ -37,9 +43,14 @@ impl fmt::Display for LabelError {
             LabelError::DuplicateView(name) => {
                 write!(f, "security view `{name}` is already registered")
             }
-            LabelError::TooManyViewsForRelation { relation, count } => write!(
+            LabelError::TooManyViewsForRelation {
+                relation,
+                count,
+                limit,
+            } => write!(
                 f,
-                "relation `{relation}` would need {count} security-view bits; the packed representation supports at most 64"
+                "relation `{relation}` would need {count} security-view bits; \
+                 the label representation supports at most {limit}"
             ),
             LabelError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
         }
@@ -66,12 +77,14 @@ mod tests {
         assert!(LabelError::DuplicateView("user_likes".into())
             .to_string()
             .contains("user_likes"));
-        assert!(LabelError::TooManyViewsForRelation {
+        let too_many = LabelError::TooManyViewsForRelation {
             relation: "User".into(),
-            count: 99
+            count: 99,
+            limit: 64,
         }
-        .to_string()
-        .contains("99"));
+        .to_string();
+        assert!(too_many.contains("99"));
+        assert!(too_many.contains("64"));
         assert!(LabelError::InvalidQuery("bad".into())
             .to_string()
             .contains("bad"));

@@ -75,10 +75,14 @@ impl AtomLabel {
     /// Packs the label into a single 64-bit word (Section 6.1).
     ///
     /// The packed form stores a 32-bit view mask, so it is faithful only
-    /// for registries with at most 32 views per relation (the paper's
-    /// layout).  Wider masks would be silently truncated — callers with
-    /// more than 32 views per relation must stay on the unpacked
-    /// representation, and debug builds assert the constraint here.
+    /// for relations within
+    /// [`MAX_PACKED_VIEWS_PER_RELATION`](crate::security_views::MAX_PACKED_VIEWS_PER_RELATION)
+    /// (= 32) views.  The online-mutation surfaces that feed the packed
+    /// serving path (`add_view`, the service's `AddSecurityView`) enforce
+    /// that budget, so packed masks never truncate there; registries built
+    /// wider at construction (up to the 64-view unpacked capacity, e.g. the
+    /// case study's) must stay on the unpacked representation, and debug
+    /// builds assert the constraint here.
     pub fn pack(&self) -> PackedLabel {
         debug_assert!(
             self.mask <= u64::from(u32::MAX),

@@ -23,6 +23,9 @@
 //!   and labeling entirely) and single atoms (per-atom `ℓ⁺` masks shared
 //!   across query shapes).  Combined with the sharded batch entry point
 //!   [`label_queries_parallel`] this is the high-throughput serving path.
+//!   The caches are versioned with the registry's per-relation epochs, so
+//!   the view universe can change online ([`CachedLabeler::add_view`])
+//!   without flushing: stale entries re-derive just their stale atoms.
 //!
 //! All variants produce identical [`DisclosureLabel`]s; the equivalence is
 //! asserted by the test suite and exercised again by the Figure 5 benchmark.
@@ -36,6 +39,7 @@ use fdc_cq::rewriting::rewritable_from_single;
 use fdc_cq::{ConjunctiveQuery, RelId, Term, VarKind};
 
 use crate::dissect::dissect;
+use crate::error::Result;
 use crate::label::{AtomLabel, DisclosureLabel, PackedLabel, ViewMask};
 use crate::security_views::{SecurityViewId, SecurityViews};
 
@@ -197,12 +201,50 @@ impl BitVectorLabeler {
         self.label_query(query).pack()
     }
 
+    /// Registers one more security view online, recompiling only the
+    /// affected relation's candidate list.
+    ///
+    /// The underlying [`SecurityViews`] registry validates the view (single
+    /// atom, unique name, per-relation bit budget) and bumps the relation's
+    /// epoch, so epoch-aware layers above (see
+    /// [`CachedLabeler::add_view`]) notice the change lazily.
+    ///
+    /// Because this labeler serves the packed 64-bit path
+    /// ([`label_packed`](Self::label_packed)), online additions are held to
+    /// the **packed** per-relation budget
+    /// ([`MAX_PACKED_VIEWS_PER_RELATION`](crate::security_views::MAX_PACKED_VIEWS_PER_RELATION)
+    /// = 32): the 33rd view of a relation is rejected here rather than
+    /// silently truncated out of every packed label in release builds.
+    pub fn add_view(&mut self, name: &str, query: ConjunctiveQuery) -> Result<SecurityViewId> {
+        use crate::security_views::MAX_PACKED_VIEWS_PER_RELATION;
+        if let Some(atom) = query.atoms().first() {
+            let existing = self.views.views_for_relation(atom.relation).len();
+            if existing >= MAX_PACKED_VIEWS_PER_RELATION {
+                return Err(crate::error::LabelError::TooManyViewsForRelation {
+                    relation: self.views.catalog().name(atom.relation).to_owned(),
+                    count: existing + 1,
+                    limit: MAX_PACKED_VIEWS_PER_RELATION,
+                });
+            }
+        }
+        let id = self.views.add(name, query)?;
+        let view = self.views.view(id);
+        self.by_relation
+            .entry(view.relation)
+            .or_default()
+            .push(CompiledView {
+                id,
+                bit: view.bit,
+                exposed_positions: projection_shape(&view.query),
+            });
+        Ok(id)
+    }
+
     /// Computes `ℓ⁺` of one dissected single-atom query as a packed view
     /// mask, using the compiled projection shapes where possible.
     ///
     /// This is the per-atom step of [`label_query`](QueryLabeler::label_query),
-    /// exposed so that memoizing layers (see
-    /// [`CachedLabeler`](crate::labeler::CachedLabeler)) can fill cache
+    /// exposed so that memoizing layers (see [`CachedLabeler`]) can fill cache
     /// misses without re-dissecting.  The query must be single-atom
     /// (multi-atom queries go through `Dissect` first); debug builds assert
     /// this, release builds would silently consider only the first atom.
@@ -295,7 +337,7 @@ impl QueryLabeler for BitVectorLabeler {
 // Cached: canonical-form memoization of the per-atom ℓ⁺ step.
 // ---------------------------------------------------------------------------
 
-/// Hit/miss counters of a [`CachedLabeler`].
+/// Hit/miss/invalidation counters of a [`CachedLabeler`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Whole-query labelings answered from the query-level cache.
@@ -305,12 +347,22 @@ pub struct CacheStats {
     /// Number of distinct canonical query forms currently cached.
     pub entries: usize,
     /// Per-atom `ℓ⁺` computations answered from the atom-level cache
-    /// (only query-level misses reach it).
+    /// (only query-level misses and stale refreshes reach it).
     pub atom_hits: u64,
     /// Per-atom `ℓ⁺` computations that ran the full per-view check.
     pub atom_misses: u64,
     /// Number of distinct canonical atom forms currently cached.
     pub atom_entries: usize,
+    /// Query-cache entries refreshed in place because some atom's relation
+    /// epoch had advanced — only the stale atoms were re-derived, folding
+    /// and dissection were skipped.
+    pub query_refreshes: u64,
+    /// Atom-cache entries recomputed because their relation epoch had
+    /// advanced.
+    pub atom_refreshes: u64,
+    /// View-universe invalidations applied to this labeler
+    /// ([`CachedLabeler::add_view`] / [`CachedLabeler::invalidate_relation`]).
+    pub invalidations: u64,
 }
 
 impl CacheStats {
@@ -323,6 +375,41 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+}
+
+/// An atom-cache entry: the memoized `ℓ⁺` mask plus the epoch of the atom's
+/// relation at computation time.  A lookup whose stored epoch trails the
+/// registry's current epoch is stale and recomputes in place.
+#[derive(Debug, Clone, Copy)]
+struct AtomEntry {
+    mask: ViewMask,
+    epoch: u64,
+}
+
+/// One dissected part of a cached query entry.
+///
+/// The single-atom query is retained so that an epoch change can re-derive
+/// *just this atom's* mask: the expensive front of the pipeline (folding and
+/// dissection, NP-hard in general) never re-runs for a cached shape.  The
+/// relation, epoch and mask are stored per part — NOT read back from the
+/// finished label — because [`DisclosureLabel::push`] absorbs redundant
+/// atom labels, so the label's atoms are not 1:1 with the dissected parts.
+#[derive(Debug, Clone)]
+struct QueryPart {
+    atom_query: ConjunctiveQuery,
+    relation: RelId,
+    /// Epoch of the part's relation when its mask was computed.
+    epoch: u64,
+    /// The part's `ℓ⁺` mask at that epoch.
+    mask: ViewMask,
+}
+
+/// A query-cache entry: the finished label plus the dissected parts it was
+/// folded from.
+#[derive(Debug, Clone)]
+struct QueryEntry {
+    label: DisclosureLabel,
+    parts: Vec<QueryPart>,
 }
 
 /// A labeler that memoizes labeling by canonical form, at two levels.
@@ -352,16 +439,29 @@ impl CacheStats {
 /// the computed results are unaffected — over-limit shapes are simply
 /// recomputed), so a high-cardinality or adversarial stream of
 /// never-repeating shapes cannot grow the tables without bound.
+///
+/// The labeler is **epoch-aware**: every cached mask and label records the
+/// per-relation epoch of the [`SecurityViews`] registry it was computed
+/// under.  When the view universe of relation `R` changes — an online
+/// [`add_view`](Self::add_view) or an explicit
+/// [`invalidate_relation`](Self::invalidate_relation) — only `R`'s epoch
+/// advances; cached entries touching `R` become lazily stale and re-derive
+/// exactly the stale atoms on their next lookup, while entries over other
+/// relations keep hitting.  This is what lets a long-running service absorb
+/// policy/view churn without flushing (and re-warming) the whole cache.
 #[derive(Debug)]
 pub struct CachedLabeler {
     inner: BitVectorLabeler,
-    query_cache: RwLock<HashMap<QueryKey, DisclosureLabel>>,
-    atom_cache: RwLock<HashMap<AtomKey, ViewMask>>,
+    query_cache: RwLock<HashMap<QueryKey, QueryEntry>>,
+    atom_cache: RwLock<HashMap<AtomKey, AtomEntry>>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     atom_hits: AtomicU64,
     atom_misses: AtomicU64,
+    query_refreshes: AtomicU64,
+    atom_refreshes: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 /// Default per-cache entry limit of a [`CachedLabeler`].
@@ -384,6 +484,9 @@ impl Clone for CachedLabeler {
             misses: AtomicU64::new(0),
             atom_hits: AtomicU64::new(0),
             atom_misses: AtomicU64::new(0),
+            query_refreshes: AtomicU64::new(0),
+            atom_refreshes: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 }
@@ -407,6 +510,9 @@ impl CachedLabeler {
             misses: AtomicU64::new(0),
             atom_hits: AtomicU64::new(0),
             atom_misses: AtomicU64::new(0),
+            query_refreshes: AtomicU64::new(0),
+            atom_refreshes: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -415,33 +521,82 @@ impl CachedLabeler {
         self.capacity
     }
 
-    fn read_query_cache(
-        &self,
-    ) -> std::sync::RwLockReadGuard<'_, HashMap<QueryKey, DisclosureLabel>> {
+    fn read_query_cache(&self) -> std::sync::RwLockReadGuard<'_, HashMap<QueryKey, QueryEntry>> {
         self.query_cache.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn read_atom_cache(&self) -> std::sync::RwLockReadGuard<'_, HashMap<AtomKey, ViewMask>> {
+    fn read_atom_cache(&self) -> std::sync::RwLockReadGuard<'_, HashMap<AtomKey, AtomEntry>> {
         self.atom_cache.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// `ℓ⁺` of one dissected single-atom query, through the atom cache.
+    /// The current epoch of a relation's view universe (delegated to the
+    /// owned registry).  Epochs only change under `&mut self`, so they are
+    /// stable for the duration of any `&self` labeling call.
+    #[inline]
+    fn epoch_of(&self, relation: RelId) -> u64 {
+        self.inner.views.epoch(relation)
+    }
+
+    /// `ℓ⁺` of one dissected single-atom query, through the epoch-checked
+    /// atom cache.
     fn cached_atom_mask(&self, atom_query: &ConjunctiveQuery) -> ViewMask {
         let key = atom_key(atom_query).expect("dissected parts are single-atom");
-        if let Some(mask) = self.read_atom_cache().get(&key) {
-            self.atom_hits.fetch_add(1, Ordering::Relaxed);
-            return *mask;
+        let current = self.epoch_of(key.relation());
+        let mut stale = false;
+        if let Some(entry) = self.read_atom_cache().get(&key) {
+            if entry.epoch == current {
+                self.atom_hits.fetch_add(1, Ordering::Relaxed);
+                return entry.mask;
+            }
+            stale = true;
         }
         let mask = self.inner.atom_mask(atom_query);
-        self.atom_misses.fetch_add(1, Ordering::Relaxed);
+        let counter = if stale {
+            &self.atom_refreshes
+        } else {
+            &self.atom_misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
         let mut cache = self.atom_cache.write().unwrap_or_else(|e| e.into_inner());
-        if cache.len() < self.capacity {
-            cache.insert(key, mask);
+        // Refreshing an existing key never grows the table, so stale entries
+        // are always re-admitted; brand-new shapes respect the capacity.
+        if stale || cache.len() < self.capacity {
+            cache.insert(
+                key,
+                AtomEntry {
+                    mask,
+                    epoch: current,
+                },
+            );
         }
         mask
     }
 
-    /// Current hit/miss counters and cache sizes.
+    /// Registers one more security view online.
+    ///
+    /// Only the view's relation is invalidated (its epoch advances inside
+    /// the registry): cached labels and masks for every other relation keep
+    /// hitting, and entries touching the relation lazily re-derive just
+    /// their stale atoms.  This is the incremental-relabeling path a
+    /// dynamic service uses for `AddSecurityView` operations.
+    pub fn add_view(&mut self, name: &str, query: ConjunctiveQuery) -> Result<SecurityViewId> {
+        let id = self.inner.add_view(name, query)?;
+        *self.invalidations.get_mut() += 1;
+        Ok(id)
+    }
+
+    /// Marks every cached label and mask derived for atoms over `relation`
+    /// as stale by advancing the relation's epoch.
+    ///
+    /// Stale entries are not dropped: they re-derive lazily (and only their
+    /// stale atoms) on next lookup.  Use this when a view definition changed
+    /// out of band; [`add_view`](Self::add_view) invalidates automatically.
+    pub fn invalidate_relation(&mut self, relation: RelId) {
+        self.inner.views.bump_epoch(relation);
+        *self.invalidations.get_mut() += 1;
+    }
+
+    /// Current hit/miss/invalidation counters and cache sizes.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -450,12 +605,19 @@ impl CachedLabeler {
             atom_hits: self.atom_hits.load(Ordering::Relaxed),
             atom_misses: self.atom_misses.load(Ordering::Relaxed),
             atom_entries: self.read_atom_cache().len(),
+            query_refreshes: self.query_refreshes.load(Ordering::Relaxed),
+            atom_refreshes: self.atom_refreshes.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
     }
 
-    /// Drops every cached entry and resets the counters (e.g. after the
-    /// security-view registry of a live system is rebuilt).
-    pub fn clear(&self) {
+    /// Drops every cached entry while keeping the hit/miss/refresh
+    /// counters — the flush-on-mutation strategy the epoch machinery
+    /// exists to avoid, kept as the Figure 7 baseline
+    /// (`InvalidationMode::FlushOnMutation` in `fdc-service`).  Keeping
+    /// the counters cumulative is what makes the baseline's cost visible:
+    /// every post-flush relabeling still counts as a miss.
+    pub fn clear_entries(&self) {
         self.query_cache
             .write()
             .unwrap_or_else(|e| e.into_inner())
@@ -464,10 +626,21 @@ impl CachedLabeler {
             .write()
             .unwrap_or_else(|e| e.into_inner())
             .clear();
+    }
+
+    /// Drops every cached entry **and** resets the counters (e.g. to
+    /// isolate a fresh measurement window); see
+    /// [`clear_entries`](Self::clear_entries) to flush without losing the
+    /// cumulative statistics.
+    pub fn clear(&self) {
+        self.clear_entries();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.atom_hits.store(0, Ordering::Relaxed);
         self.atom_misses.store(0, Ordering::Relaxed);
+        self.query_refreshes.store(0, Ordering::Relaxed);
+        self.atom_refreshes.store(0, Ordering::Relaxed);
+        self.invalidations.store(0, Ordering::Relaxed);
     }
 
     /// Labels a batch in parallel and folds the results into the cumulative
@@ -517,26 +690,101 @@ impl CachedLabeler {
     }
 }
 
+/// Outcome of a query-cache lookup: fresh hit, stale entry to refresh, or
+/// no entry at all.
+enum QueryLookup {
+    Fresh(DisclosureLabel),
+    Stale(QueryEntry),
+    Absent,
+}
+
 impl QueryLabeler for CachedLabeler {
     fn label_query(&self, query: &ConjunctiveQuery) -> DisclosureLabel {
         let key = query_key(query);
-        if let Some(label) = self.read_query_cache().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return label.clone();
+        let lookup = {
+            let cache = self.read_query_cache();
+            match cache.get(&key) {
+                Some(entry) => {
+                    let fresh = entry
+                        .parts
+                        .iter()
+                        .all(|part| part.epoch == self.epoch_of(part.relation));
+                    if fresh {
+                        QueryLookup::Fresh(entry.label.clone())
+                    } else {
+                        QueryLookup::Stale(entry.clone())
+                    }
+                }
+                None => QueryLookup::Absent,
+            }
+        };
+        match lookup {
+            QueryLookup::Fresh(label) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                label
+            }
+            QueryLookup::Stale(entry) => {
+                // Re-derive only the parts whose relation epoch advanced;
+                // fresh parts keep their masks, and folding/dissection are
+                // skipped entirely (the dissected parts are stored).  The
+                // label is re-folded from the parts exactly as the miss
+                // path folds it.
+                let mut label = DisclosureLabel::bottom();
+                let mut parts = Vec::with_capacity(entry.parts.len());
+                for part in entry.parts {
+                    let current = self.epoch_of(part.relation);
+                    let mask = if part.epoch == current {
+                        part.mask
+                    } else {
+                        self.cached_atom_mask(&part.atom_query)
+                    };
+                    label.push(AtomLabel::new(part.relation, mask));
+                    parts.push(QueryPart {
+                        atom_query: part.atom_query,
+                        relation: part.relation,
+                        epoch: current,
+                        mask,
+                    });
+                }
+                self.query_refreshes.fetch_add(1, Ordering::Relaxed);
+                let mut cache = self.query_cache.write().unwrap_or_else(|e| e.into_inner());
+                cache.insert(
+                    key,
+                    QueryEntry {
+                        label: label.clone(),
+                        parts,
+                    },
+                );
+                label
+            }
+            QueryLookup::Absent => {
+                let mut label = DisclosureLabel::bottom();
+                let mut parts = Vec::new();
+                for atom_query in dissect(query) {
+                    let relation = atom_query.atoms()[0].relation;
+                    let mask = self.cached_atom_mask(&atom_query);
+                    label.push(AtomLabel::new(relation, mask));
+                    parts.push(QueryPart {
+                        epoch: self.epoch_of(relation),
+                        relation,
+                        mask,
+                        atom_query,
+                    });
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let mut cache = self.query_cache.write().unwrap_or_else(|e| e.into_inner());
+                if cache.len() < self.capacity {
+                    cache.insert(
+                        key,
+                        QueryEntry {
+                            label: label.clone(),
+                            parts,
+                        },
+                    );
+                }
+                label
+            }
         }
-        let mut label = DisclosureLabel::bottom();
-        for atom_query in dissect(query) {
-            let relation = atom_query.atoms()[0].relation;
-            let mask = self.cached_atom_mask(&atom_query);
-            label.push(AtomLabel::new(relation, mask));
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut cache = self.query_cache.write().unwrap_or_else(|e| e.into_inner());
-        if cache.len() < self.capacity {
-            cache.insert(key, label.clone());
-        }
-        drop(cache);
-        label
     }
 
     fn security_views(&self) -> &SecurityViews {
@@ -576,31 +824,36 @@ where
     out
 }
 
-/// Splits `queries` into up to `threads` contiguous chunks and maps `f`
+/// Splits `items` into up to `threads` contiguous chunks and maps `f`
 /// over them on scoped worker threads, returning the per-chunk results in
 /// chunk order.  One chunk (or an empty input) runs on the calling thread.
-fn map_chunks_parallel<T, F>(queries: &[ConjunctiveQuery], threads: usize, f: F) -> Vec<T>
+///
+/// This is the one scoped-thread fan-out shared by every batch entry point
+/// — the labelers' parallel paths here and the service's request loop —
+/// so chunk sizing and panic propagation live in a single place.
+pub fn map_chunks_parallel<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
 where
+    I: Sync,
     T: Send,
-    F: Fn(&[ConjunctiveQuery]) -> T + Sync,
+    F: Fn(&[I]) -> T + Sync,
 {
-    if queries.is_empty() {
+    if items.is_empty() {
         return Vec::new();
     }
-    let threads = threads.clamp(1, queries.len());
+    let threads = threads.clamp(1, items.len());
     if threads <= 1 {
-        return vec![f(queries)];
+        return vec![f(items)];
     }
-    let chunk = queries.len().div_ceil(threads);
+    let chunk = items.len().div_ceil(threads);
     let f = &f;
     std::thread::scope(|scope| {
-        let handles: Vec<_> = queries
+        let handles: Vec<_> = items
             .chunks(chunk)
             .map(|ck| scope.spawn(move || f(ck)))
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("labeler worker panicked"))
+            .map(|h| h.join().expect("chunk worker panicked"))
             .collect()
     })
 }
@@ -817,7 +1070,16 @@ mod tests {
         let stats = cached.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
         assert_eq!(stats.entries, 1);
-        // Clearing empties the memo table.
+        // clear_entries drops the tables but keeps the counters…
+        cached.clear_entries();
+        let kept = cached.stats();
+        assert_eq!(kept.entries, 0);
+        assert_eq!(kept.atom_entries, 0);
+        assert_eq!((kept.hits, kept.misses), (1, 1));
+        // …and the next lookup of the flushed shape is a (counted) miss.
+        cached.label_query(&q(&c, "Q(x) :- Meetings(x, y)"));
+        assert_eq!(cached.stats().misses, 2);
+        // Full clearing also resets the counters.
         cached.clear();
         assert_eq!(cached.stats(), CacheStats::default());
     }
@@ -945,6 +1207,158 @@ mod tests {
         assert_eq!(cached.label_batch_packed(&queries), expected);
         assert_eq!(cached.label_packed(&queries[0]), expected[0]);
         assert!(cached.label_batch_packed(&[]).is_empty());
+    }
+
+    #[test]
+    fn add_view_invalidates_only_the_affected_relation() {
+        let mut cached = CachedLabeler::new(SecurityViews::paper_example());
+        let c = cached.security_views().catalog().clone();
+        let meetings_q = q(&c, "Q(x) :- Meetings(x, y)");
+        let contacts_q = q(&c, "Q(x, y, z) :- Contacts(x, y, z)");
+        let before_meetings = cached.label_query(&meetings_q);
+        cached.label_query(&contacts_q);
+
+        // A new Meetings view appears online (same shape as V2: it answers
+        // the time projection, so the cached Meetings mask must change).
+        let id = cached
+            .add_view("Vtime", q(&c, "Vtime(x) :- Meetings(x, y)"))
+            .unwrap();
+        assert_eq!(cached.security_views().view(id).name, "Vtime");
+        assert_eq!(cached.stats().invalidations, 1);
+
+        // The Contacts entry still answers as a pure, fresh hit.
+        let s0 = cached.stats();
+        cached.label_query(&contacts_q);
+        let s1 = cached.stats();
+        assert_eq!(s1.hits, s0.hits + 1);
+        assert_eq!(s1.query_refreshes, 0);
+        assert_eq!(s1.atom_refreshes, 0);
+
+        // The Meetings entry lazily refreshes and picks up the new view.
+        let after_meetings = cached.label_query(&meetings_q);
+        let s2 = cached.stats();
+        assert_eq!(s2.query_refreshes, 1);
+        assert_eq!(s2.atom_refreshes, 1);
+        assert_ne!(before_meetings, after_meetings);
+        let fresh = BitVectorLabeler::new(cached.security_views().clone());
+        assert_eq!(after_meetings, fresh.label_query(&meetings_q));
+
+        // Once refreshed, the entry is a plain hit again.
+        let s3 = cached.stats();
+        cached.label_query(&meetings_q);
+        let s4 = cached.stats();
+        assert_eq!(s4.hits, s3.hits + 1);
+        assert_eq!(s4.query_refreshes, 1);
+    }
+
+    #[test]
+    fn stale_entries_rederive_only_their_stale_atoms() {
+        let mut cached = CachedLabeler::new(SecurityViews::paper_example());
+        let c = cached.security_views().catalog().clone();
+        // A query with one Meetings atom and one Contacts atom.
+        let mixed = q(&c, "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')");
+        cached.label_query(&mixed);
+        cached
+            .add_view("Vsel", q(&c, "Vsel(x, y) :- Meetings(x, y)"))
+            .unwrap();
+        let before = cached.stats();
+        let refreshed = cached.label_query(&mixed);
+        let after = cached.stats();
+        // Exactly one atom (the Meetings one) was re-derived; the Contacts
+        // atom kept its mask without touching the slow path.
+        assert_eq!(after.query_refreshes, before.query_refreshes + 1);
+        assert_eq!(after.atom_refreshes, before.atom_refreshes + 1);
+        assert_eq!(after.misses, before.misses);
+        let fresh = BitVectorLabeler::new(cached.security_views().clone());
+        assert_eq!(refreshed, fresh.label_query(&mixed));
+    }
+
+    #[test]
+    fn invalidate_relation_refreshes_to_the_same_label() {
+        let mut cached = CachedLabeler::new(SecurityViews::paper_example());
+        let c = cached.security_views().catalog().clone();
+        let query = q(&c, "Q(x) :- Meetings(x, y)");
+        let before = cached.label_query(&query);
+        let meetings = c.resolve("Meetings").unwrap();
+        cached.invalidate_relation(meetings);
+        assert_eq!(cached.stats().invalidations, 1);
+        // Nothing actually changed, so the refresh reproduces the label —
+        // but it must go through the refresh path, not a stale hit.
+        assert_eq!(cached.label_query(&query), before);
+        assert_eq!(cached.stats().query_refreshes, 1);
+    }
+
+    #[test]
+    fn online_additions_respect_the_packed_view_budget() {
+        use crate::security_views::MAX_PACKED_VIEWS_PER_RELATION;
+        // Regression: the packed serving path carries 32 view bits per
+        // relation, but the registry's general capacity is 64 — so an
+        // unchecked online addition could push a relation past 32 and make
+        // `AtomLabel::pack` silently truncate masks in release builds.
+        // `add_view` must reject the 33rd view instead.
+        let mut catalog = fdc_cq::Catalog::new();
+        catalog.add_relation_with_arity("Wide", 2).unwrap();
+        let mut cached = CachedLabeler::new(SecurityViews::new(&catalog));
+        for i in 0..MAX_PACKED_VIEWS_PER_RELATION {
+            let view = q(&catalog, "V(x, y) :- Wide(x, y)");
+            cached.add_view(&format!("v{i}"), view).unwrap();
+        }
+        let probe = q(&catalog, "Q(x, y) :- Wide(x, y)");
+        let before = cached.label_query(&probe);
+        let stats_before = cached.stats();
+
+        let overflow = q(&catalog, "V(x, y) :- Wide(x, y)");
+        let err = cached.add_view("overflow", overflow).unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::LabelError::TooManyViewsForRelation {
+                relation: "Wide".into(),
+                count: MAX_PACKED_VIEWS_PER_RELATION + 1,
+                limit: MAX_PACKED_VIEWS_PER_RELATION,
+            }
+        );
+        // The rejection is side-effect free: no registry growth, no epoch
+        // bump, no invalidation — and every mask still packs faithfully.
+        assert_eq!(cached.security_views().len(), MAX_PACKED_VIEWS_PER_RELATION);
+        assert_eq!(cached.stats().invalidations, stats_before.invalidations);
+        assert_eq!(cached.label_query(&probe), before);
+        for packed in cached.label_packed(&probe) {
+            assert_eq!(u64::from(packed.mask()), before.atoms()[0].mask);
+        }
+    }
+
+    #[test]
+    fn incremental_view_additions_match_a_fresh_labeler() {
+        let mut cached = CachedLabeler::new(SecurityViews::paper_example());
+        let c = cached.security_views().catalog().clone();
+        let probes = [
+            "Q1(x) :- Meetings(x, 'Cathy')",
+            "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+            "Q(x) :- Meetings(x, y)",
+            "Q(x, y, z) :- Contacts(x, y, z)",
+            "Q() :- Meetings(x, x)",
+        ];
+        let additions = [
+            ("W0", "W0(x) :- Meetings(x, x)"),
+            ("W1", "W1(y) :- Contacts(x, y, z)"),
+            ("W2", "W2(x) :- Meetings(x, 'Cathy')"),
+            ("W3", "W3(x, z) :- Contacts(x, y, z)"),
+        ];
+        for (name, text) in additions {
+            // Warm between mutations so stale entries exist at every step.
+            for text in probes {
+                cached.label_query(&q(&c, text));
+            }
+            cached.add_view(name, q(&c, text)).unwrap();
+        }
+        let fresh = CachedLabeler::new(cached.security_views().clone());
+        let bitvec = BitVectorLabeler::new(cached.security_views().clone());
+        for text in probes {
+            let query = q(&c, text);
+            let incremental = cached.label_query(&query);
+            assert_eq!(incremental, fresh.label_query(&query), "on {text}");
+            assert_eq!(incremental, bitvec.label_query(&query), "on {text}");
+        }
     }
 
     #[test]

@@ -57,7 +57,9 @@ pub mod unify;
 pub use error::{LabelError, Result};
 pub use label::{AtomLabel, DisclosureLabel, PackedLabel, ViewMask};
 pub use labeler::{
-    label_queries_parallel, BaselineLabeler, BitVectorLabeler, CacheStats, CachedLabeler,
-    HashPartitionedLabeler, QueryLabeler,
+    label_queries_parallel, map_chunks_parallel, BaselineLabeler, BitVectorLabeler, CacheStats,
+    CachedLabeler, HashPartitionedLabeler, QueryLabeler,
 };
-pub use security_views::{SecurityViewId, SecurityViews};
+pub use security_views::{
+    SecurityViewId, SecurityViews, MAX_PACKED_VIEWS_PER_RELATION, MAX_VIEWS_PER_RELATION,
+};

@@ -14,14 +14,33 @@ use fdc_cq::{Catalog, ConjunctiveQuery, RelId};
 
 use crate::error::{LabelError, Result};
 
-/// Maximum number of security views per relation supported by the packed
-/// label representation.
+/// Maximum number of security views per relation supported by the in-memory
+/// (unpacked) label representation: the 64-bit
+/// [`ViewMask`](crate::label::ViewMask).
 ///
 /// The paper's implementation packs 32 view bits and a 32-bit relation id
 /// into a single 64-bit integer and notes "there is nothing special about
 /// the number 32"; we keep a full 64-bit mask per atom label and therefore
-/// support 64 views per relation (the evaluation needs at most 16).
+/// support 64 views per relation on the unpacked path (the case study's
+/// per-permission registry needs more than 32).  Registration rejects the
+/// 65th view — the mask would silently overflow otherwise.
 pub const MAX_VIEWS_PER_RELATION: usize = 64;
+
+/// Maximum number of security views per relation supported by the **packed**
+/// 64-bit label representation (Section 6.1: 32 view bits + 32-bit relation
+/// id) — the production serving path end to end
+/// (`CachedLabeler::label_packed` → `PolicyStore::submit_packed`).
+///
+/// Surfaces that feed the packed path enforce this budget at mutation time
+/// (`BitVectorLabeler::add_view`, `CachedLabeler::add_view`, the service's
+/// `AddSecurityView`): admitting a 33rd view there would make
+/// [`AtomLabel::pack`](crate::label::AtomLabel::pack) silently truncate the
+/// mask in release builds and mis-decide every query touching the relation —
+/// the same silent-overflow shape as the seed's missing `MAX_PARTITIONS`
+/// check, fixed the same way (validate before the representation can
+/// overflow).  Registries built for unpacked labeling only (e.g. the case
+/// study's) may still hold up to [`MAX_VIEWS_PER_RELATION`] views.
+pub const MAX_PACKED_VIEWS_PER_RELATION: usize = 32;
 
 /// Identifier of a registered security view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -71,6 +90,9 @@ pub struct SecurityViews {
     views: Vec<SecurityView>,
     by_name: HashMap<String, SecurityViewId>,
     by_relation: HashMap<RelId, Vec<SecurityViewId>>,
+    /// Per-relation version counter of the view universe.  Relations absent
+    /// from the map are at epoch 0.  See [`epoch`](Self::epoch).
+    epochs: HashMap<RelId, u64>,
 }
 
 impl SecurityViews {
@@ -84,6 +106,7 @@ impl SecurityViews {
             views: Vec::new(),
             by_name: HashMap::new(),
             by_relation: HashMap::new(),
+            epochs: HashMap::new(),
         }
     }
 
@@ -111,6 +134,7 @@ impl SecurityViews {
             return Err(LabelError::TooManyViewsForRelation {
                 relation: self.catalog.name(relation).to_owned(),
                 count: per_relation.len() + 1,
+                limit: MAX_VIEWS_PER_RELATION,
             });
         }
         let id = SecurityViewId(self.views.len() as u32);
@@ -123,7 +147,34 @@ impl SecurityViews {
             bit,
         });
         self.by_name.insert(name.to_owned(), id);
+        // The relation's view universe changed: labels computed for atoms
+        // over it are now stale (the new view may answer them).
+        self.bump_epoch(relation);
         Ok(id)
+    }
+
+    /// The epoch (version) of a relation's view universe.
+    ///
+    /// The epoch starts at 0 and advances every time the set of views
+    /// defined over the relation changes ([`add`](Self::add)) or the
+    /// relation is explicitly invalidated ([`bump_epoch`](Self::bump_epoch)).
+    /// Derived artifacts — cached query labels, per-atom `ℓ⁺` masks — record
+    /// the epoch they were computed under and compare it against the current
+    /// one to detect staleness, so a mutation to one relation never touches
+    /// cached work for the others.
+    #[inline]
+    pub fn epoch(&self, relation: RelId) -> u64 {
+        self.epochs.get(&relation).copied().unwrap_or(0)
+    }
+
+    /// Advances the epoch of a relation's view universe, marking every label
+    /// or mask derived for atoms over it as stale.
+    ///
+    /// Called automatically by [`add`](Self::add); exposed for callers that
+    /// invalidate a relation for external reasons (e.g. a changed view
+    /// definition).
+    pub fn bump_epoch(&mut self, relation: RelId) {
+        *self.epochs.entry(relation).or_insert(0) += 1;
     }
 
     /// Registers several views parsed from a datalog program
@@ -173,6 +224,13 @@ impl SecurityViews {
             .get(&relation)
             .map(Vec::as_slice)
             .unwrap_or(&[])
+    }
+
+    /// The view occupying bit position `bit` of `relation`'s label mask, if
+    /// any — the inverse of [`SecurityView::bit`], used to translate
+    /// per-relation permitted masks back into view ids.
+    pub fn view_by_relation_bit(&self, relation: RelId, bit: u32) -> Option<SecurityViewId> {
+        self.views_for_relation(relation).get(bit as usize).copied()
     }
 
     /// Iterates over `(id, view)` pairs in registration order.
@@ -299,6 +357,83 @@ mod tests {
         let mut views = SecurityViews::new(&catalog);
         let err = views.add_program("V(x) :- Ghost(x)").unwrap_err();
         assert!(matches!(err, LabelError::InvalidQuery(_)));
+    }
+
+    #[test]
+    fn epochs_advance_only_for_the_mutated_relation() {
+        let catalog = Catalog::paper_example();
+        let meetings = catalog.resolve("Meetings").unwrap();
+        let contacts = catalog.resolve("Contacts").unwrap();
+        let mut views = SecurityViews::new(&catalog);
+        assert_eq!(views.epoch(meetings), 0);
+        assert_eq!(views.epoch(contacts), 0);
+
+        views
+            .add(
+                "V1",
+                parse_query(&catalog, "V1(x, y) :- Meetings(x, y)").unwrap(),
+            )
+            .unwrap();
+        assert_eq!(views.epoch(meetings), 1);
+        assert_eq!(views.epoch(contacts), 0);
+
+        views
+            .add(
+                "V3",
+                parse_query(&catalog, "V3(x, y, z) :- Contacts(x, y, z)").unwrap(),
+            )
+            .unwrap();
+        assert_eq!(views.epoch(meetings), 1);
+        assert_eq!(views.epoch(contacts), 1);
+
+        // Explicit invalidation advances the epoch without changing views.
+        views.bump_epoch(meetings);
+        assert_eq!(views.epoch(meetings), 2);
+        assert_eq!(views.len(), 2);
+
+        // Rejected registrations leave every epoch untouched.
+        let q = parse_query(&catalog, "V1(x) :- Meetings(x, y)").unwrap();
+        assert!(views.add("V1", q).is_err());
+        assert_eq!(views.epoch(meetings), 2);
+    }
+
+    #[test]
+    fn bits_round_trip_through_view_by_relation_bit() {
+        let views = SecurityViews::paper_example();
+        for (id, view) in views.iter() {
+            assert_eq!(
+                views.view_by_relation_bit(view.relation, view.bit),
+                Some(id)
+            );
+        }
+        let meetings = views.catalog().resolve("Meetings").unwrap();
+        assert_eq!(views.view_by_relation_bit(meetings, 63), None);
+    }
+
+    #[test]
+    fn the_65th_view_is_rejected_with_full_context() {
+        // Regression companion of `per_relation_view_limit_is_enforced`:
+        // the error names the relation, the would-be count and the limit,
+        // and the rejected view leaves the registry untouched.
+        let mut catalog = Catalog::new();
+        catalog.add_relation_with_arity("Wide", 2).unwrap();
+        let mut views = SecurityViews::new(&catalog);
+        for i in 0..MAX_VIEWS_PER_RELATION {
+            let q = parse_query(&catalog, "V(x, y) :- Wide(x, y)").unwrap();
+            views.add(&format!("v{i}"), q).unwrap();
+        }
+        let q = parse_query(&catalog, "V(x, y) :- Wide(x, y)").unwrap();
+        let err = views.add("overflow", q).unwrap_err();
+        assert_eq!(
+            err,
+            LabelError::TooManyViewsForRelation {
+                relation: "Wide".into(),
+                count: MAX_VIEWS_PER_RELATION + 1,
+                limit: MAX_VIEWS_PER_RELATION,
+            }
+        );
+        assert_eq!(views.len(), MAX_VIEWS_PER_RELATION);
+        assert!(views.by_name("overflow").is_none());
     }
 
     #[test]

@@ -9,8 +9,11 @@ use fdc_core::{
     PackedLabel, QueryLabeler, SecurityViews,
 };
 use fdc_cq::ConjunctiveQuery;
+#[allow(deprecated)]
 use fdc_policy::AdmissionPipeline;
+use fdc_service::{DisclosureService, ServiceConfig};
 
+use crate::churn::{ChurnConfig, ChurnGenerator};
 use crate::policies::{PolicyGenerator, PolicyGeneratorConfig};
 use crate::schema::{facebook_catalog, FacebookSchema};
 use crate::views::facebook_security_views;
@@ -89,6 +92,12 @@ impl Ecosystem {
     ///
     /// The labeler is a clone of this ecosystem's caching labeler, so any
     /// already-warmed canonical forms carry over into the pipeline.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `disclosure_service`, which serves the same fused path plus \
+                online policy mutation"
+    )]
+    #[allow(deprecated)]
     pub fn admission_pipeline(
         &self,
         config: PolicyGeneratorConfig,
@@ -101,6 +110,30 @@ impl Ecosystem {
             num_shards,
         );
         AdmissionPipeline::new(self.cached.clone(), store)
+    }
+
+    /// Builds a [`DisclosureService`] — the dynamic front door superseding
+    /// [`admission_pipeline`](Self::admission_pipeline) — with
+    /// `num_principals` randomly generated policies.
+    pub fn disclosure_service(
+        &self,
+        config: PolicyGeneratorConfig,
+        num_principals: usize,
+        service_config: ServiceConfig,
+    ) -> DisclosureService {
+        let mut service = DisclosureService::new(self.views.clone(), service_config);
+        let mut policies = self.policy_generator(config);
+        for _ in 0..num_principals {
+            let policy = policies.next_policy(&self.views);
+            service.register_principal(policy);
+        }
+        service
+    }
+
+    /// A churn-stream generator over this ecosystem's schema and views —
+    /// the operation mix of the Figure 7 dynamic-service experiment.
+    pub fn churn(&self, config: ChurnConfig) -> ChurnGenerator {
+        ChurnGenerator::new(self.schema.clone(), &self.views, config)
     }
 }
 
@@ -219,6 +252,44 @@ mod tests {
     }
 
     #[test]
+    fn the_disclosure_service_agrees_with_the_manual_two_stage_path() {
+        use fdc_policy::PrincipalId;
+        use fdc_service::Operation;
+        let eco = Ecosystem::new();
+        let config = PolicyGeneratorConfig {
+            max_partitions: 5,
+            max_elements_per_partition: 20,
+            template_pool: 16,
+            seed: 11,
+        };
+        let num_principals = 50;
+        let mut service = eco.disclosure_service(config, num_principals, ServiceConfig::default());
+        assert_eq!(service.num_principals(), num_principals);
+
+        let mut flat = eco
+            .policy_generator(config)
+            .build_store(&eco.views, num_principals);
+        let mut workload = eco.workload(WorkloadConfig::base(12));
+        let queries = workload.batch(300);
+        let ops: Vec<Operation> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, query)| Operation::Submit {
+                principal: PrincipalId((i % num_principals) as u32),
+                query: query.clone(),
+            })
+            .collect();
+        let responses = service.run_batch(&ops);
+        for (i, (query, response)) in queries.iter().zip(&responses).enumerate() {
+            let p = PrincipalId((i % num_principals) as u32);
+            let expected = flat.submit(p, &eco.label(query));
+            assert_eq!(response.decision(), Some(expected), "query {i}");
+        }
+        assert_eq!(service.totals(), flat.totals());
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn the_admission_pipeline_agrees_with_the_manual_two_stage_path() {
         use fdc_policy::PrincipalId;
         let eco = Ecosystem::new();

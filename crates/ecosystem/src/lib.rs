@@ -18,17 +18,21 @@
 //!   friends-of-friends / non-friend access, and the uid-join stress mode);
 //! * [`policies`] — the random policy generator used by the Figure 6
 //!   policy-checker experiment;
+//! * [`churn`] — the mixed admission/mutation operation stream of the
+//!   Figure 7 dynamic-service experiment;
 //! * [`Ecosystem`] — a bundle of all of the above plus ready-made labelers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod ecosystem;
 pub mod policies;
 pub mod schema;
 pub mod views;
 pub mod workload;
 
+pub use churn::{ChurnConfig, ChurnGenerator};
 pub use ecosystem::Ecosystem;
 pub use schema::facebook_catalog;
 pub use views::facebook_security_views;

@@ -15,6 +15,7 @@ use fdc_core::{DisclosureLabel, QueryLabeler, SecurityViewId, SecurityViews};
 use fdc_cq::ConjunctiveQuery;
 
 use crate::partition::PolicyPartition;
+use crate::policy::SecurityPolicy;
 
 /// The outcome of auditing one app's requested permissions against its
 /// observed workload.
@@ -66,6 +67,32 @@ impl AuditReport {
             self.uncovered_queries.len()
         )
     }
+}
+
+/// The set of security views a policy requests: the union of the permitted
+/// views across all of its partitions, resolved to ids through the registry.
+///
+/// This is the "requested permissions" input of [`audit_app`] for a
+/// principal registered in a policy store — a live service audits an app by
+/// comparing this set against the app's observed query workload.
+pub fn requested_views(
+    policy: &SecurityPolicy,
+    registry: &SecurityViews,
+) -> BTreeSet<SecurityViewId> {
+    let mut requested = BTreeSet::new();
+    for partition in policy.partitions() {
+        for relation in partition.relations() {
+            let mut mask = partition.permitted_mask(relation);
+            while mask != 0 {
+                let bit = mask.trailing_zeros();
+                mask &= mask - 1;
+                if let Some(id) = registry.view_by_relation_bit(relation, bit) {
+                    requested.insert(id);
+                }
+            }
+        }
+    }
+    requested
 }
 
 /// Audits an app: which of its `requested` permissions does the observed
@@ -178,6 +205,28 @@ mod tests {
         assert!(report.uncovered_queries.is_empty());
         assert!(report.is_overprivileged());
         assert!(report.describe(&registry).contains("(none)"));
+    }
+
+    #[test]
+    fn requested_views_unions_the_policy_partitions() {
+        use crate::partition::PolicyPartition;
+        let (registry, labeler) = setup();
+        let v1 = registry.id_by_name("V1").unwrap();
+        let v2 = registry.id_by_name("V2").unwrap();
+        let v3 = registry.id_by_name("V3").unwrap();
+        let policy = SecurityPolicy::chinese_wall([
+            PolicyPartition::from_views("meetings", &registry, [v1, v2]),
+            PolicyPartition::from_views("contacts", &registry, [v3, v2]),
+        ]);
+        let requested = requested_views(&policy, &registry);
+        assert_eq!(requested, BTreeSet::from([v1, v2, v3]));
+        // Feeding the derived set into the audit works end to end.
+        let catalog = registry.catalog();
+        let workload =
+            vec![fdc_cq::parser::parse_query(catalog, "Q(x) :- Meetings(x, y)").unwrap()];
+        let report = audit_app(&labeler, requested, &workload);
+        assert_eq!(report.unused, BTreeSet::from([v3]));
+        assert!(requested_views(&SecurityPolicy::new(), &registry).is_empty());
     }
 
     #[test]

@@ -261,6 +261,15 @@ struct FlatPolicy {
 /// [`SecurityPolicy`] per distinct compiled form so callers can still
 /// inspect the policy behind an index.
 ///
+/// Under online policy churn (`PolicyStore::grant_view` / `revoke_view`)
+/// mutated policies are **re-interned** through the same entry point:
+/// a grant/revoke that lands on a previously seen compiled form reuses its
+/// entry, and only genuinely new forms append.  Entries are never removed —
+/// real ecosystems draw policies from a bounded preset space, so the arena
+/// converges to the (small) set of forms in circulation rather than growing
+/// with the mutation count; the interning hit counter
+/// ([`hits`](Self::hits)) makes this observable.
+///
 /// Besides the per-policy [`CompiledPolicy`] values, the arena maintains a
 /// *flattened* mirror of every interned policy in one shared `Vec<u64>`:
 /// per relation id `r`, `words[base + 2r]` is the union of the permitted

@@ -42,12 +42,13 @@ pub mod policy;
 pub mod shard;
 pub mod store;
 
-pub use audit::{audit_app, AuditReport};
+pub use audit::{audit_app, requested_views, AuditReport};
 pub use compiled::{
     initial_consistency_word, CompiledPartition, CompiledPolicy, PolicyArena, MAX_PARTITIONS,
 };
 pub use monitor::{Decision, ReferenceMonitor};
 pub use partition::PolicyPartition;
+#[allow(deprecated)]
 pub use pipeline::AdmissionPipeline;
 pub use policy::SecurityPolicy;
 pub use shard::ShardedPolicyStore;

@@ -75,6 +75,19 @@ impl PolicyPartition {
         *self.permitted.entry(view.relation).or_insert(0) |= 1u64 << view.bit;
     }
 
+    /// Withdraws a previously permitted security view (a no-op if the view
+    /// was not permitted).  The online-mutation counterpart of
+    /// [`permit`](Self::permit), used by `RevokeView` operations.
+    pub fn revoke(&mut self, registry: &SecurityViews, id: SecurityViewId) {
+        let view = registry.view(id);
+        if let Some(mask) = self.permitted.get_mut(&view.relation) {
+            *mask &= !(1u64 << view.bit);
+            if *mask == 0 {
+                self.permitted.remove(&view.relation);
+            }
+        }
+    }
+
     /// The mask of permitted views for a relation (0 if none).
     pub fn permitted_mask(&self, relation: RelId) -> ViewMask {
         self.permitted.get(&relation).copied().unwrap_or(0)
@@ -198,6 +211,32 @@ mod tests {
         let p = PolicyPartition::from_views("everything", &registry, all_views);
         let top = DisclosureLabel::from_atoms(vec![AtomLabel::top(meetings)]);
         assert!(!p.allows(&top));
+    }
+
+    #[test]
+    fn revoking_undoes_permitting() {
+        let (_, registry, _) = setup();
+        let v1 = registry.id_by_name("V1").unwrap();
+        let v2 = registry.id_by_name("V2").unwrap();
+        let mut p = PolicyPartition::from_views("p", &registry, [v1, v2]);
+        p.revoke(&registry, v1);
+        assert_eq!(p.num_permitted(), 1);
+        let meetings = registry.catalog().resolve("Meetings").unwrap();
+        assert_eq!(p.permitted_mask(meetings), 0b10);
+        // Revoking an unpermitted view is a no-op; revoking the last view of
+        // a relation empties the partition completely.
+        p.revoke(&registry, v1);
+        p.revoke(&registry, v2);
+        assert!(p.is_empty());
+        assert_eq!(p.relations().count(), 0);
+        // A round-tripped partition equals one never granted the view.
+        let mut granted = PolicyPartition::from_views("q", &registry, [v2]);
+        granted.permit(&registry, v1);
+        granted.revoke(&registry, v1);
+        assert_eq!(
+            granted.permitted_mask(meetings),
+            PolicyPartition::from_views("q", &registry, [v2]).permitted_mask(meetings)
+        );
     }
 
     #[test]

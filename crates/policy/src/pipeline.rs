@@ -1,12 +1,15 @@
 //! The fused admission pipeline: query → cached label → packed decision.
 //!
-//! The serving path of the whole system is two stages: label the incoming
-//! query (Figure 5's problem, solved by the canonical-form
-//! [`CachedLabeler`]) and check the label against the principal's policy
-//! (Figure 6's problem, solved by the interned sharded store).
-//! [`AdmissionPipeline`] fuses them so the label never leaves the packed
-//! 64-bit representation between the stages: a cache hit plus a few bit-mask
-//! operations decides a query end to end.
+//! **Deprecated.** [`AdmissionPipeline`] was the serving front door of
+//! PR 2: a one-shot batch fuse of the caching labeler and the sharded
+//! store, frozen at construction time.  The `fdc-service` crate's
+//! `DisclosureService` supersedes it — same fused hot path, plus online
+//! policy mutation (grant/revoke/view-addition) with epoch-based
+//! incremental relabeling, per-principal audit history, and a mixed
+//! submit/check/mutation request loop.  The pipeline remains as a thin
+//! compatibility wrapper over the same two stages for callers that only
+//! ever admit a frozen workload; new code should construct a
+//! `DisclosureService`.
 //!
 //! Batches run both stages on all cores —
 //! [`CachedLabeler::label_batch_packed`] shards the labeling,
@@ -23,12 +26,18 @@ use crate::store::PrincipalId;
 
 /// A fused query-admission engine: a shared caching labeler in front of a
 /// sharded multi-principal policy store.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by `fdc_service::DisclosureService`, which serves the same \
+            fused path plus online policy mutation with incremental relabeling"
+)]
 #[derive(Debug)]
 pub struct AdmissionPipeline {
     labeler: CachedLabeler,
     store: ShardedPolicyStore,
 }
 
+#[allow(deprecated)]
 impl AdmissionPipeline {
     /// Builds a pipeline from its two stages.
     pub fn new(labeler: CachedLabeler, store: ShardedPolicyStore) -> Self {
@@ -110,6 +119,7 @@ impl AdmissionPipeline {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::partition::PolicyPartition;

@@ -58,6 +58,14 @@ impl SecurityPolicy {
         &self.partitions
     }
 
+    /// Mutable access to the partitions — the grant/revoke mutation path of
+    /// the online stores rewrites permitted view sets in place (the
+    /// partition *count* must not change under an enforcement store; see
+    /// `PolicyStore::replace_policy`).
+    pub fn partitions_mut(&mut self) -> &mut [PolicyPartition] {
+        &mut self.partitions
+    }
+
     /// Number of partitions.
     pub fn len(&self) -> usize {
         self.partitions.len()

@@ -17,7 +17,7 @@
 //! per-principal [`ReferenceMonitor`](crate::ReferenceMonitor)) is asserted
 //! by the property tests.
 
-use fdc_core::{DisclosureLabel, PackedLabel};
+use fdc_core::{DisclosureLabel, PackedLabel, SecurityViewId, SecurityViews};
 
 use crate::monitor::Decision;
 use crate::policy::SecurityPolicy;
@@ -102,6 +102,50 @@ impl ShardedPolicyStore {
         self.shards[shard].consistency_bits(local)
     }
 
+    /// Replaces a principal's policy online, preserving its consistency
+    /// word and counters (see [`PolicyStore::replace_policy`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this store or the partition count
+    /// changes.
+    pub fn replace_policy(&mut self, principal: PrincipalId, policy: SecurityPolicy) {
+        let (shard, local) = self.locate(principal);
+        self.shards[shard].replace_policy(local, policy);
+    }
+
+    /// Grants one more security view to a principal (see
+    /// [`PolicyStore::grant_view`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this store.
+    pub fn grant_view(
+        &mut self,
+        principal: PrincipalId,
+        registry: &SecurityViews,
+        view: SecurityViewId,
+    ) {
+        let (shard, local) = self.locate(principal);
+        self.shards[shard].grant_view(local, registry, view);
+    }
+
+    /// Revokes a security view from a principal (see
+    /// [`PolicyStore::revoke_view`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this store.
+    pub fn revoke_view(
+        &mut self,
+        principal: PrincipalId,
+        registry: &SecurityViews,
+        view: SecurityViewId,
+    ) {
+        let (shard, local) = self.locate(principal);
+        self.shards[shard].revoke_view(local, registry, view);
+    }
+
     /// Submits a query label on behalf of a principal (see
     /// [`PolicyStore::submit`]).
     pub fn submit(&mut self, principal: PrincipalId, label: &DisclosureLabel) -> Decision {
@@ -171,6 +215,75 @@ impl ShardedPolicyStore {
                                 let (principal, label) = batch[i];
                                 let local = PrincipalId((principal.index() / num_shards) as u32);
                                 (i, shard.submit_packed(local, label))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        let mut decisions = vec![Decision::Deny; batch.len()];
+        for shard_decisions in per_shard {
+            for (i, decision) in shard_decisions {
+                decisions[i] = decision;
+            }
+        }
+        decisions
+    }
+
+    /// Decides one packed request, committing only when `commit` is true
+    /// (see [`PolicyStore::decide_packed`]).
+    pub fn decide_packed(
+        &mut self,
+        principal: PrincipalId,
+        label: &[PackedLabel],
+        commit: bool,
+    ) -> Decision {
+        let (shard, local) = self.locate(principal);
+        self.shards[shard].decide_packed(local, label, commit)
+    }
+
+    /// Decides a mixed batch of packed submits (`commit = true`) and checks
+    /// (`commit = false`) with one scoped worker thread per shard, returning
+    /// the decisions in request order.
+    ///
+    /// The generalization of
+    /// [`submit_batch_parallel`](Self::submit_batch_parallel) the service's
+    /// request loop runs on: within a shard, requests are processed in batch
+    /// order, so a check between two submits for the same principal observes
+    /// exactly the state it would under sequential processing.
+    pub fn decide_batch_parallel(
+        &mut self,
+        batch: &[(PrincipalId, &[PackedLabel], bool)],
+    ) -> Vec<Decision> {
+        let num_shards = self.shards.len();
+        if num_shards <= 1 || batch.len() <= 1 {
+            return batch
+                .iter()
+                .map(|(principal, label, commit)| self.decide_packed(*principal, label, *commit))
+                .collect();
+        }
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
+        for (i, (principal, _, _)) in batch.iter().enumerate() {
+            by_shard[principal.index() % num_shards].push(i);
+        }
+        let per_shard: Vec<Vec<(usize, Decision)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(by_shard.iter())
+                .filter(|(_, indices)| !indices.is_empty())
+                .map(|(shard, indices)| {
+                    scope.spawn(move || {
+                        indices
+                            .iter()
+                            .map(|&i| {
+                                let (principal, label, commit) = batch[i];
+                                let local = PrincipalId((principal.index() / num_shards) as u32);
+                                (i, shard.decide_packed(local, label, commit))
                             })
                             .collect::<Vec<_>>()
                     })
@@ -319,6 +432,80 @@ mod tests {
             let p = PrincipalId(i);
             assert_eq!(parallel.consistency_bits(p), sequential.consistency_bits(p));
             assert_eq!(parallel.stats(p), sequential.stats(p));
+        }
+    }
+
+    #[test]
+    fn mixed_parallel_batches_match_sequential_decisions() {
+        let (registry, labeler) = setup();
+        let mut parallel = ShardedPolicyStore::new(4);
+        let mut sequential = ShardedPolicyStore::new(4);
+        for _ in 0..9 {
+            parallel.register(wall(&registry));
+            sequential.register(wall(&registry));
+        }
+        let labels: Vec<Vec<PackedLabel>> = [
+            "Q(x, y) :- Contacts(x, y, z)",
+            "Q(x) :- Meetings(x, y)",
+            "Q(x, y) :- Meetings(x, y)",
+            "Q(x, z) :- Contacts(x, y, z)",
+        ]
+        .iter()
+        .cycle()
+        .take(80)
+        .map(|text| label(&labeler, text).pack())
+        .collect();
+        // Interleave checks (every third request) with submits.
+        let batch: Vec<(PrincipalId, &[PackedLabel], bool)> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (PrincipalId((i % 9) as u32), l.as_slice(), i % 3 != 0))
+            .collect();
+        let expected: Vec<Decision> = batch
+            .iter()
+            .map(|(p, l, commit)| sequential.decide_packed(*p, l, *commit))
+            .collect();
+        assert_eq!(parallel.decide_batch_parallel(&batch), expected);
+        assert_eq!(parallel.totals(), sequential.totals());
+        for i in 0..9 {
+            let p = PrincipalId(i);
+            assert_eq!(parallel.consistency_bits(p), sequential.consistency_bits(p));
+            assert_eq!(parallel.stats(p), sequential.stats(p));
+        }
+    }
+
+    #[test]
+    fn sharded_grants_and_revokes_match_a_flat_store() {
+        let (registry, labeler) = setup();
+        let v1 = registry.id_by_name("V1").unwrap();
+        let v2 = registry.id_by_name("V2").unwrap();
+        let mut flat = PolicyStore::new();
+        let mut sharded = ShardedPolicyStore::new(3);
+        for _ in 0..7 {
+            flat.register(wall(&registry));
+            sharded.register(wall(&registry));
+        }
+        let times = label(&labeler, "Q(x) :- Meetings(x, y)");
+        let full = label(&labeler, "Q(x, y) :- Meetings(x, y)");
+        for i in 0..7 {
+            let p = PrincipalId(i);
+            flat.submit(p, &full);
+            sharded.submit(p, &full);
+            if i % 2 == 0 {
+                flat.revoke_view(p, &registry, v1);
+                sharded.revoke_view(p, &registry, v1);
+            } else {
+                flat.grant_view(p, &registry, v2);
+                sharded.grant_view(p, &registry, v2);
+            }
+        }
+        for i in 0..7 {
+            let p = PrincipalId(i);
+            assert_eq!(flat.submit(p, &times), sharded.submit(p, &times));
+            assert_eq!(flat.submit(p, &full), sharded.submit(p, &full));
+            assert_eq!(flat.consistency_bits(p), sharded.consistency_bits(p));
+            assert_eq!(flat.stats(p), sharded.stats(p));
+            assert_eq!(flat.policy(p), sharded.policy(p));
         }
     }
 

@@ -27,7 +27,7 @@
 //! [`ShardedPolicyStore`](crate::ShardedPolicyStore), which partitions
 //! principals across per-worker stores.
 
-use fdc_core::{DisclosureLabel, PackedLabel};
+use fdc_core::{DisclosureLabel, PackedLabel, SecurityViewId, SecurityViews};
 
 use crate::compiled::PolicyArena;
 use crate::monitor::Decision;
@@ -97,6 +97,85 @@ impl PolicyStore {
             consistent,
         });
         id
+    }
+
+    /// Replaces a principal's policy online, preserving its consistency
+    /// word and counters.
+    ///
+    /// The new policy is compiled and re-interned through the shared arena
+    /// (structurally known policies reuse their entry; genuinely new ones
+    /// are appended), and the principal's record is repointed — an O(policy
+    /// size) mutation that never touches other principals or recomputes any
+    /// label.
+    ///
+    /// The consistency word is carried over bit for bit, so the new policy
+    /// **must have the same number of partitions** in the same declaration
+    /// order: bit `i` keeps meaning "the answered history is below partition
+    /// `i`".  Grants widen only *future* admissions (partitions the history
+    /// already violated stay inconsistent — the monitor keeps no history to
+    /// re-judge) and revokes narrow only future admissions (the already
+    /// answered disclosure cannot be taken back).  This is the documented
+    /// semantics of online permission churn, mirrored by
+    /// [`grant_view`](Self::grant_view) / [`revoke_view`](Self::revoke_view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this store, if the partition count
+    /// changes, or if the policy exceeds
+    /// [`MAX_PARTITIONS`](crate::MAX_PARTITIONS).
+    pub fn replace_policy(&mut self, principal: PrincipalId, policy: SecurityPolicy) {
+        let state = &mut self.states[principal.index()];
+        let old_partitions = self.arena.compiled(state.policy).num_partitions();
+        assert_eq!(
+            policy.len(),
+            old_partitions,
+            "replace_policy must preserve the partition count \
+             (the consistency word is carried over bit for bit)"
+        );
+        state.policy = self.arena.intern(policy);
+    }
+
+    /// Grants one more security view to a principal: every partition of its
+    /// policy gains the view, so whichever wall side the principal has
+    /// committed to can use the new permission.  The consistency word and
+    /// counters are preserved (see [`replace_policy`](Self::replace_policy)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this store.
+    pub fn grant_view(
+        &mut self,
+        principal: PrincipalId,
+        registry: &SecurityViews,
+        view: SecurityViewId,
+    ) {
+        let mut policy = self.policy(principal).clone();
+        for partition in policy.partitions_mut() {
+            partition.permit(registry, view);
+        }
+        self.replace_policy(principal, policy);
+    }
+
+    /// Revokes a security view from a principal: every partition of its
+    /// policy loses the view.  Future queries needing it are refused; the
+    /// consistency word and counters are preserved (already answered
+    /// disclosure cannot be taken back — see
+    /// [`replace_policy`](Self::replace_policy)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this store.
+    pub fn revoke_view(
+        &mut self,
+        principal: PrincipalId,
+        registry: &SecurityViews,
+        view: SecurityViewId,
+    ) {
+        let mut policy = self.policy(principal).clone();
+        for partition in policy.partitions_mut() {
+            partition.revoke(registry, view);
+        }
+        self.replace_policy(principal, policy);
     }
 
     /// Number of registered principals.
@@ -235,6 +314,24 @@ impl PolicyStore {
             Decision::Allow
         } else {
             Decision::Deny
+        }
+    }
+
+    /// Decides one packed request, committing the state change only when
+    /// `commit` is true — [`submit_packed`](Self::submit_packed) and
+    /// [`check_packed`](Self::check_packed) behind one entry point, so a
+    /// mixed stream of submits and checks keeps a single dispatch loop.
+    #[inline]
+    pub fn decide_packed(
+        &mut self,
+        principal: PrincipalId,
+        label: &[PackedLabel],
+        commit: bool,
+    ) -> Decision {
+        if commit {
+            self.submit_packed(principal, label)
+        } else {
+            self.check_packed(principal, label)
         }
     }
 
@@ -439,6 +536,93 @@ mod tests {
             .collect();
         assert_eq!(batched, looped);
         assert_eq!(batch_store.totals(), loop_store.totals());
+    }
+
+    #[test]
+    fn grant_and_revoke_reintern_while_preserving_state() {
+        let (registry, labeler) = setup();
+        let v1 = registry.id_by_name("V1").unwrap();
+        let v2 = registry.id_by_name("V2").unwrap();
+        let v3 = registry.id_by_name("V3").unwrap();
+        let wall = SecurityPolicy::chinese_wall([
+            PolicyPartition::from_views("meetings", &registry, [v1]),
+            PolicyPartition::from_views("contacts", &registry, [v3]),
+        ]);
+        let mut store = PolicyStore::new();
+        let p = store.register(wall.clone());
+        let bystander = store.register(wall);
+        assert_eq!(store.unique_policies(), 1);
+
+        let full = label(&labeler, "Q(x, y) :- Meetings(x, y)");
+        let times = label(&labeler, "Q(x) :- Meetings(x, y)");
+
+        // Commit p to the Meetings side of the wall.
+        assert!(store.submit(p, &full).is_allow());
+        assert_eq!(store.consistency_bits(p), 0b01);
+
+        // Revoke V1: the full Meetings view is no longer permitted, but the
+        // consistency word and counters survive the re-intern untouched.
+        store.revoke_view(p, &registry, v1);
+        assert_eq!(store.consistency_bits(p), 0b01);
+        assert_eq!(store.stats(p), (1, 0));
+        assert!(!store.submit(p, &full).is_allow(), "revoked view must bite");
+        assert!(!store.submit(p, &times).is_allow(), "V2 was never granted");
+
+        // Grant V2: times queries work again, full rows stay revoked.
+        store.grant_view(p, &registry, v2);
+        assert_eq!(store.consistency_bits(p), 0b01);
+        assert!(store.submit(p, &times).is_allow());
+        assert!(!store.submit(p, &full).is_allow());
+        assert_eq!(store.stats(p), (2, 3));
+
+        // The bystander sharing the original policy is untouched, and the
+        // mutated policies were interned as new arena entries.
+        assert!(store.submit(bystander, &full).is_allow());
+        assert_eq!(store.consistency_bits(bystander), 0b01);
+        assert!(store.unique_policies() >= 3);
+
+        // A grant/revoke round trip re-interns back to an existing entry
+        // rather than growing the arena.
+        let entries = store.unique_policies();
+        store.grant_view(p, &registry, v1);
+        store.revoke_view(p, &registry, v1);
+        assert_eq!(store.unique_policies(), entries + 1); // only the +V1 form is new
+    }
+
+    #[test]
+    fn replace_policy_rejects_partition_count_changes() {
+        let (registry, _) = setup();
+        let v1 = registry.id_by_name("V1").unwrap();
+        let mut store = PolicyStore::new();
+        let p = store.register(SecurityPolicy::stateless(PolicyPartition::from_views(
+            "only",
+            &registry,
+            [v1],
+        )));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.replace_policy(p, SecurityPolicy::new());
+        }));
+        assert!(
+            result.is_err(),
+            "changing the partition count must be rejected"
+        );
+    }
+
+    #[test]
+    fn decide_packed_routes_commit_and_check() {
+        let (registry, labeler) = setup();
+        let v1 = registry.id_by_name("V1").unwrap();
+        let mut store = PolicyStore::new();
+        let p = store.register(SecurityPolicy::stateless(PolicyPartition::from_views(
+            "meetings",
+            &registry,
+            [v1],
+        )));
+        let packed = label(&labeler, "Q(x, y) :- Meetings(x, y)").pack();
+        assert!(store.decide_packed(p, &packed, false).is_allow());
+        assert_eq!(store.stats(p), (0, 0), "checks must not commit");
+        assert!(store.decide_packed(p, &packed, true).is_allow());
+        assert_eq!(store.stats(p), (1, 0));
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! The dynamic disclosure-control service.
+//!
+//! The paper's app-ecosystem setting is inherently dynamic: users grant and
+//! revoke permissions and administrators evolve the generating set `Fgen`
+//! while queries keep arriving.  The earlier layers of this repository
+//! solved the two static problems — high-throughput labeling (Figure 5,
+//! `fdc-core`) and high-throughput enforcement (Figure 6, `fdc-policy`) —
+//! but froze the world at construction time.  This crate adds the missing
+//! piece: a long-running [`DisclosureService`] that absorbs policy and
+//! view-universe churn **without recomputing the world**.
+//!
+//! The mechanism is per-relation **epoch versioning** threaded down the
+//! stack:
+//!
+//! * the `SecurityViews` registry versions each relation's view universe;
+//! * the `CachedLabeler`'s canonical-form caches tag every entry with the
+//!   epochs it was computed under and lazily re-derive just the stale atoms
+//!   (folding and dissection never re-run for a cached shape);
+//! * the policy stores re-intern a principal's compiled policy on
+//!   grant/revoke while preserving its consistency word and counters.
+//!
+//! The service multiplexes all of it behind one [`Operation`] stream and a
+//! sharded scoped-thread request loop
+//! ([`run_batch`](DisclosureService::run_batch)).  The Figure 7 benchmark
+//! (`fig7_json`) measures the payoff: at realistic mutation:query ratios,
+//! incremental relabeling sustains a large multiple of the throughput of
+//! the flush-on-mutation baseline ([`InvalidationMode::FlushOnMutation`]).
+//!
+//! The old one-shot `fdc_policy::AdmissionPipeline` is deprecated in favor
+//! of this service.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ops;
+pub mod service;
+
+pub use ops::{Operation, Response, ServiceError};
+pub use service::{DisclosureService, InvalidationMode, ServiceConfig, ServiceStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdc_core::{BitVectorLabeler, QueryLabeler, SecurityViews};
+    use fdc_cq::parser::parse_query;
+    use fdc_cq::ConjunctiveQuery;
+    use fdc_policy::{Decision, PolicyPartition, PrincipalId, SecurityPolicy};
+
+    fn wall(registry: &SecurityViews) -> SecurityPolicy {
+        let v1 = registry.id_by_name("V1").unwrap();
+        let v3 = registry.id_by_name("V3").unwrap();
+        SecurityPolicy::chinese_wall([
+            PolicyPartition::from_views("meetings", registry, [v1]),
+            PolicyPartition::from_views("contacts", registry, [v3]),
+        ])
+    }
+
+    fn service(principals: usize) -> DisclosureService {
+        let registry = SecurityViews::paper_example();
+        let mut service = DisclosureService::with_defaults(registry.clone());
+        for _ in 0..principals {
+            service.register_principal(wall(&registry));
+        }
+        service
+    }
+
+    fn q(service: &DisclosureService, text: &str) -> ConjunctiveQuery {
+        parse_query(service.registry().catalog(), text).unwrap()
+    }
+
+    #[test]
+    fn the_service_walks_the_chinese_wall() {
+        let mut service = service(1);
+        let p = PrincipalId(0);
+        let meetings = q(&service, "Q(x, y) :- Meetings(x, y)");
+        let contacts = q(&service, "Q(x, y, z) :- Contacts(x, y, z)");
+        assert_eq!(service.check(p, &meetings), Ok(Decision::Allow));
+        assert_eq!(service.submit(p, &meetings), Ok(Decision::Allow));
+        assert_eq!(service.check(p, &contacts), Ok(Decision::Deny));
+        assert_eq!(service.submit(p, &contacts), Ok(Decision::Deny));
+        assert_eq!(service.totals(), (1, 1));
+        assert_eq!(service.stats().admissions, 4);
+    }
+
+    #[test]
+    fn grants_and_revokes_take_effect_at_their_stream_position() {
+        let mut service = service(1);
+        let p = PrincipalId(0);
+        let times = q(&service, "Q(x) :- Meetings(x, y)");
+        let full = q(&service, "Q(x, y) :- Meetings(x, y)");
+
+        // V1 permits both shapes; revoke it, grant only V2 (times).
+        let ops = vec![
+            Operation::Submit {
+                principal: p,
+                query: full.clone(),
+            },
+            Operation::RevokeView {
+                principal: p,
+                view: "V1".into(),
+            },
+            Operation::Submit {
+                principal: p,
+                query: full.clone(),
+            },
+            Operation::GrantView {
+                principal: p,
+                view: "V2".into(),
+            },
+            Operation::Submit {
+                principal: p,
+                query: times.clone(),
+            },
+            Operation::Submit {
+                principal: p,
+                query: full.clone(),
+            },
+        ];
+        let responses = service.run_batch(&ops);
+        let decisions: Vec<Option<Decision>> = responses.iter().map(Response::decision).collect();
+        assert_eq!(
+            decisions,
+            vec![
+                Some(Decision::Allow), // full rows via V1
+                None,                  // revoke V1
+                Some(Decision::Deny),  // full rows now refused
+                None,                  // grant V2
+                Some(Decision::Allow), // times via V2
+                Some(Decision::Deny),  // full rows still refused
+            ]
+        );
+        assert_eq!(responses[1], Response::PolicyUpdated);
+        assert_eq!(service.stats().mutations, 2);
+        // Incremental mode never flushes on policy mutations.
+        assert_eq!(service.stats().flushes, 0);
+    }
+
+    #[test]
+    fn add_security_view_changes_labels_online() {
+        let registry = SecurityViews::paper_example();
+        let mut service = DisclosureService::with_defaults(registry.clone());
+        // A principal whose only permission is the (not yet existing) V4.
+        let p = service.register_principal(SecurityPolicy::new());
+        let contacts_pair = q(&service, "Q(x, y) :- Contacts(x, y, z)");
+        // Warm the cache: denied (empty policy) — and label it once.
+        assert_eq!(service.submit(p, &contacts_pair), Ok(Decision::Deny));
+
+        let v4 = parse_query(registry.catalog(), "V4(x, y) :- Contacts(x, y, z)").unwrap();
+        let response = service.apply(&Operation::AddSecurityView {
+            name: "V4".into(),
+            query: v4,
+        });
+        let Response::ViewAdded(id) = response else {
+            panic!("expected ViewAdded, got {response:?}");
+        };
+        // The incrementally relabeled query now includes V4's bit — exactly
+        // as a labeler built fresh from the final registry computes it.
+        let fresh = BitVectorLabeler::new(service.registry().clone());
+        let incremental = {
+            use fdc_core::QueryLabeler as _;
+            service.labeler().label_query(&contacts_pair)
+        };
+        assert_eq!(incremental, fresh.label_query(&contacts_pair));
+        assert!(incremental.atoms()[0]
+            .views(service.registry())
+            .contains(&id));
+        assert!(service.labeler().stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn over_budget_view_additions_are_rejected_without_side_effects() {
+        // Regression for the satellite bugfix: the 33rd view of one relation
+        // would overflow the 32-bit packed mask, so the service must reject
+        // it and leave caches, epochs and decisions untouched.
+        let mut service = service(1);
+        let p = PrincipalId(0);
+        let meetings_rel = service.registry().catalog().resolve("Meetings").unwrap();
+        let query_text = "Q(x) :- Meetings(x, y)";
+        let probe = q(&service, query_text);
+        service.submit(p, &probe).unwrap();
+
+        // Fill the Meetings relation up to the 32-view budget (2 exist).
+        for i in 0..30 {
+            let view = q(&service, "V(x, y) :- Meetings(x, y)");
+            let response = service.apply(&Operation::AddSecurityView {
+                name: format!("fill{i}"),
+                query: view,
+            });
+            assert!(!response.is_rejected(), "view {i} must fit: {response:?}");
+        }
+        let epoch_before = service.registry().epoch(meetings_rel);
+        let stats_before = service.labeler().stats();
+        let overflow = q(&service, "V(x, y) :- Meetings(x, y)");
+        let response = service.apply(&Operation::AddSecurityView {
+            name: "overflow".into(),
+            query: overflow,
+        });
+        assert!(
+            matches!(
+                response,
+                Response::Rejected(ServiceError::InvalidView(
+                    fdc_core::LabelError::TooManyViewsForRelation { .. }
+                ))
+            ),
+            "got {response:?}"
+        );
+        // No epoch bump, no invalidation, no registry growth.
+        assert_eq!(service.registry().epoch(meetings_rel), epoch_before);
+        assert_eq!(
+            service.labeler().stats().invalidations,
+            stats_before.invalidations
+        );
+        assert!(service.registry().by_name("overflow").is_none());
+        // Every label mask still packs faithfully (bit < 32).
+        let label = {
+            use fdc_core::QueryLabeler as _;
+            service.labeler().label_query(&probe)
+        };
+        assert!(label.atoms()[0].mask <= u64::from(u32::MAX));
+    }
+
+    #[test]
+    fn unknown_principals_and_views_are_rejected() {
+        let mut service = service(1);
+        let ghost = PrincipalId(42);
+        let query = q(&service, "Q(x) :- Meetings(x, y)");
+        assert_eq!(
+            service.submit(ghost, &query),
+            Err(ServiceError::UnknownPrincipal(ghost))
+        );
+        assert_eq!(
+            service.grant_view(PrincipalId(0), "nonsense"),
+            Err(ServiceError::UnknownView("nonsense".into()))
+        );
+        // Batch path answers the rejection in position without panicking.
+        let responses = service.run_batch(&[
+            Operation::Submit {
+                principal: ghost,
+                query: query.clone(),
+            },
+            Operation::Submit {
+                principal: PrincipalId(0),
+                query,
+            },
+        ]);
+        assert!(responses[0].is_rejected());
+        assert_eq!(responses[1].decision(), Some(Decision::Allow));
+    }
+
+    #[test]
+    fn audits_compare_requested_permissions_against_observed_workload() {
+        let registry = SecurityViews::paper_example();
+        let mut service = DisclosureService::with_defaults(registry.clone());
+        let v1 = registry.id_by_name("V1").unwrap();
+        let v3 = registry.id_by_name("V3").unwrap();
+        // One partition requesting both sides.
+        let p = service.register_principal(SecurityPolicy::stateless(PolicyPartition::from_views(
+            "all",
+            &registry,
+            [v1, v3],
+        )));
+        // The observed workload only ever touches Meetings.
+        let meetings = q(&service, "Q(x, y) :- Meetings(x, y)");
+        for _ in 0..3 {
+            service.submit(p, &meetings).unwrap();
+        }
+        let report = service.audit_app(p).unwrap();
+        assert!(report.is_overprivileged());
+        assert!(report.unused.contains(&v3));
+        assert!(report.used.contains(&v1));
+        assert!(report.uncovered_queries.is_empty());
+        assert_eq!(service.stats().audits, 1);
+
+        // The AuditApp operation returns the same report.
+        let response = service.apply(&Operation::AuditApp { principal: p });
+        assert_eq!(response, Response::Audit(report));
+    }
+
+    #[test]
+    fn auditing_requires_a_history() {
+        let registry = SecurityViews::paper_example();
+        let mut service = DisclosureService::new(
+            registry.clone(),
+            ServiceConfig {
+                history_cap: 0,
+                ..ServiceConfig::default()
+            },
+        );
+        let p = service.register_principal(wall(&registry));
+        let query = q(&service, "Q(x) :- Meetings(x, y)");
+        service.submit(p, &query).unwrap();
+        assert_eq!(service.audit_app(p), Err(ServiceError::AuditingDisabled));
+    }
+
+    #[test]
+    fn history_is_bounded_by_the_configured_cap() {
+        let registry = SecurityViews::paper_example();
+        let mut service = DisclosureService::new(
+            registry.clone(),
+            ServiceConfig {
+                history_cap: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let v3 = registry.id_by_name("V3").unwrap();
+        let p = service.register_principal(SecurityPolicy::stateless(PolicyPartition::from_views(
+            "contacts",
+            &registry,
+            [v3],
+        )));
+        let contacts = q(&service, "Q(x, y, z) :- Contacts(x, y, z)");
+        // Five submissions, but only the last two are retained: an early
+        // Meetings-shaped submission ages out of the audit window.
+        let meetings = q(&service, "Q(x) :- Meetings(x, y)");
+        service.submit(p, &meetings).unwrap();
+        for _ in 0..4 {
+            service.submit(p, &contacts).unwrap();
+        }
+        let report = service.audit_app(p).unwrap();
+        // The aged-out Meetings query no longer shows up as uncovered.
+        assert!(report.uncovered_queries.is_empty());
+        assert!(report.is_tight());
+    }
+
+    #[test]
+    fn batched_and_sequential_processing_agree() {
+        let registry = SecurityViews::paper_example();
+        let texts = [
+            "Q(x, y) :- Meetings(x, y)",
+            "Q(x, y, z) :- Contacts(x, y, z)",
+            "Q(x) :- Meetings(x, y)",
+            "Q(x, z) :- Contacts(x, y, z)",
+        ];
+        let catalog = registry.catalog().clone();
+        let mut ops = Vec::new();
+        for i in 0..60 {
+            let principal = PrincipalId((i % 5) as u32);
+            let query = parse_query(&catalog, texts[i % texts.len()]).unwrap();
+            ops.push(if i % 7 == 3 {
+                Operation::Check { principal, query }
+            } else {
+                Operation::Submit { principal, query }
+            });
+            if i % 13 == 6 {
+                ops.push(Operation::GrantView {
+                    principal,
+                    view: "V2".into(),
+                });
+            }
+            if i % 17 == 9 {
+                ops.push(Operation::RevokeView {
+                    principal,
+                    view: "V1".into(),
+                });
+            }
+        }
+        let mut batched = service(5);
+        let mut sequential = service(5);
+        let batch_responses = batched.run_batch(&ops);
+        let sequential_responses: Vec<Response> =
+            ops.iter().map(|op| sequential.apply(op)).collect();
+        assert_eq!(batch_responses, sequential_responses);
+        assert_eq!(batched.totals(), sequential.totals());
+        for i in 0..5 {
+            let p = PrincipalId(i);
+            assert_eq!(
+                batched.store().consistency_bits(p),
+                sequential.store().consistency_bits(p)
+            );
+            assert_eq!(batched.store().stats(p), sequential.store().stats(p));
+        }
+    }
+
+    #[test]
+    fn flush_mode_decides_identically_but_flushes() {
+        let registry = SecurityViews::paper_example();
+        let mut incremental = DisclosureService::new(
+            registry.clone(),
+            ServiceConfig {
+                num_shards: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let mut flushing = DisclosureService::new(
+            registry.clone(),
+            ServiceConfig {
+                num_shards: 2,
+                invalidation: InvalidationMode::FlushOnMutation,
+                ..ServiceConfig::default()
+            },
+        );
+        for _ in 0..3 {
+            incremental.register_principal(wall(&registry));
+            flushing.register_principal(wall(&registry));
+        }
+        let catalog = registry.catalog().clone();
+        let mut ops = Vec::new();
+        for i in 0..40 {
+            let principal = PrincipalId((i % 3) as u32);
+            ops.push(Operation::Submit {
+                principal,
+                query: parse_query(&catalog, "Q(x) :- Meetings(x, y)").unwrap(),
+            });
+            if i == 20 {
+                ops.push(Operation::GrantView {
+                    principal,
+                    view: "V2".into(),
+                });
+            }
+        }
+        assert_eq!(incremental.run_batch(&ops), flushing.run_batch(&ops));
+        assert_eq!(incremental.stats().flushes, 0);
+        assert_eq!(flushing.stats().flushes, 1);
+        // The incremental service kept its cache across the mutation.
+        assert!(incremental.labeler().stats().entries > 0);
+    }
+}

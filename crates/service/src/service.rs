@@ -1,0 +1,448 @@
+//! The concurrent disclosure-control front door.
+
+use std::collections::VecDeque;
+
+use fdc_core::{
+    CachedLabeler, PackedLabel, QueryLabeler, SecurityViews, MAX_PACKED_VIEWS_PER_RELATION,
+};
+use fdc_cq::{ConjunctiveQuery, RelId};
+use fdc_policy::{
+    audit_app, requested_views, AuditReport, Decision, PrincipalId, SecurityPolicy,
+    ShardedPolicyStore,
+};
+
+use crate::ops::{Operation, Response, ServiceError};
+
+/// How the service reconciles its label caches with online mutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InvalidationMode {
+    /// Per-relation epoch tracking: a view-universe change to relation `R`
+    /// bumps only `R`'s epoch, and cached labels lazily re-derive just
+    /// their stale atoms.  Policy grants/revokes never touch the label
+    /// caches at all (labels do not depend on policies).  This is the
+    /// production mode.
+    #[default]
+    Incremental,
+    /// Flush the entire label cache on **every** mutation — the
+    /// conservative strategy a service without dependency tracking must
+    /// adopt ("something about disclosure control changed, recompute the
+    /// world").  Kept as the Figure 7 baseline; every flush forces the full
+    /// labeling pipeline to re-run for each distinct query shape until the
+    /// cache re-warms.
+    FlushOnMutation,
+}
+
+/// Configuration of a [`DisclosureService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Number of policy shards (and labeling worker threads) the request
+    /// loop fans admission runs across.  `0` means "the host's available
+    /// parallelism".
+    pub num_shards: usize,
+    /// Per-principal cap on the observed-workload history that backs
+    /// `AuditApp` (a bounded FIFO of recently submitted queries).  `0`
+    /// disables history recording — and with it auditing — for
+    /// memory-critical deployments.
+    pub history_cap: usize,
+    /// Cache-invalidation strategy; see [`InvalidationMode`].
+    pub invalidation: InvalidationMode,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            num_shards: 0,
+            history_cap: 1024,
+            invalidation: InvalidationMode::Incremental,
+        }
+    }
+}
+
+/// Service-level counters, complementing the labeler's
+/// [`CacheStats`](fdc_core::CacheStats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Admissions served (submits + checks that reached a decision).
+    pub admissions: u64,
+    /// Mutations applied (grants + revokes + view additions).
+    pub mutations: u64,
+    /// Full label-cache flushes performed (only in
+    /// [`InvalidationMode::FlushOnMutation`]).
+    pub flushes: u64,
+    /// Audits served.
+    pub audits: u64,
+}
+
+/// The single front door of the disclosure-control system.
+///
+/// A `DisclosureService` owns the three moving parts the static pipeline of
+/// PR 2 kept frozen — the [`SecurityViews`] registry (inside the labeler),
+/// the epoch-aware [`CachedLabeler`] and the [`ShardedPolicyStore`] — and
+/// serves a mixed stream of admissions, policy mutations, view-universe
+/// mutations and audits:
+///
+/// * **Admissions** (`Submit` / `Check`) run the fused hot path: canonical
+///   cache hit → packed label → bit-mask decision.
+///   [`run_batch`](Self::run_batch) executes maximal admission runs on scoped worker
+///   threads — labeling sharded over the shared cache, decisions sharded by
+///   principal — exactly like the old `AdmissionPipeline`, which this
+///   service supersedes.
+/// * **Policy mutations** (`GrantView` / `RevokeView`) re-intern the
+///   principal's compiled policy while preserving its consistency word and
+///   counters; the label caches are untouched (labels do not depend on
+///   policies), so a grant is an O(policy size) operation however warm the
+///   cache is.
+/// * **View-universe mutations** (`AddSecurityView`) register the view
+///   online and bump only the affected relation's epoch: cached labels over
+///   other relations keep hitting, and stale entries re-derive just their
+///   stale atoms on next use ([`InvalidationMode::Incremental`]).
+/// * **Audits** (`AuditApp`) compare a principal's requested permissions
+///   (derived from its live policy) against its observed workload (a
+///   bounded per-principal history of submitted queries), surfacing
+///   overprivileged apps exactly as Section 2.2 envisions.
+///
+/// Mutations take effect at their position in the stream: a grant between
+/// two submits is observed by the second and not the first, which is what
+/// makes the request loop's run-splitting equivalent to strictly sequential
+/// processing (asserted by the property tests).
+#[derive(Debug)]
+pub struct DisclosureService {
+    labeler: CachedLabeler,
+    store: ShardedPolicyStore,
+    /// Per-principal FIFO of recently submitted queries (capped at
+    /// `config.history_cap`), the observed workload `AuditApp` audits
+    /// against.  Empty vectors when history is disabled.
+    history: Vec<VecDeque<ConjunctiveQuery>>,
+    config: ServiceConfig,
+    stats: ServiceStats,
+}
+
+impl DisclosureService {
+    /// Builds a service over a security-view registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any relation of the registry already exceeds the packed
+    /// per-relation view budget
+    /// ([`MAX_PACKED_VIEWS_PER_RELATION`] = 32): the service serves the
+    /// packed 64-bit label path end to end, where wider masks would
+    /// silently truncate.
+    pub fn new(views: SecurityViews, config: ServiceConfig) -> Self {
+        for r in 0..views.catalog().len() {
+            let relation = RelId(r as u32);
+            assert!(
+                views.views_for_relation(relation).len() <= MAX_PACKED_VIEWS_PER_RELATION,
+                "relation `{}` exceeds the {MAX_PACKED_VIEWS_PER_RELATION}-view packed budget; \
+                 wide registries must stay on the unpacked labelers",
+                views.catalog().name(relation)
+            );
+        }
+        let num_shards = if config.num_shards == 0 {
+            available_threads()
+        } else {
+            config.num_shards
+        };
+        DisclosureService {
+            labeler: CachedLabeler::new(views),
+            store: ShardedPolicyStore::new(num_shards),
+            history: Vec::new(),
+            config: ServiceConfig {
+                num_shards,
+                ..config
+            },
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// Builds a service with the default configuration.
+    pub fn with_defaults(views: SecurityViews) -> Self {
+        DisclosureService::new(views, ServiceConfig::default())
+    }
+
+    /// Registers a principal with its policy and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy has more than
+    /// [`MAX_PARTITIONS`](fdc_policy::MAX_PARTITIONS) partitions.
+    pub fn register_principal(&mut self, policy: SecurityPolicy) -> PrincipalId {
+        let id = self.store.register(policy);
+        self.history.push(VecDeque::new());
+        id
+    }
+
+    /// The security-view registry (owned by the labeling stage).
+    pub fn registry(&self) -> &SecurityViews {
+        self.labeler.security_views()
+    }
+
+    /// The labeling stage, for cache statistics and direct labeling.
+    pub fn labeler(&self) -> &CachedLabeler {
+        &self.labeler
+    }
+
+    /// The enforcement stage.
+    pub fn store(&self) -> &ShardedPolicyStore {
+        &self.store
+    }
+
+    /// The effective configuration (with `num_shards` resolved).
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// Service-level operation counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Number of registered principals.
+    pub fn num_principals(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Total `(answered, refused)` across all principals.
+    pub fn totals(&self) -> (u64, u64) {
+        self.store.totals()
+    }
+
+    fn validate_principal(&self, principal: PrincipalId) -> Result<(), ServiceError> {
+        if principal.index() < self.store.len() {
+            Ok(())
+        } else {
+            Err(ServiceError::UnknownPrincipal(principal))
+        }
+    }
+
+    /// Records a submitted query into the principal's observed workload.
+    fn record(&mut self, principal: PrincipalId, query: &ConjunctiveQuery) {
+        if self.config.history_cap == 0 {
+            return;
+        }
+        let log = &mut self.history[principal.index()];
+        if log.len() == self.config.history_cap {
+            log.pop_front();
+        }
+        log.push_back(query.clone());
+    }
+
+    /// Flushes the label cache if the service runs in
+    /// [`InvalidationMode::FlushOnMutation`].  Entries are dropped but the
+    /// labeler's counters accumulate across flushes, so the baseline's
+    /// re-warming cost stays visible in `labeler().stats()`.
+    fn after_mutation(&mut self) {
+        self.stats.mutations += 1;
+        if self.config.invalidation == InvalidationMode::FlushOnMutation {
+            self.labeler.clear_entries();
+            self.stats.flushes += 1;
+        }
+    }
+
+    /// Admits (and commits) one query on behalf of a principal.
+    pub fn submit(
+        &mut self,
+        principal: PrincipalId,
+        query: &ConjunctiveQuery,
+    ) -> Result<Decision, ServiceError> {
+        self.validate_principal(principal)?;
+        self.stats.admissions += 1;
+        let packed = self.labeler.label_packed(query);
+        let decision = self.store.submit_packed(principal, &packed);
+        self.record(principal, query);
+        Ok(decision)
+    }
+
+    /// Pure check: would this query be admitted right now?
+    pub fn check(
+        &mut self,
+        principal: PrincipalId,
+        query: &ConjunctiveQuery,
+    ) -> Result<Decision, ServiceError> {
+        self.validate_principal(principal)?;
+        self.stats.admissions += 1;
+        let packed = self.labeler.label_packed(query);
+        Ok(self.store.check_packed(principal, &packed))
+    }
+
+    /// Grants a security view (by name) to a principal.
+    pub fn grant_view(&mut self, principal: PrincipalId, view: &str) -> Result<(), ServiceError> {
+        self.validate_principal(principal)?;
+        let id = self
+            .registry()
+            .id_by_name(view)
+            .ok_or_else(|| ServiceError::UnknownView(view.to_owned()))?;
+        self.store
+            .grant_view(principal, self.labeler.security_views(), id);
+        self.after_mutation();
+        Ok(())
+    }
+
+    /// Revokes a security view (by name) from a principal.
+    pub fn revoke_view(&mut self, principal: PrincipalId, view: &str) -> Result<(), ServiceError> {
+        self.validate_principal(principal)?;
+        let id = self
+            .registry()
+            .id_by_name(view)
+            .ok_or_else(|| ServiceError::UnknownView(view.to_owned()))?;
+        self.store
+            .revoke_view(principal, self.labeler.security_views(), id);
+        self.after_mutation();
+        Ok(())
+    }
+
+    /// Registers a new security view online.
+    ///
+    /// In [`InvalidationMode::Incremental`] only the view's relation is
+    /// invalidated; rejected registrations (duplicate name, multi-atom
+    /// definition, the relation's 32-view packed budget) leave every cache,
+    /// epoch and policy untouched.
+    pub fn add_security_view(
+        &mut self,
+        name: &str,
+        query: ConjunctiveQuery,
+    ) -> Result<fdc_core::SecurityViewId, ServiceError> {
+        let id = self.labeler.add_view(name, query)?;
+        self.after_mutation();
+        Ok(id)
+    }
+
+    /// Audits a principal: its requested permissions (the union of its
+    /// policy's permitted views, live) against its observed workload.
+    pub fn audit_app(&mut self, principal: PrincipalId) -> Result<AuditReport, ServiceError> {
+        self.validate_principal(principal)?;
+        if self.config.history_cap == 0 {
+            return Err(ServiceError::AuditingDisabled);
+        }
+        self.stats.audits += 1;
+        let requested = requested_views(self.store.policy(principal), self.registry());
+        let workload: Vec<ConjunctiveQuery> =
+            self.history[principal.index()].iter().cloned().collect();
+        Ok(audit_app(&self.labeler, requested, &workload))
+    }
+
+    /// Applies one operation sequentially.
+    pub fn apply(&mut self, op: &Operation) -> Response {
+        match op {
+            Operation::Submit { principal, query } => match self.submit(*principal, query) {
+                Ok(decision) => Response::Decision(decision),
+                Err(err) => Response::Rejected(err),
+            },
+            Operation::Check { principal, query } => match self.check(*principal, query) {
+                Ok(decision) => Response::Decision(decision),
+                Err(err) => Response::Rejected(err),
+            },
+            Operation::GrantView { principal, view } => match self.grant_view(*principal, view) {
+                Ok(()) => Response::PolicyUpdated,
+                Err(err) => Response::Rejected(err),
+            },
+            Operation::RevokeView { principal, view } => match self.revoke_view(*principal, view) {
+                Ok(()) => Response::PolicyUpdated,
+                Err(err) => Response::Rejected(err),
+            },
+            Operation::AddSecurityView { name, query } => {
+                match self.add_security_view(name, query.clone()) {
+                    Ok(id) => Response::ViewAdded(id),
+                    Err(err) => Response::Rejected(err),
+                }
+            }
+            Operation::AuditApp { principal } => match self.audit_app(*principal) {
+                Ok(report) => Response::Audit(report),
+                Err(err) => Response::Rejected(err),
+            },
+        }
+    }
+
+    /// Serves a batch of operations, returning one response per operation
+    /// in request order.
+    ///
+    /// This is the service's request loop: maximal runs of admissions
+    /// (`Submit` / `Check`) execute on the sharded scoped-thread path —
+    /// labeling fans out over worker threads sharing the epoch-aware cache,
+    /// decisions fan out one worker per policy shard — and mutations /
+    /// audits apply sequentially at their position, splitting the runs.
+    /// The responses (and all per-principal state) equal strictly
+    /// sequential [`apply`](Self::apply) processing; the test suite and the
+    /// `incremental_relabel` property test assert this.
+    pub fn run_batch(&mut self, ops: &[Operation]) -> Vec<Response> {
+        let mut responses: Vec<Option<Response>> = vec![None; ops.len()];
+        // (op index, principal, query, commit) of the pending admission run.
+        let mut run: Vec<(usize, PrincipalId, &ConjunctiveQuery, bool)> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Operation::Submit { principal, query } => {
+                    run.push((i, *principal, query, true));
+                }
+                Operation::Check { principal, query } => {
+                    run.push((i, *principal, query, false));
+                }
+                _ => {
+                    self.flush_run(&mut run, &mut responses);
+                    responses[i] = Some(self.apply(op));
+                }
+            }
+        }
+        self.flush_run(&mut run, &mut responses);
+        responses
+            .into_iter()
+            .map(|r| r.expect("every operation answered"))
+            .collect()
+    }
+
+    /// Executes one pending admission run on the parallel path.
+    fn flush_run(
+        &mut self,
+        run: &mut Vec<(usize, PrincipalId, &ConjunctiveQuery, bool)>,
+        responses: &mut [Option<Response>],
+    ) {
+        if run.is_empty() {
+            return;
+        }
+        // Unknown principals answer immediately and drop out of the batch.
+        let mut valid: Vec<(usize, PrincipalId, &ConjunctiveQuery, bool)> =
+            Vec::with_capacity(run.len());
+        for &(i, principal, query, commit) in run.iter() {
+            match self.validate_principal(principal) {
+                Ok(()) => valid.push((i, principal, query, commit)),
+                Err(err) => responses[i] = Some(Response::Rejected(err)),
+            }
+        }
+        self.stats.admissions += valid.len() as u64;
+        // Stage 1: label every query in parallel through the shared cache.
+        let queries: Vec<&ConjunctiveQuery> = valid.iter().map(|(_, _, q, _)| *q).collect();
+        let packed = label_packed_parallel(&self.labeler, &queries, self.config.num_shards);
+        // Stage 2: decide the mixed submit/check batch, one worker per shard.
+        let batch: Vec<(PrincipalId, &[PackedLabel], bool)> = valid
+            .iter()
+            .zip(&packed)
+            .map(|(&(_, principal, _, commit), label)| (principal, label.as_slice(), commit))
+            .collect();
+        let decisions = self.store.decide_batch_parallel(&batch);
+        for (&(i, principal, query, commit), decision) in valid.iter().zip(decisions) {
+            if commit {
+                self.record(principal, query);
+            }
+            responses[i] = Some(Response::Decision(decision));
+        }
+        run.clear();
+    }
+}
+
+/// Labels a batch of queries (by reference) in parallel on up to `threads`
+/// scoped worker threads sharing the labeler's caches, returning the packed
+/// labels in input order.
+fn label_packed_parallel(
+    labeler: &CachedLabeler,
+    queries: &[&ConjunctiveQuery],
+    threads: usize,
+) -> Vec<Vec<PackedLabel>> {
+    let per_chunk: Vec<Vec<Vec<PackedLabel>>> =
+        fdc_core::map_chunks_parallel(queries, threads, |chunk| {
+            chunk.iter().map(|q| labeler.label_packed(q)).collect()
+        });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// The host's available parallelism, with a serial fallback.
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}

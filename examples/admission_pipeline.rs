@@ -2,7 +2,13 @@
 //! decisions come out, and the label never leaves the packed 64-bit form
 //! between the caching labeler and the sharded, interned policy store.
 //!
+//! The `AdmissionPipeline` is deprecated in favor of
+//! `fdc::service::DisclosureService` (same fused path plus online policy
+//! mutation — see `examples/dynamic_service.rs`); this example sticks with
+//! the wrapper to document the frozen-workload compatibility path.
+//!
 //! Run with `cargo run --release --example admission_pipeline`.
+#![allow(deprecated)]
 
 use std::time::Instant;
 

@@ -7,11 +7,19 @@
 //! A photo browser requests only photo metadata but also tries to read full
 //! user profiles; the audit flags the uncovered queries instead.
 //!
+//! The third section runs the audit as a *live service operation*: a
+//! [`DisclosureService`] serves a generated workload (Section 7.2 queries
+//! with light permission churn), records each app's observed queries, and
+//! `AuditApp` compares them against the app's current policy — requested
+//! permissions derived live, including grants applied mid-stream.
+//!
 //! Run with `cargo run --example overprivilege_audit`.
 
 use fdc::cq::parser::parse_query;
-use fdc::ecosystem::Ecosystem;
-use fdc::policy::audit_app;
+use fdc::ecosystem::policies::PolicyGeneratorConfig;
+use fdc::ecosystem::{ChurnConfig, Ecosystem, WorkloadConfig};
+use fdc::policy::{audit_app, PrincipalId};
+use fdc::service::{Operation, Response, ServiceConfig};
 
 fn main() {
     let eco = Ecosystem::new();
@@ -76,6 +84,56 @@ fn main() {
                 }
             )
         }
+    );
+
+    // --- Live service: AuditApp over a generated workload -------------------
+    let num_apps = 12;
+    let mut service = eco.disclosure_service(
+        PolicyGeneratorConfig {
+            max_partitions: 1,
+            max_elements_per_partition: 12,
+            template_pool: 0,
+            seed: 0xA0D17,
+        },
+        num_apps,
+        ServiceConfig::default(),
+    );
+    let mut churn = eco.churn(ChurnConfig {
+        mutation_ratio: 0.02,
+        add_view_share: 0.0,
+        query_pool: 64,
+        num_principals: num_apps,
+        seed: 0xA0D17,
+        workload: WorkloadConfig::base(0xA0D18),
+        ..ChurnConfig::default()
+    });
+    service.run_batch(&churn.ops(3_000));
+
+    println!("\nservice-driven audit of {num_apps} apps over a generated workload:");
+    let mut overprivileged = 0;
+    for app in 0..num_apps {
+        let principal = PrincipalId(app as u32);
+        let Response::Audit(report) = service.apply(&Operation::AuditApp { principal }) else {
+            panic!("audit of app {app} failed");
+        };
+        if report.is_overprivileged() {
+            overprivileged += 1;
+        }
+        println!(
+            "  app {app:>2}: requested {:>2}, used {:>2}, unused {:>2}, uncovered queries {:>3}{}",
+            report.requested.len(),
+            report.used.len(),
+            report.unused.len(),
+            report.uncovered_queries.len(),
+            if report.is_overprivileged() {
+                "  ← OVERPRIVILEGED"
+            } else {
+                ""
+            }
+        );
+    }
+    println!(
+        "  {overprivileged}/{num_apps} apps request permissions their observed workload never needed"
     );
 }
 

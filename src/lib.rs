@@ -12,6 +12,8 @@
 //! * [`core`] — disclosure labelers (the paper's contribution).
 //! * [`policy`] — security policies, the reference monitor, and the packed
 //!   label representation.
+//! * [`service`] — the dynamic disclosure-control service: online policy
+//!   mutation with epoch-versioned labels and incremental relabeling.
 //! * [`ecosystem`] — the Facebook-like evaluation schema, security views and
 //!   workload generator.
 //! * [`casestudy`] — the FQL vs Graph API permission-documentation review.
@@ -26,3 +28,4 @@ pub use fdc_cq as cq;
 pub use fdc_ecosystem as ecosystem;
 pub use fdc_order as order;
 pub use fdc_policy as policy;
+pub use fdc_service as service;
