@@ -1,10 +1,13 @@
 //! Figure 5, machine-readable: side-by-side throughput of every labeler.
 //!
-//! Measures the four labeler variants — baseline, hash-partitioned,
-//! bit-vector, and canonical-form cached (sequential and parallel batch) —
-//! on the Figure 5 workload at `BATCH_SIZE` queries per batch, for each of
-//! the paper's max-atoms settings, and writes the queries/second trajectory
-//! to `BENCH_fig5.json` (or the path given as the first argument).
+//! Measures the labeler variants — baseline, hash-partitioned, bit-vector,
+//! canonical-form cached (sequential and parallel batch), and the
+//! **interned** serving path (pre-interned dense `QueryId`s straight into
+//! the sharded slot cache: no parsing, no canonical hashing, no label
+//! clone) — on the Figure 5 workload at `BATCH_SIZE` queries per batch, for
+//! each of the paper's max-atoms settings, and writes the queries/second
+//! trajectory to `BENCH_fig5.json` (or the path given as the first
+//! argument).
 //!
 //! ```text
 //! cargo run --release -p fdc-bench --bin fig5_json            # full run
@@ -48,8 +51,8 @@ fn main() {
 
     println!("fig5_json: batch={BATCH_SIZE} repeats={repeats} threads={threads} smoke={smoke}");
     println!(
-        "{:>9} | {:>12} | {:>12} | {:>12} | {:>12} | {:>14}",
-        "max_atoms", "baseline", "hashing", "bitvec", "cached_seq", "cached_par"
+        "{:>9} | {:>12} | {:>12} | {:>12} | {:>12} | {:>14} | {:>12}",
+        "max_atoms", "baseline", "hashing", "bitvec", "cached_seq", "cached_par", "interned"
     );
 
     let mut points = Vec::new();
@@ -57,21 +60,36 @@ fn main() {
         let workload = labeling_workload(max_atoms, BATCH_SIZE);
         let results = measure_point(&workload, repeats);
         println!(
-            "{:>9} | {:>12.0} | {:>12.0} | {:>12.0} | {:>12.0} | {:>14.0}",
+            "{:>9} | {:>12.0} | {:>12.0} | {:>12.0} | {:>12.0} | {:>14.0} | {:>12.0}",
             max_atoms,
             results[0].queries_per_sec,
             results[1].queries_per_sec,
             results[2].queries_per_sec,
             results[3].queries_per_sec,
             results[4].queries_per_sec,
+            results[5].queries_per_sec,
         );
         points.push(SweepPoint { max_atoms, results });
     }
 
     let speedup = overall_speedup(&points, "cached_parallel_batch", "baseline");
     println!("\ncached parallel batch vs baseline: {speedup:.1}x (worst point across the sweep)");
+    let interned_speedup = overall_speedup(&points, "interned", "cached_sequential");
+    println!(
+        "interned vs cached (QueryKey-free slot lookup): {interned_speedup:.1}x \
+         (worst point across the sweep)"
+    );
+    // The interned plane removes the canonical hash and the label clone from
+    // every warm lookup; if it ever stops beating the cached path, the
+    // representation regressed.  The smoke run enforces this in CI.
+    if smoke {
+        assert!(
+            interned_speedup > 1.0,
+            "interned series must beat the cached baseline (got {interned_speedup:.2}x)"
+        );
+    }
 
-    let json = render_json(&points, threads, smoke, speedup);
+    let json = render_json(&points, threads, smoke, speedup, interned_speedup);
     std::fs::write(&out_path, json).expect("failed to write the benchmark JSON");
     println!("wrote {out_path}");
 }
@@ -80,6 +98,7 @@ fn main() {
 fn measure_point(workload: &LabelingWorkload, repeats: usize) -> Vec<Measurement> {
     let eco = &workload.ecosystem;
     let queries = &workload.queries;
+    let interned = &workload.interned;
     // Warm the canonical-form cache so the cached series measures the
     // steady state of a long-running server rather than a cold start.
     eco.cached.label_queries_batch(queries);
@@ -112,6 +131,15 @@ fn measure_point(workload: &LabelingWorkload, repeats: usize) -> Vec<Measurement
             name: "cached_parallel_batch",
             queries_per_sec: best_qps(repeats, queries.len(), || {
                 std::hint::black_box(eco.cached.label_queries_batch(queries));
+            }),
+        },
+        // The interned serving path: the batch was interned once at setup
+        // (dense `QueryId`s), so each lookup is a lock-striped slot index
+        // and an in-place lattice fold — no canonical hashing at all.
+        Measurement {
+            name: "interned",
+            queries_per_sec: best_qps(repeats, interned.len(), || {
+                std::hint::black_box(eco.cached.label_queries_interned(interned));
             }),
         },
     ]
@@ -155,7 +183,13 @@ fn series(point: &SweepPoint, name: &str) -> f64 {
 
 /// Renders the trajectory as JSON by hand (the workspace is offline, so no
 /// serde; the structure is flat enough that manual rendering stays simple).
-fn render_json(points: &[SweepPoint], threads: usize, smoke: bool, speedup: f64) -> String {
+fn render_json(
+    points: &[SweepPoint],
+    threads: usize,
+    smoke: bool,
+    speedup: f64,
+    interned_speedup: f64,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"figure\": \"fig5_labeler_throughput\",\n");
@@ -165,6 +199,9 @@ fn render_json(points: &[SweepPoint], threads: usize, smoke: bool, speedup: f64)
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
     out.push_str(&format!(
         "  \"min_speedup_cached_parallel_vs_baseline\": {speedup:.2},\n"
+    ));
+    out.push_str(&format!(
+        "  \"min_speedup_interned_vs_cached\": {interned_speedup:.2},\n"
     ));
     out.push_str("  \"sweep\": [\n");
     for (i, point) in points.iter().enumerate() {

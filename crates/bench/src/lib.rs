@@ -47,12 +47,21 @@ pub struct LabelingWorkload {
     pub ecosystem: Ecosystem,
     /// The generated queries.
     pub queries: Vec<fdc_cq::ConjunctiveQuery>,
+    /// The same queries interned once through the cached labeler's
+    /// interner, index-aligned with [`queries`](Self::queries) — the
+    /// operand of the `interned` Figure 5 series (labeling by dense
+    /// `QueryId`, no per-request canonical hashing).
+    pub interned: Vec<fdc_cq::intern::QueryId>,
     /// Maximum number of atoms per query in this configuration.
     pub max_atoms: usize,
 }
 
 /// Builds the Figure 5 workload for a given maximum number of atoms per
 /// query (3, 6, 9, 12 or 15 in the paper).
+///
+/// The batch is interned **once** through the ecosystem's cached labeler —
+/// the setup cost an interned serving deployment pays per distinct shape,
+/// not per request.
 pub fn labeling_workload(max_atoms: usize, batch: usize) -> LabelingWorkload {
     let ecosystem = Ecosystem::new();
     let max_subqueries = (max_atoms / 3).max(1);
@@ -61,9 +70,15 @@ pub fn labeling_workload(max_atoms: usize, batch: usize) -> LabelingWorkload {
         0xF15 + max_atoms as u64,
     ));
     let queries = generator.batch(batch);
+    let interner = ecosystem.cached.interner();
+    let interned = {
+        let mut interner = interner.write().unwrap_or_else(|e| e.into_inner());
+        queries.iter().map(|q| interner.intern(q)).collect()
+    };
     LabelingWorkload {
         ecosystem,
         queries,
+        interned,
         max_atoms,
     }
 }
@@ -247,6 +262,20 @@ mod tests {
         assert_eq!(w.queries.len(), 100);
         assert_eq!(w.max_atoms, 6);
         assert!(w.queries.iter().all(|q| q.num_atoms() <= 6));
+        // The interned ids are index-aligned with the boxed queries and
+        // label identically through either representation.
+        assert_eq!(w.interned.len(), w.queries.len());
+        use fdc_core::QueryLabeler as _;
+        for (query, &id) in w.queries.iter().zip(&w.interned).take(10) {
+            assert_eq!(
+                w.ecosystem.cached.label_interned(id),
+                w.ecosystem.baseline.label_query(query)
+            );
+        }
+        assert_eq!(
+            w.ecosystem.cached.label_queries_interned(&w.interned),
+            w.ecosystem.baseline.label_queries(&w.queries)
+        );
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //! The composition of `Dissect` with the single-atom labeler is itself a
 //! disclosure labeler (end of Section 5.2).
 
-use fdc_cq::folding::fold;
-use fdc_cq::{Atom, ConjunctiveQuery, Term, VarId, VarKind};
+use fdc_cq::folding::{fold, fold_interned};
+use fdc_cq::intern::{ITerm, QueryId, QueryInterner};
+use fdc_cq::{Atom, ConjunctiveQuery, RelId, Term, VarId, VarKind};
 
 /// Dissects a conjunctive query into single-atom queries.
 ///
@@ -81,6 +82,93 @@ fn single_atom_query(
 
     ConjunctiveQuery::from_parts(vec![Atom::new(atom.relation, terms)], var_kinds, var_names)
         .expect("a single atom extracted from a valid query is valid")
+}
+
+/// [`dissect`] over the interned query plane: dissects interned query `id`
+/// and **interns every resulting single-atom query**, returning their dense
+/// ids (with the part's base relation alongside, so callers need not resolve
+/// again just to route by relation).
+///
+/// Runs the same pipeline as [`dissect`] — fold, split, promote join
+/// variables — but entirely on the flat [`QueryRef`](fdc_cq::QueryRef)
+/// representation, so no boxed query is materialized.  Because interning is
+/// canonical, recurring atoms (the `Friend` join atoms the Section 7.2
+/// workload attaches to every friends-audience query) dissect to the *same*
+/// atom ids across query shapes, which is what lets the labeler's atom-level
+/// cache collapse to a plain indexed table.
+///
+/// The output parts are structurally identical (up to variable renaming) to
+/// those of [`dissect`] on the equivalent boxed query; the property tests
+/// assert the resulting labels agree.
+pub fn dissect_interned(interner: &mut QueryInterner, id: QueryId) -> Vec<(QueryId, RelId)> {
+    // Phase 1 (read-only): fold and assemble each part's flat terms/kinds
+    // into owned scratch buffers.
+    let parts: Vec<(RelId, Vec<ITerm>, Vec<VarKind>)> = {
+        let query = interner.resolve(id);
+        let kept = fold_interned(query);
+        let num_vars = query.num_vars();
+
+        // Existential variables occurring in ≥ 2 surviving atoms become
+        // distinguished.
+        let mut promoted = vec![false; num_vars];
+        if kept.len() > 1 {
+            let mut counts = vec![0u32; num_vars];
+            let mut seen = vec![false; num_vars];
+            for atom in &kept {
+                seen.iter_mut().for_each(|s| *s = false);
+                for term in atom.terms(query.terms) {
+                    if let Some(v) = term.var_index() {
+                        if !seen[v as usize] {
+                            seen[v as usize] = true;
+                            counts[v as usize] += 1;
+                        }
+                    }
+                }
+            }
+            for v in 0..num_vars {
+                promoted[v] = query.kinds[v].is_existential() && counts[v] >= 2;
+            }
+        }
+
+        kept.iter()
+            .map(|atom| {
+                const UNMAPPED: u32 = u32::MAX;
+                let mut mapping = vec![UNMAPPED; num_vars];
+                let mut kinds: Vec<VarKind> = Vec::new();
+                let terms: Vec<ITerm> = atom
+                    .terms(query.terms)
+                    .iter()
+                    .map(|term| match *term {
+                        ITerm::Var(v, _) => {
+                            let kind = if promoted[v as usize] {
+                                VarKind::Distinguished
+                            } else {
+                                query.kinds[v as usize]
+                            };
+                            let slot = &mut mapping[v as usize];
+                            if *slot == UNMAPPED {
+                                *slot = kinds.len() as u32;
+                                kinds.push(kind);
+                            }
+                            ITerm::Var(*slot, kind)
+                        }
+                        ITerm::Const(c) => ITerm::Const(c),
+                    })
+                    .collect();
+                (atom.relation, terms, kinds)
+            })
+            .collect()
+    };
+    // Phase 2 (mutating): intern each part.
+    parts
+        .into_iter()
+        .map(|(relation, terms, kinds)| {
+            (
+                interner.intern_single_atom(relation, &terms, &kinds),
+                relation,
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -207,6 +295,40 @@ mod tests {
                     "dissect({text}) produced a multi-atom part"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn interned_dissection_matches_boxed_dissection() {
+        let c = catalog();
+        let mut interner = QueryInterner::new();
+        let inputs = [
+            "Q1(x) :- Meetings(x, 'Cathy')",
+            "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+            "Q(x) :- Meetings(x, y), Meetings(x, z)",
+            "Q(x, z) :- Meetings(x, y), Meetings(y, z)",
+            "Q(x) :- Meetings(x, y), Contacts(y, w, p), Meetings(w, z)",
+            "Q() :- Meetings(x, y), Meetings(y, z), Contacts(z, w, p)",
+            "Q(x) :- Meetings(x, x), Meetings(x, y)",
+        ];
+        for text in inputs {
+            let query = q(&c, text);
+            let boxed = dissect(&query);
+            let id = interner.intern(&query);
+            let interned = dissect_interned(&mut interner, id);
+            assert_eq!(boxed.len(), interned.len(), "part count differs on {text}");
+            for (part, (part_id, relation)) in boxed.iter().zip(&interned) {
+                let back = interner.to_query(*part_id);
+                assert_eq!(part.atoms()[0].relation, *relation, "relation on {text}");
+                assert!(
+                    fdc_cq::canonical::structurally_identical(part, &back),
+                    "part differs on {text}: {part:?} vs {back:?}"
+                );
+            }
+            // Dissecting again reuses the already-interned atom ids.
+            let before = interner.len();
+            assert_eq!(dissect_interned(&mut interner, id), interned);
+            assert_eq!(interner.len(), before);
         }
     }
 

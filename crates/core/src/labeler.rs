@@ -18,30 +18,40 @@
 //!
 //! A fourth variant goes beyond the paper's measured configurations:
 //!
-//! * [`CachedLabeler`] — a [`BitVectorLabeler`] plus canonical-form memo
-//!   tables at two levels: whole queries (a hit skips folding, dissection
-//!   and labeling entirely) and single atoms (per-atom `ℓ⁺` masks shared
-//!   across query shapes).  Combined with the sharded batch entry point
-//!   [`label_queries_parallel`] this is the high-throughput serving path.
-//!   The caches are versioned with the registry's per-relation epochs, so
-//!   the view universe can change online ([`CachedLabeler::add_view`])
-//!   without flushing: stale entries re-derive just their stale atoms.
+//! * [`CachedLabeler`] — a [`BitVectorLabeler`] plus id-keyed memo tables
+//!   over the **interned query plane** (`fdc_cq::intern`): queries intern to
+//!   dense canonical [`QueryId`]s, so the whole-query cache is a sharded
+//!   slot vector (a hit skips folding, dissection and labeling entirely —
+//!   and for pre-interned callers, hashing too) and the per-atom `ℓ⁺` cache
+//!   is a plain indexed table over the ids `dissect_interned` emits.
+//!   Combined with the sharded batch entry point [`label_queries_parallel`]
+//!   this is the high-throughput serving path.  The caches are versioned
+//!   with the registry's per-relation epochs, so the view universe can
+//!   change online ([`CachedLabeler::add_view`]) without flushing: stale
+//!   entries re-derive just their stale atoms.
 //!
 //! All variants produce identical [`DisclosureLabel`]s; the equivalence is
 //! asserted by the test suite and exercised again by the Figure 5 benchmark.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
 
-use fdc_cq::canonical::{atom_key, query_key, AtomKey, QueryKey};
-use fdc_cq::rewriting::rewritable_from_single;
+use fdc_cq::intern::{ITerm, QueryId, QueryInterner};
+use fdc_cq::rewriting::{interned_rewritable_from_single, rewritable_from_single};
 use fdc_cq::{ConjunctiveQuery, RelId, Term, VarKind};
 
-use crate::dissect::dissect;
+use crate::dissect::{dissect, dissect_interned};
 use crate::error::Result;
 use crate::label::{AtomLabel, DisclosureLabel, PackedLabel, ViewMask};
 use crate::security_views::{SecurityViewId, SecurityViews};
+
+/// The shared handle to a [`QueryInterner`]: one interner per serving stack,
+/// shared between the [`CachedLabeler`] that owns it, the
+/// `DisclosureService` front door, and any workload generator that pre-
+/// interns its query pool.  The interner only grows, so sharing the handle
+/// never invalidates an issued [`QueryId`].
+pub type SharedQueryInterner = Arc<RwLock<QueryInterner>>;
 
 /// A disclosure labeler for conjunctive queries.
 pub trait QueryLabeler {
@@ -317,6 +327,28 @@ fn atom_needs(query: &ConjunctiveQuery) -> Option<u64> {
     Some(needed)
 }
 
+/// [`atom_needs`] over the interned flat representation: the needed-position
+/// mask of one single-atom term slice, or `None` if the atom has repeated
+/// variables (those need the general rewriting check).
+fn interned_atom_needs(terms: &[ITerm]) -> Option<u64> {
+    if terms.len() > 64 {
+        return None;
+    }
+    let mut needed = 0u64;
+    for (i, term) in terms.iter().enumerate() {
+        if let Some(v) = term.var_index() {
+            if terms[i + 1..].iter().any(|t| t.var_index() == Some(v)) {
+                return None;
+            }
+        }
+        match term {
+            ITerm::Var(_, VarKind::Distinguished) | ITerm::Const(_) => needed |= 1u64 << i,
+            ITerm::Var(_, VarKind::Existential) => {}
+        }
+    }
+    Some(needed)
+}
+
 impl QueryLabeler for BitVectorLabeler {
     fn label_query(&self, query: &ConjunctiveQuery) -> DisclosureLabel {
         let mut label = DisclosureLabel::bottom();
@@ -388,15 +420,21 @@ struct AtomEntry {
 
 /// One dissected part of a cached query entry.
 ///
-/// The single-atom query is retained so that an epoch change can re-derive
-/// *just this atom's* mask: the expensive front of the pipeline (folding and
-/// dissection, NP-hard in general) never re-runs for a cached shape.  The
-/// relation, epoch and mask are stored per part — NOT read back from the
-/// finished label — because [`DisclosureLabel::push`] absorbs redundant
-/// atom labels, so the label's atoms are not 1:1 with the dissected parts.
-#[derive(Debug, Clone)]
+/// The interned id of the single-atom query is retained so that an epoch
+/// change can re-derive *just this atom's* mask: the expensive front of the
+/// pipeline (folding and dissection, NP-hard in general) never re-runs for a
+/// cached shape.  The relation, epoch and mask are stored per part — NOT
+/// read back from the finished label — because [`DisclosureLabel::push`]
+/// absorbs redundant atom labels, so the label's atoms are not 1:1 with the
+/// dissected parts.
+#[derive(Debug, Clone, Copy)]
 struct QueryPart {
-    atom_query: ConjunctiveQuery,
+    /// Interned id of the dissected single-atom query.
+    atom: QueryId,
+    /// The atom's dense single-atom ordinal — the slot index of the
+    /// per-atom cache, kept proportional to distinct atoms rather than the
+    /// whole arena id space.
+    ordinal: u32,
     relation: RelId,
     /// Epoch of the part's relation when its mask was computed.
     epoch: u64,
@@ -412,23 +450,50 @@ struct QueryEntry {
     parts: Vec<QueryPart>,
 }
 
-/// A labeler that memoizes labeling by canonical form, at two levels.
+/// Number of independent locks the query-level slot cache is striped over.
+/// Query `id` lives in shard `id % QUERY_CACHE_SHARDS` at slot
+/// `id / QUERY_CACHE_SHARDS`, so consecutive ids (the common case for a
+/// workload interned in arrival order) spread across all stripes.
+const QUERY_CACHE_SHARDS: usize = 16;
+
+/// One stripe of the query-level cache: a plain slot vector indexed by
+/// `QueryId / QUERY_CACHE_SHARDS`.  Dense ids make a `Vec` strictly better
+/// than a hash map here: no hashing, no probing, and the lock is held for a
+/// bounds check plus an index.
+#[derive(Debug, Clone, Default)]
+struct QueryCacheShard {
+    slots: Vec<Option<QueryEntry>>,
+}
+
+/// A labeler that memoizes labeling by **interned query id**, at two levels.
 ///
 /// A disclosure label depends only on the query's structure up to variable
 /// renaming — the atoms, the constants, the variable-equality pattern and
-/// the distinguished/existential tags.  [`fdc_cq::canonical::query_key`]
-/// captures exactly that, so the **query-level** cache maps canonical query
-/// forms straight to finished [`DisclosureLabel`]s: a hit skips the whole
-/// pipeline, including the NP-hard folding step of `Dissect`.  Query-level
-/// misses run the pipeline with a second, **atom-level** cache keyed by
-/// [`fdc_cq::canonical::atom_key`], memoizing the per-atom `ℓ⁺` masks that
-/// recur across distinct query shapes (e.g. the `Friend` join atoms the
+/// the distinguished/existential tags.  The [`QueryInterner`] canonicalizes
+/// exactly that, so `QueryId` equality *is* canonical-form equality and the
+/// **query-level** cache becomes a sharded slot vector
+/// indexed by id: a hit is a lock-striped `Vec` index straight to a finished
+/// [`DisclosureLabel`], skipping the whole pipeline including the NP-hard
+/// folding step of `Dissect`.  (This replaces the seed's single
+/// `RwLock<HashMap<QueryKey, _>>`, whose every lookup allocated one key
+/// vector per atom and serialized on one lock.)  Query-level misses run the
+/// pipeline with a second, **atom-level** cache — a plain indexed table over
+/// the ids [`dissect_interned`] emits — memoizing the per-atom `ℓ⁺` masks
+/// that recur across distinct query shapes (e.g. the `Friend` join atoms the
 /// Section 7.2 workload attaches to every friends-audience query).
 ///
-/// Atom-level misses are filled by a [`BitVectorLabeler`], so even the
-/// worst-case path is the fastest non-cached variant; the labeler never
-/// produces a different label than the paper's three Figure 5 variants
-/// (asserted by the property tests).
+/// Queries arriving as boxed [`ConjunctiveQuery`]s are interned on first
+/// sight ([`intern`](Self::intern) / [`label_query`](QueryLabeler::label_query));
+/// callers holding pre-interned ids — the `DisclosureService` admission
+/// loop, the benchmark workloads — skip even that and call
+/// [`label_interned`](Self::label_interned) /
+/// [`label_queries_interned`](Self::label_queries_interned) directly.
+///
+/// Atom-level misses are filled by the interned per-view check (projection
+/// bit tests with the interned rewriting fallback), which computes exactly
+/// what [`BitVectorLabeler`] computes; the labeler never produces a
+/// different label than the paper's three Figure 5 variants (asserted by
+/// the property tests).
 ///
 /// Both caches are internally synchronized: labeling takes `&self`, so one
 /// `CachedLabeler` can be shared across worker threads — see
@@ -438,7 +503,15 @@ struct QueryEntry {
 /// [`capacity_limit`](Self::capacity_limit) canonical forms (lookups and
 /// the computed results are unaffected — over-limit shapes are simply
 /// recomputed), so a high-cardinality or adversarial stream of
-/// never-repeating shapes cannot grow the tables without bound.
+/// never-repeating shapes cannot grow the tables without bound.  The
+/// interner is bounded by the same limit on the implicit path: once
+/// [`label_query`](QueryLabeler::label_query) has interned `capacity_limit`
+/// distinct shapes, it stops interning unknown ones and falls back to the
+/// uncached [`BitVectorLabeler`] pipeline (identical labels, counted as
+/// misses).
+/// Explicit [`intern`](Self::intern) calls are exempt — a caller asking for
+/// an id is sizing its own pool and gets one unconditionally (dissected
+/// atom parts of admitted shapes ride along the same exemption).
 ///
 /// The labeler is **epoch-aware**: every cached mask and label records the
 /// per-relation epoch of the [`SecurityViews`] registry it was computed
@@ -452,8 +525,26 @@ struct QueryEntry {
 #[derive(Debug)]
 pub struct CachedLabeler {
     inner: BitVectorLabeler,
-    query_cache: RwLock<HashMap<QueryKey, QueryEntry>>,
-    atom_cache: RwLock<HashMap<AtomKey, AtomEntry>>,
+    /// The query interner — the id authority every cache below is keyed by.
+    /// Shared (`Arc`) so the service front door and workload generators can
+    /// intern into the same id space; see [`SharedQueryInterner`].
+    interner: SharedQueryInterner,
+    /// Interned definition of every registered security view, indexed by
+    /// [`SecurityViewId`] — the right-hand operand of the interned
+    /// rewriting fallback.  Mutated only under `&mut self` (`add_view`).
+    view_qids: Vec<QueryId>,
+    query_shards: Vec<RwLock<QueryCacheShard>>,
+    /// Occupied query slots across all shards (capacity accounting).
+    query_entries: AtomicUsize,
+    /// Per-atom `ℓ⁺` table, indexed by the interner's dense single-atom
+    /// ordinal (so its footprint tracks distinct atoms, not arena ids).
+    atom_cache: RwLock<Vec<Option<AtomEntry>>>,
+    /// Occupied atom slots (capacity accounting).
+    atom_entries: AtomicUsize,
+    /// Shapes interned by the implicit `label_query` path — the arena
+    /// budget (explicit `intern` calls are exempt, as are the dissected
+    /// parts and view definitions that ride along with admitted shapes).
+    implicit_interns: AtomicUsize,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -473,12 +564,24 @@ pub struct CachedLabeler {
 pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
 
 impl Clone for CachedLabeler {
-    /// Cloning snapshots the cached entries and resets the counters.
+    /// Cloning snapshots the cached entries and resets the counters.  The
+    /// interner handle is **shared**, not copied — it only grows, so ids
+    /// stay aligned between the original and the clone (which is what lets
+    /// a snapshot keep answering warmed shapes).
     fn clone(&self) -> Self {
         CachedLabeler {
             inner: self.inner.clone(),
-            query_cache: RwLock::new(self.read_query_cache().clone()),
+            interner: Arc::clone(&self.interner),
+            view_qids: self.view_qids.clone(),
+            query_shards: self
+                .query_shards
+                .iter()
+                .map(|shard| RwLock::new(shard.read().unwrap_or_else(|e| e.into_inner()).clone()))
+                .collect(),
+            query_entries: AtomicUsize::new(self.query_entries.load(Ordering::Relaxed)),
             atom_cache: RwLock::new(self.read_atom_cache().clone()),
+            atom_entries: AtomicUsize::new(self.atom_entries.load(Ordering::Relaxed)),
+            implicit_interns: AtomicUsize::new(self.implicit_interns.load(Ordering::Relaxed)),
             capacity: self.capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -500,11 +603,27 @@ impl CachedLabeler {
 
     /// Builds a caching labeler whose query- and atom-level caches each
     /// admit at most `capacity` entries (at least 1).
+    ///
+    /// Every registered security view is interned up front, so the interned
+    /// rewriting fallback never has to intern mid-labeling.
     pub fn with_capacity_limit(views: SecurityViews, capacity: usize) -> Self {
+        let mut interner = QueryInterner::new();
+        let mut view_qids = Vec::with_capacity(views.len());
+        for (id, view) in views.iter() {
+            debug_assert_eq!(id.index(), view_qids.len(), "view ids are dense");
+            view_qids.push(interner.intern(&view.query));
+        }
         CachedLabeler {
             inner: BitVectorLabeler::new(views),
-            query_cache: RwLock::new(HashMap::new()),
-            atom_cache: RwLock::new(HashMap::new()),
+            interner: Arc::new(RwLock::new(interner)),
+            view_qids,
+            query_shards: (0..QUERY_CACHE_SHARDS)
+                .map(|_| RwLock::new(QueryCacheShard::default()))
+                .collect(),
+            query_entries: AtomicUsize::new(0),
+            atom_cache: RwLock::new(Vec::new()),
+            atom_entries: AtomicUsize::new(0),
+            implicit_interns: AtomicUsize::new(0),
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -521,11 +640,61 @@ impl CachedLabeler {
         self.capacity
     }
 
-    fn read_query_cache(&self) -> std::sync::RwLockReadGuard<'_, HashMap<QueryKey, QueryEntry>> {
-        self.query_cache.read().unwrap_or_else(|e| e.into_inner())
+    /// The shared query-interner handle.
+    ///
+    /// Clone the handle to intern workload pools into this labeler's id
+    /// space (see `fdc_ecosystem::ChurnGenerator::attach_interner`), or
+    /// lock it read-only to resolve ids back to queries.
+    pub fn interner(&self) -> SharedQueryInterner {
+        Arc::clone(&self.interner)
     }
 
-    fn read_atom_cache(&self) -> std::sync::RwLockReadGuard<'_, HashMap<AtomKey, AtomEntry>> {
+    /// Interns a query into this labeler's id space, returning its dense
+    /// [`QueryId`].
+    ///
+    /// Already-interned shapes (including alpha-variants) take only the
+    /// interner's read lock; genuinely new shapes take the write lock once.
+    ///
+    /// Explicit interning is exempt from the
+    /// [`capacity_limit`](Self::capacity_limit) arena budget that bounds
+    /// the implicit [`label_query`](QueryLabeler::label_query) path: a
+    /// caller asking for an id is sizing its own pool and gets one
+    /// unconditionally.
+    pub fn intern(&self, query: &ConjunctiveQuery) -> QueryId {
+        if let Some(id) = self.read_interner().lookup(query) {
+            return id;
+        }
+        self.interner
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .intern(query)
+    }
+
+    fn read_interner(&self) -> std::sync::RwLockReadGuard<'_, QueryInterner> {
+        self.interner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[inline]
+    fn shard_and_slot(id: QueryId) -> (usize, usize) {
+        (
+            id.index() % QUERY_CACHE_SHARDS,
+            id.index() / QUERY_CACHE_SHARDS,
+        )
+    }
+
+    fn read_query_shard(&self, shard: usize) -> std::sync::RwLockReadGuard<'_, QueryCacheShard> {
+        self.query_shards[shard]
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_query_shard(&self, shard: usize) -> std::sync::RwLockWriteGuard<'_, QueryCacheShard> {
+        self.query_shards[shard]
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn read_atom_cache(&self) -> std::sync::RwLockReadGuard<'_, Vec<Option<AtomEntry>>> {
         self.atom_cache.read().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -537,37 +706,71 @@ impl CachedLabeler {
         self.inner.views.epoch(relation)
     }
 
-    /// `ℓ⁺` of one dissected single-atom query, through the epoch-checked
-    /// atom cache.
-    fn cached_atom_mask(&self, atom_query: &ConjunctiveQuery) -> ViewMask {
-        let key = atom_key(atom_query).expect("dissected parts are single-atom");
-        let current = self.epoch_of(key.relation());
+    /// `ℓ⁺` of one dissected single-atom query (by interned id), through the
+    /// epoch-checked indexed atom table.  `ordinal` is the atom's dense
+    /// single-atom ordinal — the table's slot index.
+    fn cached_atom_mask(&self, atom: QueryId, ordinal: u32, relation: RelId) -> ViewMask {
+        let current = self.epoch_of(relation);
+        let slot = ordinal as usize;
         let mut stale = false;
-        if let Some(entry) = self.read_atom_cache().get(&key) {
+        if let Some(Some(entry)) = self.read_atom_cache().get(slot) {
             if entry.epoch == current {
                 self.atom_hits.fetch_add(1, Ordering::Relaxed);
                 return entry.mask;
             }
             stale = true;
         }
-        let mask = self.inner.atom_mask(atom_query);
+        let mask = self.atom_mask_interned(atom, relation);
         let counter = if stale {
             &self.atom_refreshes
         } else {
             &self.atom_misses
         };
         counter.fetch_add(1, Ordering::Relaxed);
-        let mut cache = self.atom_cache.write().unwrap_or_else(|e| e.into_inner());
-        // Refreshing an existing key never grows the table, so stale entries
-        // are always re-admitted; brand-new shapes respect the capacity.
-        if stale || cache.len() < self.capacity {
-            cache.insert(
-                key,
-                AtomEntry {
-                    mask,
-                    epoch: current,
-                },
-            );
+        // Refreshing an existing slot never grows the table, so stale
+        // entries are always re-admitted; brand-new atoms respect the
+        // capacity (the slot vector only grows for admitted entries).
+        if stale || self.atom_entries.load(Ordering::Relaxed) < self.capacity {
+            let mut cache = self.atom_cache.write().unwrap_or_else(|e| e.into_inner());
+            if slot >= cache.len() {
+                cache.resize_with(slot + 1, || None);
+            }
+            if cache[slot].is_none() {
+                self.atom_entries.fetch_add(1, Ordering::Relaxed);
+            }
+            cache[slot] = Some(AtomEntry {
+                mask,
+                epoch: current,
+            });
+        }
+        mask
+    }
+
+    /// Computes `ℓ⁺` of one interned single-atom query against the compiled
+    /// per-relation candidates — the interned counterpart of
+    /// [`BitVectorLabeler::atom_mask`], and guaranteed to compute the same
+    /// mask: the projection fast path tests the same bit sets, and the
+    /// fallback runs the interned rewriting check against the interned view
+    /// definition.
+    fn atom_mask_interned(&self, atom: QueryId, relation: RelId) -> ViewMask {
+        let interner = self.read_interner();
+        let atom_ref = interner.resolve(atom);
+        debug_assert!(atom_ref.is_single_atom(), "dissected parts are single-atom");
+        let needs = interned_atom_needs(atom_ref.atom_terms(0));
+        let mut mask: ViewMask = 0;
+        if let Some(candidates) = self.inner.by_relation.get(&relation) {
+            for compiled in candidates {
+                let answers = match (needs, compiled.exposed_positions) {
+                    (Some(needed), Some(exposed)) => needed & !exposed == 0,
+                    _ => interned_rewritable_from_single(
+                        atom_ref,
+                        interner.resolve(self.view_qids[compiled.id.index()]),
+                    ),
+                };
+                if answers {
+                    mask |= 1u64 << compiled.bit;
+                }
+            }
         }
         mask
     }
@@ -580,7 +783,14 @@ impl CachedLabeler {
     /// their stale atoms.  This is the incremental-relabeling path a
     /// dynamic service uses for `AddSecurityView` operations.
     pub fn add_view(&mut self, name: &str, query: ConjunctiveQuery) -> Result<SecurityViewId> {
+        let view_qid = self
+            .interner
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .intern(&query);
         let id = self.inner.add_view(name, query)?;
+        debug_assert_eq!(id.index(), self.view_qids.len(), "view ids are dense");
+        self.view_qids.push(view_qid);
         *self.invalidations.get_mut() += 1;
         Ok(id)
     }
@@ -601,10 +811,10 @@ impl CachedLabeler {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.read_query_cache().len(),
+            entries: self.query_entries.load(Ordering::Relaxed),
             atom_hits: self.atom_hits.load(Ordering::Relaxed),
             atom_misses: self.atom_misses.load(Ordering::Relaxed),
-            atom_entries: self.read_atom_cache().len(),
+            atom_entries: self.atom_entries.load(Ordering::Relaxed),
             query_refreshes: self.query_refreshes.load(Ordering::Relaxed),
             atom_refreshes: self.atom_refreshes.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
@@ -618,14 +828,15 @@ impl CachedLabeler {
     /// the counters cumulative is what makes the baseline's cost visible:
     /// every post-flush relabeling still counts as a miss.
     pub fn clear_entries(&self) {
-        self.query_cache
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .clear();
+        for shard in 0..QUERY_CACHE_SHARDS {
+            self.write_query_shard(shard).slots.clear();
+        }
+        self.query_entries.store(0, Ordering::Relaxed);
         self.atom_cache
             .write()
             .unwrap_or_else(|e| e.into_inner())
             .clear();
+        self.atom_entries.store(0, Ordering::Relaxed);
     }
 
     /// Drops every cached entry **and** resets the counters (e.g. to
@@ -688,22 +899,25 @@ impl CachedLabeler {
             });
         per_chunk.into_iter().flatten().collect()
     }
-}
 
-/// Outcome of a query-cache lookup: fresh hit, stale entry to refresh, or
-/// no entry at all.
-enum QueryLookup {
-    Fresh(DisclosureLabel),
-    Stale(QueryEntry),
-    Absent,
-}
-
-impl QueryLabeler for CachedLabeler {
-    fn label_query(&self, query: &ConjunctiveQuery) -> DisclosureLabel {
-        let key = query_key(query);
+    /// Labels an already-interned query — the hot path for callers that
+    /// hold dense [`QueryId`]s (the service's admission loop, pre-interned
+    /// workload pools).
+    ///
+    /// A warm lookup is a lock-striped `Vec` index: no canonical hashing, no
+    /// key allocation.  Misses run the interned pipeline
+    /// ([`dissect_interned`] + the indexed atom table); stale entries
+    /// re-derive just their stale atoms, exactly like the boxed path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this labeler's
+    /// [`interner`](Self::interner).
+    pub fn label_interned(&self, id: QueryId) -> DisclosureLabel {
+        let (shard_idx, slot) = Self::shard_and_slot(id);
         let lookup = {
-            let cache = self.read_query_cache();
-            match cache.get(&key) {
+            let shard = self.read_query_shard(shard_idx);
+            match shard.slots.get(slot).and_then(Option::as_ref) {
                 Some(entry) => {
                     let fresh = entry
                         .parts
@@ -726,9 +940,7 @@ impl QueryLabeler for CachedLabeler {
             QueryLookup::Stale(entry) => {
                 // Re-derive only the parts whose relation epoch advanced;
                 // fresh parts keep their masks, and folding/dissection are
-                // skipped entirely (the dissected parts are stored).  The
-                // label is re-folded from the parts exactly as the miss
-                // path folds it.
+                // skipped entirely (the dissected part ids are stored).
                 let mut label = DisclosureLabel::bottom();
                 let mut parts = Vec::with_capacity(entry.parts.len());
                 for part in entry.parts {
@@ -736,53 +948,178 @@ impl QueryLabeler for CachedLabeler {
                     let mask = if part.epoch == current {
                         part.mask
                     } else {
-                        self.cached_atom_mask(&part.atom_query)
+                        self.cached_atom_mask(part.atom, part.ordinal, part.relation)
                     };
                     label.push(AtomLabel::new(part.relation, mask));
                     parts.push(QueryPart {
-                        atom_query: part.atom_query,
+                        atom: part.atom,
+                        ordinal: part.ordinal,
                         relation: part.relation,
                         epoch: current,
                         mask,
                     });
                 }
                 self.query_refreshes.fetch_add(1, Ordering::Relaxed);
-                let mut cache = self.query_cache.write().unwrap_or_else(|e| e.into_inner());
-                cache.insert(
-                    key,
-                    QueryEntry {
-                        label: label.clone(),
-                        parts,
-                    },
-                );
+                let entry = QueryEntry {
+                    label: label.clone(),
+                    parts,
+                };
+                self.store_entry(shard_idx, slot, entry);
                 label
             }
             QueryLookup::Absent => {
+                let part_ids: Vec<(QueryId, u32, RelId)> = {
+                    let mut interner = self.interner.write().unwrap_or_else(|e| e.into_inner());
+                    dissect_interned(&mut interner, id)
+                        .into_iter()
+                        .map(|(atom, relation)| {
+                            let ordinal = interner
+                                .single_atom_ordinal(atom)
+                                .expect("dissected parts are single-atom");
+                            (atom, ordinal, relation)
+                        })
+                        .collect()
+                };
                 let mut label = DisclosureLabel::bottom();
-                let mut parts = Vec::new();
-                for atom_query in dissect(query) {
-                    let relation = atom_query.atoms()[0].relation;
-                    let mask = self.cached_atom_mask(&atom_query);
+                let mut parts = Vec::with_capacity(part_ids.len());
+                for (atom, ordinal, relation) in part_ids {
+                    let mask = self.cached_atom_mask(atom, ordinal, relation);
                     label.push(AtomLabel::new(relation, mask));
                     parts.push(QueryPart {
-                        epoch: self.epoch_of(relation),
+                        atom,
+                        ordinal,
                         relation,
+                        epoch: self.epoch_of(relation),
                         mask,
-                        atom_query,
                     });
                 }
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                let mut cache = self.query_cache.write().unwrap_or_else(|e| e.into_inner());
-                if cache.len() < self.capacity {
-                    cache.insert(
-                        key,
-                        QueryEntry {
-                            label: label.clone(),
-                            parts,
-                        },
-                    );
+                if self.query_entries.load(Ordering::Relaxed) < self.capacity {
+                    let entry = QueryEntry {
+                        label: label.clone(),
+                        parts,
+                    };
+                    self.store_entry(shard_idx, slot, entry);
                 }
                 label
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a query-cache entry, growing the shard's slot
+    /// vector only when actually admitting.
+    fn store_entry(&self, shard_idx: usize, slot: usize, entry: QueryEntry) {
+        let mut shard = self.write_query_shard(shard_idx);
+        if slot >= shard.slots.len() {
+            shard.slots.resize_with(slot + 1, || None);
+        }
+        if shard.slots[slot].is_none() {
+            self.query_entries.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.slots[slot] = Some(entry);
+    }
+
+    /// Folds a pre-interned batch into the cumulative disclosure label of
+    /// answering every query — the interned counterpart of
+    /// [`label_queries`](QueryLabeler::label_queries), and the series the
+    /// Figure 5 benchmark reports as `interned`.
+    ///
+    /// Fresh hits combine straight out of the cache under the shard's read
+    /// lock, so the steady state does one `Vec` index and one in-place
+    /// lattice fold per query — no hashing, no label clone.
+    pub fn label_queries_interned(&self, ids: &[QueryId]) -> DisclosureLabel {
+        let mut out = DisclosureLabel::bottom();
+        for &id in ids {
+            if self.combine_fresh_hit(id, &mut out) {
+                continue;
+            }
+            out.combine_in_place(&self.label_interned(id));
+        }
+        out
+    }
+
+    /// Labels each pre-interned query of a batch, preserving order — the
+    /// interned counterpart of [`label_batch`](Self::label_batch).
+    pub fn label_batch_interned(&self, ids: &[QueryId]) -> Vec<DisclosureLabel> {
+        ids.iter().map(|&id| self.label_interned(id)).collect()
+    }
+
+    /// Labels one pre-interned query and returns the packed 64-bit
+    /// representation — the form the policy stores consume directly.
+    pub fn label_packed_interned(&self, id: QueryId) -> Vec<PackedLabel> {
+        self.label_interned(id).pack()
+    }
+
+    /// Combines a fresh cached entry for `id` into `out` without cloning the
+    /// label; returns false on a miss or stale entry (the caller falls back
+    /// to [`label_interned`](Self::label_interned)).
+    fn combine_fresh_hit(&self, id: QueryId, out: &mut DisclosureLabel) -> bool {
+        let (shard_idx, slot) = Self::shard_and_slot(id);
+        let shard = self.read_query_shard(shard_idx);
+        if let Some(entry) = shard.slots.get(slot).and_then(Option::as_ref) {
+            let fresh = entry
+                .parts
+                .iter()
+                .all(|part| part.epoch == self.epoch_of(part.relation));
+            if fresh {
+                out.combine_in_place(&entry.label);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Outcome of a query-cache lookup: fresh hit, stale entry to refresh, or
+/// no entry at all.
+enum QueryLookup {
+    Fresh(DisclosureLabel),
+    Stale(QueryEntry),
+    Absent,
+}
+
+impl QueryLabeler for CachedLabeler {
+    /// Interns the query (a read-locked lookup for known shapes, including
+    /// alpha-variants) and labels it through the id-keyed caches.
+    ///
+    /// Once this path has interned [`capacity_limit`](Self::capacity_limit)
+    /// distinct shapes, further unknown shapes are **not** interned: they
+    /// label through the uncached [`BitVectorLabeler`] pipeline instead
+    /// (identical labels, counted as misses), so an adversarial stream of
+    /// never-repeating shapes cannot grow the arena without bound.
+    fn label_query(&self, query: &ConjunctiveQuery) -> DisclosureLabel {
+        // The arena budget counts the shapes this path has interned —
+        // dissected parts, view definitions and explicitly interned pools
+        // do not consume it (they are bounded by the shapes that carry
+        // them).  The unsynchronized load can overshoot by a few entries
+        // under concurrent first sightings; the bound stays O(capacity).
+        let known = {
+            let interner = self.read_interner();
+            match interner.lookup(query) {
+                Some(id) => Some(id),
+                None if self.implicit_interns.load(Ordering::Relaxed) >= self.capacity => {
+                    // Arena budget exhausted: serve without interning.
+                    None
+                }
+                None => {
+                    drop(interner);
+                    self.implicit_interns.fetch_add(1, Ordering::Relaxed);
+                    Some(
+                        self.interner
+                            .write()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .intern(query),
+                    )
+                }
+            }
+        };
+        match known {
+            Some(id) => self.label_interned(id),
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.inner.label_query(query)
             }
         }
     }
@@ -824,14 +1161,43 @@ where
     out
 }
 
+/// Batches shorter than this run on the calling thread even when multiple
+/// worker threads are requested: for tiny batches, spawning scoped threads
+/// costs more than the work they would parallelize (the crossover is
+/// asserted by the `small_batches_run_on_the_calling_thread` test).  Entry
+/// points that need a different crossover use
+/// [`map_chunks_parallel_with_threshold`]; the policy layer exposes the
+/// analogous knob as `ShardedPolicyStore::set_parallel_threshold`.
+pub const SMALL_BATCH_SEQUENTIAL_THRESHOLD: usize = 32;
+
 /// Splits `items` into up to `threads` contiguous chunks and maps `f`
 /// over them on scoped worker threads, returning the per-chunk results in
-/// chunk order.  One chunk (or an empty input) runs on the calling thread.
+/// chunk order.  One chunk (or an empty input) runs on the calling thread,
+/// and batches below [`SMALL_BATCH_SEQUENTIAL_THRESHOLD`] run sequentially
+/// regardless of `threads`.
 ///
 /// This is the one scoped-thread fan-out shared by every batch entry point
 /// — the labelers' parallel paths here and the service's request loop —
-/// so chunk sizing and panic propagation live in a single place.
+/// so chunk sizing, the small-batch fallback and panic propagation live in
+/// a single place.
 pub fn map_chunks_parallel<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&[I]) -> T + Sync,
+{
+    map_chunks_parallel_with_threshold(items, threads, SMALL_BATCH_SEQUENTIAL_THRESHOLD, f)
+}
+
+/// [`map_chunks_parallel`] with an explicit sequential-fallback threshold:
+/// batches shorter than `min_parallel_len` run as one chunk on the calling
+/// thread.  `0` (or `1`) disables the fallback entirely.
+pub fn map_chunks_parallel_with_threshold<I, T, F>(
+    items: &[I],
+    threads: usize,
+    min_parallel_len: usize,
+    f: F,
+) -> Vec<T>
 where
     I: Sync,
     T: Send,
@@ -841,7 +1207,7 @@ where
         return Vec::new();
     }
     let threads = threads.clamp(1, items.len());
-    if threads <= 1 {
+    if threads <= 1 || items.len() < min_parallel_len {
         return vec![f(items)];
     }
     let chunk = items.len().div_ceil(threads);
@@ -1358,6 +1724,176 @@ mod tests {
             let incremental = cached.label_query(&query);
             assert_eq!(incremental, fresh.label_query(&query), "on {text}");
             assert_eq!(incremental, bitvec.label_query(&query), "on {text}");
+        }
+    }
+
+    #[test]
+    fn interned_labeling_agrees_with_the_boxed_paths() {
+        let (c, baseline, _, _) = paper_labelers();
+        let cached = CachedLabeler::new(SecurityViews::paper_example());
+        let texts = [
+            "Q1(x) :- Meetings(x, 'Cathy')",
+            "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+            "Q(x) :- Meetings(x, y)",
+            "Q() :- Meetings(x, x)",
+            "Q(x) :- Meetings(x, y), Meetings(x, z)",
+            "Q(p) :- Contacts(p, e, 'Manager'), Meetings(t, p)",
+        ];
+        let queries: Vec<ConjunctiveQuery> = texts.iter().map(|t| q(&c, t)).collect();
+        let ids: Vec<_> = queries.iter().map(|query| cached.intern(query)).collect();
+        // Interning is canonical: an alpha-variant maps to the same id.
+        assert_eq!(cached.intern(&q(&c, "Q(a) :- Meetings(a, b)")), ids[2]);
+        for (query, &id) in queries.iter().zip(&ids) {
+            assert_eq!(
+                baseline.label_query(query),
+                cached.label_interned(id),
+                "baseline vs interned disagree on {query:?}"
+            );
+            assert_eq!(
+                cached.label_packed_interned(id),
+                baseline.label_query(query).pack()
+            );
+        }
+        // The batch fold matches the sequential fold, and a warm pass is
+        // answered entirely from the slot cache.
+        let expected = baseline.label_queries(&queries);
+        assert_eq!(cached.label_queries_interned(&ids), expected);
+        let warm = cached.stats();
+        assert_eq!(cached.label_queries_interned(&ids), expected);
+        let after = cached.stats();
+        assert_eq!(after.misses, warm.misses, "warm pass must not miss");
+        assert_eq!(after.hits, warm.hits + ids.len() as u64);
+        // Per-query interned labels line up positionally.
+        let per_query: Vec<DisclosureLabel> = queries
+            .iter()
+            .map(|query| baseline.label_query(query))
+            .collect();
+        assert_eq!(cached.label_batch_interned(&ids), per_query);
+        assert!(cached.label_queries_interned(&[]).is_bottom());
+    }
+
+    #[test]
+    fn the_arena_budget_bounds_implicit_interning() {
+        let (c, baseline, _, _) = paper_labelers();
+        let tiny = CachedLabeler::with_capacity_limit(SecurityViews::paper_example(), 2);
+        let num_views = tiny.security_views().len();
+        let texts = [
+            "Q(x) :- Meetings(x, y)",
+            "Q(x, y) :- Meetings(x, y)",
+            "Q(y) :- Meetings(x, y)",
+            "Q() :- Meetings(x, y)",
+            "Q(x) :- Meetings(x, 'Cathy')",
+            "Q(x, y, z) :- Contacts(x, y, z)",
+        ];
+        for text in texts {
+            let query = q(&c, text);
+            // Labels stay correct on both sides of the arena budget.
+            assert_eq!(tiny.label_query(&query), baseline.label_query(&query));
+        }
+        // The arena stopped growing at the budget (capacity + interned view
+        // definitions + the dissected parts of admitted shapes), however
+        // many never-repeating shapes keep arriving.
+        let after_sweep = tiny.interner().read().unwrap().len();
+        assert!(
+            after_sweep <= 2 + num_views + 2,
+            "arena grew past its budget: {after_sweep} ids"
+        );
+        for text in texts.iter().cycle().take(50) {
+            tiny.label_query(&q(&c, text));
+        }
+        assert_eq!(tiny.interner().read().unwrap().len(), after_sweep);
+        // Uncached shapes still count as misses, and explicit interning
+        // remains exempt from the budget.
+        let before = tiny.stats();
+        tiny.label_query(&q(&c, "Q(x, z) :- Contacts(x, y, z)"));
+        assert_eq!(tiny.stats().misses, before.misses + 1);
+        let explicit = tiny.intern(&q(&c, "Q(y, z) :- Contacts(x, y, z)"));
+        assert!(tiny.interner().read().unwrap().contains(explicit));
+    }
+
+    #[test]
+    fn interned_entries_refresh_after_view_mutations() {
+        let mut cached = CachedLabeler::new(SecurityViews::paper_example());
+        let c = cached.security_views().catalog().clone();
+        let meetings_q = q(&c, "Q(x) :- Meetings(x, y)");
+        let id = cached.intern(&meetings_q);
+        let before = cached.label_interned(id);
+        cached
+            .add_view("Vtime", q(&c, "Vtime(x) :- Meetings(x, y)"))
+            .unwrap();
+        // The stale interned entry re-derives and picks up the new view;
+        // the id stays valid across the mutation.
+        let after = cached.label_interned(id);
+        assert_ne!(before, after);
+        let fresh = BitVectorLabeler::new(cached.security_views().clone());
+        assert_eq!(after, fresh.label_query(&meetings_q));
+        assert_eq!(cached.stats().query_refreshes, 1);
+        // label_queries_interned takes the refresh path too, not a stale hit.
+        cached.invalidate_relation(c.resolve("Meetings").unwrap());
+        assert_eq!(cached.label_queries_interned(&[id]), after);
+        assert_eq!(cached.stats().query_refreshes, 2);
+    }
+
+    #[test]
+    fn shared_interner_aligns_ids_across_clones() {
+        let (c, _, _, _) = paper_labelers();
+        let cached = CachedLabeler::new(SecurityViews::paper_example());
+        let id = cached.intern(&q(&c, "Q(x) :- Meetings(x, y)"));
+        let snapshot = cached.clone();
+        // The clone shares the interner, so ids issued by either side agree.
+        assert_eq!(snapshot.intern(&q(&c, "Q(a) :- Meetings(a, b)")), id);
+        let late = snapshot.intern(&q(&c, "Q(x, y) :- Meetings(x, y)"));
+        assert_eq!(cached.intern(&q(&c, "Q(p, r) :- Meetings(p, r)")), late);
+        let handle = cached.interner();
+        assert!(handle.read().unwrap().contains(late));
+    }
+
+    #[test]
+    fn small_batches_run_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        let items: Vec<u32> = (0..10).collect();
+        // Below the threshold the single chunk runs on the caller.
+        let threads_used = map_chunks_parallel(&items, 8, |chunk| {
+            (std::thread::current().id(), chunk.len())
+        });
+        assert_eq!(threads_used.len(), 1);
+        assert_eq!(threads_used[0], (caller, items.len()));
+        // At or past the threshold the batch fans out again.
+        let big: Vec<u32> = (0..SMALL_BATCH_SEQUENTIAL_THRESHOLD as u32).collect();
+        let fanned =
+            map_chunks_parallel(&big, 4, |chunk| (std::thread::current().id(), chunk.len()));
+        assert_eq!(fanned.len(), 4);
+        assert!(fanned.iter().all(|(id, _)| *id != caller));
+        assert_eq!(fanned.iter().map(|(_, n)| n).sum::<usize>(), big.len());
+        // The explicit-threshold variant honors a custom crossover, and a
+        // zero threshold disables the fallback.
+        let custom = map_chunks_parallel_with_threshold(&items, 8, 11, |chunk| {
+            (std::thread::current().id(), chunk.len())
+        });
+        assert_eq!(custom.len(), 1);
+        assert_eq!(custom[0].0, caller);
+        let forced = map_chunks_parallel_with_threshold(&items, 2, 0, |chunk| {
+            (std::thread::current().id(), chunk.len())
+        });
+        assert_eq!(forced.len(), 2);
+        assert!(forced.iter().all(|(id, _)| *id != caller));
+        // Labeling results are unaffected on either side of the crossover.
+        let (c, baseline, _, _) = paper_labelers();
+        let cached = CachedLabeler::new(SecurityViews::paper_example());
+        for batch in [8usize, SMALL_BATCH_SEQUENTIAL_THRESHOLD + 8] {
+            let queries: Vec<ConjunctiveQuery> = (0..batch)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        q(&c, "Q(x) :- Meetings(x, y)")
+                    } else {
+                        q(&c, "Q(x, y, z) :- Contacts(x, y, z)")
+                    }
+                })
+                .collect();
+            assert_eq!(
+                label_queries_parallel(&cached, &queries, 4),
+                baseline.label_queries(&queries)
+            );
         }
     }
 

@@ -31,10 +31,14 @@
 //! * [`BitVectorLabeler`] — hash partitioning plus the packed bit-vector
 //!   label representation of Section 6.1.
 //!
-//! A fourth variant, [`CachedLabeler`], goes beyond the paper: it memoizes
-//! the per-atom `ℓ⁺` step by canonical atom form and pairs with the
-//! parallel batch entry point [`label_queries_parallel`] for high-throughput
-//! serving.
+//! A fourth variant, [`CachedLabeler`], goes beyond the paper: it owns a
+//! shared [`QueryInterner`](fdc_cq::intern::QueryInterner) and memoizes both
+//! the whole-query and the per-atom `ℓ⁺` step by dense interned
+//! [`QueryId`](fdc_cq::intern::QueryId) (sharded slot vectors instead of
+//! hash maps), and pairs with the parallel batch entry point
+//! [`label_queries_parallel`] for high-throughput serving.  Callers holding
+//! pre-interned ids label through `CachedLabeler::label_interned` /
+//! `label_queries_interned` without touching a hash function at all.
 //!
 //! The GLB machinery of Section 5.1 ([`unify::gen_mgu`],
 //! [`unify::glb_singleton`]) and the generic labeling procedures of
@@ -57,8 +61,9 @@ pub mod unify;
 pub use error::{LabelError, Result};
 pub use label::{AtomLabel, DisclosureLabel, PackedLabel, ViewMask};
 pub use labeler::{
-    label_queries_parallel, map_chunks_parallel, BaselineLabeler, BitVectorLabeler, CacheStats,
-    CachedLabeler, HashPartitionedLabeler, QueryLabeler,
+    label_queries_parallel, map_chunks_parallel, map_chunks_parallel_with_threshold,
+    BaselineLabeler, BitVectorLabeler, CacheStats, CachedLabeler, HashPartitionedLabeler,
+    QueryLabeler, SharedQueryInterner, SMALL_BATCH_SEQUENTIAL_THRESHOLD,
 };
 pub use security_views::{
     SecurityViewId, SecurityViews, MAX_PACKED_VIEWS_PER_RELATION, MAX_VIEWS_PER_RELATION,

@@ -8,6 +8,13 @@
 //! would require minimization plus graph canonization); use
 //! [`containment::equivalent`](crate::containment::equivalent) for semantic
 //! comparisons.
+//!
+//! The whole-query key ([`QueryKey`] / [`query_key`]) is **deprecated**: the
+//! interned query plane ([`intern`](crate::intern)) canonicalizes with the
+//! same first-occurrence numbering and hands out dense
+//! [`QueryId`](crate::intern::QueryId)s whose equality *is* key equality,
+//! without allocating a key vector per lookup.  [`atom_key`] remains for
+//! callers that need a hashable single-atom key without an interner.
 
 use std::collections::HashMap;
 
@@ -81,12 +88,24 @@ pub fn atom_key(query: &ConjunctiveQuery) -> Option<AtomKey> {
 /// equivalent queries with reordered atoms get different keys and simply
 /// occupy two cache slots — but unlike [`structural_key`] it is built in one
 /// pass without constructing a renamed query or formatting names.
+#[deprecated(
+    since = "0.1.0",
+    note = "intern the query instead: `QueryInterner` (crate::intern) canonicalizes with the \
+            same numbering and hands out a dense `QueryId` whose equality is this key's \
+            equality — without allocating one slot vector per atom on every lookup"
+)]
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct QueryKey {
     atoms: Vec<(RelId, Vec<KeySlot>)>,
 }
 
 /// Computes the canonical whole-query key.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `QueryInterner::intern` / `lookup` (crate::intern): `QueryId` equality is \
+            canonical-key equality, and id-keyed caches replace `HashMap<QueryKey, _>`"
+)]
+#[allow(deprecated)]
 pub fn query_key(query: &ConjunctiveQuery) -> QueryKey {
     let mut numbering = VarNumbering::new(query.num_vars());
     QueryKey {
@@ -291,6 +310,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn query_keys_agree_with_structural_identity() {
         let c = catalog();
         let pairs = [
@@ -334,6 +354,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn query_key_of_a_single_atom_matches_atom_key_discrimination() {
         let c = catalog();
         let a = parse_query(&c, "Q(x) :- Meetings(x, y)").unwrap();

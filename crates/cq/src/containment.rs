@@ -16,7 +16,8 @@
 //!   when it treats `V1(x, y) :- M(x, y)` and `V1'(y, x) :- M(x, y)` as
 //!   revealing the same information (Section 3.1).
 
-use crate::homomorphism::{homomorphism_exists, HeadPolicy};
+use crate::homomorphism::{homomorphism_exists, interned_homomorphism_exists, HeadPolicy};
+use crate::intern::QueryRef;
 use crate::query::ConjunctiveQuery;
 
 /// Classical containment `q1 ⊆ q2` for queries sharing a variable space.
@@ -52,6 +53,33 @@ pub fn equivalent(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
 /// ignoring all head information (plain body homomorphism from `q2` to `q1`).
 pub fn body_contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
     homomorphism_exists(q2, q1, HeadPolicy::Free)
+}
+
+// ---------------------------------------------------------------------------
+// The same comparisons over the interned flat representation.
+// ---------------------------------------------------------------------------
+
+/// [`contained_in_same_space`] over interned [`QueryRef`]s (both from one
+/// interner, sharing a variable space).
+pub fn interned_contained_in_same_space(q1: QueryRef<'_>, q2: QueryRef<'_>) -> bool {
+    interned_homomorphism_exists(q2, q1, HeadPolicy::Identity)
+}
+
+/// [`equivalent_same_space`] over interned [`QueryRef`]s.
+pub fn interned_equivalent_same_space(q1: QueryRef<'_>, q2: QueryRef<'_>) -> bool {
+    interned_contained_in_same_space(q1, q2) && interned_contained_in_same_space(q2, q1)
+}
+
+/// [`contained_in`] (information containment up to head permutation) over
+/// interned [`QueryRef`]s.
+pub fn interned_contained_in(q1: QueryRef<'_>, q2: QueryRef<'_>) -> bool {
+    interned_homomorphism_exists(q2, q1, HeadPolicy::DistinguishedToDistinguished)
+}
+
+/// [`equivalent`] (information equivalence up to head permutation) over
+/// interned [`QueryRef`]s.
+pub fn interned_equivalent(q1: QueryRef<'_>, q2: QueryRef<'_>) -> bool {
+    interned_contained_in(q1, q2) && interned_contained_in(q2, q1)
 }
 
 #[cfg(test)]

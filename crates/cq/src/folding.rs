@@ -1,7 +1,7 @@
 //! Query folding (core computation).
 //!
 //! The `Dissect` labeling algorithm of Section 5.2 "begins by computing a
-//! folding [9] of Q, which intuitively removes 'redundant' atoms from Q".
+//! folding \[9\] of Q, which intuitively removes 'redundant' atoms from Q".
 //! A folding is a minimal equivalent sub-query: the *core* of the query in
 //! the sense of Chandra–Merlin.
 //!
@@ -13,7 +13,8 @@
 //! yields a core because homomorphisms compose.
 
 use crate::atom::Atom;
-use crate::homomorphism::{find_homomorphism_into, HeadPolicy};
+use crate::homomorphism::{find_homomorphism_into, interned_homomorphism_into, HeadPolicy};
+use crate::intern::{IAtom, QueryRef};
 use crate::query::ConjunctiveQuery;
 
 /// Computes a folding (core) of the query: an equivalent query whose body is
@@ -74,6 +75,50 @@ pub fn fold(query: &ConjunctiveQuery) -> ConjunctiveQuery {
 /// True if the query is already a core (folding it removes nothing).
 pub fn is_folded(query: &ConjunctiveQuery) -> bool {
     fold(query).num_atoms() == query.num_atoms()
+}
+
+/// [`fold`] over the interned flat representation: returns the atoms of a
+/// folding (core) of the query, as spans into the query's term buffer.
+///
+/// Runs the same greedy fixpoint as [`fold`] — atom `i` is removed when the
+/// whole query maps homomorphically into the remaining atoms while fixing
+/// distinguished variables — so the surviving atom set matches the boxed
+/// implementation exactly (the `Dissect` equivalence tests rely on that).
+pub fn fold_interned(query: QueryRef<'_>) -> Vec<IAtom> {
+    let mut atoms: Vec<IAtom> = query.atoms.to_vec();
+    if atoms.len() <= 1 {
+        return atoms;
+    }
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < atoms.len() {
+            if atoms.len() == 1 {
+                break;
+            }
+            let has_sibling = atoms
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && other.relation == atoms[i].relation);
+            if !has_sibling {
+                i += 1;
+                continue;
+            }
+            let mut candidate = atoms.clone();
+            candidate.remove(i);
+            if interned_homomorphism_into(query, &candidate, query, HeadPolicy::Identity) {
+                atoms = candidate;
+                removed_any = true;
+                i = 0;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+    atoms
 }
 
 #[cfg(test)]
@@ -176,5 +221,41 @@ mod tests {
         let folded = fold(&q);
         assert_eq!(folded.num_atoms(), 1);
         assert!(folded.atoms()[0].has_repeated_vars());
+    }
+
+    #[test]
+    fn interned_folding_keeps_the_same_atoms_as_boxed_folding() {
+        use crate::intern::QueryInterner;
+        let c = catalog();
+        let texts = [
+            "Q(x) :- Meetings(x, 'Cathy')",
+            "Q(x) :- Meetings(x, y), Meetings(x, z)",
+            "Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+            "Q(x) :- Meetings(x, 'Cathy'), Meetings(x, y)",
+            "Q(x, y) :- Meetings(x, 'Cathy'), Meetings(x, y)",
+            "Q() :- Meetings(a, b), Meetings(c, d), Meetings(e, f), Meetings(g, h)",
+            "Q(x) :- Meetings(x, x), Meetings(x, y)",
+            "Q(x) :- Meetings(x, y), Meetings(x, z), Contacts(y, w, 'Intern'), Contacts(y, u, p)",
+        ];
+        let mut interner = QueryInterner::new();
+        for text in texts {
+            let query = parse_query(&c, text).unwrap();
+            let boxed = fold(&query);
+            let id = interner.intern(&query);
+            let kept = fold_interned(interner.resolve(id));
+            assert_eq!(
+                kept.len(),
+                boxed.num_atoms(),
+                "atom count differs on {text}"
+            );
+            // The surviving relations line up position by position (folding
+            // preserves atom order within the survivors).
+            let boxed_relations: Vec<_> = boxed.atoms().iter().map(|a| a.relation).collect();
+            let kept_relations: Vec<_> = kept.iter().map(|a| a.relation).collect();
+            assert_eq!(
+                boxed_relations, kept_relations,
+                "survivors differ on {text}"
+            );
+        }
     }
 }

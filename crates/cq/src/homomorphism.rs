@@ -25,6 +25,7 @@ use std::collections::HashMap;
 
 use crate::atom::Atom;
 use crate::catalog::RelId;
+use crate::intern::{IAtom, ITerm, QueryRef};
 use crate::query::ConjunctiveQuery;
 use crate::substitution::Substitution;
 use crate::term::{Term, VarKind};
@@ -290,6 +291,125 @@ fn term_allowed(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Homomorphisms over the interned flat representation.
+// ---------------------------------------------------------------------------
+
+/// True if a homomorphism exists between two interned queries under the
+/// given policy — the [`homomorphism_exists`] of the flat
+/// [`QueryRef`] representation.
+///
+/// Both views must come from the same
+/// [`QueryInterner`](crate::intern::QueryInterner) (or buffers derived from
+/// it): constants are compared by interned id.  The search allocates only
+/// two small per-call vectors (the atom order and the dense substitution);
+/// terms are single `Copy` words, so binding and unbinding are plain array
+/// writes.
+pub fn interned_homomorphism_exists(
+    from: QueryRef<'_>,
+    to: QueryRef<'_>,
+    policy: HeadPolicy,
+) -> bool {
+    interned_homomorphism_into(from, to.atoms, to, policy)
+}
+
+/// Like [`interned_homomorphism_exists`] with an explicit target atom set
+/// interpreted in `to`'s term/variable space — what interned folding needs
+/// (the target is a subset of the source's own atoms).
+pub fn interned_homomorphism_into(
+    from: QueryRef<'_>,
+    target_atoms: &[IAtom],
+    to: QueryRef<'_>,
+    policy: HeadPolicy,
+) -> bool {
+    // Most-constrained-first atom order, as in the boxed search.
+    let mut order: Vec<u32> = (0..from.atoms.len() as u32).collect();
+    order.sort_by_key(|&i| {
+        let relation = from.atoms[i as usize].relation;
+        target_atoms
+            .iter()
+            .filter(|a| a.relation == relation)
+            .count()
+    });
+    let mut subst: Vec<Option<ITerm>> = vec![None; from.num_vars()];
+    interned_search(from, &order, 0, target_atoms, to, policy, &mut subst)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn interned_search(
+    from: QueryRef<'_>,
+    order: &[u32],
+    depth: usize,
+    target_atoms: &[IAtom],
+    to: QueryRef<'_>,
+    policy: HeadPolicy,
+    subst: &mut [Option<ITerm>],
+) -> bool {
+    let Some(&atom_idx) = order.get(depth) else {
+        return true;
+    };
+    let atom = from.atoms[atom_idx as usize];
+    let source_terms = atom.terms(from.terms);
+    for target in target_atoms {
+        if target.relation != atom.relation || target.term_len != atom.term_len {
+            continue;
+        }
+        let target_terms = target.terms(to.terms);
+        let mut newly_bound: Vec<u32> = Vec::new();
+        let mut ok = true;
+        for (src, dst) in source_terms.iter().zip(target_terms.iter()) {
+            match *src {
+                ITerm::Const(c) => {
+                    if *dst != ITerm::Const(c) {
+                        ok = false;
+                        break;
+                    }
+                }
+                ITerm::Var(v, kind) => {
+                    if !interned_term_allowed(kind, *dst, v, policy) {
+                        ok = false;
+                        break;
+                    }
+                    match subst[v as usize] {
+                        Some(bound) if bound != *dst => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            subst[v as usize] = Some(*dst);
+                            newly_bound.push(v);
+                        }
+                    }
+                }
+            }
+        }
+        if ok && interned_search(from, order, depth + 1, target_atoms, to, policy, subst) {
+            return true;
+        }
+        for v in newly_bound {
+            subst[v as usize] = None;
+        }
+    }
+    false
+}
+
+#[inline]
+fn interned_term_allowed(src_kind: VarKind, dst: ITerm, src_var: u32, policy: HeadPolicy) -> bool {
+    if src_kind.is_existential() {
+        return true;
+    }
+    match policy {
+        HeadPolicy::Free => true,
+        HeadPolicy::Identity => {
+            matches!(dst, ITerm::Var(v, VarKind::Distinguished) if v == src_var)
+        }
+        HeadPolicy::DistinguishedToDistinguished => {
+            matches!(dst, ITerm::Var(_, VarKind::Distinguished))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -482,5 +602,47 @@ mod tests {
         let h = find_homomorphism(&small, &big, HeadPolicy::Free).unwrap();
         let image = h.apply_atom(&small.atoms()[0]);
         assert!(big.atoms().contains(&image));
+    }
+
+    #[test]
+    fn interned_search_agrees_with_the_boxed_search() {
+        use crate::intern::QueryInterner;
+        let c = catalog();
+        let texts = [
+            "Q(x) :- Meetings(x, y)",
+            "Q(y) :- Meetings(x, y)",
+            "Q() :- Meetings(x, y)",
+            "Q() :- Meetings(z, z)",
+            "Q() :- Meetings(9, 'Jim')",
+            "Q(x) :- Meetings(x, 'Cathy')",
+            "Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+            "Q(x) :- Meetings(x, y), Meetings(x, z)",
+            "Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern'), Contacts(y, u, 'Manager')",
+        ];
+        let mut interner = QueryInterner::new();
+        let queries: Vec<_> = texts.iter().map(|t| parse_query(&c, t).unwrap()).collect();
+        let ids: Vec<_> = queries.iter().map(|q| interner.intern(q)).collect();
+        for policy in [
+            HeadPolicy::Identity,
+            HeadPolicy::DistinguishedToDistinguished,
+            HeadPolicy::Free,
+        ] {
+            for (qa, ia) in queries.iter().zip(&ids) {
+                for (qb, ib) in queries.iter().zip(&ids) {
+                    // Identity only makes sense in a shared variable space,
+                    // but both implementations must still agree on whatever
+                    // they compute for it.
+                    assert_eq!(
+                        homomorphism_exists(qa, qb, policy),
+                        interned_homomorphism_exists(
+                            interner.resolve(*ia),
+                            interner.resolve(*ib),
+                            policy
+                        ),
+                        "disagreement under {policy:?} on {qa:?} -> {qb:?}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,748 @@
+//! The interned query plane: a flat, arena-backed representation of
+//! conjunctive queries with dense [`QueryId`]s.
+//!
+//! Every hot path of the disclosure-control stack — cached labeling, the
+//! service's admission loop, the benchmark workloads — repeatedly moves the
+//! *same* query shapes around.  The boxed [`ConjunctiveQuery`] representation
+//! (`Vec<Atom>` of `Vec<Term>` with owned variable names) is convenient to
+//! build and display but expensive to hash, compare and cache: a single
+//! canonical-key lookup allocates one vector per atom.
+//!
+//! [`QueryInterner`] fixes the representation the way `PolicyArena` fixed it
+//! for compiled policies: queries are **alpha-renamed to a canonical form**
+//! (variables renumbered by first occurrence in the body, exactly like the
+//! numbering of [`canonical::query_key`](crate::canonical)) and **interned
+//! into one flat arena** — a single term buffer ([`ITerm`] is one `Copy`
+//! word), a single atom-span table ([`IAtom`]), a single variable-kind
+//! buffer, and a constant table shared across all queries.  Interning hands
+//! out dense `u32` [`QueryId`]s:
+//!
+//! * two alpha-equivalent queries (identical up to variable renaming) intern
+//!   to the **same** id — `QueryId` equality *is* the canonical-key
+//!   comparison, for free;
+//! * structurally distinct queries get distinct ids;
+//! * ids are dense, so caches keyed by query collapse from hash maps to
+//!   plain indexed vectors.
+//!
+//! [`QueryInterner::resolve`] returns a [`QueryRef`] — a zero-copy view of
+//! the flat representation that the reasoning algorithms
+//! ([`homomorphism`](crate::homomorphism), [`containment`](crate::containment),
+//! [`folding`](crate::folding), [`rewriting`](crate::rewriting)) operate on
+//! directly, without materializing `Vec<Atom>` again.
+//!
+//! Interning is deliberately **syntactic** (like the canonical keys it
+//! replaces): semantically equivalent queries with reordered atoms intern to
+//! different ids and simply occupy two cache slots.  Semantic comparisons
+//! remain the job of [`containment`](crate::containment).
+//!
+//! # Who owns the interner?
+//!
+//! One interner per serving stack: `fdc_core::CachedLabeler` owns a shared
+//! handle and `fdc_service::DisclosureService` exposes it, so queries are
+//! interned once at the front door and every layer below trades in
+//! `QueryId`s.  Ids from one interner are meaningless to another.
+
+use std::collections::HashMap;
+
+use crate::atom::Atom;
+use crate::catalog::RelId;
+use crate::error::Result;
+use crate::query::ConjunctiveQuery;
+use crate::term::{Constant, Term, VarId, VarKind};
+
+/// Dense identifier of an interned query.
+///
+/// Ids are handed out consecutively from 0 by one [`QueryInterner`]; two
+/// queries receive the same id **iff** they are structurally identical up to
+/// variable renaming (same atoms in the same order, same constants, same
+/// variable-equality pattern, same distinguished/existential tags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u32);
+
+impl QueryId {
+    /// The id as a `usize`, convenient for indexing slot tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of an interned constant within one [`QueryInterner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConstId(pub u32);
+
+impl ConstId {
+    /// The id as a `usize`, convenient for indexing the constant table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One term of the flat representation: a canonical variable (index +
+/// distinguished/existential tag) or an interned constant.
+///
+/// `ITerm` is a single `Copy` word, so term buffers pack densely and
+/// substitutions during homomorphism search are plain array writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ITerm {
+    /// A variable, identified by its canonical (first-occurrence) index.
+    Var(u32, VarKind),
+    /// A constant, identified by its id in the interner's constant table.
+    Const(ConstId),
+}
+
+impl ITerm {
+    /// The canonical variable index, if the term is a variable.
+    #[inline]
+    pub fn var_index(self) -> Option<u32> {
+        match self {
+            ITerm::Var(v, _) => Some(v),
+            ITerm::Const(_) => None,
+        }
+    }
+
+    /// True if the term is a constant.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        matches!(self, ITerm::Const(_))
+    }
+
+    /// True if the term is a distinguished variable.
+    #[inline]
+    pub fn is_distinguished(self) -> bool {
+        matches!(self, ITerm::Var(_, VarKind::Distinguished))
+    }
+
+    /// A stable 64-bit code for hashing (variables by index and kind,
+    /// constants by interned id).
+    #[inline]
+    fn code(self) -> u64 {
+        match self {
+            ITerm::Var(v, VarKind::Distinguished) => 0x1_0000_0000 | u64::from(v),
+            ITerm::Var(v, VarKind::Existential) => 0x2_0000_0000 | u64::from(v),
+            ITerm::Const(c) => 0x3_0000_0000 | u64::from(c.0),
+        }
+    }
+}
+
+/// One atom of the flat representation: a relation plus a span into a term
+/// buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IAtom {
+    /// The atom's base relation.
+    pub relation: RelId,
+    /// Start of the atom's terms within the owning term buffer.
+    pub term_start: u32,
+    /// Number of terms (the atom's arity).
+    pub term_len: u32,
+}
+
+impl IAtom {
+    /// The atom's arity.
+    #[inline]
+    pub fn arity(self) -> usize {
+        self.term_len as usize
+    }
+
+    /// The atom's terms within `terms` (the buffer the atom's spans index
+    /// into — the arena buffer for interned atoms, a local buffer for
+    /// temporaries).
+    #[inline]
+    pub fn terms(self, terms: &[ITerm]) -> &[ITerm] {
+        &terms[self.term_start as usize..(self.term_start + self.term_len) as usize]
+    }
+}
+
+/// A zero-copy view of one query in the flat representation.
+///
+/// `atoms` is the query's atom-span slice, `terms` the buffer those spans
+/// index into, and `kinds` the per-variable tags (indexed by canonical
+/// variable index).  Interned queries borrow all three from the arena
+/// ([`QueryInterner::resolve`]); algorithms may also assemble temporary
+/// `QueryRef`s over local buffers (e.g. the expansion built by
+/// [`rewriting::interned_rewritable_from_single`](crate::rewriting::interned_rewritable_from_single)).
+#[derive(Debug, Clone, Copy)]
+pub struct QueryRef<'a> {
+    /// The query's body atoms (spans into `terms`).
+    pub atoms: &'a [IAtom],
+    /// The term buffer the atom spans index into.
+    pub terms: &'a [ITerm],
+    /// Variable kinds, indexed by canonical variable index.
+    pub kinds: &'a [VarKind],
+}
+
+impl<'a> QueryRef<'a> {
+    /// Number of body atoms.
+    #[inline]
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True if the query has a single body atom.
+    #[inline]
+    pub fn is_single_atom(&self) -> bool {
+        self.atoms.len() == 1
+    }
+
+    /// The terms of the `i`-th atom.
+    #[inline]
+    pub fn atom_terms(&self, i: usize) -> &'a [ITerm] {
+        self.atoms[i].terms(self.terms)
+    }
+
+    /// The relation of the `i`-th atom.
+    #[inline]
+    pub fn relation(&self, i: usize) -> RelId {
+        self.atoms[i].relation
+    }
+
+    /// The kind of a variable by canonical index.
+    #[inline]
+    pub fn var_kind(&self, v: u32) -> VarKind {
+        self.kinds[v as usize]
+    }
+}
+
+/// Span of one interned query within the arena buffers.
+#[derive(Debug, Clone, Copy)]
+struct QuerySpan {
+    atom_start: u32,
+    atom_len: u32,
+    kind_start: u32,
+    num_vars: u32,
+}
+
+/// The canonical form of a query, staged in scratch buffers before the
+/// dedup check (and appended to the arena only if genuinely new).
+struct CanonParts {
+    /// Per atom: relation and arity (terms are laid out consecutively).
+    atoms: Vec<(RelId, u32)>,
+    terms: Vec<ITerm>,
+    kinds: Vec<VarKind>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_step(hash: u64, value: u64) -> u64 {
+    (hash ^ value).wrapping_mul(FNV_PRIME)
+}
+
+impl CanonParts {
+    fn hash(&self) -> u64 {
+        let mut h = fnv_step(FNV_OFFSET, self.atoms.len() as u64);
+        let mut offset = 0usize;
+        for &(relation, len) in &self.atoms {
+            h = fnv_step(h, u64::from(relation.0));
+            h = fnv_step(h, u64::from(len));
+            for term in &self.terms[offset..offset + len as usize] {
+                h = fnv_step(h, term.code());
+            }
+            offset += len as usize;
+        }
+        h
+    }
+}
+
+/// Canonicalizes a [`ConjunctiveQuery`] into scratch buffers: variables are
+/// renumbered by first occurrence in the body, constants resolved through
+/// `const_id`.  Returns `None` if a constant cannot be resolved (a lookup
+/// against an interner that has never seen it — the query cannot be interned
+/// there, so it is certainly absent).
+fn canonical_parts(
+    query: &ConjunctiveQuery,
+    mut const_id: impl FnMut(&Constant) -> Option<ConstId>,
+) -> Option<CanonParts> {
+    const UNASSIGNED: u32 = u32::MAX;
+    let mut numbering = vec![UNASSIGNED; query.num_vars()];
+    let mut parts = CanonParts {
+        atoms: Vec::with_capacity(query.num_atoms()),
+        terms: Vec::new(),
+        kinds: Vec::with_capacity(query.num_vars()),
+    };
+    for atom in query.atoms() {
+        parts.atoms.push((atom.relation, atom.arity() as u32));
+        for term in &atom.terms {
+            let interned = match term {
+                Term::Var(v, kind) => {
+                    let slot = &mut numbering[v.index()];
+                    if *slot == UNASSIGNED {
+                        *slot = parts.kinds.len() as u32;
+                        parts.kinds.push(*kind);
+                    }
+                    ITerm::Var(*slot, *kind)
+                }
+                Term::Const(c) => ITerm::Const(const_id(c)?),
+            };
+            parts.terms.push(interned);
+        }
+    }
+    Some(parts)
+}
+
+/// The interning arena for conjunctive queries.
+///
+/// See the [module documentation](self) for the representation and the
+/// canonicalization contract.  The interner only ever grows; `QueryId`s and
+/// [`QueryRef`]s therefore stay valid for its whole lifetime.
+#[derive(Debug, Default)]
+pub struct QueryInterner {
+    terms: Vec<ITerm>,
+    atoms: Vec<IAtom>,
+    kinds: Vec<VarKind>,
+    queries: Vec<QuerySpan>,
+    consts: Vec<Constant>,
+    const_ids: HashMap<Constant, ConstId>,
+    /// Canonical-hash buckets for deduplication.  Collisions are resolved by
+    /// a structural comparison against the arena.
+    dedup: HashMap<u64, Vec<QueryId>>,
+    /// Dense ordinal of each **single-atom** query within the single-atom
+    /// sub-space (`u32::MAX` for multi-atom queries), indexed by `QueryId`.
+    /// Lets id-keyed per-atom tables stay proportional to the number of
+    /// distinct atoms instead of the whole arena; see
+    /// [`single_atom_ordinal`](Self::single_atom_ordinal).
+    atom_ordinals: Vec<u32>,
+    /// Number of single-atom queries interned so far (= the exclusive upper
+    /// bound of the ordinal space).
+    num_single_atom: u32,
+}
+
+impl QueryInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        QueryInterner::default()
+    }
+
+    /// Number of interned queries (= the exclusive upper bound of the dense
+    /// id space).
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// True if `id` was issued by this interner.
+    pub fn contains(&self, id: QueryId) -> bool {
+        id.index() < self.queries.len()
+    }
+
+    /// Total number of terms in the arena (a capacity/footprint metric).
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The dense ordinal of a **single-atom** query within the single-atom
+    /// sub-space (`None` for multi-atom queries).
+    ///
+    /// Ordinals are handed out consecutively from 0 as single-atom queries
+    /// are interned, so a table indexed by ordinal — e.g. the labeler's
+    /// per-atom `ℓ⁺` cache over the ids `dissect_interned` emits — stays
+    /// proportional to the number of distinct atoms, not to the whole
+    /// arena's id space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this interner.
+    #[inline]
+    pub fn single_atom_ordinal(&self, id: QueryId) -> Option<u32> {
+        let ordinal = self.atom_ordinals[id.index()];
+        (ordinal != u32::MAX).then_some(ordinal)
+    }
+
+    /// Number of single-atom queries interned so far (the exclusive upper
+    /// bound of the [`single_atom_ordinal`](Self::single_atom_ordinal)
+    /// space).
+    pub fn num_single_atom_queries(&self) -> usize {
+        self.num_single_atom as usize
+    }
+
+    /// The constant behind an interned [`ConstId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this interner.
+    pub fn constant(&self, id: ConstId) -> &Constant {
+        &self.consts[id.index()]
+    }
+
+    fn const_id_mut(&mut self, c: &Constant) -> ConstId {
+        if let Some(&id) = self.const_ids.get(c) {
+            return id;
+        }
+        let id = ConstId(self.consts.len() as u32);
+        self.consts.push(c.clone());
+        self.const_ids.insert(c.clone(), id);
+        id
+    }
+
+    /// True if the canonical form staged in `parts` equals interned query
+    /// `id`.
+    fn matches(&self, id: QueryId, parts: &CanonParts) -> bool {
+        let span = self.queries[id.index()];
+        if span.atom_len as usize != parts.atoms.len()
+            || span.num_vars as usize != parts.kinds.len()
+        {
+            return false;
+        }
+        let atoms =
+            &self.atoms[span.atom_start as usize..(span.atom_start + span.atom_len) as usize];
+        let mut offset = 0usize;
+        for (atom, &(relation, len)) in atoms.iter().zip(&parts.atoms) {
+            if atom.relation != relation || atom.term_len != len {
+                return false;
+            }
+            if atom.terms(&self.terms) != &parts.terms[offset..offset + len as usize] {
+                return false;
+            }
+            offset += len as usize;
+        }
+        true
+    }
+
+    /// Appends a staged canonical form to the arena and indexes it.
+    fn append(&mut self, parts: CanonParts, hash: u64) -> QueryId {
+        let id = QueryId(self.queries.len() as u32);
+        let atom_start = self.atoms.len() as u32;
+        let kind_start = self.kinds.len() as u32;
+        let mut term_start = self.terms.len() as u32;
+        self.terms.extend_from_slice(&parts.terms);
+        for (relation, len) in parts.atoms {
+            self.atoms.push(IAtom {
+                relation,
+                term_start,
+                term_len: len,
+            });
+            term_start += len;
+        }
+        self.kinds.extend_from_slice(&parts.kinds);
+        let atom_len = self.atoms.len() as u32 - atom_start;
+        self.queries.push(QuerySpan {
+            atom_start,
+            atom_len,
+            kind_start,
+            num_vars: parts.kinds.len() as u32,
+        });
+        self.atom_ordinals.push(if atom_len == 1 {
+            let ordinal = self.num_single_atom;
+            self.num_single_atom += 1;
+            ordinal
+        } else {
+            u32::MAX
+        });
+        self.dedup.entry(hash).or_default().push(id);
+        id
+    }
+
+    fn find(&self, parts: &CanonParts, hash: u64) -> Option<QueryId> {
+        self.dedup
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&id| self.matches(id, parts))
+    }
+
+    /// Interns a query, returning its dense id.
+    ///
+    /// The query is alpha-renamed to canonical form first, so alpha-
+    /// equivalent queries share one id (and one copy of the flat
+    /// representation).
+    pub fn intern(&mut self, query: &ConjunctiveQuery) -> QueryId {
+        let parts = canonical_parts(query, |c| Some(self.const_id_mut(c)))
+            .expect("infallible constant interning");
+        let hash = parts.hash();
+        match self.find(&parts, hash) {
+            Some(id) => id,
+            None => self.append(parts, hash),
+        }
+    }
+
+    /// Looks a query up without interning it.
+    ///
+    /// Returns the id the query *would* intern to, or `None` if its
+    /// canonical form (or any of its constants) has never been interned.
+    pub fn lookup(&self, query: &ConjunctiveQuery) -> Option<QueryId> {
+        let parts = canonical_parts(query, |c| self.const_ids.get(c).copied())?;
+        self.find(&parts, parts.hash())
+    }
+
+    /// Interns a single-atom query given directly in the flat representation
+    /// — the entry point for `Dissect`, whose output atoms are assembled
+    /// from an already-resolved [`QueryRef`].
+    ///
+    /// `terms` may use any dense variable numbering (it is re-canonicalized
+    /// here); its constants must be ids of **this** interner.  `kinds[v]` is
+    /// the kind of variable `v` under the input numbering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term references a variable outside `kinds` or a constant
+    /// not issued by this interner.
+    pub fn intern_single_atom(
+        &mut self,
+        relation: RelId,
+        terms: &[ITerm],
+        kinds: &[VarKind],
+    ) -> QueryId {
+        const UNASSIGNED: u32 = u32::MAX;
+        let mut numbering = vec![UNASSIGNED; kinds.len()];
+        let mut parts = CanonParts {
+            atoms: vec![(relation, terms.len() as u32)],
+            terms: Vec::with_capacity(terms.len()),
+            kinds: Vec::with_capacity(kinds.len()),
+        };
+        for term in terms {
+            let interned = match *term {
+                ITerm::Var(v, kind) => {
+                    let slot = &mut numbering[v as usize];
+                    if *slot == UNASSIGNED {
+                        *slot = parts.kinds.len() as u32;
+                        parts.kinds.push(kinds[v as usize]);
+                    }
+                    debug_assert_eq!(kinds[v as usize], kind, "term tag disagrees with kinds[]");
+                    ITerm::Var(*slot, kind)
+                }
+                ITerm::Const(c) => {
+                    assert!(c.index() < self.consts.len(), "foreign constant id");
+                    ITerm::Const(c)
+                }
+            };
+            parts.terms.push(interned);
+        }
+        let hash = parts.hash();
+        match self.find(&parts, hash) {
+            Some(id) => id,
+            None => self.append(parts, hash),
+        }
+    }
+
+    /// Resolves an id to its zero-copy [`QueryRef`] view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this interner.
+    #[inline]
+    pub fn resolve(&self, id: QueryId) -> QueryRef<'_> {
+        let span = self.queries[id.index()];
+        QueryRef {
+            atoms: &self.atoms
+                [span.atom_start as usize..(span.atom_start + span.atom_len) as usize],
+            terms: &self.terms,
+            kinds: &self.kinds
+                [span.kind_start as usize..(span.kind_start + span.num_vars) as usize],
+        }
+    }
+
+    /// Reconstructs an interned query as a boxed [`ConjunctiveQuery`].
+    ///
+    /// Variable names are synthesized (`x0`, `x1`, …) — interning keeps the
+    /// structure, not the display names — so the result is extensionally
+    /// equal to (and structurally identical with) every query that interned
+    /// to `id`, but not `Eq`-identical to inputs with custom names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this interner.
+    pub fn to_query(&self, id: QueryId) -> ConjunctiveQuery {
+        self.try_to_query(id).expect("interned queries are valid")
+    }
+
+    fn try_to_query(&self, id: QueryId) -> Result<ConjunctiveQuery> {
+        let q = self.resolve(id);
+        let atoms: Vec<Atom> = (0..q.num_atoms())
+            .map(|i| {
+                let terms = q
+                    .atom_terms(i)
+                    .iter()
+                    .map(|term| match *term {
+                        ITerm::Var(v, kind) => Term::Var(VarId(v), kind),
+                        ITerm::Const(c) => Term::Const(self.consts[c.index()].clone()),
+                    })
+                    .collect();
+                Atom::new(q.relation(i), terms)
+            })
+            .collect();
+        let names = (0..q.num_vars()).map(|i| format!("x{i}")).collect();
+        ConjunctiveQuery::from_parts(atoms, q.kinds.to_vec(), names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::structurally_identical;
+    use crate::catalog::Catalog;
+    use crate::parser::parse_query;
+
+    fn catalog() -> Catalog {
+        Catalog::paper_example()
+    }
+
+    fn q(c: &Catalog, s: &str) -> ConjunctiveQuery {
+        parse_query(c, s).unwrap()
+    }
+
+    #[test]
+    fn alpha_equivalent_queries_intern_to_one_id() {
+        let c = catalog();
+        let mut interner = QueryInterner::new();
+        let a = interner.intern(&q(&c, "Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')"));
+        let b = interner.intern(&q(&c, "Q(p) :- Meetings(p, r), Contacts(r, s, 'Intern')"));
+        assert_eq!(a, b);
+        assert_eq!(interner.len(), 1);
+        // Interning is idempotent.
+        assert_eq!(
+            interner.intern(&q(&c, "Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')")),
+            a
+        );
+    }
+
+    #[test]
+    fn structurally_distinct_queries_get_distinct_ids() {
+        let c = catalog();
+        let mut interner = QueryInterner::new();
+        let texts = [
+            "Q(x) :- Meetings(x, y)",
+            "Q(y) :- Meetings(x, y)",
+            "Q(x, y) :- Meetings(x, y)",
+            "Q() :- Meetings(x, y)",
+            "Q() :- Meetings(z, z)",
+            "Q(x) :- Meetings(x, 'Cathy')",
+            "Q(x) :- Meetings(x, 'Bob')",
+            "Q() :- Meetings(x, y), Contacts(p, r, s)",
+            "Q() :- Contacts(p, r, s), Meetings(x, y)",
+        ];
+        let ids: Vec<QueryId> = texts.iter().map(|t| interner.intern(&q(&c, t))).collect();
+        for (i, a) in ids.iter().enumerate() {
+            for (j, b) in ids.iter().enumerate() {
+                assert_eq!(a == b, i == j, "{} vs {}", texts[i], texts[j]);
+            }
+        }
+        assert_eq!(interner.len(), texts.len());
+    }
+
+    #[test]
+    fn ids_are_dense_and_resolvable() {
+        let c = catalog();
+        let mut interner = QueryInterner::new();
+        assert!(interner.is_empty());
+        let a = interner.intern(&q(&c, "Q(x) :- Meetings(x, y)"));
+        let b = interner.intern(&q(&c, "Q(x, y) :- Meetings(x, y)"));
+        assert_eq!((a, b), (QueryId(0), QueryId(1)));
+        assert!(interner.contains(a) && interner.contains(b));
+        assert!(!interner.contains(QueryId(2)));
+        assert!(interner.num_terms() >= 4);
+
+        let aref = interner.resolve(a);
+        assert_eq!(aref.num_atoms(), 1);
+        assert_eq!(aref.num_vars(), 2);
+        assert!(aref.is_single_atom());
+        assert_eq!(aref.var_kind(0), VarKind::Distinguished);
+        assert_eq!(aref.var_kind(1), VarKind::Existential);
+        assert_eq!(aref.atom_terms(0).len(), 2);
+        assert_eq!(aref.relation(0), catalog().resolve("Meetings").unwrap());
+    }
+
+    #[test]
+    fn lookup_never_interns() {
+        let c = catalog();
+        let mut interner = QueryInterner::new();
+        let query = q(&c, "Q(x) :- Meetings(x, 'Cathy')");
+        assert_eq!(interner.lookup(&query), None);
+        assert_eq!(interner.len(), 0);
+        let id = interner.intern(&query);
+        assert_eq!(interner.lookup(&query), Some(id));
+        // Alpha variant hits the same id; unknown constants miss cheaply.
+        assert_eq!(
+            interner.lookup(&q(&c, "Q(a) :- Meetings(a, 'Cathy')")),
+            Some(id)
+        );
+        assert_eq!(interner.lookup(&q(&c, "Q(x) :- Meetings(x, 'Jim')")), None);
+        assert_eq!(interner.len(), 1);
+    }
+
+    #[test]
+    fn to_query_reconstructs_the_canonical_form() {
+        let c = catalog();
+        let mut interner = QueryInterner::new();
+        for text in [
+            "Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+            "Q() :- Meetings(z, z)",
+            "Q(x) :- Meetings(x, 9)",
+            "Q(a, b, e) :- Contacts(a, b, e)",
+        ] {
+            let query = q(&c, text);
+            let id = interner.intern(&query);
+            let back = interner.to_query(id);
+            assert!(
+                structurally_identical(&query, &back),
+                "round trip changed {text}: got {back:?}"
+            );
+            assert!(crate::containment::equivalent(&query, &back));
+            assert!(back.validate(&c).is_ok());
+        }
+    }
+
+    #[test]
+    fn constants_are_shared_across_queries() {
+        let c = catalog();
+        let mut interner = QueryInterner::new();
+        let a = interner.intern(&q(&c, "Q(x) :- Meetings(x, 'Cathy')"));
+        let b = interner.intern(&q(&c, "Q() :- Meetings(y, 'Cathy')"));
+        assert_ne!(a, b);
+        let ca = interner.resolve(a).atom_terms(0)[1];
+        let cb = interner.resolve(b).atom_terms(0)[1];
+        assert_eq!(ca, cb);
+        let ITerm::Const(id) = ca else {
+            panic!("expected a constant term");
+        };
+        assert_eq!(interner.constant(id), &Constant::str("Cathy"));
+    }
+
+    #[test]
+    fn single_atom_ordinals_are_dense_within_their_subspace() {
+        let c = catalog();
+        let mut interner = QueryInterner::new();
+        let s0 = interner.intern(&q(&c, "Q(x) :- Meetings(x, y)"));
+        let m0 = interner.intern(&q(&c, "Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')"));
+        let s1 = interner.intern(&q(&c, "Q(x, y) :- Meetings(x, y)"));
+        let s2 = interner.intern(&q(&c, "Q(a, b, e) :- Contacts(a, b, e)"));
+        assert_eq!(interner.single_atom_ordinal(s0), Some(0));
+        assert_eq!(interner.single_atom_ordinal(m0), None);
+        assert_eq!(interner.single_atom_ordinal(s1), Some(1));
+        assert_eq!(interner.single_atom_ordinal(s2), Some(2));
+        assert_eq!(interner.num_single_atom_queries(), 3);
+        // Re-interning does not burn ordinals.
+        interner.intern(&q(&c, "Q(p, r) :- Meetings(p, r)"));
+        assert_eq!(interner.num_single_atom_queries(), 3);
+    }
+
+    #[test]
+    fn intern_single_atom_agrees_with_intern() {
+        let c = catalog();
+        let mut interner = QueryInterner::new();
+        let query = q(&c, "Q(x) :- Meetings(x, y)");
+        let id = interner.intern(&query);
+        // Re-intern the same atom from its resolved flat form, with a
+        // permuted (non-canonical) variable numbering.
+        let meetings = c.resolve("Meetings").unwrap();
+        let terms = [
+            ITerm::Var(1, VarKind::Distinguished),
+            ITerm::Var(0, VarKind::Existential),
+        ];
+        let kinds = [VarKind::Existential, VarKind::Distinguished];
+        let again = interner.intern_single_atom(meetings, &terms, &kinds);
+        assert_eq!(again, id);
+        assert_eq!(interner.len(), 1);
+    }
+}

@@ -17,6 +17,9 @@
 //!   labeling algorithm.
 //! * [`rewriting`] — equivalent view rewriting checks for single-atom views,
 //!   the concrete disclosure order used by the paper's labelers.
+//! * [`intern`] — the interned query plane: an arena-backed flat CQ
+//!   representation with dense [`QueryId`]s and a zero-copy [`QueryRef`]
+//!   view that the reasoning algorithms above also operate on directly.
 //!
 //! The crate has no dependencies and is deliberately self-contained so that
 //! the labeling layer (`fdc-core`) and the policy layer (`fdc-policy`) can be
@@ -50,6 +53,7 @@ pub mod database;
 pub mod error;
 pub mod folding;
 pub mod homomorphism;
+pub mod intern;
 pub mod parser;
 pub mod query;
 pub mod rewriting;
@@ -60,5 +64,6 @@ pub use atom::Atom;
 pub use catalog::{Catalog, RelId, RelationSchema};
 pub use database::{evaluate, Database};
 pub use error::{CqError, Result};
+pub use intern::{QueryId, QueryInterner, QueryRef};
 pub use query::ConjunctiveQuery;
 pub use term::{Constant, Term, VarId, VarKind};

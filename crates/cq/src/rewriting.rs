@@ -32,7 +32,8 @@
 //! labeling layer treat [`rewritable_from_single`] as its only oracle.
 
 use crate::atom::Atom;
-use crate::containment::equivalent_same_space;
+use crate::containment::{equivalent_same_space, interned_equivalent_same_space};
+use crate::intern::{IAtom, ITerm, QueryRef};
 use crate::query::ConjunctiveQuery;
 use crate::term::{Term, VarId, VarKind};
 
@@ -156,6 +157,95 @@ pub fn rewritable_from_single(query: &ConjunctiveQuery, view: &ConjunctiveQuery)
     };
 
     equivalent_same_space(&expansion, query)
+}
+
+/// [`rewritable_from_single`] over the interned flat representation.
+///
+/// `query` and `view` must resolve against the same
+/// [`QueryInterner`](crate::intern::QueryInterner) (constants are compared
+/// by interned id).  The candidate rewriting's expansion is assembled in two
+/// small local buffers and checked with the interned same-space equivalence
+/// — no boxed query is ever materialized, which is what makes this the
+/// fallback path of the interned labeler's per-atom `ℓ⁺` step.
+pub fn interned_rewritable_from_single(query: QueryRef<'_>, view: QueryRef<'_>) -> bool {
+    if !query.is_single_atom() || !view.is_single_atom() {
+        return false;
+    }
+    let q_atom = query.atoms[0];
+    let v_atom = view.atoms[0];
+    if q_atom.relation != v_atom.relation || q_atom.term_len != v_atom.term_len {
+        return false;
+    }
+    let q_terms = query.atom_terms(0);
+    let v_terms = view.atom_terms(0);
+
+    // Step 1: positional assignment θ from the view's distinguished
+    // variables to query terms; fail fast on irreproducible positions.
+    let mut theta: Vec<Option<ITerm>> = vec![None; view.num_vars()];
+    for (v_term, q_term) in v_terms.iter().zip(q_terms.iter()) {
+        match *v_term {
+            ITerm::Var(v, VarKind::Distinguished) => match theta[v as usize] {
+                Some(existing) if existing != *q_term => return false,
+                Some(_) => {}
+                None => theta[v as usize] = Some(*q_term),
+            },
+            ITerm::Var(_, VarKind::Existential) => {}
+            ITerm::Const(c) => {
+                if *q_term != ITerm::Const(c) {
+                    return false;
+                }
+            }
+        }
+    }
+
+    // Step 2: every distinguished variable of the query must be exposed by
+    // the view at some position.
+    for (q_var, kind) in query.kinds.iter().enumerate() {
+        if !kind.is_distinguished() {
+            continue;
+        }
+        let exposed = v_terms.iter().zip(q_terms.iter()).any(|(v_term, q_term)| {
+            v_term.is_distinguished() && q_term.var_index() == Some(q_var as u32)
+        });
+        if !exposed {
+            return false;
+        }
+    }
+
+    // Step 3: the expansion of the one-use candidate, in the query's
+    // variable space extended with fresh existential variables for the
+    // positions the view projects away.
+    let mut kinds: Vec<VarKind> = query.kinds.to_vec();
+    let mut fresh_for_view_var: Vec<Option<u32>> = vec![None; view.num_vars()];
+    let mut terms: Vec<ITerm> = Vec::with_capacity(v_terms.len());
+    for v_term in v_terms {
+        match *v_term {
+            ITerm::Var(v, VarKind::Distinguished) => {
+                let bound =
+                    theta[v as usize].expect("distinguished view variables occur in the view body");
+                terms.push(bound);
+            }
+            ITerm::Var(v, VarKind::Existential) => {
+                let fresh = *fresh_for_view_var[v as usize].get_or_insert_with(|| {
+                    kinds.push(VarKind::Existential);
+                    (kinds.len() - 1) as u32
+                });
+                terms.push(ITerm::Var(fresh, VarKind::Existential));
+            }
+            ITerm::Const(c) => terms.push(ITerm::Const(c)),
+        }
+    }
+    let expansion_atom = IAtom {
+        relation: q_atom.relation,
+        term_start: 0,
+        term_len: terms.len() as u32,
+    };
+    let expansion = QueryRef {
+        atoms: std::slice::from_ref(&expansion_atom),
+        terms: &terms,
+        kinds: &kinds,
+    };
+    interned_equivalent_same_space(expansion, query)
 }
 
 /// Can the single-atom query be rewritten using *some* view in `views`?
@@ -379,6 +469,44 @@ mod tests {
         let v1 = q(&c, "V1(x, y) :- Meetings(x, y)");
         assert!(!rewritable_from_single(&multi, &v1));
         assert!(!rewritable_from_single(&v1, &multi));
+    }
+
+    #[test]
+    fn interned_rewriting_check_agrees_with_the_boxed_one() {
+        use crate::intern::QueryInterner;
+        let c = catalog();
+        // Every single-atom shape from the tests above, queries and views
+        // alike — the check is symmetric in representation, so compare all
+        // ordered pairs.
+        let texts = [
+            "V1(x, y) :- Meetings(x, y)",
+            "V2(x) :- Meetings(x, y)",
+            "V4(y) :- Meetings(x, y)",
+            "V5() :- Meetings(x, y)",
+            "Q1(x) :- Meetings(x, 'Cathy')",
+            "Vc(x) :- Meetings(x, 'Cathy')",
+            "Q(x) :- Meetings(x, 'Bob')",
+            "V13() :- Meetings(9, 'Jim')",
+            "V15() :- Meetings(z, z)",
+            "Vd(x) :- Meetings(x, x)",
+            "V3(x, y, z) :- Contacts(x, y, z)",
+            "V6(x, y) :- Contacts(x, y, z)",
+            "V7(x, z) :- Contacts(x, y, z)",
+            "V9(x) :- Contacts(x, y, z)",
+            "V12() :- Contacts(x, y, z)",
+        ];
+        let mut interner = QueryInterner::new();
+        let queries: Vec<_> = texts.iter().map(|t| q(&c, t)).collect();
+        let ids: Vec<_> = queries.iter().map(|query| interner.intern(query)).collect();
+        for (qa, ia) in queries.iter().zip(&ids) {
+            for (qb, ib) in queries.iter().zip(&ids) {
+                assert_eq!(
+                    rewritable_from_single(qa, qb),
+                    interned_rewritable_from_single(interner.resolve(*ia), interner.resolve(*ib)),
+                    "disagreement on {qa:?} vs {qb:?}"
+                );
+            }
+        }
     }
 
     #[test]

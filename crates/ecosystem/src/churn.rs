@@ -16,7 +16,8 @@
 //! to measure the payoff of epoch-based invalidation.
 
 use fdc_core::security_views::MAX_PACKED_VIEWS_PER_RELATION;
-use fdc_core::SecurityViews;
+use fdc_core::{SecurityViews, SharedQueryInterner};
+use fdc_cq::intern::QueryId;
 use fdc_cq::RelId;
 use fdc_service::Operation;
 use rand::rngs::SmallRng;
@@ -71,6 +72,13 @@ impl Default for ChurnConfig {
     }
 }
 
+/// One admission draw from the template pool or the fresh generator: the
+/// bare interned id when an interner is attached, the boxed query otherwise.
+enum AdmissionDraw {
+    Boxed(fdc_cq::ConjunctiveQuery),
+    Interned(QueryId),
+}
+
 /// Generates the mixed operation stream of the Figure 7 experiment.
 ///
 /// The generator tracks the view universe it has grown so far (names and
@@ -90,8 +98,13 @@ pub struct ChurnGenerator {
     view_counts: Vec<usize>,
     /// Number of views added by this generator (for unique naming).
     added: usize,
-    /// The query template pool (see [`ChurnConfig::query_pool`]).
-    pool: Vec<fdc_cq::ConjunctiveQuery>,
+    /// The query template pool (see [`ChurnConfig::query_pool`]), each entry
+    /// paired with its interned id once an interner is attached.
+    pool: Vec<(fdc_cq::ConjunctiveQuery, Option<QueryId>)>,
+    /// The target service's interner, once attached — admissions then carry
+    /// 8-byte `QueryId`s (`SubmitInterned` / `CheckInterned`) instead of
+    /// boxed queries.
+    interner: Option<SharedQueryInterner>,
 }
 
 impl ChurnGenerator {
@@ -112,12 +125,38 @@ impl ChurnGenerator {
             view_counts,
             added: 0,
             pool: Vec::new(),
+            interner: None,
         }
     }
 
     /// The generator's configuration.
     pub fn config(&self) -> ChurnConfig {
         self.config
+    }
+
+    /// Attaches the target service's interner
+    /// ([`DisclosureService::interner`](fdc_service::DisclosureService::interner)):
+    /// the template pool is **interned once** — entries seeded so far
+    /// immediately, later ones as they are generated — and every subsequent
+    /// admission is emitted as `SubmitInterned` / `CheckInterned` carrying a
+    /// dense [`QueryId`] instead of a boxed query.
+    ///
+    /// The interned stream decides identically to the boxed stream on the
+    /// same service (asserted by the test suite); it just skips the
+    /// per-operation canonicalization at the service boundary.
+    ///
+    /// Re-attaching (e.g. pointing the same generator at a second service)
+    /// re-interns the whole pool through the **new** interner — ids from a
+    /// previously attached interner are never carried over, since they
+    /// would silently resolve to unrelated queries there.
+    pub fn attach_interner(&mut self, interner: SharedQueryInterner) {
+        {
+            let mut guard = interner.write().unwrap_or_else(|e| e.into_inner());
+            for (query, id) in &mut self.pool {
+                *id = Some(guard.intern(query));
+            }
+        }
+        self.interner = Some(interner);
     }
 
     /// Number of `AddSecurityView` operations generated so far.
@@ -138,18 +177,43 @@ impl ChurnGenerator {
         fdc_policy::PrincipalId(self.rng.gen_range(0..self.config.num_principals.max(1)) as u32)
     }
 
+    /// Interns a freshly generated query, if an interner is attached.
+    fn intern_now(&self, query: &fdc_cq::ConjunctiveQuery) -> Option<QueryId> {
+        self.interner.as_ref().map(|handle| {
+            handle
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .intern(query)
+        })
+    }
+
     /// The next admission query: fresh from the Section 7.2 generator, or
-    /// resampled from the template pool once it is seeded.
-    fn next_admission_query(&mut self) -> fdc_cq::ConjunctiveQuery {
+    /// resampled from the template pool once it is seeded.  With an
+    /// interner attached the draw is the bare 8-byte id — pooled boxed
+    /// queries are never cloned onto the stream.
+    fn next_admission_query(&mut self) -> AdmissionDraw {
         if self.config.query_pool == 0 {
-            return self.queries.next_query();
+            let query = self.queries.next_query();
+            return match self.intern_now(&query) {
+                Some(id) => AdmissionDraw::Interned(id),
+                None => AdmissionDraw::Boxed(query),
+            };
         }
         if self.pool.len() < self.config.query_pool {
             let query = self.queries.next_query();
-            self.pool.push(query.clone());
-            return query;
+            let id = self.intern_now(&query);
+            let draw = match id {
+                Some(id) => AdmissionDraw::Interned(id),
+                None => AdmissionDraw::Boxed(query.clone()),
+            };
+            self.pool.push((query, id));
+            return draw;
         }
-        self.pool[self.rng.gen_range(0..self.pool.len())].clone()
+        let (query, id) = &self.pool[self.rng.gen_range(0..self.pool.len())];
+        match id {
+            Some(id) => AdmissionDraw::Interned(*id),
+            None => AdmissionDraw::Boxed(query.clone()),
+        }
     }
 
     /// Generates one pure admission operation (no mutation draw) — used to
@@ -157,11 +221,15 @@ impl ChurnGenerator {
     /// before a measured churn stream begins.
     pub fn next_admission(&mut self) -> Operation {
         let principal = self.random_principal();
-        let query = self.next_admission_query();
-        if self.draw(self.config.check_share) {
-            Operation::Check { principal, query }
-        } else {
-            Operation::Submit { principal, query }
+        let draw = self.next_admission_query();
+        let check = self.draw(self.config.check_share);
+        match (draw, check) {
+            (AdmissionDraw::Interned(query), true) => Operation::CheckInterned { principal, query },
+            (AdmissionDraw::Interned(query), false) => {
+                Operation::SubmitInterned { principal, query }
+            }
+            (AdmissionDraw::Boxed(query), true) => Operation::Check { principal, query },
+            (AdmissionDraw::Boxed(query), false) => Operation::Submit { principal, query },
         }
     }
 
@@ -281,18 +349,20 @@ mod tests {
 
     #[test]
     fn the_query_pool_bounds_shape_diversity() {
-        use fdc_cq::canonical::query_key;
+        use fdc_cq::intern::QueryInterner;
         let mut pooled = generator(ChurnConfig {
             mutation_ratio: 0.0,
             query_pool: 16,
             ..ChurnConfig::default()
         });
-        let mut shapes = std::collections::HashSet::new();
+        // Interning canonicalizes, so the interner's size after the stream
+        // is exactly the number of distinct shapes.
+        let mut shapes = QueryInterner::new();
         for op in pooled.ops(400) {
             let Operation::Submit { query, .. } = op else {
                 panic!("pure admission stream");
             };
-            shapes.insert(query_key(&query));
+            shapes.intern(&query);
         }
         assert!(
             shapes.len() <= 16,
@@ -352,6 +422,61 @@ mod tests {
             assert!(!response.is_rejected(), "{op:?} -> {response:?}");
         }
         assert!(service.labeler().stats().invalidations >= churn.views_added() as u64);
+    }
+
+    #[test]
+    fn interned_streams_decide_identically_to_boxed_streams() {
+        use fdc_ecosystem_service_smoke::build_service;
+        let schema = facebook_catalog();
+        let registry = facebook_security_views(&schema);
+        let config = ChurnConfig {
+            mutation_ratio: 0.05,
+            add_view_share: 0.2,
+            check_share: 0.2,
+            query_pool: 12,
+            num_principals: 15,
+            ..ChurnConfig::default()
+        };
+        // Boxed reference stream.
+        let mut boxed_churn = ChurnGenerator::new(schema.clone(), &registry, config);
+        let mut boxed_service = build_service(&registry, 15);
+        let boxed_ops = boxed_churn.ops(600);
+        let boxed_responses = boxed_service.run_batch(&boxed_ops);
+        // Same seed, but attached to the target service's interner: the
+        // pool is interned once and admissions stream as 8-byte ids.
+        let mut interned_churn = ChurnGenerator::new(schema, &registry, config);
+        let mut interned_service = build_service(&registry, 15);
+        interned_churn.attach_interner(interned_service.interner());
+        let interned_ops = interned_churn.ops(600);
+        assert!(interned_ops
+            .iter()
+            .all(|op| !matches!(op, Operation::Submit { .. } | Operation::Check { .. })));
+        assert!(interned_ops
+            .iter()
+            .any(|op| matches!(op, Operation::SubmitInterned { .. })));
+        let interned_responses = interned_service.run_batch(&interned_ops);
+        assert_eq!(boxed_responses, interned_responses);
+        assert_eq!(boxed_service.totals(), interned_service.totals());
+        // Attaching mid-stream interns the already-seeded pool exactly once.
+        let pool_size = interned_service.interner().read().unwrap().len();
+        assert!(
+            pool_size >= 12,
+            "the pool was interned ({pool_size} shapes)"
+        );
+
+        // Re-attaching to a *different* service re-interns the pool through
+        // the new interner — stale ids from the first service must never
+        // leak into the second (they would resolve to unrelated queries).
+        let mut boxed_third = build_service(&registry, 15);
+        let mut interned_third = build_service(&registry, 15);
+        interned_churn.attach_interner(interned_third.interner());
+        let boxed_more = boxed_churn.ops(150);
+        let interned_more = interned_churn.ops(150);
+        assert_eq!(
+            boxed_third.run_batch(&boxed_more),
+            interned_third.run_batch(&interned_more)
+        );
+        assert_eq!(boxed_third.totals(), interned_third.totals());
     }
 
     /// Tiny helper namespace so the test above reads naturally.

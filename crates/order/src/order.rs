@@ -62,7 +62,7 @@ impl DisclosureOrder for SubsetOrder {
 /// The caller is responsible for the axioms of Definition 3.1; use
 /// [`check_disclosure_order_axioms`] in tests.  The most common use is to
 /// lift a *singleton* comparison ("view `v` is derivable from the set `w`")
-/// into a full order with [`FnOrder::from_singleton_leq`], which satisfies
+/// into a full order with `FnOrder::from_singleton_leq`, which satisfies
 /// the axioms by construction whenever the singleton comparison is monotone
 /// in `w` and reflexive.
 pub struct FnOrder<F>

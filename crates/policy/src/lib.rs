@@ -24,9 +24,9 @@
 //! ([`compiled`]): every enforcement surface — the single-principal
 //! [`ReferenceMonitor`], the flat multi-principal [`PolicyStore`], the
 //! multi-core [`ShardedPolicyStore`] and the fused [`AdmissionPipeline`] —
-//! decides against one shared [`CompiledPolicy`](compiled::CompiledPolicy)
+//! decides against one shared [`CompiledPolicy`]
 //! form, deduplicated across principals by the
-//! [`PolicyArena`](compiled::PolicyArena) so per-principal state is 24
+//! [`PolicyArena`] so per-principal state is 24
 //! bytes and the paper's million-principal axis runs by default.
 
 #![forbid(unsafe_code)]
@@ -51,5 +51,5 @@ pub use partition::PolicyPartition;
 #[allow(deprecated)]
 pub use pipeline::AdmissionPipeline;
 pub use policy::SecurityPolicy;
-pub use shard::ShardedPolicyStore;
+pub use shard::{ShardedPolicyStore, DEFAULT_PARALLEL_THRESHOLD};
 pub use store::{PolicyStore, PrincipalId};

@@ -23,6 +23,13 @@ use crate::monitor::Decision;
 use crate::policy::SecurityPolicy;
 use crate::store::{PolicyStore, PrincipalId};
 
+/// Batches shorter than this are decided sequentially on the calling thread
+/// by default: for tiny batches, spawning one scoped worker per shard costs
+/// more than the handful of bit-mask decisions being parallelized.  Tune per
+/// store with [`ShardedPolicyStore::set_parallel_threshold`] (mirroring
+/// `fdc_core::SMALL_BATCH_SEQUENTIAL_THRESHOLD` on the labeling side).
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 32;
+
 /// A policy store partitioned over independent shards.
 ///
 /// Principal `p` lives in shard `p % num_shards` at local slot
@@ -33,20 +40,39 @@ use crate::store::{PolicyStore, PrincipalId};
 pub struct ShardedPolicyStore {
     shards: Vec<PolicyStore>,
     num_principals: usize,
+    /// Minimum batch length for the scoped-thread fan-out; shorter batches
+    /// fall back to the sequential path.
+    parallel_threshold: usize,
 }
 
 impl ShardedPolicyStore {
-    /// Creates an empty store with `num_shards` shards (at least 1).
+    /// Creates an empty store with `num_shards` shards (at least 1) and the
+    /// [default small-batch threshold](DEFAULT_PARALLEL_THRESHOLD).
     pub fn new(num_shards: usize) -> Self {
         ShardedPolicyStore {
             shards: (0..num_shards.max(1)).map(|_| PolicyStore::new()).collect(),
             num_principals: 0,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
         }
     }
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The current small-batch sequential-fallback threshold.
+    pub fn parallel_threshold(&self) -> usize {
+        self.parallel_threshold
+    }
+
+    /// Sets the minimum batch length at which
+    /// [`submit_batch_parallel`](Self::submit_batch_parallel) /
+    /// [`decide_batch_parallel`](Self::decide_batch_parallel) fan out to
+    /// scoped worker threads.  `0` (or `1`) forces the parallel path for
+    /// every non-trivial batch.
+    pub fn set_parallel_threshold(&mut self, threshold: usize) {
+        self.parallel_threshold = threshold;
     }
 
     /// Number of registered principals.
@@ -194,7 +220,7 @@ impl ShardedPolicyStore {
         batch: &[(PrincipalId, &[PackedLabel])],
     ) -> Vec<Decision> {
         let num_shards = self.shards.len();
-        if num_shards <= 1 || batch.len() <= 1 {
+        if num_shards <= 1 || batch.len() <= 1 || batch.len() < self.parallel_threshold {
             return self.submit_batch(batch);
         }
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
@@ -260,7 +286,7 @@ impl ShardedPolicyStore {
         batch: &[(PrincipalId, &[PackedLabel], bool)],
     ) -> Vec<Decision> {
         let num_shards = self.shards.len();
-        if num_shards <= 1 || batch.len() <= 1 {
+        if num_shards <= 1 || batch.len() <= 1 || batch.len() < self.parallel_threshold {
             return batch
                 .iter()
                 .map(|(principal, label, commit)| self.decide_packed(*principal, label, *commit))
@@ -506,6 +532,63 @@ mod tests {
             assert_eq!(flat.consistency_bits(p), sharded.consistency_bits(p));
             assert_eq!(flat.stats(p), sharded.stats(p));
             assert_eq!(flat.policy(p), sharded.policy(p));
+        }
+    }
+
+    #[test]
+    fn small_batches_fall_back_to_the_sequential_path() {
+        let (registry, labeler) = setup();
+        // A store with a raised threshold decides a 100-request batch
+        // sequentially; one with a zero threshold fans out.  Both must equal
+        // the plain sequential store on decisions and state.
+        let mut raised = ShardedPolicyStore::new(4);
+        raised.set_parallel_threshold(1_000);
+        assert_eq!(raised.parallel_threshold(), 1_000);
+        let mut forced = ShardedPolicyStore::new(4);
+        forced.set_parallel_threshold(0);
+        let mut sequential = ShardedPolicyStore::new(4);
+        assert_eq!(sequential.parallel_threshold(), DEFAULT_PARALLEL_THRESHOLD);
+        for _ in 0..11 {
+            raised.register(wall(&registry));
+            forced.register(wall(&registry));
+            sequential.register(wall(&registry));
+        }
+        let labels: Vec<Vec<PackedLabel>> = [
+            "Q(x, y) :- Contacts(x, y, z)",
+            "Q(x) :- Meetings(x, y)",
+            "Q(x, y) :- Meetings(x, y)",
+        ]
+        .iter()
+        .cycle()
+        .take(100)
+        .map(|text| label(&labeler, text).pack())
+        .collect();
+        let batch: Vec<(PrincipalId, &[PackedLabel])> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (PrincipalId((i % 11) as u32), l.as_slice()))
+            .collect();
+        let expected = sequential.submit_batch(&batch);
+        assert_eq!(raised.submit_batch_parallel(&batch), expected);
+        assert_eq!(forced.submit_batch_parallel(&batch), expected);
+        assert_eq!(raised.totals(), sequential.totals());
+        assert_eq!(forced.totals(), sequential.totals());
+        // Same crossover on the mixed submit/check path.
+        let mixed: Vec<(PrincipalId, &[PackedLabel], bool)> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (PrincipalId((i % 11) as u32), l.as_slice(), i % 2 == 0))
+            .collect();
+        let expected_mixed: Vec<Decision> = mixed
+            .iter()
+            .map(|(p, l, commit)| sequential.decide_packed(*p, l, *commit))
+            .collect();
+        assert_eq!(raised.decide_batch_parallel(&mixed), expected_mixed);
+        assert_eq!(forced.decide_batch_parallel(&mixed), expected_mixed);
+        for i in 0..11 {
+            let p = PrincipalId(i);
+            assert_eq!(raised.stats(p), sequential.stats(p));
+            assert_eq!(forced.stats(p), sequential.stats(p));
         }
     }
 

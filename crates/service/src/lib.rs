@@ -414,4 +414,74 @@ mod tests {
         // The incremental service kept its cache across the mutation.
         assert!(incremental.labeler().stats().entries > 0);
     }
+
+    #[test]
+    fn interned_admissions_match_boxed_admissions() {
+        use fdc_cq::intern::QueryId;
+        let mut service = service(2);
+        let p0 = PrincipalId(0);
+        let p1 = PrincipalId(1);
+        let meetings = q(&service, "Q(x, y) :- Meetings(x, y)");
+        let contacts = q(&service, "Q(x, y, z) :- Contacts(x, y, z)");
+        let m_id = service.intern(&meetings);
+        let c_id = service.intern(&contacts);
+        // An alpha-variant interns to the same id through the service.
+        assert_eq!(
+            service.intern(&q(&service, "Q(a, b) :- Meetings(a, b)")),
+            m_id
+        );
+
+        // Sequential interned admissions decide like their boxed twins on
+        // an identical second principal.
+        assert_eq!(service.check_interned(p0, m_id), Ok(Decision::Allow));
+        assert_eq!(service.submit_interned(p0, m_id), Ok(Decision::Allow));
+        assert_eq!(service.submit_interned(p0, c_id), Ok(Decision::Deny));
+        assert_eq!(service.check(p1, &meetings), Ok(Decision::Allow));
+        assert_eq!(service.submit(p1, &meetings), Ok(Decision::Allow));
+        assert_eq!(service.submit(p1, &contacts), Ok(Decision::Deny));
+
+        // Mixed batches: one principal served interned, one boxed — same
+        // responses position by position.
+        let ops = vec![
+            Operation::SubmitInterned {
+                principal: p0,
+                query: m_id,
+            },
+            Operation::Submit {
+                principal: p1,
+                query: meetings.clone(),
+            },
+            Operation::CheckInterned {
+                principal: p0,
+                query: c_id,
+            },
+            Operation::Check {
+                principal: p1,
+                query: contacts.clone(),
+            },
+        ];
+        let responses = service.run_batch(&ops);
+        assert_eq!(responses[0], responses[1]);
+        assert_eq!(responses[2], responses[3]);
+
+        // Interned submissions land in the audit history like boxed ones.
+        let audit0 = service.audit_app(p0).unwrap();
+        let audit1 = service.audit_app(p1).unwrap();
+        assert_eq!(audit0.used.len(), audit1.used.len());
+
+        // Foreign ids are rejected without touching any state.
+        let bogus = QueryId(u32::MAX);
+        assert_eq!(
+            service.submit_interned(p0, bogus),
+            Err(ServiceError::UnknownQuery(bogus))
+        );
+        let rejected = service.run_batch(&[Operation::CheckInterned {
+            principal: p0,
+            query: bogus,
+        }]);
+        assert_eq!(
+            rejected[0],
+            Response::Rejected(ServiceError::UnknownQuery(bogus))
+        );
+    }
 }

@@ -11,6 +11,7 @@
 use std::fmt;
 
 use fdc_core::{LabelError, SecurityViewId};
+use fdc_cq::intern::QueryId;
 use fdc_cq::ConjunctiveQuery;
 use fdc_policy::{AuditReport, Decision, PrincipalId};
 
@@ -30,6 +31,25 @@ pub enum Operation {
         principal: PrincipalId,
         /// The conjunctive query to probe.
         query: ConjunctiveQuery,
+    },
+    /// [`Submit`](Operation::Submit) by pre-interned query id — the
+    /// zero-parse, zero-hash admission path for callers that interned their
+    /// query pool once through the service's
+    /// [`interner`](crate::DisclosureService::interner) (e.g.
+    /// `fdc_ecosystem::ChurnGenerator::attach_interner`).  An op is 8 bytes
+    /// of query instead of a boxed CQ clone.
+    SubmitInterned {
+        /// The querying principal.
+        principal: PrincipalId,
+        /// Interned id of the query, issued by the service's interner.
+        query: QueryId,
+    },
+    /// [`Check`](Operation::Check) by pre-interned query id; never commits.
+    CheckInterned {
+        /// The querying principal.
+        principal: PrincipalId,
+        /// Interned id of the query, issued by the service's interner.
+        query: QueryId,
     },
     /// Grant one more permission (security view) to a principal: every
     /// partition of its policy gains the view.
@@ -66,10 +86,17 @@ pub enum Operation {
 }
 
 impl Operation {
-    /// True for the admission operations (`Submit` / `Check`) that the
-    /// request loop batches onto the sharded parallel path.
+    /// True for the admission operations (`Submit` / `Check` and their
+    /// interned forms) that the request loop batches onto the sharded
+    /// parallel path.
     pub fn is_admission(&self) -> bool {
-        matches!(self, Operation::Submit { .. } | Operation::Check { .. })
+        matches!(
+            self,
+            Operation::Submit { .. }
+                | Operation::Check { .. }
+                | Operation::SubmitInterned { .. }
+                | Operation::CheckInterned { .. }
+        )
     }
 
     /// True for the operations that mutate policies or the view universe.
@@ -118,6 +145,9 @@ impl Response {
 pub enum ServiceError {
     /// The principal id was never issued by this service.
     UnknownPrincipal(PrincipalId),
+    /// The query id was never issued by this service's interner (an
+    /// interned admission referenced a foreign or future id).
+    UnknownQuery(QueryId),
     /// No security view with this name is registered.
     UnknownView(String),
     /// The view registry rejected a new view (duplicate name, multi-atom
@@ -134,6 +164,9 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::UnknownPrincipal(principal) => {
                 write!(f, "unknown principal id {}", principal.0)
+            }
+            ServiceError::UnknownQuery(query) => {
+                write!(f, "unknown interned query id {}", query.0)
             }
             ServiceError::UnknownView(name) => {
                 write!(f, "no security view named `{name}` is registered")
@@ -175,6 +208,21 @@ mod tests {
             query: q.clone()
         }
         .is_admission());
+        assert!(Operation::SubmitInterned {
+            principal: p,
+            query: QueryId(0)
+        }
+        .is_admission());
+        assert!(Operation::CheckInterned {
+            principal: p,
+            query: QueryId(3)
+        }
+        .is_admission());
+        assert!(!Operation::SubmitInterned {
+            principal: p,
+            query: QueryId(0)
+        }
+        .is_mutation());
         let grant = Operation::GrantView {
             principal: p,
             view: "V1".into(),
@@ -194,6 +242,9 @@ mod tests {
         assert!(ServiceError::UnknownPrincipal(PrincipalId(7))
             .to_string()
             .contains('7'));
+        assert!(ServiceError::UnknownQuery(QueryId(41))
+            .to_string()
+            .contains("41"));
         assert!(ServiceError::UnknownView("user_likes".into())
             .to_string()
             .contains("user_likes"));

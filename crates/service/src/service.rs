@@ -3,8 +3,10 @@
 use std::collections::VecDeque;
 
 use fdc_core::{
-    CachedLabeler, PackedLabel, QueryLabeler, SecurityViews, MAX_PACKED_VIEWS_PER_RELATION,
+    map_chunks_parallel_with_threshold, CachedLabeler, PackedLabel, QueryLabeler, SecurityViews,
+    SharedQueryInterner, MAX_PACKED_VIEWS_PER_RELATION, SMALL_BATCH_SEQUENTIAL_THRESHOLD,
 };
+use fdc_cq::intern::QueryId;
 use fdc_cq::{ConjunctiveQuery, RelId};
 use fdc_policy::{
     audit_app, requested_views, AuditReport, Decision, PrincipalId, SecurityPolicy,
@@ -46,6 +48,13 @@ pub struct ServiceConfig {
     pub history_cap: usize,
     /// Cache-invalidation strategy; see [`InvalidationMode`].
     pub invalidation: InvalidationMode,
+    /// Minimum admission-run length for the scoped-thread fan-out: shorter
+    /// runs are labeled and decided sequentially on the calling thread,
+    /// because spawning workers costs more than the handful of lookups
+    /// being parallelized.  Applied to both stages (the labeling fan-out
+    /// and the policy store's per-shard workers).  `0` forces the parallel
+    /// path for every non-trivial run.
+    pub parallel_threshold: usize,
 }
 
 impl Default for ServiceConfig {
@@ -54,6 +63,7 @@ impl Default for ServiceConfig {
             num_shards: 0,
             history_cap: 1024,
             invalidation: InvalidationMode::Incremental,
+            parallel_threshold: SMALL_BATCH_SEQUENTIAL_THRESHOLD,
         }
     }
 }
@@ -108,6 +118,12 @@ pub struct ServiceStats {
 #[derive(Debug)]
 pub struct DisclosureService {
     labeler: CachedLabeler,
+    /// Handle to the labeler's query interner — the id authority behind
+    /// every `SubmitInterned` / `CheckInterned` operation.  The service
+    /// *owns* the interner in the architectural sense: callers obtain ids
+    /// through [`intern`](Self::intern) (or this handle) and the service
+    /// validates them at admission time.
+    interner: SharedQueryInterner,
     store: ShardedPolicyStore,
     /// Per-principal FIFO of recently submitted queries (capped at
     /// `config.history_cap`), the observed workload `AuditApp` audits
@@ -115,6 +131,14 @@ pub struct DisclosureService {
     history: Vec<VecDeque<ConjunctiveQuery>>,
     config: ServiceConfig,
     stats: ServiceStats,
+}
+
+/// The query operand of one admission, as carried through the request loop:
+/// a borrowed boxed query or a pre-interned id.
+#[derive(Clone, Copy)]
+enum AdmissionQuery<'a> {
+    Plain(&'a ConjunctiveQuery),
+    Interned(QueryId),
 }
 
 impl DisclosureService {
@@ -142,9 +166,14 @@ impl DisclosureService {
         } else {
             config.num_shards
         };
+        let labeler = CachedLabeler::new(views);
+        let interner = labeler.interner();
+        let mut store = ShardedPolicyStore::new(num_shards);
+        store.set_parallel_threshold(config.parallel_threshold);
         DisclosureService {
-            labeler: CachedLabeler::new(views),
-            store: ShardedPolicyStore::new(num_shards),
+            labeler,
+            interner,
+            store,
             history: Vec::new(),
             config: ServiceConfig {
                 num_shards,
@@ -181,6 +210,24 @@ impl DisclosureService {
         &self.labeler
     }
 
+    /// The service's shared query-interner handle — the id authority behind
+    /// interned admissions.
+    ///
+    /// Workload generators clone this handle to intern their query pools
+    /// once (see `fdc_ecosystem::ChurnGenerator::attach_interner`) and then
+    /// stream 8-byte [`QueryId`]s instead of boxed queries.
+    pub fn interner(&self) -> SharedQueryInterner {
+        self.labeler.interner()
+    }
+
+    /// Interns a query into the service's id space, returning the dense
+    /// [`QueryId`] that [`submit_interned`](Self::submit_interned) /
+    /// [`check_interned`](Self::check_interned) and the
+    /// `SubmitInterned` / `CheckInterned` operations accept.
+    pub fn intern(&self, query: &ConjunctiveQuery) -> QueryId {
+        self.labeler.intern(query)
+    }
+
     /// The enforcement stage.
     pub fn store(&self) -> &ShardedPolicyStore {
         &self.store
@@ -214,6 +261,19 @@ impl DisclosureService {
         }
     }
 
+    fn validate_query_id(&self, query: QueryId) -> Result<(), ServiceError> {
+        let known = self
+            .interner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains(query);
+        if known {
+            Ok(())
+        } else {
+            Err(ServiceError::UnknownQuery(query))
+        }
+    }
+
     /// Records a submitted query into the principal's observed workload.
     fn record(&mut self, principal: PrincipalId, query: &ConjunctiveQuery) {
         if self.config.history_cap == 0 {
@@ -224,6 +284,21 @@ impl DisclosureService {
             log.pop_front();
         }
         log.push_back(query.clone());
+    }
+
+    /// Records an interned submission: the id resolves back through the
+    /// interner (only when history is enabled — the hot fig7 configuration
+    /// disables it and pays nothing here).
+    fn record_interned(&mut self, principal: PrincipalId, query: QueryId) {
+        if self.config.history_cap == 0 {
+            return;
+        }
+        let resolved = self
+            .interner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .to_query(query);
+        self.record(principal, &resolved);
     }
 
     /// Flushes the label cache if the service runs in
@@ -261,6 +336,36 @@ impl DisclosureService {
         self.validate_principal(principal)?;
         self.stats.admissions += 1;
         let packed = self.labeler.label_packed(query);
+        Ok(self.store.check_packed(principal, &packed))
+    }
+
+    /// [`submit`](Self::submit) by pre-interned query id: the label comes
+    /// straight out of the id-indexed slot cache — no parsing, no hashing,
+    /// no query clone on the wire.
+    pub fn submit_interned(
+        &mut self,
+        principal: PrincipalId,
+        query: QueryId,
+    ) -> Result<Decision, ServiceError> {
+        self.validate_principal(principal)?;
+        self.validate_query_id(query)?;
+        self.stats.admissions += 1;
+        let packed = self.labeler.label_packed_interned(query);
+        let decision = self.store.submit_packed(principal, &packed);
+        self.record_interned(principal, query);
+        Ok(decision)
+    }
+
+    /// [`check`](Self::check) by pre-interned query id; never commits.
+    pub fn check_interned(
+        &mut self,
+        principal: PrincipalId,
+        query: QueryId,
+    ) -> Result<Decision, ServiceError> {
+        self.validate_principal(principal)?;
+        self.validate_query_id(query)?;
+        self.stats.admissions += 1;
+        let packed = self.labeler.label_packed_interned(query);
         Ok(self.store.check_packed(principal, &packed))
     }
 
@@ -331,6 +436,18 @@ impl DisclosureService {
                 Ok(decision) => Response::Decision(decision),
                 Err(err) => Response::Rejected(err),
             },
+            Operation::SubmitInterned { principal, query } => {
+                match self.submit_interned(*principal, *query) {
+                    Ok(decision) => Response::Decision(decision),
+                    Err(err) => Response::Rejected(err),
+                }
+            }
+            Operation::CheckInterned { principal, query } => {
+                match self.check_interned(*principal, *query) {
+                    Ok(decision) => Response::Decision(decision),
+                    Err(err) => Response::Rejected(err),
+                }
+            }
             Operation::GrantView { principal, view } => match self.grant_view(*principal, view) {
                 Ok(()) => Response::PolicyUpdated,
                 Err(err) => Response::Rejected(err),
@@ -366,14 +483,20 @@ impl DisclosureService {
     pub fn run_batch(&mut self, ops: &[Operation]) -> Vec<Response> {
         let mut responses: Vec<Option<Response>> = vec![None; ops.len()];
         // (op index, principal, query, commit) of the pending admission run.
-        let mut run: Vec<(usize, PrincipalId, &ConjunctiveQuery, bool)> = Vec::new();
+        let mut run: Vec<(usize, PrincipalId, AdmissionQuery<'_>, bool)> = Vec::new();
         for (i, op) in ops.iter().enumerate() {
             match op {
                 Operation::Submit { principal, query } => {
-                    run.push((i, *principal, query, true));
+                    run.push((i, *principal, AdmissionQuery::Plain(query), true));
                 }
                 Operation::Check { principal, query } => {
-                    run.push((i, *principal, query, false));
+                    run.push((i, *principal, AdmissionQuery::Plain(query), false));
+                }
+                Operation::SubmitInterned { principal, query } => {
+                    run.push((i, *principal, AdmissionQuery::Interned(*query), true));
+                }
+                Operation::CheckInterned { principal, query } => {
+                    run.push((i, *principal, AdmissionQuery::Interned(*query), false));
                 }
                 _ => {
                     self.flush_run(&mut run, &mut responses);
@@ -388,28 +511,54 @@ impl DisclosureService {
             .collect()
     }
 
-    /// Executes one pending admission run on the parallel path.
+    /// Executes one pending admission run on the parallel path (sequentially
+    /// below [`ServiceConfig::parallel_threshold`]).
     fn flush_run(
         &mut self,
-        run: &mut Vec<(usize, PrincipalId, &ConjunctiveQuery, bool)>,
+        run: &mut Vec<(usize, PrincipalId, AdmissionQuery<'_>, bool)>,
         responses: &mut [Option<Response>],
     ) {
         if run.is_empty() {
             return;
         }
-        // Unknown principals answer immediately and drop out of the batch.
-        let mut valid: Vec<(usize, PrincipalId, &ConjunctiveQuery, bool)> =
+        // Unknown principals and foreign query ids answer immediately and
+        // drop out of the batch.
+        let mut valid: Vec<(usize, PrincipalId, AdmissionQuery<'_>, bool)> =
             Vec::with_capacity(run.len());
         for &(i, principal, query, commit) in run.iter() {
-            match self.validate_principal(principal) {
+            let checked = self
+                .validate_principal(principal)
+                .and_then(|()| match query {
+                    AdmissionQuery::Plain(_) => Ok(()),
+                    AdmissionQuery::Interned(id) => self.validate_query_id(id),
+                });
+            match checked {
                 Ok(()) => valid.push((i, principal, query, commit)),
                 Err(err) => responses[i] = Some(Response::Rejected(err)),
             }
         }
         self.stats.admissions += valid.len() as u64;
-        // Stage 1: label every query in parallel through the shared cache.
-        let queries: Vec<&ConjunctiveQuery> = valid.iter().map(|(_, _, q, _)| *q).collect();
-        let packed = label_packed_parallel(&self.labeler, &queries, self.config.num_shards);
+        // Stage 1: label every query in parallel through the shared cache —
+        // interned admissions index the slot cache directly, plain ones
+        // intern on first sight.
+        let labeler = &self.labeler;
+        let packed: Vec<Vec<PackedLabel>> = map_chunks_parallel_with_threshold(
+            &valid,
+            self.config.num_shards,
+            self.config.parallel_threshold,
+            |chunk| {
+                chunk
+                    .iter()
+                    .map(|&(_, _, query, _)| match query {
+                        AdmissionQuery::Plain(q) => labeler.label_packed(q),
+                        AdmissionQuery::Interned(id) => labeler.label_packed_interned(id),
+                    })
+                    .collect::<Vec<_>>()
+            },
+        )
+        .into_iter()
+        .flatten()
+        .collect();
         // Stage 2: decide the mixed submit/check batch, one worker per shard.
         let batch: Vec<(PrincipalId, &[PackedLabel], bool)> = valid
             .iter()
@@ -419,27 +568,15 @@ impl DisclosureService {
         let decisions = self.store.decide_batch_parallel(&batch);
         for (&(i, principal, query, commit), decision) in valid.iter().zip(decisions) {
             if commit {
-                self.record(principal, query);
+                match query {
+                    AdmissionQuery::Plain(q) => self.record(principal, q),
+                    AdmissionQuery::Interned(id) => self.record_interned(principal, id),
+                }
             }
             responses[i] = Some(Response::Decision(decision));
         }
         run.clear();
     }
-}
-
-/// Labels a batch of queries (by reference) in parallel on up to `threads`
-/// scoped worker threads sharing the labeler's caches, returning the packed
-/// labels in input order.
-fn label_packed_parallel(
-    labeler: &CachedLabeler,
-    queries: &[&ConjunctiveQuery],
-    threads: usize,
-) -> Vec<Vec<PackedLabel>> {
-    let per_chunk: Vec<Vec<Vec<PackedLabel>>> =
-        fdc_core::map_chunks_parallel(queries, threads, |chunk| {
-            chunk.iter().map(|q| labeler.label_packed(q)).collect()
-        });
-    per_chunk.into_iter().flatten().collect()
 }
 
 /// The host's available parallelism, with a serial fallback.

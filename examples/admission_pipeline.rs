@@ -1,25 +1,26 @@
-//! The fused admission pipeline end to end: parsed queries go in, policy
-//! decisions come out, and the label never leaves the packed 64-bit form
-//! between the caching labeler and the sharded, interned policy store.
+//! The fused admission path end to end, served by the `DisclosureService`
+//! front door (which superseded the deprecated `AdmissionPipeline`): parsed
+//! queries go in, policy decisions come out, and the label never leaves the
+//! packed 64-bit form between the caching labeler and the sharded, interned
+//! policy store.
 //!
-//! The `AdmissionPipeline` is deprecated in favor of
-//! `fdc::service::DisclosureService` (same fused path plus online policy
-//! mutation — see `examples/dynamic_service.rs`); this example sticks with
-//! the wrapper to document the frozen-workload compatibility path.
+//! The third pass shows the interned query plane: the workload's query
+//! shapes are interned **once** through the service's `QueryInterner`, and
+//! the steady state then streams 8-byte `QueryId`s — no per-request
+//! canonical hashing at all.
 //!
 //! Run with `cargo run --release --example admission_pipeline`.
-#![allow(deprecated)]
 
 use std::time::Instant;
 
 use fdc::ecosystem::policies::PolicyGeneratorConfig;
 use fdc::ecosystem::{Ecosystem, WorkloadConfig};
 use fdc::policy::PrincipalId;
+use fdc::service::{Operation, ServiceConfig};
 
 fn main() {
     let ecosystem = Ecosystem::new();
     let num_principals = 10_000;
-    let num_shards = std::thread::available_parallelism().map_or(1, |n| n.get());
     let config = PolicyGeneratorConfig {
         max_partitions: 5,
         max_elements_per_partition: 25,
@@ -27,11 +28,18 @@ fn main() {
         seed: 0xADC,
     };
 
-    println!("Building the admission pipeline…");
-    let mut pipeline = ecosystem.admission_pipeline(config, num_principals, num_shards);
-    let store = pipeline.store();
+    println!("Building the disclosure service…");
+    let mut service = ecosystem.disclosure_service(
+        config,
+        num_principals,
+        ServiceConfig {
+            history_cap: 0, // pure admission benchmark: no audit history
+            ..ServiceConfig::default()
+        },
+    );
+    let store = service.store();
     println!(
-        "  {} principals over {} shards, {} distinct compiled policies, \
+        "  {} principals over {} policy shards, {} distinct compiled policies, \
          {} bytes of per-principal state ({} bytes each)\n",
         store.len(),
         store.num_shards(),
@@ -44,17 +52,25 @@ fn main() {
     let batch_size = 50_000;
     let mut workload = ecosystem.workload(WorkloadConfig::base(0xADC0));
     let queries = workload.batch(batch_size);
-    let principals: Vec<PrincipalId> = (0..batch_size)
-        .map(|i| PrincipalId((i % num_principals) as u32))
+    let ops: Vec<Operation> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, query)| Operation::Submit {
+            principal: PrincipalId((i % num_principals) as u32),
+            query: query.clone(),
+        })
         .collect();
 
     println!("Admitting {batch_size} requests (label → packed check, all cores)…");
     let start = Instant::now();
-    let decisions = pipeline.admit_batch(&principals, &queries);
+    let responses = service.run_batch(&ops);
     let elapsed = start.elapsed();
 
-    let allowed = decisions.iter().filter(|d| d.is_allow()).count();
-    let (answered, refused) = pipeline.totals();
+    let allowed = responses
+        .iter()
+        .filter(|r| r.decision().is_some_and(|d| d.is_allow()))
+        .count();
+    let (answered, refused) = service.totals();
     println!(
         "  {} allowed, {} refused in {:.1} ms ({:.2} M requests/s)\n",
         allowed,
@@ -67,9 +83,9 @@ fn main() {
     // The second pass is the serving steady state: every query shape is a
     // label-cache hit, every decision a handful of bit-mask operations.
     let start = Instant::now();
-    let _ = pipeline.admit_batch(&principals, &queries);
+    let _ = service.run_batch(&ops);
     let warm = start.elapsed();
-    let stats = pipeline.labeler().stats();
+    let stats = service.labeler().stats();
     println!(
         "Warm pass: {:.1} ms ({:.2} M requests/s); label cache: {} hits, {} misses ({:.0}% hit rate)",
         warm.as_secs_f64() * 1e3,
@@ -77,5 +93,27 @@ fn main() {
         stats.hits,
         stats.misses,
         stats.hit_rate() * 100.0,
+    );
+
+    // Third pass on the interned plane: intern each shape once, then stream
+    // dense ids — the canonical hash disappears from the hot loop.
+    let interned_ops: Vec<Operation> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, query)| Operation::SubmitInterned {
+            principal: PrincipalId((i % num_principals) as u32),
+            query: service.intern(query),
+        })
+        .collect();
+    let distinct = service.interner().read().unwrap().len();
+    let start = Instant::now();
+    let interned_responses = service.run_batch(&interned_ops);
+    let interned = start.elapsed();
+    assert_eq!(interned_responses.len(), batch_size);
+    println!(
+        "Interned pass: {:.1} ms ({:.2} M requests/s) over {} distinct interned shapes",
+        interned.as_secs_f64() * 1e3,
+        batch_size as f64 / interned.as_secs_f64() / 1e6,
+        distinct,
     );
 }

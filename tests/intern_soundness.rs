@@ -1,0 +1,164 @@
+//! Property test: query interning is sound.
+//!
+//! The interned query plane (`fdc_cq::intern`) claims three things:
+//!
+//! 1. **Alpha-equivalent queries get the same `QueryId`** — interning
+//!    canonicalizes by first-occurrence variable renaming, so queries that
+//!    differ only in variable identities collapse to one id.
+//! 2. **Structurally distinct queries get distinct ids** — ids discriminate
+//!    exactly as finely as the canonical keys they replace.
+//! 3. **`resolve`/`to_query` after `intern` is lossless** — the
+//!    reconstructed query is structurally identical (up to renaming) and
+//!    extensionally equal (semantic equivalence in both directions) to the
+//!    input.
+//!
+//! All three are driven here over the paper's Section 7.2 workload generator
+//! (randomized relations, audiences, projections, multi-subquery joins) and
+//! a hand-written shape pool covering constants, repeated variables and
+//! self-joins.
+
+use fdc::cq::canonical::{rename_canonical, structurally_identical};
+use fdc::cq::containment::equivalent;
+use fdc::cq::intern::QueryInterner;
+use fdc::cq::parser::parse_query;
+use fdc::cq::{Catalog, ConjunctiveQuery};
+use fdc::ecosystem::{Ecosystem, WorkloadConfig};
+use proptest::prelude::*;
+
+/// One shared soundness check: interning `query` twice (once as given, once
+/// alpha-renamed) yields one id, and the id resolves back to an
+/// extensionally equal query.
+fn assert_sound(interner: &mut QueryInterner, query: &ConjunctiveQuery) {
+    let id = interner.intern(query);
+    // Idempotence and alpha-invariance: the canonical renaming is a
+    // different `ConjunctiveQuery` value (fresh names, renumbered ids) but
+    // the same shape.
+    prop_assert_eq!(interner.intern(query), id, "interning is not idempotent");
+    let renamed = rename_canonical(query);
+    prop_assert_eq!(
+        interner.intern(&renamed),
+        id,
+        "alpha-equivalent query got a different id: {:?}",
+        renamed
+    );
+    prop_assert_eq!(interner.lookup(query), Some(id));
+    // Round trip: structurally identical and extensionally equal.
+    let back = interner.to_query(id);
+    prop_assert!(
+        structurally_identical(query, &back),
+        "round trip changed the structure: {:?} vs {:?}",
+        query,
+        back
+    );
+    prop_assert!(
+        equivalent(query, &back),
+        "round trip changed the semantics: {:?} vs {:?}",
+        query,
+        back
+    );
+    // The zero-copy view agrees with the reconstruction on the cheap facts.
+    let view = interner.resolve(id);
+    prop_assert_eq!(view.num_atoms(), query.num_atoms());
+    prop_assert_eq!(view.num_vars(), query.num_vars());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Ecosystem workloads: soundness holds for every generated query, and
+    /// distinct ids imply distinct structure (and vice versa) across a
+    /// whole batch.
+    #[test]
+    fn interning_is_sound_on_ecosystem_workloads(
+        seed in 0u64..1_000_000,
+        max_subqueries in 1usize..5,
+    ) {
+        let eco = Ecosystem::new();
+        let mut generator = eco.workload(WorkloadConfig::stress(max_subqueries, seed));
+        let queries = generator.batch(30);
+        let mut interner = QueryInterner::new();
+        let mut ids = Vec::with_capacity(queries.len());
+        for query in &queries {
+            assert_sound(&mut interner, query);
+            ids.push(interner.intern(query));
+        }
+        // Ids discriminate exactly like structural identity.
+        for (qa, ia) in queries.iter().zip(&ids) {
+            for (qb, ib) in queries.iter().zip(&ids) {
+                prop_assert_eq!(
+                    ia == ib,
+                    structurally_identical(qa, qb),
+                    "id equality diverged from structural identity on {:?} vs {:?}",
+                    qa,
+                    qb
+                );
+            }
+        }
+        // The id space stays dense: no more ids than interned shapes.
+        prop_assert!(interner.len() <= queries.len());
+        for &id in &ids {
+            prop_assert!(interner.contains(id));
+        }
+    }
+
+    /// Paper-schema shapes: constants, repeated variables, self-joins and
+    /// permuted heads — every pair discriminates exactly as structural
+    /// identity does, within one interner and across insertion orders.
+    #[test]
+    fn interning_discriminates_tricky_shapes(shuffle_seed in 0u64..1_000_000) {
+        let catalog = Catalog::paper_example();
+        let texts = [
+            "Q(x) :- Meetings(x, y)",
+            "Q(y) :- Meetings(x, y)",
+            "Q(x, y) :- Meetings(x, y)",
+            "Q(y, x) :- Meetings(x, y)",
+            "Q() :- Meetings(x, y)",
+            "Q() :- Meetings(z, z)",
+            "Q(x) :- Meetings(x, x)",
+            "Q(x) :- Meetings(x, 'Cathy')",
+            "Q(x) :- Meetings(x, 'Bob')",
+            "Q() :- Meetings(9, 'Jim')",
+            "Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+            "Q(x) :- Meetings(x, y), Contacts(y, w, 'Manager')",
+            "Q() :- Meetings(x, y), Contacts(p, r, s)",
+            "Q() :- Contacts(p, r, s), Meetings(x, y)",
+            "Q() :- Meetings(x, y), Meetings(y, z)",
+            "Q() :- Meetings(x, y), Meetings(z, w)",
+        ];
+        // Insert in a seed-dependent order: ids differ run to run, but the
+        // discrimination must not.
+        let mut order: Vec<usize> = (0..texts.len()).collect();
+        let mut state = shuffle_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for i in (1..order.len()).rev() {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            order.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let queries: Vec<ConjunctiveQuery> = texts
+            .iter()
+            .map(|t| parse_query(&catalog, t).unwrap())
+            .collect();
+        let mut interner = QueryInterner::new();
+        let mut ids = vec![None; texts.len()];
+        for &i in &order {
+            assert_sound(&mut interner, &queries[i]);
+            ids[i] = Some(interner.intern(&queries[i]));
+        }
+        for i in 0..texts.len() {
+            for j in 0..texts.len() {
+                prop_assert_eq!(
+                    ids[i] == ids[j],
+                    structurally_identical(&queries[i], &queries[j]),
+                    "{} vs {}",
+                    texts[i],
+                    texts[j]
+                );
+            }
+        }
+        // The id space never exceeds the pool (head-permuted twins such as
+        // `Q(x, y)` vs `Q(y, x)` collapse in the tagged representation).
+        prop_assert!(interner.len() <= texts.len());
+        prop_assert!(interner.len() >= texts.len() - 1);
+    }
+}

@@ -1,12 +1,13 @@
 //! Property test: the four labeler variants are observationally identical.
 //!
 //! The paper's Figure 5 variants (`BaselineLabeler`, `HashPartitionedLabeler`,
-//! `BitVectorLabeler`) and the caching labeler added on top (`CachedLabeler`,
-//! sequential and parallel batch paths) are different *engineering* of the
-//! same function; this test drives all of them over randomly generated
-//! workloads — both the structural query generator of the property suite and
-//! the paper's Section 7.2 ecosystem generator — and asserts label equality
-//! everywhere.
+//! `BitVectorLabeler`) and the caching labeler added on top (`CachedLabeler`
+//! — sequential, parallel batch, and the fully interned `label_interned` /
+//! `label_queries_interned` paths over pre-interned `QueryId`s) are
+//! different *engineering* of the same function; this test drives all of
+//! them over randomly generated workloads — both the structural query
+//! generator of the property suite and the paper's Section 7.2 ecosystem
+//! generator — and asserts label equality everywhere.
 
 use fdc::core::{
     label_queries_parallel, BaselineLabeler, BitVectorLabeler, CachedLabeler,
@@ -35,11 +36,23 @@ proptest! {
             // Twice through the cached labeler: once cold, once from cache.
             prop_assert_eq!(&reference, &eco.cached.label_query(query));
             prop_assert_eq!(&reference, &eco.cached.label_query(query));
+            // The interned path — pre-interned id straight into the slot
+            // cache — produces the identical label, packed and unpacked.
+            let id = eco.cached.intern(query);
+            prop_assert_eq!(&reference, &eco.cached.label_interned(id));
+            prop_assert_eq!(eco.cached.label_packed_interned(id), reference.pack());
         }
-        // The batch paths agree with the sequential fold, on every variant.
+        // The batch paths agree with the sequential fold, on every variant —
+        // including the fully interned batch entry point.
         let cumulative = eco.baseline.label_queries(&queries);
         prop_assert_eq!(&cumulative, &eco.hashed.label_queries(&queries));
         prop_assert_eq!(&cumulative, &eco.cached.label_queries_batch(&queries));
+        let ids: Vec<_> = queries.iter().map(|q| eco.cached.intern(q)).collect();
+        prop_assert_eq!(&cumulative, &eco.cached.label_queries_interned(&ids));
+        prop_assert_eq!(
+            eco.cached.label_batch_interned(&ids),
+            queries.iter().map(|q| eco.baseline.label_query(q)).collect::<Vec<_>>()
+        );
         for threads in [1usize, 2, 7] {
             prop_assert_eq!(
                 &cumulative,
@@ -94,6 +107,10 @@ proptest! {
             prop_assert_eq!(&reference, &hashed.label_query(&query), "hashed on {}", text);
             prop_assert_eq!(&reference, &bitvec.label_query(&query), "bitvec on {}", text);
             prop_assert_eq!(&reference, &cached.label_query(&query), "cached on {}", text);
+            // The selection and diagonal views force the interned per-atom
+            // step through its rewriting fallback as well.
+            let id = cached.intern(&query);
+            prop_assert_eq!(&reference, &cached.label_interned(id), "interned on {}", text);
         }
     }
 }

@@ -249,7 +249,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// A length specification for [`vec`]: a fixed size or a size range.
+    /// A length specification for [`vec()`](vec()): a fixed size or a size range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
