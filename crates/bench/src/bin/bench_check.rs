@@ -1,0 +1,495 @@
+//! `bench_check` — the CI acceptance gate over the emitted `BENCH_*.json`
+//! trajectories.
+//!
+//! Replaces the brittle awk/grep pipeline that used to live in
+//! `.github/workflows/ci.yml`: the JSON is actually *parsed* (a minimal
+//! recursive-descent parser — the workspace is offline, so no serde), every
+//! required series must be present, and the numeric acceptance floors are
+//! enforced with the offending series named in the failure message.
+//!
+//! ```text
+//! # committed trajectories, full floors:
+//! cargo run -p fdc-bench --bin bench_check -- \
+//!     --fig5 BENCH_fig5.json --fig6 BENCH_fig6.json --fig7 BENCH_fig7.json
+//! # smoke trajectories, structural checks + relaxed floors:
+//! cargo run -p fdc-bench --bin bench_check -- --smoke \
+//!     --fig5 smoke_fig5.json --fig6 smoke_fig6.json --fig7 smoke_fig7.json
+//! ```
+//!
+//! Floors (committed mode):
+//!
+//! * fig5 — `min_speedup_interned_vs_cached` ≥ 1.5;
+//! * fig6 — `interned_packed` and every `sharded_parallel_x*` series
+//!   present at every sweep point;
+//! * fig7 — `speedup_at_1pct` ≥ 2.0 (incremental vs flush-on-mutation —
+//!   PR 3's 3.0 bar predates the interned query plane, which made the
+//!   flush baseline's cold relabeling ~3x cheaper and compressed the gap),
+//!   and the `pipelined` series ≥ the `incremental` series at the 0.1% and
+//!   1% mutation ratios, ≥ parity (within 5%) at 10%.
+//!
+//! Smoke mode keeps the structural checks and relaxes the numeric floors to
+//! what a 5000-op single-shot smoke run can actually resolve (fig5 > 1.0;
+//! fig7 floors skipped).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// A parsed JSON value — just enough of the grammar for the emitted
+/// trajectories (no escapes beyond `\"` and `\\`, no scientific floats
+/// beyond what `f64::from_str` accepts).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(HashMap<String, Json>),
+}
+
+impl Json {
+    fn as_number(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+}
+
+/// Minimal recursive-descent JSON parser.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> String {
+        format!("{message} at byte {}", self.pos)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_whitespace();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::String(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Json::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Json::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Json::Null),
+            Some(_) => self.parse_number(),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_literal(&mut self, literal: &str, value: Json) -> Result<Json, String> {
+        self.skip_whitespace();
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{literal}`")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        self.skip_whitespace();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|text| text.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| self.error("malformed number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let escaped = *self
+                        .bytes
+                        .get(self.pos + 1)
+                        .ok_or_else(|| self.error("dangling escape"))?;
+                    out.push(match escaped {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => other as char,
+                    });
+                    self.pos += 2;
+                }
+                Some(&byte) => {
+                    out.push(byte as char);
+                    self.pos += 1;
+                }
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = HashMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            map.insert(key, self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut parser = Parser::new(text);
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing content"));
+    }
+    Ok(value)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    parse_json(&text).map_err(|e| format!("`{path}`: {e}"))
+}
+
+/// Reads a required numeric key off the document root.
+fn number(doc: &Json, path: &str, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_number)
+        .ok_or_else(|| format!("`{path}`: missing numeric key `{key}`"))
+}
+
+/// Reads the sweep array off the document root.
+fn sweep<'a>(doc: &'a Json, path: &str) -> Result<&'a [Json], String> {
+    doc.get("sweep")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("`{path}`: missing `sweep` array"))
+}
+
+/// Figure 5 gate: the interned series exists at every sweep point and its
+/// headline speedup over the cached baseline clears the floor.
+fn check_fig5(path: &str, smoke: bool) -> Result<(), String> {
+    let doc = load(path)?;
+    for point in sweep(&doc, path)? {
+        let series = point
+            .get("queries_per_sec")
+            .ok_or_else(|| format!("`{path}`: sweep point without `queries_per_sec`"))?;
+        for required in ["baseline", "cached_parallel_batch", "interned"] {
+            if series.get(required).and_then(Json::as_number).is_none() {
+                return Err(format!(
+                    "`{path}`: series `{required}` missing from a sweep point"
+                ));
+            }
+        }
+    }
+    let speedup = number(&doc, path, "min_speedup_interned_vs_cached")?;
+    let floor = if smoke { 1.0 } else { 1.5 };
+    if speedup < floor {
+        return Err(format!(
+            "`{path}`: series `interned` below its floor — \
+             min_speedup_interned_vs_cached = {speedup:.2} < {floor}"
+        ));
+    }
+    Ok(())
+}
+
+/// Figure 6 gate: the interned, packed and sharded series exist at every
+/// sweep point and the packed headline clears the floor.
+fn check_fig6(path: &str, smoke: bool) -> Result<(), String> {
+    let doc = load(path)?;
+    for point in sweep(&doc, path)? {
+        let series = point
+            .get("labels_per_sec")
+            .ok_or_else(|| format!("`{path}`: sweep point without `labels_per_sec`"))?;
+        for required in ["interned", "interned_packed", "sharded_parallel_x1"] {
+            if series.get(required).and_then(Json::as_number).is_none() {
+                return Err(format!(
+                    "`{path}`: series `{required}` missing from a sweep point"
+                ));
+            }
+        }
+        // The seed baseline must be present but may be `null`: the
+        // O(principals)-clone seed store is deliberately skipped on the
+        // 1M-principal axis.
+        match series.get("seed_store") {
+            Some(Json::Number(_)) | Some(Json::Null) => {}
+            _ => {
+                return Err(format!(
+                    "`{path}`: series `seed_store` missing from a sweep point"
+                ))
+            }
+        }
+    }
+    if !smoke {
+        let speedup = number(&doc, path, "min_speedup_interned_packed_vs_seed")?;
+        if speedup < 1.5 {
+            return Err(format!(
+                "`{path}`: series `interned_packed` below its floor — \
+                 min_speedup_interned_packed_vs_seed = {speedup:.2} < 1.5"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The `ops_per_sec` of one named strategy at one fig7 sweep point.
+fn strategy_throughput(point: &Json, path: &str, name: &str) -> Result<f64, String> {
+    point
+        .get(name)
+        .and_then(|strategy| strategy.get("ops_per_sec"))
+        .and_then(Json::as_number)
+        .ok_or_else(|| format!("`{path}`: series `{name}` missing from a sweep point"))
+}
+
+/// Figure 7 gate: all three strategies exist at every sweep point; the
+/// committed floors are the incremental:flush speedup at 1% and the
+/// pipelined:incremental ratios per the acceptance bars.
+fn check_fig7(path: &str, smoke: bool) -> Result<(), String> {
+    let doc = load(path)?;
+    let mut ratios: Vec<(f64, f64)> = Vec::new();
+    for point in sweep(&doc, path)? {
+        let mutation_ratio = point
+            .get("mutation_ratio")
+            .and_then(Json::as_number)
+            .ok_or_else(|| format!("`{path}`: sweep point without `mutation_ratio`"))?;
+        let incremental = strategy_throughput(point, path, "incremental")?;
+        let flush = strategy_throughput(point, path, "flush_on_mutation")?;
+        let pipelined = strategy_throughput(point, path, "pipelined")?;
+        if incremental <= 0.0 || flush <= 0.0 || pipelined <= 0.0 {
+            return Err(format!(
+                "`{path}`: non-positive throughput at mutation_ratio {mutation_ratio}"
+            ));
+        }
+        ratios.push((mutation_ratio, pipelined / incremental));
+    }
+    if smoke {
+        // A 5000-op single-shot smoke run cannot resolve few-percent
+        // deltas; presence and positivity are the smoke bar.
+        return Ok(());
+    }
+    let speedup = number(&doc, path, "speedup_at_1pct")?;
+    if speedup < 2.0 {
+        return Err(format!(
+            "`{path}`: series `incremental` below its floor — \
+             speedup_at_1pct = {speedup:.2} < 2.0 vs `flush_on_mutation`"
+        ));
+    }
+    // Acceptance bars for the pipelined executor: >= incremental at the
+    // 0.1% and 1% mutation ratios, >= parity (within 5%) at 10%.
+    for (at, floor) in [(0.001, 1.0), (0.01, 1.0), (0.1, 0.95)] {
+        let (_, ratio) = ratios
+            .iter()
+            .find(|(r, _)| (r - at).abs() < 1e-9)
+            .ok_or_else(|| format!("`{path}`: no sweep point at mutation_ratio {at}"))?;
+        if *ratio < floor {
+            return Err(format!(
+                "`{path}`: series `pipelined` below its floor at mutation_ratio {at} — \
+                 {ratio:.3}x of `incremental` < {floor}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut fig5 = None;
+    let mut fig6 = None;
+    let mut fig7 = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--fig5" => fig5 = iter.next().cloned(),
+            "--fig6" => fig6 = iter.next().cloned(),
+            "--fig7" => fig7 = iter.next().cloned(),
+            other => {
+                eprintln!("bench_check: unknown argument `{other}`");
+                eprintln!(
+                    "usage: bench_check [--smoke] [--fig5 <path>] [--fig6 <path>] [--fig7 <path>]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if fig5.is_none() && fig6.is_none() && fig7.is_none() {
+        eprintln!("bench_check: nothing to check (pass --fig5/--fig6/--fig7)");
+        return ExitCode::FAILURE;
+    }
+    let mode = if smoke { "smoke" } else { "committed" };
+    let mut failed = false;
+    for (name, path, check) in [
+        (
+            "fig5",
+            &fig5,
+            check_fig5 as fn(&str, bool) -> Result<(), String>,
+        ),
+        ("fig6", &fig6, check_fig6),
+        ("fig7", &fig7, check_fig7),
+    ] {
+        if let Some(path) = path {
+            match check(path, smoke) {
+                Ok(()) => println!("bench_check [{mode}] {name}: OK ({path})"),
+                Err(message) => {
+                    eprintln!("bench_check [{mode}] {name}: FAIL — {message}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_emitted_shapes() {
+        let doc =
+            parse_json(r#"{ "a": [1, 2.5, -3e2], "b": {"c": "text", "d": true}, "e": null }"#)
+                .unwrap();
+        assert_eq!(doc.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            doc.get("a").unwrap().as_array().unwrap()[2].as_number(),
+            Some(-300.0)
+        );
+        assert_eq!(
+            doc.get("b").unwrap().get("c"),
+            Some(&Json::String("text".into()))
+        );
+        assert_eq!(doc.get("b").unwrap().get("d"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("e"), Some(&Json::Null));
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1, ]").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn fig7_floors_name_the_offending_series() {
+        let dir = std::env::temp_dir().join("fdc_bench_check_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig7.json");
+        let render = |pipelined_at_1pct: f64| {
+            format!(
+                r#"{{
+  "speedup_at_1pct": 4.0,
+  "sweep": [
+    {{"mutation_ratio": 0, "incremental": {{"ops_per_sec": 100.0}},
+      "flush_on_mutation": {{"ops_per_sec": 100.0}}, "pipelined": {{"ops_per_sec": 100.0}}}},
+    {{"mutation_ratio": 0.001, "incremental": {{"ops_per_sec": 100.0}},
+      "flush_on_mutation": {{"ops_per_sec": 50.0}}, "pipelined": {{"ops_per_sec": 110.0}}}},
+    {{"mutation_ratio": 0.01, "incremental": {{"ops_per_sec": 100.0}},
+      "flush_on_mutation": {{"ops_per_sec": 25.0}}, "pipelined": {{"ops_per_sec": {pipelined_at_1pct}}}}},
+    {{"mutation_ratio": 0.1, "incremental": {{"ops_per_sec": 100.0}},
+      "flush_on_mutation": {{"ops_per_sec": 50.0}}, "pipelined": {{"ops_per_sec": 100.0}}}}
+  ]
+}}"#
+            )
+        };
+        std::fs::write(&path, render(105.0)).unwrap();
+        assert!(check_fig7(path.to_str().unwrap(), false).is_ok());
+        std::fs::write(&path, render(80.0)).unwrap();
+        let err = check_fig7(path.to_str().unwrap(), false).unwrap_err();
+        assert!(err.contains("`pipelined`"), "{err}");
+        assert!(err.contains("0.01"), "{err}");
+        // Smoke mode only checks structure.
+        assert!(check_fig7(path.to_str().unwrap(), true).is_ok());
+    }
+}

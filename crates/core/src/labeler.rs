@@ -349,6 +349,90 @@ fn interned_atom_needs(terms: &[ITerm]) -> Option<u64> {
     Some(needed)
 }
 
+/// Computes `ℓ⁺` of one interned single-atom query against the compiled
+/// per-relation candidates — the interned counterpart of
+/// [`BitVectorLabeler::atom_mask`], and guaranteed to compute the same
+/// mask: the projection fast path tests the same bit sets, and the
+/// fallback runs the interned rewriting check against the interned view
+/// definition.  Shared by the live [`CachedLabeler`] and its
+/// [`LabelerSnapshot`]s, which differ only in where the result is cached.
+fn interned_atom_mask(
+    inner: &BitVectorLabeler,
+    view_qids: &[QueryId],
+    interner: &QueryInterner,
+    atom: QueryId,
+    relation: RelId,
+) -> ViewMask {
+    let atom_ref = interner.resolve(atom);
+    debug_assert!(atom_ref.is_single_atom(), "dissected parts are single-atom");
+    let needs = interned_atom_needs(atom_ref.atom_terms(0));
+    let mut mask: ViewMask = 0;
+    if let Some(candidates) = inner.by_relation.get(&relation) {
+        for compiled in candidates {
+            let answers = match (needs, compiled.exposed_positions) {
+                (Some(needed), Some(exposed)) => needed & !exposed == 0,
+                _ => interned_rewritable_from_single(
+                    atom_ref,
+                    interner.resolve(view_qids[compiled.id.index()]),
+                ),
+            };
+            if answers {
+                mask |= 1u64 << compiled.bit;
+            }
+        }
+    }
+    mask
+}
+
+/// Dissects an interned query into its single-atom parts, returning each
+/// part's interned id, dense single-atom ordinal and relation.  Takes the
+/// interner's write lock once (dissection may mint part ids).
+fn dissect_part_ids(interner: &SharedQueryInterner, id: QueryId) -> Vec<(QueryId, u32, RelId)> {
+    let mut interner = interner.write().unwrap_or_else(|e| e.into_inner());
+    dissect_interned(&mut interner, id)
+        .into_iter()
+        .map(|(atom, relation)| {
+            let ordinal = interner
+                .single_atom_ordinal(atom)
+                .expect("dissected parts are single-atom");
+            (atom, ordinal, relation)
+        })
+        .collect()
+}
+
+/// Interns `query` if the implicit-intern budget still has room, returning
+/// its id; `None` once `budget` has reached `capacity` and the shape is
+/// unknown (the caller serves it through the uncached pipeline).  Shared by
+/// [`CachedLabeler::label_query`] and [`LabelerSnapshot::label_query`] so
+/// the live labeler and its snapshots draw on one arena budget.
+fn intern_within_budget(
+    interner: &SharedQueryInterner,
+    budget: &AtomicUsize,
+    capacity: usize,
+    query: &ConjunctiveQuery,
+) -> Option<QueryId> {
+    // The arena budget counts the shapes the implicit path has interned —
+    // dissected parts, view definitions and explicitly interned pools do
+    // not consume it (they are bounded by the shapes that carry them).
+    // The unsynchronized load can overshoot by a few entries under
+    // concurrent first sightings; the bound stays O(capacity).
+    let guard = interner.read().unwrap_or_else(|e| e.into_inner());
+    match guard.lookup(query) {
+        Some(id) => Some(id),
+        None if budget.load(Ordering::Relaxed) >= capacity => None,
+        None => {
+            drop(guard);
+            budget.fetch_add(1, Ordering::Relaxed);
+            Some(
+                interner
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .intern(query),
+            )
+        }
+    }
+}
+
 impl QueryLabeler for BitVectorLabeler {
     fn label_query(&self, query: &ConjunctiveQuery) -> DisclosureLabel {
         let mut label = DisclosureLabel::bottom();
@@ -465,6 +549,137 @@ struct QueryCacheShard {
     slots: Vec<Option<QueryEntry>>,
 }
 
+/// The striped cache tables of a [`CachedLabeler`]: the query-level slot
+/// stripes, the ordinal-indexed atom table, and the occupancy / arena-budget
+/// gauges.
+///
+/// The tables live behind an `Arc` so a [`LabelerSnapshot`] can hold a
+/// **read-only** handle onto the live labeler's warm state while serving
+/// against a frozen epoch vector: the snapshot never writes here (its own
+/// computations land in a private overlay) until it is retired through
+/// [`CachedLabeler::retire_snapshot`], which publishes the overlay back so
+/// warm state survives epochs.
+#[derive(Debug)]
+struct LabelTables {
+    query_shards: Vec<RwLock<QueryCacheShard>>,
+    /// Occupied query slots across all stripes (capacity accounting).
+    query_entries: AtomicUsize,
+    /// Per-atom `ℓ⁺` table, indexed by the interner's dense single-atom
+    /// ordinal (so its footprint tracks distinct atoms, not arena ids).
+    atom_cache: RwLock<Vec<Option<AtomEntry>>>,
+    /// Occupied atom slots (capacity accounting).
+    atom_entries: AtomicUsize,
+    /// Shapes interned by the implicit `label_query` path — the arena
+    /// budget (explicit `intern` calls are exempt, as are the dissected
+    /// parts and view definitions that ride along with admitted shapes).
+    implicit_interns: AtomicUsize,
+}
+
+impl LabelTables {
+    fn new() -> Self {
+        LabelTables {
+            query_shards: (0..QUERY_CACHE_SHARDS)
+                .map(|_| RwLock::new(QueryCacheShard::default()))
+                .collect(),
+            query_entries: AtomicUsize::new(0),
+            atom_cache: RwLock::new(Vec::new()),
+            atom_entries: AtomicUsize::new(0),
+            implicit_interns: AtomicUsize::new(0),
+        }
+    }
+
+    fn read_shard(&self, shard: usize) -> std::sync::RwLockReadGuard<'_, QueryCacheShard> {
+        self.query_shards[shard]
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_shard(&self, shard: usize) -> std::sync::RwLockWriteGuard<'_, QueryCacheShard> {
+        self.query_shards[shard]
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn read_atoms(&self) -> std::sync::RwLockReadGuard<'_, Vec<Option<AtomEntry>>> {
+        self.atom_cache.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Inserts (or refreshes) a query-cache entry, growing the stripe's slot
+    /// vector only when actually admitting, and keeping the occupancy gauge
+    /// exact (incremented only when an empty slot fills — under the stripe's
+    /// write lock, so no double counting).
+    fn store_query(&self, shard_idx: usize, slot: usize, entry: QueryEntry) {
+        self.store_query_counted(shard_idx, slot, entry, true);
+    }
+
+    /// [`store_query`](Self::store_query) with explicit gauge control:
+    /// `count_new: false` fills the slot without charging the occupancy
+    /// gauge — used by snapshot overlays storing a *refresh* of an entry
+    /// that still occupies the same slot in the shared base table (the
+    /// distinct-slot count across base + overlay is unchanged, so charging
+    /// it would double-count against the capacity).
+    fn store_query_counted(
+        &self,
+        shard_idx: usize,
+        slot: usize,
+        entry: QueryEntry,
+        count_new: bool,
+    ) {
+        let mut shard = self.write_shard(shard_idx);
+        if slot >= shard.slots.len() {
+            shard.slots.resize_with(slot + 1, || None);
+        }
+        if count_new && shard.slots[slot].is_none() {
+            self.query_entries.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.slots[slot] = Some(entry);
+    }
+
+    /// The cached atom entry at `slot`, if any.  `slot` is a dense
+    /// single-atom ordinal that may have been minted *after* the table was
+    /// last grown — out-of-range reads are an ordinary miss, never a panic.
+    fn get_atom(&self, slot: usize) -> Option<AtomEntry> {
+        self.read_atoms().get(slot).copied().flatten()
+    }
+
+    /// Inserts (or refreshes) an atom-cache entry, growing the table to
+    /// cover the ordinal.  Growth happens under the write lock and is
+    /// re-checked there: an ordinal minted after the table was sized (the
+    /// interner grows between `dissect_interned` and the cache write) simply
+    /// extends the table — it can neither index out of bounds nor be
+    /// silently dropped.
+    fn store_atom(&self, slot: usize, entry: AtomEntry) {
+        self.store_atom_counted(slot, entry, true);
+    }
+
+    /// [`store_atom`](Self::store_atom) with explicit gauge control — see
+    /// [`store_query_counted`](Self::store_query_counted).
+    fn store_atom_counted(&self, slot: usize, entry: AtomEntry, count_new: bool) {
+        let mut cache = self.atom_cache.write().unwrap_or_else(|e| e.into_inner());
+        if slot >= cache.len() {
+            cache.resize_with(slot + 1, || None);
+        }
+        if count_new && cache[slot].is_none() {
+            self.atom_entries.fetch_add(1, Ordering::Relaxed);
+        }
+        cache[slot] = Some(entry);
+    }
+
+    /// Drops every cached entry (gauges included); counters owned by the
+    /// labelers are untouched.
+    fn clear(&self) {
+        for shard in 0..QUERY_CACHE_SHARDS {
+            self.write_shard(shard).slots.clear();
+        }
+        self.query_entries.store(0, Ordering::Relaxed);
+        self.atom_cache
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        self.atom_entries.store(0, Ordering::Relaxed);
+    }
+}
+
 /// A labeler that memoizes labeling by **interned query id**, at two levels.
 ///
 /// A disclosure label depends only on the query's structure up to variable
@@ -533,18 +748,10 @@ pub struct CachedLabeler {
     /// [`SecurityViewId`] — the right-hand operand of the interned
     /// rewriting fallback.  Mutated only under `&mut self` (`add_view`).
     view_qids: Vec<QueryId>,
-    query_shards: Vec<RwLock<QueryCacheShard>>,
-    /// Occupied query slots across all shards (capacity accounting).
-    query_entries: AtomicUsize,
-    /// Per-atom `ℓ⁺` table, indexed by the interner's dense single-atom
-    /// ordinal (so its footprint tracks distinct atoms, not arena ids).
-    atom_cache: RwLock<Vec<Option<AtomEntry>>>,
-    /// Occupied atom slots (capacity accounting).
-    atom_entries: AtomicUsize,
-    /// Shapes interned by the implicit `label_query` path — the arena
-    /// budget (explicit `intern` calls are exempt, as are the dissected
-    /// parts and view definitions that ride along with admitted shapes).
-    implicit_interns: AtomicUsize,
+    /// The striped query/atom cache tables, `Arc`-shared so that
+    /// [`snapshot`](Self::snapshot)s can keep answering warmed shapes while
+    /// the live labeler moves on to newer epochs.
+    tables: Arc<LabelTables>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -568,20 +775,48 @@ impl Clone for CachedLabeler {
     /// interner handle is **shared**, not copied — it only grows, so ids
     /// stay aligned between the original and the clone (which is what lets
     /// a snapshot keep answering warmed shapes).
+    ///
+    /// The snapshot is **consistent**: every query stripe's read lock and
+    /// the atom table's read lock are held simultaneously while copying, so
+    /// a clone taken while other threads label through the original can
+    /// never capture one stripe before a concurrent insertion and another
+    /// after it with a drifted occupancy gauge — the clone's `entries` /
+    /// `atom_entries` gauges are recomputed from the copied slots, not
+    /// copied from the racing atomics.  (Epoch bumps require `&mut self`
+    /// and therefore cannot overlap a clone at all; concurrently inserted
+    /// entries carry honest epoch tags either way, so a stale-tagged entry
+    /// is always re-derived on lookup, never served — asserted by
+    /// `concurrent_clones_are_internally_consistent`.)
     fn clone(&self) -> Self {
+        // Take every stripe lock first (in index order, matching no writer
+        // that ever holds two), then the atom lock: one consistent cut.
+        let stripe_guards: Vec<_> = (0..QUERY_CACHE_SHARDS)
+            .map(|shard| self.tables.read_shard(shard))
+            .collect();
+        let atom_guard = self.tables.read_atoms();
+        let tables = LabelTables::new();
+        let mut query_entries = 0usize;
+        for (shard, guard) in stripe_guards.iter().enumerate() {
+            query_entries += guard.slots.iter().filter(|slot| slot.is_some()).count();
+            *tables.query_shards[shard]
+                .write()
+                .unwrap_or_else(|e| e.into_inner()) = (**guard).clone();
+        }
+        tables.query_entries.store(query_entries, Ordering::Relaxed);
+        let atom_entries = atom_guard.iter().filter(|slot| slot.is_some()).count();
+        *tables.atom_cache.write().unwrap_or_else(|e| e.into_inner()) = atom_guard.clone();
+        tables.atom_entries.store(atom_entries, Ordering::Relaxed);
+        tables.implicit_interns.store(
+            self.tables.implicit_interns.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        drop(atom_guard);
+        drop(stripe_guards);
         CachedLabeler {
             inner: self.inner.clone(),
             interner: Arc::clone(&self.interner),
             view_qids: self.view_qids.clone(),
-            query_shards: self
-                .query_shards
-                .iter()
-                .map(|shard| RwLock::new(shard.read().unwrap_or_else(|e| e.into_inner()).clone()))
-                .collect(),
-            query_entries: AtomicUsize::new(self.query_entries.load(Ordering::Relaxed)),
-            atom_cache: RwLock::new(self.read_atom_cache().clone()),
-            atom_entries: AtomicUsize::new(self.atom_entries.load(Ordering::Relaxed)),
-            implicit_interns: AtomicUsize::new(self.implicit_interns.load(Ordering::Relaxed)),
+            tables: Arc::new(tables),
             capacity: self.capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -617,13 +852,7 @@ impl CachedLabeler {
             inner: BitVectorLabeler::new(views),
             interner: Arc::new(RwLock::new(interner)),
             view_qids,
-            query_shards: (0..QUERY_CACHE_SHARDS)
-                .map(|_| RwLock::new(QueryCacheShard::default()))
-                .collect(),
-            query_entries: AtomicUsize::new(0),
-            atom_cache: RwLock::new(Vec::new()),
-            atom_entries: AtomicUsize::new(0),
-            implicit_interns: AtomicUsize::new(0),
+            tables: Arc::new(LabelTables::new()),
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -683,19 +912,7 @@ impl CachedLabeler {
     }
 
     fn read_query_shard(&self, shard: usize) -> std::sync::RwLockReadGuard<'_, QueryCacheShard> {
-        self.query_shards[shard]
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-    }
-
-    fn write_query_shard(&self, shard: usize) -> std::sync::RwLockWriteGuard<'_, QueryCacheShard> {
-        self.query_shards[shard]
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-    }
-
-    fn read_atom_cache(&self) -> std::sync::RwLockReadGuard<'_, Vec<Option<AtomEntry>>> {
-        self.atom_cache.read().unwrap_or_else(|e| e.into_inner())
+        self.tables.read_shard(shard)
     }
 
     /// The current epoch of a relation's view universe (delegated to the
@@ -709,18 +926,29 @@ impl CachedLabeler {
     /// `ℓ⁺` of one dissected single-atom query (by interned id), through the
     /// epoch-checked indexed atom table.  `ordinal` is the atom's dense
     /// single-atom ordinal — the table's slot index.
+    ///
+    /// The ordinal may lie past the table's current length (the interner
+    /// mints ordinals faster than the table grows when distinct atoms keep
+    /// arriving): the read treats out-of-range slots as a plain miss and the
+    /// write path ([`LabelTables::store_atom`]) extends the table under the
+    /// write lock, so a mid-batch interner growth between `dissect_interned`
+    /// and the cache write can neither index out of bounds nor lose the
+    /// entry — asserted by `atom_ordinals_minted_mid_batch_grow_the_table`.
     fn cached_atom_mask(&self, atom: QueryId, ordinal: u32, relation: RelId) -> ViewMask {
         let current = self.epoch_of(relation);
         let slot = ordinal as usize;
         let mut stale = false;
-        if let Some(Some(entry)) = self.read_atom_cache().get(slot) {
+        if let Some(entry) = self.tables.get_atom(slot) {
             if entry.epoch == current {
                 self.atom_hits.fetch_add(1, Ordering::Relaxed);
                 return entry.mask;
             }
             stale = true;
         }
-        let mask = self.atom_mask_interned(atom, relation);
+        let mask = {
+            let interner = self.read_interner();
+            interned_atom_mask(&self.inner, &self.view_qids, &interner, atom, relation)
+        };
         let counter = if stale {
             &self.atom_refreshes
         } else {
@@ -730,47 +958,14 @@ impl CachedLabeler {
         // Refreshing an existing slot never grows the table, so stale
         // entries are always re-admitted; brand-new atoms respect the
         // capacity (the slot vector only grows for admitted entries).
-        if stale || self.atom_entries.load(Ordering::Relaxed) < self.capacity {
-            let mut cache = self.atom_cache.write().unwrap_or_else(|e| e.into_inner());
-            if slot >= cache.len() {
-                cache.resize_with(slot + 1, || None);
-            }
-            if cache[slot].is_none() {
-                self.atom_entries.fetch_add(1, Ordering::Relaxed);
-            }
-            cache[slot] = Some(AtomEntry {
-                mask,
-                epoch: current,
-            });
-        }
-        mask
-    }
-
-    /// Computes `ℓ⁺` of one interned single-atom query against the compiled
-    /// per-relation candidates — the interned counterpart of
-    /// [`BitVectorLabeler::atom_mask`], and guaranteed to compute the same
-    /// mask: the projection fast path tests the same bit sets, and the
-    /// fallback runs the interned rewriting check against the interned view
-    /// definition.
-    fn atom_mask_interned(&self, atom: QueryId, relation: RelId) -> ViewMask {
-        let interner = self.read_interner();
-        let atom_ref = interner.resolve(atom);
-        debug_assert!(atom_ref.is_single_atom(), "dissected parts are single-atom");
-        let needs = interned_atom_needs(atom_ref.atom_terms(0));
-        let mut mask: ViewMask = 0;
-        if let Some(candidates) = self.inner.by_relation.get(&relation) {
-            for compiled in candidates {
-                let answers = match (needs, compiled.exposed_positions) {
-                    (Some(needed), Some(exposed)) => needed & !exposed == 0,
-                    _ => interned_rewritable_from_single(
-                        atom_ref,
-                        interner.resolve(self.view_qids[compiled.id.index()]),
-                    ),
-                };
-                if answers {
-                    mask |= 1u64 << compiled.bit;
-                }
-            }
+        if stale || self.tables.atom_entries.load(Ordering::Relaxed) < self.capacity {
+            self.tables.store_atom(
+                slot,
+                AtomEntry {
+                    mask,
+                    epoch: current,
+                },
+            );
         }
         mask
     }
@@ -811,10 +1006,10 @@ impl CachedLabeler {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.query_entries.load(Ordering::Relaxed),
+            entries: self.tables.query_entries.load(Ordering::Relaxed),
             atom_hits: self.atom_hits.load(Ordering::Relaxed),
             atom_misses: self.atom_misses.load(Ordering::Relaxed),
-            atom_entries: self.atom_entries.load(Ordering::Relaxed),
+            atom_entries: self.tables.atom_entries.load(Ordering::Relaxed),
             query_refreshes: self.query_refreshes.load(Ordering::Relaxed),
             atom_refreshes: self.atom_refreshes.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
@@ -828,15 +1023,7 @@ impl CachedLabeler {
     /// the counters cumulative is what makes the baseline's cost visible:
     /// every post-flush relabeling still counts as a miss.
     pub fn clear_entries(&self) {
-        for shard in 0..QUERY_CACHE_SHARDS {
-            self.write_query_shard(shard).slots.clear();
-        }
-        self.query_entries.store(0, Ordering::Relaxed);
-        self.atom_cache
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .clear();
-        self.atom_entries.store(0, Ordering::Relaxed);
+        self.tables.clear();
     }
 
     /// Drops every cached entry **and** resets the counters (e.g. to
@@ -968,18 +1155,7 @@ impl CachedLabeler {
                 label
             }
             QueryLookup::Absent => {
-                let part_ids: Vec<(QueryId, u32, RelId)> = {
-                    let mut interner = self.interner.write().unwrap_or_else(|e| e.into_inner());
-                    dissect_interned(&mut interner, id)
-                        .into_iter()
-                        .map(|(atom, relation)| {
-                            let ordinal = interner
-                                .single_atom_ordinal(atom)
-                                .expect("dissected parts are single-atom");
-                            (atom, ordinal, relation)
-                        })
-                        .collect()
-                };
+                let part_ids = dissect_part_ids(&self.interner, id);
                 let mut label = DisclosureLabel::bottom();
                 let mut parts = Vec::with_capacity(part_ids.len());
                 for (atom, ordinal, relation) in part_ids {
@@ -994,7 +1170,7 @@ impl CachedLabeler {
                     });
                 }
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                if self.query_entries.load(Ordering::Relaxed) < self.capacity {
+                if self.tables.query_entries.load(Ordering::Relaxed) < self.capacity {
                     let entry = QueryEntry {
                         label: label.clone(),
                         parts,
@@ -1009,14 +1185,7 @@ impl CachedLabeler {
     /// Inserts (or refreshes) a query-cache entry, growing the shard's slot
     /// vector only when actually admitting.
     fn store_entry(&self, shard_idx: usize, slot: usize, entry: QueryEntry) {
-        let mut shard = self.write_query_shard(shard_idx);
-        if slot >= shard.slots.len() {
-            shard.slots.resize_with(slot + 1, || None);
-        }
-        if shard.slots[slot].is_none() {
-            self.query_entries.fetch_add(1, Ordering::Relaxed);
-        }
-        shard.slots[slot] = Some(entry);
+        self.tables.store_query(shard_idx, slot, entry);
     }
 
     /// Folds a pre-interned batch into the cumulative disclosure label of
@@ -1070,6 +1239,364 @@ impl CachedLabeler {
         }
         false
     }
+
+    /// Freezes this labeler into an immutable [`LabelerSnapshot`].
+    ///
+    /// The snapshot pins the view universe (registry, compiled candidate
+    /// lists and per-relation epochs) **by value** and takes a read-only
+    /// handle onto the live striped query/atom caches, so it keeps labeling
+    /// at the frozen epoch vector — concurrently and without locks against
+    /// the live labeler — while the live side absorbs further mutations.
+    /// Everything the snapshot computes lands in a private overlay; hand it
+    /// back through [`retire_snapshot`](Self::retire_snapshot) so the warm
+    /// state survives the epoch.
+    pub fn snapshot(&self) -> LabelerSnapshot {
+        LabelerSnapshot {
+            inner: self.inner.clone(),
+            view_qids: self.view_qids.clone(),
+            interner: Arc::clone(&self.interner),
+            base: Arc::clone(&self.tables),
+            overlay: LabelTables::new(),
+            capacity: self.capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            atom_hits: AtomicU64::new(0),
+            atom_misses: AtomicU64::new(0),
+            query_refreshes: AtomicU64::new(0),
+            atom_refreshes: AtomicU64::new(0),
+        }
+    }
+
+    /// Retires a [`snapshot`](Self::snapshot) of this labeler: drains the
+    /// snapshot's overlay — every entry it computed or refreshed while
+    /// serving — into the shared striped tables, and folds its hit/miss/
+    /// refresh counters into this labeler's, so cache state *and*
+    /// accounting survive the epoch handover.  Entries carry the epoch tags
+    /// they were computed under; if the live registry has moved past them
+    /// they are honestly stale and re-derive on next lookup.
+    ///
+    /// Retire snapshots in the order they were taken (the pipelined service
+    /// executor does); anything the snapshot computes after retirement is
+    /// discarded with it.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert that the snapshot was taken from this labeler
+    /// (the shared tables must be the same allocation).
+    pub fn retire_snapshot(&self, snapshot: &LabelerSnapshot) {
+        debug_assert!(
+            Arc::ptr_eq(&self.tables, &snapshot.base),
+            "a snapshot must be retired into the labeler it was taken from"
+        );
+        for shard_idx in 0..QUERY_CACHE_SHARDS {
+            let drained = std::mem::take(
+                &mut *snapshot.overlay.query_shards[shard_idx]
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner()),
+            );
+            for (slot, entry) in drained.slots.into_iter().enumerate() {
+                if let Some(entry) = entry {
+                    self.tables.store_query(shard_idx, slot, entry);
+                }
+            }
+        }
+        snapshot.overlay.query_entries.store(0, Ordering::Relaxed);
+        let drained_atoms = std::mem::take(
+            &mut *snapshot
+                .overlay
+                .atom_cache
+                .write()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        for (slot, entry) in drained_atoms.into_iter().enumerate() {
+            if let Some(entry) = entry {
+                self.tables.store_atom(slot, entry);
+            }
+        }
+        snapshot.overlay.atom_entries.store(0, Ordering::Relaxed);
+        for (mine, theirs) in [
+            (&self.hits, &snapshot.hits),
+            (&self.misses, &snapshot.misses),
+            (&self.atom_hits, &snapshot.atom_hits),
+            (&self.atom_misses, &snapshot.atom_misses),
+            (&self.query_refreshes, &snapshot.query_refreshes),
+            (&self.atom_refreshes, &snapshot.atom_refreshes),
+        ] {
+            mine.fetch_add(theirs.swap(0, Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+}
+
+/// An immutable, concurrently-servable view of a [`CachedLabeler`] at a
+/// frozen per-relation epoch vector — the labeling half of the service
+/// layer's `ServiceSnapshot` (see `fdc-service`).
+///
+/// A snapshot owns a copy of the view universe (registry, compiled
+/// candidate lists, interned view definitions) exactly as it stood when
+/// [`CachedLabeler::snapshot`] ran, shares the parent's [`QueryInterner`]
+/// (ids stay aligned) and holds a **read-only** handle onto the parent's
+/// striped query/atom cache tables: warm shapes keep hitting across the
+/// handover.  Labels the snapshot computes or refreshes itself accumulate
+/// in a private overlay (checked before the shared tables on lookup) and
+/// flow back into the shared tables when the snapshot is retired through
+/// [`CachedLabeler::retire_snapshot`] — so a pipelined executor can label a
+/// read run against the previous epoch while the live labeler already
+/// serves the next one, without losing the run's cache work.
+///
+/// Every label a snapshot produces equals what a fresh [`BitVectorLabeler`]
+/// over the frozen registry computes (property-tested); only *which epoch*
+/// answers is pinned, never *what* the answer is.
+#[derive(Debug)]
+pub struct LabelerSnapshot {
+    /// The frozen view universe: registry (with its epoch vector), compiled
+    /// per-relation candidates.
+    inner: BitVectorLabeler,
+    /// Interned view definitions, frozen with the registry.
+    view_qids: Vec<QueryId>,
+    /// The parent's interner — shared, so ids issued on either side agree.
+    interner: SharedQueryInterner,
+    /// Read-only handle onto the parent's shared cache tables.
+    base: Arc<LabelTables>,
+    /// Entries this snapshot computed or refreshed; drained back into
+    /// `base` at retirement.
+    overlay: LabelTables,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    atom_hits: AtomicU64,
+    atom_misses: AtomicU64,
+    query_refreshes: AtomicU64,
+    atom_refreshes: AtomicU64,
+}
+
+impl LabelerSnapshot {
+    /// The frozen epoch of a relation's view universe.
+    #[inline]
+    fn epoch_of(&self, relation: RelId) -> u64 {
+        self.inner.views.epoch(relation)
+    }
+
+    /// The frozen security-view registry (with the epoch vector the
+    /// snapshot serves at).
+    pub fn security_views(&self) -> &SecurityViews {
+        &self.inner.views
+    }
+
+    /// The shared query-interner handle (see [`CachedLabeler::interner`]).
+    pub fn interner(&self) -> SharedQueryInterner {
+        Arc::clone(&self.interner)
+    }
+
+    /// True if `id` was issued by the shared interner — the validity check
+    /// behind interned admissions.
+    pub fn contains(&self, id: QueryId) -> bool {
+        self.interner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains(id)
+    }
+
+    /// Counters accumulated by this snapshot since it was taken (or last
+    /// retired); entry gauges report the private overlay's **newly
+    /// admitted** slots only (refreshes of slots still occupied in the
+    /// shared base table are stored but not charged — the distinct-slot
+    /// count across base and overlay is what the capacity bounds).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.overlay.query_entries.load(Ordering::Relaxed),
+            atom_hits: self.atom_hits.load(Ordering::Relaxed),
+            atom_misses: self.atom_misses.load(Ordering::Relaxed),
+            atom_entries: self.overlay.atom_entries.load(Ordering::Relaxed),
+            query_refreshes: self.query_refreshes.load(Ordering::Relaxed),
+            atom_refreshes: self.atom_refreshes.load(Ordering::Relaxed),
+            invalidations: 0,
+        }
+    }
+
+    /// Looks `id` up in the overlay first, then the shared tables.
+    fn lookup(&self, shard_idx: usize, slot: usize) -> QueryLookup {
+        for tables in [&self.overlay, &*self.base] {
+            let shard = tables.read_shard(shard_idx);
+            if let Some(entry) = shard.slots.get(slot).and_then(Option::as_ref) {
+                let fresh = entry
+                    .parts
+                    .iter()
+                    .all(|part| part.epoch == self.epoch_of(part.relation));
+                return if fresh {
+                    QueryLookup::Fresh(entry.label.clone())
+                } else {
+                    QueryLookup::Stale(entry.clone())
+                };
+            }
+        }
+        QueryLookup::Absent
+    }
+
+    /// [`CachedLabeler::cached_atom_mask`] against the overlay-over-shared
+    /// tables, at the frozen epochs.
+    fn cached_atom_mask(&self, atom: QueryId, ordinal: u32, relation: RelId) -> ViewMask {
+        let current = self.epoch_of(relation);
+        let slot = ordinal as usize;
+        let mut stale = false;
+        if let Some(entry) = self
+            .overlay
+            .get_atom(slot)
+            .or_else(|| self.base.get_atom(slot))
+        {
+            if entry.epoch == current {
+                self.atom_hits.fetch_add(1, Ordering::Relaxed);
+                return entry.mask;
+            }
+            stale = true;
+        }
+        let mask = {
+            let interner = self.interner.read().unwrap_or_else(|e| e.into_inner());
+            interned_atom_mask(&self.inner, &self.view_qids, &interner, atom, relation)
+        };
+        let counter = if stale {
+            &self.atom_refreshes
+        } else {
+            &self.atom_misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        // Stale entries always re-admit without charging the gauge (their
+        // slot is already occupied in the shared base table, so the
+        // distinct-slot count is unchanged — overlay entries are never
+        // stale within one snapshot, epochs are frozen); brand-new atoms
+        // respect the capacity shared with the parent (base occupancy +
+        // overlay-only additions).
+        let occupied = self.base.atom_entries.load(Ordering::Relaxed)
+            + self.overlay.atom_entries.load(Ordering::Relaxed);
+        if stale || occupied < self.capacity {
+            self.overlay.store_atom_counted(
+                slot,
+                AtomEntry {
+                    mask,
+                    epoch: current,
+                },
+                !stale,
+            );
+        }
+        mask
+    }
+
+    /// Labels an already-interned query at the frozen epoch vector — the
+    /// snapshot counterpart of [`CachedLabeler::label_interned`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by the shared interner.
+    pub fn label_interned(&self, id: QueryId) -> DisclosureLabel {
+        let (shard_idx, slot) = CachedLabeler::shard_and_slot(id);
+        match self.lookup(shard_idx, slot) {
+            QueryLookup::Fresh(label) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                label
+            }
+            QueryLookup::Stale(entry) => {
+                let mut label = DisclosureLabel::bottom();
+                let mut parts = Vec::with_capacity(entry.parts.len());
+                for part in entry.parts {
+                    let current = self.epoch_of(part.relation);
+                    let mask = if part.epoch == current {
+                        part.mask
+                    } else {
+                        self.cached_atom_mask(part.atom, part.ordinal, part.relation)
+                    };
+                    label.push(AtomLabel::new(part.relation, mask));
+                    parts.push(QueryPart {
+                        atom: part.atom,
+                        ordinal: part.ordinal,
+                        relation: part.relation,
+                        epoch: current,
+                        mask,
+                    });
+                }
+                self.query_refreshes.fetch_add(1, Ordering::Relaxed);
+                // A refresh re-admits without charging the gauge: the slot
+                // is still occupied in the shared base table (overlay
+                // entries are never stale — epochs are frozen), so the
+                // distinct-slot count across base + overlay is unchanged.
+                self.overlay.store_query_counted(
+                    shard_idx,
+                    slot,
+                    QueryEntry {
+                        label: label.clone(),
+                        parts,
+                    },
+                    false,
+                );
+                label
+            }
+            QueryLookup::Absent => {
+                let part_ids = dissect_part_ids(&self.interner, id);
+                let mut label = DisclosureLabel::bottom();
+                let mut parts = Vec::with_capacity(part_ids.len());
+                for (atom, ordinal, relation) in part_ids {
+                    let mask = self.cached_atom_mask(atom, ordinal, relation);
+                    label.push(AtomLabel::new(relation, mask));
+                    parts.push(QueryPart {
+                        atom,
+                        ordinal,
+                        relation,
+                        epoch: self.epoch_of(relation),
+                        mask,
+                    });
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let occupied = self.base.query_entries.load(Ordering::Relaxed)
+                    + self.overlay.query_entries.load(Ordering::Relaxed);
+                if occupied < self.capacity {
+                    self.overlay.store_query(
+                        shard_idx,
+                        slot,
+                        QueryEntry {
+                            label: label.clone(),
+                            parts,
+                        },
+                    );
+                }
+                label
+            }
+        }
+    }
+
+    /// Labels one query and returns the packed 64-bit representation.
+    pub fn label_packed(&self, query: &ConjunctiveQuery) -> Vec<PackedLabel> {
+        self.label_query(query).pack()
+    }
+
+    /// Labels one pre-interned query and returns the packed representation.
+    pub fn label_packed_interned(&self, id: QueryId) -> Vec<PackedLabel> {
+        self.label_interned(id).pack()
+    }
+}
+
+impl QueryLabeler for LabelerSnapshot {
+    /// Interns the query (drawing on the implicit-intern budget **shared**
+    /// with the parent labeler) and labels it at the frozen epoch vector;
+    /// past the budget, unknown shapes serve through the frozen uncached
+    /// pipeline, exactly like [`CachedLabeler::label_query`].
+    fn label_query(&self, query: &ConjunctiveQuery) -> DisclosureLabel {
+        match intern_within_budget(
+            &self.interner,
+            &self.base.implicit_interns,
+            self.capacity,
+            query,
+        ) {
+            Some(id) => self.label_interned(id),
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.inner.label_query(query)
+            }
+        }
+    }
+
+    fn security_views(&self) -> &SecurityViews {
+        &self.inner.views
+    }
 }
 
 /// Outcome of a query-cache lookup: fresh hit, stale entry to refresh, or
@@ -1090,34 +1617,15 @@ impl QueryLabeler for CachedLabeler {
     /// (identical labels, counted as misses), so an adversarial stream of
     /// never-repeating shapes cannot grow the arena without bound.
     fn label_query(&self, query: &ConjunctiveQuery) -> DisclosureLabel {
-        // The arena budget counts the shapes this path has interned —
-        // dissected parts, view definitions and explicitly interned pools
-        // do not consume it (they are bounded by the shapes that carry
-        // them).  The unsynchronized load can overshoot by a few entries
-        // under concurrent first sightings; the bound stays O(capacity).
-        let known = {
-            let interner = self.read_interner();
-            match interner.lookup(query) {
-                Some(id) => Some(id),
-                None if self.implicit_interns.load(Ordering::Relaxed) >= self.capacity => {
-                    // Arena budget exhausted: serve without interning.
-                    None
-                }
-                None => {
-                    drop(interner);
-                    self.implicit_interns.fetch_add(1, Ordering::Relaxed);
-                    Some(
-                        self.interner
-                            .write()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .intern(query),
-                    )
-                }
-            }
-        };
-        match known {
+        match intern_within_budget(
+            &self.interner,
+            &self.tables.implicit_interns,
+            self.capacity,
+            query,
+        ) {
             Some(id) => self.label_interned(id),
             None => {
+                // Arena budget exhausted: serve without interning.
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 self.inner.label_query(query)
             }
@@ -1895,6 +2403,240 @@ mod tests {
                 baseline.label_queries(&queries)
             );
         }
+    }
+
+    #[test]
+    fn atom_ordinals_minted_mid_batch_grow_the_table() {
+        // Regression (satellite of the snapshot PR): the atom cache is a
+        // slot vector indexed by the interner's dense single-atom ordinal.
+        // Ordinals keep being minted while a batch is in flight, so a
+        // lookup may carry an ordinal past the table's current length —
+        // that must read as a miss and the write must grow the table, never
+        // index out of bounds or silently drop the entry.
+        let (c, baseline, _, _) = paper_labelers();
+        let cached = CachedLabeler::new(SecurityViews::paper_example());
+        // Size the table with one early shape…
+        cached.label_query(&q(&c, "Q(x) :- Meetings(x, y)"));
+        let sized = cached.stats().atom_entries;
+        // …then intern a burst of distinct shapes (minting ordinals far
+        // past the sized table) and label them *newest first*, so the very
+        // first write lands beyond the current table length.
+        let texts = [
+            "Q(x, y) :- Meetings(x, y)",
+            "Q(y) :- Meetings(x, y)",
+            "Q() :- Meetings(x, y)",
+            "Q(x) :- Meetings(x, 'Cathy')",
+            "Q(x, y, z) :- Contacts(x, y, z)",
+            "Q(z) :- Contacts(x, y, z)",
+            "Q(x, z) :- Contacts(x, y, z)",
+        ];
+        let ids: Vec<_> = texts.iter().map(|t| cached.intern(&q(&c, t))).collect();
+        for (&id, text) in ids.iter().zip(&texts).rev() {
+            assert_eq!(
+                cached.label_interned(id),
+                baseline.label_query(&q(&c, text)),
+                "mid-batch-minted ordinal mislabeled {text}"
+            );
+        }
+        let grown = cached.stats();
+        assert!(
+            grown.atom_entries > sized,
+            "the table must admit the late ordinals: {grown:?}"
+        );
+        // A second pass is all hits: nothing was silently skipped.
+        let warm = cached.stats();
+        for &id in &ids {
+            cached.label_interned(id);
+        }
+        let after = cached.stats();
+        assert_eq!(after.atom_misses, warm.atom_misses);
+        assert_eq!(after.misses, warm.misses);
+        // At capacity, late ordinals still label correctly (uncached) and
+        // never corrupt the occupancy gauge.
+        let tiny = CachedLabeler::with_capacity_limit(SecurityViews::paper_example(), 1);
+        let tiny_ids: Vec<_> = texts.iter().map(|t| tiny.intern(&q(&c, t))).collect();
+        for (&id, text) in tiny_ids.iter().zip(&texts).rev() {
+            assert_eq!(
+                tiny.label_interned(id),
+                baseline.label_query(&q(&c, text)),
+                "capacity-bounded mislabel on {text}"
+            );
+        }
+        assert!(tiny.stats().atom_entries <= 1);
+    }
+
+    #[test]
+    fn concurrent_clones_are_internally_consistent() {
+        // Regression (satellite of the snapshot PR): Clone used to copy one
+        // stripe at a time and carry the racing occupancy gauge over, so a
+        // clone taken mid-labeling could disagree with its own slots.  The
+        // consistent clone holds every stripe lock at once and recounts.
+        let (c, baseline, _, _) = paper_labelers();
+        let cached = std::sync::Arc::new(CachedLabeler::new(SecurityViews::paper_example()));
+        let texts = [
+            "Q(x) :- Meetings(x, y)",
+            "Q(x, y) :- Meetings(x, y)",
+            "Q(y) :- Meetings(x, y)",
+            "Q() :- Meetings(x, y)",
+            "Q(x) :- Meetings(x, 'Cathy')",
+            "Q(x, y, z) :- Contacts(x, y, z)",
+            "Q(z) :- Contacts(x, y, z)",
+            "Q(x, z) :- Contacts(x, y, z)",
+        ];
+        let queries: Vec<ConjunctiveQuery> = texts.iter().map(|t| q(&c, t)).collect();
+        let clones = std::thread::scope(|scope| {
+            let labeler = std::sync::Arc::clone(&cached);
+            let writer = scope.spawn(move || {
+                for query in queries.iter().cycle().take(400) {
+                    labeler.label_query(query);
+                }
+            });
+            let mut clones = Vec::new();
+            for _ in 0..20 {
+                clones.push(CachedLabeler::clone(&cached));
+            }
+            writer.join().expect("writer panicked");
+            clones
+        });
+        for clone in clones {
+            // The gauges equal the actual occupied slots of the cut…
+            let stats = clone.stats();
+            for text in texts {
+                let query = q(&c, text);
+                // …and every captured entry (fresh-tagged by construction —
+                // no epoch moved) answers correctly without re-deriving.
+                assert_eq!(clone.label_query(&query), baseline.label_query(&query));
+            }
+            // Shapes missing from the cut count as misses, so the captured
+            // occupancy plus the clone's fresh misses must cover the
+            // sweep exactly — a drifted gauge breaks this equality.
+            let after = clone.stats();
+            assert_eq!(
+                stats.entries + (after.misses as usize),
+                texts.len(),
+                "clone gauge disagrees with its captured entries: {stats:?} then {after:?}"
+            );
+            assert_eq!(after.query_refreshes, 0, "no stale entries were served");
+        }
+    }
+
+    #[test]
+    fn stale_tagged_entries_in_a_clone_rederive_never_serve() {
+        // The documented epoch contract behind the consistent clone: an
+        // entry whose tag trails the clone's registry is re-derived on
+        // lookup, never served stale.
+        let mut cached = CachedLabeler::new(SecurityViews::paper_example());
+        let c = cached.security_views().catalog().clone();
+        let query = q(&c, "Q(x) :- Meetings(x, y)");
+        cached.label_query(&query);
+        // Mutate the registry *after* warming: clones taken now hold an
+        // entry tagged with the old epoch.
+        cached
+            .add_view("Vnew", q(&c, "Vnew(x) :- Meetings(x, y)"))
+            .unwrap();
+        let clone = cached.clone();
+        let fresh = BitVectorLabeler::new(clone.security_views().clone());
+        assert_eq!(clone.label_query(&query), fresh.label_query(&query));
+        assert_eq!(
+            clone.stats().query_refreshes,
+            1,
+            "the stale entry refreshed"
+        );
+    }
+
+    #[test]
+    fn snapshots_serve_the_frozen_epoch_vector() {
+        let mut cached = CachedLabeler::new(SecurityViews::paper_example());
+        let c = cached.security_views().catalog().clone();
+        let query = q(&c, "Q(x) :- Meetings(x, y)");
+        let id = cached.intern(&query);
+        let before = cached.label_interned(id);
+        let snapshot = cached.snapshot();
+        // The live labeler moves to a new epoch; the snapshot stays frozen.
+        cached
+            .add_view("Vtime", q(&c, "Vtime(x) :- Meetings(x, y)"))
+            .unwrap();
+        let after = cached.label_interned(id);
+        assert_ne!(before, after, "the new view must change the live label");
+        assert_eq!(snapshot.label_interned(id), before, "snapshot is frozen");
+        assert_eq!(
+            snapshot.label_query(&q(&c, "Q(a) :- Meetings(a, b)")),
+            before,
+            "boxed snapshot path labels at the frozen epochs too"
+        );
+        let frozen_meetings = snapshot
+            .security_views()
+            .epoch(c.resolve("Meetings").unwrap());
+        let live_meetings = cached
+            .security_views()
+            .epoch(c.resolve("Meetings").unwrap());
+        assert_eq!(live_meetings, frozen_meetings + 1);
+        assert!(snapshot.contains(id));
+    }
+
+    #[test]
+    fn snapshot_refreshes_do_not_consume_new_entry_capacity() {
+        // Regression: the snapshot's capacity check sums base occupancy and
+        // overlay additions.  A refresh of a stale *base* entry lands in
+        // the overlay but occupies the same slot as before, so it must not
+        // be charged — otherwise a refresh-heavy snapshot near capacity
+        // wrongly refuses to cache brand-new shapes.
+        let mut cached = CachedLabeler::with_capacity_limit(SecurityViews::paper_example(), 4);
+        let c = cached.security_views().catalog().clone();
+        let warm = [
+            "Q(x) :- Meetings(x, y)",
+            "Q(x, y) :- Meetings(x, y)",
+            "Q(y) :- Meetings(x, y)",
+        ];
+        for text in warm {
+            cached.label_query(&q(&c, text));
+        }
+        assert_eq!(cached.stats().entries, 3);
+        cached.invalidate_relation(c.resolve("Meetings").unwrap());
+        let snapshot = cached.snapshot();
+        // The snapshot refreshes every stale base entry…
+        for text in warm {
+            snapshot.label_query(&q(&c, text));
+        }
+        let refreshed = snapshot.stats();
+        assert_eq!(refreshed.query_refreshes, 3);
+        assert_eq!(refreshed.entries, 0, "refreshes are not new slots");
+        assert_eq!(refreshed.atom_entries, 0, "atom refreshes neither");
+        // …and still has room to admit a brand-new shape under the cap.
+        let fresh = q(&c, "Q(x, y, z) :- Contacts(x, y, z)");
+        snapshot.label_query(&fresh);
+        let before = snapshot.stats();
+        assert_eq!(before.entries, 1, "the new shape was admitted");
+        snapshot.label_query(&fresh);
+        let after = snapshot.stats();
+        assert_eq!(after.misses, before.misses, "second lookup must hit");
+        assert_eq!(after.hits, before.hits + 1);
+    }
+
+    #[test]
+    fn retired_snapshots_publish_their_cache_work() {
+        let cached = CachedLabeler::new(SecurityViews::paper_example());
+        let c = cached.security_views().catalog().clone();
+        let snapshot = cached.snapshot();
+        // The snapshot computes two shapes the live labeler never saw.
+        let contacts = q(&c, "Q(x, y, z) :- Contacts(x, y, z)");
+        let meetings = q(&c, "Q(x) :- Meetings(x, y)");
+        snapshot.label_query(&contacts);
+        snapshot.label_query(&meetings);
+        assert_eq!(snapshot.stats().misses, 2);
+        assert_eq!(cached.stats().entries, 0, "overlay work is private");
+        cached.retire_snapshot(&snapshot);
+        // Entries and counters flowed back…
+        let live = cached.stats();
+        assert_eq!(live.entries, 2);
+        assert_eq!(live.misses, 2);
+        // …so the live labeler now hits on the snapshot-warmed shapes.
+        cached.label_query(&contacts);
+        assert_eq!(cached.stats().hits, 1);
+        // Retirement drained the overlay: retiring again is a no-op.
+        cached.retire_snapshot(&snapshot);
+        assert_eq!(cached.stats().misses, 2);
+        assert_eq!(cached.stats().entries, 2);
     }
 
     #[test]

@@ -425,6 +425,49 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_execution_matches_batched_execution_on_churn_streams() {
+        // The wiring behind the fig7 `pipelined` series: identical generated
+        // streams through `run_batch` and `run_pipelined` must produce
+        // identical responses and per-principal state, across mutation
+        // ratios (including heavy churn) and for interned streams.
+        use fdc_ecosystem_service_smoke::build_service;
+        let schema = facebook_catalog();
+        let registry = facebook_security_views(&schema);
+        for mutation_ratio in [0.0, 0.05, 0.3] {
+            let config = ChurnConfig {
+                mutation_ratio,
+                add_view_share: 0.25,
+                check_share: 0.15,
+                query_pool: 24,
+                num_principals: 12,
+                ..ChurnConfig::default()
+            };
+            let mut batched_churn = ChurnGenerator::new(schema.clone(), &registry, config);
+            let mut pipelined_churn = ChurnGenerator::new(schema.clone(), &registry, config);
+            let mut batched = build_service(&registry, 12);
+            let mut pipelined = build_service(&registry, 12);
+            pipelined_churn.attach_interner(pipelined.interner());
+            batched_churn.attach_interner(batched.interner());
+            let ops = batched_churn.ops(700);
+            let pipelined_ops = pipelined_churn.ops(700);
+            assert_eq!(
+                batched.run_batch(&ops),
+                pipelined.run_pipelined(&pipelined_ops),
+                "at mutation ratio {mutation_ratio}"
+            );
+            assert_eq!(batched.totals(), pipelined.totals());
+            for i in 0..12 {
+                let p = fdc_policy::PrincipalId(i);
+                assert_eq!(
+                    batched.store().consistency_bits(p),
+                    pipelined.store().consistency_bits(p)
+                );
+                assert_eq!(batched.store().stats(p), pipelined.store().stats(p));
+            }
+        }
+    }
+
+    #[test]
     fn interned_streams_decide_identically_to_boxed_streams() {
         use fdc_ecosystem_service_smoke::build_service;
         let schema = facebook_catalog();

@@ -279,21 +279,49 @@ struct FlatPolicy {
 /// [`surviving_bits_packed`](Self::surviving_bits_packed)): one descriptor
 /// load plus lookups in a single hot buffer shared by all policies, the
 /// cache-friendliest form of the decision loop.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct PolicyArena {
     compiled: Vec<CompiledPolicy>,
     sources: Vec<SecurityPolicy>,
     index: HashMap<Vec<CompiledPartition>, u32>,
-    hits: u64,
+    /// Interning hits.  Atomic so that a **hit** — the steady-state outcome
+    /// of online churn over a bounded preset space — can be recorded
+    /// through a shared (`Arc`'d) arena without copy-on-write cloning it;
+    /// see [`PolicyStore`](crate::PolicyStore), which snapshots its arena
+    /// behind an `Arc` for the service layer's epoch snapshots.
+    hits: std::sync::atomic::AtomicU64,
     /// Flattened mirror: inline descriptors plus the shared word buffer.
     flat: Vec<FlatPolicy>,
     words: Vec<u64>,
+}
+
+impl Clone for PolicyArena {
+    fn clone(&self) -> Self {
+        PolicyArena {
+            compiled: self.compiled.clone(),
+            sources: self.sources.clone(),
+            index: self.index.clone(),
+            hits: std::sync::atomic::AtomicU64::new(self.hits()),
+            flat: self.flat.clone(),
+            words: self.words.clone(),
+        }
+    }
 }
 
 impl PolicyArena {
     /// Creates an empty arena.
     pub fn new() -> Self {
         PolicyArena::default()
+    }
+
+    /// The interning fingerprint of a policy: its compiled partitions, in
+    /// declaration order (names excluded).
+    fn fingerprint(policy: &SecurityPolicy) -> Vec<CompiledPartition> {
+        policy
+            .partitions()
+            .iter()
+            .map(CompiledPartition::compile)
+            .collect()
     }
 
     /// Interns a policy, returning its arena index.
@@ -307,13 +335,9 @@ impl PolicyArena {
     /// Panics if the policy has more than [`MAX_PARTITIONS`] partitions, or
     /// if the arena exceeds `u32::MAX` distinct policies.
     pub fn intern(&mut self, policy: SecurityPolicy) -> u32 {
-        let fingerprint: Vec<CompiledPartition> = policy
-            .partitions()
-            .iter()
-            .map(CompiledPartition::compile)
-            .collect();
+        let fingerprint = Self::fingerprint(&policy);
         if let Some(&id) = self.index.get(&fingerprint) {
-            self.hits += 1;
+            self.record_hit();
             return id;
         }
         let compiled = CompiledPolicy::compile(&policy);
@@ -323,6 +347,22 @@ impl PolicyArena {
         self.compiled.push(compiled);
         self.sources.push(policy);
         id
+    }
+
+    /// The arena index of a policy whose compiled form was interned before,
+    /// without interning — the read-only fast path of
+    /// [`intern`](Self::intern).  Callers holding the arena behind a shared
+    /// pointer use this (plus [`record_hit`](Self::record_hit)) to resolve
+    /// structurally known policies without cloning the arena; only a
+    /// genuinely new compiled form needs the mutable interning path.
+    pub fn lookup_interned(&self, policy: &SecurityPolicy) -> Option<u32> {
+        self.index.get(&Self::fingerprint(policy)).copied()
+    }
+
+    /// Records an interning hit resolved through
+    /// [`lookup_interned`](Self::lookup_interned).
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Appends a policy's flattened mirror to the shared buffer.
@@ -442,7 +482,7 @@ impl PolicyArena {
     /// Number of [`intern`](Self::intern) calls answered by an existing
     /// entry — the interning hit count.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 

@@ -61,9 +61,17 @@ struct PrincipalState {
 
 /// A policy checker for many principals, backed by an interning
 /// [`PolicyArena`].
+///
+/// The arena lives behind an `Arc` so that read planes — the service
+/// layer's epoch snapshots — can pin the compiled-policy universe at a
+/// point in time ([`arena_handle`](Self::arena_handle)) without copying it.
+/// Mutations go copy-on-write: the steady-state churn outcome (a grant or
+/// revoke landing on a structurally known compiled form) resolves through
+/// the read-only interning index and never clones; only a genuinely new
+/// compiled form clones the arena while a snapshot is outstanding.
 #[derive(Debug, Clone, Default)]
 pub struct PolicyStore {
-    arena: PolicyArena,
+    arena: std::sync::Arc<PolicyArena>,
     states: Vec<PrincipalState>,
     answered_total: u64,
     refused_total: u64,
@@ -88,7 +96,7 @@ impl PolicyStore {
     /// [`ReferenceMonitor::new`](crate::ReferenceMonitor::new).
     pub fn register(&mut self, policy: SecurityPolicy) -> PrincipalId {
         let id = PrincipalId(self.states.len() as u32);
-        let index = self.arena.intern(policy);
+        let index = self.intern_policy(policy);
         let consistent = self.arena.compiled(index).initial_word();
         self.states.push(PrincipalState {
             policy: index,
@@ -124,15 +132,30 @@ impl PolicyStore {
     /// changes, or if the policy exceeds
     /// [`MAX_PARTITIONS`](crate::MAX_PARTITIONS).
     pub fn replace_policy(&mut self, principal: PrincipalId, policy: SecurityPolicy) {
-        let state = &mut self.states[principal.index()];
-        let old_partitions = self.arena.compiled(state.policy).num_partitions();
+        let old_partitions = self
+            .arena
+            .compiled(self.states[principal.index()].policy)
+            .num_partitions();
         assert_eq!(
             policy.len(),
             old_partitions,
             "replace_policy must preserve the partition count \
              (the consistency word is carried over bit for bit)"
         );
-        state.policy = self.arena.intern(policy);
+        let index = self.intern_policy(policy);
+        self.states[principal.index()].policy = index;
+    }
+
+    /// Interns a policy through the shared arena: structurally known forms
+    /// resolve read-only (no copy-on-write even with
+    /// [`arena_handle`](Self::arena_handle) snapshots outstanding); new
+    /// forms take the mutable path, cloning the arena only if it is shared.
+    fn intern_policy(&mut self, policy: SecurityPolicy) -> u32 {
+        if let Some(index) = self.arena.lookup_interned(&policy) {
+            self.arena.record_hit();
+            return index;
+        }
+        std::sync::Arc::make_mut(&mut self.arena).intern(policy)
     }
 
     /// Grants one more security view to a principal: every partition of its
@@ -204,6 +227,19 @@ impl PolicyStore {
     /// The interning arena backing this store.
     pub fn arena(&self) -> &PolicyArena {
         &self.arena
+    }
+
+    /// A shared handle onto the interning arena, pinning the compiled
+    /// policy universe as it stands right now.
+    ///
+    /// The handle is copy-on-write: later store mutations that intern a
+    /// genuinely new compiled form leave the handle's view untouched (the
+    /// store clones the arena for itself), while the common churn outcome —
+    /// re-interning a known form — mutates nothing.  The service layer's
+    /// `ServiceSnapshot` bundles one handle per shard so a pipelined read
+    /// run can introspect the exact arena its decisions were made against.
+    pub fn arena_handle(&self) -> std::sync::Arc<PolicyArena> {
+        std::sync::Arc::clone(&self.arena)
     }
 
     /// Number of distinct compiled policies across all principals.

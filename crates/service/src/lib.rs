@@ -34,9 +34,11 @@
 
 pub mod ops;
 pub mod service;
+pub mod snapshot;
 
 pub use ops::{Operation, Response, ServiceError};
 pub use service::{DisclosureService, InvalidationMode, ServiceConfig, ServiceStats};
+pub use snapshot::ServiceSnapshot;
 
 #[cfg(test)]
 mod tests {
@@ -413,6 +415,226 @@ mod tests {
         assert_eq!(flushing.stats().flushes, 1);
         // The incremental service kept its cache across the mutation.
         assert!(incremental.labeler().stats().entries > 0);
+    }
+
+    /// A mixed op stream covering every non-boundary shape plus
+    /// `AddSecurityView` boundaries and invalid ops.
+    fn mixed_stream(catalog: &fdc_cq::Catalog, with_audits: bool) -> Vec<Operation> {
+        let texts = [
+            "Q(x, y) :- Meetings(x, y)",
+            "Q(x, y, z) :- Contacts(x, y, z)",
+            "Q(x) :- Meetings(x, y)",
+            "Q(x, z) :- Contacts(x, y, z)",
+        ];
+        let mut ops = Vec::new();
+        for i in 0..80 {
+            let principal = PrincipalId((i % 5) as u32);
+            let query = parse_query(catalog, texts[i % texts.len()]).unwrap();
+            ops.push(if i % 7 == 3 {
+                Operation::Check { principal, query }
+            } else {
+                Operation::Submit { principal, query }
+            });
+            if i % 13 == 6 {
+                ops.push(Operation::GrantView {
+                    principal,
+                    view: "V2".into(),
+                });
+            }
+            if i % 17 == 9 {
+                ops.push(Operation::RevokeView {
+                    principal,
+                    view: "V1".into(),
+                });
+            }
+            if i % 29 == 11 {
+                ops.push(Operation::AddSecurityView {
+                    name: format!("W{i}"),
+                    query: parse_query(catalog, "W(x) :- Meetings(x, y)").unwrap(),
+                });
+            }
+            if i % 23 == 4 {
+                // Invalid ops: a ghost principal and an unknown view.
+                ops.push(Operation::Submit {
+                    principal: PrincipalId(99),
+                    query: parse_query(catalog, texts[0]).unwrap(),
+                });
+                ops.push(Operation::GrantView {
+                    principal,
+                    view: "ghost".into(),
+                });
+            }
+            if with_audits && i % 31 == 17 {
+                ops.push(Operation::AuditApp { principal });
+            }
+        }
+        ops
+    }
+
+    #[test]
+    fn pipelined_and_batched_processing_agree() {
+        let registry = SecurityViews::paper_example();
+        let ops = mixed_stream(registry.catalog(), true);
+        let mut batched = service(5);
+        let mut pipelined = service(5);
+        let batch_responses = batched.run_batch(&ops);
+        let pipelined_responses = pipelined.run_pipelined(&ops);
+        assert_eq!(batch_responses, pipelined_responses);
+        assert_eq!(batched.totals(), pipelined.totals());
+        assert_eq!(batched.stats(), pipelined.stats());
+        for i in 0..5 {
+            let p = PrincipalId(i);
+            assert_eq!(
+                batched.store().consistency_bits(p),
+                pipelined.store().consistency_bits(p)
+            );
+            assert_eq!(batched.store().stats(p), pipelined.store().stats(p));
+            assert_eq!(batched.store().policy(p), pipelined.store().policy(p));
+        }
+        // The registry evolved identically (same views, same epochs).
+        assert_eq!(batched.registry().len(), pipelined.registry().len());
+        for r in 0..batched.registry().catalog().len() {
+            let rel = fdc_cq::RelId(r as u32);
+            assert_eq!(
+                batched.registry().epoch(rel),
+                pipelined.registry().epoch(rel)
+            );
+        }
+        // And both equal strictly sequential processing.
+        let mut sequential = service(5);
+        let sequential_responses: Vec<Response> =
+            ops.iter().map(|op| sequential.apply(op)).collect();
+        assert_eq!(pipelined_responses, sequential_responses);
+        assert_eq!(pipelined.totals(), sequential.totals());
+    }
+
+    #[test]
+    fn pipelined_cache_stats_match_the_batch_executor() {
+        // With a single shard both executors label sequentially in stream
+        // order over the same (shared, snapshot-published) tables, so the
+        // cumulative cache counters must agree exactly.  Audits are
+        // excluded: the pipelined executor serves them from the retiring
+        // snapshot, whose post-retirement cache work is discarded.
+        let registry = SecurityViews::paper_example();
+        let config = ServiceConfig {
+            num_shards: 1,
+            ..ServiceConfig::default()
+        };
+        let build = |registry: &SecurityViews| {
+            let mut s = DisclosureService::new(registry.clone(), config);
+            for _ in 0..5 {
+                s.register_principal(wall(registry));
+            }
+            s
+        };
+        let ops = mixed_stream(registry.catalog(), false);
+        let mut batched = build(&registry);
+        let mut pipelined = build(&registry);
+        assert_eq!(batched.run_batch(&ops), pipelined.run_pipelined(&ops));
+        assert_eq!(batched.labeler().stats(), pipelined.labeler().stats());
+    }
+
+    #[test]
+    fn pipelined_flush_mode_decides_identically() {
+        let registry = SecurityViews::paper_example();
+        let ops = mixed_stream(registry.catalog(), true);
+        let flush_config = ServiceConfig {
+            invalidation: InvalidationMode::FlushOnMutation,
+            ..ServiceConfig::default()
+        };
+        let build = || {
+            let mut s = DisclosureService::new(registry.clone(), flush_config);
+            for _ in 0..5 {
+                s.register_principal(wall(&registry));
+            }
+            s
+        };
+        let mut batched = build();
+        let mut pipelined = build();
+        assert_eq!(batched.run_batch(&ops), pipelined.run_pipelined(&ops));
+        assert_eq!(batched.totals(), pipelined.totals());
+        assert_eq!(batched.stats().flushes, pipelined.stats().flushes);
+        assert!(pipelined.stats().flushes > 0);
+    }
+
+    #[test]
+    fn snapshots_pin_the_read_plane() {
+        let mut service = service(2);
+        let p = PrincipalId(0);
+        let times = q(&service, "Q(x) :- Meetings(x, y)");
+        let id = service.intern(&times);
+        let before = service.labeler().label_packed(&times);
+        let snapshot = service.snapshot();
+        assert_eq!(snapshot.num_policy_shards(), service.config().num_shards);
+        assert!(snapshot.contains(id));
+        let meetings = service.registry().catalog().resolve("Meetings").unwrap();
+        assert_eq!(snapshot.epoch(meetings), service.registry().epoch(meetings));
+        let arena_len = snapshot.arena(0).len();
+
+        // The live service mutates: a new Meetings view, a structurally new
+        // policy via grant.  The snapshot's labels and arena stay frozen.
+        service
+            .apply(&Operation::AddSecurityView {
+                name: "Vsnap".into(),
+                query: q(&service, "Vsnap(x) :- Meetings(x, y)"),
+            })
+            .decision();
+        service.grant_view(p, "Vsnap").unwrap();
+        assert_eq!(snapshot.label_packed(&times), before);
+        assert_eq!(snapshot.label_packed_interned(id), before);
+        assert_eq!(
+            snapshot.epoch(meetings) + 1,
+            service.registry().epoch(meetings)
+        );
+        assert_eq!(snapshot.arena(0).len(), arena_len);
+        assert_ne!(service.labeler().label_packed(&times), before);
+    }
+
+    #[test]
+    fn audit_history_evicts_oldest_at_exactly_cap_and_cap_plus_one() {
+        // Regression (satellite): the history cap must evict the *oldest*
+        // entry — the newest submission always lands in the audited
+        // workload, at exactly-cap and at cap + 1.
+        let registry = SecurityViews::paper_example();
+        let cap = 3;
+        let mut service = DisclosureService::new(
+            registry.clone(),
+            ServiceConfig {
+                history_cap: cap,
+                ..ServiceConfig::default()
+            },
+        );
+        let v3 = registry.id_by_name("V3").unwrap();
+        // Policy only covers Contacts: Meetings submissions show up as
+        // uncovered queries in the audit, making the window observable.
+        let p = service.register_principal(SecurityPolicy::stateless(PolicyPartition::from_views(
+            "contacts",
+            &registry,
+            [v3],
+        )));
+        let meetings = q(&service, "Q(x) :- Meetings(x, y)");
+        let contacts = q(&service, "Q(x, y, z) :- Contacts(x, y, z)");
+        // Exactly cap submissions: all retained, the Meetings one included.
+        service.submit(p, &meetings).unwrap();
+        service.submit(p, &contacts).unwrap();
+        service.submit(p, &contacts).unwrap();
+        let at_cap = service.audit_app(p).unwrap();
+        assert_eq!(
+            at_cap.uncovered_queries,
+            vec![0],
+            "the cap window holds all 3 submissions, oldest first"
+        );
+        // One more (cap + 1): the oldest (Meetings) ages out, the newest
+        // (a second Meetings shape) must NOT be dropped — it appears at the
+        // *end* of the audited workload.
+        let newest = q(&service, "Q(x, y) :- Meetings(x, y)");
+        service.submit(p, &newest).unwrap();
+        let over_cap = service.audit_app(p).unwrap();
+        assert_eq!(
+            over_cap.uncovered_queries,
+            vec![cap - 1],
+            "oldest evicted, newest retained at the window's tail"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The concurrent disclosure-control front door.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use fdc_core::{
     map_chunks_parallel_with_threshold, CachedLabeler, PackedLabel, QueryLabeler, SecurityViews,
@@ -14,6 +15,7 @@ use fdc_policy::{
 };
 
 use crate::ops::{Operation, Response, ServiceError};
+use crate::snapshot::ServiceSnapshot;
 
 /// How the service reconciles its label caches with online mutations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -274,13 +276,25 @@ impl DisclosureService {
         }
     }
 
-    /// Records a submitted query into the principal's observed workload.
+    /// True when the observed-workload history — and with it auditing — is
+    /// enabled.  The single home of the `history_cap == 0` convention,
+    /// shared by [`record`](Self::record),
+    /// [`record_interned`](Self::record_interned) and
+    /// [`audit_app`](Self::audit_app).
+    fn history_enabled(&self) -> bool {
+        self.config.history_cap != 0
+    }
+
+    /// Records a submitted query into the principal's observed workload,
+    /// evicting from the **front** until the cap holds: at exactly-cap the
+    /// oldest entry ages out and the newest submission always lands in the
+    /// audited workload (regression-tested at cap and cap + 1).
     fn record(&mut self, principal: PrincipalId, query: &ConjunctiveQuery) {
-        if self.config.history_cap == 0 {
+        if !self.history_enabled() {
             return;
         }
         let log = &mut self.history[principal.index()];
-        if log.len() == self.config.history_cap {
+        while log.len() >= self.config.history_cap {
             log.pop_front();
         }
         log.push_back(query.clone());
@@ -290,7 +304,7 @@ impl DisclosureService {
     /// interner (only when history is enabled — the hot fig7 configuration
     /// disables it and pays nothing here).
     fn record_interned(&mut self, principal: PrincipalId, query: QueryId) {
-        if self.config.history_cap == 0 {
+        if !self.history_enabled() {
             return;
         }
         let resolved = self
@@ -415,7 +429,7 @@ impl DisclosureService {
     /// policy's permitted views, live) against its observed workload.
     pub fn audit_app(&mut self, principal: PrincipalId) -> Result<AuditReport, ServiceError> {
         self.validate_principal(principal)?;
-        if self.config.history_cap == 0 {
+        if !self.history_enabled() {
             return Err(ServiceError::AuditingDisabled);
         }
         self.stats.audits += 1;
@@ -577,6 +591,550 @@ impl DisclosureService {
         }
         run.clear();
     }
+
+    /// Freezes the service's read plane into a [`ServiceSnapshot`]: the
+    /// registry at its current epoch vector, a read-only handle onto the
+    /// striped label caches, and one copy-on-write policy-arena handle per
+    /// shard.  See the [`snapshot`](crate::snapshot) module for the
+    /// build → serve → retire lifecycle.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        ServiceSnapshot::new(self.labeler.snapshot(), self.store.arena_handles())
+    }
+
+    /// Serves a batch of operations with the **epoch-snapshot pipelined
+    /// executor**, returning one response per operation in request order —
+    /// extensionally equal to [`run_batch`](Self::run_batch) and to
+    /// sequential [`apply`](Self::apply) processing (property-tested), but
+    /// with the labeling stage decoupled from the mutation stream.
+    ///
+    /// [`run_batch`](Self::run_batch) splits its parallel admission runs at
+    /// **every** mutation, so at realistic churn ratios the runs shrink
+    /// until the fan-out (or even the sequential fallback) dominates.  This
+    /// executor instead partitions the stream only at *label-affecting*
+    /// boundaries — `AddSecurityView` in
+    /// [`InvalidationMode::Incremental`] (grants and revokes never change a
+    /// label), every mutation in
+    /// [`InvalidationMode::FlushOnMutation`] — and pipelines the segments:
+    ///
+    /// * each segment's admissions are labeled **concurrently** on a worker
+    ///   fan-out against the *previous* [`ServiceSnapshot`] (which is
+    ///   exactly the registry state at every position of the segment),
+    ///   while the main thread still walks the previous segment's
+    ///   decisions, policy mutations and audits in stream order;
+    /// * decisions, grants, revokes, history recording and audits apply to
+    ///   the live store **at their stream position**; decision runs fan out
+    ///   per policy shard and split at a policy mutation or audit only when
+    ///   the *touched principal* has a decision pending — decisions for
+    ///   other principals read none of the mutated state, so they commute
+    ///   across it and the run keeps accumulating;
+    /// * at each boundary the serving snapshot is retired — its cache work
+    ///   is published back into the shared striped tables
+    ///   (`CachedLabeler::retire_snapshot`) — before the next snapshot is
+    ///   built, so warm state survives epochs.  On the single-worker path
+    ///   (and on audit-free streams generally) the cumulative
+    ///   [`CacheStats`](fdc_core::CacheStats) match the batch executor's
+    ///   exactly; with multiple workers the counters are racy in the same
+    ///   way `run_batch`'s are, and cache work an audit performs through
+    ///   an already-retired snapshot is discarded with it.
+    ///
+    /// Audits and grant/revoke name resolution use the serving snapshot's
+    /// *frozen* registry, which equals the live registry at their stream
+    /// position (the only registry mutations are the boundaries
+    /// themselves).  Interned-id validity is judged against the shared
+    /// interner, which only grows: every id obtained through
+    /// [`intern`](Self::intern) / [`interner`](Self::interner) — the
+    /// supported workflow — validates exactly as under sequential
+    /// [`apply`](Self::apply).  The one under-specified corner is an
+    /// interned op referencing an id that is first *minted by a plain
+    /// admission inside the same batch*: sequential processing judges it at
+    /// its stream position, `run_batch` rejects it if the mint happens in
+    /// the same admission run, and the threaded pipeline may resolve it
+    /// either way depending on worker-chunk timing.  No supported producer
+    /// emits such streams (generators intern through the service before
+    /// constructing operations).
+    pub fn run_pipelined(&mut self, ops: &[Operation]) -> Vec<Response> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let segments = self.segment_ops(ops);
+        let threads = self.config.num_shards;
+        let threshold = self.config.parallel_threshold;
+        let num_principals = self.store.len();
+        let mut responses: Vec<Option<Response>> = vec![None; ops.len()];
+        if threads <= 1 {
+            // Degenerate single-worker pipeline: same segmentation, but no
+            // snapshot, no worker thread and no label staging — which a
+            // single-core host could only pay for, never profit from.
+            // Labeling fuses straight into the pass (each admission labels
+            // through the live labeler at its stream position, which only
+            // boundaries mutate), so this path does strictly less work per
+            // op than `run_batch` while keeping identical responses.
+            for segment in &segments {
+                self.pass_segment(ops, segment.range.clone(), None, None, &mut responses);
+                if let Some(b) = segment.boundary {
+                    responses[b] = Some(self.apply(&ops[b]));
+                }
+            }
+            return responses
+                .into_iter()
+                .map(|r| r.expect("every operation answered"))
+                .collect();
+        }
+        std::thread::scope(|scope| {
+            let spawn_worker = |snap: &Arc<ServiceSnapshot>, range: std::ops::Range<usize>| {
+                let snap = Arc::clone(snap);
+                scope.spawn(move || {
+                    label_segment(
+                        &snap,
+                        &ops[range.clone()],
+                        range.start,
+                        num_principals,
+                        threads,
+                        threshold,
+                    )
+                })
+            };
+            let mut snap = Arc::new(self.snapshot());
+            let mut inflight = Some(spawn_worker(&snap, segments[0].range.clone()));
+            for s in 0..segments.len() {
+                let labels = inflight
+                    .take()
+                    .expect("one labeling worker per segment")
+                    .join()
+                    .expect("labeling worker panicked");
+                // Retire the snapshot that just finished labeling: its
+                // cache work flows back into the shared tables, so the next
+                // snapshot (and any later run_batch) inherits the warmth.
+                self.labeler.retire_snapshot(snap.labeler());
+                let boundary = segments[s].boundary;
+                // A registry-only boundary (AddSecurityView) can apply
+                // early: nothing in the pass below reads the live registry
+                // — labels come from the snapshot, audits and view-name
+                // resolution use the snapshot's frozen registry, and the
+                // policy store does not depend on the registry.  Applying
+                // it now lets the next segment's labeling (which must see
+                // the new view) overlap this segment's pass.
+                let pre_applied = boundary
+                    .filter(|&b| matches!(ops[b], Operation::AddSecurityView { .. }))
+                    .map(|b| self.apply(&ops[b]));
+                let serving = Arc::clone(&snap);
+                let overlap = pre_applied.is_some() || boundary.is_none();
+                if overlap {
+                    if let Some(next) = segments.get(s + 1) {
+                        snap = Arc::new(self.snapshot());
+                        inflight = Some(spawn_worker(&snap, next.range.clone()));
+                    }
+                }
+                self.pass_segment(
+                    ops,
+                    segments[s].range.clone(),
+                    Some(&serving),
+                    Some(labels),
+                    &mut responses,
+                );
+                if let Some(b) = boundary {
+                    // Policy-mutating boundaries (grants/revokes in
+                    // flush-on-mutation mode) must apply *after* the pass —
+                    // the pipeline stalls for one snapshot build here.
+                    let response = pre_applied.unwrap_or_else(|| self.apply(&ops[b]));
+                    responses[b] = Some(response);
+                    if !overlap {
+                        if let Some(next) = segments.get(s + 1) {
+                            snap = Arc::new(self.snapshot());
+                            inflight = Some(spawn_worker(&snap, next.range.clone()));
+                        }
+                    }
+                }
+            }
+        });
+        responses
+            .into_iter()
+            .map(|r| r.expect("every operation answered"))
+            .collect()
+    }
+
+    /// Partitions the op stream at snapshot boundaries: the ops whose
+    /// application changes what a label *is* — `AddSecurityView` under
+    /// incremental invalidation (the only registry mutation), every
+    /// mutation under flush-on-mutation (a flush changes what a labeling
+    /// *costs*, which the baseline exists to measure).
+    fn segment_ops(&self, ops: &[Operation]) -> Vec<Segment> {
+        let is_boundary = |op: &Operation| match self.config.invalidation {
+            InvalidationMode::Incremental => matches!(op, Operation::AddSecurityView { .. }),
+            InvalidationMode::FlushOnMutation => op.is_mutation(),
+        };
+        let mut segments = Vec::new();
+        let mut start = 0;
+        for (i, op) in ops.iter().enumerate() {
+            if is_boundary(op) {
+                segments.push(Segment {
+                    range: start..i,
+                    boundary: Some(i),
+                });
+                start = i + 1;
+            }
+        }
+        segments.push(Segment {
+            range: start..ops.len(),
+            boundary: None,
+        });
+        segments
+    }
+
+    /// Validates and labels one admission through the **live** labeler —
+    /// the fused labeling step of the degenerate single-worker pipeline.
+    /// Equivalent to [`label_segment`] against a snapshot taken at the
+    /// segment's start: nothing mutates the registry inside a segment, so
+    /// the live registry is the segment's registry at every position.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-admission operations.
+    #[allow(clippy::type_complexity)]
+    fn label_admission_live<'a>(
+        &self,
+        op: &'a Operation,
+    ) -> (
+        PrincipalId,
+        AdmissionQuery<'a>,
+        bool,
+        Result<Vec<PackedLabel>, ServiceError>,
+    ) {
+        let (principal, query, commit) = match op {
+            Operation::Submit { principal, query } => {
+                (*principal, AdmissionQuery::Plain(query), true)
+            }
+            Operation::Check { principal, query } => {
+                (*principal, AdmissionQuery::Plain(query), false)
+            }
+            Operation::SubmitInterned { principal, query } => {
+                (*principal, AdmissionQuery::Interned(*query), true)
+            }
+            Operation::CheckInterned { principal, query } => {
+                (*principal, AdmissionQuery::Interned(*query), false)
+            }
+            _ => unreachable!("label_admission_live requires an admission operation"),
+        };
+        let outcome = self
+            .validate_principal(principal)
+            .and_then(|()| match query {
+                AdmissionQuery::Plain(q) => Ok(self.labeler.label_packed(q)),
+                AdmissionQuery::Interned(id) => {
+                    self.validate_query_id(id)?;
+                    Ok(self.labeler.label_packed_interned(id))
+                }
+            });
+        (principal, query, commit, outcome)
+    }
+
+    /// Walks one segment's ops in stream order on the calling thread:
+    /// consecutive labeled admissions accumulate into decision runs that
+    /// fan out per policy shard, and in-segment policy mutations / audits
+    /// apply at their position against the serving snapshot's frozen
+    /// registry.  On the degenerate single-worker path both options are
+    /// `None`: the live registry *is* the segment's registry, and each
+    /// admission labels right here instead of from a staged worker result.
+    fn pass_segment(
+        &mut self,
+        ops: &[Operation],
+        range: std::ops::Range<usize>,
+        serving: Option<&ServiceSnapshot>,
+        labels: Option<Vec<LabeledAdmission>>,
+        responses: &mut [Option<Response>],
+    ) {
+        let mut labeled = labels.map(Vec::into_iter);
+        // (op index, principal, query, commit, packed label) of the pending
+        // decision run.
+        let mut run: Vec<(
+            usize,
+            PrincipalId,
+            AdmissionQuery<'_>,
+            bool,
+            Vec<PackedLabel>,
+        )> = Vec::with_capacity(range.len());
+        for i in range {
+            let op = &ops[i];
+            match op {
+                Operation::Submit { .. }
+                | Operation::Check { .. }
+                | Operation::SubmitInterned { .. }
+                | Operation::CheckInterned { .. } => {
+                    let (principal, query, commit, outcome) = match labeled.as_mut() {
+                        Some(staged) => {
+                            let admission = staged.next().expect("one labeled entry per admission");
+                            debug_assert_eq!(admission.index, i, "labels arrive in stream order");
+                            (
+                                admission.principal,
+                                admission_query(op),
+                                admission.commit,
+                                admission.outcome,
+                            )
+                        }
+                        None => self.label_admission_live(op),
+                    };
+                    match outcome {
+                        Ok(packed) => {
+                            self.stats.admissions += 1;
+                            run.push((i, principal, query, commit, packed));
+                        }
+                        Err(err) => responses[i] = Some(Response::Rejected(err)),
+                    }
+                }
+                Operation::GrantView { principal, view } => {
+                    self.flush_decisions_for(*principal, &mut run, responses);
+                    responses[i] =
+                        Some(self.apply_policy_mutation(*principal, view, true, serving));
+                }
+                Operation::RevokeView { principal, view } => {
+                    self.flush_decisions_for(*principal, &mut run, responses);
+                    responses[i] =
+                        Some(self.apply_policy_mutation(*principal, view, false, serving));
+                }
+                Operation::AuditApp { principal } => {
+                    self.flush_decisions_for(*principal, &mut run, responses);
+                    responses[i] = Some(self.apply_audit(*principal, serving));
+                }
+                Operation::AddSecurityView { .. } => {
+                    unreachable!(
+                        "AddSecurityView ops are segment boundaries, never segment members"
+                    )
+                }
+            }
+        }
+        self.flush_decisions(&mut run, responses);
+    }
+
+    /// Flushes the pending decision run only if `principal` has a decision
+    /// in it.  A grant, revoke or audit touches exactly one principal's
+    /// state, and policy decisions read exactly their own principal's
+    /// state, so pending decisions for *other* principals commute with the
+    /// mutation — the run keeps accumulating across it, which is what lets
+    /// the pipelined pass decide a whole segment in (usually) one fan-out
+    /// where `run_batch` splits at every mutation.
+    fn flush_decisions_for(
+        &mut self,
+        principal: PrincipalId,
+        run: &mut Vec<(
+            usize,
+            PrincipalId,
+            AdmissionQuery<'_>,
+            bool,
+            Vec<PackedLabel>,
+        )>,
+        responses: &mut [Option<Response>],
+    ) {
+        if run.iter().any(|&(_, p, _, _, _)| p == principal) {
+            self.flush_decisions(run, responses);
+        }
+    }
+
+    /// Decides one pending run of labeled admissions (one worker per policy
+    /// shard through `decide_batch_parallel`), recording committed
+    /// submissions into the observed workload.
+    fn flush_decisions(
+        &mut self,
+        run: &mut Vec<(
+            usize,
+            PrincipalId,
+            AdmissionQuery<'_>,
+            bool,
+            Vec<PackedLabel>,
+        )>,
+        responses: &mut [Option<Response>],
+    ) {
+        if run.is_empty() {
+            return;
+        }
+        if self.store.num_shards() == 1 {
+            // Single-shard fast path: decide in place, no intermediate
+            // batch / decision vectors, no worker fan-out to skip.
+            for &(i, principal, query, commit, ref packed) in run.iter() {
+                let decision = self.store.decide_packed(principal, packed, commit);
+                if commit {
+                    match query {
+                        AdmissionQuery::Plain(q) => self.record(principal, q),
+                        AdmissionQuery::Interned(id) => self.record_interned(principal, id),
+                    }
+                }
+                responses[i] = Some(Response::Decision(decision));
+            }
+            run.clear();
+            return;
+        }
+        let batch: Vec<(PrincipalId, &[PackedLabel], bool)> = run
+            .iter()
+            .map(|&(_, principal, _, commit, ref packed)| (principal, packed.as_slice(), commit))
+            .collect();
+        let decisions = self.store.decide_batch_parallel(&batch);
+        for (&(i, principal, query, commit, _), decision) in run.iter().zip(decisions) {
+            if commit {
+                match query {
+                    AdmissionQuery::Plain(q) => self.record(principal, q),
+                    AdmissionQuery::Interned(id) => self.record_interned(principal, id),
+                }
+            }
+            responses[i] = Some(Response::Decision(decision));
+        }
+        run.clear();
+    }
+
+    /// Applies an in-segment grant or revoke, resolving the view name
+    /// against the serving snapshot's frozen registry — which equals the
+    /// live registry at the op's stream position, because the only registry
+    /// mutations are segment boundaries.  On the degenerate single-worker
+    /// path (`serving` is `None`) the live registry is used directly.
+    fn apply_policy_mutation(
+        &mut self,
+        principal: PrincipalId,
+        view: &str,
+        grant: bool,
+        serving: Option<&ServiceSnapshot>,
+    ) -> Response {
+        if let Err(err) = self.validate_principal(principal) {
+            return Response::Rejected(err);
+        }
+        let registry = match serving {
+            Some(snapshot) => snapshot.security_views(),
+            None => self.labeler.security_views(),
+        };
+        let Some(id) = registry.id_by_name(view) else {
+            return Response::Rejected(ServiceError::UnknownView(view.to_owned()));
+        };
+        if grant {
+            self.store.grant_view(principal, registry, id);
+        } else {
+            self.store.revoke_view(principal, registry, id);
+        }
+        self.after_mutation();
+        Response::PolicyUpdated
+    }
+
+    /// Applies an in-segment audit, relabeling the observed workload
+    /// through the serving snapshot (the registry state at the op's stream
+    /// position); the degenerate single-worker path (`None`) audits through
+    /// the live labeler, which is at the same registry state.
+    fn apply_audit(
+        &mut self,
+        principal: PrincipalId,
+        serving: Option<&ServiceSnapshot>,
+    ) -> Response {
+        let Some(snapshot) = serving else {
+            return match self.audit_app(principal) {
+                Ok(report) => Response::Audit(report),
+                Err(err) => Response::Rejected(err),
+            };
+        };
+        if let Err(err) = self.validate_principal(principal) {
+            return Response::Rejected(err);
+        }
+        if !self.history_enabled() {
+            return Response::Rejected(ServiceError::AuditingDisabled);
+        }
+        self.stats.audits += 1;
+        let requested = requested_views(self.store.policy(principal), snapshot.security_views());
+        let workload: Vec<ConjunctiveQuery> =
+            self.history[principal.index()].iter().cloned().collect();
+        Response::Audit(audit_app(snapshot.labeler(), requested, &workload))
+    }
+}
+
+/// One segment of a pipelined batch: a run of non-boundary ops plus the
+/// boundary op (if any) that terminates it.
+struct Segment {
+    range: std::ops::Range<usize>,
+    boundary: Option<usize>,
+}
+
+/// One admission of a segment, labeled by the worker fan-out: the packed
+/// label on success, the validation error otherwise.
+struct LabeledAdmission {
+    /// Absolute index of the admission in the batch.
+    index: usize,
+    principal: PrincipalId,
+    /// True for `Submit` / `SubmitInterned` (the decision commits).
+    commit: bool,
+    outcome: Result<Vec<PackedLabel>, ServiceError>,
+}
+
+/// The admission operand of an admission operation.
+///
+/// # Panics
+///
+/// Panics on non-admission operations.
+fn admission_query(op: &Operation) -> AdmissionQuery<'_> {
+    match op {
+        Operation::Submit { query, .. } | Operation::Check { query, .. } => {
+            AdmissionQuery::Plain(query)
+        }
+        Operation::SubmitInterned { query, .. } | Operation::CheckInterned { query, .. } => {
+            AdmissionQuery::Interned(*query)
+        }
+        _ => unreachable!("admission_query requires an admission operation"),
+    }
+}
+
+/// Labels every admission of one segment against a frozen snapshot, in
+/// stream order, fanning out across up to `threads` worker chunks (the
+/// sequential fallback below `threshold` keeps small segments on the
+/// calling worker).  Validation — unknown principals, foreign interned ids
+/// — happens here too, at the op's stream position.
+fn label_segment(
+    snapshot: &ServiceSnapshot,
+    ops: &[Operation],
+    base: usize,
+    num_principals: usize,
+    threads: usize,
+    threshold: usize,
+) -> Vec<LabeledAdmission> {
+    let admissions: Vec<(usize, PrincipalId, AdmissionQuery<'_>, bool)> = ops
+        .iter()
+        .enumerate()
+        .filter_map(|(i, op)| match op {
+            Operation::Submit { principal, query } => {
+                Some((base + i, *principal, AdmissionQuery::Plain(query), true))
+            }
+            Operation::Check { principal, query } => {
+                Some((base + i, *principal, AdmissionQuery::Plain(query), false))
+            }
+            Operation::SubmitInterned { principal, query } => {
+                Some((base + i, *principal, AdmissionQuery::Interned(*query), true))
+            }
+            Operation::CheckInterned { principal, query } => Some((
+                base + i,
+                *principal,
+                AdmissionQuery::Interned(*query),
+                false,
+            )),
+            _ => None,
+        })
+        .collect();
+    map_chunks_parallel_with_threshold(&admissions, threads, threshold, |chunk| {
+        chunk
+            .iter()
+            .map(|&(index, principal, query, commit)| {
+                let outcome = if principal.index() >= num_principals {
+                    Err(ServiceError::UnknownPrincipal(principal))
+                } else {
+                    match query {
+                        AdmissionQuery::Plain(q) => Ok(snapshot.label_packed(q)),
+                        AdmissionQuery::Interned(id) if snapshot.contains(id) => {
+                            Ok(snapshot.label_packed_interned(id))
+                        }
+                        AdmissionQuery::Interned(id) => Err(ServiceError::UnknownQuery(id)),
+                    }
+                };
+                LabeledAdmission {
+                    index,
+                    principal,
+                    commit,
+                    outcome,
+                }
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// The host's available parallelism, with a serial fallback.

@@ -129,8 +129,80 @@ fn apply_step(service: &mut DisclosureService, kind: u8, a: usize, b: usize) {
     }
 }
 
+/// Expands one interleaving step into the operation stream the pipelined
+/// harness replays — the stream twin of [`apply_step`].
+fn step_to_ops(registry: &SecurityViews, kind: u8, a: usize, b: usize) -> Vec<Operation> {
+    let catalog = registry.catalog();
+    match kind {
+        0 => vec![Operation::GrantView {
+            principal: PrincipalId((a % (NUM_PRINCIPALS + 1)) as u32),
+            view: GRANTABLE[b % GRANTABLE.len()].to_owned(),
+        }],
+        1 => vec![Operation::RevokeView {
+            principal: PrincipalId((a % (NUM_PRINCIPALS + 1)) as u32),
+            view: GRANTABLE[b % GRANTABLE.len()].to_owned(),
+        }],
+        2 => {
+            let (name, text) = CANDIDATE_VIEWS[a % CANDIDATE_VIEWS.len()];
+            vec![Operation::AddSecurityView {
+                name: name.to_owned(),
+                query: parse_query(catalog, text).unwrap(),
+            }]
+        }
+        _ => vec![
+            Operation::Submit {
+                principal: PrincipalId((b % NUM_PRINCIPALS) as u32),
+                query: parse_query(catalog, PROBES[a % PROBES.len()]).unwrap(),
+            },
+            Operation::Check {
+                principal: PrincipalId((b % NUM_PRINCIPALS) as u32),
+                query: parse_query(catalog, PROBES[(a + 1) % PROBES.len()]).unwrap(),
+            },
+        ],
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pipelined_relabel_equals_the_batched_and_rebuilt_service(
+        steps in proptest::collection::vec((0u8..4, 0usize..16, 0usize..16), 1..40)
+    ) {
+        // The pipelined-mode extension of the harness below: the same
+        // interleavings, replayed as one operation stream through the
+        // epoch-snapshot executor, must match the batch executor response
+        // for response — and the pipelined service's refreshed cache must
+        // still agree with a from-scratch rebuild of the final registry.
+        let mut batched = build_service();
+        let mut pipelined = build_service();
+        let registry = batched.registry().clone();
+        let ops: Vec<Operation> = steps
+            .iter()
+            .flat_map(|&(kind, a, b)| step_to_ops(&registry, kind, a, b))
+            .collect();
+        prop_assert_eq!(batched.run_batch(&ops), pipelined.run_pipelined(&ops));
+        prop_assert_eq!(batched.totals(), pipelined.totals());
+        for i in 0..NUM_PRINCIPALS {
+            let p = PrincipalId(i as u32);
+            prop_assert_eq!(
+                batched.store().consistency_bits(p),
+                pipelined.store().consistency_bits(p)
+            );
+            prop_assert_eq!(batched.store().stats(p), pipelined.store().stats(p));
+        }
+        let final_registry = pipelined.registry().clone();
+        let fresh_bitvec = BitVectorLabeler::new(final_registry.clone());
+        for text in PROBES {
+            let query = probe(&final_registry, text);
+            prop_assert_eq!(
+                pipelined.labeler().label_query(&query),
+                fresh_bitvec.label_query(&query),
+                "pipelined cache disagrees with the rebuild on {}",
+                text
+            );
+        }
+    }
 
     #[test]
     fn incremental_relabel_equals_a_fresh_rebuild(
