@@ -25,7 +25,13 @@
 //!   PR 3's 3.0 bar predates the interned query plane, which made the
 //!   flush baseline's cold relabeling ~3x cheaper and compressed the gap),
 //!   and the `pipelined` series ≥ the `incremental` series at the 0.1% and
-//!   1% mutation ratios, ≥ parity (within 5%) at 10%.
+//!   1% mutation ratios, ≥ parity (within 5%) at 10%;
+//! * recovery — `speedup_bulkload_vs_rebuild` ≥ 5.0 (checkpoint-bulkload
+//!   cold start vs from-generator rebuild; ≥ 1.0 in smoke mode).
+//!
+//! Malformed input — an empty file, a truncation mid-token, trailing
+//! garbage, nesting past [`MAX_DEPTH`] — fails with the file named and
+//! the byte offset of the error, never a panic or a stack overflow.
 //!
 //! Smoke mode keeps the structural checks and relaxes the numeric floors to
 //! what a 5000-op single-shot smoke run can actually resolve (fig5 > 1.0;
@@ -70,10 +76,16 @@ impl Json {
     }
 }
 
+/// Deepest container nesting the parser accepts.  The emitted
+/// trajectories nest three levels; the cap exists so a garbage file of
+/// `[[[[…` fails with a named error instead of overflowing the stack.
+const MAX_DEPTH: usize = 64;
+
 /// Minimal recursive-descent JSON parser.
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -81,7 +93,17 @@ impl<'a> Parser<'a> {
         Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         }
+    }
+
+    /// Guards one level of container recursion.
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error(&format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
     }
 
     fn error(&self, message: &str) -> String {
@@ -186,9 +208,11 @@ impl<'a> Parser<'a> {
 
     fn parse_array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Array(items));
         }
         loop {
@@ -197,6 +221,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Array(items));
                 }
                 _ => return Err(self.error("expected `,` or `]`")),
@@ -206,9 +231,11 @@ impl<'a> Parser<'a> {
 
     fn parse_object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut map = HashMap::new();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Object(map));
         }
         loop {
@@ -220,6 +247,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Object(map));
                 }
                 _ => return Err(self.error("expected `,` or `}`")),
@@ -382,12 +410,44 @@ fn check_fig7(path: &str, smoke: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// Recovery gate: the checkpoint-bulkload cold start must beat the
+/// from-generator rebuild by the configured factor (5x committed, parity
+/// smoke — a small smoke population cannot resolve the full gap).
+fn check_recovery(path: &str, smoke: bool) -> Result<(), String> {
+    let doc = load(path)?;
+    for required in ["principals", "wal_records", "rebuild_ms", "bulkload_ms"] {
+        number(&doc, path, required)?;
+    }
+    let rebuild = number(&doc, path, "rebuild_ms")?;
+    let bulkload = number(&doc, path, "bulkload_ms")?;
+    if rebuild <= 0.0 || bulkload <= 0.0 {
+        return Err(format!("`{path}`: non-positive timing"));
+    }
+    let speedup = number(&doc, path, "speedup_bulkload_vs_rebuild")?;
+    let recomputed = rebuild / bulkload;
+    if (speedup - recomputed).abs() > recomputed * 0.01 {
+        return Err(format!(
+            "`{path}`: speedup_bulkload_vs_rebuild = {speedup:.2} disagrees with \
+             rebuild_ms/bulkload_ms = {recomputed:.2}"
+        ));
+    }
+    let floor = if smoke { 1.0 } else { 5.0 };
+    if speedup < floor {
+        return Err(format!(
+            "`{path}`: series `bulkload` below its floor — \
+             speedup_bulkload_vs_rebuild = {speedup:.2} < {floor}"
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
     let mut fig5 = None;
     let mut fig6 = None;
     let mut fig7 = None;
+    let mut recovery = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -395,17 +455,19 @@ fn main() -> ExitCode {
             "--fig5" => fig5 = iter.next().cloned(),
             "--fig6" => fig6 = iter.next().cloned(),
             "--fig7" => fig7 = iter.next().cloned(),
+            "--recovery" => recovery = iter.next().cloned(),
             other => {
                 eprintln!("bench_check: unknown argument `{other}`");
                 eprintln!(
-                    "usage: bench_check [--smoke] [--fig5 <path>] [--fig6 <path>] [--fig7 <path>]"
+                    "usage: bench_check [--smoke] [--fig5 <path>] [--fig6 <path>] \
+                     [--fig7 <path>] [--recovery <path>]"
                 );
                 return ExitCode::FAILURE;
             }
         }
     }
-    if fig5.is_none() && fig6.is_none() && fig7.is_none() {
-        eprintln!("bench_check: nothing to check (pass --fig5/--fig6/--fig7)");
+    if fig5.is_none() && fig6.is_none() && fig7.is_none() && recovery.is_none() {
+        eprintln!("bench_check: nothing to check (pass --fig5/--fig6/--fig7/--recovery)");
         return ExitCode::FAILURE;
     }
     let mode = if smoke { "smoke" } else { "committed" };
@@ -418,6 +480,7 @@ fn main() -> ExitCode {
         ),
         ("fig6", &fig6, check_fig6),
         ("fig7", &fig7, check_fig7),
+        ("recovery", &recovery, check_recovery),
     ] {
         if let Some(path) = path {
             match check(path, smoke) {
@@ -459,6 +522,77 @@ mod tests {
         assert!(parse_json("{").is_err());
         assert!(parse_json("[1, ]").is_err());
         assert!(parse_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn malformed_input_yields_named_errors_not_panics() {
+        // Empty file.
+        let err = parse_json("").unwrap_err();
+        assert!(err.contains("unexpected end of input"), "{err}");
+        assert!(err.contains("byte 0"), "{err}");
+        // Truncation mid-token: a literal cut short...
+        let err = parse_json(r#"{"a": tru"#).unwrap_err();
+        assert!(err.contains("expected `true`"), "{err}");
+        assert!(err.contains("byte 6"), "{err}");
+        // ...a string cut short, and a number cut to just its sign.
+        assert!(parse_json(r#"{"a": "unterm"#)
+            .unwrap_err()
+            .contains("unterminated"));
+        assert!(parse_json(r#"{"a": -"#)
+            .unwrap_err()
+            .contains("malformed number"));
+        // Trailing garbage after a complete document names the offset of
+        // the garbage, not of the document.
+        let err = parse_json(r#"{"a": 1} %%%"#).unwrap_err();
+        assert!(err.contains("trailing content"), "{err}");
+        assert!(err.contains("byte 9"), "{err}");
+        // Binary garbage (lossy-decoded) is an error, not a panic.
+        assert!(parse_json("\u{fffd}\u{fffd}\u{fffd}").is_err());
+    }
+
+    #[test]
+    fn pathological_nesting_is_capped_instead_of_overflowing_the_stack() {
+        // One past the cap fails with the depth named...
+        let deep = "[".repeat(MAX_DEPTH + 1);
+        let err = parse_json(&deep).unwrap_err();
+        assert!(err.contains("nesting deeper"), "{err}");
+        // ...and a balanced document at exactly the cap still parses
+        // (closing a container releases its level).
+        let balanced = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse_json(&balanced).is_ok());
+        let wide = format!("[{}]", vec!["[[1]]"; 64].join(", "));
+        assert!(parse_json(&wide).is_ok(), "depth is per-branch, not global");
+    }
+
+    #[test]
+    fn the_recovery_gate_enforces_the_bulkload_floor() {
+        let dir = std::env::temp_dir().join("fdc_bench_check_recovery_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("recovery.json");
+        let render = |rebuild: f64, bulkload: f64| {
+            format!(
+                r#"{{"principals": 100000, "wal_records": 100016, "rebuild_ms": {rebuild},
+                    "bulkload_ms": {bulkload},
+                    "speedup_bulkload_vs_rebuild": {:.6}}}"#,
+                rebuild / bulkload
+            )
+        };
+        std::fs::write(&path, render(600.0, 100.0)).unwrap();
+        assert!(check_recovery(path.to_str().unwrap(), false).is_ok());
+        // Below the committed floor, above the smoke floor.
+        std::fs::write(&path, render(300.0, 100.0)).unwrap();
+        let err = check_recovery(path.to_str().unwrap(), false).unwrap_err();
+        assert!(err.contains("below its floor"), "{err}");
+        assert!(check_recovery(path.to_str().unwrap(), true).is_ok());
+        // A speedup field that disagrees with the timings is rejected.
+        std::fs::write(
+            &path,
+            r#"{"principals": 1, "wal_records": 1, "rebuild_ms": 600.0,
+               "bulkload_ms": 100.0, "speedup_bulkload_vs_rebuild": 50.0}"#,
+        )
+        .unwrap();
+        let err = check_recovery(path.to_str().unwrap(), false).unwrap_err();
+        assert!(err.contains("disagrees"), "{err}");
     }
 
     #[test]

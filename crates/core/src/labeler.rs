@@ -864,6 +864,42 @@ impl CachedLabeler {
         }
     }
 
+    /// Builds a caching labeler over a view registry with a
+    /// **pre-populated** interner — the recovery constructor.
+    ///
+    /// Where [`with_capacity_limit`](Self::with_capacity_limit) starts
+    /// from an empty interner and interns the view queries as ids
+    /// `0, 1, …`, this takes an interner restored from a checkpoint
+    /// (`QueryInterner::decode_from`) that already holds those shapes:
+    /// interning a view query again finds its existing id, so every
+    /// `QueryId` minted before the checkpoint stays valid — the property
+    /// that makes interned admissions replayable across restarts.
+    pub fn with_interner(
+        views: SecurityViews,
+        mut interner: QueryInterner,
+        capacity: usize,
+    ) -> Self {
+        let mut view_qids = Vec::with_capacity(views.len());
+        for (id, view) in views.iter() {
+            debug_assert_eq!(id.index(), view_qids.len(), "view ids are dense");
+            view_qids.push(interner.intern(&view.query));
+        }
+        CachedLabeler {
+            inner: BitVectorLabeler::new(views),
+            interner: Arc::new(RwLock::new(interner)),
+            view_qids,
+            tables: Arc::new(LabelTables::new()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            atom_hits: AtomicU64::new(0),
+            atom_misses: AtomicU64::new(0),
+            query_refreshes: AtomicU64::new(0),
+            atom_refreshes: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
     /// The per-cache entry limit.
     pub fn capacity_limit(&self) -> usize {
         self.capacity

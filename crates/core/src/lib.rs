@@ -63,7 +63,8 @@ pub use label::{AtomLabel, DisclosureLabel, PackedLabel, ViewMask};
 pub use labeler::{
     label_queries_parallel, map_chunks_parallel, map_chunks_parallel_with_threshold,
     BaselineLabeler, BitVectorLabeler, CacheStats, CachedLabeler, HashPartitionedLabeler,
-    LabelerSnapshot, QueryLabeler, SharedQueryInterner, SMALL_BATCH_SEQUENTIAL_THRESHOLD,
+    LabelerSnapshot, QueryLabeler, SharedQueryInterner, DEFAULT_CACHE_CAPACITY,
+    SMALL_BATCH_SEQUENTIAL_THRESHOLD,
 };
 pub use security_views::{
     SecurityViewId, SecurityViews, MAX_PACKED_VIEWS_PER_RELATION, MAX_VIEWS_PER_RELATION,

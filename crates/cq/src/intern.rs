@@ -557,6 +557,179 @@ impl QueryInterner {
         self.try_to_query(id).expect("interned queries are valid")
     }
 
+    /// The canonical hash of interned query `id`, computed straight from
+    /// the arena spans — the same value [`CanonParts::hash`] produced
+    /// when the query was first staged (used to rebuild the dedup index
+    /// after [`decode_from`](Self::decode_from)).
+    fn hash_interned(&self, id: QueryId) -> u64 {
+        let span = self.queries[id.index()];
+        let atoms =
+            &self.atoms[span.atom_start as usize..(span.atom_start + span.atom_len) as usize];
+        let mut h = fnv_step(FNV_OFFSET, atoms.len() as u64);
+        for atom in atoms {
+            h = fnv_step(h, u64::from(atom.relation.0));
+            h = fnv_step(h, u64::from(atom.term_len));
+            for term in atom.terms(&self.terms) {
+                h = fnv_step(h, term.code());
+            }
+        }
+        h
+    }
+
+    /// Serializes the whole arena — constants, term buffer, atom spans,
+    /// kind buffer, query spans — into `out` (the `fdc-cq` slice of a
+    /// checkpoint).  The derived indexes (constant lookup, dedup
+    /// buckets, single-atom ordinals) are *not* written; decoding
+    /// rebuilds them, so the format stays minimal and cannot go out of
+    /// sync with itself.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        use fdc_durability::codec::{put_len, put_u32, put_u8};
+        put_len(out, self.consts.len());
+        for constant in &self.consts {
+            crate::wire::put_constant(out, constant);
+        }
+        put_len(out, self.terms.len());
+        for term in &self.terms {
+            match *term {
+                ITerm::Var(v, VarKind::Distinguished) => {
+                    put_u8(out, 0);
+                    put_u32(out, v);
+                }
+                ITerm::Var(v, VarKind::Existential) => {
+                    put_u8(out, 1);
+                    put_u32(out, v);
+                }
+                ITerm::Const(c) => {
+                    put_u8(out, 2);
+                    put_u32(out, c.0);
+                }
+            }
+        }
+        put_len(out, self.atoms.len());
+        for atom in &self.atoms {
+            put_u32(out, atom.relation.0);
+            put_u32(out, atom.term_start);
+            put_u32(out, atom.term_len);
+        }
+        put_len(out, self.kinds.len());
+        for kind in &self.kinds {
+            crate::wire::put_var_kind(out, *kind);
+        }
+        put_len(out, self.queries.len());
+        for span in &self.queries {
+            put_u32(out, span.atom_start);
+            put_u32(out, span.atom_len);
+            put_u32(out, span.kind_start);
+            put_u32(out, span.num_vars);
+        }
+    }
+
+    /// Deserializes an arena written by [`encode_into`](Self::encode_into),
+    /// rebuilding every derived index (constant lookup, dedup buckets,
+    /// single-atom ordinals).  All spans are bounds-checked, so a
+    /// corrupt checkpoint yields a [`CodecError`], never a panicking
+    /// interner.  Query ids issued before the encode resolve to the
+    /// identical flat representation after the decode — the property
+    /// that keeps `QueryId`s stable across restarts.
+    ///
+    /// [`CodecError`]: fdc_durability::codec::CodecError
+    pub fn decode_from(
+        cursor: &mut fdc_durability::codec::Cursor<'_>,
+    ) -> std::result::Result<Self, fdc_durability::codec::CodecError> {
+        use fdc_durability::codec::CodecError;
+        let num_consts = cursor.count(2)?;
+        let mut consts = Vec::with_capacity(num_consts);
+        let mut const_ids = HashMap::with_capacity(num_consts);
+        for _ in 0..num_consts {
+            let at = cursor.pos();
+            let constant = crate::wire::read_constant(cursor)?;
+            let id = ConstId(consts.len() as u32);
+            if const_ids.insert(constant.clone(), id).is_some() {
+                return Err(CodecError::invalid(at, "duplicate constant in table"));
+            }
+            consts.push(constant);
+        }
+        let num_terms = cursor.count(5)?;
+        let mut terms = Vec::with_capacity(num_terms);
+        for _ in 0..num_terms {
+            let at = cursor.pos();
+            let tag = cursor.u8()?;
+            let value = cursor.u32()?;
+            terms.push(match tag {
+                0 => ITerm::Var(value, VarKind::Distinguished),
+                1 => ITerm::Var(value, VarKind::Existential),
+                2 => {
+                    if value as usize >= consts.len() {
+                        return Err(CodecError::invalid(at, "constant id out of range"));
+                    }
+                    ITerm::Const(ConstId(value))
+                }
+                _ => return Err(CodecError::invalid(at, format!("unknown term tag {tag}"))),
+            });
+        }
+        let num_atoms = cursor.count(12)?;
+        let mut atoms = Vec::with_capacity(num_atoms);
+        for _ in 0..num_atoms {
+            let at = cursor.pos();
+            let atom = IAtom {
+                relation: RelId(cursor.u32()?),
+                term_start: cursor.u32()?,
+                term_len: cursor.u32()?,
+            };
+            if atom.term_start as u64 + atom.term_len as u64 > terms.len() as u64 {
+                return Err(CodecError::invalid(at, "atom term span out of range"));
+            }
+            atoms.push(atom);
+        }
+        let num_kinds = cursor.count(1)?;
+        let mut kinds = Vec::with_capacity(num_kinds);
+        for _ in 0..num_kinds {
+            kinds.push(crate::wire::read_var_kind(cursor)?);
+        }
+        let num_queries = cursor.count(16)?;
+        let mut queries = Vec::with_capacity(num_queries);
+        for _ in 0..num_queries {
+            let at = cursor.pos();
+            let span = QuerySpan {
+                atom_start: cursor.u32()?,
+                atom_len: cursor.u32()?,
+                kind_start: cursor.u32()?,
+                num_vars: cursor.u32()?,
+            };
+            if span.atom_start as u64 + span.atom_len as u64 > atoms.len() as u64
+                || span.kind_start as u64 + span.num_vars as u64 > kinds.len() as u64
+            {
+                return Err(CodecError::invalid(at, "query span out of range"));
+            }
+            queries.push(span);
+        }
+        let mut interner = QueryInterner {
+            terms,
+            atoms,
+            kinds,
+            queries,
+            consts,
+            const_ids,
+            dedup: HashMap::new(),
+            atom_ordinals: Vec::with_capacity(num_queries),
+            num_single_atom: 0,
+        };
+        for index in 0..interner.queries.len() {
+            let id = QueryId(index as u32);
+            let hash = interner.hash_interned(id);
+            interner.dedup.entry(hash).or_default().push(id);
+            let single = interner.queries[index].atom_len == 1;
+            interner.atom_ordinals.push(if single {
+                let ordinal = interner.num_single_atom;
+                interner.num_single_atom += 1;
+                ordinal
+            } else {
+                u32::MAX
+            });
+        }
+        Ok(interner)
+    }
+
     fn try_to_query(&self, id: QueryId) -> Result<ConjunctiveQuery> {
         let q = self.resolve(id);
         let atoms: Vec<Atom> = (0..q.num_atoms())
@@ -725,6 +898,70 @@ mod tests {
         // Re-interning does not burn ordinals.
         interner.intern(&q(&c, "Q(p, r) :- Meetings(p, r)"));
         assert_eq!(interner.num_single_atom_queries(), 3);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_ids_and_dedup() {
+        let c = catalog();
+        let mut interner = QueryInterner::new();
+        let texts = [
+            "Q(x) :- Meetings(x, y)",
+            "Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+            "Q(x) :- Meetings(x, 'Cathy')",
+            "Q() :- Meetings(z, z)",
+            "Q(a) :- Meetings(a, 9)",
+        ];
+        let ids: Vec<QueryId> = texts.iter().map(|t| interner.intern(&q(&c, t))).collect();
+        let mut bytes = Vec::new();
+        interner.encode_into(&mut bytes);
+        let mut cursor = fdc_durability::codec::Cursor::new(&bytes);
+        let mut back = QueryInterner::decode_from(&mut cursor).unwrap();
+        cursor.expect_end().unwrap();
+        assert_eq!(back.len(), interner.len());
+        assert_eq!(
+            back.num_single_atom_queries(),
+            interner.num_single_atom_queries()
+        );
+        for (text, &id) in texts.iter().zip(&ids) {
+            // Lookups land on the original ids (the dedup index is back)...
+            assert_eq!(back.lookup(&q(&c, text)), Some(id), "{text}");
+            // ...re-interning mints nothing new...
+            assert_eq!(back.intern(&q(&c, text)), id, "{text}");
+            // ...and the flat representation is identical.
+            assert!(structurally_identical(
+                &interner.to_query(id),
+                &back.to_query(id)
+            ));
+            assert_eq!(
+                back.single_atom_ordinal(id),
+                interner.single_atom_ordinal(id)
+            );
+        }
+        assert_eq!(back.len(), texts.len());
+        // The decoded interner keeps growing normally.
+        let fresh = back.intern(&q(&c, "Q(p, r) :- Meetings(p, r)"));
+        assert_eq!(fresh.index(), texts.len());
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_corrupt_spans() {
+        let c = catalog();
+        let mut interner = QueryInterner::new();
+        interner.intern(&q(&c, "Q(x) :- Meetings(x, 'Cathy')"));
+        let mut bytes = Vec::new();
+        interner.encode_into(&mut bytes);
+        for cut in 0..bytes.len() {
+            let mut cursor = fdc_durability::codec::Cursor::new(&bytes[..cut]);
+            assert!(
+                QueryInterner::decode_from(&mut cursor).is_err(),
+                "cut {cut}"
+            );
+        }
+        // Corrupt the final query span's num_vars field out of range.
+        let len = bytes.len();
+        bytes[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = fdc_durability::codec::Cursor::new(&bytes);
+        assert!(QueryInterner::decode_from(&mut cursor).is_err());
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod query;
 pub mod rewriting;
 pub mod substitution;
 pub mod term;
+pub mod wire;
 
 pub use atom::Atom;
 pub use catalog::{Catalog, RelId, RelationSchema};

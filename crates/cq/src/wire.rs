@@ -1,0 +1,249 @@
+//! Binary wire format for catalogs and boxed conjunctive queries — the
+//! `fdc-cq` piece of the durable state plane.
+//!
+//! Everything here round-trips through the length-checked
+//! [`fdc_durability::codec`] primitives: encoding appends to a
+//! `Vec<u8>`, decoding reads through a [`Cursor`] and reports failures
+//! as [`CodecError`]s with byte offsets instead of panicking.  Decoded
+//! queries pass through [`ConjunctiveQuery::from_parts`], so a
+//! checkpoint (or WAL record) can never materialize a query the
+//! constructor would have rejected.
+
+use fdc_durability::codec::put_len;
+use fdc_durability::codec::{put_i64, put_str, put_u32, put_u8, CodecError, Cursor};
+
+use crate::atom::Atom;
+use crate::catalog::{Catalog, RelId};
+use crate::query::ConjunctiveQuery;
+use crate::term::{Constant, Term, VarId, VarKind};
+
+const CONST_INT: u8 = 0;
+const CONST_STR: u8 = 1;
+const TERM_VAR: u8 = 0;
+const TERM_CONST: u8 = 1;
+const KIND_DISTINGUISHED: u8 = 0;
+const KIND_EXISTENTIAL: u8 = 1;
+
+/// Encodes one [`Constant`].
+pub fn put_constant(out: &mut Vec<u8>, constant: &Constant) {
+    match constant {
+        Constant::Int(i) => {
+            put_u8(out, CONST_INT);
+            put_i64(out, *i);
+        }
+        Constant::Str(s) => {
+            put_u8(out, CONST_STR);
+            put_str(out, s);
+        }
+    }
+}
+
+/// Decodes one [`Constant`].
+pub fn read_constant(cursor: &mut Cursor<'_>) -> Result<Constant, CodecError> {
+    let at = cursor.pos();
+    match cursor.u8()? {
+        CONST_INT => Ok(Constant::Int(cursor.i64()?)),
+        CONST_STR => Ok(Constant::Str(cursor.str()?.to_owned())),
+        tag => Err(CodecError::invalid(
+            at,
+            format!("unknown constant tag {tag}"),
+        )),
+    }
+}
+
+/// Encodes one [`VarKind`] as a byte.
+pub fn put_var_kind(out: &mut Vec<u8>, kind: VarKind) {
+    put_u8(
+        out,
+        match kind {
+            VarKind::Distinguished => KIND_DISTINGUISHED,
+            VarKind::Existential => KIND_EXISTENTIAL,
+        },
+    );
+}
+
+/// Decodes one [`VarKind`].
+pub fn read_var_kind(cursor: &mut Cursor<'_>) -> Result<VarKind, CodecError> {
+    let at = cursor.pos();
+    match cursor.u8()? {
+        KIND_DISTINGUISHED => Ok(VarKind::Distinguished),
+        KIND_EXISTENTIAL => Ok(VarKind::Existential),
+        tag => Err(CodecError::invalid(
+            at,
+            format!("unknown variable-kind tag {tag}"),
+        )),
+    }
+}
+
+/// Encodes a [`Catalog`]: every relation in id order, with its name and
+/// full attribute names (so a decoded catalog resolves exactly like the
+/// original).
+pub fn encode_catalog(catalog: &Catalog, out: &mut Vec<u8>) {
+    put_len(out, catalog.len());
+    for (_, schema) in catalog.iter() {
+        put_str(out, &schema.name);
+        put_len(out, schema.attributes.len());
+        for attribute in &schema.attributes {
+            put_str(out, attribute);
+        }
+    }
+}
+
+/// Decodes a [`Catalog`], reassigning the same dense [`RelId`]s the
+/// encoder saw.
+pub fn decode_catalog(cursor: &mut Cursor<'_>) -> Result<Catalog, CodecError> {
+    let num_relations = cursor.count(9)?;
+    let mut catalog = Catalog::new();
+    for _ in 0..num_relations {
+        let at = cursor.pos();
+        let name = cursor.str()?.to_owned();
+        let num_attributes = cursor.count(8)?;
+        let mut attributes = Vec::with_capacity(num_attributes);
+        for _ in 0..num_attributes {
+            attributes.push(cursor.str()?.to_owned());
+        }
+        catalog
+            .add_relation(&name, &attributes)
+            .map_err(|err| CodecError::invalid(at, format!("invalid relation: {err}")))?;
+    }
+    Ok(catalog)
+}
+
+/// Encodes a boxed [`ConjunctiveQuery`] with full fidelity — variable
+/// kinds, display names, atom order, constants — so `decode` returns a
+/// query `Eq`-identical to the input.
+pub fn encode_query(query: &ConjunctiveQuery, out: &mut Vec<u8>) {
+    put_len(out, query.num_vars());
+    for kind in query.var_kinds() {
+        put_var_kind(out, *kind);
+    }
+    for v in 0..query.num_vars() {
+        put_str(out, query.var_name(VarId(v as u32)));
+    }
+    put_len(out, query.num_atoms());
+    for atom in query.atoms() {
+        put_u32(out, atom.relation.0);
+        put_len(out, atom.terms.len());
+        for term in &atom.terms {
+            match term {
+                Term::Var(v, _) => {
+                    put_u8(out, TERM_VAR);
+                    put_u32(out, v.0);
+                }
+                Term::Const(c) => {
+                    put_u8(out, TERM_CONST);
+                    put_constant(out, c);
+                }
+            }
+        }
+    }
+}
+
+/// Decodes a [`ConjunctiveQuery`], re-validating it through
+/// [`ConjunctiveQuery::from_parts`].
+pub fn decode_query(cursor: &mut Cursor<'_>) -> Result<ConjunctiveQuery, CodecError> {
+    let start = cursor.pos();
+    let num_vars = cursor.count(1)?;
+    let mut kinds = Vec::with_capacity(num_vars);
+    for _ in 0..num_vars {
+        kinds.push(read_var_kind(cursor)?);
+    }
+    let mut names = Vec::with_capacity(num_vars);
+    for _ in 0..num_vars {
+        names.push(cursor.str()?.to_owned());
+    }
+    let num_atoms = cursor.count(12)?;
+    let mut atoms = Vec::with_capacity(num_atoms);
+    for _ in 0..num_atoms {
+        let relation = RelId(cursor.u32()?);
+        let num_terms = cursor.count(5)?;
+        let mut terms = Vec::with_capacity(num_terms);
+        for _ in 0..num_terms {
+            let at = cursor.pos();
+            match cursor.u8()? {
+                TERM_VAR => {
+                    let v = cursor.u32()? as usize;
+                    if v >= num_vars {
+                        return Err(CodecError::invalid(
+                            at,
+                            format!("variable index {v} out of range ({num_vars} vars)"),
+                        ));
+                    }
+                    terms.push(Term::Var(VarId(v as u32), kinds[v]));
+                }
+                TERM_CONST => terms.push(Term::Const(read_constant(cursor)?)),
+                tag => {
+                    return Err(CodecError::invalid(at, format!("unknown term tag {tag}")));
+                }
+            }
+        }
+        atoms.push(Atom::new(relation, terms));
+    }
+    ConjunctiveQuery::from_parts(atoms, kinds, names)
+        .map_err(|err| CodecError::invalid(start, format!("invalid query: {err}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn catalog_round_trips_with_identical_ids() {
+        let catalog = Catalog::paper_example();
+        let mut out = Vec::new();
+        encode_catalog(&catalog, &mut out);
+        let mut cursor = Cursor::new(&out);
+        let back = decode_catalog(&mut cursor).unwrap();
+        cursor.expect_end().unwrap();
+        assert_eq!(back.len(), catalog.len());
+        for (id, schema) in catalog.iter() {
+            assert_eq!(back.resolve(&schema.name), Some(id));
+            assert_eq!(back.relation(id).attributes, schema.attributes);
+        }
+    }
+
+    #[test]
+    fn queries_round_trip_eq_identical() {
+        let catalog = Catalog::paper_example();
+        for text in [
+            "Q(x) :- Meetings(x, y)",
+            "Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+            "Q() :- Meetings(z, z)",
+            "Q(a) :- Meetings(a, 9)",
+        ] {
+            let query = parse_query(&catalog, text).unwrap();
+            let mut out = Vec::new();
+            encode_query(&query, &mut out);
+            let mut cursor = Cursor::new(&out);
+            let back = decode_query(&mut cursor).unwrap();
+            cursor.expect_end().unwrap();
+            assert_eq!(back, query, "round trip changed {text}");
+        }
+    }
+
+    #[test]
+    fn truncated_query_bytes_are_an_error_not_a_panic() {
+        let catalog = Catalog::paper_example();
+        let query = parse_query(&catalog, "Q(x) :- Meetings(x, 'Cathy')").unwrap();
+        let mut out = Vec::new();
+        encode_query(&query, &mut out);
+        for cut in 0..out.len() {
+            let mut cursor = Cursor::new(&out[..cut]);
+            assert!(decode_query(&mut cursor).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_variable_is_rejected() {
+        let catalog = Catalog::paper_example();
+        let query = parse_query(&catalog, "Q(x) :- Meetings(x, y)").unwrap();
+        let mut out = Vec::new();
+        encode_query(&query, &mut out);
+        // The last term is Var(1): bump its index out of range.
+        let len = out.len();
+        out[len - 4..].copy_from_slice(&9u32.to_le_bytes());
+        let mut cursor = Cursor::new(&out);
+        assert!(decode_query(&mut cursor).is_err());
+    }
+}

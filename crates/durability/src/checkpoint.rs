@@ -1,0 +1,266 @@
+//! Atomic, checksummed checkpoints.
+//!
+//! A checkpoint is an opaque payload (the upper layers serialize the
+//! policy arena, per-principal records, view registry and interner into
+//! it) stamped with the WAL sequence number it covers: recovery loads
+//! the latest *valid* checkpoint and replays only the log records past
+//! its sequence number.
+//!
+//! # On-disk format
+//!
+//! One file per checkpoint, named `ckpt-<seq:020>.ck`:
+//!
+//! ```text
+//! magic    b"FDCCKPT1"       8 bytes
+//! version  u32 LE  (= 1)     4 bytes
+//! seq      u64 LE            8 bytes   (last WAL seq the payload covers)
+//! len      u64 LE            8 bytes   (payload length)
+//! payload                    len bytes
+//! crc      u32 LE            4 bytes   (CRC-32 of everything above)
+//! ```
+//!
+//! # Atomicity
+//!
+//! [`write_checkpoint`] writes to a `.tmp` sibling, syncs it, then
+//! renames it into place — a crash mid-write leaves at worst a stray
+//! temp file, never a half-written checkpoint under the real name.  The
+//! whole-file CRC catches the remaining failure modes (partial rename
+//! targets on non-atomic filesystems, bit rot), and
+//! [`latest_checkpoint`] simply skips invalid files and falls back to
+//! the next-newest, so checkpointing can never make recovery *worse*.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::{crc32, Crc32};
+
+/// Checkpoint file magic: "FDC checkpoint format 1".
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"FDCCKPT1";
+/// Checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+/// Fixed bytes before the payload.
+pub const CHECKPOINT_HEADER_LEN: usize = 28;
+
+/// Builds the file name of the checkpoint covering WAL sequence `seq`.
+pub fn checkpoint_file_name(seq: u64) -> String {
+    format!("ckpt-{seq:020}.ck")
+}
+
+/// Lists checkpoint files in `dir`, sorted ascending by the sequence
+/// number encoded in their names.
+fn list_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut checkpoints = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = name
+            .strip_prefix("ckpt-")
+            .and_then(|rest| rest.strip_suffix(".ck"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            checkpoints.push((seq, entry.path()));
+        }
+    }
+    checkpoints.sort();
+    Ok(checkpoints)
+}
+
+/// Writes a checkpoint covering WAL sequence `seq` atomically into
+/// `dir`, returning its final path.
+///
+/// `fsync` controls whether the temp file (and, on platforms where it
+/// matters, the directory) is synced before and after the rename.
+pub fn write_checkpoint(dir: &Path, seq: u64, payload: &[u8], fsync: bool) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let final_path = dir.join(checkpoint_file_name(seq));
+    let tmp_path = dir.join(format!("{}.tmp", checkpoint_file_name(seq)));
+    let mut header = Vec::with_capacity(CHECKPOINT_HEADER_LEN);
+    header.extend_from_slice(CHECKPOINT_MAGIC);
+    header.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    header.extend_from_slice(&seq.to_le_bytes());
+    header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&header);
+    crc.update(payload);
+    {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        file.write_all(&header)?;
+        file.write_all(payload)?;
+        file.write_all(&crc.finish().to_le_bytes())?;
+        if fsync {
+            file.sync_all()?;
+        }
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    if fsync {
+        // Persist the rename itself where the platform allows syncing a
+        // directory handle.
+        if let Ok(dir_file) = File::open(dir) {
+            let _ = dir_file.sync_all();
+        }
+    }
+    Ok(final_path)
+}
+
+/// Validates and decodes one checkpoint file.
+fn load_checkpoint(path: &Path) -> io::Result<(u64, Vec<u8>)> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let invalid = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    if bytes.len() < CHECKPOINT_HEADER_LEN + 4 {
+        return Err(invalid("checkpoint shorter than header + trailer"));
+    }
+    if &bytes[..8] != CHECKPOINT_MAGIC {
+        return Err(invalid("bad checkpoint magic"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != CHECKPOINT_VERSION {
+        return Err(invalid("unsupported checkpoint version"));
+    }
+    let seq = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let len = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
+    if bytes.len() as u64 != CHECKPOINT_HEADER_LEN as u64 + len + 4 {
+        return Err(invalid("checkpoint length field disagrees with file size"));
+    }
+    let body_end = bytes.len() - 4;
+    let stored_crc = u32::from_le_bytes(bytes[body_end..].try_into().expect("4 bytes"));
+    if crc32(&bytes[..body_end]) != stored_crc {
+        return Err(invalid("checkpoint checksum mismatch"));
+    }
+    bytes.truncate(body_end);
+    bytes.drain(..CHECKPOINT_HEADER_LEN);
+    Ok((seq, bytes))
+}
+
+/// Loads the newest checkpoint in `dir` that validates (magic, version,
+/// length, whole-file CRC), returning `(covered_seq, payload)`.
+/// Invalid or half-written files are skipped, not fatal; `None` means
+/// no valid checkpoint exists and recovery must replay the log from the
+/// beginning.
+pub fn latest_checkpoint(dir: &Path) -> io::Result<Option<(u64, Vec<u8>)>> {
+    if !dir.exists() {
+        return Ok(None);
+    }
+    for (_, path) in list_checkpoints(dir)?.into_iter().rev() {
+        if let Ok(loaded) = load_checkpoint(&path) {
+            return Ok(Some(loaded));
+        }
+    }
+    Ok(None)
+}
+
+/// Sequence numbers of the checkpoint files currently in `dir`,
+/// ascending.  Validity is not checked — this lists what is on disk.
+/// Callers pruning WAL segments prune up to the *oldest* listed
+/// checkpoint, so that every retained checkpoint (not just the newest)
+/// still has the log records past it, should it be the one recovery
+/// falls back to.
+pub fn checkpoint_seqs(dir: &Path) -> io::Result<Vec<u64>> {
+    Ok(list_checkpoints(dir)?
+        .into_iter()
+        .map(|(seq, _)| seq)
+        .collect())
+}
+
+/// Deletes old checkpoints, keeping the newest `keep` files (by the
+/// sequence number in the name; `keep` is clamped to at least 1).
+/// Validity is not re-checked, which is why the service keeps two:
+/// even if the newest file is later found corrupt, its valid
+/// predecessor is still on disk.  Also sweeps stray `.tmp` files from
+/// interrupted writes.  Returns how many files were removed.
+pub fn prune_checkpoints(dir: &Path, keep: usize) -> io::Result<usize> {
+    let checkpoints = list_checkpoints(dir)?;
+    let mut removed = 0;
+    let cutoff = checkpoints.len().saturating_sub(keep.max(1));
+    for (_, path) in &checkpoints[..cutoff] {
+        fs::remove_file(path)?;
+        removed += 1;
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("ckpt-") && name.ends_with(".tmp") {
+            fs::remove_file(entry.path())?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fdc_ckpt_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trips_payload_and_seq() {
+        let dir = temp_dir("round_trip");
+        write_checkpoint(&dir, 17, b"state bytes", false).unwrap();
+        let (seq, payload) = latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(seq, 17);
+        assert_eq!(payload, b"state bytes");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn latest_valid_wins_over_newer_corrupt() {
+        let dir = temp_dir("latest_valid");
+        write_checkpoint(&dir, 5, b"old good", false).unwrap();
+        let newer = write_checkpoint(&dir, 9, b"new bad", false).unwrap();
+        let mut bytes = fs::read(&newer).unwrap();
+        let len = bytes.len();
+        bytes[len - 10] ^= 0x55;
+        fs::write(&newer, &bytes).unwrap();
+        let (seq, payload) = latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(seq, 5);
+        assert_eq!(payload, b"old good");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_skipped() {
+        let dir = temp_dir("truncated");
+        write_checkpoint(&dir, 3, b"good", false).unwrap();
+        let newer = write_checkpoint(&dir, 8, b"will be cut", false).unwrap();
+        let bytes = fs::read(&newer).unwrap();
+        fs::write(&newer, &bytes[..bytes.len() / 2]).unwrap();
+        let (seq, _) = latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(seq, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_or_missing_directory_yields_none() {
+        let dir = temp_dir("empty");
+        assert!(latest_checkpoint(&dir).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+        assert!(latest_checkpoint(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn prune_keeps_the_newest_and_sweeps_temp_files() {
+        let dir = temp_dir("prune");
+        for seq in [1u64, 4, 9, 12] {
+            write_checkpoint(&dir, seq, b"x", false).unwrap();
+        }
+        fs::write(dir.join("ckpt-00000000000000000099.ck.tmp"), b"stray").unwrap();
+        let removed = prune_checkpoints(&dir, 2).unwrap();
+        assert_eq!(removed, 3);
+        let (seq, _) = latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(seq, 12);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

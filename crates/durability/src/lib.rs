@@ -1,0 +1,121 @@
+//! The durable state plane: write-ahead log, checkpoints, and
+//! crash-consistent recovery primitives.
+//!
+//! Everything above this crate (the policy store, the view registry, the
+//! interner, the `DisclosureService`) is memory-only; this crate supplies
+//! the three disk-side pieces the ROADMAP's "durable state plane" item
+//! calls for, with **no dependencies** beyond `std`:
+//!
+//! * a **write-ahead log** ([`wal`]): length-prefixed, CRC-32-checksummed
+//!   records appended to size-rotated segment files, flushed by *group
+//!   commit* (one `fsync` per batch of appends, not per record), and read
+//!   back by a torn-tail-tolerant scanner that stops cleanly at the first
+//!   truncated or corrupt record;
+//! * **checkpoints** ([`checkpoint`]): opaque binary snapshots written
+//!   atomically (temp file + rename) with a whole-file checksum, so a
+//!   crash mid-checkpoint can never shadow the previous good one;
+//! * the shared **codec** ([`codec`]) and **CRC-32** ([`crc`]) helpers the
+//!   two file formats (and the state serializers in the upper crates) are
+//!   built from.
+//!
+//! The crate knows nothing about *what* is logged or snapshotted — record
+//! payloads and checkpoint bodies are byte strings to it.  The layering is
+//! deliberate: `fdc-cq`, `fdc-core` and `fdc-policy` each serialize their
+//! own state with the [`codec`] primitives, and `fdc-service` composes the
+//! pieces into `open_durable` / `checkpoint` / `close` plus the
+//! write-ahead hooks on its operation stream.
+//!
+//! # Crash-consistency contract
+//!
+//! Writers append a record (and receive its sequence number) *before*
+//! applying the operation it describes; [`wal::read_log`] returns every
+//! record whose length prefix, checksum and sequence number check out, in
+//! order, stopping at the first that does not.  Together those two rules
+//! make the log's readable prefix a prefix of the applied operation
+//! stream, which is exactly what the crash-at-any-byte-prefix property
+//! test (`tests/crash_recovery.rs` at the workspace root) asserts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod codec;
+pub mod crc;
+pub mod wal;
+
+pub use checkpoint::{checkpoint_seqs, latest_checkpoint, prune_checkpoints, write_checkpoint};
+pub use codec::{CodecError, Cursor};
+pub use wal::{prune_segments, read_log, LogContents, TailPosition, WalRecord, WalWriter};
+
+/// Tuning knobs for the write-ahead log's group commit and segment
+/// rotation.
+///
+/// The defaults favour durability: every commit point syncs to disk.
+/// Benchmark harnesses that only need *replayability* (not
+/// power-loss-safety) can set `fsync: false` to skip the `File::sync_data`
+/// calls while keeping the record format and group-commit batching
+/// identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Appends are buffered and flushed together once this many records
+    /// accumulate (or earlier, at an explicit
+    /// [`commit`](wal::WalWriter::commit)).  `0` is treated as `1`
+    /// (flush every append).
+    pub group_commit: usize,
+    /// A segment file is closed and a new one started once it grows past
+    /// this many bytes.  `0` is treated as "never rotate".
+    pub segment_bytes: u64,
+    /// Whether flushes call `sync_data` on the segment file.  Disable
+    /// only when crash-durability across power loss is not required.
+    pub fsync: bool,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            group_commit: 64,
+            segment_bytes: 8 * 1024 * 1024,
+            fsync: true,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// Effective group-commit batch size (`0` is treated as `1`).
+    pub fn batch(&self) -> usize {
+        self.group_commit.max(1)
+    }
+
+    /// Effective rotation threshold, `None` meaning "never rotate".
+    pub fn rotate_at(&self) -> Option<u64> {
+        if self.segment_bytes == 0 {
+            None
+        } else {
+            Some(self.segment_bytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_durable() {
+        let config = DurabilityConfig::default();
+        assert!(config.fsync);
+        assert_eq!(config.batch(), 64);
+        assert_eq!(config.rotate_at(), Some(8 * 1024 * 1024));
+    }
+
+    #[test]
+    fn zero_knobs_have_sane_meanings() {
+        let config = DurabilityConfig {
+            group_commit: 0,
+            segment_bytes: 0,
+            fsync: false,
+        };
+        assert_eq!(config.batch(), 1);
+        assert_eq!(config.rotate_at(), None);
+    }
+}

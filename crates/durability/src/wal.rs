@@ -1,0 +1,598 @@
+//! The write-ahead log: size-rotated segment files of length-prefixed,
+//! CRC-checksummed, sequence-numbered records.
+//!
+//! # On-disk format
+//!
+//! A log is a directory of segment files named
+//! `wal-<first_seq:020>.log` (zero-padded so lexicographic order is
+//! sequence order).  Each segment is:
+//!
+//! ```text
+//! header:  magic  b"FDCWAL01"          8 bytes
+//!          version u32 LE  (= 1)       4 bytes
+//!          first_seq u64 LE            8 bytes
+//! records: [ len u32 LE                4 bytes   (payload length)
+//!            crc u32 LE                4 bytes   (CRC-32 of seq ++ payload)
+//!            seq u64 LE                8 bytes
+//!            payload                   len bytes ] *
+//! ```
+//!
+//! Sequence numbers are assigned by the writer, strictly increasing by
+//! one across segment boundaries; the first record of a segment carries
+//! the segment's `first_seq`.
+//!
+//! # Torn tails
+//!
+//! A crash can leave the last record half-written (or, with buffered
+//! group commit, absent entirely).  [`read_log`] accepts that: it
+//! returns every record whose frame, checksum and sequence number are
+//! intact, **stopping at the first that is not**, and reports where the
+//! valid prefix ends as a [`TailPosition`] so a resuming
+//! [`WalWriter`] can truncate the torn bytes and continue appending at
+//! the next sequence number.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::Crc32;
+use crate::DurabilityConfig;
+
+/// Segment file magic: "FDC WAL format 01".
+pub const SEGMENT_MAGIC: &[u8; 8] = b"FDCWAL01";
+/// Segment format version.
+pub const SEGMENT_VERSION: u32 = 1;
+/// Bytes of segment header before the first record.
+pub const SEGMENT_HEADER_LEN: u64 = 20;
+/// Bytes of record framing before the payload (`len + crc + seq`).
+pub const RECORD_HEADER_LEN: usize = 16;
+
+/// Largest accepted record payload (a sanity bound for the reader — a
+/// corrupt length prefix must not look like a plausible giant record).
+pub const MAX_RECORD_LEN: u32 = 1 << 30;
+
+/// Builds the file name of the segment whose first record is `first_seq`.
+pub fn segment_file_name(first_seq: u64) -> String {
+    format!("wal-{first_seq:020}.log")
+}
+
+/// One intact record read back from the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The record's sequence number.
+    pub seq: u64,
+    /// The record's payload, exactly as appended.
+    pub payload: Vec<u8>,
+}
+
+/// Where the valid prefix of the log ends — the position a resuming
+/// writer continues from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailPosition {
+    /// The segment holding the last valid record and the byte length of
+    /// its valid prefix (anything past it is torn and must be
+    /// truncated), or `None` if the directory holds no segments.
+    pub active_segment: Option<(PathBuf, u64)>,
+    /// The sequence number the next appended record must carry.  `1`
+    /// when the directory holds no segments at all (callers recovering
+    /// from a checkpoint take the max of this and `checkpoint_seq + 1`).
+    pub next_seq: u64,
+}
+
+/// Everything [`read_log`] found: the valid record prefix plus the tail
+/// position for a resuming writer.
+#[derive(Debug)]
+pub struct LogContents {
+    /// All intact records, in sequence order.
+    pub records: Vec<WalRecord>,
+    /// Where the valid prefix ends.
+    pub tail: TailPosition,
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Lists segment files in `dir`, sorted by the `first_seq` encoded in
+/// their names.
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|rest| rest.strip_suffix(".log"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            segments.push((seq, entry.path()));
+        }
+    }
+    segments.sort();
+    Ok(segments)
+}
+
+/// Encodes one record frame (header + payload) into `out`.
+fn encode_record(out: &mut Vec<u8>, seq: u64, payload: &[u8]) {
+    debug_assert!(payload.len() as u64 <= MAX_RECORD_LEN as u64);
+    let mut crc = Crc32::new();
+    crc.update(&seq.to_le_bytes());
+    crc.update(payload);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc.finish().to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Scans one segment's bytes.  Returns the records that check out, the
+/// byte length of the valid prefix, and whether the scan was `clean`
+/// (reached end-of-file without meeting a torn or corrupt record).
+///
+/// `expected_seq` is the sequence number the first record must carry
+/// (`None` lets the segment header decide).
+fn scan_segment(
+    bytes: &[u8],
+    expected_first: Option<u64>,
+    records: &mut Vec<WalRecord>,
+) -> io::Result<(u64, bool, u64)> {
+    if bytes.len() < SEGMENT_HEADER_LEN as usize {
+        return Err(invalid("segment shorter than its header".into()));
+    }
+    if &bytes[..8] != SEGMENT_MAGIC {
+        return Err(invalid("bad segment magic".into()));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != SEGMENT_VERSION {
+        return Err(invalid(format!("unsupported segment version {version}")));
+    }
+    let first_seq = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    if let Some(expected) = expected_first {
+        if first_seq != expected {
+            return Err(invalid(format!(
+                "segment first_seq {first_seq} does not continue the log (expected {expected})"
+            )));
+        }
+    }
+    let mut pos = SEGMENT_HEADER_LEN as usize;
+    let mut next_seq = first_seq;
+    loop {
+        if bytes.len() - pos < RECORD_HEADER_LEN {
+            // End of file (clean) or a torn frame header (not clean).
+            return Ok((pos as u64, bytes.len() == pos, next_seq));
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        let stored_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let seq = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().expect("8 bytes"));
+        if len > MAX_RECORD_LEN || bytes.len() - pos - RECORD_HEADER_LEN < len as usize {
+            return Ok((pos as u64, false, next_seq));
+        }
+        let payload = &bytes[pos + RECORD_HEADER_LEN..pos + RECORD_HEADER_LEN + len as usize];
+        let mut crc = Crc32::new();
+        crc.update(&seq.to_le_bytes());
+        crc.update(payload);
+        if crc.finish() != stored_crc || seq != next_seq {
+            return Ok((pos as u64, false, next_seq));
+        }
+        records.push(WalRecord {
+            seq,
+            payload: payload.to_vec(),
+        });
+        pos += RECORD_HEADER_LEN + len as usize;
+        next_seq = seq + 1;
+    }
+}
+
+/// Reads the whole log back: every intact record in order, stopping at
+/// the first truncated or corrupt one (a *torn tail*), plus the
+/// [`TailPosition`] a resuming writer continues from.
+///
+/// Records must be sequence-contiguous; a record whose number breaks the
+/// chain (as a mid-log corruption would produce) also stops the scan.
+/// Structural damage *before* any record — a missing header, wrong
+/// magic, an impossible version — is reported as an error rather than an
+/// empty log, so operator mistakes (pointing at the wrong directory)
+/// are not silently "recovered" from.
+pub fn read_log(dir: &Path) -> io::Result<LogContents> {
+    let segments = list_segments(dir)?;
+    let mut records = Vec::new();
+    let mut tail = TailPosition {
+        active_segment: None,
+        next_seq: 1,
+    };
+    let mut expected_first: Option<u64> = None;
+    for (index, (_, path)) in segments.iter().enumerate() {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let scanned = scan_segment(&bytes, expected_first, &mut records);
+        let (valid_len, clean, next_seq) = match scanned {
+            Ok(result) => result,
+            Err(err) if index == 0 && records.is_empty() => return Err(err),
+            // A later segment that does not continue the chain is
+            // unreachable past the valid prefix: stop at the previous
+            // tail (already recorded below).
+            Err(_) => break,
+        };
+        tail = TailPosition {
+            active_segment: Some((path.clone(), valid_len)),
+            next_seq,
+        };
+        if !clean {
+            break;
+        }
+        expected_first = Some(next_seq);
+    }
+    Ok(LogContents { records, tail })
+}
+
+/// Deletes every segment made wholly redundant by a checkpoint at
+/// `upto_seq`: segment `i` can go once a *later* segment exists whose
+/// `first_seq <= upto_seq + 1` (every record the deleted segment holds
+/// is then both below the checkpoint and not the replay start point).
+pub fn prune_segments(dir: &Path, upto_seq: u64) -> io::Result<usize> {
+    let segments = list_segments(dir)?;
+    let mut removed = 0;
+    for window in segments.windows(2) {
+        let (_, ref path) = window[0];
+        let (next_first, _) = window[1];
+        if next_first <= upto_seq + 1 {
+            fs::remove_file(path)?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+/// The appending side of the log: group-committed, size-rotated.
+///
+/// Appends buffer in memory and reach the file (and, if configured, the
+/// disk) at *commit points*: automatically once
+/// [`DurabilityConfig::group_commit`] appends accumulate, or explicitly
+/// via [`commit`](WalWriter::commit).  Callers enforce the write-ahead
+/// invariant by committing before applying the logged operations.
+#[derive(Debug)]
+pub struct WalWriter {
+    dir: PathBuf,
+    config: DurabilityConfig,
+    file: File,
+    /// Bytes already in `file` plus bytes pending in `buf`.
+    segment_len: u64,
+    next_seq: u64,
+    buf: Vec<u8>,
+    pending: usize,
+}
+
+impl WalWriter {
+    /// Starts a fresh segment in `dir` (created if absent) whose first
+    /// record will carry `first_seq`.
+    pub fn create(dir: &Path, config: DurabilityConfig, first_seq: u64) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let (file, segment_len) = Self::new_segment(dir, first_seq)?;
+        Ok(WalWriter {
+            dir: dir.to_path_buf(),
+            config,
+            file,
+            segment_len,
+            next_seq: first_seq,
+            buf: Vec::new(),
+            pending: 0,
+        })
+    }
+
+    /// Resumes appending after [`read_log`]: truncates the torn tail of
+    /// the active segment (if any), removes any unreachable later
+    /// segments, and continues at `tail.next_seq`.
+    ///
+    /// `min_next_seq` guards the case where every segment was pruned
+    /// after a checkpoint: when the directory is empty the writer starts
+    /// at `max(tail.next_seq, min_next_seq)` (callers pass
+    /// `checkpoint_seq + 1`).
+    pub fn resume(
+        dir: &Path,
+        config: DurabilityConfig,
+        tail: &TailPosition,
+        min_next_seq: u64,
+    ) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let Some((path, valid_len)) = &tail.active_segment else {
+            return Self::create(dir, config, tail.next_seq.max(min_next_seq));
+        };
+        // Segments past the active one are unreachable (their records
+        // sit beyond a torn or corrupt region): remove them so rotation
+        // cannot collide with a stale file.
+        for (first_seq, other) in list_segments(dir)? {
+            if first_seq >= tail.next_seq && other != *path {
+                fs::remove_file(&other)?;
+            }
+        }
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(*valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        if config.fsync {
+            file.sync_data()?;
+        }
+        Ok(WalWriter {
+            dir: dir.to_path_buf(),
+            config,
+            file,
+            segment_len: *valid_len,
+            next_seq: tail.next_seq,
+            buf: Vec::new(),
+            pending: 0,
+        })
+    }
+
+    fn new_segment(dir: &Path, first_seq: u64) -> io::Result<(File, u64)> {
+        let path = dir.join(segment_file_name(first_seq));
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut header = Vec::with_capacity(SEGMENT_HEADER_LEN as usize);
+        header.extend_from_slice(SEGMENT_MAGIC);
+        header.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+        header.extend_from_slice(&first_seq.to_le_bytes());
+        file.write_all(&header)?;
+        Ok((file, SEGMENT_HEADER_LEN))
+    }
+
+    /// The sequence number the next [`append`](WalWriter::append) will
+    /// return.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one record, returning its sequence number.  The record
+    /// may still be buffered when this returns; it is on disk once the
+    /// group-commit batch fills or [`commit`](WalWriter::commit) runs.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        assert!(
+            payload.len() as u64 <= MAX_RECORD_LEN as u64,
+            "WAL record payload exceeds MAX_RECORD_LEN"
+        );
+        if let Some(limit) = self.config.rotate_at() {
+            if self.segment_len >= limit {
+                self.rotate()?;
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let before = self.buf.len();
+        encode_record(&mut self.buf, seq, payload);
+        self.segment_len += (self.buf.len() - before) as u64;
+        self.pending += 1;
+        if self.pending >= self.config.batch() {
+            self.commit()?;
+        }
+        Ok(seq)
+    }
+
+    /// Flushes every buffered append to the file and (if
+    /// [`DurabilityConfig::fsync`]) to disk: the group-commit point.
+    pub fn commit(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+            if self.config.fsync {
+                self.file.sync_data()?;
+            }
+        }
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// Closes the current segment and starts the next one at the current
+    /// sequence position.  Commits first, so the old segment is complete
+    /// on disk before the new one exists.  Checkpointing callers rotate
+    /// right after writing a checkpoint so the covered segment becomes
+    /// eligible for [`prune_segments`].
+    pub fn rotate(&mut self) -> io::Result<()> {
+        self.commit()?;
+        let (file, segment_len) = Self::new_segment(&self.dir, self.next_seq)?;
+        self.file = file;
+        self.segment_len = segment_len;
+        Ok(())
+    }
+}
+
+impl Drop for WalWriter {
+    fn drop(&mut self) {
+        // Best-effort final flush; explicit `commit` is the durable path.
+        let _ = self.commit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fdc_wal_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn no_fsync() -> DurabilityConfig {
+        DurabilityConfig {
+            fsync: false,
+            ..DurabilityConfig::default()
+        }
+    }
+
+    #[test]
+    fn round_trips_records_in_order() {
+        let dir = temp_dir("round_trip");
+        let mut writer = WalWriter::create(&dir, no_fsync(), 1).unwrap();
+        for i in 0..10u8 {
+            assert_eq!(writer.append(&[i; 3]).unwrap(), 1 + i as u64);
+        }
+        writer.commit().unwrap();
+        let log = read_log(&dir).unwrap();
+        assert_eq!(log.records.len(), 10);
+        assert_eq!(log.records[4].seq, 5);
+        assert_eq!(log.records[4].payload, vec![4u8; 3]);
+        assert_eq!(log.tail.next_seq, 11);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_buffers_until_batch_or_commit() {
+        let dir = temp_dir("group_commit");
+        let config = DurabilityConfig {
+            group_commit: 4,
+            fsync: false,
+            ..DurabilityConfig::default()
+        };
+        let mut writer = WalWriter::create(&dir, config, 1).unwrap();
+        writer.append(b"a").unwrap();
+        writer.append(b"b").unwrap();
+        // Not yet at the batch size: nothing past the header on disk.
+        assert_eq!(read_log(&dir).unwrap().records.len(), 0);
+        writer.append(b"c").unwrap();
+        writer.append(b"d").unwrap();
+        // Fourth append hit the batch size: all four are on disk.
+        assert_eq!(read_log(&dir).unwrap().records.len(), 4);
+        writer.append(b"e").unwrap();
+        writer.commit().unwrap();
+        assert_eq!(read_log(&dir).unwrap().records.len(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_reader_spans_them() {
+        let dir = temp_dir("rotation");
+        let config = DurabilityConfig {
+            group_commit: 1,
+            segment_bytes: 64,
+            fsync: false,
+        };
+        let mut writer = WalWriter::create(&dir, config, 1).unwrap();
+        for i in 0..20u64 {
+            writer.append(&i.to_le_bytes()).unwrap();
+        }
+        writer.commit().unwrap();
+        assert!(list_segments(&dir).unwrap().len() > 1);
+        let log = read_log(&dir).unwrap();
+        assert_eq!(log.records.len(), 20);
+        assert_eq!(log.tail.next_seq, 21);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_stops_cleanly_at_every_truncation_point() {
+        let dir = temp_dir("torn_tail");
+        let mut writer = WalWriter::create(&dir, no_fsync(), 1).unwrap();
+        for i in 0..5u8 {
+            writer.append(&[i; 7]).unwrap();
+        }
+        writer.commit().unwrap();
+        drop(writer);
+        let path = dir.join(segment_file_name(1));
+        let full = fs::read(&path).unwrap();
+        for cut in (SEGMENT_HEADER_LEN as usize)..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let log = read_log(&dir).unwrap();
+            let complete = (cut - SEGMENT_HEADER_LEN as usize) / (RECORD_HEADER_LEN + 7);
+            assert_eq!(log.records.len(), complete, "cut at byte {cut}");
+            assert_eq!(log.tail.next_seq, complete as u64 + 1);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_stops_the_scan() {
+        let dir = temp_dir("corrupt");
+        let mut writer = WalWriter::create(&dir, no_fsync(), 1).unwrap();
+        for i in 0..4u8 {
+            writer.append(&[i; 8]).unwrap();
+        }
+        writer.commit().unwrap();
+        drop(writer);
+        let path = dir.join(segment_file_name(1));
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a payload byte of the third record.
+        let record_len = RECORD_HEADER_LEN + 8;
+        let offset = SEGMENT_HEADER_LEN as usize + 2 * record_len + RECORD_HEADER_LEN + 3;
+        bytes[offset] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let log = read_log(&dir).unwrap();
+        assert_eq!(log.records.len(), 2);
+        assert_eq!(log.tail.next_seq, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_truncates_torn_tail_and_continues_the_sequence() {
+        let dir = temp_dir("resume");
+        let mut writer = WalWriter::create(&dir, no_fsync(), 1).unwrap();
+        for i in 0..3u8 {
+            writer.append(&[i; 4]).unwrap();
+        }
+        writer.commit().unwrap();
+        drop(writer);
+        let path = dir.join(segment_file_name(1));
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let log = read_log(&dir).unwrap();
+        assert_eq!(log.records.len(), 2);
+        let mut writer = WalWriter::resume(&dir, no_fsync(), &log.tail, 1).unwrap();
+        assert_eq!(writer.next_seq(), 3);
+        writer.append(b"resumed").unwrap();
+        writer.commit().unwrap();
+        let log = read_log(&dir).unwrap();
+        assert_eq!(log.records.len(), 3);
+        assert_eq!(log.records[2].payload, b"resumed");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_on_empty_directory_honours_min_next_seq() {
+        let dir = temp_dir("resume_empty");
+        let log = read_log(&dir).unwrap();
+        assert!(log.records.is_empty());
+        let writer = WalWriter::resume(&dir, no_fsync(), &log.tail, 42).unwrap();
+        assert_eq!(writer.next_seq(), 42);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_removes_only_checkpoint_covered_segments() {
+        let dir = temp_dir("prune");
+        let config = DurabilityConfig {
+            group_commit: 1,
+            segment_bytes: 48,
+            fsync: false,
+        };
+        let mut writer = WalWriter::create(&dir, config, 1).unwrap();
+        for i in 0..12u64 {
+            writer.append(&i.to_le_bytes()).unwrap();
+        }
+        writer.commit().unwrap();
+        let before = list_segments(&dir).unwrap();
+        assert!(before.len() >= 3);
+        // A checkpoint at the last record covers every non-final segment.
+        let removed = prune_segments(&dir, 12).unwrap();
+        assert_eq!(removed, before.len() - 1);
+        let log = read_log(&dir).unwrap();
+        assert_eq!(log.tail.next_seq, 13);
+        // A checkpoint below the first surviving record removes nothing.
+        assert_eq!(prune_segments(&dir, 0).unwrap(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_directory_is_an_error_not_an_empty_log() {
+        let dir = temp_dir("wrong_dir");
+        fs::write(dir.join(segment_file_name(1)), b"not a wal segment at all").unwrap();
+        assert!(read_log(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

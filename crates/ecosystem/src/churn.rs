@@ -522,6 +522,44 @@ mod tests {
         assert_eq!(boxed_third.totals(), interned_third.totals());
     }
 
+    #[test]
+    fn every_loggable_churn_op_round_trips_through_the_wal_codec() {
+        // The durable service logs churn streams verbatim; every loggable
+        // operation the generator can emit — submits over generated
+        // queries, grants/revokes on registry and churn-added view names,
+        // view additions with fresh projection definitions — must encode
+        // to a WAL payload that decodes back to the identical [`WalOp`]
+        // against the same catalog.
+        use fdc_service::durable::{decode_wal_op, WalOp};
+        let schema = facebook_catalog();
+        let registry = facebook_security_views(&schema);
+        let catalog = registry.catalog().clone();
+        let mut churn = generator(ChurnConfig {
+            mutation_ratio: 0.4,
+            add_view_share: 0.4,
+            num_principals: 10,
+            ..ChurnConfig::default()
+        });
+        let mut round_tripped = 0;
+        for op in churn.ops(400) {
+            let wal_op = match op {
+                Operation::Submit { principal, query } => WalOp::Submit { principal, query },
+                Operation::GrantView { principal, view } => WalOp::GrantView { principal, view },
+                Operation::RevokeView { principal, view } => WalOp::RevokeView { principal, view },
+                Operation::AddSecurityView { name, query } => {
+                    WalOp::AddSecurityView { name, query }
+                }
+                _ => continue,
+            };
+            let mut payload = Vec::new();
+            wal_op.encode_into(&mut payload);
+            let decoded = decode_wal_op(&catalog, &payload).expect("churn ops are encodable");
+            assert_eq!(decoded, wal_op);
+            round_tripped += 1;
+        }
+        assert!(round_tripped > 100, "only {round_tripped} loggable ops");
+    }
+
     /// Tiny helper namespace so the test above reads naturally.
     mod fdc_ecosystem_service_smoke {
         use fdc_core::SecurityViews;

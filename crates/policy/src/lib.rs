@@ -41,6 +41,7 @@ pub mod pipeline;
 pub mod policy;
 pub mod shard;
 pub mod store;
+pub mod wire;
 
 pub use audit::{audit_app, requested_views, AuditReport};
 pub use compiled::{

@@ -117,6 +117,37 @@ impl PolicyPartition {
         label.atoms().iter().all(|a| self.allows_atom(a))
     }
 
+    /// The partition's raw `(relation, permitted mask)` pairs, sorted by
+    /// relation for a deterministic order — the serialization view of
+    /// the partition (see `fdc_policy::wire`).
+    pub fn masks(&self) -> Vec<(RelId, ViewMask)> {
+        let mut masks: Vec<(RelId, ViewMask)> = self
+            .permitted
+            .iter()
+            .filter(|(_, m)| **m != 0)
+            .map(|(r, m)| (*r, *m))
+            .collect();
+        masks.sort();
+        masks
+    }
+
+    /// Rebuilds a partition from raw `(relation, permitted mask)` pairs —
+    /// the inverse of [`masks`](Self::masks), used when decoding policies
+    /// from a checkpoint.  Pairs with a zero mask are dropped (they are
+    /// never stored), repeated relations OR together.
+    pub fn from_masks<I>(name: impl Into<String>, masks: I) -> Self
+    where
+        I: IntoIterator<Item = (RelId, ViewMask)>,
+    {
+        let mut partition = PolicyPartition::new(name);
+        for (relation, mask) in masks {
+            if mask != 0 {
+                *partition.permitted.entry(relation).or_insert(0) |= mask;
+            }
+        }
+        partition
+    }
+
     /// The relations for which this partition permits at least one view.
     pub fn relations(&self) -> impl Iterator<Item = RelId> + '_ {
         self.permitted

@@ -260,6 +260,62 @@ impl ShardedPolicyStore {
         decisions
     }
 
+    /// Serializes the sharded store — shard count, principal count,
+    /// parallel threshold, then every shard via
+    /// [`PolicyStore::encode_into`] — into `out`.
+    ///
+    /// The per-shard layout is a function of the shard count (principal
+    /// `p` lives in shard `p % num_shards`), so the count is part of the
+    /// format and recovery reopens the store with the checkpoint's shard
+    /// count, not the current configuration's.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        use fdc_durability::codec::{put_len, put_u64};
+        put_len(out, self.shards.len());
+        put_u64(out, self.num_principals as u64);
+        put_u64(out, self.parallel_threshold as u64);
+        for shard in &self.shards {
+            shard.encode_into(out);
+        }
+    }
+
+    /// Deserializes a store written by [`encode_into`](Self::encode_into),
+    /// validating that the per-shard principal counts reproduce the
+    /// round-robin placement exactly.
+    pub fn decode_from(
+        cursor: &mut fdc_durability::codec::Cursor<'_>,
+    ) -> std::result::Result<Self, fdc_durability::codec::CodecError> {
+        use fdc_durability::codec::CodecError;
+        let at = cursor.pos();
+        let num_shards = cursor.count(16)?;
+        if num_shards == 0 {
+            return Err(CodecError::invalid(at, "zero shards"));
+        }
+        let num_principals = cursor.u64()? as usize;
+        let parallel_threshold = cursor.u64()? as usize;
+        let mut shards = Vec::with_capacity(num_shards);
+        for index in 0..num_shards {
+            let at = cursor.pos();
+            let shard = PolicyStore::decode_from(cursor)?;
+            // Round-robin placement: shard i holds principals i, i+n, ...
+            let expected = (num_principals + num_shards - 1 - index) / num_shards;
+            if shard.len() != expected {
+                return Err(CodecError::invalid(
+                    at,
+                    format!(
+                        "shard {index} holds {} principals, round-robin expects {expected}",
+                        shard.len()
+                    ),
+                ));
+            }
+            shards.push(shard);
+        }
+        Ok(ShardedPolicyStore {
+            shards,
+            num_principals,
+            parallel_threshold,
+        })
+    }
+
     /// Decides one packed request, committing only when `commit` is true
     /// (see [`PolicyStore::decide_packed`]).
     pub fn decide_packed(
@@ -387,6 +443,55 @@ mod tests {
             PolicyPartition::from_views("meetings", registry, [v1]),
             PolicyPartition::from_views("contacts", registry, [v3]),
         ])
+    }
+
+    #[test]
+    fn encode_decode_round_trips_the_sharded_layout() {
+        let (registry, labeler) = setup();
+        let mut store = ShardedPolicyStore::new(3);
+        store.set_parallel_threshold(7);
+        let ids: Vec<PrincipalId> = (0..10).map(|_| store.register(wall(&registry))).collect();
+        let meetings = label(&labeler, "Q(x, y) :- Meetings(x, y)");
+        let contacts = label(&labeler, "Q(x, y, z) :- Contacts(x, y, z)");
+        for (i, &id) in ids.iter().enumerate() {
+            let l = if i % 2 == 0 { &meetings } else { &contacts };
+            store.submit(id, l);
+        }
+        let mut bytes = Vec::new();
+        store.encode_into(&mut bytes);
+        let mut cursor = fdc_durability::codec::Cursor::new(&bytes);
+        let mut back = ShardedPolicyStore::decode_from(&mut cursor).unwrap();
+        cursor.expect_end().unwrap();
+        assert_eq!(back.num_shards(), 3);
+        assert_eq!(back.len(), store.len());
+        assert_eq!(back.parallel_threshold(), 7);
+        assert_eq!(back.totals(), store.totals());
+        for &id in &ids {
+            assert_eq!(back.consistency_bits(id), store.consistency_bits(id));
+            assert_eq!(back.stats(id), store.stats(id));
+        }
+        // Decisions keep matching after the round trip.
+        let mut live = store;
+        for &id in &ids {
+            assert_eq!(live.submit(id, &meetings), back.submit(id, &meetings));
+            assert_eq!(live.submit(id, &contacts), back.submit(id, &contacts));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_a_layout_that_breaks_round_robin() {
+        let (registry, _) = setup();
+        let mut store = ShardedPolicyStore::new(2);
+        for _ in 0..5 {
+            store.register(wall(&registry));
+        }
+        let mut bytes = Vec::new();
+        store.encode_into(&mut bytes);
+        // Claim one fewer principal than the shards actually hold: the
+        // round-robin check must reject the mismatch.
+        bytes[8..16].copy_from_slice(&4u64.to_le_bytes());
+        let mut cursor = fdc_durability::codec::Cursor::new(&bytes);
+        assert!(ShardedPolicyStore::decode_from(&mut cursor).is_err());
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Binary wire format for security policies — the `fdc-policy` slice of
+//! the durable state plane.
+//!
+//! A [`SecurityPolicy`] serializes as its partitions in order, each as a
+//! name plus the sorted raw `(relation, permitted mask)` pairs from
+//! [`PolicyPartition::masks`].  Policies are stored in checkpoints as
+//! the *sources* of the policy arena (see `PolicyStore::encode_into`)
+//! and in WAL records for `ReplacePolicy` operations, so a decoded
+//! policy must compare equal to — and intern identically with — the one
+//! encoded.
+
+use fdc_cq::RelId;
+use fdc_durability::codec::{put_len, put_str, put_u32, put_u64, CodecError, Cursor};
+
+use crate::partition::PolicyPartition;
+use crate::policy::SecurityPolicy;
+
+/// Encodes one [`PolicyPartition`].
+pub fn encode_partition(partition: &PolicyPartition, out: &mut Vec<u8>) {
+    put_str(out, &partition.name);
+    let masks = partition.masks();
+    put_len(out, masks.len());
+    for (relation, mask) in masks {
+        put_u32(out, relation.0);
+        put_u64(out, mask);
+    }
+}
+
+/// Decodes one [`PolicyPartition`].
+pub fn decode_partition(cursor: &mut Cursor<'_>) -> Result<PolicyPartition, CodecError> {
+    let name = cursor.str()?.to_owned();
+    let num_masks = cursor.count(12)?;
+    let mut masks = Vec::with_capacity(num_masks);
+    for _ in 0..num_masks {
+        let at = cursor.pos();
+        let relation = RelId(cursor.u32()?);
+        let mask = cursor.u64()?;
+        if mask == 0 {
+            return Err(CodecError::invalid(at, "zero mask in partition encoding"));
+        }
+        masks.push((relation, mask));
+    }
+    Ok(PolicyPartition::from_masks(name, masks))
+}
+
+/// Encodes a whole [`SecurityPolicy`] (its partitions in order).
+pub fn encode_policy(policy: &SecurityPolicy, out: &mut Vec<u8>) {
+    put_len(out, policy.len());
+    for partition in policy.partitions() {
+        encode_partition(partition, out);
+    }
+}
+
+/// Decodes a [`SecurityPolicy`].
+pub fn decode_policy(cursor: &mut Cursor<'_>) -> Result<SecurityPolicy, CodecError> {
+    let num_partitions = cursor.count(16)?;
+    let mut policy = SecurityPolicy::new();
+    for _ in 0..num_partitions {
+        policy.push(decode_partition(cursor)?);
+    }
+    Ok(policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdc_core::SecurityViews;
+
+    #[test]
+    fn policies_round_trip_eq_identical() {
+        let registry = SecurityViews::paper_example();
+        let v1 = registry.id_by_name("V1").unwrap();
+        let v2 = registry.id_by_name("V2").unwrap();
+        let v3 = registry.id_by_name("V3").unwrap();
+        let policies = [
+            SecurityPolicy::new(),
+            SecurityPolicy::stateless(PolicyPartition::from_views("w", &registry, [v1, v2])),
+            SecurityPolicy::chinese_wall([
+                PolicyPartition::from_views("meetings-side", &registry, [v1, v2]),
+                PolicyPartition::from_views("contacts-side", &registry, [v3]),
+            ]),
+            SecurityPolicy::allow_all(&registry),
+        ];
+        for policy in &policies {
+            let mut out = Vec::new();
+            encode_policy(policy, &mut out);
+            let mut cursor = Cursor::new(&out);
+            let back = decode_policy(&mut cursor).unwrap();
+            cursor.expect_end().unwrap();
+            assert_eq!(back.len(), policy.len());
+            for (a, b) in policy.partitions().iter().zip(back.partitions()) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_policy_bytes_are_an_error() {
+        let registry = SecurityViews::paper_example();
+        let policy = SecurityPolicy::allow_all(&registry);
+        let mut out = Vec::new();
+        encode_policy(&policy, &mut out);
+        for cut in 0..out.len() {
+            let mut cursor = Cursor::new(&out[..cut]);
+            assert!(decode_policy(&mut cursor).is_err(), "cut {cut}");
+        }
+    }
+}

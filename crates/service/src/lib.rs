@@ -32,10 +32,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod ops;
 pub mod service;
 pub mod snapshot;
 
+pub use durable::{RecoveryReport, WalOp};
+pub use fdc_durability::DurabilityConfig;
 pub use ops::{Operation, Response, ServiceError};
 pub use service::{DisclosureService, InvalidationMode, ServiceConfig, ServiceStats};
 pub use snapshot::ServiceSnapshot;
@@ -705,5 +708,136 @@ mod tests {
             rejected[0],
             Response::Rejected(ServiceError::UnknownQuery(bogus))
         );
+    }
+
+    /// A unique scratch directory for durable-service tests.
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fdc_service_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A test config with fsync off (scratch dirs need no crash safety).
+    fn durable_config() -> ServiceConfig {
+        ServiceConfig {
+            num_shards: 2,
+            durability: DurabilityConfig {
+                fsync: false,
+                ..DurabilityConfig::default()
+            },
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn a_durable_service_recovers_its_state_by_replay() {
+        let dir = temp_dir("replay");
+        let registry = SecurityViews::paper_example();
+        let (mut service, report) =
+            DisclosureService::open_durable(registry.clone(), durable_config(), &dir).unwrap();
+        assert!(service.is_durable());
+        assert_eq!(report.records_replayed, 0);
+        assert_eq!(report.last_seq, 0);
+        let p = service.register_principal(wall(&registry));
+        let meetings = q(&service, "Q(x, y) :- Meetings(x, y)");
+        let contacts = q(&service, "Q(x, y, z) :- Contacts(x, y, z)");
+        assert_eq!(service.submit(p, &meetings), Ok(Decision::Allow));
+        assert_eq!(service.submit(p, &contacts), Ok(Decision::Deny));
+        service.grant_view(p, "V2").unwrap();
+        service.close().unwrap();
+
+        let (mut recovered, report) =
+            DisclosureService::open_durable(registry, durable_config(), &dir).unwrap();
+        // register + 2 submits + grant.
+        assert_eq!(report.checkpoint_seq, 0);
+        assert_eq!(report.records_replayed, 4);
+        assert_eq!(report.last_seq, 4);
+        assert_eq!(recovered.store().len(), 1);
+        // The Chinese wall committed to `meetings`: contacts stay denied.
+        assert_eq!(recovered.check(p, &contacts), Ok(Decision::Deny));
+        assert_eq!(recovered.check(p, &meetings), Ok(Decision::Allow));
+        // The audit history replayed too (both submits recorded).
+        assert_eq!(recovered.audit_app(p).unwrap().used.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_checkpoint_restores_without_replay_and_prunes_the_log() {
+        let dir = temp_dir("checkpoint");
+        let registry = SecurityViews::paper_example();
+        let (mut service, _) =
+            DisclosureService::open_durable(registry.clone(), durable_config(), &dir).unwrap();
+        let p = service.register_principal(wall(&registry));
+        let meetings = q(&service, "Q(x, y) :- Meetings(x, y)");
+        assert_eq!(service.submit(p, &meetings), Ok(Decision::Allow));
+        let seq = service.checkpoint().unwrap();
+        assert_eq!(seq, 2);
+        // Post-checkpoint mutation: replayed on top of the image.
+        service.grant_view(p, "V2").unwrap();
+        service.close().unwrap();
+
+        let (mut recovered, report) =
+            DisclosureService::open_durable(registry.clone(), durable_config(), &dir).unwrap();
+        assert_eq!(report.checkpoint_seq, 2);
+        assert_eq!(report.records_replayed, 1);
+        let contacts = q(&recovered, "Q(x, y, z) :- Contacts(x, y, z)");
+        assert_eq!(recovered.check(p, &meetings), Ok(Decision::Allow));
+        assert_eq!(recovered.check(p, &contacts), Ok(Decision::Deny));
+        assert_eq!(
+            recovered.store().consistency_bits(p),
+            service_bits(&dir, &registry, p)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Reopens the durable home and reads one principal's consistency word
+    /// (recovery is idempotent: opening twice yields the same state).
+    fn service_bits(dir: &std::path::Path, registry: &SecurityViews, p: PrincipalId) -> u64 {
+        let (service, _) =
+            DisclosureService::open_durable(registry.clone(), durable_config(), dir).unwrap();
+        service.store().consistency_bits(p)
+    }
+
+    #[test]
+    fn checkpoint_requires_a_durable_service() {
+        let mut service = service(1);
+        assert!(service.checkpoint().is_err());
+        assert!(!service.is_durable());
+        service.close().unwrap();
+    }
+
+    #[test]
+    fn replace_policy_swaps_partitions_and_survives_recovery() {
+        let dir = temp_dir("replace_policy");
+        let registry = SecurityViews::paper_example();
+        let (mut service, _) =
+            DisclosureService::open_durable(registry.clone(), durable_config(), &dir).unwrap();
+        let p = service.register_principal(wall(&registry));
+        let meetings = q(&service, "Q(x, y) :- Meetings(x, y)");
+        assert_eq!(service.submit(p, &meetings), Ok(Decision::Allow));
+        // Same partition count, but the meetings partition now only holds
+        // V2 (attendance): the plain meetings view is no longer answerable.
+        let v2 = registry.id_by_name("V2").unwrap();
+        let v3 = registry.id_by_name("V3").unwrap();
+        service
+            .replace_policy(
+                p,
+                SecurityPolicy::chinese_wall([
+                    PolicyPartition::from_views("meetings", &registry, [v2]),
+                    PolicyPartition::from_views("contacts", &registry, [v3]),
+                ]),
+            )
+            .unwrap();
+        assert_eq!(service.check(p, &meetings), Ok(Decision::Deny));
+        service.close().unwrap();
+        let (mut recovered, _) =
+            DisclosureService::open_durable(registry, durable_config(), &dir).unwrap();
+        assert_eq!(recovered.check(p, &meetings), Ok(Decision::Deny));
+        assert_eq!(
+            recovered.replace_policy(PrincipalId(7), wall(&recovered.registry().clone())),
+            Err(ServiceError::UnknownPrincipal(PrincipalId(7)))
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,21 +1,36 @@
 //! The concurrent disclosure-control front door.
 
 use std::collections::VecDeque;
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 
 use fdc_core::{
     map_chunks_parallel_with_threshold, CachedLabeler, PackedLabel, QueryLabeler, SecurityViews,
-    SharedQueryInterner, MAX_PACKED_VIEWS_PER_RELATION, SMALL_BATCH_SEQUENTIAL_THRESHOLD,
+    SharedQueryInterner, DEFAULT_CACHE_CAPACITY, MAX_PACKED_VIEWS_PER_RELATION,
+    SMALL_BATCH_SEQUENTIAL_THRESHOLD,
 };
-use fdc_cq::intern::QueryId;
+use fdc_cq::intern::{QueryId, QueryInterner};
 use fdc_cq::{ConjunctiveQuery, RelId};
+use fdc_durability::codec::{put_len, CodecError, Cursor};
+use fdc_durability::{
+    checkpoint_seqs, latest_checkpoint, prune_checkpoints, prune_segments, read_log,
+    write_checkpoint, DurabilityConfig, WalWriter,
+};
 use fdc_policy::{
     audit_app, requested_views, AuditReport, Decision, PrincipalId, SecurityPolicy,
-    ShardedPolicyStore,
+    ShardedPolicyStore, MAX_PARTITIONS,
 };
 
+use crate::durable::{self, DurableState, RecoveryReport, WalOp};
 use crate::ops::{Operation, Response, ServiceError};
 use crate::snapshot::ServiceSnapshot;
+
+/// Checkpoints retained on disk after
+/// [`DisclosureService::checkpoint`] prunes: the newest plus one
+/// predecessor, so a checkpoint file corrupted in place (partial write,
+/// bit rot) still leaves a valid older image to recover from.
+const CHECKPOINTS_KEPT: usize = 2;
 
 /// How the service reconciles its label caches with online mutations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,6 +72,11 @@ pub struct ServiceConfig {
     /// and the policy store's per-shard workers).  `0` forces the parallel
     /// path for every non-trivial run.
     pub parallel_threshold: usize,
+    /// Write-ahead-log tuning (group-commit batch, segment rotation
+    /// size, fsync) for services opened with
+    /// [`open_durable`](DisclosureService::open_durable).  Ignored by
+    /// in-memory services built with [`new`](DisclosureService::new).
+    pub durability: DurabilityConfig,
 }
 
 impl Default for ServiceConfig {
@@ -66,6 +86,7 @@ impl Default for ServiceConfig {
             history_cap: 1024,
             invalidation: InvalidationMode::Incremental,
             parallel_threshold: SMALL_BATCH_SEQUENTIAL_THRESHOLD,
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -133,6 +154,11 @@ pub struct DisclosureService {
     history: Vec<VecDeque<ConjunctiveQuery>>,
     config: ServiceConfig,
     stats: ServiceStats,
+    /// The write-ahead log, present only on services opened with
+    /// [`open_durable`](Self::open_durable).  `None` during recovery
+    /// replay too, which is what keeps replayed operations from being
+    /// re-logged.
+    durable: Option<DurableState>,
 }
 
 /// The query operand of one admission, as carried through the request loop:
@@ -182,6 +208,7 @@ impl DisclosureService {
                 ..config
             },
             stats: ServiceStats::default(),
+            durable: None,
         }
     }
 
@@ -194,9 +221,24 @@ impl DisclosureService {
     ///
     /// # Panics
     ///
-    /// Panics if the policy has more than
-    /// [`MAX_PARTITIONS`](fdc_policy::MAX_PARTITIONS) partitions.
+    /// Panics if the policy has more than [`MAX_PARTITIONS`] partitions,
+    /// or (on a durable service) if the write-ahead log cannot be
+    /// written.
     pub fn register_principal(&mut self, policy: SecurityPolicy) -> PrincipalId {
+        // An over-wide policy panics in the store below *without* having
+        // been logged: a record for an operation that never applied must
+        // not reach the log.
+        if self.durable.is_some() && policy.len() <= MAX_PARTITIONS {
+            let mut payload = Vec::new();
+            durable::encode_register(&policy, &mut payload);
+            self.log_now(&payload);
+        }
+        self.register_principal_unlogged(policy)
+    }
+
+    /// [`register_principal`](Self::register_principal) without the WAL
+    /// hook — the shared application step, also the replay entry point.
+    fn register_principal_unlogged(&mut self, policy: SecurityPolicy) -> PrincipalId {
         let id = self.store.register(policy);
         self.history.push(VecDeque::new());
         id
@@ -315,6 +357,68 @@ impl DisclosureService {
         self.record(principal, &resolved);
     }
 
+    /// Appends one record to the write-ahead log and commits it (flush
+    /// plus, if configured, fsync) immediately — the write-ahead step of
+    /// every *single* state-changing entry point.  The batch executors
+    /// log through [`log_operations`](Self::log_operations) instead,
+    /// which commits once per batch (group commit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log cannot be written: a durable service that
+    /// cannot log an operation must not apply it, so WAL I/O failure is
+    /// fail-stop — the on-disk log stays a consistent prefix of the
+    /// applied operation stream, and a restart recovers it.
+    fn log_now(&mut self, payload: &[u8]) {
+        let durable = self
+            .durable
+            .as_mut()
+            .expect("log_now is only called on durable services");
+        durable
+            .writer
+            .append(payload)
+            .and_then(|_| durable.writer.commit())
+            .unwrap_or_else(|err| panic!("write-ahead log append failed: {err}"));
+    }
+
+    /// Logs every state-changing operation of a batch up front, with one
+    /// commit for the whole batch — the group-commit fast path of
+    /// [`run_batch`](Self::run_batch) and
+    /// [`run_pipelined`](Self::run_pipelined).  Logging the batch before
+    /// executing any of it preserves the write-ahead invariant: the
+    /// log's readable prefix is always a prefix of the applied operation
+    /// stream (here the whole batch is ahead of all of it).  A no-op on
+    /// non-durable services.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log cannot be written (see
+    /// [`log_now`](Self::log_now)).
+    fn log_operations(&mut self, ops: &[Operation]) {
+        let Some(durable) = self.durable.as_mut() else {
+            return;
+        };
+        let interner = &self.interner;
+        let mut payload = Vec::new();
+        let mut logged = false;
+        for op in ops {
+            payload.clear();
+            if encode_loggable(op, interner, &mut payload) {
+                durable
+                    .writer
+                    .append(&payload)
+                    .unwrap_or_else(|err| panic!("write-ahead log append failed: {err}"));
+                logged = true;
+            }
+        }
+        if logged {
+            durable
+                .writer
+                .commit()
+                .unwrap_or_else(|err| panic!("write-ahead log commit failed: {err}"));
+        }
+    }
+
     /// Flushes the label cache if the service runs in
     /// [`InvalidationMode::FlushOnMutation`].  Entries are dropped but the
     /// labeler's counters accumulate across flushes, so the baseline's
@@ -328,7 +432,27 @@ impl DisclosureService {
     }
 
     /// Admits (and commits) one query on behalf of a principal.
+    ///
+    /// # Panics
+    ///
+    /// On a durable service, panics if the write-ahead log cannot be
+    /// written (see [`open_durable`](Self::open_durable)).
     pub fn submit(
+        &mut self,
+        principal: PrincipalId,
+        query: &ConjunctiveQuery,
+    ) -> Result<Decision, ServiceError> {
+        if self.durable.is_some() {
+            let mut payload = Vec::new();
+            durable::encode_submit(principal, query, &mut payload);
+            self.log_now(&payload);
+        }
+        self.submit_unlogged(principal, query)
+    }
+
+    /// [`submit`](Self::submit) without the WAL hook — the shared
+    /// application step, also the replay entry point.
+    fn submit_unlogged(
         &mut self,
         principal: PrincipalId,
         query: &ConjunctiveQuery,
@@ -356,7 +480,31 @@ impl DisclosureService {
     /// [`submit`](Self::submit) by pre-interned query id: the label comes
     /// straight out of the id-indexed slot cache — no parsing, no hashing,
     /// no query clone on the wire.
+    ///
+    /// On a durable service the submission is logged as its resolved
+    /// canonical query, so the log replays without depending on the
+    /// (volatile) id assignment.
     pub fn submit_interned(
+        &mut self,
+        principal: PrincipalId,
+        query: QueryId,
+    ) -> Result<Decision, ServiceError> {
+        if self.durable.is_some() {
+            let mut payload = Vec::new();
+            if encode_loggable(
+                &Operation::SubmitInterned { principal, query },
+                &self.interner,
+                &mut payload,
+            ) {
+                self.log_now(&payload);
+            }
+        }
+        self.submit_interned_unlogged(principal, query)
+    }
+
+    /// [`submit_interned`](Self::submit_interned) without the WAL hook —
+    /// the shared application step.
+    fn submit_interned_unlogged(
         &mut self,
         principal: PrincipalId,
         query: QueryId,
@@ -385,28 +533,57 @@ impl DisclosureService {
 
     /// Grants a security view (by name) to a principal.
     pub fn grant_view(&mut self, principal: PrincipalId, view: &str) -> Result<(), ServiceError> {
-        self.validate_principal(principal)?;
-        let id = self
-            .registry()
-            .id_by_name(view)
-            .ok_or_else(|| ServiceError::UnknownView(view.to_owned()))?;
-        self.store
-            .grant_view(principal, self.labeler.security_views(), id);
-        self.after_mutation();
-        Ok(())
+        if self.durable.is_some() {
+            let mut payload = Vec::new();
+            durable::encode_grant(principal, view, &mut payload);
+            self.log_now(&payload);
+        }
+        into_unit(self.apply_policy_mutation(principal, view, true, None))
     }
 
     /// Revokes a security view (by name) from a principal.
     pub fn revoke_view(&mut self, principal: PrincipalId, view: &str) -> Result<(), ServiceError> {
+        if self.durable.is_some() {
+            let mut payload = Vec::new();
+            durable::encode_revoke(principal, view, &mut payload);
+            self.log_now(&payload);
+        }
+        into_unit(self.apply_policy_mutation(principal, view, false, None))
+    }
+
+    /// Replaces a principal's policy wholesale, preserving its
+    /// consistency word and counters — the bulk counterpart of a
+    /// grant/revoke sequence, logged as a single WAL record on durable
+    /// services.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replacement changes the partition count (the
+    /// consistency word's partition bits would be meaningless — see
+    /// [`ShardedPolicyStore::replace_policy`]), or if the write-ahead
+    /// log cannot be written.
+    pub fn replace_policy(
+        &mut self,
+        principal: PrincipalId,
+        policy: SecurityPolicy,
+    ) -> Result<(), ServiceError> {
         self.validate_principal(principal)?;
-        let id = self
-            .registry()
-            .id_by_name(view)
-            .ok_or_else(|| ServiceError::UnknownView(view.to_owned()))?;
-        self.store
-            .revoke_view(principal, self.labeler.security_views(), id);
-        self.after_mutation();
+        // A partition-count mismatch panics in the store below without
+        // having been logged (the record must not outlive the panic).
+        if self.durable.is_some() && policy.len() == self.store.policy(principal).len() {
+            let mut payload = Vec::new();
+            durable::encode_replace_policy(principal, &policy, &mut payload);
+            self.log_now(&payload);
+        }
+        self.replace_policy_unlogged(principal, policy);
         Ok(())
+    }
+
+    /// [`replace_policy`](Self::replace_policy) without the validation
+    /// and WAL hook — the shared application step.
+    fn replace_policy_unlogged(&mut self, principal: PrincipalId, policy: SecurityPolicy) {
+        self.store.replace_policy(principal, policy);
+        self.after_mutation();
     }
 
     /// Registers a new security view online.
@@ -416,6 +593,21 @@ impl DisclosureService {
     /// definition, the relation's 32-view packed budget) leave every cache,
     /// epoch and policy untouched.
     pub fn add_security_view(
+        &mut self,
+        name: &str,
+        query: ConjunctiveQuery,
+    ) -> Result<fdc_core::SecurityViewId, ServiceError> {
+        if self.durable.is_some() {
+            let mut payload = Vec::new();
+            durable::encode_add_view(name, &query, &mut payload);
+            self.log_now(&payload);
+        }
+        self.add_security_view_unlogged(name, query)
+    }
+
+    /// [`add_security_view`](Self::add_security_view) without the WAL
+    /// hook — the shared application step.
+    fn add_security_view_unlogged(
         &mut self,
         name: &str,
         query: ConjunctiveQuery,
@@ -439,19 +631,304 @@ impl DisclosureService {
         Ok(audit_app(&self.labeler, requested, &workload))
     }
 
-    /// Applies one operation sequentially.
-    pub fn apply(&mut self, op: &Operation) -> Response {
-        match op {
-            Operation::Submit { principal, query } => match self.submit(*principal, query) {
-                Ok(decision) => Response::Decision(decision),
-                Err(err) => Response::Rejected(err),
+    /// Opens (or creates) a durable service homed in `dir`, recovering
+    /// whatever state the directory holds: the newest valid checkpoint
+    /// seeds the state, and the WAL records past it replay on top, in
+    /// sequence order, through the same application paths the live
+    /// service uses.  A torn tail (the crash landed mid-record) is
+    /// truncated; a fresh directory starts from `views` with an empty
+    /// log.
+    ///
+    /// Every state-changing operation the returned service applies is
+    /// appended to the log *before* it applies (write-ahead), so a crash
+    /// at any instant loses at most the operations whose log records had
+    /// not reached disk — and never leaves half-applied state behind.
+    /// [`ServiceConfig::durability`] tunes the fsync/batching trade-off.
+    ///
+    /// `views` is only read when the directory has no checkpoint (first
+    /// boot, or a crash before the first [`checkpoint`](Self::checkpoint));
+    /// callers must pass the same initial registry on every open, since a
+    /// zero-checkpoint recovery replays the log against it.  Once a
+    /// checkpoint exists, the registry (and the interner, policies,
+    /// per-principal state and audit histories) come from disk, and the
+    /// checkpoint's shard count overrides `config.num_shards` — the
+    /// round-robin principal placement is part of the on-disk layout.
+    ///
+    /// The audit history is bounded by the *current*
+    /// [`ServiceConfig::history_cap`]: a recovered history longer than
+    /// the cap drops its oldest entries, and a zero cap drops it
+    /// entirely.  [`ServiceStats`] counters restart at zero — they are
+    /// observability counters, not durable state (checks and audits are
+    /// never logged).
+    pub fn open_durable(
+        views: SecurityViews,
+        config: ServiceConfig,
+        dir: &Path,
+    ) -> io::Result<(Self, RecoveryReport)> {
+        std::fs::create_dir_all(dir)?;
+        let (mut service, checkpoint_seq) = match latest_checkpoint(dir)? {
+            Some((seq, payload)) => (
+                Self::decode_state(&payload, config).map_err(invalid_data)?,
+                seq,
+            ),
+            None => (DisclosureService::new(views, config), 0),
+        };
+        let contents = read_log(dir)?;
+        let mut replayed = 0u64;
+        let catalog = service.registry().catalog().clone();
+        for record in &contents.records {
+            // Records at or below the checkpoint are already reflected in
+            // its image (a crash between checkpoint write and segment
+            // pruning leaves them behind); skip, don't double-apply.
+            if record.seq <= checkpoint_seq {
+                continue;
+            }
+            let op = durable::decode_wal_op(&catalog, &record.payload).map_err(invalid_data)?;
+            service.replay(op);
+            replayed += 1;
+        }
+        let writer = WalWriter::resume(dir, config.durability, &contents.tail, checkpoint_seq + 1)?;
+        let last_seq = writer.next_seq() - 1;
+        service.durable = Some(DurableState {
+            writer,
+            dir: dir.to_path_buf(),
+        });
+        Ok((
+            service,
+            RecoveryReport {
+                checkpoint_seq,
+                records_replayed: replayed,
+                last_seq,
             },
+        ))
+    }
+
+    /// True when this service was opened with
+    /// [`open_durable`](Self::open_durable) and logs its mutations.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Writes a checkpoint of the full service state — registry (with
+    /// epochs), interner, sharded policy store, audit histories — at the
+    /// current log position, then prunes: only the newest two checkpoint
+    /// files are kept (the predecessor survives as a fallback should the
+    /// newest be damaged in place), and WAL segments wholly covered by
+    /// the *oldest retained* checkpoint are deleted — every checkpoint
+    /// still on disk keeps the log records past it, so falling back to
+    /// the older image loses nothing.  Returns the checkpoint's sequence
+    /// number.
+    ///
+    /// The image is written to a temporary file and atomically renamed
+    /// into place, so a crash mid-checkpoint leaves the previous
+    /// checkpoint (and the full log) intact.  Recovery from the image is
+    /// a *bulkload*: per-principal state is restored as raw words, with
+    /// no per-principal policy compilation.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, and on services not opened with
+    /// [`open_durable`](Self::open_durable).
+    pub fn checkpoint(&mut self) -> io::Result<u64> {
+        let fsync = self.config.durability.fsync;
+        let (seq, dir) = {
+            let durable = self.durable.as_mut().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "checkpoint requires a service opened with open_durable",
+                )
+            })?;
+            durable.writer.commit()?;
+            (durable.writer.next_seq() - 1, durable.dir.clone())
+        };
+        let mut payload = Vec::new();
+        self.encode_state(&mut payload);
+        write_checkpoint(&dir, seq, &payload, fsync)?;
+        let durable = self.durable.as_mut().expect("checked above");
+        // Rotate so the covered records' segment becomes prunable: the
+        // fresh segment starts exactly at the replay point (seq + 1).
+        durable.writer.rotate()?;
+        prune_checkpoints(&dir, CHECKPOINTS_KEPT)?;
+        let horizon = checkpoint_seqs(&dir)?.first().copied().unwrap_or(seq);
+        prune_segments(&dir, horizon)?;
+        Ok(seq)
+    }
+
+    /// Shuts the service down cleanly: commits any buffered WAL records
+    /// and drops the log handle.  A no-op (beyond dropping) on
+    /// non-durable services.  Skipping `close` is *safe* — that is the
+    /// whole point of the WAL — it just leaves the un-committed batch
+    /// tail to be dropped as a torn tail on the next open.
+    pub fn close(mut self) -> io::Result<()> {
+        if let Some(mut durable) = self.durable.take() {
+            durable.writer.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Applies one decoded WAL record during recovery, through the same
+    /// unlogged application paths the live executors use.  Rejections
+    /// (unknown principal, duplicate view name, …) are deliberately
+    /// ignored: the live service logged the operation before validating
+    /// it, and a rejected operation changed no state then either.
+    fn replay(&mut self, op: WalOp) {
+        debug_assert!(self.durable.is_none(), "replay must never re-log");
+        match op {
+            WalOp::RegisterPrincipal { policy } => {
+                self.register_principal_unlogged(policy);
+            }
+            WalOp::Submit { principal, query } => {
+                let _ = self.submit_unlogged(principal, &query);
+            }
+            WalOp::GrantView { principal, view } => {
+                self.apply_mutation(&Operation::GrantView { principal, view }, None);
+            }
+            WalOp::RevokeView { principal, view } => {
+                self.apply_mutation(&Operation::RevokeView { principal, view }, None);
+            }
+            WalOp::AddSecurityView { name, query } => {
+                self.apply_mutation(&Operation::AddSecurityView { name, query }, None);
+            }
+            WalOp::ReplacePolicy { principal, policy } => {
+                // Logged replacements were validated before logging; the
+                // guards keep a hand-damaged log from panicking recovery.
+                if principal.index() < self.store.len()
+                    && policy.len() == self.store.policy(principal).len()
+                {
+                    self.replace_policy_unlogged(principal, policy);
+                }
+            }
+        }
+    }
+
+    /// Serializes the full service state — the checkpoint payload.  The
+    /// inverse of [`decode_state`](Self::decode_state).
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        self.labeler.security_views().encode_into(out);
+        self.interner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .encode_into(out);
+        self.store.encode_into(out);
+        put_len(out, self.history.len());
+        for log in &self.history {
+            put_len(out, log.len());
+            for query in log {
+                fdc_cq::wire::encode_query(query, out);
+            }
+        }
+    }
+
+    /// Rebuilds a service from a checkpoint payload.  Every length,
+    /// index and cross-structure invariant is validated — a corrupt or
+    /// truncated payload yields an error, never a panic or a
+    /// half-consistent service.
+    fn decode_state(payload: &[u8], config: ServiceConfig) -> Result<Self, CodecError> {
+        let mut cursor = Cursor::new(payload);
+        let views = SecurityViews::decode_from(&mut cursor)?;
+        let interner = QueryInterner::decode_from(&mut cursor)?;
+        let mut store = ShardedPolicyStore::decode_from(&mut cursor)?;
+        let at = cursor.pos();
+        let num_principals = cursor.count(1)?;
+        if num_principals != store.len() {
+            return Err(CodecError::invalid(
+                at,
+                "history length differs from the principal count",
+            ));
+        }
+        let mut history = Vec::with_capacity(num_principals);
+        for _ in 0..num_principals {
+            let entries = cursor.count(1)?;
+            let mut log = VecDeque::with_capacity(entries);
+            for _ in 0..entries {
+                let at = cursor.pos();
+                let query = fdc_cq::wire::decode_query(&mut cursor)?;
+                durable::validate_query(views.catalog(), &query, at)?;
+                log.push_back(query);
+            }
+            history.push(log);
+        }
+        cursor.expect_end()?;
+        // The packed-budget invariant `new` asserts, as a decode error.
+        for r in 0..views.catalog().len() {
+            let relation = RelId(r as u32);
+            if views.views_for_relation(relation).len() > MAX_PACKED_VIEWS_PER_RELATION {
+                return Err(CodecError::invalid(
+                    0,
+                    format!(
+                        "relation `{}` exceeds the packed view budget",
+                        views.catalog().name(relation)
+                    ),
+                ));
+            }
+        }
+        // The recovered history obeys the *current* cap.
+        if config.history_cap == 0 {
+            for log in &mut history {
+                log.clear();
+            }
+        } else {
+            for log in &mut history {
+                while log.len() > config.history_cap {
+                    log.pop_front();
+                }
+            }
+        }
+        // The shard count is part of the on-disk layout (round-robin
+        // placement): the checkpoint's count wins over the config's.
+        // The parallel threshold is pure tuning: the config's wins.
+        let num_shards = store.num_shards();
+        store.set_parallel_threshold(config.parallel_threshold);
+        let labeler = CachedLabeler::with_interner(views, interner, DEFAULT_CACHE_CAPACITY);
+        let interner = labeler.interner();
+        Ok(DisclosureService {
+            labeler,
+            interner,
+            store,
+            history,
+            config: ServiceConfig {
+                num_shards,
+                ..config
+            },
+            stats: ServiceStats::default(),
+            durable: None,
+        })
+    }
+
+    /// Applies one operation sequentially.
+    ///
+    /// # Panics
+    ///
+    /// On a durable service, panics if the write-ahead log cannot be
+    /// written (see [`open_durable`](Self::open_durable)).
+    pub fn apply(&mut self, op: &Operation) -> Response {
+        if self.durable.is_some() {
+            let mut payload = Vec::new();
+            if encode_loggable(op, &self.interner, &mut payload) {
+                self.log_now(&payload);
+            }
+        }
+        self.apply_unlogged(op)
+    }
+
+    /// [`apply`](Self::apply) without the WAL hook: admissions route to
+    /// their unlogged twins, everything else to the unified
+    /// [`apply_mutation`](Self::apply_mutation).  The batch executors
+    /// call this after pre-logging the whole batch.
+    fn apply_unlogged(&mut self, op: &Operation) -> Response {
+        match op {
+            Operation::Submit { principal, query } => {
+                match self.submit_unlogged(*principal, query) {
+                    Ok(decision) => Response::Decision(decision),
+                    Err(err) => Response::Rejected(err),
+                }
+            }
             Operation::Check { principal, query } => match self.check(*principal, query) {
                 Ok(decision) => Response::Decision(decision),
                 Err(err) => Response::Rejected(err),
             },
             Operation::SubmitInterned { principal, query } => {
-                match self.submit_interned(*principal, *query) {
+                match self.submit_interned_unlogged(*principal, *query) {
                     Ok(decision) => Response::Decision(decision),
                     Err(err) => Response::Rejected(err),
                 }
@@ -462,24 +939,38 @@ impl DisclosureService {
                     Err(err) => Response::Rejected(err),
                 }
             }
-            Operation::GrantView { principal, view } => match self.grant_view(*principal, view) {
-                Ok(()) => Response::PolicyUpdated,
-                Err(err) => Response::Rejected(err),
-            },
-            Operation::RevokeView { principal, view } => match self.revoke_view(*principal, view) {
-                Ok(()) => Response::PolicyUpdated,
-                Err(err) => Response::Rejected(err),
-            },
+            _ => self.apply_mutation(op, None),
+        }
+    }
+
+    /// Applies one non-admission operation (policy mutation,
+    /// view-universe mutation, audit) — the single application entry
+    /// point shared by sequential [`apply`](Self::apply), both batch
+    /// executors' segment passes and WAL replay.  In-segment callers
+    /// pass the serving snapshot so view-name resolution and audit
+    /// relabeling read the frozen registry; everyone else passes `None`
+    /// and reads the live one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on admission operations — those carry per-executor
+    /// labeling strategies and never route through here.
+    fn apply_mutation(&mut self, op: &Operation, serving: Option<&ServiceSnapshot>) -> Response {
+        match op {
+            Operation::GrantView { principal, view } => {
+                self.apply_policy_mutation(*principal, view, true, serving)
+            }
+            Operation::RevokeView { principal, view } => {
+                self.apply_policy_mutation(*principal, view, false, serving)
+            }
             Operation::AddSecurityView { name, query } => {
-                match self.add_security_view(name, query.clone()) {
+                match self.add_security_view_unlogged(name, query.clone()) {
                     Ok(id) => Response::ViewAdded(id),
                     Err(err) => Response::Rejected(err),
                 }
             }
-            Operation::AuditApp { principal } => match self.audit_app(*principal) {
-                Ok(report) => Response::Audit(report),
-                Err(err) => Response::Rejected(err),
-            },
+            Operation::AuditApp { principal } => self.apply_audit(*principal, serving),
+            _ => unreachable!("apply_mutation requires a non-admission operation"),
         }
     }
 
@@ -495,6 +986,7 @@ impl DisclosureService {
     /// sequential [`apply`](Self::apply) processing; the test suite and the
     /// `incremental_relabel` property test assert this.
     pub fn run_batch(&mut self, ops: &[Operation]) -> Vec<Response> {
+        self.log_operations(ops);
         let mut responses: Vec<Option<Response>> = vec![None; ops.len()];
         // (op index, principal, query, commit) of the pending admission run.
         let mut run: Vec<(usize, PrincipalId, AdmissionQuery<'_>, bool)> = Vec::new();
@@ -514,7 +1006,7 @@ impl DisclosureService {
                 }
                 _ => {
                     self.flush_run(&mut run, &mut responses);
-                    responses[i] = Some(self.apply(op));
+                    responses[i] = Some(self.apply_unlogged(op));
                 }
             }
         }
@@ -656,6 +1148,7 @@ impl DisclosureService {
         if ops.is_empty() {
             return Vec::new();
         }
+        self.log_operations(ops);
         let segments = self.segment_ops(ops);
         let threads = self.config.num_shards;
         let threshold = self.config.parallel_threshold;
@@ -672,7 +1165,7 @@ impl DisclosureService {
             for segment in &segments {
                 self.pass_segment(ops, segment.range.clone(), None, None, &mut responses);
                 if let Some(b) = segment.boundary {
-                    responses[b] = Some(self.apply(&ops[b]));
+                    responses[b] = Some(self.apply_unlogged(&ops[b]));
                 }
             }
             return responses
@@ -716,7 +1209,7 @@ impl DisclosureService {
                 // the new view) overlap this segment's pass.
                 let pre_applied = boundary
                     .filter(|&b| matches!(ops[b], Operation::AddSecurityView { .. }))
-                    .map(|b| self.apply(&ops[b]));
+                    .map(|b| self.apply_unlogged(&ops[b]));
                 let serving = Arc::clone(&snap);
                 let overlap = pre_applied.is_some() || boundary.is_none();
                 if overlap {
@@ -736,7 +1229,7 @@ impl DisclosureService {
                     // Policy-mutating boundaries (grants/revokes in
                     // flush-on-mutation mode) must apply *after* the pass —
                     // the pipeline stalls for one snapshot build here.
-                    let response = pre_applied.unwrap_or_else(|| self.apply(&ops[b]));
+                    let response = pre_applied.unwrap_or_else(|| self.apply_unlogged(&ops[b]));
                     responses[b] = Some(response);
                     if !overlap {
                         if let Some(next) = segments.get(s + 1) {
@@ -880,19 +1373,11 @@ impl DisclosureService {
                         Err(err) => responses[i] = Some(Response::Rejected(err)),
                     }
                 }
-                Operation::GrantView { principal, view } => {
+                Operation::GrantView { principal, .. }
+                | Operation::RevokeView { principal, .. }
+                | Operation::AuditApp { principal } => {
                     self.flush_decisions_for(*principal, &mut run, responses);
-                    responses[i] =
-                        Some(self.apply_policy_mutation(*principal, view, true, serving));
-                }
-                Operation::RevokeView { principal, view } => {
-                    self.flush_decisions_for(*principal, &mut run, responses);
-                    responses[i] =
-                        Some(self.apply_policy_mutation(*principal, view, false, serving));
-                }
-                Operation::AuditApp { principal } => {
-                    self.flush_decisions_for(*principal, &mut run, responses);
-                    responses[i] = Some(self.apply_audit(*principal, serving));
+                    responses[i] = Some(self.apply_mutation(op, serving));
                 }
                 Operation::AddSecurityView { .. } => {
                     unreachable!(
@@ -1140,4 +1625,60 @@ fn label_segment(
 /// The host's available parallelism, with a serial fallback.
 fn available_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Collapses a policy-mutation [`Response`] back to the `Result` the
+/// direct mutator methods return.
+fn into_unit(response: Response) -> Result<(), ServiceError> {
+    match response {
+        Response::PolicyUpdated => Ok(()),
+        Response::Rejected(err) => Err(err),
+        other => unreachable!("policy mutations answer PolicyUpdated or Rejected, got {other:?}"),
+    }
+}
+
+/// Encodes the WAL record for `op` into `out`, returning whether the
+/// operation is loggable at all.  Checks and audits are read-only —
+/// nothing to recover — and an interned submit whose id the interner does
+/// not know changes no state either (admission will reject it), so none
+/// of those produce a record.  Known interned submits are logged as their
+/// resolved canonical query: replay re-interns the same canonical form,
+/// so recovered ids stay stable.
+fn encode_loggable(op: &Operation, interner: &SharedQueryInterner, out: &mut Vec<u8>) -> bool {
+    match op {
+        Operation::Submit { principal, query } => {
+            durable::encode_submit(*principal, query, out);
+            true
+        }
+        Operation::SubmitInterned { principal, query } => {
+            let guard = interner.read().unwrap_or_else(|e| e.into_inner());
+            if !guard.contains(*query) {
+                return false;
+            }
+            let resolved = guard.to_query(*query);
+            durable::encode_submit(*principal, &resolved, out);
+            true
+        }
+        Operation::GrantView { principal, view } => {
+            durable::encode_grant(*principal, view, out);
+            true
+        }
+        Operation::RevokeView { principal, view } => {
+            durable::encode_revoke(*principal, view, out);
+            true
+        }
+        Operation::AddSecurityView { name, query } => {
+            durable::encode_add_view(name, query, out);
+            true
+        }
+        Operation::Check { .. } | Operation::CheckInterned { .. } | Operation::AuditApp { .. } => {
+            false
+        }
+    }
+}
+
+/// Wraps a checkpoint/WAL decode error as the `InvalidData` I/O error
+/// [`DisclosureService::open_durable`] reports.
+fn invalid_data(err: CodecError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, err.to_string())
 }

@@ -14,6 +14,8 @@
 //!   label representation.
 //! * [`service`] — the dynamic disclosure-control service: online policy
 //!   mutation with epoch-versioned labels and incremental relabeling.
+//! * [`durability`] — the write-ahead log and checkpoint formats behind
+//!   the service's crash-consistent durable mode.
 //! * [`ecosystem`] — the Facebook-like evaluation schema, security views and
 //!   workload generator.
 //! * [`casestudy`] — the FQL vs Graph API permission-documentation review.
@@ -25,6 +27,7 @@
 pub use fdc_casestudy as casestudy;
 pub use fdc_core as core;
 pub use fdc_cq as cq;
+pub use fdc_durability as durability;
 pub use fdc_ecosystem as ecosystem;
 pub use fdc_order as order;
 pub use fdc_policy as policy;
