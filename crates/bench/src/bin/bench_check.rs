@@ -415,8 +415,38 @@ fn check_fig7(path: &str, smoke: bool) -> Result<(), String> {
 /// smoke — a small smoke population cannot resolve the full gap).
 fn check_recovery(path: &str, smoke: bool) -> Result<(), String> {
     let doc = load(path)?;
-    for required in ["principals", "wal_records", "rebuild_ms", "bulkload_ms"] {
+    for required in [
+        "principals",
+        "wal_records",
+        "rebuild_ms",
+        "bulkload_ms",
+        "health_wal_records_committed",
+        "health_wal_commits",
+        "health_wal_retries",
+        "health_wal_fsync_failures",
+        "health_checkpoints",
+        "health_checkpoint_failures",
+        "health_mode_transitions",
+    ] {
         number(&doc, path, required)?;
+    }
+    // The seeding run's durability health: the trajectory only counts
+    // if the WAL'd front door actually carried the stream (records
+    // committed, checkpoint landed) and never dropped to degraded
+    // read-only serving or lost a checkpoint along the way.
+    if number(&doc, path, "health_wal_records_committed")? <= 0.0 {
+        return Err(format!("`{path}`: seeding run committed no WAL records"));
+    }
+    if number(&doc, path, "health_checkpoints")? < 1.0 {
+        return Err(format!("`{path}`: seeding run landed no checkpoint"));
+    }
+    for must_be_zero in ["health_mode_transitions", "health_checkpoint_failures"] {
+        let value = number(&doc, path, must_be_zero)?;
+        if value != 0.0 {
+            return Err(format!(
+                "`{path}`: {must_be_zero} = {value} — the seeding run was not healthy"
+            ));
+        }
     }
     let rebuild = number(&doc, path, "rebuild_ms")?;
     let bulkload = number(&doc, path, "bulkload_ms")?;
@@ -569,10 +599,14 @@ mod tests {
         let dir = std::env::temp_dir().join("fdc_bench_check_recovery_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("recovery.json");
+        let health = r#""health_wal_records_committed": 100016, "health_wal_commits": 99,
+                    "health_wal_retries": 0, "health_wal_fsync_failures": 0,
+                    "health_checkpoints": 1, "health_checkpoint_failures": 0,
+                    "health_mode_transitions": 0"#;
         let render = |rebuild: f64, bulkload: f64| {
             format!(
                 r#"{{"principals": 100000, "wal_records": 100016, "rebuild_ms": {rebuild},
-                    "bulkload_ms": {bulkload},
+                    "bulkload_ms": {bulkload}, {health},
                     "speedup_bulkload_vs_rebuild": {:.6}}}"#,
                 rebuild / bulkload
             )
@@ -587,12 +621,41 @@ mod tests {
         // A speedup field that disagrees with the timings is rejected.
         std::fs::write(
             &path,
-            r#"{"principals": 1, "wal_records": 1, "rebuild_ms": 600.0,
-               "bulkload_ms": 100.0, "speedup_bulkload_vs_rebuild": 50.0}"#,
+            format!(
+                r#"{{"principals": 1, "wal_records": 1, "rebuild_ms": 600.0,
+               "bulkload_ms": 100.0, {health}, "speedup_bulkload_vs_rebuild": 50.0}}"#
+            ),
         )
         .unwrap();
         let err = check_recovery(path.to_str().unwrap(), false).unwrap_err();
         assert!(err.contains("disagrees"), "{err}");
+        // Missing health counters are a contract violation, even in smoke.
+        let stripped = render(600.0, 100.0).replace("\"health_checkpoints\": 1,", "");
+        std::fs::write(&path, stripped).unwrap();
+        assert!(check_recovery(path.to_str().unwrap(), true).is_err());
+        // A seeding run that degraded (or dropped a checkpoint) is rejected.
+        for (key, bad) in [
+            (
+                "\"health_mode_transitions\": 0",
+                "\"health_mode_transitions\": 2",
+            ),
+            (
+                "\"health_checkpoint_failures\": 0",
+                "\"health_checkpoint_failures\": 1",
+            ),
+            ("\"health_checkpoints\": 1", "\"health_checkpoints\": 0"),
+            (
+                "\"health_wal_records_committed\": 100016",
+                "\"health_wal_records_committed\": 0",
+            ),
+        ] {
+            std::fs::write(&path, render(600.0, 100.0).replace(key, bad)).unwrap();
+            let err = check_recovery(path.to_str().unwrap(), false).unwrap_err();
+            assert!(
+                err.contains("seeding run") || err.contains("not healthy"),
+                "{bad}: {err}"
+            );
+        }
     }
 
     #[test]

@@ -80,6 +80,12 @@ fn main() {
     }
     let wal_records = service.checkpoint().expect("checkpoint failed");
     let reference = state_digest(&service);
+    // The durability health block of the seeding run: the gate in
+    // `bench_check --recovery` demands a run that never degraded and
+    // landed its checkpoint — a seeding pass that survived on retries
+    // or fell back to read-only would not be measuring the real path.
+    let health = service.stats().durability;
+    assert_eq!(health.mode_transitions, 0, "seeding run degraded");
     service.close().expect("close failed");
     println!(
         "seeded {} WAL records + checkpoint in {:.1}s",
@@ -134,6 +140,7 @@ fn main() {
         rebuild_ms,
         bulkload_ms,
         speedup,
+        health,
         smoke,
     );
     std::fs::write(&out_path, json).expect("failed to write the benchmark JSON");
@@ -217,7 +224,11 @@ fn scratch_dir(smoke: bool) -> PathBuf {
 }
 
 /// Renders the result as JSON by hand (the workspace is offline, so no
-/// serde).  The key set is the contract `bench_check --recovery` reads.
+/// serde).  The key set is the contract `bench_check --recovery` reads:
+/// the timings, plus the seeding run's durability-health counters (the
+/// gate rejects a trajectory whose seeding degraded or lost its
+/// checkpoint).
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     num_principals: usize,
     churn_ops: usize,
@@ -225,6 +236,7 @@ fn render_json(
     rebuild_ms: f64,
     bulkload_ms: f64,
     speedup: f64,
+    health: fdc_service::DurabilityHealth,
     smoke: bool,
 ) -> String {
     let mut out = String::new();
@@ -240,6 +252,34 @@ fn render_json(
         "  \"speedup_bulkload_vs_rebuild\": {speedup:.3},\n"
     ));
     out.push_str("  \"min_speedup_required\": 5.0,\n");
+    out.push_str(&format!(
+        "  \"health_wal_records_committed\": {},\n",
+        health.wal_records_committed
+    ));
+    out.push_str(&format!(
+        "  \"health_wal_commits\": {},\n",
+        health.wal_commits
+    ));
+    out.push_str(&format!(
+        "  \"health_wal_retries\": {},\n",
+        health.wal_retries
+    ));
+    out.push_str(&format!(
+        "  \"health_wal_fsync_failures\": {},\n",
+        health.wal_fsync_failures
+    ));
+    out.push_str(&format!(
+        "  \"health_checkpoints\": {},\n",
+        health.checkpoints
+    ));
+    out.push_str(&format!(
+        "  \"health_checkpoint_failures\": {},\n",
+        health.checkpoint_failures
+    ));
+    out.push_str(&format!(
+        "  \"health_mode_transitions\": {},\n",
+        health.mode_transitions
+    ));
     out.push_str(&format!("  \"smoke\": {smoke}\n"));
     out.push_str("}\n");
     out

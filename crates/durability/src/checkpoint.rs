@@ -23,17 +23,23 @@
 //!
 //! [`write_checkpoint`] writes to a `.tmp` sibling, syncs it, then
 //! renames it into place — a crash mid-write leaves at worst a stray
-//! temp file, never a half-written checkpoint under the real name.  The
-//! whole-file CRC catches the remaining failure modes (partial rename
-//! targets on non-atomic filesystems, bit rot), and
-//! [`latest_checkpoint`] simply skips invalid files and falls back to
-//! the next-newest, so checkpointing can never make recovery *worse*.
+//! temp file (swept by [`sweep_stale_temps`] on the next open), never a
+//! half-written checkpoint under the real name.  The whole-file CRC
+//! catches the remaining failure modes (partial rename targets on
+//! non-atomic filesystems, bit rot), and [`latest_checkpoint`] simply
+//! skips invalid files and falls back to the next-newest, so
+//! checkpointing can never make recovery *worse*.
+//!
+//! All I/O goes through a [`Vfs`] (the `_in` variants; the plain names
+//! bind the production [`StdVfs`]) so the fault-injection suites can
+//! exercise fsync failures and failed renames on the checkpoint path
+//! too.
 
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::crc::{crc32, Crc32};
+use crate::vfs::{StdVfs, Vfs};
 
 /// Checkpoint file magic: "FDC checkpoint format 1".
 pub const CHECKPOINT_MAGIC: &[u8; 8] = b"FDCCKPT1";
@@ -49,18 +55,15 @@ pub fn checkpoint_file_name(seq: u64) -> String {
 
 /// Lists checkpoint files in `dir`, sorted ascending by the sequence
 /// number encoded in their names.
-fn list_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+fn list_checkpoints(vfs: &dyn Vfs, dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
     let mut checkpoints = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
+    for name in vfs.list(dir)? {
         if let Some(seq) = name
             .strip_prefix("ckpt-")
             .and_then(|rest| rest.strip_suffix(".ck"))
             .and_then(|digits| digits.parse::<u64>().ok())
         {
-            checkpoints.push((seq, entry.path()));
+            checkpoints.push((seq, dir.join(&name)));
         }
     }
     checkpoints.sort();
@@ -73,7 +76,18 @@ fn list_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
 /// `fsync` controls whether the temp file (and, on platforms where it
 /// matters, the directory) is synced before and after the rename.
 pub fn write_checkpoint(dir: &Path, seq: u64, payload: &[u8], fsync: bool) -> io::Result<PathBuf> {
-    fs::create_dir_all(dir)?;
+    write_checkpoint_in(&StdVfs, dir, seq, payload, fsync)
+}
+
+/// [`write_checkpoint`] through an explicit [`Vfs`].
+pub fn write_checkpoint_in(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    seq: u64,
+    payload: &[u8],
+    fsync: bool,
+) -> io::Result<PathBuf> {
+    vfs.create_dir_all(dir)?;
     let final_path = dir.join(checkpoint_file_name(seq));
     let tmp_path = dir.join(format!("{}.tmp", checkpoint_file_name(seq)));
     let mut header = Vec::with_capacity(CHECKPOINT_HEADER_LEN);
@@ -85,11 +99,7 @@ pub fn write_checkpoint(dir: &Path, seq: u64, payload: &[u8], fsync: bool) -> io
     crc.update(&header);
     crc.update(payload);
     {
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&tmp_path)?;
+        let mut file = vfs.create(&tmp_path)?;
         file.write_all(&header)?;
         file.write_all(payload)?;
         file.write_all(&crc.finish().to_le_bytes())?;
@@ -97,21 +107,18 @@ pub fn write_checkpoint(dir: &Path, seq: u64, payload: &[u8], fsync: bool) -> io
             file.sync_all()?;
         }
     }
-    fs::rename(&tmp_path, &final_path)?;
+    vfs.rename(&tmp_path, &final_path)?;
     if fsync {
         // Persist the rename itself where the platform allows syncing a
-        // directory handle.
-        if let Ok(dir_file) = File::open(dir) {
-            let _ = dir_file.sync_all();
-        }
+        // directory handle; failure is not actionable here.
+        let _ = vfs.sync_dir(dir);
     }
     Ok(final_path)
 }
 
 /// Validates and decodes one checkpoint file.
-fn load_checkpoint(path: &Path) -> io::Result<(u64, Vec<u8>)> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
+fn load_checkpoint(vfs: &dyn Vfs, path: &Path) -> io::Result<(u64, Vec<u8>)> {
+    let mut bytes = vfs.read(path)?;
     let invalid = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
     if bytes.len() < CHECKPOINT_HEADER_LEN + 4 {
         return Err(invalid("checkpoint shorter than header + trailer"));
@@ -144,11 +151,16 @@ fn load_checkpoint(path: &Path) -> io::Result<(u64, Vec<u8>)> {
 /// no valid checkpoint exists and recovery must replay the log from the
 /// beginning.
 pub fn latest_checkpoint(dir: &Path) -> io::Result<Option<(u64, Vec<u8>)>> {
-    if !dir.exists() {
+    latest_checkpoint_in(&StdVfs, dir)
+}
+
+/// [`latest_checkpoint`] through an explicit [`Vfs`].
+pub fn latest_checkpoint_in(vfs: &dyn Vfs, dir: &Path) -> io::Result<Option<(u64, Vec<u8>)>> {
+    if !vfs.exists(dir) {
         return Ok(None);
     }
-    for (_, path) in list_checkpoints(dir)?.into_iter().rev() {
-        if let Ok(loaded) = load_checkpoint(&path) {
+    for (_, path) in list_checkpoints(vfs, dir)?.into_iter().rev() {
+        if let Ok(loaded) = load_checkpoint(vfs, &path) {
             return Ok(Some(loaded));
         }
     }
@@ -162,10 +174,38 @@ pub fn latest_checkpoint(dir: &Path) -> io::Result<Option<(u64, Vec<u8>)>> {
 /// still has the log records past it, should it be the one recovery
 /// falls back to.
 pub fn checkpoint_seqs(dir: &Path) -> io::Result<Vec<u64>> {
-    Ok(list_checkpoints(dir)?
+    checkpoint_seqs_in(&StdVfs, dir)
+}
+
+/// [`checkpoint_seqs`] through an explicit [`Vfs`].
+pub fn checkpoint_seqs_in(vfs: &dyn Vfs, dir: &Path) -> io::Result<Vec<u64>> {
+    Ok(list_checkpoints(vfs, dir)?
         .into_iter()
         .map(|(seq, _)| seq)
         .collect())
+}
+
+/// Sweeps stray `ckpt-*.tmp` files left by a crash (or a failed rename)
+/// between temp-write and rename-into-place.  They are garbage by
+/// construction — a completed checkpoint lives under its final name —
+/// so recovery deletes them on open.  Returns how many were removed.
+pub fn sweep_stale_temps(dir: &Path) -> io::Result<usize> {
+    sweep_stale_temps_in(&StdVfs, dir)
+}
+
+/// [`sweep_stale_temps`] through an explicit [`Vfs`].
+pub fn sweep_stale_temps_in(vfs: &dyn Vfs, dir: &Path) -> io::Result<usize> {
+    if !vfs.exists(dir) {
+        return Ok(0);
+    }
+    let mut removed = 0;
+    for name in vfs.list(dir)? {
+        if name.starts_with("ckpt-") && name.ends_with(".tmp") {
+            vfs.remove_file(&dir.join(&name))?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
 }
 
 /// Deletes old checkpoints, keeping the newest `keep` files (by the
@@ -175,28 +215,29 @@ pub fn checkpoint_seqs(dir: &Path) -> io::Result<Vec<u64>> {
 /// predecessor is still on disk.  Also sweeps stray `.tmp` files from
 /// interrupted writes.  Returns how many files were removed.
 pub fn prune_checkpoints(dir: &Path, keep: usize) -> io::Result<usize> {
-    let checkpoints = list_checkpoints(dir)?;
+    prune_checkpoints_in(&StdVfs, dir, keep)
+}
+
+/// [`prune_checkpoints`] through an explicit [`Vfs`].
+pub fn prune_checkpoints_in(vfs: &dyn Vfs, dir: &Path, keep: usize) -> io::Result<usize> {
+    let checkpoints = list_checkpoints(vfs, dir)?;
     let mut removed = 0;
     let cutoff = checkpoints.len().saturating_sub(keep.max(1));
     for (_, path) in &checkpoints[..cutoff] {
-        fs::remove_file(path)?;
+        vfs.remove_file(path)?;
         removed += 1;
     }
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
-        if name.starts_with("ckpt-") && name.ends_with(".tmp") {
-            fs::remove_file(entry.path())?;
-            removed += 1;
-        }
-    }
+    removed += sweep_stale_temps_in(vfs, dir)?;
     Ok(removed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
+    use std::sync::Arc;
+
+    use crate::vfs::{FaultSchedule, FaultVfs};
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("fdc_ckpt_test_{tag}_{}", std::process::id()));
@@ -261,6 +302,49 @@ mod tests {
         assert_eq!(removed, 3);
         let (seq, _) = latest_checkpoint(&dir).unwrap().unwrap();
         assert_eq!(seq, 12);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_removes_only_stale_temps() {
+        let dir = temp_dir("sweep");
+        write_checkpoint(&dir, 7, b"keep me", false).unwrap();
+        fs::write(dir.join("ckpt-00000000000000000003.ck.tmp"), b"stray").unwrap();
+        fs::write(dir.join("ckpt-00000000000000000009.ck.tmp"), b"stray").unwrap();
+        fs::write(dir.join("unrelated.txt"), b"leave me").unwrap();
+        assert_eq!(sweep_stale_temps(&dir).unwrap(), 2);
+        assert!(dir.join(checkpoint_file_name(7)).exists());
+        assert!(dir.join("unrelated.txt").exists());
+        assert_eq!(sweep_stale_temps(&dir).unwrap(), 0, "sweep is idempotent");
+        // A missing directory sweeps nothing rather than erroring.
+        assert_eq!(sweep_stale_temps(&dir.join("absent")).unwrap(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_rename_leaves_temp_for_the_sweep_and_old_checkpoint_wins() {
+        let dir = temp_dir("rename_fault");
+        let vfs = FaultVfs::over_std(FaultSchedule {
+            seed: 31,
+            rename_failure_per_mille: 1000,
+            ..FaultSchedule::default()
+        });
+        write_checkpoint_in(&vfs, &dir, 4, b"old good", false).unwrap_err();
+        // Even the first write fails its rename under this schedule, so
+        // install the baseline through a quiet vfs instead.
+        let quiet: Arc<dyn Vfs> = Arc::new(StdVfs);
+        write_checkpoint_in(quiet.as_ref(), &dir, 4, b"old good", false).unwrap();
+        let err = write_checkpoint_in(&vfs, &dir, 9, b"never lands", false).unwrap_err();
+        assert!(err.to_string().contains("injected rename failure"));
+        // The failed install left a temp file and no ckpt-9: recovery
+        // still sees the old checkpoint, and the sweep clears the stray.
+        // (The quiet re-install of ckpt-4 reused — and so consumed — the
+        // first failed attempt's temp file, leaving exactly one stray.)
+        let (seq, payload) = latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(seq, 4);
+        assert_eq!(payload, b"old good");
+        assert!(dir.join("ckpt-00000000000000000009.ck.tmp").exists());
+        assert_eq!(sweep_stale_temps(&dir).unwrap(), 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -16,7 +16,18 @@
 //!   crash mid-checkpoint can never shadow the previous good one;
 //! * the shared **codec** ([`codec`]) and **CRC-32** ([`crc`]) helpers the
 //!   two file formats (and the state serializers in the upper crates) are
-//!   built from.
+//!   built from;
+//! * a **virtual filesystem** ([`vfs`]): every byte the WAL and
+//!   checkpoint layers touch goes through the [`Vfs`] trait, so the
+//!   production [`StdVfs`] can be swapped for the deterministic
+//!   fault-injecting [`FaultVfs`] (transient write errors, torn writes,
+//!   fsyncgate-semantics fsync failures, `ENOSPC`, failed renames, dead
+//!   disks) in the robustness suites;
+//! * a **retry policy** ([`retry`]): bounded exponential backoff with
+//!   jitter behind an injectable [`Clock`], governing how the WAL's
+//!   commit loop recovers from transient storage failures — always by
+//!   reopen-and-rewrite from the last committed offset, never by
+//!   re-issuing a failed fsync over possibly-dropped pages.
 //!
 //! The crate knows nothing about *what* is logged or snapshotted — record
 //! payloads and checkpoint bodies are byte strings to it.  The layering is
@@ -41,11 +52,22 @@
 pub mod checkpoint;
 pub mod codec;
 pub mod crc;
+pub mod retry;
+pub mod vfs;
 pub mod wal;
 
-pub use checkpoint::{checkpoint_seqs, latest_checkpoint, prune_checkpoints, write_checkpoint};
+pub use checkpoint::{
+    checkpoint_seqs, checkpoint_seqs_in, latest_checkpoint, latest_checkpoint_in,
+    prune_checkpoints, prune_checkpoints_in, sweep_stale_temps, sweep_stale_temps_in,
+    write_checkpoint, write_checkpoint_in,
+};
 pub use codec::{CodecError, Cursor};
-pub use wal::{prune_segments, read_log, LogContents, TailPosition, WalRecord, WalWriter};
+pub use retry::{Clock, InstantClock, RetryPolicy, SystemClock};
+pub use vfs::{FaultCounters, FaultSchedule, FaultVfs, StdVfs, Vfs, VfsFile};
+pub use wal::{
+    prune_segments, prune_segments_in, read_log, read_log_in, LogContents, TailPosition, WalRecord,
+    WalStats, WalWriter,
+};
 
 /// Tuning knobs for the write-ahead log's group commit and segment
 /// rotation.
@@ -68,6 +90,12 @@ pub struct DurabilityConfig {
     /// Whether flushes call `sync_data` on the segment file.  Disable
     /// only when crash-durability across power loss is not required.
     pub fsync: bool,
+    /// How transient commit failures (`EINTR`-style write errors, torn
+    /// writes, fsync failures) are retried: bounded attempts with
+    /// exponential backoff and jitter.  Every retry round reopens the
+    /// segment and rewrites from the last committed offset — a failed
+    /// fsync is never simply re-issued (see [`retry`]).
+    pub retry: RetryPolicy,
 }
 
 impl Default for DurabilityConfig {
@@ -76,6 +104,7 @@ impl Default for DurabilityConfig {
             group_commit: 64,
             segment_bytes: 8 * 1024 * 1024,
             fsync: true,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -114,6 +143,7 @@ mod tests {
             group_commit: 0,
             segment_bytes: 0,
             fsync: false,
+            ..DurabilityConfig::default()
         };
         assert_eq!(config.batch(), 1);
         assert_eq!(config.rotate_at(), None);

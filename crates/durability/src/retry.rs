@@ -1,0 +1,210 @@
+//! Bounded retry with exponential backoff and jitter, behind an
+//! injectable clock so fault tests run instantly.
+//!
+//! The policy is deliberately narrow: it governs **transient** storage
+//! errors only — `EINTR`-style interruptions where the kernel did
+//! nothing and asking again is sound.  It explicitly does *not* govern
+//! fsync failures: after a failed fsync the page cache may have dropped
+//! the unsynced pages (fsyncgate), so "retry the fsync" can report
+//! success over lost data.  The WAL's commit loop therefore recovers
+//! from a failed fsync by *reopening the segment and rewriting* the
+//! still-buffered bytes from the last known-synced offset — the backoff
+//! schedule here only paces those recovery rounds, it never re-issues
+//! the same fsync.
+
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A source of "wait a bit" for backoff, injectable so tests never
+/// actually sleep.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Blocks (or pretends to) for `duration`.
+    fn sleep(&self, duration: Duration);
+}
+
+/// The production [`Clock`]: really sleeps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn sleep(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+}
+
+/// A test [`Clock`] that returns immediately and records how long it
+/// *would* have slept, so backoff schedules are assertable without
+/// slowing the suite down.
+#[derive(Debug, Default)]
+pub struct InstantClock {
+    slept_micros: AtomicU64,
+    sleeps: AtomicU64,
+}
+
+impl InstantClock {
+    /// A fresh instant clock with zeroed counters.
+    pub fn new() -> Self {
+        InstantClock::default()
+    }
+
+    /// Total virtual time slept so far.
+    pub fn slept(&self) -> Duration {
+        Duration::from_micros(self.slept_micros.load(Ordering::Relaxed))
+    }
+
+    /// How many times [`sleep`](Clock::sleep) was called.
+    pub fn sleep_count(&self) -> u64 {
+        self.sleeps.load(Ordering::Relaxed)
+    }
+}
+
+impl Clock for InstantClock {
+    fn sleep(&self, duration: Duration) {
+        self.slept_micros
+            .fetch_add(duration.as_micros() as u64, Ordering::Relaxed);
+        self.sleeps.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Bounded exponential backoff with deterministic jitter.
+///
+/// Attempt `n` (zero-based) waits `base * 2^n`, capped at `max`, plus a
+/// seeded pseudo-random jitter of up to half the capped delay — enough
+/// spread to keep concurrent writers from thundering in lockstep, while
+/// staying reproducible for a given `(jitter_seed, salt)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How many times to retry after the first failure (`0` disables
+    /// retrying entirely).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_delay_micros: u64,
+    /// Upper bound any single backoff is capped at.
+    pub max_delay_micros: u64,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_delay_micros: 1_000,
+            max_delay_micros: 100_000,
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (every failure is final).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Whether `attempt` (zero-based count of failures so far, i.e. the
+    /// first failure is attempt `0`) still has a retry left.
+    pub fn should_retry(&self, attempt: u32) -> bool {
+        attempt < self.max_retries
+    }
+
+    /// The backoff before retry number `attempt` (zero-based).  `salt`
+    /// lets independent retry sites draw different jitter from the same
+    /// policy.
+    pub fn delay_for(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = self
+            .base_delay_micros
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+            .min(self.max_delay_micros);
+        if exp == 0 {
+            return Duration::ZERO;
+        }
+        // SplitMix64-style scramble: cheap, stateless, deterministic.
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(salt)
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let jitter = z % (exp / 2 + 1);
+        Duration::from_micros(exp + jitter)
+    }
+}
+
+/// Whether an I/O error is transient in the `EINTR` sense — the
+/// operation did nothing and re-issuing it verbatim is sound.
+///
+/// Fsync failures never reach this predicate: the commit loop treats
+/// them as "data possibly lost" and recovers by rewrite, not retry.
+pub fn is_transient(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base_delay_micros: 100,
+            max_delay_micros: 1_000,
+            jitter_seed: 1,
+        };
+        let base = |attempt| policy.delay_for(attempt, 0).as_micros() as u64;
+        // Jitter adds at most half: delay is within [exp, 1.5 * exp].
+        assert!((100..=150).contains(&base(0)));
+        assert!((200..=300).contains(&base(1)));
+        assert!((400..=600).contains(&base(2)));
+        for attempt in 4..10 {
+            assert!((1_000..=1_500).contains(&base(attempt)), "capped at max");
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_but_salt_sensitive() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.delay_for(2, 7), policy.delay_for(2, 7));
+        assert_ne!(policy.delay_for(2, 7), policy.delay_for(2, 8));
+    }
+
+    #[test]
+    fn none_never_retries() {
+        let policy = RetryPolicy::none();
+        assert!(!policy.should_retry(0));
+    }
+
+    #[test]
+    fn transient_kinds_are_exactly_the_eintr_family() {
+        assert!(is_transient(&io::Error::new(
+            io::ErrorKind::Interrupted,
+            ""
+        )));
+        assert!(is_transient(&io::Error::new(io::ErrorKind::WouldBlock, "")));
+        assert!(is_transient(&io::Error::new(io::ErrorKind::TimedOut, "")));
+        assert!(!is_transient(&io::Error::new(
+            io::ErrorKind::StorageFull,
+            ""
+        )));
+        assert!(!is_transient(&io::Error::other("")));
+    }
+
+    #[test]
+    fn instant_clock_records_instead_of_sleeping() {
+        let clock = InstantClock::new();
+        clock.sleep(Duration::from_micros(250));
+        clock.sleep(Duration::from_micros(750));
+        assert_eq!(clock.slept(), Duration::from_micros(1_000));
+        assert_eq!(clock.sleep_count(), 2);
+    }
+}

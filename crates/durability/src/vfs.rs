@@ -1,0 +1,738 @@
+//! The virtual filesystem the durable state plane does all its I/O
+//! through — and the fault-injecting test implementation that makes the
+//! plane's failure behavior testable at all.
+//!
+//! Every file operation the WAL and checkpoint layers perform goes
+//! through the [`Vfs`] trait (directory listing, whole-file reads,
+//! handle-based writes, fsync, rename, remove).  Production code uses
+//! [`StdVfs`], a zero-cost passthrough to `std::fs`.  Tests use
+//! [`FaultVfs`], which wraps another `Vfs` and injects **deterministic,
+//! seedable** faults:
+//!
+//! * *transient write errors* — `EINTR`-style [`io::ErrorKind::Interrupted`]
+//!   failures where nothing reached the file;
+//! * *torn writes* — a prefix of the buffer lands, then the write errors
+//!   (what a crash or a short `write(2)` loop leaves behind);
+//! * *fsync failures with fsyncgate semantics* — the sync errors **and
+//!   the unsynced bytes are dropped** (truncated back to the last
+//!   successfully synced length).  A subsequent fsync on the same handle
+//!   *succeeds without restoring the data*, exactly the POSIX trap that
+//!   makes "just retry the fsync" silently lose writes: the only sound
+//!   recovery is to reopen and rewrite from the last durable offset;
+//! * *`ENOSPC`* — [`io::ErrorKind::StorageFull`] on writes and file
+//!   creation, which no retry can fix;
+//! * *rename failures* — the atomic-install step of a checkpoint fails,
+//!   leaving the temp file behind.
+//!
+//! On top of the probabilistic schedule, [`FaultVfs::fail_permanently`]
+//! models a dead disk (every write-side operation errors until
+//! [`FaultVfs::heal`]), which is what drives the service's
+//! degraded-mode transitions in the fault-injection suites.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// One writable file handle obtained from a [`Vfs`].
+///
+/// The surface is exactly what the WAL and checkpoint writers need:
+/// append-positioned writes, data/metadata sync, truncation and
+/// end-seeking (for resuming onto a torn tail).
+pub trait VfsFile: Send + fmt::Debug {
+    /// Writes the whole buffer at the current position.  On error the
+    /// file is in an unknown state — an unknown prefix of `buf` may have
+    /// landed — so callers must recover by truncating to a known-good
+    /// offset and rewriting, never by blindly re-issuing the write.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Syncs file *data* to stable storage.  A failure follows fsyncgate
+    /// semantics: bytes written since the last successful sync may be
+    /// lost, and a later successful sync does **not** resurrect them.
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Syncs data and metadata to stable storage (same failure contract
+    /// as [`sync_data`](Self::sync_data)).
+    fn sync_all(&mut self) -> io::Result<()>;
+    /// Truncates (or extends with zeros) the file to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+    /// Positions at end-of-file, returning the offset.
+    fn seek_end(&mut self) -> io::Result<u64>;
+}
+
+/// The filesystem surface of the durable state plane.
+///
+/// Implementations must be shareable across threads ([`Send`] +
+/// [`Sync`]); the production [`StdVfs`] is stateless and the fault
+/// injector synchronizes internally.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Creates `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Reads a whole file into memory.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Creates (truncating) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Opens an existing file for reading and writing.
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Atomically renames `from` to `to` (both in the same directory).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// File names (not paths) of the entries of `dir`.
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// Best-effort directory sync (persists renames where the platform
+    /// supports syncing a directory handle).  Failures are swallowed by
+    /// callers — there is no portable recovery.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Whether a path exists.
+    fn exists(&self, path: &Path) -> bool;
+    /// Length of the file at `path` in bytes.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+}
+
+/// The production [`Vfs`]: a zero-state passthrough to `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdVfs;
+
+/// A real [`File`] behind the [`VfsFile`] surface.
+#[derive(Debug)]
+struct StdFile(File);
+
+impl VfsFile for StdFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)
+    }
+
+    fn seek_end(&mut self) -> io::Result<u64> {
+        self.0.seek(SeekFrom::End(0))
+    }
+}
+
+impl Vfs for StdVfs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(StdFile(file)))
+    }
+
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Ok(Box::new(StdFile(file)))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            if let Some(name) = entry?.file_name().to_str() {
+                names.push(name.to_owned());
+            }
+        }
+        Ok(names)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+}
+
+/// Per-fault injection rates, in events per 1000 write-side operations
+/// (`0` disables a fault kind).  The schedule is driven by a seeded
+/// deterministic generator: the same seed over the same operation
+/// sequence injects the same faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSchedule {
+    /// Seed of the deterministic fault stream.
+    pub seed: u64,
+    /// Transient (`Interrupted`) write failures where nothing lands.
+    pub write_transient_per_mille: u16,
+    /// Torn writes: a prefix lands, then the write errors.
+    pub torn_write_per_mille: u16,
+    /// Fsync failures with fsyncgate semantics (unsynced bytes dropped).
+    pub fsync_failure_per_mille: u16,
+    /// `StorageFull` on writes and file creation.
+    pub enospc_per_mille: u16,
+    /// Rename failures (checkpoint installs).
+    pub rename_failure_per_mille: u16,
+}
+
+impl FaultSchedule {
+    /// A schedule that injects nothing (pure passthrough).
+    pub fn quiet(seed: u64) -> Self {
+        FaultSchedule {
+            seed,
+            ..FaultSchedule::default()
+        }
+    }
+}
+
+/// How many of each fault kind a [`FaultVfs`] has injected so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounters {
+    /// Transient write errors injected.
+    pub transient_writes: u64,
+    /// Torn writes injected.
+    pub torn_writes: u64,
+    /// Fsync failures injected.
+    pub fsync_failures: u64,
+    /// `StorageFull` errors injected.
+    pub enospc: u64,
+    /// Rename failures injected.
+    pub rename_failures: u64,
+    /// Operations rejected because the disk is permanently failed.
+    pub permanent_rejections: u64,
+}
+
+/// Shared mutable state of a [`FaultVfs`]: the deterministic fault
+/// stream, the injected-fault counters, and the dead-disk switch.
+#[derive(Debug)]
+struct FaultState {
+    rng: u64,
+    schedule: FaultSchedule,
+    counters: FaultCounters,
+    permanent: bool,
+}
+
+impl FaultState {
+    /// Advances the xorshift64* stream one step.
+    fn next(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Draws one event with probability `per_mille`/1000.
+    fn roll(&mut self, per_mille: u16) -> bool {
+        per_mille > 0 && self.next() % 1000 < per_mille as u64
+    }
+}
+
+/// The decision the fault stream made for one write.
+enum WriteFault {
+    None,
+    Transient,
+    /// Write this many bytes of the buffer, then error.
+    Torn(usize),
+    StorageFull,
+    Permanent,
+}
+
+/// A fault-injecting [`Vfs`] wrapping an inner one (usually [`StdVfs`]
+/// over a scratch directory).
+///
+/// All handles issued by one `FaultVfs` share its fault stream, so a
+/// single seed determines the whole run.  Cloning shares the state.
+#[derive(Debug, Clone)]
+pub struct FaultVfs {
+    inner: Arc<dyn Vfs>,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultVfs {
+    /// Wraps `inner` with the fault `schedule`.
+    pub fn new(inner: Arc<dyn Vfs>, schedule: FaultSchedule) -> Self {
+        FaultVfs {
+            inner,
+            state: Arc::new(Mutex::new(FaultState {
+                rng: scramble_seed(schedule.seed),
+                schedule,
+                counters: FaultCounters::default(),
+                permanent: false,
+            })),
+        }
+    }
+
+    /// Replaces the fault schedule (and reseeds the fault stream from
+    /// it).  Lets tests set up real files through a quiet schedule and
+    /// only then arm the faults.
+    pub fn set_schedule(&self, schedule: FaultSchedule) {
+        let mut state = self.lock();
+        state.rng = scramble_seed(schedule.seed);
+        state.schedule = schedule;
+    }
+
+    /// A `FaultVfs` over the real filesystem.
+    pub fn over_std(schedule: FaultSchedule) -> Self {
+        FaultVfs::new(Arc::new(StdVfs), schedule)
+    }
+
+    /// Kills the disk: every subsequent write-side operation (write,
+    /// sync, create, rename, remove) fails until [`heal`](Self::heal).
+    /// Reads keep working — a degraded service still serves from what
+    /// it has in memory and recovery can still scan surviving files.
+    pub fn fail_permanently(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .permanent = true;
+    }
+
+    /// Brings the disk back: write-side operations succeed again
+    /// (subject to the probabilistic schedule).
+    pub fn heal(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .permanent = false;
+    }
+
+    /// Whether the disk is currently in the permanently-failed state.
+    pub fn is_failed(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .permanent
+    }
+
+    /// How many faults of each kind have been injected so far.
+    pub fn counters(&self) -> FaultCounters {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .counters
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Rolls the fault stream for one write of `len` bytes.
+    fn write_fault(&self, len: usize) -> WriteFault {
+        let mut state = self.lock();
+        let schedule = state.schedule;
+        if state.permanent {
+            state.counters.permanent_rejections += 1;
+            return WriteFault::Permanent;
+        }
+        if state.roll(schedule.enospc_per_mille) {
+            state.counters.enospc += 1;
+            return WriteFault::StorageFull;
+        }
+        if state.roll(schedule.write_transient_per_mille) {
+            state.counters.transient_writes += 1;
+            return WriteFault::Transient;
+        }
+        if state.roll(schedule.torn_write_per_mille) {
+            state.counters.torn_writes += 1;
+            let cut = if len <= 1 {
+                0
+            } else {
+                state.next() as usize % len
+            };
+            return WriteFault::Torn(cut);
+        }
+        WriteFault::None
+    }
+
+    /// Rolls the fault stream for one fsync.
+    fn fsync_fault(&self) -> bool {
+        let mut state = self.lock();
+        let schedule = state.schedule;
+        if state.permanent {
+            state.counters.permanent_rejections += 1;
+            return true;
+        }
+        if state.roll(schedule.fsync_failure_per_mille) {
+            state.counters.fsync_failures += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Rolls the fault stream for a metadata operation (create, rename,
+    /// remove): permanent failure plus, for renames, the scheduled rate.
+    fn metadata_fault(&self, rename: bool) -> Option<io::Error> {
+        let mut state = self.lock();
+        let schedule = state.schedule;
+        if state.permanent {
+            state.counters.permanent_rejections += 1;
+            return Some(dead_disk());
+        }
+        if rename && state.roll(schedule.rename_failure_per_mille) {
+            state.counters.rename_failures += 1;
+            return Some(io::Error::other("injected rename failure"));
+        }
+        None
+    }
+}
+
+/// SplitMix64-style scramble so adjacent seeds (`42`, `43`) start the
+/// xorshift stream in unrelated states; never returns zero.
+fn scramble_seed(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z | 1
+}
+
+/// The error a permanently-failed disk answers with.
+fn dead_disk() -> io::Error {
+    io::Error::other("injected permanent disk failure")
+}
+
+/// A handle issued by [`FaultVfs`]: wraps the inner handle, tracks the
+/// last successfully synced length for fsyncgate semantics.
+#[derive(Debug)]
+struct FaultFile {
+    inner: Box<dyn VfsFile>,
+    vfs: FaultVfs,
+    /// Bytes written through this handle that are known durable (length
+    /// at the last successful sync; starts at the open length).
+    synced_len: u64,
+    /// Current file length as this handle sees it.
+    len: u64,
+    /// Set once an fsync failed: the unsynced bytes were dropped, and
+    /// later syncs succeed *without* restoring them (fsyncgate).
+    poisoned: bool,
+}
+
+impl VfsFile for FaultFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.vfs.write_fault(buf.len()) {
+            WriteFault::None => {
+                self.inner.write_all(buf)?;
+                self.len += buf.len() as u64;
+                Ok(())
+            }
+            WriteFault::Transient => Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected transient write failure",
+            )),
+            WriteFault::Torn(cut) => {
+                self.inner.write_all(&buf[..cut])?;
+                self.len += cut as u64;
+                Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "injected torn write",
+                ))
+            }
+            WriteFault::StorageFull => Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected ENOSPC",
+            )),
+            WriteFault::Permanent => Err(dead_disk()),
+        }
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        if self.vfs.fsync_fault() {
+            // Fsyncgate: the unsynced bytes are gone.  The *next* sync
+            // on this handle reports success over the already-shrunk
+            // file — retrying the fsync can never get the data back.
+            let _ = self.inner.set_len(self.synced_len);
+            let _ = self.inner.seek_end();
+            self.len = self.synced_len;
+            self.poisoned = true;
+            return Err(io::Error::other(
+                "injected fsync failure (unsynced data lost)",
+            ));
+        }
+        self.inner.sync_data()?;
+        self.synced_len = self.len;
+        Ok(())
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        if self.vfs.fsync_fault() {
+            let _ = self.inner.set_len(self.synced_len);
+            let _ = self.inner.seek_end();
+            self.len = self.synced_len;
+            self.poisoned = true;
+            return Err(io::Error::other(
+                "injected fsync failure (unsynced data lost)",
+            ));
+        }
+        self.inner.sync_all()?;
+        self.synced_len = self.len;
+        Ok(())
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.inner.set_len(len)?;
+        self.len = len;
+        self.synced_len = self.synced_len.min(len);
+        Ok(())
+    }
+
+    fn seek_end(&mut self) -> io::Result<u64> {
+        self.inner.seek_end()
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        if let Some(err) = self.metadata_fault(false) {
+            return Err(err);
+        }
+        let inner = self.inner.create(path)?;
+        Ok(Box::new(FaultFile {
+            inner,
+            vfs: self.clone(),
+            synced_len: 0,
+            len: 0,
+            poisoned: false,
+        }))
+    }
+
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        if let Some(err) = self.metadata_fault(false) {
+            return Err(err);
+        }
+        let len = self.inner.file_len(path)?;
+        let inner = self.inner.open_rw(path)?;
+        Ok(Box::new(FaultFile {
+            inner,
+            vfs: self.clone(),
+            // A freshly opened file's on-disk bytes are as durable as
+            // they will ever be: treat them as the synced baseline.
+            synced_len: len,
+            len,
+            poisoned: false,
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if let Some(err) = self.metadata_fault(true) {
+            return Err(err);
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        if let Some(err) = self.metadata_fault(false) {
+            return Err(err);
+        }
+        self.inner.remove_file(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.inner.list(dir)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        if self.fsync_fault() {
+            return Err(io::Error::other("injected directory sync failure"));
+        }
+        self.inner.sync_dir(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.inner.file_len(path)
+    }
+}
+
+/// A scratch-dir helper shared by this crate's fault tests.
+#[cfg(test)]
+pub(crate) fn test_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fdc_vfs_test_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_vfs_round_trips_files() {
+        let dir = test_dir("std_round_trip");
+        let vfs = StdVfs;
+        let path = dir.join("file.bin");
+        let mut file = vfs.create(&path).unwrap();
+        file.write_all(b"hello ").unwrap();
+        file.write_all(b"world").unwrap();
+        file.sync_all().unwrap();
+        drop(file);
+        assert_eq!(vfs.read(&path).unwrap(), b"hello world");
+        assert_eq!(vfs.file_len(&path).unwrap(), 11);
+        assert!(vfs.exists(&path));
+        let renamed = dir.join("renamed.bin");
+        vfs.rename(&path, &renamed).unwrap();
+        assert!(!vfs.exists(&path));
+        assert_eq!(vfs.list(&dir).unwrap(), vec!["renamed.bin".to_owned()]);
+        vfs.remove_file(&renamed).unwrap();
+        assert!(vfs.list(&dir).unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let dir = test_dir(&format!("determinism_{seed}"));
+            let vfs = FaultVfs::over_std(FaultSchedule {
+                seed,
+                write_transient_per_mille: 200,
+                torn_write_per_mille: 100,
+                fsync_failure_per_mille: 150,
+                ..FaultSchedule::default()
+            });
+            let mut file = vfs.create(&dir.join("f")).unwrap();
+            for i in 0..200u8 {
+                let _ = file.write_all(&[i; 16]);
+                let _ = file.sync_data();
+            }
+            let counters = vfs.counters();
+            fs::remove_dir_all(&dir).unwrap();
+            counters
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "same seed, same faults");
+        assert!(
+            a.transient_writes > 0 && a.torn_writes > 0 && a.fsync_failures > 0,
+            "the schedule must actually fire: {a:?}"
+        );
+        assert_ne!(a, run(43), "different seed, different faults");
+    }
+
+    #[test]
+    fn fsync_failure_drops_unsynced_bytes_and_later_syncs_lie() {
+        let dir = test_dir("fsyncgate");
+        let vfs = FaultVfs::over_std(FaultSchedule::quiet(7));
+        let path = dir.join("f");
+        let mut file = vfs.create(&path).unwrap();
+        file.write_all(b"durable|").unwrap();
+        file.sync_data().unwrap();
+        file.write_all(b"doomed").unwrap();
+        vfs.fail_permanently();
+        assert!(file.sync_data().is_err(), "the dying fsync must error");
+        vfs.heal();
+        // Fsyncgate: the retried fsync *succeeds* but the unsynced
+        // bytes are already gone.
+        file.sync_data().unwrap();
+        drop(file);
+        assert_eq!(vfs.read(&path).unwrap(), b"durable|");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_leaves_a_prefix() {
+        let dir = test_dir("torn");
+        let vfs = FaultVfs::over_std(FaultSchedule {
+            seed: 11,
+            torn_write_per_mille: 1000,
+            ..FaultSchedule::default()
+        });
+        let path = dir.join("f");
+        let mut file = vfs.create(&path).unwrap();
+        let err = file.write_all(&[0xAB; 64]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        drop(file);
+        let on_disk = vfs.read(&path).unwrap();
+        assert!(on_disk.len() < 64, "the write must be torn");
+        assert!(on_disk.iter().all(|&b| b == 0xAB));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn permanent_failure_rejects_writes_until_healed() {
+        let dir = test_dir("permanent");
+        let vfs = FaultVfs::over_std(FaultSchedule::quiet(3));
+        let path = dir.join("f");
+        let mut file = vfs.create(&path).unwrap();
+        file.write_all(b"before").unwrap();
+        file.sync_data().unwrap();
+        vfs.fail_permanently();
+        assert!(file.write_all(b"x").is_err());
+        assert!(vfs.create(&dir.join("g")).is_err());
+        assert!(vfs.rename(&path, &dir.join("h")).is_err());
+        assert!(vfs.is_failed());
+        // Reads keep serving from the dead disk's surviving bytes.
+        assert_eq!(vfs.read(&path).unwrap(), b"before");
+        vfs.heal();
+        file.write_all(b"|after").unwrap();
+        file.sync_data().unwrap();
+        assert!(vfs.counters().permanent_rejections >= 3);
+        drop(file);
+        assert_eq!(vfs.read(&path).unwrap(), b"before|after");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_is_storage_full() {
+        let dir = test_dir("enospc");
+        let vfs = FaultVfs::over_std(FaultSchedule {
+            seed: 5,
+            enospc_per_mille: 1000,
+            ..FaultSchedule::default()
+        });
+        let mut file = vfs.create(&dir.join("f")).unwrap();
+        let err = file.write_all(b"data").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(vfs.counters().enospc, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rename_faults_fire_on_schedule() {
+        let dir = test_dir("rename_fault");
+        let vfs = FaultVfs::over_std(FaultSchedule {
+            seed: 9,
+            rename_failure_per_mille: 1000,
+            ..FaultSchedule::default()
+        });
+        fs::write(dir.join("a"), b"x").unwrap();
+        let err = vfs.rename(&dir.join("a"), &dir.join("b")).unwrap_err();
+        assert!(err.to_string().contains("injected rename failure"));
+        assert!(
+            vfs.exists(&dir.join("a")),
+            "a failed rename changes nothing"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

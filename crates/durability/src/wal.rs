@@ -26,16 +26,34 @@
 //! A crash can leave the last record half-written (or, with buffered
 //! group commit, absent entirely).  [`read_log`] accepts that: it
 //! returns every record whose frame, checksum and sequence number are
-//! intact, **stopping at the first that is not**, and reports where the
-//! valid prefix ends as a [`TailPosition`] so a resuming
-//! [`WalWriter`] can truncate the torn bytes and continue appending at
-//! the next sequence number.
+//! intact, **stopping at the first that is not**, reports where the
+//! valid prefix ends as a [`TailPosition`] so a resuming [`WalWriter`]
+//! can truncate the torn bytes and continue appending at the next
+//! sequence number, and counts the discarded bytes and residual record
+//! frames so recovery can tell a clean shutdown from a truncation.
+//!
+//! # Failure policy
+//!
+//! All I/O goes through a [`Vfs`], so the fault-injection suites can
+//! exercise every failure path.  A commit that fails *transiently*
+//! (`EINTR`-style write errors, torn writes, fsync failures) is retried
+//! under the configured [`RetryPolicy`](crate::retry::RetryPolicy) — but never by re-issuing the
+//! same syscall over unknown file state.  Each retry round **reopens
+//! the segment, truncates it back to the last known-committed length,
+//! and rewrites the still-buffered bytes** before syncing again; this
+//! is the only sound recovery under fsyncgate semantics, where a failed
+//! fsync may have dropped the unsynced pages for good.  `ENOSPC` and
+//! exhausted retries are final: the writer poisons itself (best-effort
+//! truncating any torn tail first) and the service layer degrades to
+//! read-only serving instead of panicking.
 
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::crc::Crc32;
+use crate::retry::{is_transient, Clock, SystemClock};
+use crate::vfs::{StdVfs, Vfs, VfsFile};
 use crate::DurabilityConfig;
 
 /// Segment file magic: "FDC WAL format 01".
@@ -79,14 +97,63 @@ pub struct TailPosition {
     pub next_seq: u64,
 }
 
-/// Everything [`read_log`] found: the valid record prefix plus the tail
-/// position for a resuming writer.
+/// Everything [`read_log`] found: the valid record prefix, the tail
+/// position for a resuming writer, and how much was left behind.
 #[derive(Debug)]
 pub struct LogContents {
     /// All intact records, in sequence order.
     pub records: Vec<WalRecord>,
     /// Where the valid prefix ends.
     pub tail: TailPosition,
+    /// Bytes past the valid prefix that the scan discarded: the torn
+    /// tail of the active segment plus any unreachable later segments.
+    /// `0` means the log was cleanly closed.
+    pub discarded_bytes: u64,
+    /// Residual record frames inside those discarded bytes (complete
+    /// frames that failed their checksum or sequence check, plus one for
+    /// a trailing partial frame).  A lower bound on lost records.
+    pub discarded_records: u64,
+}
+
+/// Health counters of one [`WalWriter`], cheap enough to keep always-on
+/// and surfaced through the service stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalStats {
+    /// Records appended (buffered; not necessarily yet committed).
+    pub appends: u64,
+    /// Successful group commits (write + optional fsync reached disk).
+    pub commits: u64,
+    /// Successful `sync_data` calls on segment files.
+    pub fsyncs: u64,
+    /// Failed `sync_data` calls (each one triggers reopen-and-rewrite
+    /// recovery, never a naive re-fsync).
+    pub fsync_failures: u64,
+    /// Retry rounds taken by commits that eventually succeeded or died.
+    pub retries: u64,
+    /// Times a segment was reopened and truncated back to its committed
+    /// length to recover from a failed write or fsync.
+    pub segment_recoveries: u64,
+    /// Records made durable by successful commits.
+    pub records_committed: u64,
+    /// Largest number of records a single successful commit flushed
+    /// (the observed group-commit batch high-water mark).
+    pub max_commit_records: u64,
+}
+
+impl WalStats {
+    /// Folds another stats snapshot into this one (sums, except the
+    /// batch high-water mark which takes the max).  The service layer
+    /// uses this to carry counters across writer replacements.
+    pub fn absorb(&mut self, other: WalStats) {
+        self.appends += other.appends;
+        self.commits += other.commits;
+        self.fsyncs += other.fsyncs;
+        self.fsync_failures += other.fsync_failures;
+        self.retries += other.retries;
+        self.segment_recoveries += other.segment_recoveries;
+        self.records_committed += other.records_committed;
+        self.max_commit_records = self.max_commit_records.max(other.max_commit_records);
+    }
 }
 
 fn invalid(msg: String) -> io::Error {
@@ -95,18 +162,15 @@ fn invalid(msg: String) -> io::Error {
 
 /// Lists segment files in `dir`, sorted by the `first_seq` encoded in
 /// their names.
-fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+fn list_segments(vfs: &dyn Vfs, dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
     let mut segments = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
+    for name in vfs.list(dir)? {
         if let Some(seq) = name
             .strip_prefix("wal-")
             .and_then(|rest| rest.strip_suffix(".log"))
             .and_then(|digits| digits.parse::<u64>().ok())
         {
-            segments.push((seq, entry.path()));
+            segments.push((seq, dir.join(&name)));
         }
     }
     segments.sort();
@@ -183,6 +247,29 @@ fn scan_segment(
     }
 }
 
+/// Counts record frames in the discarded region starting at `pos`:
+/// complete frames (whatever their checksum says) plus one for any
+/// trailing partial frame.  A lower bound on records lost to the tear.
+fn count_residual_frames(bytes: &[u8], mut pos: usize) -> u64 {
+    let mut count = 0;
+    while bytes.len().saturating_sub(pos) >= RECORD_HEADER_LEN {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN {
+            break;
+        }
+        let frame = RECORD_HEADER_LEN + len as usize;
+        if bytes.len() - pos < frame {
+            break;
+        }
+        count += 1;
+        pos += frame;
+    }
+    if pos < bytes.len() {
+        count += 1;
+    }
+    count
+}
+
 /// Reads the whole log back: every intact record in order, stopping at
 /// the first truncated or corrupt one (a *torn tail*), plus the
 /// [`TailPosition`] a resuming writer continues from.
@@ -193,17 +280,34 @@ fn scan_segment(
 /// magic, an impossible version — is reported as an error rather than an
 /// empty log, so operator mistakes (pointing at the wrong directory)
 /// are not silently "recovered" from.
+///
+/// Everything past the valid prefix is accounted in
+/// [`LogContents::discarded_bytes`] and
+/// [`LogContents::discarded_records`] rather than silently dropped.
 pub fn read_log(dir: &Path) -> io::Result<LogContents> {
-    let segments = list_segments(dir)?;
+    read_log_in(&StdVfs, dir)
+}
+
+/// [`read_log`] through an explicit [`Vfs`].
+pub fn read_log_in(vfs: &dyn Vfs, dir: &Path) -> io::Result<LogContents> {
+    let segments = list_segments(vfs, dir)?;
     let mut records = Vec::new();
     let mut tail = TailPosition {
         active_segment: None,
         next_seq: 1,
     };
+    let mut discarded_bytes = 0u64;
+    let mut discarded_records = 0u64;
     let mut expected_first: Option<u64> = None;
+    // Once the chain breaks, every later segment is unreachable: count
+    // it as discarded instead of scanning it.
+    let mut stopped = false;
     for (index, (_, path)) in segments.iter().enumerate() {
-        let mut bytes = Vec::new();
-        File::open(path)?.read_to_end(&mut bytes)?;
+        if stopped {
+            discarded_bytes += vfs.file_len(path).unwrap_or(0);
+            continue;
+        }
+        let bytes = vfs.read(path)?;
         let scanned = scan_segment(&bytes, expected_first, &mut records);
         let (valid_len, clean, next_seq) = match scanned {
             Ok(result) => result,
@@ -211,18 +315,33 @@ pub fn read_log(dir: &Path) -> io::Result<LogContents> {
             // A later segment that does not continue the chain is
             // unreachable past the valid prefix: stop at the previous
             // tail (already recorded below).
-            Err(_) => break,
+            Err(_) => {
+                stopped = true;
+                discarded_bytes += bytes.len() as u64;
+                if bytes.len() as u64 > SEGMENT_HEADER_LEN {
+                    discarded_records += count_residual_frames(&bytes, SEGMENT_HEADER_LEN as usize);
+                }
+                continue;
+            }
         };
         tail = TailPosition {
             active_segment: Some((path.clone(), valid_len)),
             next_seq,
         };
         if !clean {
-            break;
+            stopped = true;
+            discarded_bytes += bytes.len() as u64 - valid_len;
+            discarded_records += count_residual_frames(&bytes, valid_len as usize);
+            continue;
         }
         expected_first = Some(next_seq);
     }
-    Ok(LogContents { records, tail })
+    Ok(LogContents {
+        records,
+        tail,
+        discarded_bytes,
+        discarded_records,
+    })
 }
 
 /// Deletes every segment made wholly redundant by a checkpoint at
@@ -230,58 +349,120 @@ pub fn read_log(dir: &Path) -> io::Result<LogContents> {
 /// `first_seq <= upto_seq + 1` (every record the deleted segment holds
 /// is then both below the checkpoint and not the replay start point).
 pub fn prune_segments(dir: &Path, upto_seq: u64) -> io::Result<usize> {
-    let segments = list_segments(dir)?;
+    prune_segments_in(&StdVfs, dir, upto_seq)
+}
+
+/// [`prune_segments`] through an explicit [`Vfs`].
+pub fn prune_segments_in(vfs: &dyn Vfs, dir: &Path, upto_seq: u64) -> io::Result<usize> {
+    let segments = list_segments(vfs, dir)?;
     let mut removed = 0;
     for window in segments.windows(2) {
         let (_, ref path) = window[0];
         let (next_first, _) = window[1];
         if next_first <= upto_seq + 1 {
-            fs::remove_file(path)?;
+            vfs.remove_file(path)?;
             removed += 1;
         }
     }
     Ok(removed)
 }
 
-/// The appending side of the log: group-committed, size-rotated.
+/// Which stage of a commit failed — the distinction matters because a
+/// failed *write* may be retried after truncating back to known-good
+/// state, while a failed *fsync* must additionally assume the unsynced
+/// pages are gone (both recover via reopen-and-rewrite; neither ever
+/// re-issues the failing call over unknown state).
+enum FlushStage {
+    Write,
+    Sync,
+}
+
+/// The appending side of the log: group-committed, size-rotated, with
+/// bounded retry-and-rewrite recovery on transient storage failures.
 ///
 /// Appends buffer in memory and reach the file (and, if configured, the
 /// disk) at *commit points*: automatically once
 /// [`DurabilityConfig::group_commit`] appends accumulate, or explicitly
 /// via [`commit`](WalWriter::commit).  Callers enforce the write-ahead
 /// invariant by committing before applying the logged operations.
+///
+/// A commit that fails past its retry budget **poisons** the writer:
+/// the buffered records are dropped (after a best-effort truncation of
+/// any torn bytes), and every later call fails fast.  The service layer
+/// responds by degrading to read-only serving and replacing the writer
+/// once a checkpoint lands on a recovered disk.
 #[derive(Debug)]
 pub struct WalWriter {
     dir: PathBuf,
     config: DurabilityConfig,
-    file: File,
-    /// Bytes already in `file` plus bytes pending in `buf`.
+    vfs: Arc<dyn Vfs>,
+    clock: Arc<dyn Clock>,
+    file: Box<dyn VfsFile>,
+    path: PathBuf,
+    /// Bytes of the current segment known committed (written, and synced
+    /// when fsync is on).  Recovery truncates back to this offset.
+    committed_len: u64,
+    /// `committed_len` plus the bytes buffered in `buf` (what the
+    /// segment will hold after the next successful commit) — the size
+    /// rotation is decided on.
     segment_len: u64,
     next_seq: u64,
     buf: Vec<u8>,
     pending: usize,
+    poisoned: bool,
+    stats: WalStats,
 }
 
 impl WalWriter {
     /// Starts a fresh segment in `dir` (created if absent) whose first
-    /// record will carry `first_seq`.
+    /// record will carry `first_seq`, on the production [`StdVfs`].
     pub fn create(dir: &Path, config: DurabilityConfig, first_seq: u64) -> io::Result<Self> {
-        fs::create_dir_all(dir)?;
-        let (file, segment_len) = Self::new_segment(dir, first_seq)?;
+        Self::create_in(
+            Arc::new(StdVfs),
+            Arc::new(SystemClock),
+            dir,
+            config,
+            first_seq,
+        )
+    }
+
+    /// [`create`](Self::create) through an explicit [`Vfs`] and
+    /// [`Clock`].
+    pub fn create_in(
+        vfs: Arc<dyn Vfs>,
+        clock: Arc<dyn Clock>,
+        dir: &Path,
+        config: DurabilityConfig,
+        first_seq: u64,
+    ) -> io::Result<Self> {
+        vfs.create_dir_all(dir)?;
+        let (file, path, segment_len, retries) =
+            Self::new_segment(vfs.as_ref(), clock.as_ref(), &config, dir, first_seq)?;
+        let stats = WalStats {
+            retries,
+            ..WalStats::default()
+        };
         Ok(WalWriter {
             dir: dir.to_path_buf(),
             config,
+            vfs,
+            clock,
             file,
+            path,
+            committed_len: segment_len,
             segment_len,
             next_seq: first_seq,
             buf: Vec::new(),
             pending: 0,
+            poisoned: false,
+            stats,
         })
     }
 
-    /// Resumes appending after [`read_log`]: truncates the torn tail of
-    /// the active segment (if any), removes any unreachable later
-    /// segments, and continues at `tail.next_seq`.
+    /// Resumes appending after [`read_log`] on the production
+    /// [`StdVfs`]: truncates the torn tail of the active segment (if
+    /// any), removes any unreachable later segments, and continues at
+    /// `tail.next_seq`.
     ///
     /// `min_next_seq` guards the case where every segment was pruned
     /// after a checkpoint: when the directory is empty the writer starts
@@ -293,49 +474,92 @@ impl WalWriter {
         tail: &TailPosition,
         min_next_seq: u64,
     ) -> io::Result<Self> {
-        fs::create_dir_all(dir)?;
+        Self::resume_in(
+            Arc::new(StdVfs),
+            Arc::new(SystemClock),
+            dir,
+            config,
+            tail,
+            min_next_seq,
+        )
+    }
+
+    /// [`resume`](Self::resume) through an explicit [`Vfs`] and
+    /// [`Clock`].
+    pub fn resume_in(
+        vfs: Arc<dyn Vfs>,
+        clock: Arc<dyn Clock>,
+        dir: &Path,
+        config: DurabilityConfig,
+        tail: &TailPosition,
+        min_next_seq: u64,
+    ) -> io::Result<Self> {
+        vfs.create_dir_all(dir)?;
         let Some((path, valid_len)) = &tail.active_segment else {
-            return Self::create(dir, config, tail.next_seq.max(min_next_seq));
+            return Self::create_in(vfs, clock, dir, config, tail.next_seq.max(min_next_seq));
         };
         // Segments past the active one are unreachable (their records
         // sit beyond a torn or corrupt region): remove them so rotation
         // cannot collide with a stale file.
-        for (first_seq, other) in list_segments(dir)? {
+        for (first_seq, other) in list_segments(vfs.as_ref(), dir)? {
             if first_seq >= tail.next_seq && other != *path {
-                fs::remove_file(&other)?;
+                vfs.remove_file(&other)?;
             }
         }
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut file = vfs.open_rw(path)?;
         file.set_len(*valid_len)?;
-        let mut file = file;
-        file.seek(SeekFrom::End(0))?;
+        file.seek_end()?;
         if config.fsync {
             file.sync_data()?;
         }
         Ok(WalWriter {
             dir: dir.to_path_buf(),
             config,
+            vfs,
+            clock,
             file,
+            path: path.clone(),
+            committed_len: *valid_len,
             segment_len: *valid_len,
             next_seq: tail.next_seq,
             buf: Vec::new(),
             pending: 0,
+            poisoned: false,
+            stats: WalStats::default(),
         })
     }
 
-    fn new_segment(dir: &Path, first_seq: u64) -> io::Result<(File, u64)> {
+    /// Creates the next segment file and writes its header, retrying
+    /// transient failures by re-creating (which truncates any torn
+    /// header bytes).  Returns the retry rounds taken alongside the
+    /// handle so the caller can fold them into its stats.
+    fn new_segment(
+        vfs: &dyn Vfs,
+        clock: &dyn Clock,
+        config: &DurabilityConfig,
+        dir: &Path,
+        first_seq: u64,
+    ) -> io::Result<(Box<dyn VfsFile>, PathBuf, u64, u64)> {
         let path = dir.join(segment_file_name(first_seq));
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
         let mut header = Vec::with_capacity(SEGMENT_HEADER_LEN as usize);
         header.extend_from_slice(SEGMENT_MAGIC);
         header.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
         header.extend_from_slice(&first_seq.to_le_bytes());
-        file.write_all(&header)?;
-        Ok((file, SEGMENT_HEADER_LEN))
+        let mut attempt = 0u32;
+        loop {
+            let attempted = vfs.create(&path).and_then(|mut file| {
+                file.write_all(&header)?;
+                Ok(file)
+            });
+            match attempted {
+                Ok(file) => return Ok((file, path, SEGMENT_HEADER_LEN, u64::from(attempt))),
+                Err(err) if is_transient(&err) && config.retry.should_retry(attempt) => {
+                    clock.sleep(config.retry.delay_for(attempt, first_seq));
+                    attempt += 1;
+                }
+                Err(err) => return Err(err),
+            }
+        }
     }
 
     /// The sequence number the next [`append`](WalWriter::append) will
@@ -349,6 +573,23 @@ impl WalWriter {
         &self.dir
     }
 
+    /// This writer's health counters.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// Whether a fatal commit failure has poisoned this writer (every
+    /// later append or commit fails fast until it is replaced).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn poisoned_err() -> io::Error {
+        io::Error::other(
+            "write-ahead log writer is poisoned by an earlier unrecoverable commit failure",
+        )
+    }
+
     /// Appends one record, returning its sequence number.  The record
     /// may still be buffered when this returns; it is on disk once the
     /// group-commit batch fills or [`commit`](WalWriter::commit) runs.
@@ -357,6 +598,9 @@ impl WalWriter {
             payload.len() as u64 <= MAX_RECORD_LEN as u64,
             "WAL record payload exceeds MAX_RECORD_LEN"
         );
+        if self.poisoned {
+            return Err(Self::poisoned_err());
+        }
         if let Some(limit) = self.config.rotate_at() {
             if self.segment_len >= limit {
                 self.rotate()?;
@@ -368,24 +612,113 @@ impl WalWriter {
         encode_record(&mut self.buf, seq, payload);
         self.segment_len += (self.buf.len() - before) as u64;
         self.pending += 1;
+        self.stats.appends += 1;
         if self.pending >= self.config.batch() {
             self.commit()?;
         }
         Ok(seq)
     }
 
-    /// Flushes every buffered append to the file and (if
-    /// [`DurabilityConfig::fsync`]) to disk: the group-commit point.
-    pub fn commit(&mut self) -> io::Result<()> {
-        if !self.buf.is_empty() {
-            self.file.write_all(&self.buf)?;
-            self.buf.clear();
-            if self.config.fsync {
-                self.file.sync_data()?;
+    /// One flush attempt: write the buffered bytes, then (if configured)
+    /// sync.  On failure reports which stage died — the caller recovers
+    /// by reopen-and-rewrite, never by repeating the failed call.
+    fn try_flush(&mut self) -> Result<(), (FlushStage, io::Error)> {
+        self.file
+            .write_all(&self.buf)
+            .map_err(|err| (FlushStage::Write, err))?;
+        if self.config.fsync {
+            match self.file.sync_data() {
+                Ok(()) => self.stats.fsyncs += 1,
+                Err(err) => {
+                    self.stats.fsync_failures += 1;
+                    return Err((FlushStage::Sync, err));
+                }
             }
         }
-        self.pending = 0;
         Ok(())
+    }
+
+    /// Reopens the current segment, truncates it back to the committed
+    /// length and positions at its end — the only sound way to retry
+    /// after a torn write or a failed fsync (whose unsynced pages may be
+    /// gone for good).
+    fn reopen_segment(&mut self) -> io::Result<()> {
+        let mut file = self.vfs.open_rw(&self.path)?;
+        file.set_len(self.committed_len)?;
+        file.seek_end()?;
+        self.file = file;
+        self.stats.segment_recoveries += 1;
+        Ok(())
+    }
+
+    /// Flushes every buffered append to the file and (if
+    /// [`DurabilityConfig::fsync`]) to disk: the group-commit point.
+    ///
+    /// Transient failures are retried under the configured
+    /// [`RetryPolicy`](crate::retry::RetryPolicy), each round truncating back to the committed
+    /// offset and rewriting the whole buffer.  A failure that exhausts
+    /// the budget (or is final to begin with, like `ENOSPC`) poisons the
+    /// writer and returns the error; the buffered records are dropped so
+    /// an operation the caller rejected can never resurface on replay.
+    pub fn commit(&mut self) -> io::Result<()> {
+        if self.poisoned {
+            return Err(Self::poisoned_err());
+        }
+        if self.buf.is_empty() {
+            self.pending = 0;
+            return Ok(());
+        }
+        let policy = self.config.retry;
+        let mut attempt = 0u32;
+        loop {
+            let (stage, err) = match self.try_flush() {
+                Ok(()) => {
+                    self.committed_len += self.buf.len() as u64;
+                    debug_assert_eq!(self.committed_len, self.segment_len);
+                    self.buf.clear();
+                    self.stats.commits += 1;
+                    self.stats.records_committed += self.pending as u64;
+                    self.stats.max_commit_records =
+                        self.stats.max_commit_records.max(self.pending as u64);
+                    self.pending = 0;
+                    return Ok(());
+                }
+                Err(failure) => failure,
+            };
+            // A failed *write* left the file in an unknown state only if
+            // it was transient/torn; `ENOSPC` and hard errors are final.
+            // A failed *sync* is always recoverable-by-rewrite (the data
+            // may be dropped, but the bytes are still in `buf`) — what
+            // is never sound is re-issuing the same fsync.
+            let recoverable = match stage {
+                FlushStage::Write => is_transient(&err),
+                FlushStage::Sync => true,
+            };
+            if recoverable && policy.should_retry(attempt) {
+                self.stats.retries += 1;
+                self.clock.sleep(policy.delay_for(attempt, self.next_seq));
+                attempt += 1;
+                match self.reopen_segment() {
+                    Ok(()) => continue,
+                    Err(reopen_err) => return self.poison(reopen_err),
+                }
+            }
+            return self.poison(err);
+        }
+    }
+
+    /// Fatal-failure path: best-effort truncation of any torn bytes (so
+    /// a record the caller is about to reject cannot survive on disk),
+    /// then drop the buffer and fail fast forever after.
+    fn poison(&mut self, err: io::Error) -> io::Result<()> {
+        if let Ok(mut file) = self.vfs.open_rw(&self.path) {
+            let _ = file.set_len(self.committed_len);
+        }
+        self.segment_len = self.committed_len;
+        self.buf.clear();
+        self.pending = 0;
+        self.poisoned = true;
+        Err(err)
     }
 
     /// Closes the current segment and starts the next one at the current
@@ -395,8 +728,17 @@ impl WalWriter {
     /// eligible for [`prune_segments`].
     pub fn rotate(&mut self) -> io::Result<()> {
         self.commit()?;
-        let (file, segment_len) = Self::new_segment(&self.dir, self.next_seq)?;
+        let (file, path, segment_len, retries) = Self::new_segment(
+            self.vfs.as_ref(),
+            self.clock.as_ref(),
+            &self.config,
+            &self.dir,
+            self.next_seq,
+        )?;
+        self.stats.retries += retries;
         self.file = file;
+        self.path = path;
+        self.committed_len = segment_len;
         self.segment_len = segment_len;
         Ok(())
     }
@@ -405,13 +747,18 @@ impl WalWriter {
 impl Drop for WalWriter {
     fn drop(&mut self) {
         // Best-effort final flush; explicit `commit` is the durable path.
-        let _ = self.commit();
+        if !self.poisoned {
+            let _ = self.commit();
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::retry::{InstantClock, RetryPolicy};
+    use crate::vfs::{FaultSchedule, FaultVfs};
+    use std::fs;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("fdc_wal_test_{tag}_{}", std::process::id()));
@@ -440,6 +787,8 @@ mod tests {
         assert_eq!(log.records[4].seq, 5);
         assert_eq!(log.records[4].payload, vec![4u8; 3]);
         assert_eq!(log.tail.next_seq, 11);
+        assert_eq!(log.discarded_bytes, 0, "a clean log discards nothing");
+        assert_eq!(log.discarded_records, 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -463,6 +812,11 @@ mod tests {
         writer.append(b"e").unwrap();
         writer.commit().unwrap();
         assert_eq!(read_log(&dir).unwrap().records.len(), 5);
+        let stats = writer.stats();
+        assert_eq!(stats.appends, 5);
+        assert_eq!(stats.commits, 2);
+        assert_eq!(stats.records_committed, 5);
+        assert_eq!(stats.max_commit_records, 4);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -473,13 +827,14 @@ mod tests {
             group_commit: 1,
             segment_bytes: 64,
             fsync: false,
+            ..DurabilityConfig::default()
         };
         let mut writer = WalWriter::create(&dir, config, 1).unwrap();
         for i in 0..20u64 {
             writer.append(&i.to_le_bytes()).unwrap();
         }
         writer.commit().unwrap();
-        assert!(list_segments(&dir).unwrap().len() > 1);
+        assert!(list_segments(&StdVfs, &dir).unwrap().len() > 1);
         let log = read_log(&dir).unwrap();
         assert_eq!(log.records.len(), 20);
         assert_eq!(log.tail.next_seq, 21);
@@ -503,12 +858,15 @@ mod tests {
             let complete = (cut - SEGMENT_HEADER_LEN as usize) / (RECORD_HEADER_LEN + 7);
             assert_eq!(log.records.len(), complete, "cut at byte {cut}");
             assert_eq!(log.tail.next_seq, complete as u64 + 1);
+            let valid = SEGMENT_HEADER_LEN + (complete * (RECORD_HEADER_LEN + 7)) as u64;
+            assert_eq!(log.discarded_bytes, cut as u64 - valid, "cut at byte {cut}");
+            assert_eq!(log.discarded_records, u64::from(cut as u64 != valid));
         }
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn corrupt_record_stops_the_scan() {
+    fn corrupt_record_stops_the_scan_and_counts_the_residue() {
         let dir = temp_dir("corrupt");
         let mut writer = WalWriter::create(&dir, no_fsync(), 1).unwrap();
         for i in 0..4u8 {
@@ -526,6 +884,9 @@ mod tests {
         let log = read_log(&dir).unwrap();
         assert_eq!(log.records.len(), 2);
         assert_eq!(log.tail.next_seq, 3);
+        // The corrupt record and the (unreachable) intact one after it.
+        assert_eq!(log.discarded_bytes, 2 * record_len as u64);
+        assert_eq!(log.discarded_records, 2);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -570,13 +931,14 @@ mod tests {
             group_commit: 1,
             segment_bytes: 48,
             fsync: false,
+            ..DurabilityConfig::default()
         };
         let mut writer = WalWriter::create(&dir, config, 1).unwrap();
         for i in 0..12u64 {
             writer.append(&i.to_le_bytes()).unwrap();
         }
         writer.commit().unwrap();
-        let before = list_segments(&dir).unwrap();
+        let before = list_segments(&StdVfs, &dir).unwrap();
         assert!(before.len() >= 3);
         // A checkpoint at the last record covers every non-final segment.
         let removed = prune_segments(&dir, 12).unwrap();
@@ -593,6 +955,191 @@ mod tests {
         let dir = temp_dir("wrong_dir");
         fs::write(dir.join(segment_file_name(1)), b"not a wal segment at all").unwrap();
         assert!(read_log(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A writer over a `FaultVfs` with instant backoff, for fault
+    /// tests.  The segment is created under a quiet schedule; the real
+    /// one is armed only once the writer exists, so each test exercises
+    /// exactly the append/commit path it means to.
+    fn fault_writer(
+        dir: &Path,
+        config: DurabilityConfig,
+        schedule: FaultSchedule,
+    ) -> (WalWriter, FaultVfs, Arc<InstantClock>) {
+        let vfs = FaultVfs::over_std(FaultSchedule::quiet(schedule.seed));
+        let clock = Arc::new(InstantClock::new());
+        let writer =
+            WalWriter::create_in(Arc::new(vfs.clone()), clock.clone(), dir, config, 1).unwrap();
+        vfs.set_schedule(schedule);
+        (writer, vfs, clock)
+    }
+
+    #[test]
+    fn transient_write_errors_are_retried_to_success() {
+        let dir = temp_dir("retry_transient");
+        let config = DurabilityConfig {
+            group_commit: 1,
+            fsync: false,
+            ..DurabilityConfig::default()
+        };
+        let schedule = FaultSchedule {
+            seed: 77,
+            write_transient_per_mille: 300,
+            ..FaultSchedule::default()
+        };
+        let (mut writer, vfs, clock) = fault_writer(&dir, config, schedule);
+        for i in 0..200u64 {
+            writer.append(&i.to_le_bytes()).unwrap();
+        }
+        writer.commit().unwrap();
+        let stats = writer.stats();
+        assert!(stats.retries > 0, "the schedule must have forced retries");
+        assert_eq!(stats.retries, clock.sleep_count(), "each retry backs off");
+        assert!(vfs.counters().transient_writes > 0);
+        drop(writer);
+        let log = read_log(&dir).unwrap();
+        assert_eq!(log.records.len(), 200, "every committed record survives");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_writes_recover_by_truncate_and_rewrite() {
+        let dir = temp_dir("retry_torn");
+        let config = DurabilityConfig {
+            group_commit: 4,
+            fsync: false,
+            ..DurabilityConfig::default()
+        };
+        let schedule = FaultSchedule {
+            seed: 1234,
+            torn_write_per_mille: 250,
+            ..FaultSchedule::default()
+        };
+        let (mut writer, vfs, _clock) = fault_writer(&dir, config, schedule);
+        for i in 0..200u64 {
+            writer.append(&i.to_le_bytes()).unwrap();
+        }
+        writer.commit().unwrap();
+        assert!(vfs.counters().torn_writes > 0);
+        assert!(writer.stats().segment_recoveries > 0);
+        drop(writer);
+        let log = read_log(&dir).unwrap();
+        assert_eq!(log.records.len(), 200);
+        for (i, record) in log.records.iter().enumerate() {
+            assert_eq!(record.payload, (i as u64).to_le_bytes());
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_failures_recover_by_rewrite_not_refsync() {
+        let dir = temp_dir("retry_fsync");
+        let config = DurabilityConfig {
+            group_commit: 1,
+            fsync: true,
+            ..DurabilityConfig::default()
+        };
+        let schedule = FaultSchedule {
+            seed: 99,
+            fsync_failure_per_mille: 250,
+            ..FaultSchedule::default()
+        };
+        let (mut writer, vfs, _clock) = fault_writer(&dir, config, schedule);
+        for i in 0..100u64 {
+            writer.append(&i.to_le_bytes()).unwrap();
+        }
+        writer.commit().unwrap();
+        let stats = writer.stats();
+        assert!(stats.fsync_failures > 0, "the schedule must hit fsyncs");
+        assert_eq!(stats.fsync_failures, vfs.counters().fsync_failures);
+        assert!(
+            stats.segment_recoveries >= stats.fsync_failures,
+            "every failed fsync must reopen-and-rewrite, never re-fsync"
+        );
+        drop(writer);
+        let log = read_log(&dir).unwrap();
+        assert_eq!(
+            log.records.len(),
+            100,
+            "fsyncgate loses no committed record"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dead_disk_poisons_the_writer_and_sheds_the_buffer() {
+        let dir = temp_dir("dead_disk");
+        let config = DurabilityConfig {
+            group_commit: 1,
+            fsync: false,
+            ..DurabilityConfig::default()
+        };
+        let (mut writer, vfs, _clock) = fault_writer(&dir, config, FaultSchedule::quiet(1));
+        writer.append(b"acked").unwrap();
+        writer.commit().unwrap();
+        vfs.fail_permanently();
+        let err = writer.append(b"doomed").unwrap_err();
+        assert!(err.to_string().contains("injected permanent disk failure"));
+        assert!(writer.is_poisoned());
+        // Poisoned: even after the disk heals, this writer refuses.
+        vfs.heal();
+        assert!(writer.append(b"late").is_err());
+        assert!(writer.commit().is_err());
+        drop(writer);
+        // Only the acknowledged record survives; the rejected one can
+        // never resurface on replay.
+        let log = read_log(&dir).unwrap();
+        assert_eq!(log.records.len(), 1);
+        assert_eq!(log.records[0].payload, b"acked");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_is_final_not_retried() {
+        let dir = temp_dir("enospc_final");
+        let config = DurabilityConfig {
+            group_commit: 1,
+            fsync: false,
+            ..DurabilityConfig::default()
+        };
+        let schedule = FaultSchedule {
+            seed: 6,
+            enospc_per_mille: 1000,
+            ..FaultSchedule::default()
+        };
+        let (mut writer, _vfs, clock) = fault_writer(&dir, config, schedule);
+        let err = writer.append(b"wont fit").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(clock.sleep_count(), 0, "ENOSPC must not back off and retry");
+        assert!(writer.is_poisoned());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn exhausted_retries_poison_with_bounded_backoff() {
+        let dir = temp_dir("exhausted");
+        let retry = RetryPolicy {
+            max_retries: 3,
+            base_delay_micros: 100,
+            max_delay_micros: 1_000,
+            jitter_seed: 5,
+        };
+        let config = DurabilityConfig {
+            group_commit: 1,
+            fsync: false,
+            retry,
+            ..DurabilityConfig::default()
+        };
+        let schedule = FaultSchedule {
+            seed: 21,
+            write_transient_per_mille: 1000,
+            ..FaultSchedule::default()
+        };
+        let (mut writer, _vfs, clock) = fault_writer(&dir, config, schedule);
+        assert!(writer.append(b"never lands").is_err());
+        assert_eq!(clock.sleep_count(), 3, "exactly max_retries backoffs");
+        assert!(writer.is_poisoned());
         fs::remove_dir_all(&dir).unwrap();
     }
 }

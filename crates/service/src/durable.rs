@@ -32,11 +32,14 @@
 //! changes nothing — logging before validation is safe.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use fdc_cq::{wire, Catalog, ConjunctiveQuery};
 use fdc_durability::codec::{put_str, put_u32, put_u8, CodecError, Cursor};
-use fdc_durability::WalWriter;
+use fdc_durability::{Clock, Vfs, WalStats, WalWriter};
 use fdc_policy::{PrincipalId, SecurityPolicy};
+
+use crate::health::{DegradedMode, ServiceMode};
 
 /// WAL record tag: principal registration.
 const TAG_REGISTER: u8 = 1;
@@ -228,9 +231,10 @@ pub(crate) fn validate_query(
 }
 
 /// What [`open_durable`](crate::DisclosureService::open_durable) did to
-/// bring the service back: which checkpoint seeded the state, and how
-/// much WAL tail was replayed on top of it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// bring the service back: which checkpoint seeded the state, how much
+/// WAL tail was replayed on top of it, and what the recovery scan left
+/// behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RecoveryReport {
     /// Sequence number of the checkpoint the state was loaded from
     /// (`0` when no checkpoint existed and the state was rebuilt from
@@ -242,14 +246,73 @@ pub struct RecoveryReport {
     /// when the tail was empty).  The next logged operation carries
     /// `last_seq + 1`.
     pub last_seq: u64,
+    /// Bytes past the log's valid prefix that recovery discarded: the
+    /// torn tail of the active segment (the crash landed mid-record)
+    /// plus any unreachable later segments.  `0` when the log was
+    /// cleanly closed.
+    pub discarded_bytes: u64,
+    /// Residual record frames inside those discarded bytes — a lower
+    /// bound on the operations whose records never fully reached disk
+    /// (by the write-ahead contract, operations that were never
+    /// acknowledged).
+    pub discarded_records: u64,
+    /// Orphaned checkpoint temporaries (`ckpt-*.tmp`, stranded by a
+    /// crash between temp write and rename) swept on open.
+    pub temps_swept: u64,
 }
 
 /// The service's handle on its durable home: the appending side of the
-/// WAL plus the directory checkpoints land in.
+/// WAL (absent while serving degraded), the directory checkpoints land
+/// in, the storage/clock the plane runs on, and the health bookkeeping
+/// behind [`DurabilityHealth`](crate::DurabilityHealth).
 #[derive(Debug)]
 pub(crate) struct DurableState {
-    pub(crate) writer: WalWriter,
+    /// The live WAL writer, or `None` while degraded (the dead writer's
+    /// counters are folded into `wal_base` when it is dropped).
+    pub(crate) writer: Option<WalWriter>,
     pub(crate) dir: PathBuf,
+    /// The filesystem the durable plane runs on — [`fdc_durability::StdVfs`]
+    /// in production, a fault injector in the robustness suites.
+    pub(crate) vfs: Arc<dyn Vfs>,
+    /// Paces commit-retry backoff; injectable so fault tests run instantly.
+    pub(crate) clock: Arc<dyn Clock>,
+    /// WAL counters carried over from writers dropped on degradation.
+    pub(crate) wal_base: WalStats,
+    pub(crate) mode: ServiceMode,
+    pub(crate) mode_transitions: u64,
+    pub(crate) checkpoints: u64,
+    pub(crate) checkpoint_failures: u64,
+    pub(crate) last_checkpoint_seq: u64,
+    /// Sequence number of the last *durably committed* record.  Lags
+    /// `writer.next_seq() - 1` only transiently inside a failing batch;
+    /// while degraded it is the frozen durable horizon checkpoints are
+    /// taken at.
+    pub(crate) last_seq: u64,
+    /// What recovery found when this service was opened.
+    pub(crate) report: RecoveryReport,
+}
+
+impl DurableState {
+    /// Lifetime WAL counters: the folded base plus the live writer's.
+    pub(crate) fn wal_stats(&self) -> WalStats {
+        let mut total = self.wal_base;
+        if let Some(writer) = &self.writer {
+            total.absorb(writer.stats());
+        }
+        total
+    }
+
+    /// Drops the (dead) writer, folds its counters into the base, and
+    /// enters degraded read-only serving.  Idempotent.
+    pub(crate) fn degrade(&mut self) {
+        if let Some(writer) = self.writer.take() {
+            self.wal_base.absorb(writer.stats());
+        }
+        if self.mode == ServiceMode::Healthy {
+            self.mode = ServiceMode::Degraded(DegradedMode::ReadOnly);
+            self.mode_transitions += 1;
+        }
+    }
 }
 
 #[cfg(test)]

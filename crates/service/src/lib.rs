@@ -33,12 +33,16 @@
 #![warn(missing_docs)]
 
 pub mod durable;
+pub mod health;
+pub mod maintenance;
 pub mod ops;
 pub mod service;
 pub mod snapshot;
 
 pub use durable::{RecoveryReport, WalOp};
 pub use fdc_durability::DurabilityConfig;
+pub use health::{DegradedMode, DurabilityHealth, ServiceMode};
+pub use maintenance::BackgroundCheckpointer;
 pub use ops::{Operation, Response, ServiceError};
 pub use service::{DisclosureService, InvalidationMode, ServiceConfig, ServiceStats};
 pub use snapshot::ServiceSnapshot;

@@ -157,6 +157,12 @@ pub enum ServiceError {
     /// Auditing is disabled (the service was configured with a zero
     /// observed-workload history).
     AuditingDisabled,
+    /// The durable service is serving in degraded (read-only) mode: its
+    /// write-ahead log failed permanently, so state-changing operations
+    /// are refused until a checkpoint lands on recovered storage and
+    /// promotes the service back to healthy.  Admissions keep serving
+    /// from memory.
+    DurabilityUnavailable,
 }
 
 impl fmt::Display for ServiceError {
@@ -174,6 +180,12 @@ impl fmt::Display for ServiceError {
             ServiceError::InvalidView(err) => write!(f, "invalid security view: {err}"),
             ServiceError::AuditingDisabled => {
                 write!(f, "auditing is disabled (history_cap is 0)")
+            }
+            ServiceError::DurabilityUnavailable => {
+                write!(
+                    f,
+                    "the write-ahead log is unavailable; the service is serving read-only"
+                )
             }
         }
     }
@@ -253,6 +265,9 @@ mod tests {
         assert!(ServiceError::AuditingDisabled
             .to_string()
             .contains("history_cap"));
+        assert!(ServiceError::DurabilityUnavailable
+            .to_string()
+            .contains("read-only"));
     }
 
     #[test]

@@ -14,8 +14,9 @@ use fdc_cq::intern::{QueryId, QueryInterner};
 use fdc_cq::{ConjunctiveQuery, RelId};
 use fdc_durability::codec::{put_len, CodecError, Cursor};
 use fdc_durability::{
-    checkpoint_seqs, latest_checkpoint, prune_checkpoints, prune_segments, read_log,
-    write_checkpoint, DurabilityConfig, WalWriter,
+    checkpoint_seqs_in, latest_checkpoint_in, prune_checkpoints_in, prune_segments_in, read_log_in,
+    sweep_stale_temps_in, write_checkpoint_in, Clock, DurabilityConfig, StdVfs, SystemClock, Vfs,
+    WalStats, WalWriter,
 };
 use fdc_policy::{
     audit_app, requested_views, AuditReport, Decision, PrincipalId, SecurityPolicy,
@@ -23,6 +24,7 @@ use fdc_policy::{
 };
 
 use crate::durable::{self, DurableState, RecoveryReport, WalOp};
+use crate::health::{DurabilityHealth, ServiceMode};
 use crate::ops::{Operation, Response, ServiceError};
 use crate::snapshot::ServiceSnapshot;
 
@@ -104,6 +106,9 @@ pub struct ServiceStats {
     pub flushes: u64,
     /// Audits served.
     pub audits: u64,
+    /// Durability health (WAL, checkpoint and serving-mode counters).
+    /// All zeros on in-memory services.
+    pub durability: DurabilityHealth,
 }
 
 /// The single front door of the disclosure-control system.
@@ -222,18 +227,38 @@ impl DisclosureService {
     /// # Panics
     ///
     /// Panics if the policy has more than [`MAX_PARTITIONS`] partitions,
-    /// or (on a durable service) if the write-ahead log cannot be
-    /// written.
+    /// or if a durable service cannot log the registration (it is
+    /// serving degraded, or the log failed on this very record — see
+    /// [`try_register_principal`](Self::try_register_principal) for the
+    /// non-panicking form).
     pub fn register_principal(&mut self, policy: SecurityPolicy) -> PrincipalId {
+        self.try_register_principal(policy)
+            .unwrap_or_else(|err| panic!("principal registration failed: {err}"))
+    }
+
+    /// [`register_principal`](Self::register_principal), answering
+    /// degraded-mode refusals as
+    /// [`ServiceError::DurabilityUnavailable`] instead of panicking.
+    /// Registration is a mutation: a durable service must not
+    /// acknowledge one it cannot make durable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy has more than [`MAX_PARTITIONS`] partitions.
+    pub fn try_register_principal(
+        &mut self,
+        policy: SecurityPolicy,
+    ) -> Result<PrincipalId, ServiceError> {
+        self.guard_mutation()?;
         // An over-wide policy panics in the store below *without* having
         // been logged: a record for an operation that never applied must
         // not reach the log.
         if self.durable.is_some() && policy.len() <= MAX_PARTITIONS {
             let mut payload = Vec::new();
             durable::encode_register(&policy, &mut payload);
-            self.log_now(&payload);
+            self.log_now(&payload)?;
         }
-        self.register_principal_unlogged(policy)
+        Ok(self.register_principal_unlogged(policy))
     }
 
     /// [`register_principal`](Self::register_principal) without the WAL
@@ -282,9 +307,71 @@ impl DisclosureService {
         self.config
     }
 
-    /// Service-level operation counters.
+    /// Service-level operation counters, including the durability
+    /// health block (all zeros on in-memory services).
     pub fn stats(&self) -> ServiceStats {
-        self.stats
+        ServiceStats {
+            durability: self.durability_health(),
+            ..self.stats
+        }
+    }
+
+    /// The current serving mode.  In-memory services are always
+    /// [`ServiceMode::Healthy`]; a durable service degrades to
+    /// read-only serving when its write-ahead log fails permanently and
+    /// is promoted back by a successful
+    /// [`checkpoint`](Self::checkpoint).
+    pub fn mode(&self) -> ServiceMode {
+        self.durable
+            .as_ref()
+            .map_or(ServiceMode::Healthy, |durable| durable.mode)
+    }
+
+    /// True when the service is serving degraded (mutations refused,
+    /// admissions from memory).
+    pub fn is_degraded(&self) -> bool {
+        matches!(self.mode(), ServiceMode::Degraded(_))
+    }
+
+    /// What recovery found when this service was opened with
+    /// [`open_durable`](Self::open_durable); `None` on in-memory
+    /// services.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.durable.as_ref().map(|durable| durable.report)
+    }
+
+    /// The durability health block of [`stats`](Self::stats).
+    fn durability_health(&self) -> DurabilityHealth {
+        let Some(durable) = &self.durable else {
+            return DurabilityHealth::default();
+        };
+        let wal = durable.wal_stats();
+        DurabilityHealth {
+            wal_appends: wal.appends,
+            wal_commits: wal.commits,
+            wal_fsyncs: wal.fsyncs,
+            wal_fsync_failures: wal.fsync_failures,
+            wal_retries: wal.retries,
+            wal_segment_recoveries: wal.segment_recoveries,
+            wal_records_committed: wal.records_committed,
+            wal_max_commit_records: wal.max_commit_records,
+            mode_transitions: durable.mode_transitions,
+            checkpoints: durable.checkpoints,
+            checkpoint_failures: durable.checkpoint_failures,
+            last_checkpoint_seq: durable.last_checkpoint_seq,
+            log_since_checkpoint: durable.last_seq.saturating_sub(durable.last_checkpoint_seq),
+        }
+    }
+
+    /// The typed refusal every state-changing entry point leads with on
+    /// a degraded service: a durable service must never acknowledge a
+    /// mutation it cannot make durable.
+    fn guard_mutation(&self) -> Result<(), ServiceError> {
+        if self.is_degraded() {
+            Err(ServiceError::DurabilityUnavailable)
+        } else {
+            Ok(())
+        }
     }
 
     /// Number of registered principals.
@@ -363,22 +450,33 @@ impl DisclosureService {
     /// log through [`log_operations`](Self::log_operations) instead,
     /// which commits once per batch (group commit).
     ///
-    /// # Panics
-    ///
-    /// Panics if the log cannot be written: a durable service that
-    /// cannot log an operation must not apply it, so WAL I/O failure is
-    /// fail-stop — the on-disk log stays a consistent prefix of the
-    /// applied operation stream, and a restart recovers it.
-    fn log_now(&mut self, payload: &[u8]) {
+    /// A commit failure past the writer's retry budget does **not**
+    /// panic: the record is dropped (the poisoned writer sheds its
+    /// buffer and truncates torn bytes), the service degrades to
+    /// read-only serving, and the caller gets
+    /// [`ServiceError::DurabilityUnavailable`] to decide with —
+    /// mutations refuse, admissions keep serving from memory.
+    fn log_now(&mut self, payload: &[u8]) -> Result<(), ServiceError> {
         let durable = self
             .durable
             .as_mut()
             .expect("log_now is only called on durable services");
-        durable
-            .writer
+        let Some(writer) = durable.writer.as_mut() else {
+            return Err(ServiceError::DurabilityUnavailable);
+        };
+        match writer
             .append(payload)
-            .and_then(|_| durable.writer.commit())
-            .unwrap_or_else(|err| panic!("write-ahead log append failed: {err}"));
+            .and_then(|seq| writer.commit().map(|()| seq))
+        {
+            Ok(seq) => {
+                durable.last_seq = seq;
+                Ok(())
+            }
+            Err(_) => {
+                durable.degrade();
+                Err(ServiceError::DurabilityUnavailable)
+            }
+        }
     }
 
     /// Logs every state-changing operation of a batch up front, with one
@@ -387,36 +485,97 @@ impl DisclosureService {
     /// [`run_pipelined`](Self::run_pipelined).  Logging the batch before
     /// executing any of it preserves the write-ahead invariant: the
     /// log's readable prefix is always a prefix of the applied operation
-    /// stream (here the whole batch is ahead of all of it).  A no-op on
-    /// non-durable services.
+    /// stream (here the whole batch is ahead of all of it).
     ///
-    /// # Panics
-    ///
-    /// Panics if the log cannot be written (see
-    /// [`log_now`](Self::log_now)).
-    fn log_operations(&mut self, ops: &[Operation]) {
-        let Some(durable) = self.durable.as_mut() else {
-            return;
-        };
+    /// Returns `None` when the batch is unrestricted (fully logged, or
+    /// the service is non-durable), and `Some(k)` when the log failed
+    /// with only the first `k` loggable records of this batch durable —
+    /// the service is degraded on return, and the executor must refuse
+    /// every mutation past that durable prefix
+    /// ([`batch_coverage`](Self::batch_coverage)).  `Some(0)` is also
+    /// the already-degraded answer: nothing of the batch is durable.
+    fn log_operations(&mut self, ops: &[Operation]) -> Option<usize> {
+        let durable = self.durable.as_mut()?;
+        if durable.writer.is_none() {
+            return Some(0);
+        }
         let interner = &self.interner;
         let mut payload = Vec::new();
-        let mut logged = false;
-        for op in ops {
-            payload.clear();
-            if encode_loggable(op, interner, &mut payload) {
-                durable
-                    .writer
-                    .append(&payload)
-                    .unwrap_or_else(|err| panic!("write-ahead log append failed: {err}"));
-                logged = true;
+        let (base_committed, mut failed, logged) = {
+            let writer = durable.writer.as_mut().expect("checked above");
+            let base = writer.stats().records_committed;
+            let mut failed = false;
+            let mut logged = false;
+            for op in ops {
+                payload.clear();
+                if encode_loggable(op, interner, &mut payload) {
+                    match writer.append(&payload) {
+                        Ok(_) => logged = true,
+                        Err(_) => {
+                            failed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            (base, failed, logged)
+        };
+        if !failed && logged {
+            let writer = durable.writer.as_mut().expect("checked above");
+            failed = writer.commit().is_err();
+        }
+        if failed {
+            // Group commits are all-or-nothing, so the committed-record
+            // delta is exactly how many of this batch's records made it
+            // to disk before the failure.  Those operations will replay;
+            // everything after must not be acknowledged as applied.
+            let durable_now = {
+                let writer = durable.writer.as_ref().expect("still present on failure");
+                (writer.stats().records_committed - base_committed) as usize
+            };
+            durable.last_seq += durable_now as u64;
+            durable.degrade();
+            Some(durable_now)
+        } else {
+            if let Some(writer) = durable.writer.as_ref() {
+                durable.last_seq = writer.next_seq().saturating_sub(1);
+            }
+            None
+        }
+    }
+
+    /// Expands [`log_operations`](Self::log_operations)' durable-prefix
+    /// answer into per-op coverage: `covered[i]` is true when op `i` may
+    /// execute normally, false when it is a mutation whose WAL record is
+    /// not durable and must be refused.  `None` means unrestricted.
+    fn batch_coverage(
+        &self,
+        ops: &[Operation],
+        durable_prefix: Option<usize>,
+    ) -> Option<Vec<bool>> {
+        let cut = durable_prefix?;
+        let mut covered = vec![true; ops.len()];
+        let mut ordinal = 0usize;
+        for (i, op) in ops.iter().enumerate() {
+            if is_loggable(op, &self.interner) {
+                covered[i] = ordinal < cut;
+                ordinal += 1;
             }
         }
-        if logged {
-            durable
-                .writer
-                .commit()
-                .unwrap_or_else(|err| panic!("write-ahead log commit failed: {err}"));
+        Some(covered)
+    }
+
+    /// Applies one op of a pre-logged batch under its coverage verdict:
+    /// an uncovered mutation answers
+    /// [`ServiceError::DurabilityUnavailable`] without touching state
+    /// (its record never reached disk), everything else — admissions,
+    /// checks, audits, and mutations whose records *are* durable —
+    /// executes normally.
+    fn apply_covered(&mut self, op: &Operation, covered: bool) -> Response {
+        if !covered && op.is_mutation() {
+            return Response::Rejected(ServiceError::DurabilityUnavailable);
         }
+        self.apply_unlogged(op)
     }
 
     /// Flushes the label cache if the service runs in
@@ -433,19 +592,22 @@ impl DisclosureService {
 
     /// Admits (and commits) one query on behalf of a principal.
     ///
-    /// # Panics
-    ///
-    /// On a durable service, panics if the write-ahead log cannot be
-    /// written (see [`open_durable`](Self::open_durable)).
+    /// On a degraded durable service the submission is served from
+    /// memory (and not logged): admission counters move, and become
+    /// durable again with the next successful checkpoint.  A WAL
+    /// failure on this very record likewise degrades the service and
+    /// serves the decision from memory rather than erroring — the
+    /// admission's record was shed with the dead writer, so recovery
+    /// stays a prefix of what was acknowledged.
     pub fn submit(
         &mut self,
         principal: PrincipalId,
         query: &ConjunctiveQuery,
     ) -> Result<Decision, ServiceError> {
-        if self.durable.is_some() {
+        if self.durable.is_some() && !self.is_degraded() {
             let mut payload = Vec::new();
             durable::encode_submit(principal, query, &mut payload);
-            self.log_now(&payload);
+            let _ = self.log_now(&payload);
         }
         self.submit_unlogged(principal, query)
     }
@@ -489,14 +651,15 @@ impl DisclosureService {
         principal: PrincipalId,
         query: QueryId,
     ) -> Result<Decision, ServiceError> {
-        if self.durable.is_some() {
+        if self.durable.is_some() && !self.is_degraded() {
             let mut payload = Vec::new();
             if encode_loggable(
                 &Operation::SubmitInterned { principal, query },
                 &self.interner,
                 &mut payload,
             ) {
-                self.log_now(&payload);
+                // Degraded-submit semantics on failure, as in `submit`.
+                let _ = self.log_now(&payload);
             }
         }
         self.submit_interned_unlogged(principal, query)
@@ -531,22 +694,28 @@ impl DisclosureService {
         Ok(self.store.check_packed(principal, &packed))
     }
 
-    /// Grants a security view (by name) to a principal.
+    /// Grants a security view (by name) to a principal.  Refused with
+    /// [`ServiceError::DurabilityUnavailable`] while the durable
+    /// service serves degraded.
     pub fn grant_view(&mut self, principal: PrincipalId, view: &str) -> Result<(), ServiceError> {
+        self.guard_mutation()?;
         if self.durable.is_some() {
             let mut payload = Vec::new();
             durable::encode_grant(principal, view, &mut payload);
-            self.log_now(&payload);
+            self.log_now(&payload)?;
         }
         into_unit(self.apply_policy_mutation(principal, view, true, None))
     }
 
-    /// Revokes a security view (by name) from a principal.
+    /// Revokes a security view (by name) from a principal.  Refused
+    /// with [`ServiceError::DurabilityUnavailable`] while the durable
+    /// service serves degraded.
     pub fn revoke_view(&mut self, principal: PrincipalId, view: &str) -> Result<(), ServiceError> {
+        self.guard_mutation()?;
         if self.durable.is_some() {
             let mut payload = Vec::new();
             durable::encode_revoke(principal, view, &mut payload);
-            self.log_now(&payload);
+            self.log_now(&payload)?;
         }
         into_unit(self.apply_policy_mutation(principal, view, false, None))
     }
@@ -568,12 +737,13 @@ impl DisclosureService {
         policy: SecurityPolicy,
     ) -> Result<(), ServiceError> {
         self.validate_principal(principal)?;
+        self.guard_mutation()?;
         // A partition-count mismatch panics in the store below without
         // having been logged (the record must not outlive the panic).
         if self.durable.is_some() && policy.len() == self.store.policy(principal).len() {
             let mut payload = Vec::new();
             durable::encode_replace_policy(principal, &policy, &mut payload);
-            self.log_now(&payload);
+            self.log_now(&payload)?;
         }
         self.replace_policy_unlogged(principal, policy);
         Ok(())
@@ -597,10 +767,11 @@ impl DisclosureService {
         name: &str,
         query: ConjunctiveQuery,
     ) -> Result<fdc_core::SecurityViewId, ServiceError> {
+        self.guard_mutation()?;
         if self.durable.is_some() {
             let mut payload = Vec::new();
             durable::encode_add_view(name, &query, &mut payload);
-            self.log_now(&payload);
+            self.log_now(&payload)?;
         }
         self.add_security_view_unlogged(name, query)
     }
@@ -665,15 +836,36 @@ impl DisclosureService {
         config: ServiceConfig,
         dir: &Path,
     ) -> io::Result<(Self, RecoveryReport)> {
-        std::fs::create_dir_all(dir)?;
-        let (mut service, checkpoint_seq) = match latest_checkpoint(dir)? {
+        Self::open_durable_in(views, config, dir, Arc::new(StdVfs), Arc::new(SystemClock))
+    }
+
+    /// [`open_durable`](Self::open_durable) through an explicit
+    /// filesystem and clock — the entry point of the fault-injection
+    /// suites, which open services over an
+    /// [`fdc_durability::FaultVfs`] and an instant clock.  Production
+    /// callers use [`open_durable`](Self::open_durable), which pins
+    /// [`StdVfs`] and the real clock.
+    pub fn open_durable_in(
+        views: SecurityViews,
+        config: ServiceConfig,
+        dir: &Path,
+        vfs: Arc<dyn Vfs>,
+        clock: Arc<dyn Clock>,
+    ) -> io::Result<(Self, RecoveryReport)> {
+        vfs.create_dir_all(dir)?;
+        // A crash between a checkpoint's temp write and its rename
+        // strands a `ckpt-*.tmp` orphan; sweep them before reading so
+        // they can never accumulate (the rename-failure regression test
+        // in `fdc-durability` covers the stranding itself).
+        let temps_swept = sweep_stale_temps_in(vfs.as_ref(), dir)? as u64;
+        let (mut service, checkpoint_seq) = match latest_checkpoint_in(vfs.as_ref(), dir)? {
             Some((seq, payload)) => (
                 Self::decode_state(&payload, config).map_err(invalid_data)?,
                 seq,
             ),
             None => (DisclosureService::new(views, config), 0),
         };
-        let contents = read_log(dir)?;
+        let contents = read_log_in(vfs.as_ref(), dir)?;
         let mut replayed = 0u64;
         let catalog = service.registry().catalog().clone();
         for record in &contents.records {
@@ -687,20 +879,38 @@ impl DisclosureService {
             service.replay(op);
             replayed += 1;
         }
-        let writer = WalWriter::resume(dir, config.durability, &contents.tail, checkpoint_seq + 1)?;
+        let writer = WalWriter::resume_in(
+            Arc::clone(&vfs),
+            Arc::clone(&clock),
+            dir,
+            config.durability,
+            &contents.tail,
+            checkpoint_seq + 1,
+        )?;
         let last_seq = writer.next_seq() - 1;
+        let report = RecoveryReport {
+            checkpoint_seq,
+            records_replayed: replayed,
+            last_seq,
+            discarded_bytes: contents.discarded_bytes,
+            discarded_records: contents.discarded_records,
+            temps_swept,
+        };
         service.durable = Some(DurableState {
-            writer,
+            writer: Some(writer),
             dir: dir.to_path_buf(),
+            vfs,
+            clock,
+            wal_base: WalStats::default(),
+            mode: ServiceMode::Healthy,
+            mode_transitions: 0,
+            checkpoints: 0,
+            checkpoint_failures: 0,
+            last_checkpoint_seq: checkpoint_seq,
+            last_seq,
+            report,
         });
-        Ok((
-            service,
-            RecoveryReport {
-                checkpoint_seq,
-                records_replayed: replayed,
-                last_seq,
-            },
-        ))
+        Ok((service, report))
     }
 
     /// True when this service was opened with
@@ -725,12 +935,25 @@ impl DisclosureService {
     /// a *bulkload*: per-principal state is restored as raw words, with
     /// no per-principal policy compilation.
     ///
+    /// On a **degraded** service the checkpoint is the recovery path:
+    /// the image is taken at the frozen durable horizon (which, by the
+    /// read-only contract, covers every acknowledged mutation — plus
+    /// the degraded window's in-memory admissions, which become durable
+    /// with it).  If the image lands, the stale WAL segments are
+    /// removed, a fresh segment starts past the image, and the service
+    /// is promoted back to [`ServiceMode::Healthy`]; if storage is
+    /// still failing, the attempt counts in
+    /// [`DurabilityHealth::checkpoint_failures`] and the service stays
+    /// degraded for the next attempt (see
+    /// [`BackgroundCheckpointer`](crate::BackgroundCheckpointer)).
+    ///
     /// # Errors
     ///
     /// Fails on I/O errors, and on services not opened with
     /// [`open_durable`](Self::open_durable).
     pub fn checkpoint(&mut self) -> io::Result<u64> {
         let fsync = self.config.durability.fsync;
+        let durability = self.config.durability;
         let (seq, dir) = {
             let durable = self.durable.as_mut().ok_or_else(|| {
                 io::Error::new(
@@ -738,19 +961,79 @@ impl DisclosureService {
                     "checkpoint requires a service opened with open_durable",
                 )
             })?;
-            durable.writer.commit()?;
-            (durable.writer.next_seq() - 1, durable.dir.clone())
+            if let Some(writer) = durable.writer.as_mut() {
+                // The buffer is normally empty here (every entry point
+                // commits); a failure means storage just died under a
+                // straggler batch — degrade and checkpoint anyway, the
+                // image covers everything acknowledged.
+                if writer.commit().is_err() {
+                    durable.degrade();
+                }
+            }
+            let seq = match durable.writer.as_ref() {
+                Some(writer) => writer.next_seq() - 1,
+                None => durable.last_seq,
+            };
+            (seq, durable.dir.clone())
         };
         let mut payload = Vec::new();
         self.encode_state(&mut payload);
-        write_checkpoint(&dir, seq, &payload, fsync)?;
         let durable = self.durable.as_mut().expect("checked above");
-        // Rotate so the covered records' segment becomes prunable: the
-        // fresh segment starts exactly at the replay point (seq + 1).
-        durable.writer.rotate()?;
-        prune_checkpoints(&dir, CHECKPOINTS_KEPT)?;
-        let horizon = checkpoint_seqs(&dir)?.first().copied().unwrap_or(seq);
-        prune_segments(&dir, horizon)?;
+        let vfs = Arc::clone(&durable.vfs);
+        match write_checkpoint_in(vfs.as_ref(), &dir, seq, &payload, fsync) {
+            Ok(_) => {
+                durable.checkpoints += 1;
+                durable.last_checkpoint_seq = seq;
+            }
+            Err(err) => {
+                durable.checkpoint_failures += 1;
+                return Err(err);
+            }
+        }
+        if durable.writer.is_some() {
+            // Healthy path.  Rotate so the covered records' segment
+            // becomes prunable: the fresh segment starts exactly at the
+            // replay point (seq + 1).  A rotation failure means storage
+            // is going — the image landed, so degrade and report the
+            // checkpoint as the success it was.
+            let writer = durable.writer.as_mut().expect("healthy path");
+            if writer.rotate().is_err() {
+                durable.degrade();
+                return Ok(seq);
+            }
+            prune_checkpoints_in(vfs.as_ref(), &dir, CHECKPOINTS_KEPT)?;
+            let horizon = checkpoint_seqs_in(vfs.as_ref(), &dir)?
+                .first()
+                .copied()
+                .unwrap_or(seq);
+            prune_segments_in(vfs.as_ref(), &dir, horizon)?;
+        } else {
+            // Degraded promotion.  The image at `seq` shadows every
+            // record the old segments hold — including any torn bytes a
+            // failed truncation left past the durable horizon — so
+            // remove them *before* starting the fresh segment: recovery
+            // must never stitch a stale tail across the new log.  Every
+            // step is fallible on still-sick storage; any failure
+            // leaves the service degraded (with a valid checkpoint) and
+            // the next attempt retries.
+            let clock = Arc::clone(&durable.clock);
+            let fresh = (|| -> io::Result<WalWriter> {
+                for name in vfs.list(&dir)? {
+                    if name.starts_with("wal-") && name.ends_with(".log") {
+                        vfs.remove_file(&dir.join(&name))?;
+                    }
+                }
+                WalWriter::create_in(Arc::clone(&vfs), clock, &dir, durability, seq + 1)
+            })();
+            if let Ok(writer) = fresh {
+                durable.writer = Some(writer);
+                durable.last_seq = seq;
+                durable.mode = ServiceMode::Healthy;
+                durable.mode_transitions += 1;
+                // Best-effort: stale checkpoints never block promotion.
+                let _ = prune_checkpoints_in(vfs.as_ref(), &dir, CHECKPOINTS_KEPT);
+            }
+        }
         Ok(seq)
     }
 
@@ -761,7 +1044,9 @@ impl DisclosureService {
     /// tail to be dropped as a torn tail on the next open.
     pub fn close(mut self) -> io::Result<()> {
         if let Some(mut durable) = self.durable.take() {
-            durable.writer.commit()?;
+            if let Some(writer) = durable.writer.as_mut() {
+                writer.commit()?;
+            }
         }
         Ok(())
     }
@@ -897,16 +1182,24 @@ impl DisclosureService {
 
     /// Applies one operation sequentially.
     ///
-    /// # Panics
-    ///
-    /// On a durable service, panics if the write-ahead log cannot be
-    /// written (see [`open_durable`](Self::open_durable)).
+    /// On a degraded durable service, mutations answer
+    /// [`Response::Rejected`] with
+    /// [`ServiceError::DurabilityUnavailable`]; admissions, checks and
+    /// audits keep serving from memory.  A WAL failure on the
+    /// operation's own record degrades the service mid-call and the
+    /// same contract applies to it.
     pub fn apply(&mut self, op: &Operation) -> Response {
         if self.durable.is_some() {
-            let mut payload = Vec::new();
-            if encode_loggable(op, &self.interner, &mut payload) {
-                self.log_now(&payload);
+            let mut covered = true;
+            if self.is_degraded() {
+                covered = false;
+            } else {
+                let mut payload = Vec::new();
+                if encode_loggable(op, &self.interner, &mut payload) {
+                    covered = self.log_now(&payload).is_ok();
+                }
             }
+            return self.apply_covered(op, covered);
         }
         self.apply_unlogged(op)
     }
@@ -986,7 +1279,8 @@ impl DisclosureService {
     /// sequential [`apply`](Self::apply) processing; the test suite and the
     /// `incremental_relabel` property test assert this.
     pub fn run_batch(&mut self, ops: &[Operation]) -> Vec<Response> {
-        self.log_operations(ops);
+        let durable_prefix = self.log_operations(ops);
+        let coverage = self.batch_coverage(ops, durable_prefix);
         let mut responses: Vec<Option<Response>> = vec![None; ops.len()];
         // (op index, principal, query, commit) of the pending admission run.
         let mut run: Vec<(usize, PrincipalId, AdmissionQuery<'_>, bool)> = Vec::new();
@@ -1006,7 +1300,8 @@ impl DisclosureService {
                 }
                 _ => {
                     self.flush_run(&mut run, &mut responses);
-                    responses[i] = Some(self.apply_unlogged(op));
+                    let covered = coverage.as_ref().is_none_or(|c| c[i]);
+                    responses[i] = Some(self.apply_covered(op, covered));
                 }
             }
         }
@@ -1148,7 +1443,10 @@ impl DisclosureService {
         if ops.is_empty() {
             return Vec::new();
         }
-        self.log_operations(ops);
+        let durable_prefix = self.log_operations(ops);
+        let coverage = self.batch_coverage(ops, durable_prefix);
+        let covered_at =
+            |coverage: &Option<Vec<bool>>, i: usize| coverage.as_ref().is_none_or(|c| c[i]);
         let segments = self.segment_ops(ops);
         let threads = self.config.num_shards;
         let threshold = self.config.parallel_threshold;
@@ -1163,9 +1461,17 @@ impl DisclosureService {
             // boundaries mutate), so this path does strictly less work per
             // op than `run_batch` while keeping identical responses.
             for segment in &segments {
-                self.pass_segment(ops, segment.range.clone(), None, None, &mut responses);
+                self.pass_segment(
+                    ops,
+                    segment.range.clone(),
+                    None,
+                    None,
+                    coverage.as_deref(),
+                    &mut responses,
+                );
                 if let Some(b) = segment.boundary {
-                    responses[b] = Some(self.apply_unlogged(&ops[b]));
+                    let covered = covered_at(&coverage, b);
+                    responses[b] = Some(self.apply_covered(&ops[b], covered));
                 }
             }
             return responses
@@ -1209,7 +1515,7 @@ impl DisclosureService {
                 // the new view) overlap this segment's pass.
                 let pre_applied = boundary
                     .filter(|&b| matches!(ops[b], Operation::AddSecurityView { .. }))
-                    .map(|b| self.apply_unlogged(&ops[b]));
+                    .map(|b| self.apply_covered(&ops[b], covered_at(&coverage, b)));
                 let serving = Arc::clone(&snap);
                 let overlap = pre_applied.is_some() || boundary.is_none();
                 if overlap {
@@ -1223,13 +1529,15 @@ impl DisclosureService {
                     segments[s].range.clone(),
                     Some(&serving),
                     Some(labels),
+                    coverage.as_deref(),
                     &mut responses,
                 );
                 if let Some(b) = boundary {
                     // Policy-mutating boundaries (grants/revokes in
                     // flush-on-mutation mode) must apply *after* the pass —
                     // the pipeline stalls for one snapshot build here.
-                    let response = pre_applied.unwrap_or_else(|| self.apply_unlogged(&ops[b]));
+                    let response = pre_applied
+                        .unwrap_or_else(|| self.apply_covered(&ops[b], covered_at(&coverage, b)));
                     responses[b] = Some(response);
                     if !overlap {
                         if let Some(next) = segments.get(s + 1) {
@@ -1327,12 +1635,16 @@ impl DisclosureService {
     /// registry.  On the degenerate single-worker path both options are
     /// `None`: the live registry *is* the segment's registry, and each
     /// admission labels right here instead of from a staged worker result.
+    /// `coverage` (absolute-indexed, from
+    /// [`batch_coverage`](Self::batch_coverage)) refuses in-segment
+    /// mutations whose WAL records are not durable.
     fn pass_segment(
         &mut self,
         ops: &[Operation],
         range: std::ops::Range<usize>,
         serving: Option<&ServiceSnapshot>,
         labels: Option<Vec<LabeledAdmission>>,
+        coverage: Option<&[bool]>,
         responses: &mut [Option<Response>],
     ) {
         let mut labeled = labels.map(Vec::into_iter);
@@ -1377,7 +1689,12 @@ impl DisclosureService {
                 | Operation::RevokeView { principal, .. }
                 | Operation::AuditApp { principal } => {
                     self.flush_decisions_for(*principal, &mut run, responses);
-                    responses[i] = Some(self.apply_mutation(op, serving));
+                    let covered = coverage.is_none_or(|c| c[i]);
+                    responses[i] = Some(if op.is_mutation() && !covered {
+                        Response::Rejected(ServiceError::DurabilityUnavailable)
+                    } else {
+                        self.apply_mutation(op, serving)
+                    });
                 }
                 Operation::AddSecurityView { .. } => {
                     unreachable!(
@@ -1671,6 +1988,26 @@ fn encode_loggable(op: &Operation, interner: &SharedQueryInterner, out: &mut Vec
             durable::encode_add_view(name, query, out);
             true
         }
+        Operation::Check { .. } | Operation::CheckInterned { .. } | Operation::AuditApp { .. } => {
+            false
+        }
+    }
+}
+
+/// Whether [`encode_loggable`] would produce a record for `op`, without
+/// encoding anything — the coverage pre-pass uses this to map a durable
+/// record count back onto batch positions, so the two MUST agree
+/// exactly (the round-trip is unit-tested).
+fn is_loggable(op: &Operation, interner: &SharedQueryInterner) -> bool {
+    match op {
+        Operation::Submit { .. }
+        | Operation::GrantView { .. }
+        | Operation::RevokeView { .. }
+        | Operation::AddSecurityView { .. } => true,
+        Operation::SubmitInterned { query, .. } => interner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains(*query),
         Operation::Check { .. } | Operation::CheckInterned { .. } | Operation::AuditApp { .. } => {
             false
         }

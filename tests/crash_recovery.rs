@@ -181,7 +181,10 @@ fn record_stream(
         RecoveryReport {
             checkpoint_seq: 0,
             records_replayed: 0,
-            last_seq: 0
+            last_seq: 0,
+            discarded_bytes: 0,
+            discarded_records: 0,
+            temps_swept: 0,
         }
     );
     let mut reference = DisclosureService::new(registry.clone(), config());
@@ -311,6 +314,7 @@ fn a_checkpoint_at_every_segment_boundary_recovers_exactly() {
             fsync: false,
             segment_bytes: 1,
             group_commit: 1,
+            ..DurabilityConfig::default()
         },
         ..config()
     };

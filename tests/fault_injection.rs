@@ -1,0 +1,645 @@
+//! Fault-injection tests for the durable [`DisclosureService`]: the
+//! storage layer misbehaves *while the service is running*, not just at
+//! a crash point.
+//!
+//! The central property (the **write-ahead invariant under faults**):
+//! under every seeded fault schedule, a mutation is acknowledged *iff*
+//! its log record is durably committed — an acknowledged mutation is
+//! never lost, and a lost mutation was always visibly rejected with
+//! [`ServiceError::DurabilityUnavailable`].  Recovering after a crash
+//! therefore reproduces exactly the durably-acknowledged stream.
+//!
+//! Also covered, deterministically: a permanent storage failure
+//! degrades the service to read-only instead of panicking; admissions
+//! and checks keep serving while degraded; a successful checkpoint on
+//! healed storage promotes the service back to healthy (and makes the
+//! degraded window's in-memory admissions durable); a checkpoint
+//! attempt on still-dead storage fails cleanly and leaves the service
+//! serving; orphaned checkpoint temporaries are swept at open; and a
+//! garbage log tail is counted in the [`RecoveryReport`] rather than
+//! silently dropped.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use fdc::core::SecurityViews;
+use fdc::cq::RelId;
+use fdc::durability::{FaultSchedule, FaultVfs, InstantClock};
+use fdc::ecosystem::churn::{ChurnConfig, ChurnGenerator};
+use fdc::ecosystem::policies::PolicyGeneratorConfig;
+use fdc::ecosystem::schema::facebook_catalog;
+use fdc::ecosystem::views::facebook_security_views;
+use fdc::ecosystem::WorkloadConfig;
+use fdc::policy::PrincipalId;
+use fdc::service::{
+    BackgroundCheckpointer, DegradedMode, DisclosureService, DurabilityConfig, Operation, Response,
+    ServiceConfig, ServiceError, ServiceMode,
+};
+
+const PRINCIPALS: usize = 6;
+const OPS: usize = 64;
+
+/// A unique scratch directory (removed, *not* re-created).
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("fdc_fault_injection_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Shared configuration: fsync **on**, so fsync faults actually fire
+/// (the fault filesystem is where "fsync" gets its failure semantics;
+/// no real disk flushes happen on the quiet paths of these tests
+/// beyond what the scratch tmpfs absorbs).
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        num_shards: 2,
+        durability: DurabilityConfig {
+            fsync: true,
+            ..DurabilityConfig::default()
+        },
+        ..ServiceConfig::default()
+    }
+}
+
+/// The mixed churn stream: grants, revokes, view additions, submits and
+/// checks over a small pooled query set.
+fn churn_ops(registry: &SecurityViews, seed: u64, n: usize) -> Vec<Operation> {
+    let schema = facebook_catalog();
+    let mut churn = ChurnGenerator::new(
+        schema,
+        registry,
+        ChurnConfig {
+            mutation_ratio: 0.3,
+            add_view_share: 0.25,
+            check_share: 0.15,
+            query_pool: 8,
+            num_principals: PRINCIPALS,
+            seed,
+            workload: WorkloadConfig::base(seed),
+        },
+    );
+    let ops = churn.ops(n);
+    assert!(
+        ops.iter().any(|op| op.is_mutation()) && ops.iter().any(|op| op.is_admission()),
+        "the stream must be mixed"
+    );
+    ops
+}
+
+/// The per-principal policies the stream starts from.
+fn policies(registry: &SecurityViews) -> Vec<fdc::policy::SecurityPolicy> {
+    let mut generator =
+        fdc::ecosystem::Ecosystem::new().policy_generator(PolicyGeneratorConfig::default());
+    (0..PRINCIPALS)
+        .map(|_| generator.next_policy(registry))
+        .collect()
+}
+
+/// Whether `op` produces a WAL record (the write-ahead set: everything
+/// but reads).
+fn is_logged(op: &Operation) -> bool {
+    !matches!(
+        op,
+        Operation::Check { .. } | Operation::CheckInterned { .. } | Operation::AuditApp { .. }
+    )
+}
+
+/// An extensional fingerprint of a service: everything durable that two
+/// equal services must agree on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Fingerprint {
+    principals: usize,
+    words: Vec<(u64, (u64, u64))>,
+    store_totals: (u64, u64),
+    registry_len: usize,
+    epochs: Vec<u64>,
+    probes: Vec<Vec<String>>,
+}
+
+fn fingerprint(
+    service: &mut DisclosureService,
+    probes: &[fdc::cq::ConjunctiveQuery],
+) -> Fingerprint {
+    let principals = service.store().len();
+    let words = (0..principals)
+        .map(|i| {
+            let p = PrincipalId(i as u32);
+            (
+                service.store().consistency_bits(p),
+                service.store().stats(p),
+            )
+        })
+        .collect();
+    let store_totals = service.store().totals();
+    let registry_len = service.registry().len();
+    let epochs = (0..service.registry().catalog().len())
+        .map(|r| service.registry().epoch(RelId(r as u32)))
+        .collect();
+    let probe_results = (0..principals)
+        .map(|i| {
+            let p = PrincipalId(i as u32);
+            probes
+                .iter()
+                .map(|q| format!("{:?}", service.check(p, q)))
+                .collect()
+        })
+        .collect();
+    Fingerprint {
+        principals,
+        words,
+        store_totals,
+        registry_len,
+        epochs,
+        probes: probe_results,
+    }
+}
+
+fn probe_queries() -> Vec<fdc::cq::ConjunctiveQuery> {
+    let schema = facebook_catalog();
+    let mut workload = fdc::ecosystem::WorkloadGenerator::new(schema, WorkloadConfig::base(0xFA17));
+    workload.batch(3)
+}
+
+/// Opens a durable service over `vfs` with an instant (non-sleeping)
+/// clock, so retry backoff costs no wall time.
+fn open_faulted(
+    registry: &SecurityViews,
+    dir: &std::path::Path,
+    vfs: &FaultVfs,
+) -> std::io::Result<(DisclosureService, fdc::service::RecoveryReport)> {
+    DisclosureService::open_durable_in(
+        registry.clone(),
+        config(),
+        dir,
+        Arc::new(vfs.clone()),
+        Arc::new(InstantClock::new()),
+    )
+}
+
+/// One fault-schedule run of the write-ahead-invariant property:
+/// register quietly, arm `schedule`, drive the churn stream op-by-op,
+/// mirror exactly the durably-committed operations into an in-memory
+/// reference, then crash, heal, recover, and demand the recovered
+/// service equals the reference.
+///
+/// Returns whether the run ended degraded (so the sweep can assert it
+/// exercised both outcomes).
+fn acked_mutations_survive(tag: &str, schedule: FaultSchedule) -> bool {
+    let registry = facebook_security_views(&facebook_catalog());
+    let ops = churn_ops(&registry, schedule.seed ^ 0xC0FFEE, OPS);
+    let probes = probe_queries();
+    let dir = temp_dir(tag);
+    let vfs = FaultVfs::over_std(FaultSchedule::quiet(schedule.seed));
+
+    let (mut durable, _) = open_faulted(&registry, &dir, &vfs).unwrap();
+    let mut reference = DisclosureService::new(registry.clone(), config());
+    for policy in policies(&registry) {
+        durable.register_principal(policy.clone());
+        reference.register_principal(policy);
+    }
+
+    vfs.set_schedule(schedule);
+    for (i, op) in ops.iter().enumerate() {
+        let before = durable.stats().durability.wal_records_committed;
+        let response = durable.apply(op);
+        let committed = durable.stats().durability.wal_records_committed - before;
+        assert!(committed <= 1, "one op commits at most one record");
+        let unavailable = response == Response::Rejected(ServiceError::DurabilityUnavailable);
+        if op.is_mutation() {
+            // The write-ahead invariant, op by op: an acknowledged
+            // mutation has its record on disk, a mutation whose record
+            // is not on disk was rejected as unavailable.
+            assert_eq!(
+                committed == 0,
+                unavailable,
+                "op {i} ({op:?}): committed={committed}, response={response:?}"
+            );
+        } else {
+            assert!(!unavailable, "op {i}: reads and admissions always serve");
+        }
+        if committed == 1 {
+            reference.apply(op);
+        }
+    }
+    let degraded = durable.is_degraded();
+    let faults = vfs.counters();
+    drop(durable); // crash: no close
+
+    // Storage comes back; recovery sees exactly the committed records.
+    vfs.heal();
+    vfs.set_schedule(FaultSchedule::quiet(schedule.seed));
+    let (mut recovered, report) = open_faulted(&registry, &dir, &vfs).unwrap();
+    assert_eq!(
+        fingerprint(&mut recovered, &probes),
+        fingerprint(&mut reference, &probes),
+        "recovered state diverged from the acknowledged stream \
+         (schedule {schedule:?}, faults {faults:?}, report {report:?})"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+    degraded
+}
+
+#[test]
+fn no_acknowledged_mutation_is_lost_under_any_fault_schedule() {
+    let schedules: &[(&str, FaultSchedule)] = &[
+        (
+            "transient",
+            FaultSchedule {
+                write_transient_per_mille: 250,
+                ..FaultSchedule::quiet(1)
+            },
+        ),
+        (
+            "torn",
+            FaultSchedule {
+                torn_write_per_mille: 120,
+                ..FaultSchedule::quiet(2)
+            },
+        ),
+        (
+            "fsyncgate",
+            FaultSchedule {
+                fsync_failure_per_mille: 150,
+                ..FaultSchedule::quiet(3)
+            },
+        ),
+        (
+            "enospc",
+            FaultSchedule {
+                enospc_per_mille: 80,
+                ..FaultSchedule::quiet(4)
+            },
+        ),
+        (
+            "mixed",
+            FaultSchedule {
+                write_transient_per_mille: 120,
+                torn_write_per_mille: 50,
+                fsync_failure_per_mille: 60,
+                enospc_per_mille: 30,
+                rename_failure_per_mille: 40,
+                ..FaultSchedule::quiet(5)
+            },
+        ),
+    ];
+    let mut survived = 0u32;
+    let mut degraded = 0u32;
+    for (name, base) in schedules {
+        for round in 0..4u64 {
+            let schedule = FaultSchedule {
+                seed: base.seed * 1000 + round,
+                ..*base
+            };
+            let tag = format!("prop_{name}_{round}");
+            if acked_mutations_survive(&tag, schedule) {
+                degraded += 1;
+            } else {
+                survived += 1;
+            }
+        }
+    }
+    // The sweep must exercise both endings: runs that ride out the
+    // faults healthy, and runs forced into degraded mode.
+    assert!(survived > 0, "no run survived — schedules too hot");
+    assert!(degraded > 0, "no run degraded — schedules too cold");
+}
+
+#[test]
+fn batched_mutations_respect_the_durable_prefix() {
+    let registry = facebook_security_views(&facebook_catalog());
+    let ops = churn_ops(&registry, 0xBA7C4, OPS);
+    let probes = probe_queries();
+    let dir = temp_dir("batch_prefix");
+    let vfs = FaultVfs::over_std(FaultSchedule::quiet(9));
+
+    let (mut durable, _) = open_faulted(&registry, &dir, &vfs).unwrap();
+    let mut reference = DisclosureService::new(registry.clone(), config());
+    for policy in policies(&registry) {
+        durable.register_principal(policy.clone());
+        reference.register_principal(policy);
+    }
+    vfs.set_schedule(FaultSchedule {
+        torn_write_per_mille: 60,
+        enospc_per_mille: 40,
+        fsync_failure_per_mille: 60,
+        ..FaultSchedule::quiet(9)
+    });
+
+    for batch in ops.chunks(8) {
+        let before = durable.stats().durability.wal_records_committed;
+        let responses = durable.run_batch(batch);
+        let committed = (durable.stats().durability.wal_records_committed - before) as usize;
+        // Group commits are all-or-nothing per `commit`, so `committed`
+        // is the batch's durable prefix over its *loggable* operations.
+        let mut ordinal = 0usize;
+        let durable_flags: Vec<bool> = batch
+            .iter()
+            .map(|op| {
+                is_logged(op) && {
+                    let mine = ordinal < committed;
+                    ordinal += 1;
+                    mine
+                }
+            })
+            .collect();
+        for ((op, response), durable_op) in batch.iter().zip(&responses).zip(durable_flags) {
+            let unavailable = *response == Response::Rejected(ServiceError::DurabilityUnavailable);
+            if op.is_mutation() {
+                assert_eq!(!durable_op, unavailable, "{op:?} vs {response:?}");
+            } else {
+                assert!(!unavailable, "reads and admissions always serve");
+            }
+            if durable_op {
+                reference.apply(op);
+            }
+        }
+    }
+    drop(durable);
+
+    vfs.heal();
+    vfs.set_schedule(FaultSchedule::quiet(9));
+    let (mut recovered, _) = open_faulted(&registry, &dir, &vfs).unwrap();
+    assert_eq!(
+        fingerprint(&mut recovered, &probes),
+        fingerprint(&mut reference, &probes),
+        "batched recovery diverged from the durable prefix"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn permanent_failure_degrades_to_read_only_instead_of_panicking() {
+    let registry = facebook_security_views(&facebook_catalog());
+    let ops = churn_ops(&registry, 0xDEAD, OPS);
+    let dir = temp_dir("degrade");
+    let vfs = FaultVfs::over_std(FaultSchedule::quiet(11));
+    let (mut service, _) = open_faulted(&registry, &dir, &vfs).unwrap();
+    for policy in policies(&registry) {
+        service.register_principal(policy);
+    }
+    let healthy_ops = &ops[..16];
+    for op in healthy_ops {
+        service.apply(op);
+    }
+    assert_eq!(service.mode(), ServiceMode::Healthy);
+
+    vfs.fail_permanently();
+    let mutation = ops[16..].iter().find(|op| op.is_mutation()).unwrap();
+    let admission = ops[16..].iter().find(|op| op.is_admission()).unwrap();
+
+    // The first mutation on dead storage is rejected — and flips the
+    // service into degraded mode rather than panicking the process.
+    assert_eq!(
+        service.apply(mutation),
+        Response::Rejected(ServiceError::DurabilityUnavailable)
+    );
+    assert!(service.is_degraded());
+    assert_eq!(
+        service.mode(),
+        ServiceMode::Degraded(DegradedMode::ReadOnly)
+    );
+    let health = service.stats().durability;
+    assert_eq!(health.mode_transitions, 1);
+
+    // Reads and admissions keep serving from memory.
+    assert!(!service.apply(admission).is_rejected());
+    let p = PrincipalId(0);
+    for q in probe_queries() {
+        let _ = service.check(p, &q); // must not panic or reject
+    }
+
+    // Every mutation entry point reports the same refusal.
+    let policy = policies(&registry).remove(0);
+    assert_eq!(
+        service.try_register_principal(policy),
+        Err(ServiceError::DurabilityUnavailable)
+    );
+    for op in ops[16..].iter().filter(|op| op.is_mutation()).take(4) {
+        assert_eq!(
+            service.apply(op),
+            Response::Rejected(ServiceError::DurabilityUnavailable)
+        );
+    }
+    // Degrading is idempotent: still a single transition.
+    assert_eq!(service.stats().durability.mode_transitions, 1);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_on_dead_storage_fails_cleanly_and_keeps_serving() {
+    let registry = facebook_security_views(&facebook_catalog());
+    let ops = churn_ops(&registry, 0x5EED, 32);
+    let dir = temp_dir("dead_checkpoint");
+    let vfs = FaultVfs::over_std(FaultSchedule::quiet(13));
+    let (mut service, _) = open_faulted(&registry, &dir, &vfs).unwrap();
+    for policy in policies(&registry) {
+        service.register_principal(policy);
+    }
+    for op in &ops[..8] {
+        service.apply(op);
+    }
+    vfs.fail_permanently();
+    let mutation = ops.iter().find(|op| op.is_mutation()).unwrap();
+    assert!(service.apply(mutation).is_rejected());
+    assert!(service.is_degraded());
+
+    // Checkpointing while the disk is still dead fails with an error —
+    // counted, retried later, never fatal.
+    assert!(service.checkpoint().is_err());
+    assert!(service.is_degraded(), "a failed checkpoint cannot promote");
+    let health = service.stats().durability;
+    assert!(health.checkpoint_failures >= 1);
+    assert_eq!(health.checkpoints, 0);
+
+    // And the service is still up: admissions serve in memory.
+    let admission = ops.iter().find(|op| op.is_admission()).unwrap();
+    assert!(!service.apply(admission).is_rejected());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn successful_checkpoint_promotes_degraded_service_back_to_healthy() {
+    let registry = facebook_security_views(&facebook_catalog());
+    let ops = churn_ops(&registry, 0x90E, OPS);
+    let probes = probe_queries();
+    let dir = temp_dir("promote");
+    let vfs = FaultVfs::over_std(FaultSchedule::quiet(17));
+    let (mut service, _) = open_faulted(&registry, &dir, &vfs).unwrap();
+    let mut reference = DisclosureService::new(registry.clone(), config());
+    for policy in policies(&registry) {
+        service.register_principal(policy.clone());
+        reference.register_principal(policy);
+    }
+
+    // Healthy phase, then the disk dies and the service degrades.
+    let (healthy, rest) = ops.split_at(20);
+    for op in healthy {
+        service.apply(op);
+        reference.apply(op);
+    }
+    vfs.fail_permanently();
+    let (degraded_window, tail) = rest.split_at(20);
+    for op in degraded_window {
+        let response = service.apply(op);
+        if !response.is_rejected() {
+            // Acknowledged while degraded (reads + admissions): these
+            // become durable with the promotion checkpoint below, so
+            // the reference mirrors them.
+            reference.apply(op);
+        }
+    }
+    assert!(service.is_degraded());
+
+    // Storage comes back; the next checkpoint promotes.
+    vfs.heal();
+    let seq = service.checkpoint().unwrap();
+    assert!(!service.is_degraded());
+    assert_eq!(service.mode(), ServiceMode::Healthy);
+    let health = service.stats().durability;
+    assert_eq!(health.mode_transitions, 2, "degrade + promote");
+    assert_eq!(health.checkpoints, 1);
+    assert_eq!(health.last_checkpoint_seq, seq);
+
+    // Mutations are accepted (and logged) again.
+    for op in tail {
+        let response = service.apply(op);
+        assert_ne!(
+            response,
+            Response::Rejected(ServiceError::DurabilityUnavailable),
+            "promoted service must accept mutations"
+        );
+        reference.apply(op);
+    }
+
+    // Crash after promotion: the checkpoint image (which covers the
+    // degraded window's admissions) plus the fresh log reproduce the
+    // full acknowledged stream.
+    drop(service);
+    let (mut recovered, report) = open_faulted(&registry, &dir, &vfs).unwrap();
+    assert_eq!(report.checkpoint_seq, seq);
+    assert_eq!(
+        fingerprint(&mut recovered, &probes),
+        fingerprint(&mut reference, &probes),
+        "promotion lost part of the acknowledged stream"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn background_checkpointer_promotes_a_degraded_service() {
+    let registry = facebook_security_views(&facebook_catalog());
+    let ops = churn_ops(&registry, 0xB66, 32);
+    let dir = temp_dir("bg_promote");
+    let vfs = FaultVfs::over_std(FaultSchedule::quiet(23));
+    let (mut service, _) = open_faulted(&registry, &dir, &vfs).unwrap();
+    for policy in policies(&registry) {
+        service.register_principal(policy);
+    }
+    for op in &ops[..8] {
+        service.apply(op);
+    }
+    vfs.fail_permanently();
+    let mutation = ops.iter().find(|op| op.is_mutation()).unwrap().clone();
+    assert!(service.apply(&mutation).is_rejected());
+    assert!(service.is_degraded());
+
+    // The maintenance thread ticks against the dead disk: its attempts
+    // fail (counted), the service stays degraded and keeps serving.
+    let service = Arc::new(Mutex::new(service));
+    let checkpointer =
+        BackgroundCheckpointer::spawn(Arc::clone(&service), Duration::from_millis(5));
+    std::thread::sleep(Duration::from_millis(40));
+    {
+        let service = service.lock().unwrap();
+        assert!(service.is_degraded(), "a dead disk cannot promote");
+        assert!(service.stats().durability.checkpoint_failures >= 1);
+    }
+
+    // The disk comes back; the next tick lands a checkpoint and
+    // promotes the service — no one calls `checkpoint()` by hand.
+    vfs.heal();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.lock().unwrap().is_degraded() {
+        assert!(
+            Instant::now() < deadline,
+            "the background checkpointer never promoted the service"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    checkpointer.stop();
+    let mut service = Arc::try_unwrap(service).unwrap().into_inner().unwrap();
+    let health = service.stats().durability;
+    assert_eq!(health.mode_transitions, 2, "degrade + background promote");
+    assert!(health.checkpoints >= 1);
+    // Mutations flow (and are logged) again.
+    assert_ne!(
+        service.apply(&mutation),
+        Response::Rejected(ServiceError::DurabilityUnavailable)
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn open_durable_sweeps_orphaned_checkpoint_temporaries() {
+    let registry = facebook_security_views(&facebook_catalog());
+    let dir = temp_dir("tmp_sweep");
+    fs::create_dir_all(&dir).unwrap();
+    // A crash between a checkpoint's temp write and its rename strands
+    // the temp file; seed two of them.
+    fs::write(dir.join("ckpt-00000000000000000007.tmp"), b"torn image").unwrap();
+    fs::write(dir.join("ckpt-00000000000000000009.tmp"), b"").unwrap();
+    let (service, report) = DisclosureService::open_durable(registry, config(), &dir).unwrap();
+    assert_eq!(report.temps_swept, 2);
+    let leftovers: Vec<String> = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.unwrap().file_name().into_string().ok())
+        .filter(|name| name.ends_with(".tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "temps not swept: {leftovers:?}");
+    assert_eq!(service.recovery_report().unwrap(), report);
+    service.close().unwrap();
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recovery_report_counts_a_discarded_garbage_tail() {
+    let registry = facebook_security_views(&facebook_catalog());
+    let ops = churn_ops(&registry, 0x7A11, 24);
+    let dir = temp_dir("garbage_tail");
+    let (mut service, _) =
+        DisclosureService::open_durable(registry.clone(), config(), &dir).unwrap();
+    for policy in policies(&registry) {
+        service.register_principal(policy);
+    }
+    for op in &ops {
+        service.apply(op);
+    }
+    service.close().unwrap();
+
+    // Scribble garbage on the tail of the (single) segment, as a torn
+    // final write would.
+    let segment = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+        })
+        .unwrap();
+    let mut bytes = fs::read(&segment).unwrap();
+    let clean_len = bytes.len();
+    bytes.extend_from_slice(&[0xFF; 7]);
+    fs::write(&segment, &bytes).unwrap();
+
+    let (service, report) = DisclosureService::open_durable(registry, config(), &dir).unwrap();
+    assert_eq!(report.discarded_bytes, 7, "the garbage tail is counted");
+    assert_eq!(report.discarded_records, 1, "as one residual frame");
+    // The resumed writer truncated the garbage away.
+    service.close().unwrap();
+    assert_eq!(fs::metadata(&segment).unwrap().len() as usize, clean_len);
+    fs::remove_dir_all(&dir).unwrap();
+}
