@@ -29,19 +29,32 @@
 //! ```
 //!
 //! The emitted `BENCH_fig7.json` records ops/second per ratio and strategy,
-//! the per-strategy cache counters (`CachedLabeler::stats()`), and the
-//! headlines: `speedup_at_1pct` (incremental vs flush, acceptance ≥ 2×) and
-//! `pipelined_vs_incremental` per swept ratio (acceptance: ≥ 1 at 0.1% and
-//! 1%, ≥ parity at 10% — enforced by the `bench_check` binary in CI).
+//! the per-strategy cache counters (`CachedLabeler::stats()`), the
+//! worker-plane counters (`ServiceStats::parallel` — per-worker task
+//! counts, steals, queue stalls, snapshots reclaimed), a `thread_scaling`
+//! block (the pipelined executor at 1% churn with the worker pool pinned
+//! to 1, 2 and 4 workers), and the headlines: `speedup_at_1pct`
+//! (incremental vs flush, acceptance ≥ 2×) and `pipelined_vs_incremental`
+//! per swept ratio (acceptance: ≥ 1 at 0.1% and 1%, ≥ parity at 10% —
+//! enforced by the `bench_check` binary in CI, which also floors
+//! `pipelined_x4` at 1.8× `pipelined_x1` on multi-core committed runs).
 
 use std::time::Instant;
 
-use fdc_bench::{fig7_service, fig7_streams};
+use fdc_bench::{fig7_service_with_workers, fig7_streams};
 use fdc_core::CacheStats;
 use fdc_service::{DisclosureService, InvalidationMode, Operation, ServiceStats};
 
 /// The swept mutation:query ratios.
 const RATIOS: [f64; 4] = [0.0, 0.001, 0.01, 0.1];
+
+/// The worker-pool widths of the `thread_scaling` series, measured on the
+/// pipelined executor at [`SCALING_RATIO`].
+const SCALING_WORKERS: [usize; 3] = [1, 2, 4];
+
+/// The mutation ratio the `thread_scaling` series is measured at: 1%
+/// churn, the headline regime (large segments, realistic mutation mix).
+const SCALING_RATIO: f64 = 0.01;
 
 /// Which request-loop executor a strategy measures.
 #[derive(Clone, Copy)]
@@ -77,14 +90,15 @@ fn main() {
 
     // Warmup must exceed the query pool (FIG7_QUERY_POOL) so the measured
     // stream runs at the cache's steady state.
-    // Best-of-4 on the full run: the swept strategies differ by a few
+    // Best-of-8 on the full run: the swept strategies differ by a few
     // percent at some points, which single-shot timing on a shared host
-    // cannot resolve; best-of-N converges every strategy to the machine's
-    // fast state before the ratios are taken.
+    // cannot resolve (observed run-to-run swings exceed 10%); best-of-N
+    // converges every strategy to the machine's fast state before the
+    // ratios are taken.
     let (num_principals, warmup_ops, stream_ops, repeats) = if smoke {
         (2_000, 2_500, 5_000, 1)
     } else {
-        (100_000, 20_000, 100_000, 4)
+        (100_000, 20_000, 100_000, 8)
     };
     let batch_ops = 1_024;
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -124,8 +138,15 @@ fn main() {
         let mut best: Vec<Option<(f64, CacheStats, ServiceStats)>> = vec![None; strategies.len()];
         for _ in 0..repeats.max(1) {
             for (slot, &(mode, executor, _)) in strategies.iter().enumerate() {
-                let sample =
-                    measure_once(num_principals, mode, executor, &warmup, &stream, batch_ops);
+                let sample = measure_once(
+                    num_principals,
+                    mode,
+                    executor,
+                    0,
+                    &warmup,
+                    &stream,
+                    batch_ops,
+                );
                 if best[slot].as_ref().is_none_or(|(b, _, _)| sample.0 > *b) {
                     best[slot] = Some(sample);
                 }
@@ -167,8 +188,34 @@ fn main() {
          (acceptance: >= 2x)"
     );
 
+    // The thread-scaling series: the pipelined executor at 1% churn with
+    // the worker pool pinned to 1, 2 and 4 workers on identical streams.
+    // Recorded at every host width (bench_check only floors the x4:x1
+    // ratio when the committed run had real cores to scale onto).
+    let (scaling_warmup, scaling_stream) =
+        fig7_streams(num_principals, SCALING_RATIO, warmup_ops, stream_ops);
+    let mut scaling: Vec<(usize, f64)> = SCALING_WORKERS.iter().map(|&w| (w, 0.0f64)).collect();
+    for _ in 0..repeats.max(1) {
+        for (slot, &workers) in SCALING_WORKERS.iter().enumerate() {
+            let (ops_per_sec, _, _) = measure_once(
+                num_principals,
+                InvalidationMode::Incremental,
+                Executor::Pipelined,
+                workers,
+                &scaling_warmup,
+                &scaling_stream,
+                batch_ops,
+            );
+            scaling[slot].1 = scaling[slot].1.max(ops_per_sec);
+        }
+    }
+    for &(workers, ops_per_sec) in &scaling {
+        println!("thread_scaling pipelined_x{workers}: {ops_per_sec:.0} ops/s");
+    }
+
     let json = render_json(
         &points,
+        &scaling,
         num_principals,
         warmup_ops,
         stream_ops,
@@ -187,11 +234,12 @@ fn measure_once(
     num_principals: usize,
     mode: InvalidationMode,
     executor: Executor,
+    workers: usize,
     warmup: &[Operation],
     stream: &[Operation],
     batch_ops: usize,
 ) -> (f64, CacheStats, ServiceStats) {
-    let mut service = fig7_service(num_principals, mode);
+    let mut service = fig7_service_with_workers(num_principals, mode, workers);
     run_in_batches(&mut service, executor, warmup, batch_ops);
     let start = Instant::now();
     run_in_batches(&mut service, executor, stream, batch_ops);
@@ -229,6 +277,7 @@ fn speedup_at(points: &[SweepPoint], ratio: f64) -> f64 {
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     points: &[SweepPoint],
+    scaling: &[(usize, f64)],
     num_principals: usize,
     warmup_ops: usize,
     stream_ops: usize,
@@ -288,6 +337,22 @@ fn render_json(
         ));
     }
     out.push_str("  ],\n");
+    // The pipelined executor at the scaling ratio with the worker pool
+    // pinned to each width — the series behind the bench_check scaling
+    // floor (pipelined_x4 vs pipelined_x1, multi-core committed runs).
+    out.push_str("  \"thread_scaling\": {\n");
+    out.push_str(&format!("    \"mutation_ratio\": {SCALING_RATIO},\n"));
+    out.push_str("    \"series\": {\n");
+    for (i, &(workers, ops_per_sec)) in scaling.iter().enumerate() {
+        out.push_str(&format!(
+            "      \"pipelined_x{}\": {:.1}{}\n",
+            workers,
+            ops_per_sec,
+            if i + 1 == scaling.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("    }\n");
+    out.push_str("  },\n");
     out.push_str("  \"sweep\": [\n");
     for (i, point) in points.iter().enumerate() {
         out.push_str("    {\n");
@@ -319,6 +384,38 @@ fn render_json(
                 m.cache.invalidations
             ));
             out.push_str(&format!("          \"entries\": {}\n", m.cache.entries));
+            out.push_str("        },\n");
+            // The worker-plane counters: how the pool executed this
+            // strategy's labeling and decision fan-outs.
+            let p = &m.service.parallel;
+            out.push_str("        \"parallel\": {\n");
+            out.push_str(&format!("          \"workers\": {},\n", p.workers));
+            out.push_str(&format!(
+                "          \"segments_labeled\": {},\n",
+                p.segments_labeled
+            ));
+            let per_worker: Vec<String> = p.tasks_per_worker.iter().map(u64::to_string).collect();
+            out.push_str(&format!(
+                "          \"tasks_per_worker\": [{}],\n",
+                per_worker.join(", ")
+            ));
+            out.push_str(&format!(
+                "          \"tasks_inline\": {},\n",
+                p.tasks_inline
+            ));
+            out.push_str(&format!("          \"steals\": {},\n", p.steals));
+            out.push_str(&format!(
+                "          \"queue_full_stalls\": {},\n",
+                p.queue_full_stalls
+            ));
+            out.push_str(&format!(
+                "          \"queue_empty_stalls\": {},\n",
+                p.queue_empty_stalls
+            ));
+            out.push_str(&format!(
+                "          \"snapshots_reclaimed\": {}\n",
+                p.snapshots_reclaimed
+            ));
             out.push_str("        }\n");
             out.push_str(if j + 1 == point.results.len() {
                 "      }\n"

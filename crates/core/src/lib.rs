@@ -54,6 +54,7 @@ pub mod dissect;
 pub mod error;
 pub mod label;
 pub mod labeler;
+pub mod pool;
 pub mod rewriting_order;
 pub mod security_views;
 pub mod unify;
@@ -64,7 +65,10 @@ pub use labeler::{
     label_queries_parallel, map_chunks_parallel, map_chunks_parallel_with_threshold,
     BaselineLabeler, BitVectorLabeler, CacheStats, CachedLabeler, HashPartitionedLabeler,
     LabelerSnapshot, QueryLabeler, SharedQueryInterner, DEFAULT_CACHE_CAPACITY,
-    SMALL_BATCH_SEQUENTIAL_THRESHOLD,
+    POOLED_BATCH_THRESHOLD, SMALL_BATCH_SEQUENTIAL_THRESHOLD,
+};
+pub use pool::{
+    EpochPin, PendingBatch, PoolStats, WorkerContext, WorkerPool, WORKER_QUEUE_CAPACITY,
 };
 pub use security_views::{
     SecurityViewId, SecurityViews, MAX_PACKED_VIEWS_PER_RELATION, MAX_VIEWS_PER_RELATION,

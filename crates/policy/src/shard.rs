@@ -4,11 +4,12 @@
 //! submit touches exactly one principal's state — so the store scales by
 //! partitioning principals round-robin over N independent shards, each a
 //! complete [`PolicyStore`] owned by (at most) one worker thread at a time.
-//! No locks, no atomics: a batch is split by shard, each shard's requests
-//! are processed on a scoped worker thread
-//! ([`submit_batch_parallel`](ShardedPolicyStore::submit_batch_parallel),
-//! mirroring `fdc_core::label_queries_parallel` on the labeling side), and
-//! the decisions are scattered back into request order.
+//! No locks, no atomics on the decision path: a batch is split by shard,
+//! each busy shard is **moved** into a task on a persistent
+//! [`WorkerPool`] — queue pushes, not thread spawns —
+//! and moved back with its decisions, which are scattered into request
+//! order ([`submit_batch_parallel`](ShardedPolicyStore::submit_batch_parallel),
+//! [`decide_batch_on`](ShardedPolicyStore::decide_batch_on)).
 //!
 //! Sequential entry points ([`submit`](ShardedPolicyStore::submit),
 //! [`submit_packed`](ShardedPolicyStore::submit_packed), …) route single
@@ -17,18 +18,23 @@
 //! per-principal [`ReferenceMonitor`](crate::ReferenceMonitor)) is asserted
 //! by the property tests.
 
-use fdc_core::{DisclosureLabel, PackedLabel, SecurityViewId, SecurityViews};
+use fdc_core::{DisclosureLabel, PackedLabel, SecurityViewId, SecurityViews, WorkerPool};
 
 use crate::monitor::Decision;
 use crate::policy::SecurityPolicy;
 use crate::store::{PolicyStore, PrincipalId};
 
 /// Batches shorter than this are decided sequentially on the calling thread
-/// by default: for tiny batches, spawning one scoped worker per shard costs
+/// by default: for tiny batches, even the pool hand-off (cloning the packed
+/// labels into owned per-shard requests, a queue push per busy shard) costs
 /// more than the handful of bit-mask decisions being parallelized.  Tune per
 /// store with [`ShardedPolicyStore::set_parallel_threshold`] (mirroring
 /// `fdc_core::SMALL_BATCH_SEQUENTIAL_THRESHOLD` on the labeling side).
 pub const DEFAULT_PARALLEL_THRESHOLD: usize = 32;
+
+/// One shard's slice of a fanned-out batch: `(request index, shard-local
+/// principal, packed label, commit)`.
+type ShardRequests = Vec<(usize, PrincipalId, Vec<PackedLabel>, bool)>;
 
 /// A policy store partitioned over independent shards.
 ///
@@ -40,8 +46,8 @@ pub const DEFAULT_PARALLEL_THRESHOLD: usize = 32;
 pub struct ShardedPolicyStore {
     shards: Vec<PolicyStore>,
     num_principals: usize,
-    /// Minimum batch length for the scoped-thread fan-out; shorter batches
-    /// fall back to the sequential path.
+    /// Minimum batch length for the pooled per-shard fan-out; shorter
+    /// batches fall back to the sequential path.
     parallel_threshold: usize,
 }
 
@@ -69,8 +75,8 @@ impl ShardedPolicyStore {
     /// Sets the minimum batch length at which
     /// [`submit_batch_parallel`](Self::submit_batch_parallel) /
     /// [`decide_batch_parallel`](Self::decide_batch_parallel) fan out to
-    /// scoped worker threads.  `0` (or `1`) forces the parallel path for
-    /// every non-trivial batch.
+    /// the worker pool.  `0` (or `1`) forces the parallel path for every
+    /// non-trivial batch.
     pub fn set_parallel_threshold(&mut self, threshold: usize) {
         self.parallel_threshold = threshold;
     }
@@ -205,58 +211,106 @@ impl ShardedPolicyStore {
             .collect()
     }
 
-    /// Submits a batch of packed requests with one scoped worker thread per
+    /// Submits a batch of packed requests with one pool task per busy
     /// shard, returning the decisions in request order.
     ///
-    /// Requests are partitioned by owning shard; each worker owns its shard
-    /// exclusively for the duration of the batch, so no synchronization is
-    /// needed on the decision path.  Within a shard, requests are processed
-    /// in batch order; requests for *different* principals never interact,
-    /// so the decisions (and all per-principal state) equal the sequential
+    /// Requests are partitioned by owning shard; each shard is moved into
+    /// its task (and back out afterwards), so it is owned exclusively for
+    /// the duration of the batch and no synchronization is needed on the
+    /// decision path.  Within a shard, requests are processed in batch
+    /// order; requests for *different* principals never interact, so the
+    /// decisions (and all per-principal state) equal the sequential
     /// [`submit_batch`](Self::submit_batch) — asserted by the property
-    /// tests.
+    /// tests.  Runs on the process-wide [`WorkerPool`]; see
+    /// [`submit_batch_on`](Self::submit_batch_on) to supply one.
     pub fn submit_batch_parallel(
         &mut self,
         batch: &[(PrincipalId, &[PackedLabel])],
     ) -> Vec<Decision> {
-        let num_shards = self.shards.len();
-        if num_shards <= 1 || batch.len() <= 1 || batch.len() < self.parallel_threshold {
+        self.submit_batch_on(WorkerPool::global(), batch)
+    }
+
+    /// [`submit_batch_parallel`](Self::submit_batch_parallel) on an
+    /// explicit [`WorkerPool`].
+    pub fn submit_batch_on(
+        &mut self,
+        pool: &WorkerPool,
+        batch: &[(PrincipalId, &[PackedLabel])],
+    ) -> Vec<Decision> {
+        if self.shards.len() <= 1
+            || batch.len() <= 1
+            || batch.len() < self.parallel_threshold
+            || pool.workers() <= 1
+        {
             return self.submit_batch(batch);
         }
-        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
-        for (i, (principal, _)) in batch.iter().enumerate() {
-            by_shard[principal.index() % num_shards].push(i);
+        let by_shard = self.partition(batch.iter().map(|&(principal, label)| {
+            (principal, label, true) // submits always commit
+        }));
+        self.fan_out(pool, by_shard, batch.len(), |shard, local, label, _| {
+            shard.submit_packed(local, label)
+        })
+    }
+
+    /// Partitions a batch into owned per-shard request lists (cloning each
+    /// packed label — a handful of `u64`s — so the requests can outlive the
+    /// borrowed batch inside the pool tasks).
+    fn partition<'a>(
+        &self,
+        batch: impl Iterator<Item = (PrincipalId, &'a [PackedLabel], bool)>,
+    ) -> Vec<ShardRequests> {
+        let num_shards = self.shards.len();
+        let mut by_shard: Vec<ShardRequests> = vec![Vec::new(); num_shards];
+        for (i, (principal, label, commit)) in batch.enumerate() {
+            let local = PrincipalId((principal.index() / num_shards) as u32);
+            by_shard[principal.index() % num_shards].push((i, local, label.to_vec(), commit));
         }
-        let per_shard: Vec<Vec<(usize, Decision)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter_mut()
-                .zip(by_shard.iter())
-                .filter(|(_, indices)| !indices.is_empty())
-                .map(|(shard, indices)| {
-                    scope.spawn(move || {
-                        indices
-                            .iter()
-                            .map(|&i| {
-                                let (principal, label) = batch[i];
-                                let local = PrincipalId((principal.index() / num_shards) as u32);
-                                (i, shard.submit_packed(local, label))
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
+        by_shard
+    }
+
+    /// The move-in/move-out fan-out shared by the parallel batch entry
+    /// points: every shard with pending requests is moved into a pool task
+    /// together with its request list, decides them in batch order, and is
+    /// moved back; the decisions are scattered into request order.
+    fn fan_out<F>(
+        &mut self,
+        pool: &WorkerPool,
+        by_shard: Vec<ShardRequests>,
+        batch_len: usize,
+        decide: F,
+    ) -> Vec<Decision>
+    where
+        F: Fn(&mut PolicyStore, PrincipalId, &[PackedLabel], bool) -> Decision
+            + Send
+            + Sync
+            + 'static,
+    {
+        let mut slots: Vec<Option<PolicyStore>> = self.shards.drain(..).map(Some).collect();
+        let mut inputs: Vec<(usize, PolicyStore, ShardRequests)> = Vec::new();
+        for (shard_idx, requests) in by_shard.into_iter().enumerate() {
+            if !requests.is_empty() {
+                let shard = slots[shard_idx].take().expect("each shard moved out once");
+                inputs.push((shard_idx, shard, requests));
+            }
+        }
+        let outputs = pool.run(inputs, move |(shard_idx, mut shard, requests), _ctx| {
+            let decided: Vec<(usize, Decision)> = requests
                 .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
+                .map(|(i, local, label, commit)| (i, decide(&mut shard, local, &label, commit)))
+                .collect();
+            (shard_idx, shard, decided)
         });
-        let mut decisions = vec![Decision::Deny; batch.len()];
-        for shard_decisions in per_shard {
-            for (i, decision) in shard_decisions {
+        let mut decisions = vec![Decision::Deny; batch_len];
+        for (shard_idx, shard, decided) in outputs {
+            slots[shard_idx] = Some(shard);
+            for (i, decision) in decided {
                 decisions[i] = decision;
             }
         }
+        self.shards = slots
+            .into_iter()
+            .map(|slot| slot.expect("each shard moved back once"))
+            .collect();
         decisions
     }
 
@@ -329,60 +383,49 @@ impl ShardedPolicyStore {
     }
 
     /// Decides a mixed batch of packed submits (`commit = true`) and checks
-    /// (`commit = false`) with one scoped worker thread per shard, returning
-    /// the decisions in request order.
+    /// (`commit = false`) with one pool task per busy shard, returning the
+    /// decisions in request order.
     ///
     /// The generalization of
     /// [`submit_batch_parallel`](Self::submit_batch_parallel) the service's
     /// request loop runs on: within a shard, requests are processed in batch
     /// order, so a check between two submits for the same principal observes
-    /// exactly the state it would under sequential processing.
+    /// exactly the state it would under sequential processing.  Runs on the
+    /// process-wide [`WorkerPool`]; see
+    /// [`decide_batch_on`](Self::decide_batch_on) to supply one.
     pub fn decide_batch_parallel(
         &mut self,
         batch: &[(PrincipalId, &[PackedLabel], bool)],
     ) -> Vec<Decision> {
-        let num_shards = self.shards.len();
-        if num_shards <= 1 || batch.len() <= 1 || batch.len() < self.parallel_threshold {
+        self.decide_batch_on(WorkerPool::global(), batch)
+    }
+
+    /// [`decide_batch_parallel`](Self::decide_batch_parallel) on an
+    /// explicit [`WorkerPool`] — the entry point the service's executors
+    /// use, so decision application shares the service's worker plane (and
+    /// its counters) with the labeling stage.
+    pub fn decide_batch_on(
+        &mut self,
+        pool: &WorkerPool,
+        batch: &[(PrincipalId, &[PackedLabel], bool)],
+    ) -> Vec<Decision> {
+        if self.shards.len() <= 1
+            || batch.len() <= 1
+            || batch.len() < self.parallel_threshold
+            || pool.workers() <= 1
+        {
             return batch
                 .iter()
                 .map(|(principal, label, commit)| self.decide_packed(*principal, label, *commit))
                 .collect();
         }
-        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
-        for (i, (principal, _, _)) in batch.iter().enumerate() {
-            by_shard[principal.index() % num_shards].push(i);
-        }
-        let per_shard: Vec<Vec<(usize, Decision)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter_mut()
-                .zip(by_shard.iter())
-                .filter(|(_, indices)| !indices.is_empty())
-                .map(|(shard, indices)| {
-                    scope.spawn(move || {
-                        indices
-                            .iter()
-                            .map(|&i| {
-                                let (principal, label, commit) = batch[i];
-                                let local = PrincipalId((principal.index() / num_shards) as u32);
-                                (i, shard.decide_packed(local, label, commit))
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        });
-        let mut decisions = vec![Decision::Deny; batch.len()];
-        for shard_decisions in per_shard {
-            for (i, decision) in shard_decisions {
-                decisions[i] = decision;
-            }
-        }
-        decisions
+        let by_shard = self.partition(batch.iter().copied());
+        self.fan_out(
+            pool,
+            by_shard,
+            batch.len(),
+            |shard, local, label, commit| shard.decide_packed(local, label, commit),
+        )
     }
 
     /// `(answered, refused)` counters for a principal.

@@ -20,7 +20,7 @@
 //!   grant/revoke while preserving its consistency word and counters.
 //!
 //! The service multiplexes all of it behind one [`Operation`] stream and a
-//! sharded scoped-thread request loop
+//! request loop served by a persistent thread-per-core worker pool
 //! ([`run_batch`](DisclosureService::run_batch)).  The Figure 7 benchmark
 //! (`fig7_json`) measures the payoff: at realistic mutation:query ratios,
 //! incremental relabeling sustains a large multiple of the throughput of
@@ -44,7 +44,9 @@ pub use fdc_durability::DurabilityConfig;
 pub use health::{DegradedMode, DurabilityHealth, ServiceMode};
 pub use maintenance::BackgroundCheckpointer;
 pub use ops::{Operation, Response, ServiceError};
-pub use service::{DisclosureService, InvalidationMode, ServiceConfig, ServiceStats};
+pub use service::{
+    DisclosureService, InvalidationMode, ParallelStats, ServiceConfig, ServiceStats,
+};
 pub use snapshot::ServiceSnapshot;
 
 #[cfg(test)]
@@ -517,7 +519,7 @@ mod tests {
 
     #[test]
     fn pipelined_cache_stats_match_the_batch_executor() {
-        // With a single shard both executors label sequentially in stream
+        // With a single worker both executors label sequentially in stream
         // order over the same (shared, snapshot-published) tables, so the
         // cumulative cache counters must agree exactly.  Audits are
         // excluded: the pipelined executor serves them from the retiring
@@ -525,6 +527,7 @@ mod tests {
         let registry = SecurityViews::paper_example();
         let config = ServiceConfig {
             num_shards: 1,
+            workers: 1,
             ..ServiceConfig::default()
         };
         let build = |registry: &SecurityViews| {

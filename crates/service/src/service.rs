@@ -3,11 +3,11 @@
 use std::collections::VecDeque;
 use std::io;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use fdc_core::{
-    map_chunks_parallel_with_threshold, CachedLabeler, PackedLabel, QueryLabeler, SecurityViews,
-    SharedQueryInterner, DEFAULT_CACHE_CAPACITY, MAX_PACKED_VIEWS_PER_RELATION,
+    CachedLabeler, PackedLabel, PendingBatch, QueryLabeler, SecurityViews, SharedQueryInterner,
+    WorkerPool, DEFAULT_CACHE_CAPACITY, MAX_PACKED_VIEWS_PER_RELATION,
     SMALL_BATCH_SEQUENTIAL_THRESHOLD,
 };
 use fdc_cq::intern::{QueryId, QueryInterner};
@@ -56,10 +56,19 @@ pub enum InvalidationMode {
 /// Configuration of a [`DisclosureService`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
-    /// Number of policy shards (and labeling worker threads) the request
-    /// loop fans admission runs across.  `0` means "the host's available
-    /// parallelism".
+    /// Number of policy shards decision application fans out across.
+    /// `0` means "the host's available parallelism".  The shard count is
+    /// part of a durable service's on-disk layout (round-robin principal
+    /// placement), so recovery keeps the checkpoint's count.
     pub num_shards: usize,
+    /// Number of persistent worker threads in the service's
+    /// [`WorkerPool`] — the labeling fan-out width of
+    /// [`run_batch`](DisclosureService::run_batch) and
+    /// [`run_pipelined`](DisclosureService::run_pipelined), and the
+    /// execution plane of the per-shard decision fan-out.  `0` means "the
+    /// host's available parallelism"; `1` serves every batch inline on the
+    /// calling thread with no pool at all.
+    pub workers: usize,
     /// Per-principal cap on the observed-workload history that backs
     /// `AuditApp` (a bounded FIFO of recently submitted queries).  `0`
     /// disables history recording — and with it auditing — for
@@ -67,12 +76,12 @@ pub struct ServiceConfig {
     pub history_cap: usize,
     /// Cache-invalidation strategy; see [`InvalidationMode`].
     pub invalidation: InvalidationMode,
-    /// Minimum admission-run length for the scoped-thread fan-out: shorter
-    /// runs are labeled and decided sequentially on the calling thread,
-    /// because spawning workers costs more than the handful of lookups
-    /// being parallelized.  Applied to both stages (the labeling fan-out
-    /// and the policy store's per-shard workers).  `0` forces the parallel
-    /// path for every non-trivial run.
+    /// Minimum admission-run length for the pooled fan-out: shorter runs
+    /// are labeled and decided sequentially on the calling thread, because
+    /// even hand-off to an already-running worker costs more than the
+    /// handful of lookups being parallelized.  Applied to both stages (the
+    /// labeling fan-out and the policy store's per-shard apply).  `0`
+    /// forces the parallel path for every non-trivial run.
     pub parallel_threshold: usize,
     /// Write-ahead-log tuning (group-commit batch, segment rotation
     /// size, fsync) for services opened with
@@ -85,6 +94,7 @@ impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             num_shards: 0,
+            workers: 0,
             history_cap: 1024,
             invalidation: InvalidationMode::Incremental,
             parallel_threshold: SMALL_BATCH_SEQUENTIAL_THRESHOLD,
@@ -93,9 +103,46 @@ impl Default for ServiceConfig {
     }
 }
 
+/// Worker-plane counters of a [`DisclosureService`]: what the persistent
+/// [`WorkerPool`] did on this service's behalf.  Pure observability — two
+/// services that served the same stream with different worker counts hold
+/// identical extensional state but different `ParallelStats`, which is why
+/// [`ServiceStats`] equality ignores this block.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParallelStats {
+    /// Parallel width of the service's worker plane (1 = inline).
+    pub workers: usize,
+    /// Labeling batches dispatched to the pool (one per pipelined segment
+    /// or pooled admission run).
+    pub segments_labeled: u64,
+    /// Tasks executed by each pool worker, in worker order.  Empty until
+    /// the pool has been spun up (and on single-worker services).
+    pub tasks_per_worker: Vec<u64>,
+    /// Tasks the coordinating thread ran itself (single-worker services,
+    /// single-task batches, full-queue backpressure).
+    pub tasks_inline: u64,
+    /// Tasks a worker stole from a sibling's queue tail (skewed segments).
+    pub steals: u64,
+    /// Pushes that found a worker queue at capacity and spilled over.
+    pub queue_full_stalls: u64,
+    /// Times a pool worker found every queue empty and parked.
+    pub queue_empty_stalls: u64,
+    /// Epoch snapshots whose cache work was drained back into the live
+    /// labeler after the minimum published epoch passed them.
+    pub snapshots_reclaimed: u64,
+}
+
 /// Service-level counters, complementing the labeler's
 /// [`CacheStats`](fdc_core::CacheStats).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Equality compares the **extensional** counters only — admissions,
+/// mutations, flushes, audits and durability health.  The
+/// [`parallel`](Self::parallel) block describes *how* the work was executed
+/// (worker tasks, steals, stalls, reclamations), which legitimately differs
+/// between executors serving identical streams, so it is excluded from
+/// `==` (the property suite asserts batch/pipelined stats equality across
+/// executors with different worker planes).
+#[derive(Debug, Clone, Default)]
 pub struct ServiceStats {
     /// Admissions served (submits + checks that reached a decision).
     pub admissions: u64,
@@ -109,7 +156,21 @@ pub struct ServiceStats {
     /// Durability health (WAL, checkpoint and serving-mode counters).
     /// All zeros on in-memory services.
     pub durability: DurabilityHealth,
+    /// Worker-plane counters (excluded from equality; see above).
+    pub parallel: ParallelStats,
 }
+
+impl PartialEq for ServiceStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.admissions == other.admissions
+            && self.mutations == other.mutations
+            && self.flushes == other.flushes
+            && self.audits == other.audits
+            && self.durability == other.durability
+    }
+}
+
+impl Eq for ServiceStats {}
 
 /// The single front door of the disclosure-control system.
 ///
@@ -121,10 +182,10 @@ pub struct ServiceStats {
 ///
 /// * **Admissions** (`Submit` / `Check`) run the fused hot path: canonical
 ///   cache hit → packed label → bit-mask decision.
-///   [`run_batch`](Self::run_batch) executes maximal admission runs on scoped worker
-///   threads — labeling sharded over the shared cache, decisions sharded by
-///   principal — exactly like the old `AdmissionPipeline`, which this
-///   service supersedes.
+///   [`run_batch`](Self::run_batch) executes maximal admission runs on the
+///   service's persistent [`WorkerPool`] — labeling sharded over the shared
+///   cache, decisions sharded by principal — exactly like the old
+///   `AdmissionPipeline`, which this service supersedes.
 /// * **Policy mutations** (`GrantView` / `RevokeView`) re-intern the
 ///   principal's compiled policy while preserving its consistency word and
 ///   counters; the label caches are untouched (labels do not depend on
@@ -164,6 +225,21 @@ pub struct DisclosureService {
     /// replay too, which is what keeps replayed operations from being
     /// re-logged.
     durable: Option<DurableState>,
+    /// The worker plane: the lazily spawned per-service [`WorkerPool`]
+    /// plus the coordinator-side counters of [`ParallelStats`].
+    parallel: ParallelPlane,
+}
+
+/// The service's worker plane.  The pool is spawned on first parallel use
+/// (`config.workers` threads), so the many short-lived services the test
+/// and recovery paths build never pay thread spawns.
+#[derive(Debug, Default)]
+struct ParallelPlane {
+    pool: OnceLock<Arc<WorkerPool>>,
+    /// Labeling batches dispatched to the pool.
+    segments_labeled: u64,
+    /// Epoch snapshots drained back into the live labeler.
+    snapshots_reclaimed: u64,
 }
 
 /// The query operand of one admission, as carried through the request loop:
@@ -199,6 +275,11 @@ impl DisclosureService {
         } else {
             config.num_shards
         };
+        let workers = if config.workers == 0 {
+            available_threads()
+        } else {
+            config.workers
+        };
         let labeler = CachedLabeler::new(views);
         let interner = labeler.interner();
         let mut store = ShardedPolicyStore::new(num_shards);
@@ -210,10 +291,12 @@ impl DisclosureService {
             history: Vec::new(),
             config: ServiceConfig {
                 num_shards,
+                workers,
                 ..config
             },
             stats: ServiceStats::default(),
             durable: None,
+            parallel: ParallelPlane::default(),
         }
     }
 
@@ -310,10 +393,40 @@ impl DisclosureService {
     /// Service-level operation counters, including the durability
     /// health block (all zeros on in-memory services).
     pub fn stats(&self) -> ServiceStats {
-        ServiceStats {
-            durability: self.durability_health(),
-            ..self.stats
+        let mut stats = self.stats.clone();
+        stats.durability = self.durability_health();
+        stats.parallel = self.parallel_stats();
+        stats
+    }
+
+    /// The service's worker pool, spawned on first use with the resolved
+    /// `config.workers` width (a width of 1 spawns no threads; every batch
+    /// runs inline on the calling thread).
+    fn worker_pool(&self) -> &Arc<WorkerPool> {
+        self.parallel
+            .pool
+            .get_or_init(|| Arc::new(WorkerPool::new(self.config.workers)))
+    }
+
+    /// Materializes the worker-plane block of [`stats`](Self::stats) from
+    /// the coordinator counters plus the pool's own counters (zeros until
+    /// the pool has been spun up).
+    fn parallel_stats(&self) -> ParallelStats {
+        let mut parallel = ParallelStats {
+            workers: self.config.workers,
+            segments_labeled: self.parallel.segments_labeled,
+            snapshots_reclaimed: self.parallel.snapshots_reclaimed,
+            ..ParallelStats::default()
+        };
+        if let Some(pool) = self.parallel.pool.get() {
+            let pool_stats = pool.stats();
+            parallel.tasks_per_worker = pool_stats.tasks_per_worker;
+            parallel.tasks_inline = pool_stats.tasks_inline;
+            parallel.steals = pool_stats.steals;
+            parallel.queue_full_stalls = pool_stats.queue_full_stalls;
+            parallel.queue_empty_stalls = pool_stats.queue_empty_stalls;
         }
+        parallel
     }
 
     /// The current serving mode.  In-memory services are always
@@ -1161,8 +1274,14 @@ impl DisclosureService {
         }
         // The shard count is part of the on-disk layout (round-robin
         // placement): the checkpoint's count wins over the config's.
-        // The parallel threshold is pure tuning: the config's wins.
+        // The parallel threshold and worker width are pure tuning: the
+        // config's win.
         let num_shards = store.num_shards();
+        let workers = if config.workers == 0 {
+            available_threads()
+        } else {
+            config.workers
+        };
         store.set_parallel_threshold(config.parallel_threshold);
         let labeler = CachedLabeler::with_interner(views, interner, DEFAULT_CACHE_CAPACITY);
         let interner = labeler.interner();
@@ -1173,10 +1292,12 @@ impl DisclosureService {
             history,
             config: ServiceConfig {
                 num_shards,
+                workers,
                 ..config
             },
             stats: ServiceStats::default(),
             durable: None,
+            parallel: ParallelPlane::default(),
         })
     }
 
@@ -1271,10 +1392,11 @@ impl DisclosureService {
     /// in request order.
     ///
     /// This is the service's request loop: maximal runs of admissions
-    /// (`Submit` / `Check`) execute on the sharded scoped-thread path —
-    /// labeling fans out over worker threads sharing the epoch-aware cache,
-    /// decisions fan out one worker per policy shard — and mutations /
-    /// audits apply sequentially at their position, splitting the runs.
+    /// (`Submit` / `Check`) execute on the persistent worker pool —
+    /// labeling fans out in stealable chunks over workers sharing the
+    /// epoch-aware cache, decisions fan out one pool task per policy shard
+    /// — and mutations / audits apply sequentially at their position,
+    /// splitting the runs.
     /// The responses (and all per-principal state) equal strictly
     /// sequential [`apply`](Self::apply) processing; the test suite and the
     /// `incremental_relabel` property test assert this.
@@ -1339,34 +1461,39 @@ impl DisclosureService {
             }
         }
         self.stats.admissions += valid.len() as u64;
-        // Stage 1: label every query in parallel through the shared cache —
-        // interned admissions index the slot cache directly, plain ones
-        // intern on first sight.
-        let labeler = &self.labeler;
-        let packed: Vec<Vec<PackedLabel>> = map_chunks_parallel_with_threshold(
-            &valid,
-            self.config.num_shards,
-            self.config.parallel_threshold,
-            |chunk| {
-                chunk
-                    .iter()
-                    .map(|&(_, _, query, _)| match query {
-                        AdmissionQuery::Plain(q) => labeler.label_packed(q),
-                        AdmissionQuery::Interned(id) => labeler.label_packed_interned(id),
-                    })
-                    .collect::<Vec<_>>()
-            },
-        )
-        .into_iter()
-        .flatten()
-        .collect();
-        // Stage 2: decide the mixed submit/check batch, one worker per shard.
+        // Stage 1: label every query through the shared cache — interned
+        // admissions index the slot cache directly, plain ones intern on
+        // first sight.  Runs at or above the parallel threshold hand off
+        // to the persistent worker pool against a per-run labeler
+        // snapshot (no run contains a mutation, so the snapshot is the
+        // live labeler at every position of the run); shorter runs label
+        // inline.
+        let pooled =
+            self.config.workers > 1 && valid.len() >= self.config.parallel_threshold.max(2);
+        let packed: Vec<Vec<PackedLabel>> = if pooled {
+            let staged: Vec<StagedQuery> = valid
+                .iter()
+                .map(|&(_, _, query, _)| StagedQuery::from_admission(query))
+                .collect();
+            self.pooled_label_run(staged)
+        } else {
+            valid
+                .iter()
+                .map(|&(_, _, query, _)| match query {
+                    AdmissionQuery::Plain(q) => self.labeler.label_packed(q),
+                    AdmissionQuery::Interned(id) => self.labeler.label_packed_interned(id),
+                })
+                .collect()
+        };
+        // Stage 2: decide the mixed submit/check batch, sharded by
+        // principal on the same pool.
         let batch: Vec<(PrincipalId, &[PackedLabel], bool)> = valid
             .iter()
             .zip(&packed)
             .map(|(&(_, principal, _, commit), label)| (principal, label.as_slice(), commit))
             .collect();
-        let decisions = self.store.decide_batch_parallel(&batch);
+        let pool = Arc::clone(self.worker_pool());
+        let decisions = self.store.decide_batch_on(&pool, &batch);
         for (&(i, principal, query, commit), decision) in valid.iter().zip(decisions) {
             if commit {
                 match query {
@@ -1377,6 +1504,38 @@ impl DisclosureService {
             responses[i] = Some(Response::Decision(decision));
         }
         run.clear();
+    }
+
+    /// Labels one admission run on the worker pool: freeze a labeler
+    /// snapshot, chunk the staged queries across the workers (more chunks
+    /// than workers, so stealing levels skew), pin each chunk's task to a
+    /// fresh epoch, and drain the snapshot's cache work back into the
+    /// live labeler once the batch completes — at which point every task
+    /// of the epoch has unpinned, so the reclamation is immediate.
+    fn pooled_label_run(&mut self, staged: Vec<StagedQuery>) -> Vec<Vec<PackedLabel>> {
+        let pool = Arc::clone(self.worker_pool());
+        let snapshot = Arc::new(self.labeler.snapshot());
+        let epoch = pool.advance_epoch();
+        let chunk_len = staged
+            .len()
+            .div_ceil(pool.workers() * CHUNKS_PER_WORKER)
+            .max(1);
+        let inputs = chunk_owned(staged, chunk_len);
+        let shared = Arc::clone(&snapshot);
+        let results = pool.run(inputs, move |chunk, ctx| {
+            let _pin = ctx.pin(epoch);
+            chunk
+                .into_iter()
+                .map(|query| match query {
+                    StagedQuery::Plain(q) => shared.label_packed(&q),
+                    StagedQuery::Interned(id) => shared.label_packed_interned(id),
+                })
+                .collect::<Vec<_>>()
+        });
+        self.labeler.retire_snapshot(&snapshot);
+        self.parallel.segments_labeled += 1;
+        self.parallel.snapshots_reclaimed += 1;
+        results.into_iter().flatten().collect()
     }
 
     /// Freezes the service's read plane into a [`ServiceSnapshot`]: the
@@ -1403,26 +1562,29 @@ impl DisclosureService {
     /// label), every mutation in
     /// [`InvalidationMode::FlushOnMutation`] — and pipelines the segments:
     ///
-    /// * each segment's admissions are labeled **concurrently** on a worker
-    ///   fan-out against the *previous* [`ServiceSnapshot`] (which is
-    ///   exactly the registry state at every position of the segment),
-    ///   while the main thread still walks the previous segment's
-    ///   decisions, policy mutations and audits in stream order;
+    /// * each segment's admissions are labeled **concurrently** on the
+    ///   persistent [`WorkerPool`] against the *previous*
+    ///   [`ServiceSnapshot`] (which is exactly the registry state at every
+    ///   position of the segment), while the main thread still walks the
+    ///   previous segment's decisions, policy mutations and audits in
+    ///   stream order;
     /// * decisions, grants, revokes, history recording and audits apply to
     ///   the live store **at their stream position**; decision runs fan out
     ///   per policy shard and split at a policy mutation or audit only when
     ///   the *touched principal* has a decision pending — decisions for
     ///   other principals read none of the mutated state, so they commute
     ///   across it and the run keeps accumulating;
-    /// * at each boundary the serving snapshot is retired — its cache work
-    ///   is published back into the shared striped tables
-    ///   (`CachedLabeler::retire_snapshot`) — before the next snapshot is
-    ///   built, so warm state survives epochs.  On the single-worker path
-    ///   (and on audit-free streams generally) the cumulative
-    ///   [`CacheStats`](fdc_core::CacheStats) match the batch executor's
-    ///   exactly; with multiple workers the counters are racy in the same
-    ///   way `run_batch`'s are, and cache work an audit performs through
-    ///   an already-retired snapshot is discarded with it.
+    /// * snapshots this run has stopped labeling through are reclaimed by
+    ///   **epoch**: each labeling batch pins the pool epoch it reads under,
+    ///   and once every worker has published past a snapshot's epoch its
+    ///   cache work is drained back into the shared striped tables
+    ///   (`CachedLabeler::retire_snapshot`), so warm state survives epochs
+    ///   without the coordinator blocking at the boundary.  On the
+    ///   single-worker path (and on audit-free streams generally) the
+    ///   cumulative [`CacheStats`](fdc_core::CacheStats) match the batch
+    ///   executor's exactly; with multiple workers the counters are racy in
+    ///   the same way `run_batch`'s are, and cache work an audit performs
+    ///   through an already-reclaimed snapshot is discarded with it.
     ///
     /// Audits and grant/revoke name resolution use the serving snapshot's
     /// *frozen* registry, which equals the live registry at their stream
@@ -1448,11 +1610,11 @@ impl DisclosureService {
         let covered_at =
             |coverage: &Option<Vec<bool>>, i: usize| coverage.as_ref().is_none_or(|c| c[i]);
         let segments = self.segment_ops(ops);
-        let threads = self.config.num_shards;
+        let workers = self.config.workers;
         let threshold = self.config.parallel_threshold;
         let num_principals = self.store.len();
         let mut responses: Vec<Option<Response>> = vec![None; ops.len()];
-        if threads <= 1 {
+        if workers <= 1 {
             // Degenerate single-worker pipeline: same segmentation, but no
             // snapshot, no worker thread and no label staging — which a
             // single-core host could only pay for, never profit from.
@@ -1479,79 +1641,130 @@ impl DisclosureService {
                 .map(|r| r.expect("every operation answered"))
                 .collect();
         }
-        std::thread::scope(|scope| {
-            let spawn_worker = |snap: &Arc<ServiceSnapshot>, range: std::ops::Range<usize>| {
-                let snap = Arc::clone(snap);
-                scope.spawn(move || {
-                    label_segment(
-                        &snap,
-                        &ops[range.clone()],
-                        range.start,
-                        num_principals,
-                        threads,
-                        threshold,
-                    )
-                })
+        let pool = Arc::clone(self.worker_pool());
+        // Stages one segment's admissions onto the pool against a frozen
+        // snapshot: clone the admissions out of the stream (owned tasks —
+        // interned ids are 8-byte copies, the hot serving path), chunk
+        // them across the workers with more chunks than workers so
+        // stealing levels skewed segments, and pin every chunk's task to
+        // a fresh epoch so the coordinator can tell when the snapshot's
+        // last reader is gone.  Segments below the parallel threshold
+        // stage as a single chunk, which the pool runs inline.
+        let spawn_segment = |pool: &Arc<WorkerPool>,
+                             snap: &Arc<ServiceSnapshot>,
+                             range: std::ops::Range<usize>|
+         -> (u64, PendingBatch<Vec<LabeledAdmission>>) {
+            let epoch = pool.advance_epoch();
+            let staged = stage_admissions(&ops[range.clone()], range.start);
+            let chunk_len = if staged.len() < threshold {
+                staged.len().max(1)
+            } else {
+                staged
+                    .len()
+                    .div_ceil(pool.workers() * CHUNKS_PER_WORKER)
+                    .max(1)
             };
-            let mut snap = Arc::new(self.snapshot());
-            let mut inflight = Some(spawn_worker(&snap, segments[0].range.clone()));
-            for s in 0..segments.len() {
-                let labels = inflight
-                    .take()
-                    .expect("one labeling worker per segment")
-                    .join()
-                    .expect("labeling worker panicked");
-                // Retire the snapshot that just finished labeling: its
-                // cache work flows back into the shared tables, so the next
-                // snapshot (and any later run_batch) inherits the warmth.
-                self.labeler.retire_snapshot(snap.labeler());
-                let boundary = segments[s].boundary;
-                // A registry-only boundary (AddSecurityView) can apply
-                // early: nothing in the pass below reads the live registry
-                // — labels come from the snapshot, audits and view-name
-                // resolution use the snapshot's frozen registry, and the
-                // policy store does not depend on the registry.  Applying
-                // it now lets the next segment's labeling (which must see
-                // the new view) overlap this segment's pass.
-                let pre_applied = boundary
-                    .filter(|&b| matches!(ops[b], Operation::AddSecurityView { .. }))
-                    .map(|b| self.apply_covered(&ops[b], covered_at(&coverage, b)));
-                let serving = Arc::clone(&snap);
-                let overlap = pre_applied.is_some() || boundary.is_none();
-                if overlap {
+            let inputs = chunk_owned(staged, chunk_len);
+            let snap = Arc::clone(snap);
+            let pending = pool.submit(inputs, move |chunk, ctx| {
+                let _pin = ctx.pin(epoch);
+                chunk
+                    .into_iter()
+                    .map(|admission| label_staged(&snap, admission, num_principals))
+                    .collect::<Vec<_>>()
+            });
+            (epoch, pending)
+        };
+        // Serving snapshots this run has stopped labeling through, oldest
+        // first, awaiting reclamation: each is drained back into the live
+        // labeler once every pool worker has published past its epoch
+        // (replacing the eager retire-after-join of the scoped-thread
+        // executor), with an unconditional drain at end of run — every
+        // batch has been waited on by then, so no worker still reads one.
+        let mut retired: Vec<(u64, Arc<ServiceSnapshot>)> = Vec::new();
+        let mut snap = Arc::new(self.snapshot());
+        let mut inflight = Some(spawn_segment(&pool, &snap, segments[0].range.clone()));
+        for s in 0..segments.len() {
+            let (epoch, pending) = inflight.take().expect("one labeling batch per segment");
+            let labels: Vec<LabeledAdmission> = pending.wait().into_iter().flatten().collect();
+            // This segment's tasks have all unpinned `epoch`; queue its
+            // snapshot for reclamation and drain whichever retired
+            // snapshots the workers have provably moved past.
+            retired.push((epoch, Arc::clone(&snap)));
+            self.reclaim_retired(&pool, &mut retired, false);
+            let boundary = segments[s].boundary;
+            // A registry-only boundary (AddSecurityView) can apply
+            // early: nothing in the pass below reads the live registry
+            // — labels come from the snapshot, audits and view-name
+            // resolution use the snapshot's frozen registry, and the
+            // policy store does not depend on the registry.  Applying
+            // it now lets the next segment's labeling (which must see
+            // the new view) overlap this segment's pass.
+            let pre_applied = boundary
+                .filter(|&b| matches!(ops[b], Operation::AddSecurityView { .. }))
+                .map(|b| self.apply_covered(&ops[b], covered_at(&coverage, b)));
+            let serving = Arc::clone(&snap);
+            let overlap = pre_applied.is_some() || boundary.is_none();
+            if overlap {
+                if let Some(next) = segments.get(s + 1) {
+                    snap = Arc::new(self.snapshot());
+                    inflight = Some(spawn_segment(&pool, &snap, next.range.clone()));
+                }
+            }
+            self.pass_segment(
+                ops,
+                segments[s].range.clone(),
+                Some(&serving),
+                Some(labels),
+                coverage.as_deref(),
+                &mut responses,
+            );
+            if let Some(b) = boundary {
+                // Policy-mutating boundaries (grants/revokes in
+                // flush-on-mutation mode) must apply *after* the pass —
+                // the pipeline stalls for one snapshot build here.
+                let response = pre_applied
+                    .unwrap_or_else(|| self.apply_covered(&ops[b], covered_at(&coverage, b)));
+                responses[b] = Some(response);
+                if !overlap {
                     if let Some(next) = segments.get(s + 1) {
                         snap = Arc::new(self.snapshot());
-                        inflight = Some(spawn_worker(&snap, next.range.clone()));
-                    }
-                }
-                self.pass_segment(
-                    ops,
-                    segments[s].range.clone(),
-                    Some(&serving),
-                    Some(labels),
-                    coverage.as_deref(),
-                    &mut responses,
-                );
-                if let Some(b) = boundary {
-                    // Policy-mutating boundaries (grants/revokes in
-                    // flush-on-mutation mode) must apply *after* the pass —
-                    // the pipeline stalls for one snapshot build here.
-                    let response = pre_applied
-                        .unwrap_or_else(|| self.apply_covered(&ops[b], covered_at(&coverage, b)));
-                    responses[b] = Some(response);
-                    if !overlap {
-                        if let Some(next) = segments.get(s + 1) {
-                            snap = Arc::new(self.snapshot());
-                            inflight = Some(spawn_worker(&snap, next.range.clone()));
-                        }
+                        inflight = Some(spawn_segment(&pool, &snap, next.range.clone()));
                     }
                 }
             }
-        });
+        }
+        self.parallel.segments_labeled += segments.len() as u64;
+        self.reclaim_retired(&pool, &mut retired, true);
         responses
             .into_iter()
             .map(|r| r.expect("every operation answered"))
             .collect()
+    }
+
+    /// Drains retired serving snapshots back into the live labeler,
+    /// oldest first, stopping at the first snapshot some pool worker may
+    /// still be reading: a snapshot is reclaimable once the minimum
+    /// published epoch has moved past the epoch its readers pinned (no
+    /// published epoch at all means every worker is idle).  `force`
+    /// drains unconditionally — the end-of-run barrier, valid because
+    /// every labeling batch has been waited on by then.
+    fn reclaim_retired(
+        &mut self,
+        pool: &WorkerPool,
+        retired: &mut Vec<(u64, Arc<ServiceSnapshot>)>,
+        force: bool,
+    ) {
+        let min = pool.min_published_epoch();
+        while let Some((epoch, _)) = retired.first() {
+            let passed = min.is_none_or(|min| *epoch < min);
+            if !(force || passed) {
+                break;
+            }
+            let (_, snap) = retired.remove(0);
+            self.labeler.retire_snapshot(snap.labeler());
+            self.parallel.snapshots_reclaimed += 1;
+        }
     }
 
     /// Partitions the op stream at snapshot boundaries: the ops whose
@@ -1730,9 +1943,9 @@ impl DisclosureService {
         }
     }
 
-    /// Decides one pending run of labeled admissions (one worker per policy
-    /// shard through `decide_batch_parallel`), recording committed
-    /// submissions into the observed workload.
+    /// Decides one pending run of labeled admissions (shard requests
+    /// fanned out on the worker pool through `decide_batch_on`),
+    /// recording committed submissions into the observed workload.
     fn flush_decisions(
         &mut self,
         run: &mut Vec<(
@@ -1767,7 +1980,8 @@ impl DisclosureService {
             .iter()
             .map(|&(_, principal, _, commit, ref packed)| (principal, packed.as_slice(), commit))
             .collect();
-        let decisions = self.store.decide_batch_parallel(&batch);
+        let pool = Arc::clone(self.worker_pool());
+        let decisions = self.store.decide_batch_on(&pool, &batch);
         for (&(i, principal, query, commit, _), decision) in run.iter().zip(decisions) {
             if commit {
                 match query {
@@ -1847,6 +2061,41 @@ struct Segment {
     boundary: Option<usize>,
 }
 
+/// Labeling batches are split into this many chunks per pool worker:
+/// more chunks than workers, so a worker that drew cache-cold or
+/// wide-query chunks sheds the tail to idle siblings through stealing.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// The owned query operand of a staged admission — cloned out of the
+/// request stream so the worker pool's `'static` tasks can carry it
+/// (interned admissions, the hot serving path, stage as 8-byte copies).
+#[derive(Clone)]
+enum StagedQuery {
+    Plain(ConjunctiveQuery),
+    Interned(QueryId),
+}
+
+impl StagedQuery {
+    /// Clones the borrowed request-loop operand into its owned form.
+    fn from_admission(query: AdmissionQuery<'_>) -> Self {
+        match query {
+            AdmissionQuery::Plain(q) => StagedQuery::Plain(q.clone()),
+            AdmissionQuery::Interned(id) => StagedQuery::Interned(id),
+        }
+    }
+}
+
+/// One admission cloned out of a segment for the pool hand-off.
+#[derive(Clone)]
+struct StagedAdmission {
+    /// Absolute index of the admission in the batch.
+    index: usize,
+    principal: PrincipalId,
+    /// True for `Submit` / `SubmitInterned` (the decision commits).
+    commit: bool,
+    query: StagedQuery,
+}
+
 /// One admission of a segment, labeled by the worker fan-out: the packed
 /// label on success, the validation error otherwise.
 struct LabeledAdmission {
@@ -1875,68 +2124,85 @@ fn admission_query(op: &Operation) -> AdmissionQuery<'_> {
     }
 }
 
-/// Labels every admission of one segment against a frozen snapshot, in
-/// stream order, fanning out across up to `threads` worker chunks (the
-/// sequential fallback below `threshold` keeps small segments on the
-/// calling worker).  Validation — unknown principals, foreign interned ids
-/// — happens here too, at the op's stream position.
-fn label_segment(
-    snapshot: &ServiceSnapshot,
-    ops: &[Operation],
-    base: usize,
-    num_principals: usize,
-    threads: usize,
-    threshold: usize,
-) -> Vec<LabeledAdmission> {
-    let admissions: Vec<(usize, PrincipalId, AdmissionQuery<'_>, bool)> = ops
-        .iter()
+/// Clones every admission of one segment out of the op stream into owned
+/// [`StagedAdmission`]s, in stream order — the hand-off unit the worker
+/// pool's `'static` tasks can carry.  On the hot serving path admissions
+/// arrive interned, so the clone is an 8-byte id copy.
+fn stage_admissions(ops: &[Operation], base: usize) -> Vec<StagedAdmission> {
+    ops.iter()
         .enumerate()
-        .filter_map(|(i, op)| match op {
-            Operation::Submit { principal, query } => {
-                Some((base + i, *principal, AdmissionQuery::Plain(query), true))
-            }
-            Operation::Check { principal, query } => {
-                Some((base + i, *principal, AdmissionQuery::Plain(query), false))
-            }
-            Operation::SubmitInterned { principal, query } => {
-                Some((base + i, *principal, AdmissionQuery::Interned(*query), true))
-            }
-            Operation::CheckInterned { principal, query } => Some((
-                base + i,
-                *principal,
-                AdmissionQuery::Interned(*query),
-                false,
-            )),
-            _ => None,
-        })
-        .collect();
-    map_chunks_parallel_with_threshold(&admissions, threads, threshold, |chunk| {
-        chunk
-            .iter()
-            .map(|&(index, principal, query, commit)| {
-                let outcome = if principal.index() >= num_principals {
-                    Err(ServiceError::UnknownPrincipal(principal))
-                } else {
-                    match query {
-                        AdmissionQuery::Plain(q) => Ok(snapshot.label_packed(q)),
-                        AdmissionQuery::Interned(id) if snapshot.contains(id) => {
-                            Ok(snapshot.label_packed_interned(id))
-                        }
-                        AdmissionQuery::Interned(id) => Err(ServiceError::UnknownQuery(id)),
-                    }
-                };
-                LabeledAdmission {
-                    index,
-                    principal,
-                    commit,
-                    outcome,
+        .filter_map(|(i, op)| {
+            let (principal, query, commit) = match op {
+                Operation::Submit { principal, query } => {
+                    (*principal, StagedQuery::Plain(query.clone()), true)
                 }
+                Operation::Check { principal, query } => {
+                    (*principal, StagedQuery::Plain(query.clone()), false)
+                }
+                Operation::SubmitInterned { principal, query } => {
+                    (*principal, StagedQuery::Interned(*query), true)
+                }
+                Operation::CheckInterned { principal, query } => {
+                    (*principal, StagedQuery::Interned(*query), false)
+                }
+                _ => return None,
+            };
+            Some(StagedAdmission {
+                index: base + i,
+                principal,
+                commit,
+                query,
             })
-            .collect::<Vec<_>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+        })
+        .collect()
+}
+
+/// Labels one staged admission against a frozen snapshot.  Validation —
+/// unknown principals, foreign interned ids — happens here too, at the
+/// op's stream position.
+fn label_staged(
+    snapshot: &ServiceSnapshot,
+    admission: StagedAdmission,
+    num_principals: usize,
+) -> LabeledAdmission {
+    let StagedAdmission {
+        index,
+        principal,
+        commit,
+        query,
+    } = admission;
+    let outcome = if principal.index() >= num_principals {
+        Err(ServiceError::UnknownPrincipal(principal))
+    } else {
+        match query {
+            StagedQuery::Plain(q) => Ok(snapshot.label_packed(&q)),
+            StagedQuery::Interned(id) if snapshot.contains(id) => {
+                Ok(snapshot.label_packed_interned(id))
+            }
+            StagedQuery::Interned(id) => Err(ServiceError::UnknownQuery(id)),
+        }
+    };
+    LabeledAdmission {
+        index,
+        principal,
+        commit,
+        outcome,
+    }
+}
+
+/// Splits an owned vector into chunks of (at most) `chunk_len` without
+/// cloning the elements — the pool hand-off unit builder.
+fn chunk_owned<T>(items: Vec<T>, chunk_len: usize) -> Vec<Vec<T>> {
+    let mut inputs = Vec::with_capacity(items.len().div_ceil(chunk_len.max(1)));
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(chunk_len.max(1)).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        inputs.push(chunk);
+    }
+    inputs
 }
 
 /// The host's available parallelism, with a serial fallback.

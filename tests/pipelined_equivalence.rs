@@ -19,8 +19,13 @@
 //!   shared post-stream submit sequence (decisions, consistency words,
 //!   counters).
 //!
-//! A multi-shard pipelined service runs the same stream too: its counters
-//! are racy by design, but responses and state must still agree exactly.
+//! A multi-shard pipelined service runs the same stream too — built with
+//! `workers: 4`, it exercises the full pooled executor (persistent worker
+//! pool, chunk stealing, epoch-based snapshot reclamation) whatever the
+//! host's core count; its counters are racy by design, but responses and
+//! state must still agree exactly.  A fourth, single-shard service with
+//! the same worker width covers the pooled labeling plane over the
+//! in-place decision fast path.
 
 use fdc::core::{BitVectorLabeler, CacheStats, QueryLabeler, SecurityViews};
 use fdc::cq::intern::QueryId;
@@ -61,11 +66,12 @@ const PROBES: [&str; 8] = [
 
 const NUM_PRINCIPALS: usize = 4;
 
-fn build_service(registry: &SecurityViews, num_shards: usize) -> DisclosureService {
+fn build_service(registry: &SecurityViews, num_shards: usize, workers: usize) -> DisclosureService {
     let mut service = DisclosureService::new(
         registry.clone(),
         ServiceConfig {
             num_shards,
+            workers,
             ..ServiceConfig::default()
         },
     );
@@ -158,13 +164,18 @@ proptest! {
         let catalog = registry.catalog().clone();
 
         // Identically built services; the pool interns to the same ids in
-        // each because it is interned first and in the same order.
-        let mut batched = build_service(&registry, 1);
-        let mut pipelined = build_service(&registry, 1);
-        let mut sharded = build_service(&registry, 4);
+        // each because it is interned first and in the same order.  The
+        // single-worker services take the deterministic sequential paths;
+        // `sharded` and `pooled` force a four-worker pool so the pooled
+        // executor (stealing, epoch reclamation) runs on any host.
+        let mut batched = build_service(&registry, 1, 1);
+        let mut pipelined = build_service(&registry, 1, 1);
+        let mut sharded = build_service(&registry, 4, 4);
+        let mut pooled = build_service(&registry, 1, 4);
         let pool = intern_pool(&batched, &catalog);
         prop_assert_eq!(&intern_pool(&pipelined, &catalog), &pool);
         prop_assert_eq!(&intern_pool(&sharded, &catalog), &pool);
+        prop_assert_eq!(&intern_pool(&pooled, &catalog), &pool);
 
         let ops: Vec<Operation> = steps
             .iter()
@@ -177,7 +188,8 @@ proptest! {
         let pipelined_responses = pipelined.run_pipelined(&ops);
         prop_assert_eq!(&batch_responses, &pipelined_responses);
         prop_assert_eq!(&sharded.run_pipelined(&ops), &batch_responses);
-        let mut sequential = build_service(&registry, 1);
+        prop_assert_eq!(&pooled.run_pipelined(&ops), &batch_responses);
+        let mut sequential = build_service(&registry, 1, 1);
         prop_assert_eq!(&intern_pool(&sequential, &catalog), &pool);
         let sequential_responses: Vec<Response> =
             ops.iter().map(|op| sequential.apply(op)).collect();
@@ -188,8 +200,11 @@ proptest! {
         //    against the from-scratch sequential baseline.
         prop_assert_eq!(batched.totals(), pipelined.totals());
         prop_assert_eq!(batched.totals(), sharded.totals());
+        prop_assert_eq!(batched.totals(), pooled.totals());
         prop_assert_eq!(sequential.totals(), pipelined.totals());
         prop_assert_eq!(batched.stats(), pipelined.stats());
+        prop_assert_eq!(batched.stats(), sharded.stats());
+        prop_assert_eq!(batched.stats(), pooled.stats());
         prop_assert_eq!(sequential.stats(), pipelined.stats());
         for i in 0..NUM_PRINCIPALS {
             let p = PrincipalId(i as u32);
@@ -200,6 +215,10 @@ proptest! {
             prop_assert_eq!(
                 batched.store().consistency_bits(p),
                 sharded.store().consistency_bits(p)
+            );
+            prop_assert_eq!(
+                batched.store().consistency_bits(p),
+                pooled.store().consistency_bits(p)
             );
             prop_assert_eq!(
                 sequential.store().consistency_bits(p),
