@@ -18,7 +18,11 @@
 //!
 //! Floors (committed mode):
 //!
-//! * fig5 — `min_speedup_interned_vs_cached` ≥ 1.5;
+//! * fig5 — `min_speedup_interned_vs_cached` ≥ 1.5, and the high-atoms
+//!   structural block: `min_speedup_structural_vs_generic` ≥ 1.3 (join-tree
+//!   semi-join containment vs generic backtracking, worst sweep point) with
+//!   the `acyclic_queries` / `structural_checks` / `backtrack_fallbacks`
+//!   classification counters all non-zero;
 //! * fig6 — `interned_packed` and every `sharded_parallel_x*` series
 //!   present at every sweep point;
 //! * fig7 — `speedup_at_1pct` ≥ 2.0 (incremental vs flush-on-mutation —
@@ -312,6 +316,75 @@ fn check_fig5(path: &str, smoke: bool) -> Result<(), String> {
         return Err(format!(
             "`{path}`: series `interned` below its floor — \
              min_speedup_interned_vs_cached = {speedup:.2} < {floor}"
+        ));
+    }
+    check_fig5_high_atoms(&doc, path, smoke)
+}
+
+/// The high-atoms structural block of fig5: the sweep extends past the
+/// regular axis (max_atoms 20, plus 28 in committed runs), every series is
+/// present and positive, the intern-time classification counters show the
+/// dispatcher actually ran both paths, and the semi-join containment
+/// headline clears its floor (1.3x committed, parity smoke).
+fn check_fig5_high_atoms(doc: &Json, path: &str, smoke: bool) -> Result<(), String> {
+    let high = doc
+        .get("high_atoms")
+        .ok_or_else(|| format!("`{path}`: missing `high_atoms` block"))?;
+    let sweep = high
+        .get("sweep")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("`{path}`: missing `high_atoms.sweep` array"))?;
+    let required_axis: &[f64] = if smoke { &[20.0] } else { &[20.0, 28.0] };
+    for expected in required_axis {
+        let point = sweep
+            .iter()
+            .find(|p| p.get("max_atoms").and_then(Json::as_number) == Some(*expected))
+            .ok_or_else(|| {
+                format!("`{path}`: no `high_atoms` sweep point at max_atoms {expected}")
+            })?;
+        for series in [
+            "interned_structural",
+            "interned_generic",
+            "containment_structural",
+            "containment_generic",
+        ] {
+            let value = point.get(series).and_then(Json::as_number).ok_or_else(|| {
+                format!("`{path}`: series `{series}` missing at max_atoms {expected}")
+            })?;
+            if value <= 0.0 {
+                return Err(format!(
+                    "`{path}`: non-positive throughput in `{series}` at max_atoms {expected}"
+                ));
+            }
+        }
+    }
+    // The classification counters prove the run exercised the dispatcher:
+    // acyclic queries were classified, the semi-join path answered checks,
+    // and at least one cyclic query took the backtracking fallback.
+    let counters = doc
+        .get("counters")
+        .ok_or_else(|| format!("`{path}`: missing `counters` block"))?;
+    for counter in [
+        "acyclic_queries",
+        "structural_checks",
+        "backtrack_fallbacks",
+    ] {
+        let value = counters
+            .get(counter)
+            .and_then(Json::as_number)
+            .ok_or_else(|| format!("`{path}`: missing counter `{counter}`"))?;
+        if value < 1.0 {
+            return Err(format!(
+                "`{path}`: counter `{counter}` = {value} — the structural dispatch never ran"
+            ));
+        }
+    }
+    let speedup = number(doc, path, "min_speedup_structural_vs_generic")?;
+    let floor = if smoke { 1.0 } else { 1.3 };
+    if speedup < floor {
+        return Err(format!(
+            "`{path}`: series `containment_structural` below its floor — \
+             min_speedup_structural_vs_generic = {speedup:.2} < {floor}"
         ));
     }
     Ok(())
@@ -711,6 +784,64 @@ mod tests {
                 "{bad}: {err}"
             );
         }
+    }
+
+    #[test]
+    fn fig5_high_atoms_floors_name_the_offending_series() {
+        let dir = std::env::temp_dir().join("fdc_bench_check_fig5_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig5.json");
+        let render = |structural_speedup: f64, fallbacks: u64, axis_28: bool| {
+            let point_28 = if axis_28 {
+                r#", {"max_atoms": 28, "interned_structural": 40000.0,
+                     "interned_generic": 39000.0, "containment_structural": 40000.0,
+                     "containment_generic": 2000.0}"#
+            } else {
+                ""
+            };
+            format!(
+                r#"{{
+  "min_speedup_interned_vs_cached": 9.0,
+  "min_speedup_structural_vs_generic": {structural_speedup},
+  "counters": {{"acyclic_queries": 77, "structural_checks": 9600,
+                "backtrack_fallbacks": {fallbacks}}},
+  "high_atoms": {{
+    "containment_pairs_k": 40,
+    "sweep": [
+      {{"max_atoms": 20, "interned_structural": 84000.0, "interned_generic": 83000.0,
+        "containment_structural": 92000.0, "containment_generic": 64000.0}}{point_28}
+    ]
+  }},
+  "sweep": [
+    {{"max_atoms": 3, "queries_per_sec": {{"baseline": 100000.0,
+      "cached_parallel_batch": 400000.0, "interned": 900000.0}}}}
+  ]
+}}"#
+            )
+        };
+        std::fs::write(&path, render(1.43, 1, true)).unwrap();
+        assert!(check_fig5(path.to_str().unwrap(), false).is_ok());
+        // Below the committed floor, above the smoke floor.
+        std::fs::write(&path, render(1.1, 1, true)).unwrap();
+        let err = check_fig5(path.to_str().unwrap(), false).unwrap_err();
+        assert!(err.contains("`containment_structural`"), "{err}");
+        assert!(err.contains("1.3"), "{err}");
+        assert!(check_fig5(path.to_str().unwrap(), true).is_ok());
+        // The committed sweep must reach max_atoms 28; smoke stops at 20.
+        std::fs::write(&path, render(1.43, 1, false)).unwrap();
+        let err = check_fig5(path.to_str().unwrap(), false).unwrap_err();
+        assert!(err.contains("max_atoms 28"), "{err}");
+        assert!(check_fig5(path.to_str().unwrap(), true).is_ok());
+        // A dispatcher that never took the cyclic fallback is a dead
+        // counter — the run did not exercise both paths.
+        std::fs::write(&path, render(1.43, 0, true)).unwrap();
+        let err = check_fig5(path.to_str().unwrap(), false).unwrap_err();
+        assert!(err.contains("`backtrack_fallbacks`"), "{err}");
+        // A missing series names itself, even in smoke mode.
+        let stripped = render(1.43, 1, true).replace(r#", "containment_generic": 64000.0"#, "");
+        std::fs::write(&path, stripped).unwrap();
+        let err = check_fig5(path.to_str().unwrap(), true).unwrap_err();
+        assert!(err.contains("`containment_generic`"), "{err}");
     }
 
     #[test]

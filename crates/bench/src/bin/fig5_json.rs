@@ -21,6 +21,8 @@ use std::time::Instant;
 
 use fdc_bench::{labeling_workload, LabelingWorkload, BATCH_SIZE};
 use fdc_core::QueryLabeler;
+use fdc_cq::containment::{interned_contained_in, interned_contained_in_generic};
+use fdc_cq::{structure, QueryId, QueryRef};
 
 /// One labeler's measurement at one max-atoms setting.
 struct Measurement {
@@ -32,6 +34,19 @@ struct Measurement {
 struct SweepPoint {
     max_atoms: usize,
     results: Vec<Measurement>,
+}
+
+/// The structural fast-path section at one high max-atoms setting: cold
+/// labeling throughput with the semi-join dispatch on vs. forced off, and
+/// the containment microkernel (all ordered pairs over the first
+/// `pairs_k` distinct shapes) through the dispatcher vs. the generic
+/// backtracking search.
+struct HighAtomsPoint {
+    max_atoms: usize,
+    interned_structural: f64,
+    interned_generic: f64,
+    containment_structural: f64,
+    containment_generic: f64,
 }
 
 fn main() {
@@ -56,9 +71,15 @@ fn main() {
     );
 
     let mut points = Vec::new();
+    // Whole-query labelings answered by batch-level dedup across the sweep:
+    // the stress workload repeats shapes within a batch, so the batch entry
+    // points label each distinct canonical id once and serve the repeats
+    // from the batch-local result.
+    let mut batch_dedup_hits = 0u64;
     for &max_atoms in sweep {
         let workload = labeling_workload(max_atoms, BATCH_SIZE);
         let results = measure_point(&workload, repeats);
+        batch_dedup_hits += workload.ecosystem.cached.stats().batch_dedup_hits;
         println!(
             "{:>9} | {:>12.0} | {:>12.0} | {:>12.0} | {:>12.0} | {:>14.0} | {:>12.0}",
             max_atoms,
@@ -89,9 +110,275 @@ fn main() {
         );
     }
 
-    let json = render_json(&points, threads, smoke, speedup, interned_speedup);
+    // Structural fast-path section: the paper's sweep stops at 15 atoms,
+    // but the semi-join dispatch is aimed exactly at the atom counts above
+    // that ceiling, so the high-atoms series extends the axis to 20 and 28.
+    let (high_sweep, high_repeats, pairs_k): (&[usize], usize, usize) = if smoke {
+        (&[20], 1, 24)
+    } else {
+        (&[20, 28], 3, 40)
+    };
+    println!("\nhigh atoms (structural dispatch): pairs_k={pairs_k} repeats={high_repeats}");
+    println!(
+        "{:>9} | {:>16} | {:>16} | {:>18} | {:>18}",
+        "max_atoms", "label_structural", "label_generic", "contain_structural", "contain_generic"
+    );
+    let mut high_points = Vec::new();
+    let mut acyclic_queries = 0usize;
+    for &max_atoms in high_sweep {
+        let (point, acyclic) = measure_high_point(max_atoms, high_repeats, pairs_k);
+        println!(
+            "{:>9} | {:>16.0} | {:>16.0} | {:>18.0} | {:>18.0}",
+            max_atoms,
+            point.interned_structural,
+            point.interned_generic,
+            point.containment_structural,
+            point.containment_generic,
+        );
+        acyclic_queries += acyclic;
+        high_points.push(point);
+    }
+    let structural_speedup = high_points
+        .iter()
+        .map(|p| {
+            if p.containment_generic > 0.0 {
+                p.containment_structural / p.containment_generic
+            } else {
+                f64::INFINITY
+            }
+        })
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "containment via join-tree semi-joins vs generic backtracking: \
+         {structural_speedup:.1}x (worst point)"
+    );
+    // One deliberately cyclic shape: GYO gets stuck on the triangle, so the
+    // dispatcher must take the backtracking fallback — which both proves
+    // the conservative path end to end and guarantees the fallback counter
+    // is non-zero for the smoke assertions below.
+    exercise_cyclic_fallback();
+    let counters = structure::counters();
+    println!(
+        "classification counters: acyclic_queries={acyclic_queries} \
+         structural_checks={} backtrack_fallbacks={}",
+        counters.structural_checks, counters.backtrack_fallbacks
+    );
+    if smoke {
+        assert!(
+            structural_speedup >= 1.0,
+            "structural containment must not lose to generic backtracking \
+             (got {structural_speedup:.2}x)"
+        );
+        assert!(
+            acyclic_queries > 0,
+            "the workload must classify acyclic shapes"
+        );
+        assert!(
+            counters.structural_checks > 0,
+            "acyclic shapes must route through the semi-join fast path"
+        );
+        assert!(
+            counters.backtrack_fallbacks > 0,
+            "cyclic shapes must route through the backtracking fallback"
+        );
+    }
+
+    let high = HighAtomsSection {
+        points: high_points,
+        pairs_k,
+        structural_speedup,
+        acyclic_queries,
+        counters,
+    };
+    let json = render_json(
+        &points,
+        threads,
+        smoke,
+        speedup,
+        interned_speedup,
+        batch_dedup_hits,
+        &high,
+    );
     std::fs::write(&out_path, json).expect("failed to write the benchmark JSON");
     println!("wrote {out_path}");
+}
+
+/// Everything the high-atoms structural section contributes to the JSON.
+struct HighAtomsSection {
+    points: Vec<HighAtomsPoint>,
+    pairs_k: usize,
+    structural_speedup: f64,
+    acyclic_queries: usize,
+    counters: structure::StructureCounters,
+}
+
+/// Measures the structural fast path at one high max-atoms setting.
+///
+/// Cold labeling rebuilds the workload for every repeat of every series so
+/// each timed run starts from an empty cache (the structural win is in the
+/// cold pipeline; warm lookups never run a homomorphism).  The containment
+/// kernel takes the first `pairs_k` distinct shapes of one workload and
+/// times all ordered containment pairs — through the dispatcher (every
+/// workload shape is acyclic, so this is the semi-join path) and through
+/// the generic backtracking search.  Returns the point plus the number of
+/// acyclic shapes the kernel workload's interner classified.
+fn measure_high_point(max_atoms: usize, repeats: usize, pairs_k: usize) -> (HighAtomsPoint, usize) {
+    let mut label_structural = f64::INFINITY;
+    let mut label_generic = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let workload = labeling_workload(max_atoms, BATCH_SIZE);
+        let start = Instant::now();
+        std::hint::black_box(
+            workload
+                .ecosystem
+                .cached
+                .label_queries_interned(&workload.interned),
+        );
+        label_structural = label_structural.min(start.elapsed().as_secs_f64());
+
+        let workload = labeling_workload(max_atoms, BATCH_SIZE);
+        structure::set_dispatch_enabled(false);
+        let start = Instant::now();
+        std::hint::black_box(
+            workload
+                .ecosystem
+                .cached
+                .label_queries_interned(&workload.interned),
+        );
+        label_generic = label_generic.min(start.elapsed().as_secs_f64());
+        structure::set_dispatch_enabled(true);
+    }
+
+    let (interner, ids) = tree_pattern_pool(pairs_k, max_atoms, 0x5713 + max_atoms as u64);
+    let refs: Vec<QueryRef<'_>> = ids.iter().map(|&id| interner.resolve(id)).collect();
+    let pairs = refs.len() * refs.len();
+    let mut contain_structural = f64::INFINITY;
+    let mut contain_generic = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        for &a in &refs {
+            for &b in &refs {
+                std::hint::black_box(interned_contained_in(a, b));
+            }
+        }
+        contain_structural = contain_structural.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        for &a in &refs {
+            for &b in &refs {
+                std::hint::black_box(interned_contained_in_generic(a, b));
+            }
+        }
+        contain_generic = contain_generic.min(start.elapsed().as_secs_f64());
+    }
+    let acyclic = interner.num_acyclic_queries();
+    let point = HighAtomsPoint {
+        max_atoms,
+        interned_structural: BATCH_SIZE as f64 / label_structural.max(f64::MIN_POSITIVE),
+        interned_generic: BATCH_SIZE as f64 / label_generic.max(f64::MIN_POSITIVE),
+        containment_structural: pairs as f64 / contain_structural.max(f64::MIN_POSITIVE),
+        containment_generic: pairs as f64 / contain_generic.max(f64::MIN_POSITIVE),
+    };
+    (point, acyclic)
+}
+
+/// Builds the containment kernel's query pool: `count` deterministic
+/// **broom patterns** over a single ternary `Edge` relation — a
+/// distinguished root `v0` with `max_atoms / 3` independent depth-3 chains
+/// hanging off it, so every query has roughly `max_atoms` atoms and is a
+/// tree (hence acyclic).
+///
+/// Chain `c` is `Edge(v0, x_c, 'c0'), Edge(x_c, y_c, 'c<t2>'),
+/// Edge(y_c, z_c, 'c<t3>')` with `t2, t3` drawn from two constants, so
+/// each chain carries one of four *signatures* `(t2, t3)`.  A chain of the
+/// source query embeds exactly into the target chains that share its
+/// signature, and the mismatch is only discovered one or two hops below
+/// the root.  That is the regime the semi-join fast path exists for: when
+/// a late chain's signature is missing from the target, chronological
+/// backtracking re-enumerates every placement of the earlier chains
+/// (a product of their per-chain candidate counts) before concluding
+/// failure, while the join-tree pass retains each ear once and stays
+/// linear in the candidate lists.  (The stress workload's queries spread
+/// their atoms over many relations, so random containment pairs there
+/// fail on the first unmatched relation and measure nothing but call
+/// overhead.)
+fn tree_pattern_pool(
+    count: usize,
+    max_atoms: usize,
+    seed: u64,
+) -> (fdc_cq::QueryInterner, Vec<QueryId>) {
+    use std::fmt::Write as _;
+    let mut catalog = fdc_cq::Catalog::new();
+    catalog
+        .add_relation("Edge", &["src", "dst", "tag"])
+        .expect("fresh catalog accepts the relation");
+    // Splitmix-style LCG: deterministic across runs and hosts.
+    let mut state = seed;
+    let mut next = move |bound: usize| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as usize) % bound.max(1)
+    };
+    let mut interner = fdc_cq::QueryInterner::new();
+    let mut ids = Vec::with_capacity(count);
+    let chains = (max_atoms / 3).max(1);
+    for _ in 0..count {
+        let mut text = String::from("Q(v0) :- ");
+        for c in 0..chains {
+            if c > 0 {
+                text.push_str(", ");
+            }
+            // Skew the leaf tag: 'c1' leaves are rare, so a source chain
+            // ending in 'c1' frequently has no matching target chain (a
+            // failing pair), while the common 'c0'-leaf chains keep every
+            // preceding chain's placement count high — exactly the
+            // re-enumeration the backtracking search pays for and the
+            // join-tree pass avoids.  Few chains shrink that placement
+            // product, so below eight chains the mid tag is pinned too
+            // (every chain placement stays live until the leaf); with
+            // eight or more chains the product explodes on its own, so
+            // both tags go uniform there to keep the generic series'
+            // runtime bounded.
+            let (t2, t3) = if chains < 8 {
+                (0, usize::from(next(8) == 0))
+            } else {
+                (next(2), next(2))
+            };
+            write!(
+                text,
+                "Edge(v0, x{c}, 'c0'), Edge(x{c}, y{c}, 'c{t2}'), Edge(y{c}, z{c}, 'c{t3}')"
+            )
+            .expect("string write");
+        }
+        let query = fdc_cq::parser::parse_query(&catalog, &text).expect("generated broom parses");
+        ids.push(interner.intern(&query));
+    }
+    (interner, ids)
+}
+
+/// Runs one containment over a deliberately cyclic shape (the triangle):
+/// GYO reduction finds no ear, so the dispatcher takes the backtracking
+/// fallback and ticks `backtrack_fallbacks`.
+fn exercise_cyclic_fallback() {
+    let mut catalog = fdc_cq::Catalog::new();
+    catalog
+        .add_relation("Edge", &["src", "dst"])
+        .expect("fresh catalog accepts the relation");
+    let triangle =
+        fdc_cq::parser::parse_query(&catalog, "Q() :- Edge(x, y), Edge(y, z), Edge(z, x)")
+            .expect("the triangle parses");
+    let mut interner = fdc_cq::QueryInterner::new();
+    let id = interner.intern(&triangle);
+    assert_eq!(
+        interner.shape_class(id),
+        structure::ShapeClass::Cyclic,
+        "the triangle must classify as cyclic"
+    );
+    std::hint::black_box(interned_contained_in(
+        interner.resolve(id),
+        interner.resolve(id),
+    ));
 }
 
 /// Measures every labeler on one workload; order matches the table header.
@@ -189,6 +476,8 @@ fn render_json(
     smoke: bool,
     speedup: f64,
     interned_speedup: f64,
+    batch_dedup_hits: u64,
+    high: &HighAtomsSection,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -197,12 +486,61 @@ fn render_json(
     out.push_str(&format!("  \"batch_size\": {BATCH_SIZE},\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"batch_dedup_hits\": {batch_dedup_hits},\n"));
     out.push_str(&format!(
         "  \"min_speedup_cached_parallel_vs_baseline\": {speedup:.2},\n"
     ));
     out.push_str(&format!(
         "  \"min_speedup_interned_vs_cached\": {interned_speedup:.2},\n"
     ));
+    out.push_str(&format!(
+        "  \"min_speedup_structural_vs_generic\": {:.2},\n",
+        high.structural_speedup
+    ));
+    out.push_str("  \"counters\": {\n");
+    out.push_str(&format!(
+        "    \"acyclic_queries\": {},\n",
+        high.acyclic_queries
+    ));
+    out.push_str(&format!(
+        "    \"structural_checks\": {},\n",
+        high.counters.structural_checks
+    ));
+    out.push_str(&format!(
+        "    \"backtrack_fallbacks\": {}\n",
+        high.counters.backtrack_fallbacks
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"high_atoms\": {\n");
+    out.push_str(&format!("    \"containment_pairs_k\": {},\n", high.pairs_k));
+    out.push_str("    \"sweep\": [\n");
+    for (i, p) in high.points.iter().enumerate() {
+        out.push_str("      {\n");
+        out.push_str(&format!("        \"max_atoms\": {},\n", p.max_atoms));
+        out.push_str(&format!(
+            "        \"interned_structural\": {:.1},\n",
+            p.interned_structural
+        ));
+        out.push_str(&format!(
+            "        \"interned_generic\": {:.1},\n",
+            p.interned_generic
+        ));
+        out.push_str(&format!(
+            "        \"containment_structural\": {:.1},\n",
+            p.containment_structural
+        ));
+        out.push_str(&format!(
+            "        \"containment_generic\": {:.1}\n",
+            p.containment_generic
+        ));
+        out.push_str(if i + 1 == high.points.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    out.push_str("    ]\n");
+    out.push_str("  },\n");
     out.push_str("  \"sweep\": [\n");
     for (i, point) in points.iter().enumerate() {
         out.push_str("    {\n");

@@ -16,7 +16,7 @@
 //! The composition of `Dissect` with the single-atom labeler is itself a
 //! disclosure labeler (end of Section 5.2).
 
-use fdc_cq::folding::{fold, fold_interned};
+use fdc_cq::folding::fold;
 use fdc_cq::intern::{ITerm, QueryId, QueryInterner};
 use fdc_cq::{Atom, ConjunctiveQuery, RelId, Term, VarId, VarKind};
 
@@ -101,11 +101,19 @@ fn single_atom_query(
 /// those of [`dissect`] on the equivalent boxed query; the property tests
 /// assert the resulting labels agree.
 pub fn dissect_interned(interner: &mut QueryInterner, id: QueryId) -> Vec<(QueryId, RelId)> {
-    // Phase 1 (read-only): fold and assemble each part's flat terms/kinds
-    // into owned scratch buffers.
+    // The fold comes from the interner's structural side table: it is
+    // computed (and memoized) on the first dissection of each shape, so
+    // re-dissections replay the core instead of re-running the NP-hard
+    // search.
+    let kept_indices: Vec<u32> = interner.core_atom_indices(id).to_vec();
+    // Phase 1 (read-only): assemble each part's flat terms/kinds into owned
+    // scratch buffers.
     let parts: Vec<(RelId, Vec<ITerm>, Vec<VarKind>)> = {
         let query = interner.resolve(id);
-        let kept = fold_interned(query);
+        let kept: Vec<fdc_cq::intern::IAtom> = kept_indices
+            .iter()
+            .map(|&i| query.atoms[i as usize])
+            .collect();
         let num_vars = query.num_vars();
 
         // Existential variables occurring in ≥ 2 surviving atoms become

@@ -480,6 +480,12 @@ pub struct CacheStats {
     /// View-universe invalidations applied to this labeler
     /// ([`CachedLabeler::add_view`] / [`CachedLabeler::invalidate_relation`]).
     pub invalidations: u64,
+    /// Whole-query labelings answered by batch-level dedup: a duplicate of
+    /// a query already labeled earlier in the *same batch* reused that
+    /// label instead of re-entering the pipeline.  Every dedup hit is also
+    /// counted in [`hits`](Self::hits), so the other counters match what a
+    /// sequential run of the same batch would report.
+    pub batch_dedup_hits: u64,
 }
 
 impl CacheStats {
@@ -761,6 +767,7 @@ pub struct CachedLabeler {
     query_refreshes: AtomicU64,
     atom_refreshes: AtomicU64,
     invalidations: AtomicU64,
+    batch_dedup_hits: AtomicU64,
 }
 
 /// Default per-cache entry limit of a [`CachedLabeler`].
@@ -826,6 +833,7 @@ impl Clone for CachedLabeler {
             query_refreshes: AtomicU64::new(0),
             atom_refreshes: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            batch_dedup_hits: AtomicU64::new(0),
         }
     }
 }
@@ -862,6 +870,7 @@ impl CachedLabeler {
             query_refreshes: AtomicU64::new(0),
             atom_refreshes: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            batch_dedup_hits: AtomicU64::new(0),
         }
     }
 
@@ -898,6 +907,7 @@ impl CachedLabeler {
             query_refreshes: AtomicU64::new(0),
             atom_refreshes: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            batch_dedup_hits: AtomicU64::new(0),
         }
     }
 
@@ -1050,6 +1060,7 @@ impl CachedLabeler {
             query_refreshes: self.query_refreshes.load(Ordering::Relaxed),
             atom_refreshes: self.atom_refreshes.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            batch_dedup_hits: self.batch_dedup_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -1076,24 +1087,28 @@ impl CachedLabeler {
         self.query_refreshes.store(0, Ordering::Relaxed);
         self.atom_refreshes.store(0, Ordering::Relaxed);
         self.invalidations.store(0, Ordering::Relaxed);
+        self.batch_dedup_hits.store(0, Ordering::Relaxed);
     }
 
     /// Labels a batch in parallel and folds the results into the cumulative
     /// disclosure label, using the process-wide [`WorkerPool`].
     ///
     /// Equivalent to [`QueryLabeler::label_queries`] (asserted by the test
-    /// suite).  Batches of at least [`POOLED_BATCH_THRESHOLD`] queries on a
-    /// multi-core host are handed to the persistent workers as queue pushes
-    /// (no thread spawns): the batch labels through a one-off
-    /// [`LabelerSnapshot`] whose cache work — entries, counters, capacity
-    /// charges — is drained back into this labeler when the batch
-    /// completes, so the pooled path warms the cache exactly like the
-    /// sequential one.  Smaller batches (and single-core hosts) label
-    /// sequentially on the calling thread.
+    /// suite — the label lattice LUB is idempotent, so deduplicating
+    /// repeats cannot change the fold).  Batches of at least
+    /// [`POOLED_BATCH_THRESHOLD`] queries on a multi-core host are handed
+    /// to the persistent workers as queue pushes (no thread spawns): the
+    /// batch labels through a one-off [`LabelerSnapshot`] whose cache work
+    /// — entries, counters, capacity charges — is drained back into this
+    /// labeler when the batch completes, so the pooled path warms the
+    /// cache exactly like the sequential one.  Smaller batches (and
+    /// single-core hosts) label sequentially on the calling thread with
+    /// batch-level dedup on canonical identity
+    /// ([`label_queries_deduped`](Self::label_queries_deduped)).
     pub fn label_queries_batch(&self, queries: &[ConjunctiveQuery]) -> DisclosureLabel {
         let pool = WorkerPool::global();
         if pool.workers() <= 1 || queries.len() < POOLED_BATCH_THRESHOLD {
-            return self.label_queries(queries);
+            return self.label_queries_deduped(queries);
         }
         let partials = self.pooled_batch(pool, queries, |snapshot, chunk| {
             snapshot.label_queries(&chunk)
@@ -1103,6 +1118,68 @@ impl CachedLabeler {
             out.combine_in_place(partial);
         }
         out
+    }
+
+    /// Labels a boxed batch sequentially with **batch-level dedup keyed on
+    /// canonical identity**: each query is interned once (alpha-variants
+    /// collapse to one [`QueryId`]) and every later duplicate in the batch
+    /// reuses the label computed for its first occurrence — credited as a
+    /// [`hit`](CacheStats::hits) plus a
+    /// [`batch_dedup_hit`](CacheStats::batch_dedup_hits), never re-entering
+    /// the labeling pipeline.  Queries past the implicit-intern arena
+    /// budget have no cheap identity and label through the uncached
+    /// pipeline, exactly like [`label_query`](QueryLabeler::label_query).
+    ///
+    /// The fold equals the plain [`QueryLabeler::label_queries`] result
+    /// because the label lattice LUB is idempotent; the equivalence suite
+    /// asserts it.
+    pub fn label_queries_deduped(&self, queries: &[ConjunctiveQuery]) -> DisclosureLabel {
+        let mut out = DisclosureLabel::bottom();
+        let mut seen: HashMap<QueryId, DisclosureLabel> = HashMap::new();
+        for query in queries {
+            match intern_within_budget(
+                &self.interner,
+                &self.tables.implicit_interns,
+                self.capacity,
+                query,
+            ) {
+                Some(id) => {
+                    if let Some(label) = seen.get(&id) {
+                        out.combine_in_place(label);
+                        self.note_batch_dedup_hit();
+                    } else {
+                        let label = self.label_interned(id);
+                        out.combine_in_place(&label);
+                        seen.insert(id, label);
+                    }
+                }
+                None => {
+                    // Arena budget exhausted: serve without interning.
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    out.combine_in_place(&self.inner.label_query(query));
+                }
+            }
+        }
+        out
+    }
+
+    /// The canonical interned identity of `query` **if its shape is already
+    /// known** — a read-locked lookup that never interns and never charges
+    /// the arena budget.  The service's batch staging uses this to key its
+    /// dedup map for plain (un-interned) admissions; `None` simply means
+    /// "no cheap identity, don't dedup this one".
+    pub fn batch_identity(&self, query: &ConjunctiveQuery) -> Option<QueryId> {
+        self.read_interner().lookup(query)
+    }
+
+    /// Credits one batch-level dedup hit: the caller answered a duplicate
+    /// query in a batch by fanning out a label computed earlier in that
+    /// same batch.  Counted as a regular cache hit *as well*, so every
+    /// other [`CacheStats`] column matches what labeling the duplicate
+    /// would have reported.
+    pub fn note_batch_dedup_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.batch_dedup_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Labels each query of a batch in parallel, preserving order.
@@ -1302,13 +1379,32 @@ impl CachedLabeler {
     /// Fresh hits combine straight out of the cache under the shard's read
     /// lock, so the steady state does one `Vec` index and one in-place
     /// lattice fold per query — no hashing, no label clone.
+    ///
+    /// Within one batch each distinct id runs the labeling pipeline at most
+    /// once: a repeated id that cannot be served from the cache (e.g. the
+    /// cache is at capacity and its first occurrence was not admitted)
+    /// reuses the label computed earlier in the batch and is credited as a
+    /// [`hit`](CacheStats::hits) plus a
+    /// [`batch_dedup_hit`](CacheStats::batch_dedup_hits).  Warm batches
+    /// never touch the dedup list, so the steady state is unchanged.
     pub fn label_queries_interned(&self, ids: &[QueryId]) -> DisclosureLabel {
         let mut out = DisclosureLabel::bottom();
+        // Ids that missed the cache earlier in this batch, with the label
+        // each resolved to.  Kept as a linear list: it only ever holds
+        // cold-path ids, and a batch's distinct cold ids are few.
+        let mut missed: Vec<(QueryId, DisclosureLabel)> = Vec::new();
         for &id in ids {
             if self.combine_fresh_hit(id, &mut out) {
                 continue;
             }
-            out.combine_in_place(&self.label_interned(id));
+            if let Some((_, label)) = missed.iter().find(|(seen, _)| *seen == id) {
+                out.combine_in_place(label);
+                self.note_batch_dedup_hit();
+                continue;
+            }
+            let label = self.label_interned(id);
+            out.combine_in_place(&label);
+            missed.push((id, label));
         }
         out
     }
@@ -1518,6 +1614,9 @@ impl LabelerSnapshot {
             query_refreshes: self.query_refreshes.load(Ordering::Relaxed),
             atom_refreshes: self.atom_refreshes.load(Ordering::Relaxed),
             invalidations: 0,
+            // Snapshots label chunk-by-chunk without batch context, so
+            // they never dedup within a batch.
+            batch_dedup_hits: 0,
         }
     }
 

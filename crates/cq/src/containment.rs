@@ -82,6 +82,17 @@ pub fn interned_equivalent(q1: QueryRef<'_>, q2: QueryRef<'_>) -> bool {
     interned_contained_in(q1, q2) && interned_contained_in(q2, q1)
 }
 
+/// [`interned_contained_in`] restricted to the generic backtracking search,
+/// bypassing the semi-join fast path — the baseline the structural property
+/// suite compares dispatch against.
+pub fn interned_contained_in_generic(q1: QueryRef<'_>, q2: QueryRef<'_>) -> bool {
+    crate::homomorphism::interned_homomorphism_exists_generic(
+        q2,
+        q1,
+        HeadPolicy::DistinguishedToDistinguished,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -85,10 +85,22 @@ pub fn is_folded(query: &ConjunctiveQuery) -> bool {
 /// distinguished variables — so the surviving atom set matches the boxed
 /// implementation exactly (the `Dissect` equivalence tests rely on that).
 pub fn fold_interned(query: QueryRef<'_>) -> Vec<IAtom> {
-    let mut atoms: Vec<IAtom> = query.atoms.to_vec();
-    if atoms.len() <= 1 {
-        return atoms;
+    fold_interned_indices(query)
+        .into_iter()
+        .map(|i| query.atoms[i as usize])
+        .collect()
+}
+
+/// Like [`fold_interned`] but returns the **indices** of the surviving
+/// atoms within `query.atoms`, in original order — the form the interner's
+/// per-query core cache stores, since indices stay meaningful against the
+/// arena while `IAtom` spans would be redundant copies.
+pub fn fold_interned_indices(query: QueryRef<'_>) -> Vec<u32> {
+    let mut kept: Vec<u32> = (0..query.atoms.len() as u32).collect();
+    if kept.len() <= 1 {
+        return kept;
     }
+    let mut atoms: Vec<IAtom> = query.atoms.to_vec();
     loop {
         let mut removed_any = false;
         let mut i = 0;
@@ -108,6 +120,7 @@ pub fn fold_interned(query: QueryRef<'_>) -> Vec<IAtom> {
             candidate.remove(i);
             if interned_homomorphism_into(query, &candidate, query, HeadPolicy::Identity) {
                 atoms = candidate;
+                kept.remove(i);
                 removed_any = true;
                 i = 0;
             } else {
@@ -118,7 +131,7 @@ pub fn fold_interned(query: QueryRef<'_>) -> Vec<IAtom> {
             break;
         }
     }
-    atoms
+    kept
 }
 
 #[cfg(test)]

@@ -301,10 +301,12 @@ fn term_allowed(
 ///
 /// Both views must come from the same
 /// [`QueryInterner`](crate::intern::QueryInterner) (or buffers derived from
-/// it): constants are compared by interned id.  The search allocates only
-/// two small per-call vectors (the atom order and the dense substitution);
-/// terms are single `Copy` words, so binding and unbinding are plain array
-/// writes.
+/// it): constants are compared by interned id.  When `from` carries its GYO
+/// ear ordering (an acyclic query resolved from the interner) the question
+/// is answered by the polynomial semi-join pass of
+/// [`structure`](crate::structure); otherwise the generic backtracking
+/// search runs.  Both paths return identical verdicts — the dispatch is a
+/// pure fast path.
 pub fn interned_homomorphism_exists(
     from: QueryRef<'_>,
     to: QueryRef<'_>,
@@ -316,7 +318,51 @@ pub fn interned_homomorphism_exists(
 /// Like [`interned_homomorphism_exists`] with an explicit target atom set
 /// interpreted in `to`'s term/variable space — what interned folding needs
 /// (the target is a subset of the source's own atoms).
+///
+/// Whole-body questions (`target_atoms` is all of `to` — containment,
+/// equivalence, rewriting) dispatch acyclic sources to the semi-join fast
+/// path (see [`structure`](crate::structure)), with cyclic sources and
+/// temporaries without an ear ordering falling back to
+/// [`interned_homomorphism_into_generic`].  Subset targets (folding's
+/// remove-one-atom checks) always run the generic search: those instances
+/// are small and usually fail, and the indexed backtracking's fail-fast
+/// beats the semi-join pass's up-front candidate construction there.
 pub fn interned_homomorphism_into(
+    from: QueryRef<'_>,
+    target_atoms: &[IAtom],
+    to: QueryRef<'_>,
+    policy: HeadPolicy,
+) -> bool {
+    if crate::structure::dispatch_enabled() && target_atoms.len() == to.atoms.len() {
+        if let Some(ears) = from.ears {
+            crate::structure::note_structural_check();
+            return crate::structure::semi_join_homomorphism_into(
+                from,
+                ears,
+                target_atoms,
+                to,
+                policy,
+            );
+        }
+        crate::structure::note_backtrack_fallback();
+    }
+    interned_homomorphism_into_generic(from, target_atoms, to, policy)
+}
+
+/// [`interned_homomorphism_exists`] restricted to the generic backtracking
+/// search, ignoring any structural certificate — the complete baseline the
+/// property suite pins the semi-join fast path against.
+pub fn interned_homomorphism_exists_generic(
+    from: QueryRef<'_>,
+    to: QueryRef<'_>,
+    policy: HeadPolicy,
+) -> bool {
+    interned_homomorphism_into_generic(from, to.atoms, to, policy)
+}
+
+/// [`interned_homomorphism_into`] restricted to the generic backtracking
+/// search (never the semi-join fast path).
+pub fn interned_homomorphism_into_generic(
     from: QueryRef<'_>,
     target_atoms: &[IAtom],
     to: QueryRef<'_>,
@@ -395,7 +441,12 @@ fn interned_search(
 }
 
 #[inline]
-fn interned_term_allowed(src_kind: VarKind, dst: ITerm, src_var: u32, policy: HeadPolicy) -> bool {
+pub(crate) fn interned_term_allowed(
+    src_kind: VarKind,
+    dst: ITerm,
+    src_var: u32,
+    policy: HeadPolicy,
+) -> bool {
     if src_kind.is_existential() {
         return true;
     }

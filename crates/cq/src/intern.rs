@@ -48,6 +48,7 @@ use crate::atom::Atom;
 use crate::catalog::RelId;
 use crate::error::Result;
 use crate::query::ConjunctiveQuery;
+use crate::structure::{EarStep, ShapeClass};
 use crate::term::{Constant, Term, VarId, VarKind};
 
 /// Dense identifier of an interned query.
@@ -170,6 +171,13 @@ pub struct QueryRef<'a> {
     pub terms: &'a [ITerm],
     /// Variable kinds, indexed by canonical variable index.
     pub kinds: &'a [VarKind],
+    /// The query's GYO ear ordering (join tree) when it is known to be
+    /// acyclic — attached by [`QueryInterner::resolve`] from the structural
+    /// side table, `None` for cyclic queries and for temporary views
+    /// assembled over local buffers.  Homomorphism dispatch
+    /// ([`interned_homomorphism_into`](crate::homomorphism::interned_homomorphism_into))
+    /// takes the semi-join fast path exactly when this is present.
+    pub ears: Option<&'a [EarStep]>,
 }
 
 impl<'a> QueryRef<'a> {
@@ -217,6 +225,23 @@ struct QuerySpan {
     atom_len: u32,
     kind_start: u32,
     num_vars: u32,
+}
+
+/// Structural facts about one interned query, derived once when the query
+/// enters the arena (and rebuilt on decode): its [`ShapeClass`], the span of
+/// its GYO ear ordering within the `ears` arena, the span of its
+/// per-relation atom counts within the `rel_counts` arena, and the span of
+/// its lazily computed fold (core) within the `fold_atoms` arena.
+#[derive(Debug, Clone, Copy)]
+struct ShapeInfo {
+    class: ShapeClass,
+    ear_start: u32,
+    ear_len: u32,
+    rel_start: u32,
+    rel_len: u32,
+    fold_start: u32,
+    fold_len: u32,
+    fold_cached: bool,
 }
 
 /// The canonical form of a query, staged in scratch buffers before the
@@ -313,6 +338,18 @@ pub struct QueryInterner {
     /// Number of single-atom queries interned so far (= the exclusive upper
     /// bound of the ordinal space).
     num_single_atom: u32,
+    /// Structural side table, indexed by `QueryId`: shape class plus spans
+    /// into the `ears`, `rel_counts` and `fold_atoms` arenas below.
+    shapes: Vec<ShapeInfo>,
+    /// Arena of GYO ear orderings (join trees) of the acyclic queries.
+    ears: Vec<EarStep>,
+    /// Arena of per-relation atom counts, sorted by relation id per query.
+    rel_counts: Vec<(RelId, u32)>,
+    /// Arena of fold (core) results: indices of the surviving atoms, filled
+    /// lazily by [`core_atom_indices`](Self::core_atom_indices).
+    fold_atoms: Vec<u32>,
+    /// Number of queries classified [`ShapeClass::Acyclic`].
+    num_acyclic: u32,
 }
 
 impl QueryInterner {
@@ -441,7 +478,57 @@ impl QueryInterner {
             u32::MAX
         });
         self.dedup.entry(hash).or_default().push(id);
+        self.classify(id.index());
         id
+    }
+
+    /// Derives the structural side-table entry of query `index` — shape
+    /// class via GYO reduction, the ear ordering for acyclic shapes, and the
+    /// per-relation atom counts.  Called once per query, right after its
+    /// span is appended (and again per query on decode); the fold span
+    /// starts empty and is filled lazily.
+    fn classify(&mut self, index: usize) {
+        debug_assert_eq!(self.shapes.len(), index, "classification is in id order");
+        let span = self.queries[index];
+        let query = QueryRef {
+            atoms: &self.atoms
+                [span.atom_start as usize..(span.atom_start + span.atom_len) as usize],
+            terms: &self.terms,
+            kinds: &self.kinds
+                [span.kind_start as usize..(span.kind_start + span.num_vars) as usize],
+            ears: None,
+        };
+        let mut rels: Vec<(RelId, u32)> = Vec::new();
+        for atom in query.atoms {
+            match rels.iter_mut().find(|(r, _)| *r == atom.relation) {
+                Some(entry) => entry.1 += 1,
+                None => rels.push((atom.relation, 1)),
+            }
+        }
+        rels.sort_unstable_by_key(|&(relation, _)| relation);
+        let (class, steps) = match crate::structure::gyo_reduce(query) {
+            Some(steps) => (ShapeClass::Acyclic, steps),
+            None => (ShapeClass::Cyclic, Vec::new()),
+        };
+        if class == ShapeClass::Acyclic {
+            self.num_acyclic += 1;
+        }
+        let ear_start = self.ears.len() as u32;
+        let ear_len = steps.len() as u32;
+        self.ears.extend(steps);
+        let rel_start = self.rel_counts.len() as u32;
+        let rel_len = rels.len() as u32;
+        self.rel_counts.extend(rels);
+        self.shapes.push(ShapeInfo {
+            class,
+            ear_start,
+            ear_len,
+            rel_start,
+            rel_len,
+            fold_start: 0,
+            fold_len: 0,
+            fold_cached: false,
+        });
     }
 
     fn find(&self, parts: &CanonParts, hash: u64) -> Option<QueryId> {
@@ -534,13 +621,95 @@ impl QueryInterner {
     #[inline]
     pub fn resolve(&self, id: QueryId) -> QueryRef<'_> {
         let span = self.queries[id.index()];
+        let shape = self.shapes[id.index()];
         QueryRef {
             atoms: &self.atoms
                 [span.atom_start as usize..(span.atom_start + span.atom_len) as usize],
             terms: &self.terms,
             kinds: &self.kinds
                 [span.kind_start as usize..(span.kind_start + span.num_vars) as usize],
+            ears: (shape.class == ShapeClass::Acyclic).then(|| {
+                &self.ears[shape.ear_start as usize..(shape.ear_start + shape.ear_len) as usize]
+            }),
         }
+    }
+
+    /// The structural class of interned query `id`, decided by GYO
+    /// reduction when the query entered the arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this interner.
+    #[inline]
+    pub fn shape_class(&self, id: QueryId) -> ShapeClass {
+        self.shapes[id.index()].class
+    }
+
+    /// The GYO ear ordering (join tree, children-first) of an acyclic
+    /// query, `None` if the query is cyclic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this interner.
+    pub fn ear_steps(&self, id: QueryId) -> Option<&[EarStep]> {
+        let shape = self.shapes[id.index()];
+        (shape.class == ShapeClass::Acyclic).then(|| {
+            &self.ears[shape.ear_start as usize..(shape.ear_start + shape.ear_len) as usize]
+        })
+    }
+
+    /// Number of interned queries classified [`ShapeClass::Acyclic`].
+    pub fn num_acyclic_queries(&self) -> usize {
+        self.num_acyclic as usize
+    }
+
+    /// Per-relation atom counts of query `id`, sorted by relation id — the
+    /// profile folding's sibling pre-check and capacity planning consult
+    /// without rescanning the atom list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this interner.
+    pub fn relation_profile(&self, id: QueryId) -> &[(RelId, u32)] {
+        let shape = self.shapes[id.index()];
+        &self.rel_counts[shape.rel_start as usize..(shape.rel_start + shape.rel_len) as usize]
+    }
+
+    /// Indices of the atoms surviving folding — the query's core, in
+    /// original atom order.
+    ///
+    /// The fold (NP-hard in general) runs on the **first** request for each
+    /// query and is replayed from the side table on every later one, so
+    /// repeated dissections of one shape pay the search exactly once per
+    /// interner lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this interner.
+    pub fn core_atom_indices(&mut self, id: QueryId) -> &[u32] {
+        if !self.shapes[id.index()].fold_cached {
+            let kept = crate::folding::fold_interned_indices(self.resolve(id));
+            let fold_start = self.fold_atoms.len() as u32;
+            let fold_len = kept.len() as u32;
+            self.fold_atoms.extend(kept);
+            let shape = &mut self.shapes[id.index()];
+            shape.fold_start = fold_start;
+            shape.fold_len = fold_len;
+            shape.fold_cached = true;
+        }
+        let shape = self.shapes[id.index()];
+        &self.fold_atoms[shape.fold_start as usize..(shape.fold_start + shape.fold_len) as usize]
+    }
+
+    /// Number of atoms in the query's core (its fold result) — computes and
+    /// caches the fold on first use, like
+    /// [`core_atom_indices`](Self::core_atom_indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this interner.
+    pub fn core_size(&mut self, id: QueryId) -> usize {
+        self.core_atom_indices(id).len()
     }
 
     /// Reconstructs an interned query as a boxed [`ConjunctiveQuery`].
@@ -579,9 +748,9 @@ impl QueryInterner {
     /// Serializes the whole arena — constants, term buffer, atom spans,
     /// kind buffer, query spans — into `out` (the `fdc-cq` slice of a
     /// checkpoint).  The derived indexes (constant lookup, dedup
-    /// buckets, single-atom ordinals) are *not* written; decoding
-    /// rebuilds them, so the format stays minimal and cannot go out of
-    /// sync with itself.
+    /// buckets, single-atom ordinals, the structural side table) are *not*
+    /// written; decoding rebuilds them, so the format stays minimal and
+    /// cannot go out of sync with itself.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         use fdc_durability::codec::{put_len, put_u32, put_u8};
         put_len(out, self.consts.len());
@@ -626,7 +795,8 @@ impl QueryInterner {
 
     /// Deserializes an arena written by [`encode_into`](Self::encode_into),
     /// rebuilding every derived index (constant lookup, dedup buckets,
-    /// single-atom ordinals).  All spans are bounds-checked, so a
+    /// single-atom ordinals, structural classification).  All spans are
+    /// bounds-checked, so a
     /// corrupt checkpoint yields a [`CodecError`], never a panicking
     /// interner.  Query ids issued before the encode resolve to the
     /// identical flat representation after the decode — the property
@@ -713,6 +883,11 @@ impl QueryInterner {
             dedup: HashMap::new(),
             atom_ordinals: Vec::with_capacity(num_queries),
             num_single_atom: 0,
+            shapes: Vec::with_capacity(num_queries),
+            ears: Vec::new(),
+            rel_counts: Vec::new(),
+            fold_atoms: Vec::new(),
+            num_acyclic: 0,
         };
         for index in 0..interner.queries.len() {
             let id = QueryId(index as u32);
@@ -726,6 +901,9 @@ impl QueryInterner {
             } else {
                 u32::MAX
             });
+            // The structural side table is derived state: rebuild it rather
+            // than serialize it, like the dedup buckets and ordinals above.
+            interner.classify(index);
         }
         Ok(interner)
     }

@@ -20,6 +20,10 @@
 //! * [`intern`] — the interned query plane: an arena-backed flat CQ
 //!   representation with dense [`QueryId`]s and a zero-copy [`QueryRef`]
 //!   view that the reasoning algorithms above also operate on directly.
+//! * [`structure`] — structural classification at intern time: GYO
+//!   reduction decides α-acyclicity once per shape, and acyclic queries
+//!   answer homomorphism questions with a polynomial semi-join pass over
+//!   their join tree instead of backtracking.
 //!
 //! The crate has no dependencies and is deliberately self-contained so that
 //! the labeling layer (`fdc-core`) and the policy layer (`fdc-policy`) can be
@@ -57,6 +61,7 @@ pub mod intern;
 pub mod parser;
 pub mod query;
 pub mod rewriting;
+pub mod structure;
 pub mod substitution;
 pub mod term;
 pub mod wire;

@@ -1,0 +1,465 @@
+//! Structural classification of conjunctive queries: acyclicity via GYO
+//! reduction, and the semi-join (Yannakakis-style) homomorphism fast path
+//! it unlocks.
+//!
+//! Homomorphism search is the innermost kernel under every containment,
+//! folding and rewriting call, and the generic backtracking search of
+//! [`homomorphism`](crate::homomorphism) is worst-case exponential.  For
+//! **α-acyclic** queries a much better algorithm exists: classify the query's
+//! hypergraph once, keep the certificate (a join tree in ear-removal order),
+//! and answer every later homomorphism question with a linear pass of
+//! semi-joins over that tree.  The [`QueryInterner`](crate::intern) is the
+//! natural place to do the classification — each distinct shape is interned
+//! exactly once, so the GYO run amortizes across every reuse of the id.
+//!
+//! # GYO reduction
+//!
+//! The Graham / Yu–Özsoyoğlu reduction decides α-acyclicity of a hypergraph
+//! (here: one hyperedge per atom, containing the atom's variables).  An edge
+//! `e` is an **ear** with **witness** `f` if every variable of `e` that also
+//! occurs in some *other* remaining edge is contained in `f` (variables
+//! private to `e` are unconstrained).  The reduction repeatedly removes an
+//! ear until either a single edge remains — the query is acyclic, and the
+//! removal order with its witnesses forms a join tree — or no ear exists,
+//! in which case the query is cyclic and the generic backtracking search
+//! remains the complete decision procedure.
+//!
+//! [`gyo_reduce`] returns the removal order as [`EarStep`]s (`atom` removed
+//! with `parent` as witness; the final surviving atom carries
+//! [`NO_PARENT`]).  Because each step's witness is still present when the
+//! step runs, replaying the steps in order visits every node of the join
+//! tree **children before parents** — exactly the order the bottom-up
+//! semi-join pass needs.
+//!
+//! # The semi-join fast path
+//!
+//! [`semi_join_homomorphism_into`] decides existence of a homomorphism from
+//! an acyclic query into a target atom set without backtracking: build the
+//! per-atom candidate lists (target atoms compatible with the source atom
+//! under the [`HeadPolicy`]), then walk the join tree bottom-up, filtering
+//! each parent's candidates to those joinable with at least one candidate of
+//! the removed child.  The query maps iff the root retains a candidate.
+//! Soundness and completeness follow from the running-intersection property
+//! of the join tree: all constraints between atoms are variable equalities
+//! along tree edges, and the per-variable head-policy constraints are unary,
+//! so they fold into candidate generation.
+//!
+//! Dispatch lives in
+//! [`interned_homomorphism_into`](crate::homomorphism::interned_homomorphism_into):
+//! acyclic sources (a [`QueryRef`] resolved from the interner with its ear
+//! ordering attached) take the semi-join path, everything else falls back to
+//! backtracking.  The process-wide [`counters`] record which path ran, and
+//! [`set_dispatch_enabled`] lets benchmarks force the generic path for
+//! apples-to-apples comparisons.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::homomorphism::{interned_term_allowed, HeadPolicy};
+use crate::intern::{IAtom, ITerm, QueryRef};
+
+/// The structural class of an interned query, decided once at intern time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShapeClass {
+    /// The query's hypergraph is α-acyclic: GYO reduction succeeded and the
+    /// interner keeps its join tree (ear ordering) for the semi-join fast
+    /// path.
+    Acyclic,
+    /// GYO reduction got stuck: the query has a cyclic core and homomorphism
+    /// questions about it use the generic backtracking search.
+    Cyclic,
+}
+
+/// Parent marker of the join-tree root (the last atom standing after GYO
+/// reduction).
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// One step of a successful GYO reduction: atom `atom` was removed as an ear
+/// with atom `parent` as its witness.
+///
+/// A query's steps, in order, list every atom exactly once and end with the
+/// root (whose `parent` is [`NO_PARENT`]).  Replayed in order they traverse
+/// the join tree children-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EarStep {
+    /// Index of the removed atom within the query's atom list.
+    pub atom: u32,
+    /// Index of the witness atom (the ear's parent in the join tree), or
+    /// [`NO_PARENT`] for the root.
+    pub parent: u32,
+}
+
+/// Runs GYO reduction over the query's hypergraph.
+///
+/// Returns the ear-removal order (a join tree in children-first order) if
+/// the query is α-acyclic, `None` if it is cyclic.  Queries with zero or one
+/// atom are trivially acyclic.
+pub fn gyo_reduce(query: QueryRef<'_>) -> Option<Vec<EarStep>> {
+    let n = query.num_atoms();
+    let mut steps = Vec::with_capacity(n);
+    if n == 0 {
+        return Some(steps);
+    }
+    let vars = distinct_vars(query);
+    // Occurrence counts over the *remaining* edges: a variable with count 1
+    // is private to its edge and never constrains ear removal.
+    let mut occ = vec![0u32; query.num_vars()];
+    for vs in &vars {
+        for &v in vs {
+            occ[v as usize] += 1;
+        }
+    }
+    let mut alive = vec![true; n];
+    let mut remaining = n;
+    while remaining > 1 {
+        let mut found = None;
+        'scan: for e in 0..n {
+            if !alive[e] {
+                continue;
+            }
+            for f in 0..n {
+                if f == e || !alive[f] {
+                    continue;
+                }
+                let is_ear = vars[e]
+                    .iter()
+                    .all(|&v| occ[v as usize] == 1 || vars[f].contains(&v));
+                if is_ear {
+                    found = Some((e, f));
+                    break 'scan;
+                }
+            }
+        }
+        let (e, f) = found?;
+        steps.push(EarStep {
+            atom: e as u32,
+            parent: f as u32,
+        });
+        alive[e] = false;
+        remaining -= 1;
+        for &v in &vars[e] {
+            occ[v as usize] -= 1;
+        }
+    }
+    let root = alive.iter().position(|&a| a).expect("one atom remains");
+    steps.push(EarStep {
+        atom: root as u32,
+        parent: NO_PARENT,
+    });
+    Some(steps)
+}
+
+/// The distinct variables of each atom, in first-occurrence order.
+fn distinct_vars(query: QueryRef<'_>) -> Vec<Vec<u32>> {
+    (0..query.num_atoms())
+        .map(|i| {
+            let mut vs: Vec<u32> = Vec::new();
+            for term in query.atom_terms(i) {
+                if let Some(v) = term.var_index() {
+                    if !vs.contains(&v) {
+                        vs.push(v);
+                    }
+                }
+            }
+            vs
+        })
+        .collect()
+}
+
+/// Decides existence of a homomorphism from the acyclic query `from` into
+/// `target_atoms` (interpreted in `to`'s term space) by bottom-up semi-joins
+/// over `from`'s join tree.
+///
+/// `ears` must be the [`gyo_reduce`] certificate of `from` (the interner's
+/// side table provides it).  The verdict is exactly that of
+/// [`interned_homomorphism_into_generic`](crate::homomorphism::interned_homomorphism_into_generic)
+/// on the same inputs, for every [`HeadPolicy`]; the property suite pins the
+/// two against each other.
+pub fn semi_join_homomorphism_into(
+    from: QueryRef<'_>,
+    ears: &[EarStep],
+    target_atoms: &[IAtom],
+    to: QueryRef<'_>,
+    policy: HeadPolicy,
+) -> bool {
+    let n = from.num_atoms();
+    debug_assert_eq!(ears.len(), n, "ear ordering must cover every atom");
+    if n == 0 {
+        return true;
+    }
+    // Candidate generation: for each source atom, the images of its distinct
+    // variables under every compatible target atom.  Compatibility mirrors
+    // the generic search's per-term checks exactly — constants preserved,
+    // head policy respected, repeated variables consistent within the atom.
+    let mut vars: Vec<Vec<u32>> = Vec::with_capacity(n);
+    let mut cands: Vec<Vec<Vec<ITerm>>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let atom = from.atoms[i];
+        let source_terms = atom.terms(from.terms);
+        let mut vs: Vec<u32> = Vec::new();
+        for term in source_terms {
+            if let Some(v) = term.var_index() {
+                if !vs.contains(&v) {
+                    vs.push(v);
+                }
+            }
+        }
+        let mut atom_cands: Vec<Vec<ITerm>> = Vec::new();
+        'targets: for target in target_atoms {
+            if target.relation != atom.relation || target.term_len != atom.term_len {
+                continue;
+            }
+            let target_terms = target.terms(to.terms);
+            // `vs` is in first-occurrence order, so the first time a
+            // variable appears its slot is exactly `image.len()`.
+            let mut image: Vec<ITerm> = Vec::with_capacity(vs.len());
+            for (src, dst) in source_terms.iter().zip(target_terms.iter()) {
+                match *src {
+                    ITerm::Const(c) => {
+                        if *dst != ITerm::Const(c) {
+                            continue 'targets;
+                        }
+                    }
+                    ITerm::Var(v, kind) => {
+                        if !interned_term_allowed(kind, *dst, v, policy) {
+                            continue 'targets;
+                        }
+                        let slot = vs.iter().position(|&w| w == v).expect("v is in vs");
+                        if slot == image.len() {
+                            image.push(*dst);
+                        } else if image[slot] != *dst {
+                            continue 'targets;
+                        }
+                    }
+                }
+            }
+            atom_cands.push(image);
+        }
+        if atom_cands.is_empty() {
+            return false;
+        }
+        vars.push(vs);
+        cands.push(atom_cands);
+    }
+    // Bottom-up semi-joins in ear-removal order (children before parents):
+    // the parent keeps a candidate only if the removed child has a candidate
+    // agreeing on every shared variable.  The running-intersection property
+    // of the join tree makes the surviving root candidates extendable to a
+    // full homomorphism top-down.
+    for step in ears {
+        let e = step.atom as usize;
+        if step.parent == NO_PARENT {
+            debug_assert!(!cands[e].is_empty());
+            continue;
+        }
+        let p = step.parent as usize;
+        let shared: Vec<(usize, usize)> = vars[e]
+            .iter()
+            .enumerate()
+            .filter_map(|(ie, &v)| vars[p].iter().position(|&w| w == v).map(|ip| (ie, ip)))
+            .collect();
+        // The removed atom is never referenced again (only as the parent of
+        // *earlier* steps), so its candidate list can be taken by value.
+        let ecands = std::mem::take(&mut cands[e]);
+        cands[p].retain(|pc| {
+            ecands
+                .iter()
+                .any(|ec| shared.iter().all(|&(ie, ip)| ec[ie] == pc[ip]))
+        });
+        if cands[p].is_empty() {
+            return false;
+        }
+    }
+    true
+}
+
+static STRUCTURAL_CHECKS: AtomicU64 = AtomicU64::new(0);
+static BACKTRACK_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static DISPATCH_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Process-wide, monotonically increasing dispatch counters (read them
+/// before and after a region and subtract to attribute work to it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StructureCounters {
+    /// Homomorphism searches answered by the semi-join fast path.
+    pub structural_checks: u64,
+    /// Searches that ran the generic backtracking path while dispatch was
+    /// enabled (cyclic sources, or temporaries without an ear ordering).
+    pub backtrack_fallbacks: u64,
+}
+
+/// Snapshot of the process-wide dispatch [`StructureCounters`].
+pub fn counters() -> StructureCounters {
+    StructureCounters {
+        structural_checks: STRUCTURAL_CHECKS.load(Ordering::Relaxed),
+        backtrack_fallbacks: BACKTRACK_FALLBACKS.load(Ordering::Relaxed),
+    }
+}
+
+/// True if structural dispatch is enabled (the default).
+#[inline]
+pub fn dispatch_enabled() -> bool {
+    DISPATCH_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables or disables structural dispatch process-wide.
+///
+/// Intended for single-threaded benchmark harnesses that need the generic
+/// backtracking path on acyclic inputs for a like-for-like comparison; with
+/// dispatch disabled neither counter advances.  Leave enabled in production.
+pub fn set_dispatch_enabled(enabled: bool) {
+    DISPATCH_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn note_structural_check() {
+    STRUCTURAL_CHECKS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn note_backtrack_fallback() {
+    BACKTRACK_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::homomorphism::interned_homomorphism_exists_generic;
+    use crate::intern::{QueryId, QueryInterner};
+    use crate::parser::parse_query;
+    use crate::query::ConjunctiveQuery;
+
+    fn catalog() -> Catalog {
+        Catalog::paper_example()
+    }
+
+    fn q(c: &Catalog, s: &str) -> ConjunctiveQuery {
+        parse_query(c, s).unwrap()
+    }
+
+    fn raw(interner: &QueryInterner, id: QueryId) -> QueryRef<'_> {
+        interner.resolve(id)
+    }
+
+    #[test]
+    fn single_atoms_and_chains_are_acyclic() {
+        let c = catalog();
+        let mut interner = QueryInterner::new();
+        for text in [
+            "Q(x) :- Meetings(x, 'Cathy')",
+            "Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+            "Q(x) :- Meetings(x, y), Meetings(y, z), Meetings(z, w)",
+            "Q(x) :- Meetings(x, y), Meetings(x, z), Meetings(x, w)",
+            "Q() :- Meetings(a, b), Contacts(c, d, e)",
+        ] {
+            let id = interner.intern(&q(&c, text));
+            let query = raw(&interner, id);
+            let steps = gyo_reduce(query).unwrap_or_else(|| panic!("{text} should be acyclic"));
+            assert_eq!(steps.len(), query.num_atoms(), "{text}");
+            // Every atom removed exactly once; exactly one root, and it is
+            // the final step (its witness must outlive every ear).
+            let mut seen = vec![false; query.num_atoms()];
+            for step in &steps {
+                assert!(!seen[step.atom as usize], "{text}");
+                seen[step.atom as usize] = true;
+            }
+            let roots = steps.iter().filter(|s| s.parent == NO_PARENT).count();
+            assert_eq!(roots, 1, "{text}");
+            assert_eq!(steps.last().unwrap().parent, NO_PARENT, "{text}");
+        }
+    }
+
+    #[test]
+    fn the_triangle_is_cyclic() {
+        let c = catalog();
+        let mut interner = QueryInterner::new();
+        let id = interner.intern(&q(
+            &c,
+            "Q() :- Meetings(x, y), Meetings(y, z), Meetings(z, x)",
+        ));
+        assert_eq!(gyo_reduce(raw(&interner, id)), None);
+        // Adding a pendant atom does not break the cycle.
+        let id = interner.intern(&q(
+            &c,
+            "Q() :- Meetings(x, y), Meetings(y, z), Meetings(z, x), Contacts(x, p, r)",
+        ));
+        assert_eq!(gyo_reduce(raw(&interner, id)), None);
+    }
+
+    #[test]
+    fn covering_an_edge_restores_acyclicity() {
+        let c = catalog();
+        let mut interner = QueryInterner::new();
+        // Contacts(x, y, z) covers the whole triangle's variable set, so
+        // every Meetings edge is an ear with it as witness.
+        let id = interner.intern(&q(
+            &c,
+            "Q() :- Meetings(x, y), Meetings(y, z), Meetings(z, x), Contacts(x, y, z)",
+        ));
+        assert!(gyo_reduce(raw(&interner, id)).is_some());
+    }
+
+    #[test]
+    fn semi_join_agrees_with_backtracking_on_acyclic_pairs() {
+        let c = catalog();
+        let texts = [
+            "Q(x) :- Meetings(x, y)",
+            "Q(y) :- Meetings(x, y)",
+            "Q() :- Meetings(x, y)",
+            "Q() :- Meetings(z, z)",
+            "Q() :- Meetings(9, 'Jim')",
+            "Q(x) :- Meetings(x, 'Cathy')",
+            "Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+            "Q(x) :- Meetings(x, y), Meetings(x, z)",
+            "Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern'), Contacts(y, u, 'Manager')",
+            "Q(x) :- Meetings(x, y), Meetings(y, z), Meetings(z, w)",
+        ];
+        let mut interner = QueryInterner::new();
+        let ids: Vec<QueryId> = texts.iter().map(|t| interner.intern(&q(&c, t))).collect();
+        for policy in [
+            HeadPolicy::Identity,
+            HeadPolicy::DistinguishedToDistinguished,
+            HeadPolicy::Free,
+        ] {
+            for &ia in &ids {
+                let from = raw(&interner, ia);
+                let ears = gyo_reduce(from).expect("workload shapes are acyclic");
+                for &ib in &ids {
+                    let to = raw(&interner, ib);
+                    assert_eq!(
+                        semi_join_homomorphism_into(from, &ears, to.atoms, to, policy),
+                        interned_homomorphism_exists_generic(from, to, policy),
+                        "disagreement under {policy:?} on {ia:?} -> {ib:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_queries_are_trivially_acyclic() {
+        let query = QueryRef {
+            atoms: &[],
+            terms: &[],
+            kinds: &[],
+            ears: None,
+        };
+        assert_eq!(gyo_reduce(query), Some(Vec::new()));
+        assert!(semi_join_homomorphism_into(
+            query,
+            &[],
+            &[],
+            query,
+            HeadPolicy::Free
+        ));
+    }
+
+    #[test]
+    fn dispatch_toggle_round_trips() {
+        assert!(dispatch_enabled());
+        set_dispatch_enabled(false);
+        assert!(!dispatch_enabled());
+        set_dispatch_enabled(true);
+        assert!(dispatch_enabled());
+    }
+}

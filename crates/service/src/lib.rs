@@ -541,7 +541,16 @@ mod tests {
         let mut batched = build(&registry);
         let mut pipelined = build(&registry);
         assert_eq!(batched.run_batch(&ops), pipelined.run_pipelined(&ops));
-        assert_eq!(batched.labeler().stats(), pipelined.labeler().stats());
+        // The batch executor's staging dedups duplicate admissions within a
+        // run; the pipelined executor segments the stream differently and
+        // does not dedup.  Every other counter must still agree exactly
+        // (dedup hits are also counted as plain hits), so only the dedup
+        // column is normalized away.
+        let mut batched_stats = batched.labeler().stats();
+        let mut pipelined_stats = pipelined.labeler().stats();
+        batched_stats.batch_dedup_hits = 0;
+        pipelined_stats.batch_dedup_hits = 0;
+        assert_eq!(batched_stats, pipelined_stats);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The concurrent disclosure-control front door.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::path::Path;
 use std::sync::{Arc, OnceLock};
@@ -1461,30 +1461,64 @@ impl DisclosureService {
             }
         }
         self.stats.admissions += valid.len() as u64;
-        // Stage 1: label every query through the shared cache — interned
-        // admissions index the slot cache directly, plain ones intern on
-        // first sight.  Runs at or above the parallel threshold hand off
-        // to the persistent worker pool against a per-run labeler
+        // Batch-level dedup on canonical identity: admissions that resolve
+        // to the same QueryId label once, and the label fans out to every
+        // duplicate slot.  Interned admissions carry their identity; plain
+        // ones get a read-only interner lookup (an unknown shape has no
+        // cheap identity and simply is not deduped).  Duplicates are
+        // credited on the live labeler's `batch_dedup_hits` counter.
+        let mut slot_of: Vec<usize> = Vec::with_capacity(valid.len());
+        let mut first_slot: HashMap<QueryId, usize> = HashMap::new();
+        let mut unique: Vec<AdmissionQuery<'_>> = Vec::with_capacity(valid.len());
+        for &(_, _, query, _) in valid.iter() {
+            let identity = match query {
+                AdmissionQuery::Interned(id) => Some(id),
+                AdmissionQuery::Plain(q) => self.labeler.batch_identity(q),
+            };
+            match identity.and_then(|id| first_slot.get(&id).copied()) {
+                Some(slot) => {
+                    slot_of.push(slot);
+                    self.labeler.note_batch_dedup_hit();
+                }
+                None => {
+                    let slot = unique.len();
+                    if let Some(id) = identity {
+                        first_slot.insert(id, slot);
+                    }
+                    slot_of.push(slot);
+                    unique.push(query);
+                }
+            }
+        }
+        // Stage 1: label every *distinct* query through the shared cache —
+        // interned admissions index the slot cache directly, plain ones
+        // intern on first sight.  Runs at or above the parallel threshold
+        // (counted after dedup, which is the labeling work actually left)
+        // hand off to the persistent worker pool against a per-run labeler
         // snapshot (no run contains a mutation, so the snapshot is the
         // live labeler at every position of the run); shorter runs label
         // inline.
         let pooled =
-            self.config.workers > 1 && valid.len() >= self.config.parallel_threshold.max(2);
-        let packed: Vec<Vec<PackedLabel>> = if pooled {
-            let staged: Vec<StagedQuery> = valid
+            self.config.workers > 1 && unique.len() >= self.config.parallel_threshold.max(2);
+        let unique_packed: Vec<Vec<PackedLabel>> = if pooled {
+            let staged: Vec<StagedQuery> = unique
                 .iter()
-                .map(|&(_, _, query, _)| StagedQuery::from_admission(query))
+                .map(|&query| StagedQuery::from_admission(query))
                 .collect();
             self.pooled_label_run(staged)
         } else {
-            valid
+            unique
                 .iter()
-                .map(|&(_, _, query, _)| match query {
+                .map(|&query| match query {
                     AdmissionQuery::Plain(q) => self.labeler.label_packed(q),
                     AdmissionQuery::Interned(id) => self.labeler.label_packed_interned(id),
                 })
                 .collect()
         };
+        let packed: Vec<Vec<PackedLabel>> = slot_of
+            .iter()
+            .map(|&slot| unique_packed[slot].clone())
+            .collect();
         // Stage 2: decide the mixed submit/check batch, sharded by
         // principal on the same pool.
         let batch: Vec<(PrincipalId, &[PackedLabel], bool)> = valid

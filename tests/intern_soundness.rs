@@ -161,4 +161,75 @@ proptest! {
         prop_assert!(interner.len() <= texts.len());
         prop_assert!(interner.len() >= texts.len() - 1);
     }
+
+    /// Structural classification (GYO shape class and ear ordering) is a
+    /// property of the canonical query, not of interner history: it must
+    /// not change with insertion order, re-interning the same query, or a
+    /// round trip through `to_query` into a fresh interner.
+    #[test]
+    fn classification_is_stable_across_insertion_order(shuffle_seed in 0u64..1_000_000) {
+        let catalog = Catalog::paper_example();
+        let texts = [
+            // Acyclic shapes: paths, stars, self-joins, constants.
+            "Q(x) :- Meetings(x, y)",
+            "Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+            "Q() :- Meetings(x, y), Meetings(y, z)",
+            "Q(x) :- Meetings(x, x)",
+            "Q() :- Meetings(x, y), Meetings(x, z), Meetings(x, w)",
+            // Cyclic shapes: the triangle and a square, GYO finds no ear.
+            "Q() :- Meetings(x, y), Meetings(y, z), Meetings(z, x)",
+            "Q() :- Meetings(x, y), Meetings(y, z), Meetings(z, w), Meetings(w, x)",
+        ];
+        let queries: Vec<ConjunctiveQuery> = texts
+            .iter()
+            .map(|t| parse_query(&catalog, t).unwrap())
+            .collect();
+        // Natural order into one interner, shuffled order into another.
+        let mut order: Vec<usize> = (0..texts.len()).collect();
+        let mut state = shuffle_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for i in (1..order.len()).rev() {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            order.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let mut natural = QueryInterner::new();
+        let natural_ids: Vec<_> = queries.iter().map(|q| natural.intern(q)).collect();
+        let mut shuffled = QueryInterner::new();
+        let mut shuffled_ids = vec![None; texts.len()];
+        for &i in &order {
+            shuffled_ids[i] = Some(shuffled.intern(&queries[i]));
+        }
+        for (i, text) in texts.iter().enumerate() {
+            let a = natural_ids[i];
+            let b = shuffled_ids[i].unwrap();
+            prop_assert_eq!(
+                natural.shape_class(a),
+                shuffled.shape_class(b),
+                "shape class changed with insertion order on {}",
+                text
+            );
+            prop_assert_eq!(
+                natural.ear_steps(a),
+                shuffled.ear_steps(b),
+                "ear ordering changed with insertion order on {}",
+                text
+            );
+            // Re-interning is a no-op on the classification...
+            prop_assert_eq!(natural.intern(&queries[i]), a);
+            // ...and a round trip through `to_query` re-derives it.
+            let mut fresh = QueryInterner::new();
+            let again = fresh.intern(&natural.to_query(a));
+            prop_assert_eq!(natural.shape_class(a), fresh.shape_class(again));
+            prop_assert_eq!(natural.ear_steps(a), fresh.ear_steps(again));
+            // The classes themselves are as constructed: the last two
+            // shapes are the cycles.
+            let expected = if i >= texts.len() - 2 {
+                fdc::cq::structure::ShapeClass::Cyclic
+            } else {
+                fdc::cq::structure::ShapeClass::Acyclic
+            };
+            prop_assert_eq!(natural.shape_class(a), expected, "on {}", text);
+        }
+    }
 }

@@ -115,6 +115,40 @@ proptest! {
     }
 }
 
+/// Structural edge cases for the intern-time shape classification: heavy
+/// self-joins (one relation, many atoms) take the semi-join fast path in
+/// labeling's rewriting checks, and deliberately cyclic bodies must take
+/// the backtracking fallback — with identical labels either way.
+#[test]
+fn all_variants_agree_on_self_join_heavy_and_cyclic_shapes() {
+    let registry = tricky_registry();
+    let catalog = fdc::cq::Catalog::paper_example();
+    let baseline = BaselineLabeler::new(registry.clone());
+    let hashed = HashPartitionedLabeler::new(registry.clone());
+    let bitvec = BitVectorLabeler::new(registry.clone());
+    let cached = CachedLabeler::new(registry);
+    let shapes = [
+        // A broom: three self-join chains off one distinguished root.
+        "Q(x) :- Meetings(x, a), Meetings(a, b), Meetings(x, c), Meetings(c, d), \
+         Meetings(x, e), Meetings(e, f)",
+        // A long path, the easy acyclic case.
+        "Q(x) :- Meetings(x, y), Meetings(y, z), Meetings(z, w), Meetings(w, u)",
+        // The triangle and the square: GYO classifies these cyclic, so
+        // every homomorphism question falls back to backtracking.
+        "Q() :- Meetings(x, y), Meetings(y, z), Meetings(z, x)",
+        "Q(x) :- Meetings(x, y), Meetings(y, z), Meetings(z, w), Meetings(w, x)",
+    ];
+    for text in shapes {
+        let query = fdc::cq::parser::parse_query(&catalog, text).unwrap();
+        let reference = baseline.label_query(&query);
+        assert_eq!(reference, hashed.label_query(&query), "hashed on {text}");
+        assert_eq!(reference, bitvec.label_query(&query), "bitvec on {text}");
+        assert_eq!(reference, cached.label_query(&query), "cached on {text}");
+        let id = cached.intern(&query);
+        assert_eq!(reference, cached.label_interned(id), "interned on {text}");
+    }
+}
+
 /// The paper's registry extended with non-projection views (a selection and
 /// a diagonal), so that every labeler code path is exercised.
 fn tricky_registry() -> SecurityViews {

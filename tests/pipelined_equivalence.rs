@@ -231,10 +231,20 @@ proptest! {
         // 3. Cumulative cache stats: the single-shard executors label
         //    sequentially in stream order over snapshot-published tables,
         //    so hit/miss/refresh/entry accounting matches exactly — the
-        //    pipelined snapshots lose nothing at retirement.
-        let pipelined_cache: CacheStats = pipelined.labeler().stats();
-        prop_assert_eq!(batched.labeler().stats(), pipelined_cache);
-        prop_assert_eq!(sequential.labeler().stats(), pipelined_cache);
+        //    pipelined snapshots lose nothing at retirement.  The one
+        //    executor-dependent column is `batch_dedup_hits`: the batch
+        //    executor dedups duplicate admissions within a run while the
+        //    pipelined and sequential executors see different (or no)
+        //    batch boundaries, so it is normalized to zero on every side
+        //    before comparing — dedup hits are also counted as plain
+        //    hits, which keeps all other columns in exact agreement.
+        let normalized = |mut stats: CacheStats| {
+            stats.batch_dedup_hits = 0;
+            stats
+        };
+        let pipelined_cache: CacheStats = normalized(pipelined.labeler().stats());
+        prop_assert_eq!(normalized(batched.labeler().stats()), pipelined_cache);
+        prop_assert_eq!(normalized(sequential.labeler().stats()), pipelined_cache);
 
         // 4. Labels: the pipelined service's post-stream cache agrees with
         //    labelers built fresh from the final registry — the rebuild
