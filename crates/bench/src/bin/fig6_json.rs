@@ -15,10 +15,12 @@
 //!   `FDC_FIG6_FULL`, so the point is reported as `null`.
 //! * `interned` — the compiled/interned store, unpacked labels.
 //! * `interned_packed` — the same store on the packed 64-bit path.
-//! * `sharded_parallel_x{N}` — `ShardedPolicyStore::submit_batch_parallel`
-//!   with one scoped worker per shard, swept over shard counts (1, 2, 4, 8
-//!   plus the host's available parallelism) so the trajectory records how
-//!   throughput scales with threads.  `x1` is the no-thread fallback path.
+//! * `sharded_parallel_x{N}` — `ShardedPolicyStore::submit_batch_on`
+//!   against an explicit persistent `WorkerPool` sized to the shard count
+//!   (queue pushes, not thread spawns — the same single execution plane the
+//!   service runs on), swept over shard counts (1, 2, 4, 8 plus the host's
+//!   available parallelism) so the trajectory records how throughput scales
+//!   with threads.  `x1` is the inline-only pool (no threads at all).
 //!
 //! ```text
 //! cargo run --release -p fdc-bench --bin fig6_json            # full run
@@ -34,7 +36,7 @@ use fdc_bench::{
     fig6_principal_counts, policy_workload, seed_policy_store, sharded_policy_store,
     FIG6_TEMPLATE_POOL,
 };
-use fdc_core::PackedLabel;
+use fdc_core::{PackedLabel, WorkerPool};
 use fdc_policy::PrincipalId;
 
 /// Principal counts at which the seed store is still reasonable to build.
@@ -238,10 +240,14 @@ fn measure_point(
     for &num_shards in shard_counts {
         let mut sharded =
             sharded_policy_store(num_principals, max_partitions, max_elements, num_shards);
+        // One explicit pool per series, sized to the shard count — the same
+        // caller-owned execution plane the service uses (x1 builds an
+        // inline-only pool: no threads, pure dispatch overhead baseline).
+        let pool = WorkerPool::new(num_shards);
         results.push(Measurement {
             name: format!("sharded_parallel_x{num_shards}"),
             labels_per_sec: Some(best_qps(repeats, labels.len(), || {
-                std::hint::black_box(sharded.submit_batch_parallel(&batch));
+                std::hint::black_box(sharded.submit_batch_on(&pool, &batch));
             })),
         });
     }
@@ -335,8 +341,8 @@ fn available_threads() -> usize {
 
 /// The shard counts swept for the `sharded_parallel_x{N}` series: powers of
 /// two up to 8, plus the host's own parallelism, deduplicated and sorted.
-/// The x1 point is the thread-free fallback path, so the series doubles as
-/// a measurement of the scoped-thread dispatch overhead.
+/// The x1 point runs on an inline-only pool (no worker threads), so the
+/// series doubles as a measurement of the pool dispatch overhead.
 fn shard_count_sweep(host_threads: usize, smoke: bool) -> Vec<usize> {
     let mut counts: Vec<usize> = if smoke { vec![1, 2] } else { vec![1, 2, 4, 8] };
     counts.push(host_threads);

@@ -44,7 +44,7 @@ use fdc_cq::{ConjunctiveQuery, RelId, Term, VarKind};
 use crate::dissect::{dissect, dissect_interned};
 use crate::error::Result;
 use crate::label::{AtomLabel, DisclosureLabel, PackedLabel, ViewMask};
-use crate::pool::WorkerPool;
+use crate::pool::{WorkerContext, WorkerPool};
 use crate::security_views::{SecurityViewId, SecurityViews};
 
 /// The shared handle to a [`QueryInterner`]: one interner per serving stack,
@@ -1106,12 +1106,17 @@ impl CachedLabeler {
     /// batch-level dedup on canonical identity
     /// ([`label_queries_deduped`](Self::label_queries_deduped)).
     pub fn label_queries_batch(&self, queries: &[ConjunctiveQuery]) -> DisclosureLabel {
-        let pool = WorkerPool::global();
-        if pool.workers() <= 1 || queries.len() < POOLED_BATCH_THRESHOLD {
+        // Length check first: small batches must not spin up the global
+        // pool just to decide they don't need it.
+        if queries.len() < POOLED_BATCH_THRESHOLD {
             return self.label_queries_deduped(queries);
         }
-        let partials = self.pooled_batch(pool, queries, |snapshot, chunk| {
-            snapshot.label_queries(&chunk)
+        let pool = WorkerPool::global();
+        if pool.workers() <= 1 {
+            return self.label_queries_deduped(queries);
+        }
+        let partials = self.pooled_batch(pool, queries, |snapshot, lane, chunk| {
+            snapshot.label_queries_in(lane, &chunk)
         });
         let mut out = DisclosureLabel::bottom();
         for partial in &partials {
@@ -1189,14 +1194,17 @@ impl CachedLabeler {
     /// need individual labels (e.g. to feed a policy store); same pooled
     /// execution, same sequential fallback.
     pub fn label_batch(&self, queries: &[ConjunctiveQuery]) -> Vec<DisclosureLabel> {
-        let pool = WorkerPool::global();
-        if pool.workers() <= 1 || queries.len() < POOLED_BATCH_THRESHOLD {
+        if queries.len() < POOLED_BATCH_THRESHOLD {
             return queries.iter().map(|q| self.label_query(q)).collect();
         }
-        self.pooled_batch(pool, queries, |snapshot, chunk| {
+        let pool = WorkerPool::global();
+        if pool.workers() <= 1 {
+            return queries.iter().map(|q| self.label_query(q)).collect();
+        }
+        self.pooled_batch(pool, queries, |snapshot, lane, chunk| {
             chunk
                 .iter()
-                .map(|q| snapshot.label_query(q))
+                .map(|q| snapshot.label_query_in(lane, q))
                 .collect::<Vec<_>>()
         })
         .into_iter()
@@ -1206,9 +1214,10 @@ impl CachedLabeler {
 
     /// Runs one batch on the worker pool: chunks the queries, labels every
     /// chunk through a shared one-off [`LabelerSnapshot`] pinned to a fresh
-    /// pool epoch, and retires the snapshot once the batch completes —
-    /// publishing its cache work (entries, counters, capacity charges) back
-    /// into this labeler.  Returns the per-chunk results in chunk order.
+    /// pool epoch — each task writing its private overlay lane — and
+    /// retires the snapshot once the batch completes, publishing its cache
+    /// work (entries, counters, capacity charges) back into this labeler.
+    /// Returns the per-chunk results in chunk order.
     fn pooled_batch<R, F>(
         &self,
         pool: &WorkerPool,
@@ -1217,9 +1226,9 @@ impl CachedLabeler {
     ) -> Vec<R>
     where
         R: Send + 'static,
-        F: Fn(&LabelerSnapshot, Vec<ConjunctiveQuery>) -> R + Send + Sync + 'static,
+        F: Fn(&LabelerSnapshot, usize, Vec<ConjunctiveQuery>) -> R + Send + Sync + 'static,
     {
-        let snapshot = Arc::new(self.snapshot());
+        let snapshot = Arc::new(self.snapshot_with_lanes(pool.workers() + 1));
         let epoch = pool.advance_epoch();
         // More chunks than workers so a skewed chunk can be stolen around.
         let chunk_len = queries
@@ -1231,7 +1240,7 @@ impl CachedLabeler {
         let shared = Arc::clone(&snapshot);
         let results = pool.run(inputs, move |chunk, ctx| {
             let _pin = ctx.pin(epoch);
-            label_chunk(&shared, chunk)
+            label_chunk(&shared, shared.lane_for(ctx), chunk)
         });
         // `run` returned, so every task (and its epoch pin and snapshot
         // handle) is gone: the snapshot's overlay can drain back.
@@ -1251,18 +1260,20 @@ impl CachedLabeler {
     /// returns the packed representation of every label.
     ///
     /// The packed counterpart of [`label_batch`](Self::label_batch) for
-    /// callers that feed a policy store (see
-    /// `fdc_policy::AdmissionPipeline`): the labels never leave the 64-bit
+    /// callers that feed a policy store: the labels never leave the 64-bit
     /// form between the labeling and enforcement stages.
     pub fn label_batch_packed(&self, queries: &[ConjunctiveQuery]) -> Vec<Vec<PackedLabel>> {
-        let pool = WorkerPool::global();
-        if pool.workers() <= 1 || queries.len() < POOLED_BATCH_THRESHOLD {
+        if queries.len() < POOLED_BATCH_THRESHOLD {
             return queries.iter().map(|q| self.label_packed(q)).collect();
         }
-        self.pooled_batch(pool, queries, |snapshot, chunk| {
+        let pool = WorkerPool::global();
+        if pool.workers() <= 1 {
+            return queries.iter().map(|q| self.label_packed(q)).collect();
+        }
+        self.pooled_batch(pool, queries, |snapshot, lane, chunk| {
             chunk
                 .iter()
-                .map(|q| snapshot.label_query(q).pack())
+                .map(|q| snapshot.label_query_in(lane, q).pack())
                 .collect::<Vec<_>>()
         })
         .into_iter()
@@ -1453,12 +1464,23 @@ impl CachedLabeler {
     /// back through [`retire_snapshot`](Self::retire_snapshot) so the warm
     /// state survives the epoch.
     pub fn snapshot(&self) -> LabelerSnapshot {
+        self.snapshot_with_lanes(1)
+    }
+
+    /// [`snapshot`](Self::snapshot) with `lanes` private overlay lanes —
+    /// one per concurrent reader, so pool workers labeling sibling chunks
+    /// of one snapshot never contend on a shared overlay's stripe locks.
+    /// Lane 0 belongs to the coordinator (and any task running inline on
+    /// the submitting thread); lanes `1..` map to pool workers through
+    /// [`LabelerSnapshot::lane_for`].  All lanes drain back at
+    /// [`retire_snapshot`](Self::retire_snapshot).
+    pub fn snapshot_with_lanes(&self, lanes: usize) -> LabelerSnapshot {
         LabelerSnapshot {
             inner: self.inner.clone(),
             view_qids: self.view_qids.clone(),
             interner: Arc::clone(&self.interner),
             base: Arc::clone(&self.tables),
-            overlay: LabelTables::new(),
+            overlays: (0..lanes.max(1)).map(|_| LabelTables::new()).collect(),
             capacity: self.capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -1469,13 +1491,16 @@ impl CachedLabeler {
         }
     }
 
-    /// Retires a [`snapshot`](Self::snapshot) of this labeler: drains the
-    /// snapshot's overlay — every entry it computed or refreshed while
-    /// serving — into the shared striped tables, and folds its hit/miss/
-    /// refresh counters into this labeler's, so cache state *and*
-    /// accounting survive the epoch handover.  Entries carry the epoch tags
-    /// they were computed under; if the live registry has moved past them
-    /// they are honestly stale and re-derive on next lookup.
+    /// Retires a [`snapshot`](Self::snapshot) of this labeler: drains every
+    /// overlay lane — every entry the snapshot computed or refreshed while
+    /// serving, on any worker — into the shared striped tables, and folds
+    /// its hit/miss/refresh counters into this labeler's, so cache state
+    /// *and* accounting survive the epoch handover.  Entries carry the
+    /// epoch tags they were computed under; if the live registry has moved
+    /// past them they are honestly stale and re-derive on next lookup.
+    /// Two lanes that derived the same slot wrote identical entries (both
+    /// read the same frozen base at the same frozen epochs), so the merge
+    /// absorbs the duplicate — last store wins, content is equal.
     ///
     /// Retire snapshots in the order they were taken (the pipelined service
     /// executor does); anything the snapshot computes after retirement is
@@ -1490,32 +1515,33 @@ impl CachedLabeler {
             Arc::ptr_eq(&self.tables, &snapshot.base),
             "a snapshot must be retired into the labeler it was taken from"
         );
-        for shard_idx in 0..QUERY_CACHE_SHARDS {
-            let drained = std::mem::take(
-                &mut *snapshot.overlay.query_shards[shard_idx]
+        for overlay in &snapshot.overlays {
+            for shard_idx in 0..QUERY_CACHE_SHARDS {
+                let drained = std::mem::take(
+                    &mut *overlay.query_shards[shard_idx]
+                        .write()
+                        .unwrap_or_else(|e| e.into_inner()),
+                );
+                for (slot, entry) in drained.slots.into_iter().enumerate() {
+                    if let Some(entry) = entry {
+                        self.tables.store_query(shard_idx, slot, entry);
+                    }
+                }
+            }
+            overlay.query_entries.store(0, Ordering::Relaxed);
+            let drained_atoms = std::mem::take(
+                &mut *overlay
+                    .atom_cache
                     .write()
                     .unwrap_or_else(|e| e.into_inner()),
             );
-            for (slot, entry) in drained.slots.into_iter().enumerate() {
+            for (slot, entry) in drained_atoms.into_iter().enumerate() {
                 if let Some(entry) = entry {
-                    self.tables.store_query(shard_idx, slot, entry);
+                    self.tables.store_atom(slot, entry);
                 }
             }
+            overlay.atom_entries.store(0, Ordering::Relaxed);
         }
-        snapshot.overlay.query_entries.store(0, Ordering::Relaxed);
-        let drained_atoms = std::mem::take(
-            &mut *snapshot
-                .overlay
-                .atom_cache
-                .write()
-                .unwrap_or_else(|e| e.into_inner()),
-        );
-        for (slot, entry) in drained_atoms.into_iter().enumerate() {
-            if let Some(entry) = entry {
-                self.tables.store_atom(slot, entry);
-            }
-        }
-        snapshot.overlay.atom_entries.store(0, Ordering::Relaxed);
         for (mine, theirs) in [
             (&self.hits, &snapshot.hits),
             (&self.misses, &snapshot.misses),
@@ -1539,11 +1565,14 @@ impl CachedLabeler {
 /// (ids stay aligned) and holds a **read-only** handle onto the parent's
 /// striped query/atom cache tables: warm shapes keep hitting across the
 /// handover.  Labels the snapshot computes or refreshes itself accumulate
-/// in a private overlay (checked before the shared tables on lookup) and
-/// flow back into the shared tables when the snapshot is retired through
-/// [`CachedLabeler::retire_snapshot`] — so a pipelined executor can label a
-/// read run against the previous epoch while the live labeler already
-/// serves the next one, without losing the run's cache work.
+/// in private overlay **lanes** — one per concurrent reader, selected via
+/// [`lane_for`](Self::lane_for), each checked before the shared tables on
+/// that reader's lookups — and flow back into the shared tables when the
+/// snapshot is retired through [`CachedLabeler::retire_snapshot`].  A
+/// pipelined executor can thus label a read run against the previous epoch
+/// while the live labeler already serves the next one, with sibling pool
+/// workers never contending on overlay stripe locks, and without losing
+/// the run's cache work.
 ///
 /// Every label a snapshot produces equals what a fresh [`BitVectorLabeler`]
 /// over the frozen registry computes (property-tested); only *which epoch*
@@ -1559,9 +1588,10 @@ pub struct LabelerSnapshot {
     interner: SharedQueryInterner,
     /// Read-only handle onto the parent's shared cache tables.
     base: Arc<LabelTables>,
-    /// Entries this snapshot computed or refreshed; drained back into
-    /// `base` at retirement.
-    overlay: LabelTables,
+    /// Entries this snapshot computed or refreshed, one private lane per
+    /// concurrent reader (lane 0 = coordinator/inline); all lanes drain
+    /// back into `base` at retirement.
+    overlays: Vec<LabelTables>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -1599,18 +1629,18 @@ impl LabelerSnapshot {
     }
 
     /// Counters accumulated by this snapshot since it was taken (or last
-    /// retired); entry gauges report the private overlay's **newly
+    /// retired); entry gauges report the private overlay lanes' **newly
     /// admitted** slots only (refreshes of slots still occupied in the
     /// shared base table are stored but not charged — the distinct-slot
-    /// count across base and overlay is what the capacity bounds).
+    /// count across base and overlays is what the capacity bounds).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.overlay.query_entries.load(Ordering::Relaxed),
+            entries: self.overlay_gauge(|o| &o.query_entries),
             atom_hits: self.atom_hits.load(Ordering::Relaxed),
             atom_misses: self.atom_misses.load(Ordering::Relaxed),
-            atom_entries: self.overlay.atom_entries.load(Ordering::Relaxed),
+            atom_entries: self.overlay_gauge(|o| &o.atom_entries),
             query_refreshes: self.query_refreshes.load(Ordering::Relaxed),
             atom_refreshes: self.atom_refreshes.load(Ordering::Relaxed),
             invalidations: 0,
@@ -1620,9 +1650,38 @@ impl LabelerSnapshot {
         }
     }
 
-    /// Looks `id` up in the overlay first, then the shared tables.
-    fn lookup(&self, shard_idx: usize, slot: usize) -> QueryLookup {
-        for tables in [&self.overlay, &*self.base] {
+    /// The number of private overlay lanes this snapshot was taken with.
+    pub fn lanes(&self) -> usize {
+        self.overlays.len()
+    }
+
+    /// The overlay lane a pool task should write through: lane 0 for the
+    /// coordinator and inline tasks, lanes `1..` for pool workers (wrapped
+    /// modulo the lane count, so a snapshot taken with fewer lanes than
+    /// the pool has workers still works — wrapped lanes merely share a
+    /// lane's stripe locks again).
+    pub fn lane_for(&self, ctx: &WorkerContext<'_>) -> usize {
+        match ctx.worker_index() {
+            Some(index) if self.overlays.len() > 1 => 1 + index % (self.overlays.len() - 1),
+            _ => 0,
+        }
+    }
+
+    /// Sums one entry gauge across every overlay lane.
+    fn overlay_gauge(&self, gauge: impl Fn(&LabelTables) -> &AtomicUsize) -> usize {
+        self.overlays
+            .iter()
+            .map(|overlay| gauge(overlay).load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Looks `id` up in the reader's own overlay lane first, then the
+    /// shared tables.  Sibling lanes are deliberately not consulted: a
+    /// slot another worker derived concurrently re-derives here to the
+    /// identical entry (same frozen base, same frozen epochs), and the
+    /// retirement merge absorbs the duplicate.
+    fn lookup(&self, lane: usize, shard_idx: usize, slot: usize) -> QueryLookup {
+        for tables in [&self.overlays[lane], &*self.base] {
             let shard = tables.read_shard(shard_idx);
             if let Some(entry) = shard.slots.get(slot).and_then(Option::as_ref) {
                 let fresh = entry
@@ -1639,14 +1698,19 @@ impl LabelerSnapshot {
         QueryLookup::Absent
     }
 
-    /// [`CachedLabeler::cached_atom_mask`] against the overlay-over-shared
+    /// [`CachedLabeler::cached_atom_mask`] against the lane-over-shared
     /// tables, at the frozen epochs.
-    fn cached_atom_mask(&self, atom: QueryId, ordinal: u32, relation: RelId) -> ViewMask {
+    fn cached_atom_mask(
+        &self,
+        lane: usize,
+        atom: QueryId,
+        ordinal: u32,
+        relation: RelId,
+    ) -> ViewMask {
         let current = self.epoch_of(relation);
         let slot = ordinal as usize;
         let mut stale = false;
-        if let Some(entry) = self
-            .overlay
+        if let Some(entry) = self.overlays[lane]
             .get_atom(slot)
             .or_else(|| self.base.get_atom(slot))
         {
@@ -1671,11 +1735,11 @@ impl LabelerSnapshot {
         // distinct-slot count is unchanged — overlay entries are never
         // stale within one snapshot, epochs are frozen); brand-new atoms
         // respect the capacity shared with the parent (base occupancy +
-        // overlay-only additions).
+        // overlay-only additions across every lane).
         let occupied = self.base.atom_entries.load(Ordering::Relaxed)
-            + self.overlay.atom_entries.load(Ordering::Relaxed);
+            + self.overlay_gauge(|o| &o.atom_entries);
         if stale || occupied < self.capacity {
-            self.overlay.store_atom_counted(
+            self.overlays[lane].store_atom_counted(
                 slot,
                 AtomEntry {
                     mask,
@@ -1688,14 +1752,28 @@ impl LabelerSnapshot {
     }
 
     /// Labels an already-interned query at the frozen epoch vector — the
-    /// snapshot counterpart of [`CachedLabeler::label_interned`].
+    /// snapshot counterpart of [`CachedLabeler::label_interned`].  Writes
+    /// through overlay lane 0 (the coordinator's lane); pool tasks use
+    /// [`label_interned_in`](Self::label_interned_in) with their
+    /// [`lane_for`](Self::lane_for) lane.
     ///
     /// # Panics
     ///
     /// Panics if `id` was not issued by the shared interner.
     pub fn label_interned(&self, id: QueryId) -> DisclosureLabel {
+        self.label_interned_in(0, id)
+    }
+
+    /// [`label_interned`](Self::label_interned) through the given private
+    /// overlay lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by the shared interner, or if `lane`
+    /// is out of range for this snapshot's [`lanes`](Self::lanes).
+    pub fn label_interned_in(&self, lane: usize, id: QueryId) -> DisclosureLabel {
         let (shard_idx, slot) = CachedLabeler::shard_and_slot(id);
-        match self.lookup(shard_idx, slot) {
+        match self.lookup(lane, shard_idx, slot) {
             QueryLookup::Fresh(label) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 label
@@ -1708,7 +1786,7 @@ impl LabelerSnapshot {
                     let mask = if part.epoch == current {
                         part.mask
                     } else {
-                        self.cached_atom_mask(part.atom, part.ordinal, part.relation)
+                        self.cached_atom_mask(lane, part.atom, part.ordinal, part.relation)
                     };
                     label.push(AtomLabel::new(part.relation, mask));
                     parts.push(QueryPart {
@@ -1723,8 +1801,8 @@ impl LabelerSnapshot {
                 // A refresh re-admits without charging the gauge: the slot
                 // is still occupied in the shared base table (overlay
                 // entries are never stale — epochs are frozen), so the
-                // distinct-slot count across base + overlay is unchanged.
-                self.overlay.store_query_counted(
+                // distinct-slot count across base + overlays is unchanged.
+                self.overlays[lane].store_query_counted(
                     shard_idx,
                     slot,
                     QueryEntry {
@@ -1740,7 +1818,7 @@ impl LabelerSnapshot {
                 let mut label = DisclosureLabel::bottom();
                 let mut parts = Vec::with_capacity(part_ids.len());
                 for (atom, ordinal, relation) in part_ids {
-                    let mask = self.cached_atom_mask(atom, ordinal, relation);
+                    let mask = self.cached_atom_mask(lane, atom, ordinal, relation);
                     label.push(AtomLabel::new(relation, mask));
                     parts.push(QueryPart {
                         atom,
@@ -1752,9 +1830,9 @@ impl LabelerSnapshot {
                 }
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 let occupied = self.base.query_entries.load(Ordering::Relaxed)
-                    + self.overlay.query_entries.load(Ordering::Relaxed);
+                    + self.overlay_gauge(|o| &o.query_entries);
                 if occupied < self.capacity {
-                    self.overlay.store_query(
+                    self.overlays[lane].store_query(
                         shard_idx,
                         slot,
                         QueryEntry {
@@ -1768,35 +1846,65 @@ impl LabelerSnapshot {
         }
     }
 
-    /// Labels one query and returns the packed 64-bit representation.
-    pub fn label_packed(&self, query: &ConjunctiveQuery) -> Vec<PackedLabel> {
-        self.label_query(query).pack()
-    }
-
-    /// Labels one pre-interned query and returns the packed representation.
-    pub fn label_packed_interned(&self, id: QueryId) -> Vec<PackedLabel> {
-        self.label_interned(id).pack()
-    }
-}
-
-impl QueryLabeler for LabelerSnapshot {
-    /// Interns the query (drawing on the implicit-intern budget **shared**
-    /// with the parent labeler) and labels it at the frozen epoch vector;
-    /// past the budget, unknown shapes serve through the frozen uncached
-    /// pipeline, exactly like [`CachedLabeler::label_query`].
-    fn label_query(&self, query: &ConjunctiveQuery) -> DisclosureLabel {
+    /// [`label_query`](QueryLabeler::label_query) through the given private
+    /// overlay lane — the entry point pool tasks use with their
+    /// [`lane_for`](Self::lane_for) lane.
+    pub fn label_query_in(&self, lane: usize, query: &ConjunctiveQuery) -> DisclosureLabel {
         match intern_within_budget(
             &self.interner,
             &self.base.implicit_interns,
             self.capacity,
             query,
         ) {
-            Some(id) => self.label_interned(id),
+            Some(id) => self.label_interned_in(lane, id),
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 self.inner.label_query(query)
             }
         }
+    }
+
+    /// Folds a batch through the given private overlay lane — the
+    /// lane-aware counterpart of [`label_queries`](QueryLabeler::label_queries).
+    pub fn label_queries_in(&self, lane: usize, queries: &[ConjunctiveQuery]) -> DisclosureLabel {
+        let mut out = DisclosureLabel::bottom();
+        for query in queries {
+            out.combine_in_place(&self.label_query_in(lane, query));
+        }
+        out
+    }
+
+    /// Labels one query and returns the packed 64-bit representation.
+    pub fn label_packed(&self, query: &ConjunctiveQuery) -> Vec<PackedLabel> {
+        self.label_query(query).pack()
+    }
+
+    /// [`label_packed`](Self::label_packed) through the given private
+    /// overlay lane.
+    pub fn label_packed_in(&self, lane: usize, query: &ConjunctiveQuery) -> Vec<PackedLabel> {
+        self.label_query_in(lane, query).pack()
+    }
+
+    /// Labels one pre-interned query and returns the packed representation.
+    pub fn label_packed_interned(&self, id: QueryId) -> Vec<PackedLabel> {
+        self.label_interned(id).pack()
+    }
+
+    /// [`label_packed_interned`](Self::label_packed_interned) through the
+    /// given private overlay lane.
+    pub fn label_packed_interned_in(&self, lane: usize, id: QueryId) -> Vec<PackedLabel> {
+        self.label_interned_in(lane, id).pack()
+    }
+}
+
+impl QueryLabeler for LabelerSnapshot {
+    /// Interns the query (drawing on the implicit-intern budget **shared**
+    /// with the parent labeler) and labels it at the frozen epoch vector
+    /// through overlay lane 0; past the budget, unknown shapes serve
+    /// through the frozen uncached pipeline, exactly like
+    /// [`CachedLabeler::label_query`].
+    fn label_query(&self, query: &ConjunctiveQuery) -> DisclosureLabel {
+        self.label_query_in(0, query)
     }
 
     fn security_views(&self) -> &SecurityViews {

@@ -50,6 +50,10 @@ pub const WORKER_QUEUE_CAPACITY: usize = 256;
 /// snapshot.
 const EPOCH_IDLE: u64 = u64::MAX;
 
+/// Backing cell of [`WorkerPool::global`], hoisted to module scope so
+/// [`WorkerPool::global_initialized`] can observe whether it was ever hit.
+static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+
 /// A queued unit of work.  Boxed `FnOnce` receiving the executing worker's
 /// context (for epoch pinning).
 type Task = Box<dyn FnOnce(&WorkerContext<'_>) + Send + 'static>;
@@ -125,9 +129,11 @@ pub struct PoolStats {
 }
 
 /// The executing worker's view of the pool, passed to every task: worker
-/// tasks can [`pin`](Self::pin) the epoch they are reading.
+/// tasks can [`pin`](Self::pin) the epoch they are reading and learn
+/// [which worker lane](Self::worker_index) they run on.
 pub struct WorkerContext<'a> {
     slot: Option<&'a AtomicU64>,
+    index: Option<usize>,
 }
 
 impl WorkerContext<'_> {
@@ -140,6 +146,14 @@ impl WorkerContext<'_> {
             slot.store(epoch, Ordering::Release);
         }
         EpochPin { slot: self.slot }
+    }
+
+    /// The index of the pool worker executing this task, or `None` when the
+    /// task runs inline on the submitting thread (inline-only pools,
+    /// single-task batches and full-queue backpressure).  Snapshot readers
+    /// use it to select a private per-worker overlay lane.
+    pub fn worker_index(&self) -> Option<usize> {
+        self.index
     }
 }
 
@@ -258,12 +272,25 @@ impl WorkerPool {
     }
 
     /// The process-wide shared pool, sized to the host's available
-    /// parallelism and spawned on first use — the default worker plane of
-    /// the batch labeling and policy-decision entry points.  It lives for
-    /// the life of the process (workers park when idle).
+    /// parallelism and spawned on first use — the fallback worker plane of
+    /// the *standalone* batch labeling entry points.  It lives for the
+    /// life of the process (workers park when idle).
+    ///
+    /// Code that owns a pool (the disclosure service, the sharded store's
+    /// `_on` entry points) must pass it explicitly rather than fall back
+    /// here: a process should never run two pools side by side.
+    /// [`global_initialized`](Self::global_initialized) lets tests assert
+    /// that invariant.
     pub fn global() -> &'static WorkerPool {
-        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
         GLOBAL.get_or_init(WorkerPool::with_available_parallelism)
+    }
+
+    /// Whether [`global`](Self::global) has ever been called in this
+    /// process.  The single-pool invariant test uses this to prove the
+    /// service plane never silently spins up a second process-global pool
+    /// next to the service-owned one.
+    pub fn global_initialized() -> bool {
+        GLOBAL.get().is_some()
     }
 
     /// Parallel width of the pool: its worker-thread count, or 1 for an
@@ -335,7 +362,10 @@ impl WorkerPool {
             done: Condvar::new(),
         });
         if self.handles.is_empty() || total <= 1 {
-            let ctx = WorkerContext { slot: None };
+            let ctx = WorkerContext {
+                slot: None,
+                index: None,
+            };
             for (index, input) in inputs.into_iter().enumerate() {
                 self.shared.tasks_inline.fetch_add(1, Ordering::Relaxed);
                 shared.complete(index, catch_unwind(AssertUnwindSafe(|| f(input, &ctx))));
@@ -387,7 +417,10 @@ impl WorkerPool {
         }
         // Every queue is at capacity: the submitter absorbs the overflow.
         self.shared.tasks_inline.fetch_add(1, Ordering::Relaxed);
-        let ctx = WorkerContext { slot: None };
+        let ctx = WorkerContext {
+            slot: None,
+            index: None,
+        };
         (task.take().expect("task pushed at most once"))(&ctx);
     }
 
@@ -440,6 +473,7 @@ fn find_task(shared: &Shared, me: usize) -> Option<(Task, bool)> {
 fn worker_loop(shared: &Shared, me: usize) {
     let ctx = WorkerContext {
         slot: Some(&shared.published[me]),
+        index: Some(me),
     };
     loop {
         // Read the work generation *before* scanning: a push that lands

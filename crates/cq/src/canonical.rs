@@ -9,12 +9,12 @@
 //! [`containment::equivalent`](crate::containment::equivalent) for semantic
 //! comparisons.
 //!
-//! The whole-query key ([`QueryKey`] / [`query_key`]) is **deprecated**: the
-//! interned query plane ([`intern`](crate::intern)) canonicalizes with the
-//! same first-occurrence numbering and hands out dense
-//! [`QueryId`](crate::intern::QueryId)s whose equality *is* key equality,
-//! without allocating a key vector per lookup.  [`atom_key`] remains for
-//! callers that need a hashable single-atom key without an interner.
+//! For whole-query identity, the interned query plane
+//! ([`intern`](crate::intern)) canonicalizes with the same first-occurrence
+//! numbering and hands out dense [`QueryId`](crate::intern::QueryId)s whose
+//! equality *is* canonical-key equality, without allocating a key vector per
+//! lookup.  [`atom_key`] remains for callers that need a hashable
+//! single-atom key without an interner.
 
 use std::collections::HashMap;
 
@@ -73,48 +73,6 @@ pub fn atom_key(query: &ConjunctiveQuery) -> Option<AtomKey> {
         relation: atom.relation,
         slots: key_slots(atom, &mut numbering),
     })
-}
-
-/// A cheap, hashable canonical key for whole queries.
-///
-/// Two queries have equal keys **iff** they are structurally identical up to
-/// variable renaming — same atoms in the same order, same constants, same
-/// variable-equality pattern across the whole body, same
-/// distinguished/existential tags.  Equality of keys therefore implies equal
-/// disclosure labels, which makes the key usable to memoize the entire
-/// labeling pipeline (folding, dissection and per-atom `ℓ⁺` included).
-///
-/// Like [`structural_key`] this is deliberately syntactic — semantically
-/// equivalent queries with reordered atoms get different keys and simply
-/// occupy two cache slots — but unlike [`structural_key`] it is built in one
-/// pass without constructing a renamed query or formatting names.
-#[deprecated(
-    since = "0.1.0",
-    note = "intern the query instead: `QueryInterner` (crate::intern) canonicalizes with the \
-            same numbering and hands out a dense `QueryId` whose equality is this key's \
-            equality — without allocating one slot vector per atom on every lookup"
-)]
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct QueryKey {
-    atoms: Vec<(RelId, Vec<KeySlot>)>,
-}
-
-/// Computes the canonical whole-query key.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `QueryInterner::intern` / `lookup` (crate::intern): `QueryId` equality is \
-            canonical-key equality, and id-keyed caches replace `HashMap<QueryKey, _>`"
-)]
-#[allow(deprecated)]
-pub fn query_key(query: &ConjunctiveQuery) -> QueryKey {
-    let mut numbering = VarNumbering::new(query.num_vars());
-    QueryKey {
-        atoms: query
-            .atoms()
-            .iter()
-            .map(|atom| (atom.relation, key_slots(atom, &mut numbering)))
-            .collect(),
-    }
 }
 
 /// Dense first-occurrence renumbering of variable ids (query variable ids
@@ -310,8 +268,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn query_keys_agree_with_structural_identity() {
+    fn structural_identity_distinguishes_exactly_renamings() {
         let c = catalog();
         let pairs = [
             (
@@ -341,11 +298,6 @@ mod tests {
             let a = parse_query(&c, left).unwrap();
             let b = parse_query(&c, right).unwrap();
             assert_eq!(
-                query_key(&a) == query_key(&b),
-                expect_equal,
-                "query key comparison of {left} vs {right}"
-            );
-            assert_eq!(
                 structurally_identical(&a, &b),
                 expect_equal,
                 "structural identity of {left} vs {right}"
@@ -354,14 +306,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn query_key_of_a_single_atom_matches_atom_key_discrimination() {
+    fn atom_keys_collapse_renamings_and_distinguish_join_patterns() {
         let c = catalog();
         let a = parse_query(&c, "Q(x) :- Meetings(x, y)").unwrap();
         let b = parse_query(&c, "Q(p) :- Meetings(p, q)").unwrap();
         let d = parse_query(&c, "Q(x) :- Meetings(x, x)").unwrap();
-        assert_eq!(query_key(&a), query_key(&b));
-        assert_ne!(query_key(&a), query_key(&d));
         assert!(atom_key(&a) == atom_key(&b));
         assert!(atom_key(&a) != atom_key(&d));
     }

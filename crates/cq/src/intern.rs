@@ -11,7 +11,7 @@
 //! [`QueryInterner`] fixes the representation the way `PolicyArena` fixed it
 //! for compiled policies: queries are **alpha-renamed to a canonical form**
 //! (variables renumbered by first occurrence in the body, exactly like the
-//! numbering of [`canonical::query_key`](crate::canonical)) and **interned
+//! numbering of [`canonical`](crate::canonical)'s keys) and **interned
 //! into one flat arena** — a single term buffer ([`ITerm`] is one `Copy`
 //! word), a single atom-span table ([`IAtom`]), a single variable-kind
 //! buffer, and a constant table shared across all queries.  Interning hands

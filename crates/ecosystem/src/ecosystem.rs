@@ -9,8 +9,6 @@ use fdc_core::{
     PackedLabel, QueryLabeler, SecurityViews,
 };
 use fdc_cq::ConjunctiveQuery;
-#[allow(deprecated)]
-use fdc_policy::AdmissionPipeline;
 use fdc_service::{DisclosureService, ServiceConfig};
 
 use crate::churn::{ChurnConfig, ChurnGenerator};
@@ -86,35 +84,9 @@ impl Ecosystem {
         self.cached.label_batch_packed(queries)
     }
 
-    /// Builds a fused [`AdmissionPipeline`] — cached labeler in front of a
-    /// sharded, interned policy store — with `num_principals` randomly
-    /// generated policies over `num_shards` shards.
-    ///
-    /// The labeler is a clone of this ecosystem's caching labeler, so any
-    /// already-warmed canonical forms carry over into the pipeline.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `disclosure_service`, which serves the same fused path plus \
-                online policy mutation"
-    )]
-    #[allow(deprecated)]
-    pub fn admission_pipeline(
-        &self,
-        config: PolicyGeneratorConfig,
-        num_principals: usize,
-        num_shards: usize,
-    ) -> AdmissionPipeline {
-        let store = self.policy_generator(config).build_sharded_store(
-            &self.views,
-            num_principals,
-            num_shards,
-        );
-        AdmissionPipeline::new(self.cached.clone(), store)
-    }
-
-    /// Builds a [`DisclosureService`] — the dynamic front door superseding
-    /// [`admission_pipeline`](Self::admission_pipeline) — with
-    /// `num_principals` randomly generated policies.
+    /// Builds a [`DisclosureService`] — the dynamic front door of the
+    /// system (labeling, enforcement, mutation and audit behind one
+    /// entry point) — with `num_principals` randomly generated policies.
     pub fn disclosure_service(
         &self,
         config: PolicyGeneratorConfig,
@@ -286,38 +258,5 @@ mod tests {
             assert_eq!(response.decision(), Some(expected), "query {i}");
         }
         assert_eq!(service.totals(), flat.totals());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn the_admission_pipeline_agrees_with_the_manual_two_stage_path() {
-        use fdc_policy::PrincipalId;
-        let eco = Ecosystem::new();
-        let config = PolicyGeneratorConfig {
-            max_partitions: 5,
-            max_elements_per_partition: 20,
-            template_pool: 16,
-            seed: 11,
-        };
-        let num_principals = 50;
-        let mut pipeline = eco.admission_pipeline(config, num_principals, 4);
-        assert_eq!(pipeline.store().len(), num_principals);
-        assert_eq!(pipeline.store().num_shards(), 4);
-
-        // Manual path: same policies into a flat store, labels via the
-        // production labeler, unpacked submission.
-        let mut flat = eco
-            .policy_generator(config)
-            .build_store(&eco.views, num_principals);
-        let mut workload = eco.workload(WorkloadConfig::base(12));
-        let queries = workload.batch(300);
-        let principals: Vec<PrincipalId> = (0..queries.len())
-            .map(|i| PrincipalId((i % num_principals) as u32))
-            .collect();
-        let fused = pipeline.admit_batch(&principals, &queries);
-        for ((p, query), decision) in principals.iter().zip(&queries).zip(&fused) {
-            assert_eq!(flat.submit(*p, &eco.label(query)), *decision);
-        }
-        assert_eq!(pipeline.totals(), flat.totals());
     }
 }

@@ -22,8 +22,8 @@
 //!
 //! The compact representation is further *compiled and interned*
 //! ([`compiled`]): every enforcement surface — the single-principal
-//! [`ReferenceMonitor`], the flat multi-principal [`PolicyStore`], the
-//! multi-core [`ShardedPolicyStore`] and the fused [`AdmissionPipeline`] —
+//! [`ReferenceMonitor`], the flat multi-principal [`PolicyStore`] and the
+//! multi-core [`ShardedPolicyStore`] —
 //! decides against one shared [`CompiledPolicy`]
 //! form, deduplicated across principals by the
 //! [`PolicyArena`] so per-principal state is 24
@@ -37,7 +37,6 @@ pub mod compiled;
 pub mod lattice_policy;
 pub mod monitor;
 pub mod partition;
-pub mod pipeline;
 pub mod policy;
 pub mod shard;
 pub mod store;
@@ -49,8 +48,6 @@ pub use compiled::{
 };
 pub use monitor::{Decision, ReferenceMonitor};
 pub use partition::PolicyPartition;
-#[allow(deprecated)]
-pub use pipeline::AdmissionPipeline;
 pub use policy::SecurityPolicy;
 pub use shard::{ShardedPolicyStore, DEFAULT_PARALLEL_THRESHOLD};
 pub use store::{PolicyStore, PrincipalId};

@@ -5,11 +5,13 @@
 //! partitioning principals round-robin over N independent shards, each a
 //! complete [`PolicyStore`] owned by (at most) one worker thread at a time.
 //! No locks, no atomics on the decision path: a batch is split by shard,
-//! each busy shard is **moved** into a task on a persistent
+//! each busy shard is **moved** into a task on a caller-supplied persistent
 //! [`WorkerPool`] — queue pushes, not thread spawns —
 //! and moved back with its decisions, which are scattered into request
-//! order ([`submit_batch_parallel`](ShardedPolicyStore::submit_batch_parallel),
-//! [`decide_batch_on`](ShardedPolicyStore::decide_batch_on)).
+//! order ([`submit_batch_on`](ShardedPolicyStore::submit_batch_on),
+//! [`decide_batch_on`](ShardedPolicyStore::decide_batch_on)).  The store
+//! never owns or spins up a pool itself, so an embedding service runs
+//! exactly one worker plane.
 //!
 //! Sequential entry points ([`submit`](ShardedPolicyStore::submit),
 //! [`submit_packed`](ShardedPolicyStore::submit_packed), …) route single
@@ -73,8 +75,8 @@ impl ShardedPolicyStore {
     }
 
     /// Sets the minimum batch length at which
-    /// [`submit_batch_parallel`](Self::submit_batch_parallel) /
-    /// [`decide_batch_parallel`](Self::decide_batch_parallel) fan out to
+    /// [`submit_batch_on`](Self::submit_batch_on) /
+    /// [`decide_batch_on`](Self::decide_batch_on) fan out to
     /// the worker pool.  `0` (or `1`) forces the parallel path for every
     /// non-trivial batch.
     pub fn set_parallel_threshold(&mut self, threshold: usize) {
@@ -221,17 +223,11 @@ impl ShardedPolicyStore {
     /// order; requests for *different* principals never interact, so the
     /// decisions (and all per-principal state) equal the sequential
     /// [`submit_batch`](Self::submit_batch) — asserted by the property
-    /// tests.  Runs on the process-wide [`WorkerPool`]; see
-    /// [`submit_batch_on`](Self::submit_batch_on) to supply one.
-    pub fn submit_batch_parallel(
-        &mut self,
-        batch: &[(PrincipalId, &[PackedLabel])],
-    ) -> Vec<Decision> {
-        self.submit_batch_on(WorkerPool::global(), batch)
-    }
-
-    /// [`submit_batch_parallel`](Self::submit_batch_parallel) on an
-    /// explicit [`WorkerPool`].
+    /// tests.
+    ///
+    /// The pool is always supplied by the caller: the store owns no
+    /// threads of its own and never falls back to a process-global pool,
+    /// so a service embedding this store runs exactly one worker plane.
     pub fn submit_batch_on(
         &mut self,
         pool: &WorkerPool,
@@ -386,24 +382,13 @@ impl ShardedPolicyStore {
     /// (`commit = false`) with one pool task per busy shard, returning the
     /// decisions in request order.
     ///
-    /// The generalization of
-    /// [`submit_batch_parallel`](Self::submit_batch_parallel) the service's
-    /// request loop runs on: within a shard, requests are processed in batch
-    /// order, so a check between two submits for the same principal observes
-    /// exactly the state it would under sequential processing.  Runs on the
-    /// process-wide [`WorkerPool`]; see
-    /// [`decide_batch_on`](Self::decide_batch_on) to supply one.
-    pub fn decide_batch_parallel(
-        &mut self,
-        batch: &[(PrincipalId, &[PackedLabel], bool)],
-    ) -> Vec<Decision> {
-        self.decide_batch_on(WorkerPool::global(), batch)
-    }
-
-    /// [`decide_batch_parallel`](Self::decide_batch_parallel) on an
-    /// explicit [`WorkerPool`] — the entry point the service's executors
-    /// use, so decision application shares the service's worker plane (and
-    /// its counters) with the labeling stage.
+    /// The generalization of [`submit_batch_on`](Self::submit_batch_on)
+    /// the service's request loop runs on: within a shard, requests are
+    /// processed in batch order, so a check between two submits for the
+    /// same principal observes exactly the state it would under sequential
+    /// processing.  The caller supplies the pool — the service's executors
+    /// pass theirs, so decision application shares the service's worker
+    /// plane (and its counters) with the labeling stage.
     pub fn decide_batch_on(
         &mut self,
         pool: &WorkerPool,
@@ -604,8 +589,9 @@ mod tests {
             .enumerate()
             .map(|(i, l)| (PrincipalId((i % 13) as u32), l.as_slice()))
             .collect();
+        let pool = WorkerPool::new(4);
         assert_eq!(
-            parallel.submit_batch_parallel(&batch),
+            parallel.submit_batch_on(&pool, &batch),
             sequential.submit_batch(&batch)
         );
         assert_eq!(parallel.totals(), sequential.totals());
@@ -646,7 +632,8 @@ mod tests {
             .iter()
             .map(|(p, l, commit)| sequential.decide_packed(*p, l, *commit))
             .collect();
-        assert_eq!(parallel.decide_batch_parallel(&batch), expected);
+        let pool = WorkerPool::new(4);
+        assert_eq!(parallel.decide_batch_on(&pool, &batch), expected);
         assert_eq!(parallel.totals(), sequential.totals());
         for i in 0..9 {
             let p = PrincipalId(i);
@@ -723,9 +710,10 @@ mod tests {
             .enumerate()
             .map(|(i, l)| (PrincipalId((i % 11) as u32), l.as_slice()))
             .collect();
+        let pool = WorkerPool::new(4);
         let expected = sequential.submit_batch(&batch);
-        assert_eq!(raised.submit_batch_parallel(&batch), expected);
-        assert_eq!(forced.submit_batch_parallel(&batch), expected);
+        assert_eq!(raised.submit_batch_on(&pool, &batch), expected);
+        assert_eq!(forced.submit_batch_on(&pool, &batch), expected);
         assert_eq!(raised.totals(), sequential.totals());
         assert_eq!(forced.totals(), sequential.totals());
         // Same crossover on the mixed submit/check path.
@@ -738,8 +726,8 @@ mod tests {
             .iter()
             .map(|(p, l, commit)| sequential.decide_packed(*p, l, *commit))
             .collect();
-        assert_eq!(raised.decide_batch_parallel(&mixed), expected_mixed);
-        assert_eq!(forced.decide_batch_parallel(&mixed), expected_mixed);
+        assert_eq!(raised.decide_batch_on(&pool, &mixed), expected_mixed);
+        assert_eq!(forced.decide_batch_on(&pool, &mixed), expected_mixed);
         for i in 0..11 {
             let p = PrincipalId(i);
             assert_eq!(raised.stats(p), sequential.stats(p));
@@ -756,8 +744,9 @@ mod tests {
         let p = single.register(wall(&registry));
         let packed = label(&labeler, "Q(x) :- Meetings(x, y)").pack();
         let batch: Vec<(PrincipalId, &[PackedLabel])> = vec![(p, packed.as_slice())];
-        assert_eq!(single.submit_batch_parallel(&batch).len(), 1);
-        assert!(single.submit_batch_parallel(&[]).is_empty());
+        let pool = WorkerPool::new(4);
+        assert_eq!(single.submit_batch_on(&pool, &batch).len(), 1);
+        assert!(single.submit_batch_on(&pool, &[]).is_empty());
         assert_eq!(single.totals(), (1, 0));
     }
 }

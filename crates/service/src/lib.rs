@@ -25,9 +25,6 @@
 //! (`fig7_json`) measures the payoff: at realistic mutation:query ratios,
 //! incremental relabeling sustains a large multiple of the throughput of
 //! the flush-on-mutation baseline ([`InvalidationMode::FlushOnMutation`]).
-//!
-//! The old one-shot `fdc_policy::AdmissionPipeline` is deprecated in favor
-//! of this service.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,7 +42,8 @@ pub use health::{DegradedMode, DurabilityHealth, ServiceMode};
 pub use maintenance::BackgroundCheckpointer;
 pub use ops::{Operation, Response, ServiceError};
 pub use service::{
-    DisclosureService, InvalidationMode, ParallelStats, ServiceConfig, ServiceStats,
+    DisclosureService, InvalidationMode, ParallelStats, PendingCheckpoint, ServiceConfig,
+    ServiceStats,
 };
 pub use snapshot::ServiceSnapshot;
 

@@ -4,9 +4,10 @@
 //! A durable [`DisclosureService`] only
 //! checkpoints when someone calls
 //! [`checkpoint`](crate::DisclosureService::checkpoint).  The
-//! [`BackgroundCheckpointer`] is that someone: a thread that takes the
-//! service lock on an interval, attempts a checkpoint, and moves on —
-//! failures are counted in
+//! [`BackgroundCheckpointer`] is that someone: a thread that, on an
+//! interval, begins a checkpoint under the service lock, encodes the
+//! image **off the lock** on the service's worker pool, and completes it
+//! under the lock again — failures are counted in
 //! [`DurabilityHealth::checkpoint_failures`](crate::DurabilityHealth::checkpoint_failures)
 //! and retried next tick.  Because
 //! [`checkpoint`](crate::DisclosureService::checkpoint) is also the
@@ -32,10 +33,19 @@ const STOP_POLL: Duration = Duration::from_millis(20);
 /// and promoting the service back from degraded read-only serving once
 /// storage recovers.
 ///
-/// The service must be shared behind `Arc<Mutex<_>>`; the thread holds
-/// the lock only for the duration of one checkpoint attempt.  Dropping
-/// the handle stops the thread (signal + join), as does the explicit
-/// [`stop`](Self::stop).
+/// The service must be shared behind `Arc<Mutex<_>>`.  On a healthy
+/// service the thread holds the lock only for the two cheap ends of a
+/// checkpoint — [`begin_checkpoint`](DisclosureService::begin_checkpoint)
+/// (WAL commit + state freeze) and
+/// [`complete_checkpoint`](DisclosureService::complete_checkpoint) (image
+/// write + log retirement) — while the expensive payload serialization
+/// runs *between* them as a task on the service's own worker pool, with
+/// the lock released: admissions and mutations proceed concurrently, and
+/// their WAL records past the frozen sequence number survive the
+/// completion's pruning.  Degraded services checkpoint synchronously
+/// under the lock (mutations are refused then anyway, and promotion
+/// replaces the log wholesale).  Dropping the handle stops the thread
+/// (signal + join), as does the explicit [`stop`](Self::stop).
 ///
 /// ```no_run
 /// use std::sync::{Arc, Mutex};
@@ -80,10 +90,30 @@ impl BackgroundCheckpointer {
             if flag.load(Ordering::Relaxed) {
                 return;
             }
-            let mut service = service.lock().unwrap_or_else(|e| e.into_inner());
             // Failures are counted in the service's health block and
             // retried next tick; there is nobody to return them to here.
-            let _ = service.checkpoint();
+            let mut guard = service.lock().unwrap_or_else(|e| e.into_inner());
+            if guard.is_degraded() {
+                // The Degraded → Healthy promotion path replaces the log
+                // wholesale; mutations are refused anyway, so there is
+                // nothing to overlap with — checkpoint under the lock.
+                let _ = guard.checkpoint();
+            } else if let Ok(pending) = guard.begin_checkpoint() {
+                // Healthy: freeze the cheap state under the lock, then
+                // release it and serialize the image as a task on the
+                // service's own worker pool, so admissions and mutations
+                // proceed concurrently with the encode.  The `Err` arm is
+                // a non-durable service: nothing to checkpoint, ever.
+                let pool = guard.pool_handle();
+                drop(guard);
+                let mut encoded = pool.run(vec![pending], |pending, _ctx| {
+                    let payload = pending.encode();
+                    (pending, payload)
+                });
+                let (pending, payload) = encoded.pop().expect("one encode task");
+                let mut guard = service.lock().unwrap_or_else(|e| e.into_inner());
+                let _ = guard.complete_checkpoint(&pending, &payload);
+            }
         });
         BackgroundCheckpointer {
             handle: Some(handle),

@@ -184,8 +184,7 @@ impl Eq for ServiceStats {}
 ///   cache hit → packed label → bit-mask decision.
 ///   [`run_batch`](Self::run_batch) executes maximal admission runs on the
 ///   service's persistent [`WorkerPool`] — labeling sharded over the shared
-///   cache, decisions sharded by principal — exactly like the old
-///   `AdmissionPipeline`, which this service supersedes.
+///   cache, decisions sharded by principal.
 /// * **Policy mutations** (`GrantView` / `RevokeView`) re-intern the
 ///   principal's compiled policy while preserving its consistency word and
 ///   counters; the label caches are untouched (labels do not depend on
@@ -406,6 +405,18 @@ impl DisclosureService {
         self.parallel
             .pool
             .get_or_init(|| Arc::new(WorkerPool::new(self.config.workers)))
+    }
+
+    /// A shared handle to the service's worker pool — the *single*
+    /// execution plane every parallel path of this service runs on
+    /// (labeling fan-outs, per-shard decision fan-outs, off-lock
+    /// checkpoint encoding).  Callers that run work on the service's
+    /// behalf while not holding the service lock (see
+    /// [`BackgroundCheckpointer`](crate::BackgroundCheckpointer)) clone
+    /// this handle instead of spinning up a pool of their own; the
+    /// process-wide [`WorkerPool::global`] fallback stays untouched.
+    pub fn pool_handle(&self) -> Arc<WorkerPool> {
+        Arc::clone(self.worker_pool())
     }
 
     /// Materializes the worker-plane block of [`stats`](Self::stats) from
@@ -1065,35 +1076,96 @@ impl DisclosureService {
     /// Fails on I/O errors, and on services not opened with
     /// [`open_durable`](Self::open_durable).
     pub fn checkpoint(&mut self) -> io::Result<u64> {
+        let pending = self.begin_checkpoint()?;
+        let payload = pending.encode();
+        self.complete_checkpoint(&pending, &payload)
+    }
+
+    /// First half of a [`checkpoint`](Self::checkpoint): commits the WAL,
+    /// fixes the sequence number the image will cover, and freezes the
+    /// state to serialize — all under the service lock, all cheap
+    /// (structural clones, no serialization except the append-only
+    /// interner).  The returned [`PendingCheckpoint`] owns everything the
+    /// expensive [`encode`](PendingCheckpoint::encode) step needs, so the
+    /// caller can release the service lock — or hand the encode to the
+    /// worker pool, as [`BackgroundCheckpointer`](crate::BackgroundCheckpointer)
+    /// does — and keep admitting mutations while the image is serialized;
+    /// [`complete_checkpoint`](Self::complete_checkpoint) finishes the
+    /// job.  Mutations admitted between `begin` and `complete` are covered
+    /// by their WAL records past the pending sequence number, which the
+    /// completion never prunes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on services not opened with
+    /// [`open_durable`](Self::open_durable).
+    pub fn begin_checkpoint(&mut self) -> io::Result<PendingCheckpoint> {
+        let durable = self.durable.as_mut().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "checkpoint requires a service opened with open_durable",
+            )
+        })?;
+        if let Some(writer) = durable.writer.as_mut() {
+            // The buffer is normally empty here (every entry point
+            // commits); a failure means storage just died under a
+            // straggler batch — degrade and checkpoint anyway, the
+            // image covers everything acknowledged.
+            if writer.commit().is_err() {
+                durable.degrade();
+            }
+        }
+        let seq = match durable.writer.as_ref() {
+            Some(writer) => writer.next_seq() - 1,
+            None => durable.last_seq,
+        };
+        let healthy = durable.writer.is_some();
+        let mut interner = Vec::new();
+        self.interner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .encode_into(&mut interner);
+        Ok(PendingCheckpoint {
+            seq,
+            healthy,
+            views: self.labeler.security_views().clone(),
+            interner,
+            store: self.store.clone(),
+            history: self.history.clone(),
+        })
+    }
+
+    /// Second half of a [`checkpoint`](Self::checkpoint): writes the
+    /// encoded image for `pending` and retires the log debt behind it
+    /// (rotate + prune on a healthy service, segment replacement and
+    /// Degraded → Healthy promotion on a degraded one).  If the service
+    /// was healthy at [`begin_checkpoint`](Self::begin_checkpoint) but
+    /// degraded while the payload was encoded, the image is written and
+    /// counted but **no** segment is touched: the surviving log holds
+    /// acknowledged records past the image that promotion-style pruning
+    /// would destroy.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors writing the image, and on services not opened
+    /// with [`open_durable`](Self::open_durable).
+    pub fn complete_checkpoint(
+        &mut self,
+        pending: &PendingCheckpoint,
+        payload: &[u8],
+    ) -> io::Result<u64> {
+        let seq = pending.seq;
         let fsync = self.config.durability.fsync;
         let durability = self.config.durability;
-        let (seq, dir) = {
-            let durable = self.durable.as_mut().ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::InvalidInput,
-                    "checkpoint requires a service opened with open_durable",
-                )
-            })?;
-            if let Some(writer) = durable.writer.as_mut() {
-                // The buffer is normally empty here (every entry point
-                // commits); a failure means storage just died under a
-                // straggler batch — degrade and checkpoint anyway, the
-                // image covers everything acknowledged.
-                if writer.commit().is_err() {
-                    durable.degrade();
-                }
-            }
-            let seq = match durable.writer.as_ref() {
-                Some(writer) => writer.next_seq() - 1,
-                None => durable.last_seq,
-            };
-            (seq, durable.dir.clone())
-        };
-        let mut payload = Vec::new();
-        self.encode_state(&mut payload);
-        let durable = self.durable.as_mut().expect("checked above");
+        let durable = self.durable.as_mut().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "checkpoint requires a service opened with open_durable",
+            )
+        })?;
+        let dir = durable.dir.clone();
         let vfs = Arc::clone(&durable.vfs);
-        match write_checkpoint_in(vfs.as_ref(), &dir, seq, &payload, fsync) {
+        match write_checkpoint_in(vfs.as_ref(), &dir, seq, payload, fsync) {
             Ok(_) => {
                 durable.checkpoints += 1;
                 durable.last_checkpoint_seq = seq;
@@ -1120,6 +1192,14 @@ impl DisclosureService {
                 .copied()
                 .unwrap_or(seq);
             prune_segments_in(vfs.as_ref(), &dir, horizon)?;
+        } else if pending.healthy {
+            // The service was healthy at `begin` but degraded while the
+            // payload was encoded off-lock: the old segments hold
+            // acknowledged records *past* `seq` that the image does not
+            // cover, so the promotion path's delete-and-replace below
+            // would destroy durable state.  The image landed (and
+            // counted); promotion waits for a checkpoint begun on the
+            // frozen degraded horizon.
         } else {
             // Degraded promotion.  The image at `seq` shadows every
             // record the old segments hold — including any torn bytes a
@@ -1195,24 +1275,6 @@ impl DisclosureService {
                 {
                     self.replace_policy_unlogged(principal, policy);
                 }
-            }
-        }
-    }
-
-    /// Serializes the full service state — the checkpoint payload.  The
-    /// inverse of [`decode_state`](Self::decode_state).
-    fn encode_state(&self, out: &mut Vec<u8>) {
-        self.labeler.security_views().encode_into(out);
-        self.interner
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .encode_into(out);
-        self.store.encode_into(out);
-        put_len(out, self.history.len());
-        for log in &self.history {
-            put_len(out, log.len());
-            for query in log {
-                fdc_cq::wire::encode_query(query, out);
             }
         }
     }
@@ -1548,7 +1610,10 @@ impl DisclosureService {
     /// of the epoch has unpinned, so the reclamation is immediate.
     fn pooled_label_run(&mut self, staged: Vec<StagedQuery>) -> Vec<Vec<PackedLabel>> {
         let pool = Arc::clone(self.worker_pool());
-        let snapshot = Arc::new(self.labeler.snapshot());
+        // One private overlay lane per pool worker (plus the coordinator's
+        // lane 0): workers write their cache work contention-free and the
+        // retire below merges every lane back into the striped tables.
+        let snapshot = Arc::new(self.labeler.snapshot_with_lanes(pool.workers() + 1));
         let epoch = pool.advance_epoch();
         let chunk_len = staged
             .len()
@@ -1558,11 +1623,12 @@ impl DisclosureService {
         let shared = Arc::clone(&snapshot);
         let results = pool.run(inputs, move |chunk, ctx| {
             let _pin = ctx.pin(epoch);
+            let lane = shared.lane_for(ctx);
             chunk
                 .into_iter()
                 .map(|query| match query {
-                    StagedQuery::Plain(q) => shared.label_packed(&q),
-                    StagedQuery::Interned(id) => shared.label_packed_interned(id),
+                    StagedQuery::Plain(q) => shared.label_packed_in(lane, &q),
+                    StagedQuery::Interned(id) => shared.label_packed_interned_in(lane, id),
                 })
                 .collect::<Vec<_>>()
         });
@@ -1579,6 +1645,17 @@ impl DisclosureService {
     /// build → serve → retire lifecycle.
     pub fn snapshot(&self) -> ServiceSnapshot {
         ServiceSnapshot::new(self.labeler.snapshot(), self.store.arena_handles())
+    }
+
+    /// [`snapshot`](Self::snapshot) with one private overlay lane per pool
+    /// worker (plus the coordinator's lane 0) — the form the pipelined
+    /// executor stages segments through, so concurrent workers never
+    /// contend on a shared overlay stripe lock.
+    fn serving_snapshot(&self) -> ServiceSnapshot {
+        ServiceSnapshot::new(
+            self.labeler.snapshot_with_lanes(self.config.workers + 1),
+            self.store.arena_handles(),
+        )
     }
 
     /// Serves a batch of operations with the **epoch-snapshot pipelined
@@ -1702,9 +1779,10 @@ impl DisclosureService {
             let snap = Arc::clone(snap);
             let pending = pool.submit(inputs, move |chunk, ctx| {
                 let _pin = ctx.pin(epoch);
+                let lane = snap.lane_for(ctx);
                 chunk
                     .into_iter()
-                    .map(|admission| label_staged(&snap, admission, num_principals))
+                    .map(|admission| label_staged(&snap, lane, admission, num_principals))
                     .collect::<Vec<_>>()
             });
             (epoch, pending)
@@ -1716,7 +1794,7 @@ impl DisclosureService {
         // executor), with an unconditional drain at end of run — every
         // batch has been waited on by then, so no worker still reads one.
         let mut retired: Vec<(u64, Arc<ServiceSnapshot>)> = Vec::new();
-        let mut snap = Arc::new(self.snapshot());
+        let mut snap = Arc::new(self.serving_snapshot());
         let mut inflight = Some(spawn_segment(&pool, &snap, segments[0].range.clone()));
         for s in 0..segments.len() {
             let (epoch, pending) = inflight.take().expect("one labeling batch per segment");
@@ -1741,7 +1819,7 @@ impl DisclosureService {
             let overlap = pre_applied.is_some() || boundary.is_none();
             if overlap {
                 if let Some(next) = segments.get(s + 1) {
-                    snap = Arc::new(self.snapshot());
+                    snap = Arc::new(self.serving_snapshot());
                     inflight = Some(spawn_segment(&pool, &snap, next.range.clone()));
                 }
             }
@@ -1762,7 +1840,7 @@ impl DisclosureService {
                 responses[b] = Some(response);
                 if !overlap {
                     if let Some(next) = segments.get(s + 1) {
-                        snap = Arc::new(self.snapshot());
+                        snap = Arc::new(self.serving_snapshot());
                         inflight = Some(spawn_segment(&pool, &snap, next.range.clone()));
                     }
                 }
@@ -2191,11 +2269,13 @@ fn stage_admissions(ops: &[Operation], base: usize) -> Vec<StagedAdmission> {
         .collect()
 }
 
-/// Labels one staged admission against a frozen snapshot.  Validation —
-/// unknown principals, foreign interned ids — happens here too, at the
-/// op's stream position.
+/// Labels one staged admission against a frozen snapshot, writing cache
+/// work into the caller's private overlay `lane`.  Validation — unknown
+/// principals, foreign interned ids — happens here too, at the op's
+/// stream position.
 fn label_staged(
     snapshot: &ServiceSnapshot,
+    lane: usize,
     admission: StagedAdmission,
     num_principals: usize,
 ) -> LabeledAdmission {
@@ -2209,9 +2289,9 @@ fn label_staged(
         Err(ServiceError::UnknownPrincipal(principal))
     } else {
         match query {
-            StagedQuery::Plain(q) => Ok(snapshot.label_packed(&q)),
+            StagedQuery::Plain(q) => Ok(snapshot.label_packed_in(lane, &q)),
             StagedQuery::Interned(id) if snapshot.contains(id) => {
-                Ok(snapshot.label_packed_interned(id))
+                Ok(snapshot.label_packed_interned_in(lane, id))
             }
             StagedQuery::Interned(id) => Err(ServiceError::UnknownQuery(id)),
         }
@@ -2318,4 +2398,75 @@ fn is_loggable(op: &Operation, interner: &SharedQueryInterner) -> bool {
 /// [`DisclosureService::open_durable`] reports.
 fn invalid_data(err: CodecError) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, err.to_string())
+}
+
+/// A checkpoint in flight between
+/// [`DisclosureService::begin_checkpoint`] and
+/// [`DisclosureService::complete_checkpoint`]: the service state frozen at
+/// the pending sequence number, *owned*, so the expensive serialization
+/// runs without the service lock — on the caller's thread or as a worker
+/// pool task.  See [`BackgroundCheckpointer`](crate::BackgroundCheckpointer)
+/// for the intended use.
+#[derive(Debug)]
+pub struct PendingCheckpoint {
+    /// The WAL sequence number the image will cover (last acknowledged
+    /// record at `begin`).
+    seq: u64,
+    /// Whether the service was healthy at `begin` — decides whether the
+    /// completion may retire old log segments (a checkpoint begun healthy
+    /// but completed degraded must not, see
+    /// [`DisclosureService::complete_checkpoint`]).
+    healthy: bool,
+    views: SecurityViews,
+    /// The interner, pre-encoded under the lock: it lives behind the
+    /// shared read-write handle workload generators clone, so its bytes
+    /// are fixed eagerly instead of racing concurrent interning.
+    interner: Vec<u8>,
+    store: ShardedPolicyStore,
+    history: Vec<VecDeque<ConjunctiveQuery>>,
+}
+
+impl PendingCheckpoint {
+    /// The WAL sequence number the image will cover.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Serializes the frozen state into the checkpoint payload — the
+    /// expensive half of a checkpoint, safe to run without the service
+    /// lock.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        encode_state_parts(
+            &self.views,
+            &self.interner,
+            &self.store,
+            &self.history,
+            &mut payload,
+        );
+        payload
+    }
+}
+
+/// Serializes one frozen service state — the checkpoint payload, the
+/// inverse of `DisclosureService::decode_state`.  Free function so the
+/// off-lock [`PendingCheckpoint::encode`] and any future callers produce
+/// byte-identical images.
+fn encode_state_parts(
+    views: &SecurityViews,
+    interner_bytes: &[u8],
+    store: &ShardedPolicyStore,
+    history: &[VecDeque<ConjunctiveQuery>],
+    out: &mut Vec<u8>,
+) {
+    views.encode_into(out);
+    out.extend_from_slice(interner_bytes);
+    store.encode_into(out);
+    put_len(out, history.len());
+    for log in history {
+        put_len(out, log.len());
+        for query in log {
+            fdc_cq::wire::encode_query(query, out);
+        }
+    }
 }

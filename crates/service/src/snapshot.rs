@@ -9,8 +9,9 @@
 //!   (via [`LabelerSnapshot`]);
 //! * a read-only handle onto the live labeler's striped query/atom caches,
 //!   so warm shapes keep hitting across the handover (the snapshot's own
-//!   cache work accumulates in a private overlay and is published back when
-//!   the snapshot retires);
+//!   cache work accumulates in private per-worker overlay *lanes* —
+//!   contention-free writes — and every lane is published back when the
+//!   snapshot retires);
 //! * one copy-on-write [`PolicyArena`] handle per policy shard — the
 //!   compiled-policy universe the segment's decisions are made against.
 //!
@@ -27,7 +28,7 @@
 
 use std::sync::Arc;
 
-use fdc_core::{LabelerSnapshot, PackedLabel, SecurityViews};
+use fdc_core::{LabelerSnapshot, PackedLabel, SecurityViews, WorkerContext};
 use fdc_cq::intern::QueryId;
 use fdc_cq::{ConjunctiveQuery, RelId};
 use fdc_policy::PolicyArena;
@@ -100,13 +101,36 @@ impl ServiceSnapshot {
         self.labeler.contains(id)
     }
 
-    /// Labels a query at the frozen epoch vector, packed.
+    /// Labels a query at the frozen epoch vector, packed.  Cache work
+    /// lands in the coordinator's overlay lane 0.
     pub fn label_packed(&self, query: &ConjunctiveQuery) -> Vec<PackedLabel> {
         self.labeler.label_packed(query)
     }
 
     /// Labels a pre-interned query at the frozen epoch vector, packed.
+    /// Cache work lands in the coordinator's overlay lane 0.
     pub fn label_packed_interned(&self, id: QueryId) -> Vec<PackedLabel> {
         self.labeler.label_packed_interned(id)
+    }
+
+    /// The private overlay lane a pool worker should write through — lane
+    /// 0 (the coordinator's) for inline execution, a per-worker lane on
+    /// multi-lane snapshots (see
+    /// [`LabelerSnapshot::lane_for`]).
+    pub fn lane_for(&self, ctx: &WorkerContext<'_>) -> usize {
+        self.labeler.lane_for(ctx)
+    }
+
+    /// [`label_packed`](Self::label_packed) writing cache work into
+    /// overlay lane `lane` instead of the coordinator's lane 0.
+    pub fn label_packed_in(&self, lane: usize, query: &ConjunctiveQuery) -> Vec<PackedLabel> {
+        self.labeler.label_packed_in(lane, query)
+    }
+
+    /// [`label_packed_interned`](Self::label_packed_interned) writing
+    /// cache work into overlay lane `lane` instead of the coordinator's
+    /// lane 0.
+    pub fn label_packed_interned_in(&self, lane: usize, id: QueryId) -> Vec<PackedLabel> {
+        self.labeler.label_packed_interned_in(lane, id)
     }
 }

@@ -1,8 +1,7 @@
 //! The fused admission path end to end, served by the `DisclosureService`
-//! front door (which superseded the deprecated `AdmissionPipeline`): parsed
-//! queries go in, policy decisions come out, and the label never leaves the
-//! packed 64-bit form between the caching labeler and the sharded, interned
-//! policy store.
+//! front door: parsed queries go in, policy decisions come out, and the
+//! label never leaves the packed 64-bit form between the caching labeler
+//! and the sharded, interned policy store.
 //!
 //! The third pass shows the interned query plane: the workload's query
 //! shapes are interned **once** through the service's `QueryInterner`, and

@@ -470,6 +470,70 @@ fn interned_query_ids_stay_stable_across_checkpointed_recovery() {
 }
 
 #[test]
+fn mutations_admitted_mid_encode_survive_an_off_lock_checkpoint() {
+    // The split checkpoint path: `begin_checkpoint` fixes the image's
+    // horizon under the lock, the payload encodes while the service keeps
+    // admitting mutations, and `complete_checkpoint` lands the image
+    // without pruning the records acknowledged in between.
+    let registry = facebook_security_views(&facebook_catalog());
+    let ops = churn_ops(&registry, 2 * OPS);
+    let probes = {
+        let schema = facebook_catalog();
+        let mut workload =
+            fdc::ecosystem::WorkloadGenerator::new(schema, WorkloadConfig::base(0x0FF1));
+        workload.batch(3)
+    };
+    let (before, rest) = ops.split_at(OPS);
+    let (mid_encode, after) = rest.split_at(OPS / 2);
+    let dir = temp_dir("off_lock_checkpoint");
+    let (mut durable, _) =
+        DisclosureService::open_durable(registry.clone(), config(), &dir).unwrap();
+    let mut reference = DisclosureService::new(registry.clone(), config());
+    for policy in policies(&registry) {
+        durable.register_principal(policy.clone());
+        reference.register_principal(policy);
+    }
+    for op in before {
+        durable.apply(op);
+        reference.apply(op);
+    }
+    let pending = durable.begin_checkpoint().unwrap();
+    let horizon = pending.seq();
+    // Mutations admitted while the payload is encoding (the service lock
+    // is free between begin and complete): every one is acknowledged and
+    // logged past `horizon`, and none of them may leak into the image.
+    for op in mid_encode {
+        assert_eq!(durable.apply(op), reference.apply(op));
+    }
+    let payload = pending.encode();
+    for op in after {
+        assert_eq!(durable.apply(op), reference.apply(op));
+    }
+    assert_eq!(
+        durable.complete_checkpoint(&pending, &payload).unwrap(),
+        horizon
+    );
+    let health = durable.stats().durability;
+    assert_eq!(health.checkpoints, 1);
+    assert_eq!(health.last_checkpoint_seq, horizon);
+    durable.close().unwrap();
+    // Recovery bulkloads the image at the pre-encode horizon, then
+    // replays every record admitted during and after the encode.
+    let (mut recovered, report) =
+        DisclosureService::open_durable(registry, config(), &dir).unwrap();
+    assert_eq!(report.checkpoint_seq, horizon);
+    assert!(
+        report.records_replayed > 0,
+        "mid-encode mutations must replay from the surviving log"
+    );
+    assert_eq!(
+        fingerprint(&mut recovered, &probes),
+        fingerprint(&mut reference, &probes)
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn pure_replay_without_any_checkpoint_rebuilds_the_full_stream() {
     let registry = facebook_security_views(&facebook_catalog());
     let ops = churn_ops(&registry, 2 * OPS);

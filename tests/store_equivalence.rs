@@ -16,7 +16,7 @@
 //! at every step; at the end, a parallel sharded batch replay of the same
 //! submissions must reproduce the same decisions and state.
 
-use fdc::core::{AtomLabel, DisclosureLabel, PackedLabel, SecurityViews};
+use fdc::core::{AtomLabel, DisclosureLabel, PackedLabel, SecurityViews, WorkerPool};
 use fdc::cq::RelId;
 use fdc::policy::{
     Decision, PolicyPartition, PolicyStore, PrincipalId, ReferenceMonitor, SecurityPolicy,
@@ -154,7 +154,8 @@ proptest! {
             .iter()
             .map(|(p, packed)| (*p, packed.as_slice()))
             .collect();
-        let decisions = replay.submit_batch_parallel(&batch);
+        let pool = WorkerPool::new(num_shards);
+        let decisions = replay.submit_batch_on(&pool, &batch);
         prop_assert_eq!(&decisions, &expected_decisions);
         prop_assert_eq!(replay.totals(), (answered, refused));
         for (i, monitor) in monitors.iter().enumerate() {
